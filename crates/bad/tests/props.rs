@@ -1,0 +1,136 @@
+//! Property-based tests of the BAD predictor over random workloads.
+
+use chop_bad::prune::{pareto_filter, prune};
+use chop_bad::{
+    ArchitectureStyle, ClockConfig, PartitionEnvelope, Predictor, PredictorParams,
+};
+use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
+use chop_library::standard::table1_library;
+use chop_stat::units::{Nanos, SquareMils};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = (u64, RandomDfgParams)> {
+    (any::<u64>(), 1usize..5, 1usize..6, 1usize..4, 0u32..100).prop_map(
+        |(seed, layers, width, inputs, mul_percent)| {
+            (seed, RandomDfgParams { layers, width, inputs, mul_percent, bits: 16 })
+        },
+    )
+}
+
+fn predictor(multi_cycle: bool) -> (Predictor, ClockConfig) {
+    let clocks = if multi_cycle {
+        ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap()
+    } else {
+        ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap()
+    };
+    let style = if multi_cycle {
+        ArchitectureStyle::multi_cycle()
+    } else {
+        ArchitectureStyle::single_cycle()
+    };
+    (
+        Predictor::new(table1_library(), clocks, style, PredictorParams::default()),
+        clocks,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_internally_consistent(
+        (seed, params) in arb_workload(),
+        multi_cycle in any::<bool>(),
+    ) {
+        let dfg = random_layered(seed, params);
+        let (p, _) = predictor(multi_cycle);
+        let designs = p.predict(&dfg).unwrap();
+        prop_assert!(!designs.is_empty());
+        for d in &designs {
+            prop_assert!(d.initiation_interval().value() >= 1);
+            prop_assert!(d.initiation_interval() <= d.latency());
+            prop_assert!(d.area().lo() <= d.area().likely());
+            prop_assert!(d.area().likely() <= d.area().hi());
+            prop_assert!(d.area().likely() > 0.0);
+            prop_assert!(d.power().likely() >= 0.0);
+            prop_assert!(d.clock_overhead().likely() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic((seed, params) in arb_workload()) {
+        let dfg = random_layered(seed, params);
+        let (p, _) = predictor(true);
+        let a = p.predict(&dfg).unwrap();
+        let b = p.predict(&dfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruning_is_monotone_in_constraints(
+        (seed, params) in arb_workload(),
+        area in 20_000.0f64..120_000.0,
+        time in 5_000.0f64..80_000.0,
+    ) {
+        let dfg = random_layered(seed, params);
+        let (p, clocks) = predictor(true);
+        let designs = p.predict(&dfg).unwrap();
+        let loose = PartitionEnvelope::new(
+            SquareMils::new(area * 2.0),
+            Nanos::new(time * 2.0),
+            Nanos::new(time * 2.0),
+        );
+        let tight = PartitionEnvelope::new(
+            SquareMils::new(area),
+            Nanos::new(time),
+            Nanos::new(time),
+        );
+        let (_, s_loose) = prune(designs.clone(), &loose, &clocks);
+        let (_, s_tight) = prune(designs, &tight, &clocks);
+        prop_assert!(s_tight.feasible <= s_loose.feasible);
+        prop_assert_eq!(s_tight.total, s_loose.total);
+    }
+
+    #[test]
+    fn pareto_filter_is_idempotent_and_minimal((seed, params) in arb_workload()) {
+        let dfg = random_layered(seed, params);
+        let (p, _) = predictor(true);
+        let designs = p.predict(&dfg).unwrap();
+        let once = pareto_filter(designs);
+        let twice = pareto_filter(once.clone());
+        prop_assert_eq!(once.len(), twice.len());
+        for i in 0..once.len() {
+            for j in 0..once.len() {
+                if i != j {
+                    prop_assert!(!once[i].dominates(&once[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cycle_latencies_are_main_clock_multiples(
+        (seed, params) in arb_workload(),
+    ) {
+        let dfg = random_layered(seed, params);
+        let (p, clocks) = predictor(false);
+        let designs = p.predict(&dfg).unwrap();
+        let dpm = u64::from(clocks.datapath_multiplier());
+        for d in &designs {
+            prop_assert_eq!(d.initiation_interval().value() % dpm, 0);
+            prop_assert_eq!(d.latency().value() % dpm, 0);
+        }
+    }
+
+    #[test]
+    fn guideline_renders_for_every_design((seed, params) in arb_workload()) {
+        let dfg = random_layered(seed, params);
+        let lib = table1_library();
+        let (p, _) = predictor(true);
+        for d in p.predict(&dfg).unwrap().iter().take(8) {
+            let text = d.guideline(&lib);
+            prop_assert!(text.contains("design style"));
+            prop_assert!(!text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Cost of one BAD prediction sweep — the "fast predictors in place of
+//! synthesis tools" claim underlying the whole methodology.
+
+use chop_bad::{ArchitectureStyle, ClockConfig, Predictor, PredictorParams};
+use chop_dfg::benchmarks;
+use chop_library::standard::table1_library;
+use chop_stat::units::Nanos;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bad_predict");
+    let ar = benchmarks::ar_lattice_filter();
+    let ewf = benchmarks::elliptic_wave_filter();
+    let configs = [
+        ("ar_single_cycle", ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+            ArchitectureStyle::single_cycle()),
+        ("ar_multi_cycle", ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle()),
+    ];
+    for (name, clocks, style) in configs {
+        let p = Predictor::new(table1_library(), clocks, style, PredictorParams::default());
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(p.predict(&ar).expect("predict")));
+        });
+    }
+    let p = Predictor::new(
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+    );
+    group.bench_function("ewf_multi_cycle", |b| {
+        b.iter(|| black_box(p.predict(&ewf).expect("predict")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cost of one system-integration evaluation (bandwidths, urgency
+//! scheduling, buffers, transfer-module PLAs, feasibility analysis) — the
+//! inner loop of both heuristics.
+
+use chop_bad::PredictorParams;
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{FeasibilityCriteria, IntegrationContext};
+use chop_stat::units::Cycles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integration_eval");
+    for partitions in [2usize, 3] {
+        let session =
+            experiment1_session(&Exp1Config { partitions, package: 1 }).expect("valid");
+        let (lists, _) = session.predict_partitions().expect("predict");
+        let ctx = IntegrationContext::new(
+            session.partitioning(),
+            session.library(),
+            *session.clocks(),
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            *session.constraints(),
+        );
+        let selection: Vec<_> = lists.iter().map(|l| &l[0]).collect();
+        let ii = selection
+            .iter()
+            .map(|d| d.initiation_interval().value())
+            .max()
+            .unwrap()
+            .max(ctx.min_transfer_ii().value());
+        group.bench_function(format!("k{partitions}"), |b| {
+            b.iter(|| {
+                black_box(
+                    ctx.evaluate(black_box(&selection), Cycles::new(ii)).expect("evaluate"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation of the paper's §3.1 pruning claim: "The CPU time spent to
+//! generate these predictions for a total of 13411 designs … was 61.40
+//! seconds, showing the advantage of the pruning techniques used in CHOP."
+//! Also ablates the probabilistic feasibility criteria against point
+//! comparisons.
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{FeasibilityCriteria, Heuristic};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_ablation");
+    group.sample_size(10);
+    for partitions in [1usize, 2] {
+        let base = experiment1_session(&Exp1Config { partitions, package: 1 }).expect("valid");
+        group.bench_function(format!("k{partitions}_pruned"), |b| {
+            b.iter(|| black_box(base.explore(Heuristic::Enumeration).expect("explore")));
+        });
+        let keep_all = base.clone().with_pruning(false).with_keep_all(true);
+        group.bench_function(format!("k{partitions}_keep_all"), |b| {
+            b.iter(|| black_box(keep_all.explore(Heuristic::Enumeration).expect("explore")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_probabilistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probabilistic_ablation");
+    group.sample_size(10);
+    let base = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).expect("valid");
+    group.bench_function("paper_criteria", |b| {
+        b.iter(|| black_box(base.explore(Heuristic::Iterative).expect("explore")));
+    });
+    let point = base.clone().with_criteria(FeasibilityCriteria::point_estimates());
+    group.bench_function("point_criteria", |b| {
+        b.iter(|| black_box(point.explore(Heuristic::Iterative).expect("explore")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_probabilistic);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! The CPU-time columns of Tables 4 and 6: run time of heuristics E and I
+//! per experiment and partition count.
+
+use chop_core::experiments::{
+    experiment1_session, experiment2_session, Exp1Config, Exp2Config,
+};
+use chop_core::Heuristic;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_exp1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_search");
+    group.sample_size(10);
+    for partitions in 1..=3usize {
+        let session =
+            experiment1_session(&Exp1Config { partitions, package: 1 }).expect("valid");
+        for (name, h) in [("E", Heuristic::Enumeration), ("I", Heuristic::Iterative)] {
+            group.bench_function(format!("k{partitions}_{name}"), |b| {
+                b.iter(|| black_box(session.explore(h).expect("explore")));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exp2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_search");
+    group.sample_size(10);
+    for partitions in 1..=3usize {
+        let session =
+            experiment2_session(&Exp2Config { partitions, package: 1 }).expect("valid");
+        for (name, h) in [("E", Heuristic::Enumeration), ("I", Heuristic::Iterative)] {
+            group.bench_function(format!("k{partitions}_{name}"), |b| {
+                b.iter(|| black_box(session.explore(h).expect("explore")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp1, bench_exp2);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Hot-path benches of the substrates: list scheduling, urgency
+//! scheduling and DFG construction — the costs every CHOP query is built
+//! from.
+
+use chop_dfg::benchmarks::{self, random_layered, RandomDfgParams};
+use chop_dfg::OpClass;
+use chop_sched::force::force_directed_schedule;
+use chop_sched::urgency::{ResourceId, SchedulePolicy, TaskGraph};
+use chop_sched::{list_schedule, NodeSpec, ResourceMap};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_list_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    let ar = benchmarks::ar_lattice_filter();
+    let big = random_layered(
+        7,
+        RandomDfgParams { layers: 12, width: 16, inputs: 8, mul_percent: 40, bits: 16 },
+    );
+    let alloc: ResourceMap =
+        [(OpClass::Addition, 2), (OpClass::Multiplication, 3)].into_iter().collect();
+    for (name, g) in [("ar_filter", &ar), ("layered_192", &big)] {
+        let specs = NodeSpec::uniform(g, 3);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(list_schedule(g, &specs, &alloc).expect("schedule")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_urgency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("urgency_schedule");
+    // A fan-out/fan-in task pipeline over one contended pin pool.
+    let pins = ResourceId::new(0);
+    let mut g = TaskGraph::new();
+    let src = g.add_task("src", 4, vec![]);
+    let mut sinks = Vec::new();
+    for i in 0..32 {
+        let xfer = g.add_task(format!("x{i}"), 3, vec![(pins, 16)]);
+        let work = g.add_task(format!("w{i}"), 10, vec![]);
+        g.add_dep(src, xfer).unwrap();
+        g.add_dep(xfer, work).unwrap();
+        sinks.push(work);
+    }
+    let done = g.add_task("done", 1, vec![]);
+    for s in sinks {
+        g.add_dep(s, done).unwrap();
+    }
+    group.bench_function("fan32_pins64_urgency", |b| {
+        b.iter(|| {
+            black_box(g.schedule_with(SchedulePolicy::Urgency, &[64]).expect("schedule"))
+        });
+    });
+    group.bench_function("fan32_pins64_fifo", |b| {
+        b.iter(|| black_box(g.schedule_with(SchedulePolicy::Fifo, &[64]).expect("schedule")));
+    });
+    group.finish();
+}
+
+fn bench_force_directed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_directed");
+    group.sample_size(10);
+    let ar = benchmarks::ar_lattice_filter();
+    let specs = NodeSpec::uniform(&ar, 1);
+    for budget in [6u64, 10, 16] {
+        group.bench_function(format!("ar_latency{budget}"), |b| {
+            b.iter(|| black_box(force_directed_schedule(&ar, &specs, budget).expect("fds")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.bench_function("ar_filter", |b| {
+        b.iter(|| black_box(benchmarks::ar_lattice_filter()));
+    });
+    group.bench_function("fft_64pt", |b| b.iter(|| black_box(benchmarks::fft_network(6))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list_schedule,
+    bench_urgency,
+    bench_force_directed,
+    bench_workloads
+);
+criterion_main!(benches);

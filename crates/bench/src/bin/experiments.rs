@@ -1,0 +1,71 @@
+//! Runs the complete evaluation — every table and figure — in paper order.
+//! `cargo run -p chop-bench --release --bin experiments`
+
+fn main() {
+    println!("=== CHOP reproduction: full evaluation ===\n");
+
+    println!("--- Inputs ---");
+    println!("Library: Table 1 (run `--bin table1` for the full listing)");
+    println!("Packages: Table 2 (run `--bin table2`)");
+    println!("Workload: Figure 6 AR lattice filter (run `--bin figure6`)\n");
+
+    println!("--- Experiment 1 (single-cycle, dp clock 10×300 ns) ---\n");
+    print!(
+        "{}",
+        chop_bench::render_stats(
+            "Table 3: Statistics on the results from BAD for experiment 1",
+            &chop_bench::prediction_stats(1)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        chop_bench::render_results(
+            "Table 4: Results of experiment 1",
+            &chop_bench::experiment1_rows()
+        )
+    );
+    println!();
+    let mut all = Vec::new();
+    let mut elapsed = std::time::Duration::ZERO;
+    for partitions in 1..=3usize {
+        let (points, e) = chop_bench::design_space(1, partitions);
+        all.extend(points);
+        elapsed += e;
+    }
+    print!(
+        "{}",
+        chop_bench::render_design_space(
+            "Figure 7: Designs considered during experiment 1",
+            &all,
+            elapsed
+        )
+    );
+
+    println!("\n--- Experiment 2 (multi-cycle, dp clock 300 ns, perf 20 µs) ---\n");
+    print!(
+        "{}",
+        chop_bench::render_stats(
+            "Table 5: Statistics on the results from BAD for experiment 2",
+            &chop_bench::prediction_stats(2)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        chop_bench::render_results(
+            "Table 6: Results of experiment 2",
+            &chop_bench::experiment2_rows()
+        )
+    );
+    println!();
+    let (points, e) = chop_bench::design_space(2, 1);
+    print!(
+        "{}",
+        chop_bench::render_design_space(
+            "Figure 8: Some of designs considered during experiment 2 (1 partition)",
+            &points,
+            e
+        )
+    );
+}

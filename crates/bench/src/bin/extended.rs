@@ -1,0 +1,68 @@
+//! Extended evaluation beyond the paper's AR filter: partitions the
+//! classic HLS workloads (elliptic wave filter, 8-point DCT, 16-tap FIR)
+//! across 1–3 chips under experiment-2 clocking and prints a Table-6-style
+//! summary — evidence the partitioner generalizes past its original
+//! benchmark.
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{Constraints, Heuristic, Session};
+use chop_dfg::{benchmarks, Dfg};
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+fn workloads() -> Vec<(&'static str, Dfg)> {
+    vec![
+        ("ar_filter", benchmarks::ar_lattice_filter()),
+        ("ewf", benchmarks::elliptic_wave_filter()),
+        ("dct8", benchmarks::dct8()),
+        ("fir16", benchmarks::fir_filter(16)),
+    ]
+}
+
+fn main() {
+    println!("Extended evaluation (multi-cycle, 300 ns clock, perf 30 µs, delay 45 µs)");
+    println!(
+        "{:>10} | {:>5} | {:>6} | {:>9} | {:>5} | {:>8} | {:>9} | {:>8}",
+        "workload", "chips", "trials", "II cycles", "delay", "clock ns", "power mW", "feasible"
+    );
+    println!("{}", "-".repeat(84));
+    for (name, dfg) in workloads() {
+        for k in 1..=3usize {
+            let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+            let partitioning = PartitioningBuilder::new(dfg.clone(), chips)
+                .split_horizontal(k)
+                .build()
+                .expect("workloads partition cleanly");
+            let session = Session::new(
+                partitioning,
+                table1_library(),
+                ClockConfig::new(Nanos::new(300.0), 1, 1).expect("valid clocks"),
+                ArchitectureStyle::multi_cycle(),
+                PredictorParams::default(),
+                Constraints::new(Nanos::new(30_000.0), Nanos::new(45_000.0)),
+            );
+            let outcome = session.explore(Heuristic::Iterative).expect("explore");
+            match outcome
+                .feasible
+                .iter()
+                .min_by_key(|f| f.system.initiation_interval.value())
+            {
+                Some(best) => println!(
+                    "{name:>10} | {k:>5} | {:>6} | {:>9} | {:>5} | {:>8.0} | {:>9.0} | {:>8}",
+                    outcome.trials,
+                    best.system.initiation_interval.value(),
+                    best.system.delay.value(),
+                    best.system.clock.likely(),
+                    best.system.power.likely(),
+                    outcome.feasible_trials,
+                ),
+                None => println!(
+                    "{name:>10} | {k:>5} | {:>6} | {:>9} | {:>5} | {:>8} | {:>9} | {:>8}",
+                    outcome.trials, "-", "-", "-", "-", 0
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 6: the AR lattice filter data-flow graph — prints
+//! the structural statistics and the full Graphviz DOT description.
+
+use chop_dfg::{analysis, benchmarks, dot, OpClass};
+
+fn main() {
+    let g = benchmarks::ar_lattice_filter();
+    let h = g.op_histogram();
+    println!("Figure 6: AR lattice filter data flow graph");
+    println!("  operations: {h}");
+    println!("  multiplications: {}", h.count_class(OpClass::Multiplication));
+    println!("  additions:       {}", h.count_class(OpClass::Addition));
+    println!("  primary inputs:  {}", g.inputs().count());
+    println!("  primary outputs: {}", g.outputs().count());
+    println!(
+        "  critical path:   {} functional operations",
+        analysis::critical_path(&g, |_, n| u64::from(n.op().class().is_some()))
+    );
+    println!("\n{}", dot::to_dot(&g));
+}

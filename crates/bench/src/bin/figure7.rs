@@ -1,0 +1,38 @@
+//! Regenerates Figure 7: every design considered during experiment 1 when
+//! pruning is disabled (keep-all mode), across the 1/2/3-partition
+//! searches.
+
+//! Pass `csv` as the first argument to emit the raw points instead of the
+//! ASCII scatter.
+
+use chop_core::DesignPoint;
+
+fn main() {
+    let csv = std::env::args().nth(1).as_deref() == Some("csv");
+    let mut all: Vec<DesignPoint> = Vec::new();
+    let mut total_elapsed = std::time::Duration::ZERO;
+    for partitions in 1..=3usize {
+        let (points, elapsed) = chop_bench::design_space(1, partitions);
+        if !csv {
+            println!(
+                "  {partitions} partition(s): {} designs, {:.2} s",
+                points.len(),
+                elapsed.as_secs_f64()
+            );
+        }
+        all.extend(points);
+        total_elapsed += elapsed;
+    }
+    if csv {
+        print!("{}", chop_bench::to_csv(&all));
+    } else {
+        print!(
+            "{}",
+            chop_bench::render_design_space(
+                "Figure 7: Designs considered during experiment 1",
+                &all,
+                total_elapsed
+            )
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 8: designs considered during experiment 2 for the
+//! single-partition implementation (the paper could not keep the larger
+//! partitionings in memory without pruning; neither do we need to).
+
+//! Pass `csv` as the first argument to emit the raw points instead of the
+//! ASCII scatter.
+
+fn main() {
+    let (points, elapsed) = chop_bench::design_space(2, 1);
+    if std::env::args().nth(1).as_deref() == Some("csv") {
+        print!("{}", chop_bench::to_csv(&points));
+    } else {
+        print!(
+            "{}",
+            chop_bench::render_design_space(
+                "Figure 8: Some of designs considered during experiment 2 (1 partition)",
+                &points,
+                elapsed
+            )
+        );
+    }
+}

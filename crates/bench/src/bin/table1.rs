@@ -1,0 +1,26 @@
+//! Regenerates Table 1: the 3 µm component library.
+
+use chop_library::standard::table1_library;
+
+fn main() {
+    println!("Table 1: Library used in the experiments");
+    println!(
+        "{:>8} | {:>15} | {:>5} | {:>8} | {:>6}",
+        "Module", "Type", "Bit", "Area", "Delay"
+    );
+    println!(
+        "{:>8} | {:>15} | {:>5} | {:>8} | {:>6}",
+        "Name", "", "Width", "mil²", "ns"
+    );
+    println!("{}", "-".repeat(58));
+    for m in table1_library().modules() {
+        println!(
+            "{:>8} | {:>15} | {:>5} | {:>8.0} | {:>6.0}",
+            m.name(),
+            m.kind().to_string(),
+            m.width().value(),
+            m.area().value(),
+            m.delay().value()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 2: the MOSIS standard chip-package subset.
+
+use chop_library::standard::table2_packages;
+
+fn main() {
+    println!("Table 2: A subset of MOSIS Standard Chip Packages");
+    println!(
+        "{:>2} | {:>8} | {:>8} | {:>14} | {:>9} | {:>8}",
+        "No", "Width", "Height", "Number of Pins", "Pad Delay", "Pad Area"
+    );
+    println!(
+        "{:>2} | {:>8} | {:>8} | {:>14} | {:>9} | {:>8}",
+        "", "mil", "mil", "", "ns", "mil²"
+    );
+    println!("{}", "-".repeat(66));
+    for (i, p) in table2_packages().iter().enumerate() {
+        println!(
+            "{:>2} | {:>8.2} | {:>8.2} | {:>14} | {:>9.1} | {:>8.2}",
+            i + 1,
+            p.width().value(),
+            p.height().value(),
+            p.pins(),
+            p.pad_delay().value(),
+            p.pad_area().value()
+        );
+    }
+}

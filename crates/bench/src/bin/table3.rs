@@ -1,0 +1,12 @@
+//! Regenerates Table 3: statistics on the results from BAD, experiment 1.
+
+fn main() {
+    let stats = chop_bench::prediction_stats(1);
+    print!(
+        "{}",
+        chop_bench::render_stats(
+            "Table 3: Statistics on the results from BAD for experiment 1",
+            &stats
+        )
+    );
+}

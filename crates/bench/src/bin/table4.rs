@@ -1,0 +1,7 @@
+//! Regenerates Table 4: results of experiment 1 (single-cycle operations,
+//! datapath clock 10× the 300 ns main clock, constraints 30 µs / 30 µs).
+
+fn main() {
+    let rows = chop_bench::experiment1_rows();
+    print!("{}", chop_bench::render_results("Table 4: Results of experiment 1", &rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 5: statistics on the results from BAD, experiment 2.
+
+fn main() {
+    let stats = chop_bench::prediction_stats(2);
+    print!(
+        "{}",
+        chop_bench::render_stats(
+            "Table 5: Statistics on the results from BAD for experiment 2",
+            &stats
+        )
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 6: results of experiment 2 (multi-cycle operations,
+//! datapath and transfer clocks at the 300 ns main clock, performance
+//! tightened to 20 µs).
+
+fn main() {
+    let rows = chop_bench::experiment2_rows();
+    print!("{}", chop_bench::render_results("Table 6: Results of experiment 2", &rows));
+}

@@ -1,0 +1,240 @@
+//! Hand-rolled option parsing (the approved dependency list has no clap).
+
+use std::fmt;
+
+/// Options shared by `check` and `tasks`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Spec file path.
+    pub spec: String,
+    /// Number of partitions (and default chips).
+    pub partitions: usize,
+    /// Number of chips (defaults to `partitions`).
+    pub chips: Option<usize>,
+    /// Package pins: 64 or 84 (Table 2).
+    pub package_pins: u32,
+    /// Performance constraint in ns.
+    pub performance: f64,
+    /// Delay constraint in ns.
+    pub delay: f64,
+    /// Optional system power limit in mW.
+    pub power: Option<f64>,
+    /// Multi-cycle operation style (default single-cycle).
+    pub multi_cycle: bool,
+    /// Datapath clock multiplier over the 300 ns main clock.
+    pub dp_mult: u32,
+    /// Heuristic: 'e' or 'i'.
+    pub heuristic: char,
+    /// Testability: none|partial|full.
+    pub testability: String,
+    /// On-chip memory placements: `(memory index, chip index)`.
+    pub on_chip_memories: Vec<(u32, u32)>,
+    /// Use the extended library (comparators, logic, shifters).
+    pub extended_library: bool,
+    /// Emit a markdown report instead of plain text (check only).
+    pub markdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            spec: String::new(),
+            partitions: 1,
+            chips: None,
+            package_pins: 84,
+            performance: 30_000.0,
+            delay: 30_000.0,
+            power: None,
+            multi_cycle: false,
+            dp_mult: 10,
+            heuristic: 'i',
+            testability: "none".to_owned(),
+            on_chip_memories: Vec::new(),
+            extended_library: false,
+            markdown: false,
+        }
+    }
+}
+
+/// A user-facing argument error.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (run `chop help`)", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `check`/`tasks` options from argv (after the subcommand).
+pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
+    let mut opts = Options::default();
+    let mut it = argv.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, ArgError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--partitions" | "-k" => {
+                opts.partitions = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--chips" => {
+                opts.chips = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--package" => {
+                let v: u32 = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if v != 64 && v != 84 {
+                    return Err(ArgError("--package must be 64 or 84".into()));
+                }
+                opts.package_pins = v;
+            }
+            "--perf" => {
+                opts.performance = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--delay" => {
+                opts.delay = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--power" => {
+                opts.power = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--multi-cycle" => {
+                opts.multi_cycle = true;
+                if opts.dp_mult == 10 {
+                    opts.dp_mult = 1;
+                }
+            }
+            "--dp-mult" => {
+                opts.dp_mult = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--heuristic" => {
+                let v = value(arg)?;
+                match v.as_str() {
+                    "e" | "E" => opts.heuristic = 'e',
+                    "i" | "I" => opts.heuristic = 'i',
+                    _ => return Err(ArgError("--heuristic must be e or i".into())),
+                }
+            }
+            "--testability" => {
+                let v = value(arg)?;
+                if !["none", "partial", "full"].contains(&v.as_str()) {
+                    return Err(ArgError("--testability must be none, partial or full".into()));
+                }
+                opts.testability = v;
+            }
+            "--on-chip-memory" => {
+                let v = value(arg)?;
+                let (m, c) = v
+                    .split_once(':')
+                    .ok_or_else(|| ArgError("--on-chip-memory wants M:CHIP".into()))?;
+                let m = m
+                    .trim_start_matches('M')
+                    .parse()
+                    .map_err(|_| ArgError("bad memory index".into()))?;
+                let c = c.parse().map_err(|_| ArgError("bad chip index".into()))?;
+                opts.on_chip_memories.push((m, c));
+            }
+            "--extended-library" => opts.extended_library = true,
+            "--markdown" => opts.markdown = true,
+            flag if flag.starts_with('-') => {
+                return Err(ArgError(format!("unknown option {flag}")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [spec] => opts.spec = spec.clone(),
+        [] => return Err(ArgError("missing <spec.cbs> argument".into())),
+        _ => return Err(ArgError("too many positional arguments".into())),
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_and_spec() {
+        let o = parse_options(&s(&["design.cbs"])).unwrap();
+        assert_eq!(o.spec, "design.cbs");
+        assert_eq!(o.partitions, 1);
+        assert_eq!(o.package_pins, 84);
+        assert!(!o.multi_cycle);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse_options(&s(&[
+            "d.cbs",
+            "--partitions",
+            "3",
+            "--package",
+            "64",
+            "--perf",
+            "20000",
+            "--delay",
+            "25000",
+            "--multi-cycle",
+            "--heuristic",
+            "e",
+            "--power",
+            "5000",
+            "--testability",
+            "full",
+            "--on-chip-memory",
+            "M0:1",
+        ]))
+        .unwrap();
+        assert_eq!(o.partitions, 3);
+        assert_eq!(o.package_pins, 64);
+        assert_eq!(o.performance, 20_000.0);
+        assert!(o.multi_cycle);
+        assert_eq!(o.dp_mult, 1);
+        assert_eq!(o.heuristic, 'e');
+        assert_eq!(o.power, Some(5000.0));
+        assert_eq!(o.testability, "full");
+        assert_eq!(o.on_chip_memories, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_options(&s(&["d.cbs", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_package() {
+        assert!(parse_options(&s(&["d.cbs", "--package", "100"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_spec() {
+        assert!(parse_options(&s(&["--partitions", "2"])).is_err());
+    }
+}

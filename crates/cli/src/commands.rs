@@ -1,0 +1,284 @@
+//! The `chop` subcommands.
+
+use std::error::Error;
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::testability::TestabilityOverhead;
+use chop_core::{report, Constraints, Heuristic, MemoryAssignment, Session};
+use chop_dfg::parse::parse_dfg;
+use chop_dfg::Dfg;
+use chop_library::standard::{
+    example_off_shelf_ram, example_on_chip_ram, extended_library, table1_library,
+    table2_packages,
+};
+use chop_library::{ChipId, ChipSet};
+use chop_stat::units::{MilliWatts, Nanos};
+
+use crate::args::{parse_options, ArgError, Options};
+
+const HELP: &str = "chop — constraint-driven system-level partitioner
+
+USAGE:
+  chop check <spec.cbs> [options]   decide feasibility of a partitioning
+  chop dot <spec.cbs>               print the DFG in Graphviz DOT
+  chop tasks <spec.cbs> [options]   print the task graph in DOT
+  chop format                       describe the spec file format
+  chop help                         this text
+
+OPTIONS (check / tasks):
+  --partitions, -k <N>     partitions via horizontal cut   [1]
+  --chips <N>              chips in the set                [= partitions]
+  --package <64|84>        MOSIS package pins (Table 2)    [84]
+  --perf <ns>              performance constraint          [30000]
+  --delay <ns>             system-delay constraint         [30000]
+  --power <mW>             optional system power limit
+  --multi-cycle            multi-cycle operations (sets --dp-mult 1)
+  --dp-mult <N>            datapath clock multiplier       [10]
+  --heuristic <e|i>        enumeration or iterative        [i]
+  --testability <none|partial|full>                        [none]
+  --on-chip-memory <M:C>   place memory block M on chip C  [off-the-shelf]
+  --extended-library       add comparators/logic/shifters to Table 1
+  --markdown               emit a markdown report (check only)
+";
+
+const FORMAT: &str = "Spec format (# comments, one definition per line):
+
+  x  = input 16          primary input, explicit width
+  c  = const 16          constant source
+  s  = add x c           add/sub/mul/div/logic/shift
+  t  = cmp s x           comparison (1-bit result)
+  r  = read M0 x         memory read: block, address
+  w  = write M0 x s      memory write: block, address, data
+  y  = output s          primary output
+";
+
+/// Dispatches a `chop` invocation.
+///
+/// # Errors
+///
+/// Returns a displayable error for bad usage, unreadable files, parse
+/// failures and infeasible configurations that cannot even be built.
+pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
+    match argv.first().map(String::as_str) {
+        Some("check") => check(&parse_options(&argv[1..])?),
+        Some("dot") => dot(&argv[1..]),
+        Some("tasks") => tasks(&parse_options(&argv[1..])?),
+        Some("format") => {
+            print!("{FORMAT}");
+            Ok(())
+        }
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
+    }
+}
+
+fn load_spec(path: &str) -> Result<Dfg, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path:?}: {e}")))?;
+    Ok(parse_dfg(&text)?)
+}
+
+fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
+    let dfg = load_spec(&opts.spec)?;
+    let packages = table2_packages();
+    let package = if opts.package_pins == 64 { &packages[0] } else { &packages[1] };
+    let chips = ChipSet::uniform(package.clone(), opts.chips.unwrap_or(opts.partitions));
+
+    // Declare every memory block the spec references. Default:
+    // off-the-shelf external part; --on-chip-memory overrides.
+    let mut max_memory: Option<u32> = None;
+    for (_, node) in dfg.nodes() {
+        if let Some(m) = node.op().memory() {
+            max_memory = Some(max_memory.map_or(m.index(), |x| x.max(m.index())));
+        }
+    }
+    let mut builder = PartitioningBuilder::new(dfg, chips).split_horizontal(opts.partitions);
+    if let Some(max) = max_memory {
+        for m in 0..=max {
+            match opts.on_chip_memories.iter().find(|(mi, _)| *mi == m) {
+                Some((_, chip)) => {
+                    builder = builder.with_memory(
+                        example_on_chip_ram(),
+                        MemoryAssignment::OnChip(ChipId::new(*chip)),
+                    );
+                }
+                None => {
+                    builder = builder
+                        .with_memory(example_off_shelf_ram(), MemoryAssignment::External);
+                }
+            }
+        }
+    }
+    let partitioning = builder.build()?;
+
+    let library = if opts.extended_library { extended_library() } else { table1_library() };
+    let style = if opts.multi_cycle {
+        ArchitectureStyle::multi_cycle()
+    } else {
+        ArchitectureStyle::single_cycle()
+    };
+    let mut constraints =
+        Constraints::new(Nanos::new(opts.performance), Nanos::new(opts.delay));
+    if let Some(mw) = opts.power {
+        constraints = constraints.with_power_limit(MilliWatts::new(mw));
+    }
+    let mut session = Session::new(
+        partitioning,
+        library,
+        ClockConfig::new(Nanos::new(300.0), opts.dp_mult, 1)?,
+        style,
+        PredictorParams::default(),
+        constraints,
+    );
+    session = match opts.testability.as_str() {
+        "partial" => session.with_testability(TestabilityOverhead::partial_scan()),
+        "full" => session.with_testability(TestabilityOverhead::full_scan()),
+        _ => session,
+    };
+    Ok(session)
+}
+
+fn check(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let session = build_session(opts)?;
+    let heuristic =
+        if opts.heuristic == 'e' { Heuristic::Enumeration } else { Heuristic::Iterative };
+    if opts.markdown {
+        let outcome = session.explore(heuristic)?;
+        print!("{}", report::markdown(&session, &outcome));
+        return Ok(());
+    }
+    print!("{}", report::environment(&session));
+    let outcome = session.explore(heuristic)?;
+    println!(
+        "heuristic {heuristic}: {} trials, {} feasible, {:.2?}",
+        outcome.trials, outcome.feasible_trials, outcome.elapsed
+    );
+    match outcome.feasible.first() {
+        Some(best) => {
+            println!("\n{}", report::guideline(best, session.library()));
+        }
+        None => {
+            println!("\nINFEASIBLE — no combination of predicted implementations works.");
+            println!("Try more chips/partitions, a larger package, or weaker constraints.");
+        }
+    }
+    Ok(())
+}
+
+fn dot(argv: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = argv
+        .first()
+        .ok_or_else(|| ArgError("dot needs a <spec.cbs> argument".into()))?;
+    let dfg = load_spec(path)?;
+    print!("{}", chop_dfg::dot::to_dot(&dfg));
+    Ok(())
+}
+
+fn tasks(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let session = build_session(opts)?;
+    print!("{}", report::task_graph_dot(session.partitioning()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_spec(name: &str, body: &str) -> String {
+        let dir = std::env::temp_dir().join("chop-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn argv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_and_format_print() {
+        assert!(run(&argv(&["help"])).is_ok());
+        assert!(run(&argv(&["format"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn check_runs_on_simple_spec() {
+        let path = write_spec(
+            "simple.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
+        );
+        assert!(run(&argv(&["check", &path])).is_ok());
+        assert!(run(&argv(&["check", &path, "--multi-cycle", "--heuristic", "e"])).is_ok());
+    }
+
+    #[test]
+    fn dot_and_tasks_run() {
+        let path = write_spec("dot.cbs", "a = input 8\ny = output a\n");
+        assert!(run(&argv(&["dot", &path])).is_ok());
+        assert!(run(&argv(&["tasks", &path, "--partitions", "1"])).is_ok());
+    }
+
+    #[test]
+    fn memory_spec_defaults_to_off_the_shelf() {
+        let path = write_spec(
+            "mem.cbs",
+            "a = input 16\nr = read M0 a\np = mul r a\ny = output p\n",
+        );
+        assert!(run(&argv(&["check", &path, "--multi-cycle"])).is_ok());
+        assert!(run(&argv(&["check", &path, "--multi-cycle", "--on-chip-memory", "M0:0"]))
+            .is_ok());
+    }
+
+    #[test]
+    fn markdown_report_flag_accepted() {
+        let path = write_spec(
+            "md.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
+        );
+        assert!(run(&argv(&["check", &path, "--multi-cycle", "--markdown"])).is_ok());
+    }
+
+    #[test]
+    fn shipped_spec_files_all_check() {
+        let specs = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../specs");
+        let mut found = 0;
+        for entry in std::fs::read_dir(specs).expect("specs/ directory ships with the repo") {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "cbs") {
+                found += 1;
+                let p = path.to_string_lossy().into_owned();
+                assert!(
+                    run(&argv(&["check", &p, "--multi-cycle", "--partitions", "2"])).is_ok(),
+                    "{p} failed"
+                );
+                assert!(run(&argv(&["dot", &p])).is_ok());
+            }
+        }
+        assert!(found >= 3, "expected the shipped spec files, found {found}");
+    }
+
+    #[test]
+    fn missing_file_reports_cleanly() {
+        let err = run(&argv(&["check", "/nonexistent/x.cbs"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let path = write_spec("bad.cbs", "a = input 16\nb = add a ghost\n");
+        let err = run(&argv(&["check", &path])).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `chop` — command-line front end for the CHOP partitioner.
+//!
+//! ```text
+//! chop check <spec.cbs> [options]   decide feasibility of a partitioning
+//! chop dot <spec.cbs>               print the DFG in Graphviz DOT
+//! chop tasks <spec.cbs> [options]   print the task graph in DOT (Fig. 3)
+//! chop format                       describe the spec file format
+//! ```
+//!
+//! Run `chop help` for the full option list.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("chop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

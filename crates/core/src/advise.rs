@@ -1,0 +1,373 @@
+//! System-level advising: automated what-if sweeps over the modification
+//! axes of §2.7.
+//!
+//! The paper positions CHOP "as a system-level advisor — the designer can
+//! easily check the effects of system-level decisions in real-time" and
+//! names the automation of interleaved memory/behavior partitioning as
+//! future work (§2.2, §5). This module closes that loop for two axes:
+//!
+//! * [`best_memory_assignment`] — greedy sweep of every on-chip memory
+//!   block across the chip set,
+//! * [`improve_by_migration`] — greedy operation migration across
+//!   partition boundaries (a Kernighan–Lin-flavoured improvement loop
+//!   driven by CHOP's own feasibility analysis instead of cut size).
+
+use chop_library::{ChipId, MemoryId, MemoryPlacement};
+
+use crate::error::ChopError;
+use crate::explorer::{Heuristic, SearchOutcome, Session};
+use crate::spec::{PartitionId, Partitioning};
+
+/// A recommended partitioning with the outcome that justified it.
+#[derive(Debug)]
+pub struct Advice {
+    /// The recommended partitioning.
+    pub partitioning: Partitioning,
+    /// Its exploration outcome.
+    pub outcome: SearchOutcome,
+    /// Number of candidate partitionings explored to reach it.
+    pub candidates_examined: usize,
+}
+
+/// Total order on outcomes: feasible beats infeasible; then lower best
+/// initiation interval (ns), then lower best delay (ns).
+fn score(outcome: &SearchOutcome) -> (u8, f64, f64) {
+    match outcome
+        .feasible
+        .iter()
+        .map(|f| (f.system.initiation_ns.likely(), f.system.delay_ns.likely()))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    {
+        Some((ii, delay)) => (0, ii, delay),
+        None => (1, f64::INFINITY, f64::INFINITY),
+    }
+}
+
+fn better(a: &SearchOutcome, b: &SearchOutcome) -> bool {
+    score(a) < score(b)
+}
+
+/// Greedily reassigns each on-chip memory block to the chip that gives the
+/// best exploration outcome, one block at a time.
+///
+/// Off-the-shelf memories are left alone (they have no chip). Returns the
+/// original partitioning unchanged if nothing improves.
+///
+/// # Errors
+///
+/// Propagates any [`ChopError`] from the underlying explorations.
+pub fn best_memory_assignment(
+    session: &Session,
+    heuristic: Heuristic,
+) -> Result<Advice, ChopError> {
+    let mut best_partitioning = session.partitioning().clone();
+    let mut best_outcome = session.explore(heuristic)?;
+    let mut examined = 1usize;
+    let memory_count = best_partitioning.memories().len();
+    for mi in 0..memory_count {
+        let id = MemoryId::new(mi as u32);
+        if best_partitioning.memories()[mi].placement() != MemoryPlacement::OnChip {
+            continue;
+        }
+        let chip_count = best_partitioning.chips().len();
+        for c in 0..chip_count {
+            let chip = ChipId::new(c as u32);
+            let Ok(candidate) = best_partitioning.with_memory_on_chip(id, chip) else {
+                continue;
+            };
+            if candidate == best_partitioning {
+                continue;
+            }
+            let outcome =
+                session.clone().with_partitioning(candidate.clone()).explore(heuristic)?;
+            examined += 1;
+            if better(&outcome, &best_outcome) {
+                best_outcome = outcome;
+                best_partitioning = candidate;
+            }
+        }
+    }
+    Ok(Advice {
+        partitioning: best_partitioning,
+        outcome: best_outcome,
+        candidates_examined: examined,
+    })
+}
+
+/// Greedy operation migration: repeatedly tries moving boundary operations
+/// to the partition on the other side of the cut and keeps the best
+/// improving move, up to `max_moves` moves.
+///
+/// A node is a *boundary* node if one of its edges crosses partitions.
+/// Moves that would empty a partition or create mutual data dependency are
+/// skipped automatically.
+///
+/// # Errors
+///
+/// Propagates any [`ChopError`] from the underlying explorations.
+pub fn improve_by_migration(
+    session: &Session,
+    heuristic: Heuristic,
+    max_moves: usize,
+) -> Result<Advice, ChopError> {
+    let mut current = session.partitioning().clone();
+    let mut current_outcome = session.explore(heuristic)?;
+    let mut examined = 1usize;
+    for _ in 0..max_moves {
+        let mut best_move: Option<(Partitioning, SearchOutcome)> = None;
+        for (node, target) in boundary_moves(&current) {
+            let Ok(candidate) = current.with_node_moved(node, target) else { continue };
+            let outcome =
+                session.clone().with_partitioning(candidate.clone()).explore(heuristic)?;
+            examined += 1;
+            let beats_incumbent = better(&outcome, &current_outcome);
+            let beats_best = best_move
+                .as_ref()
+                .is_none_or(|(_, best)| better(&outcome, best));
+            if beats_incumbent && beats_best {
+                best_move = Some((candidate, outcome));
+            }
+        }
+        match best_move {
+            Some((p, o)) => {
+                current = p;
+                current_outcome = o;
+            }
+            None => break, // local optimum
+        }
+    }
+    Ok(Advice { partitioning: current, outcome: current_outcome, candidates_examined: examined })
+}
+
+/// Finds the smallest chip count in `1..=max_chips` whose horizontal
+/// partitioning meets the session's constraints, returning it with the
+/// outcomes of every count tried (the designer's first question: *how
+/// many chips does this behavior need?*).
+///
+/// Uses the session's package for every chip (the chip set is rebuilt per
+/// count). Returns `None` in the advice position when no count within the
+/// limit is feasible.
+///
+/// # Errors
+///
+/// Propagates exploration errors; partitionings that cannot be *built*
+/// for some count (more chips than operations) simply end the sweep.
+///
+/// # Examples
+///
+/// ```
+/// use chop_core::advise::minimum_chip_count;
+/// use chop_core::experiments::{experiment2_session, Exp2Config};
+/// use chop_core::Heuristic;
+///
+/// let session = experiment2_session(&Exp2Config { partitions: 1, package: 1 })?;
+/// let (best, tried) = minimum_chip_count(&session, Heuristic::Iterative, 3)?;
+/// assert_eq!(best, Some(1)); // the AR filter fits one chip at 20 µs
+/// assert!(!tried.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimum_chip_count(
+    session: &Session,
+    heuristic: Heuristic,
+    max_chips: usize,
+) -> Result<(Option<usize>, Vec<(usize, SearchOutcome)>), ChopError> {
+    use crate::spec::PartitioningBuilder;
+    let mut tried = Vec::new();
+    let base = session.partitioning();
+    let package = base.chips().chip(chop_library::ChipId::new(0)).clone();
+    for k in 1..=max_chips {
+        if k > base.dfg().len() {
+            break;
+        }
+        let chips = chop_library::ChipSet::uniform(package.clone(), k);
+        let mut builder =
+            PartitioningBuilder::new(base.dfg().clone(), chips).split_horizontal(k);
+        // Carry the memory blocks over; on-chip blocks whose chip no
+        // longer exists are clamped onto the last chip.
+        for (mi, mem) in base.memories().iter().enumerate() {
+            let assignment =
+                match base.memory_assignment(chop_library::MemoryId::new(mi as u32)) {
+                    crate::spec::MemoryAssignment::OnChip(c) => {
+                        let clamped = c.index().min(k - 1);
+                        crate::spec::MemoryAssignment::OnChip(chop_library::ChipId::new(
+                            clamped as u32,
+                        ))
+                    }
+                    external @ crate::spec::MemoryAssignment::External => external,
+                };
+            builder = builder.with_memory(mem.clone(), assignment);
+        }
+        let Ok(partitioning) = builder.build() else {
+            break;
+        };
+        let outcome =
+            session.clone().with_partitioning(partitioning).explore(heuristic)?;
+        let feasible = !outcome.feasible.is_empty();
+        tried.push((k, outcome));
+        if feasible {
+            return Ok((Some(k), tried));
+        }
+    }
+    Ok((None, tried))
+}
+
+/// Candidate `(node, target partition)` moves: every node with a crossing
+/// edge, toward each neighbouring partition.
+fn boundary_moves(p: &Partitioning) -> Vec<(chop_dfg::NodeId, PartitionId)> {
+    let dfg = p.dfg();
+    let grouping = p.grouping();
+    let mut moves = Vec::new();
+    for (_, e) in dfg.edges() {
+        let sg = grouping.group_of(e.src());
+        let dg = grouping.group_of(e.dst());
+        if sg != dg {
+            moves.push((e.src(), PartitionId::new(dg as u32)));
+            moves.push((e.dst(), PartitionId::new(sg as u32)));
+        }
+    }
+    moves.sort_by_key(|(n, t)| (n.index(), t.index()));
+    moves.dedup();
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+    use chop_dfg::{benchmarks, DfgBuilder, MemoryRef, Operation};
+    use chop_library::standard::{example_on_chip_ram, table1_library, table2_packages};
+    use chop_library::ChipSet;
+    use chop_stat::units::{Bits, Nanos};
+
+    use super::*;
+    use crate::feasibility::Constraints;
+    use crate::spec::{MemoryAssignment, PartitioningBuilder};
+
+    fn memory_workload() -> chop_dfg::Dfg {
+        // Two halves; the first reads M0 heavily, the second is pure
+        // datapath — M0 clearly belongs near partition 1.
+        let mut b = DfgBuilder::new();
+        let w = Bits::new(16);
+        let m = MemoryRef::new(0);
+        let addr = b.node(Operation::Input, w);
+        let r1 = b.node(Operation::MemRead(m), w);
+        let r2 = b.node(Operation::MemRead(m), w);
+        b.connect(addr, r1).unwrap();
+        b.connect(addr, r2).unwrap();
+        let s1 = b.node(Operation::Add, w);
+        b.connect(r1, s1).unwrap();
+        b.connect(r2, s1).unwrap();
+        let x = b.node(Operation::Input, w);
+        let p1 = b.node(Operation::Mul, w);
+        b.connect(s1, p1).unwrap();
+        b.connect(x, p1).unwrap();
+        let p2 = b.node(Operation::Mul, w);
+        b.connect(p1, p2).unwrap();
+        b.connect(x, p2).unwrap();
+        let o = b.node(Operation::Output, w);
+        b.connect(p2, o).unwrap();
+        b.build().unwrap()
+    }
+
+    fn memory_session(mem_chip: u32) -> Session {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
+        let p = PartitioningBuilder::new(memory_workload(), chips)
+            .split_horizontal(2)
+            .with_memory(
+                example_on_chip_ram(),
+                MemoryAssignment::OnChip(ChipId::new(mem_chip)),
+            )
+            .build()
+            .unwrap();
+        Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+        )
+    }
+
+    #[test]
+    fn memory_advice_never_worse_than_start() {
+        let session = memory_session(1); // deliberately far from the reads
+        let base = session.explore(Heuristic::Iterative).unwrap();
+        let advice = best_memory_assignment(&session, Heuristic::Iterative).unwrap();
+        assert!(advice.candidates_examined >= 2);
+        assert!(score(&advice.outcome) <= score(&base));
+    }
+
+    #[test]
+    fn migration_never_worse_than_start() {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips)
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        let session = Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        let base = session.explore(Heuristic::Iterative).unwrap();
+        let advice = improve_by_migration(&session, Heuristic::Iterative, 3).unwrap();
+        assert!(score(&advice.outcome) <= score(&base));
+        assert!(advice.candidates_examined >= 1);
+    }
+
+    #[test]
+    fn minimum_chip_count_matches_experiments() {
+        use crate::experiments::{experiment2_session, Exp2Config};
+        // Exp-2: feasible on one chip at 20 µs.
+        let s = experiment2_session(&Exp2Config { partitions: 1, package: 1 }).unwrap();
+        let (best, tried) = minimum_chip_count(&s, Heuristic::Iterative, 3).unwrap();
+        assert_eq!(best, Some(1));
+        assert_eq!(tried.len(), 1);
+
+        // Tighten performance to 10 µs: one chip can no longer keep up,
+        // but two or three can (II 20 × ~370 ns ≈ 7.4 µs).
+        let tight = s.with_constraints(crate::feasibility::Constraints::new(
+            chop_stat::units::Nanos::new(10_000.0),
+            chop_stat::units::Nanos::new(30_000.0),
+        ));
+        let (best, tried) = minimum_chip_count(&tight, Heuristic::Iterative, 3).unwrap();
+        assert_eq!(best, Some(2), "tried: {:?}", tried.iter().map(|(k, o)| (*k, o.feasible.len())).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minimum_chip_count_reports_failure() {
+        use crate::experiments::{experiment1_session, Exp1Config};
+        let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
+            .unwrap()
+            .with_constraints(crate::feasibility::Constraints::new(
+                chop_stat::units::Nanos::new(100.0),
+                chop_stat::units::Nanos::new(100.0),
+            ));
+        let (best, tried) = minimum_chip_count(&s, Heuristic::Iterative, 2).unwrap();
+        assert_eq!(best, None);
+        assert_eq!(tried.len(), 2);
+    }
+
+    #[test]
+    fn boundary_moves_only_touch_cut_nodes() {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips)
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        for (node, target) in boundary_moves(&p) {
+            let own = p.grouping().group_of(node);
+            assert_ne!(own, target.index(), "move must change partition");
+            // The node really has a crossing edge.
+            let crossing = p
+                .dfg()
+                .succ_nodes(node)
+                .chain(p.dfg().pred_nodes(node))
+                .any(|n| p.grouping().group_of(n) != own);
+            assert!(crossing);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use chop_bad::PredictError;
+use chop_dfg::grouping::GroupingError;
+use chop_sched::urgency::UrgencyError;
+
+use crate::spec::SpecError;
+
+/// Any error CHOP can report to the designer.
+#[derive(Debug)]
+pub enum ChopError {
+    /// The tentative partitioning itself is malformed.
+    Spec(SpecError),
+    /// The node grouping is malformed (empty group, mutual dependency…).
+    Grouping(GroupingError),
+    /// BAD could not predict implementations for a partition.
+    Predict {
+        /// The partition whose prediction failed.
+        partition: usize,
+        /// The underlying predictor error.
+        source: PredictError,
+    },
+    /// Task scheduling failed during system integration.
+    Integration(UrgencyError),
+    /// Level-1 pruning removed every prediction of a partition — no
+    /// implementation of that partition can meet the constraints.
+    NoFeasiblePrediction {
+        /// The partition with no surviving predictions.
+        partition: usize,
+    },
+}
+
+impl fmt::Display for ChopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChopError::Spec(e) => write!(f, "invalid partitioning: {e}"),
+            ChopError::Grouping(e) => write!(f, "invalid grouping: {e}"),
+            ChopError::Predict { partition, source } => {
+                write!(f, "prediction failed for partition P{}: {source}", partition + 1)
+            }
+            ChopError::Integration(e) => write!(f, "system integration failed: {e}"),
+            ChopError::NoFeasiblePrediction { partition } => write!(
+                f,
+                "no predicted implementation of partition P{} meets the constraints",
+                partition + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChopError::Spec(e) => Some(e),
+            ChopError::Grouping(e) => Some(e),
+            ChopError::Predict { source, .. } => Some(source),
+            ChopError::Integration(e) => Some(e),
+            ChopError::NoFeasiblePrediction { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for ChopError {
+    fn from(e: SpecError) -> Self {
+        ChopError::Spec(e)
+    }
+}
+
+impl From<GroupingError> for ChopError {
+    fn from(e: GroupingError) -> Self {
+        ChopError::Grouping(e)
+    }
+}
+
+impl From<UrgencyError> for ChopError {
+    fn from(e: UrgencyError) -> Self {
+        ChopError::Integration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChopError::NoFeasiblePrediction { partition: 1 };
+        assert!(e.to_string().contains("P2"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Canned configurations of the paper's two experiments (§3).
+//!
+//! Both experiments partition the AR lattice filter (Fig. 6) with the
+//! Table 1 library and Table 2 packages, main clock 300 ns, feasibility
+//! criteria 100 %/100 %/80 %:
+//!
+//! * **Experiment 1** — single-cycle operations, datapath clock 10× the
+//!   main clock, transfer clock = main clock, performance = delay =
+//!   30 000 ns; partitionings of 1, 2 and 3 partitions, one chip each.
+//! * **Experiment 2** — multi-cycle operations, datapath and transfer
+//!   clocks = main clock, performance tightened to 20 000 ns.
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_dfg::benchmarks;
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+use crate::explorer::Session;
+use crate::feasibility::Constraints;
+use crate::spec::{BuildError, PartitioningBuilder};
+
+/// Configuration of one experiment-1 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exp1Config {
+    /// Number of partitions (1–3 in the paper), one chip per partition.
+    pub partitions: usize,
+    /// Table 2 package index (0 = 64-pin, 1 = 84-pin).
+    pub package: usize,
+}
+
+/// Configuration of one experiment-2 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exp2Config {
+    /// Number of partitions (1–3 in the paper), one chip per partition.
+    pub partitions: usize,
+    /// Table 2 package index (the paper uses only package 2 here).
+    pub package: usize,
+}
+
+/// The main clock period shared by both experiments.
+#[must_use]
+pub fn main_clock() -> Nanos {
+    Nanos::new(300.0)
+}
+
+/// Builds the experiment-1 session for a given partition count and
+/// package.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] if the partitioning cannot be constructed
+/// (out-of-range package index panics instead, as it is a caller bug).
+///
+/// # Panics
+///
+/// Panics if `config.package` is not 0 or 1.
+pub fn experiment1_session(config: &Exp1Config) -> Result<Session, BuildError> {
+    let packages = table2_packages();
+    let pkg = packages[config.package].clone();
+    let dfg = benchmarks::ar_lattice_filter();
+    let chips = ChipSet::uniform(pkg, config.partitions);
+    let partitioning = PartitioningBuilder::new(dfg, chips)
+        .split_horizontal(config.partitions)
+        .build()?;
+    Ok(Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(main_clock(), 10, 1).expect("valid clocks"),
+        ArchitectureStyle::single_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+    ))
+}
+
+/// Builds the experiment-2 session: multi-cycle operations, datapath and
+/// transfer clocks at the main clock, performance 20 000 ns and delay
+/// 30 000 ns.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] if the partitioning cannot be constructed.
+///
+/// # Panics
+///
+/// Panics if `config.package` is not 0 or 1.
+pub fn experiment2_session(config: &Exp2Config) -> Result<Session, BuildError> {
+    let packages = table2_packages();
+    let pkg = packages[config.package].clone();
+    let dfg = benchmarks::ar_lattice_filter();
+    let chips = ChipSet::uniform(pkg, config.partitions);
+    let partitioning = PartitioningBuilder::new(dfg, chips)
+        .split_horizontal(config.partitions)
+        .build()?;
+    Ok(Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(main_clock(), 1, 1).expect("valid clocks"),
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(20_000.0), Nanos::new(30_000.0)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explorer::Heuristic;
+
+    use super::*;
+
+    #[test]
+    fn experiment1_sessions_build_for_all_paper_rows() {
+        for partitions in 1..=3 {
+            for package in 0..=1 {
+                let s = experiment1_session(&Exp1Config { partitions, package }).unwrap();
+                assert_eq!(s.partitioning().partition_count(), partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn experiment2_constraint_is_tightened() {
+        let s = experiment2_session(&Exp2Config { partitions: 1, package: 1 }).unwrap();
+        assert_eq!(s.constraints().performance().value(), 20_000.0);
+        assert_eq!(s.constraints().delay().value(), 30_000.0);
+    }
+
+    #[test]
+    fn experiment1_single_partition_matches_table4_shape() {
+        let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 }).unwrap();
+        let outcome = s.explore(Heuristic::Enumeration).unwrap();
+        // Table 4 row 1: one feasible trial, II = 60 cycles, clock ≈ 312 ns.
+        assert!(outcome.feasible_trials >= 1);
+        let best = outcome
+            .feasible
+            .iter()
+            .min_by_key(|f| f.system.initiation_interval.value())
+            .unwrap();
+        // Clock: main 300 ns plus a small transfer-path overhead.
+        let clock = best.system.clock.likely();
+        assert!((300.0..330.0).contains(&clock), "clock {clock} out of Table 4 range");
+    }
+}

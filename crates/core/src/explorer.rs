@@ -1,0 +1,402 @@
+//! The designer-facing session: predict, prune, search, report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use chop_bad::prune::{prune, PredictionStats};
+use chop_bad::{
+    ArchitectureStyle, ClockConfig, PartitionEnvelope, PredictedDesign, Predictor,
+    PredictorParams,
+};
+use chop_library::{ChipSet, Library};
+
+use crate::error::ChopError;
+use crate::feasibility::{Constraints, FeasibilityCriteria};
+use crate::heuristics::{self, HeuristicResult};
+use crate::integration::IntegrationContext;
+use crate::spec::Partitioning;
+use crate::testability::TestabilityOverhead;
+
+pub use crate::heuristics::{DesignPoint, FeasibleImplementation};
+
+/// Which combination-search heuristic to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// Heuristic **E**: explicit enumeration of all combinations.
+    Enumeration,
+    /// Heuristic **I**: iterative serialization (Fig. 5).
+    Iterative,
+}
+
+impl fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Heuristic::Enumeration => write!(f, "E"),
+            Heuristic::Iterative => write!(f, "I"),
+        }
+    }
+}
+
+/// The result of one exploration run — the fields of one row block in the
+/// paper's Tables 4 and 6, plus the recorded design space.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Heuristic that produced this outcome.
+    pub heuristic: Heuristic,
+    /// Feasible, non-inferior global implementations.
+    pub feasible: Vec<FeasibleImplementation>,
+    /// Global combinations examined ("Partitioning Imp. Trials").
+    pub trials: usize,
+    /// Feasible trials.
+    pub feasible_trials: usize,
+    /// Per-partition BAD statistics (Tables 3 and 5).
+    pub prediction_stats: Vec<PredictionStats>,
+    /// Wall-clock search time (the "CPU Time" column analogue).
+    pub elapsed: Duration,
+    /// Every design point examined (keep-all mode only).
+    pub points: Vec<DesignPoint>,
+}
+
+impl SearchOutcome {
+    /// Total BAD predictions across partitions (Tables 3/5 "Total number
+    /// of predictions").
+    #[must_use]
+    pub fn total_predictions(&self) -> usize {
+        self.prediction_stats.iter().map(|s| s.total).sum()
+    }
+
+    /// Feasible BAD predictions across partitions.
+    #[must_use]
+    pub fn feasible_predictions(&self) -> usize {
+        self.prediction_stats.iter().map(|s| s.feasible).sum()
+    }
+
+    /// Number of unique design points among those examined (Figures 7/8
+    /// report "13411 (699 unique) designs").
+    #[must_use]
+    pub fn unique_points(&self) -> usize {
+        let mut keys: Vec<_> = self.points.iter().map(DesignPoint::unique_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+impl fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heuristic {}: {} trials, {} feasible ({} non-inferior kept) in {:.2?}",
+            self.heuristic,
+            self.trials,
+            self.feasible_trials,
+            self.feasible.len(),
+            self.elapsed
+        )
+    }
+}
+
+/// A CHOP session: one tentative partitioning plus the prediction and
+/// feasibility configuration, with what-if modification methods
+/// (paper §2.7).
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Session {
+    partitioning: Partitioning,
+    library: Library,
+    clocks: ClockConfig,
+    style: ArchitectureStyle,
+    params: PredictorParams,
+    constraints: Constraints,
+    criteria: FeasibilityCriteria,
+    testability: TestabilityOverhead,
+    prune: bool,
+    keep_all: bool,
+}
+
+impl Session {
+    /// Creates a session with the paper's default feasibility criteria,
+    /// pruning enabled and keep-all disabled.
+    #[must_use]
+    pub fn new(
+        partitioning: Partitioning,
+        library: Library,
+        clocks: ClockConfig,
+        style: ArchitectureStyle,
+        params: PredictorParams,
+        constraints: Constraints,
+    ) -> Self {
+        Self {
+            partitioning,
+            library,
+            clocks,
+            style,
+            params,
+            constraints,
+            criteria: FeasibilityCriteria::paper_defaults(),
+            testability: TestabilityOverhead::none(),
+            prune: true,
+            keep_all: false,
+        }
+    }
+
+    /// Applies a testability discipline to every chip (§5 future work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead fractions are invalid.
+    #[must_use]
+    pub fn with_testability(mut self, testability: TestabilityOverhead) -> Self {
+        testability.assert_valid();
+        self.testability = testability;
+        self
+    }
+
+    /// Overrides the feasibility criteria.
+    #[must_use]
+    pub fn with_criteria(mut self, criteria: FeasibilityCriteria) -> Self {
+        self.criteria = criteria;
+        self
+    }
+
+    /// Enables or disables level-1/2 pruning (disable to observe the whole
+    /// design space, at the cost the paper quantifies in §3.1).
+    #[must_use]
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Enables keep-all recording of every examined design point
+    /// (Figures 7/8).
+    #[must_use]
+    pub fn with_keep_all(mut self, keep_all: bool) -> Self {
+        self.keep_all = keep_all;
+        self
+    }
+
+    /// The tentative partitioning under study.
+    #[must_use]
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The hard constraints in force.
+    #[must_use]
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// The clock configuration in force.
+    #[must_use]
+    pub fn clocks(&self) -> &ClockConfig {
+        &self.clocks
+    }
+
+    /// The component library in force.
+    #[must_use]
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// What-if: replaces the partitioning (operation migration, partition
+    /// migration — build the new [`Partitioning`] first).
+    #[must_use]
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// What-if: replaces the target chip set (§2.7 "Target chip set").
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`crate::spec::SpecError`] if the set is
+    /// empty or too small for the current assignment.
+    pub fn with_chip_set(mut self, chips: ChipSet) -> Result<Self, crate::spec::SpecError> {
+        self.partitioning = self.partitioning.with_chip_set(chips)?;
+        Ok(self)
+    }
+
+    /// What-if: replaces the constraints (§2.7 "Constraints").
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Runs BAD on every partition and applies level-1 pruning (unless
+    /// disabled), returning the surviving lists and the Table 3/5
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChopError::Predict`] if BAD cannot serve a partition.
+    pub fn predict_partitions(
+        &self,
+    ) -> Result<(Vec<Vec<PredictedDesign>>, Vec<PredictionStats>), ChopError> {
+        let predictor =
+            Predictor::new(self.library.clone(), self.clocks, self.style, self.params);
+        let mut lists = Vec::with_capacity(self.partitioning.partition_count());
+        let mut stats = Vec::with_capacity(self.partitioning.partition_count());
+        for p in self.partitioning.partition_ids() {
+            let sub = self.partitioning.partition_dfg(p);
+            let designs = predictor
+                .predict(&sub)
+                .map_err(|source| ChopError::Predict { partition: p.index(), source })?;
+            let chip = self.partitioning.chips().chip(self.partitioning.chip_of(p));
+            let envelope = PartitionEnvelope::new(
+                chip.usable_area(),
+                self.constraints.performance(),
+                self.constraints.delay(),
+            )
+            .with_thresholds(self.criteria.area, self.criteria.performance, self.criteria.delay);
+            if self.prune {
+                let (kept, s) = prune(designs, &envelope, &self.clocks);
+                lists.push(kept);
+                stats.push(s);
+            } else {
+                // Statistics still reflect what pruning *would* keep.
+                let total = designs.len();
+                let feasible = designs
+                    .iter()
+                    .filter(|d| envelope.admits(d, &self.clocks))
+                    .count();
+                stats.push(PredictionStats { total, feasible, non_inferior: total });
+                lists.push(designs);
+            }
+        }
+        Ok((lists, stats))
+    }
+
+    /// Runs the full CHOP flow: per-partition prediction, level-1 pruning,
+    /// combination search with the chosen heuristic and system-integration
+    /// feasibility analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChopError`] for prediction or structural integration
+    /// failures; an infeasible partitioning is a normal outcome with an
+    /// empty `feasible` list.
+    pub fn explore(&self, heuristic: Heuristic) -> Result<SearchOutcome, ChopError> {
+        let (lists, stats) = self.predict_partitions()?;
+        let ctx = IntegrationContext::new(
+            &self.partitioning,
+            &self.library,
+            self.clocks,
+            self.params,
+            self.criteria,
+            self.constraints,
+        )
+        .with_testability(self.testability);
+        let start = Instant::now();
+        let result: HeuristicResult = match heuristic {
+            Heuristic::Enumeration => {
+                heuristics::enumeration::run(&ctx, &lists, self.prune, self.keep_all)?
+            }
+            Heuristic::Iterative => {
+                heuristics::iterative::run(&ctx, &lists, self.clocks.main_cycle(), self.keep_all)?
+            }
+        };
+        let elapsed = start.elapsed();
+        Ok(SearchOutcome {
+            heuristic,
+            feasible: result.feasible,
+            trials: result.trials,
+            feasible_trials: result.feasible_trials,
+            prediction_stats: stats,
+            elapsed,
+            points: result.points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::benchmarks;
+    use chop_library::standard::{table1_library, table2_packages};
+    use chop_stat::units::Nanos;
+
+    use super::*;
+    use crate::spec::PartitioningBuilder;
+
+    fn session(k: usize) -> Session {
+        let p = PartitioningBuilder::new(
+            benchmarks::ar_lattice_filter(),
+            ChipSet::uniform(table2_packages()[1].clone(), k),
+        )
+        .split_horizontal(k)
+        .build()
+        .unwrap();
+        Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+    }
+
+    #[test]
+    fn both_heuristics_find_feasible_designs() {
+        for h in [Heuristic::Enumeration, Heuristic::Iterative] {
+            let outcome = session(1).explore(h).unwrap();
+            assert!(outcome.feasible_trials >= 1, "{h} found nothing");
+            assert!(!outcome.feasible.is_empty());
+        }
+    }
+
+    #[test]
+    fn heuristics_agree_on_best_initiation_interval_single_chip() {
+        let e = session(1).explore(Heuristic::Enumeration).unwrap();
+        let i = session(1).explore(Heuristic::Iterative).unwrap();
+        let best = |o: &SearchOutcome| {
+            o.feasible
+                .iter()
+                .map(|f| f.system.initiation_interval.value())
+                .min()
+                .unwrap()
+        };
+        assert_eq!(best(&e), best(&i));
+    }
+
+    #[test]
+    fn keep_all_mode_records_points() {
+        let outcome = session(1)
+            .with_pruning(false)
+            .with_keep_all(true)
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        assert_eq!(outcome.points.len(), outcome.trials);
+        assert!(outcome.unique_points() > 0);
+        assert!(outcome.unique_points() <= outcome.points.len());
+    }
+
+    #[test]
+    fn stats_cover_each_partition() {
+        let outcome = session(2).explore(Heuristic::Iterative).unwrap();
+        assert_eq!(outcome.prediction_stats.len(), 2);
+        assert!(outcome.total_predictions() > 0);
+    }
+
+    #[test]
+    fn outcome_display_is_informative() {
+        let outcome = session(1).explore(Heuristic::Iterative).unwrap();
+        let text = outcome.to_string();
+        assert!(text.contains("heuristic I"));
+        assert!(text.contains("trials"));
+    }
+
+    #[test]
+    fn what_if_constraint_change_applies() {
+        let s = session(1);
+        let tightened = s
+            .clone()
+            .with_constraints(Constraints::new(Nanos::new(300.0), Nanos::new(300.0)));
+        let loose = s.explore(Heuristic::Iterative).unwrap();
+        let tight = tightened.explore(Heuristic::Iterative).unwrap();
+        assert!(tight.feasible.len() <= loose.feasible.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! Heuristic **E**: explicit enumeration of implementation combinations.
+//!
+//! "The heuristic searches all possible combinations of implementing the
+//! global design (partitioning), given the predicted implementations of
+//! individual partitions. … The heuristic assumes that the performance of
+//! each combination is upper bounded and set by the slowest partition
+//! implementation in the combination" (paper §2.4).
+
+use chop_bad::PredictedDesign;
+use chop_stat::units::Cycles;
+
+use crate::error::ChopError;
+use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
+use crate::integration::IntegrationContext;
+
+/// Runs the enumeration heuristic.
+///
+/// `designs` holds the (already level-1-pruned) prediction list of each
+/// partition. With `prune` on, combinations that transparently violate a
+/// chip-area budget (even with every lower bound) are counted as trials
+/// but not integrated — CHOP's "discard … immediately upon detection".
+/// With `keep_all` on, every examined point is recorded for Figure-7-style
+/// design-space dumps.
+///
+/// # Errors
+///
+/// Returns [`ChopError::Integration`] only for structural task-graph
+/// failures; infeasible combinations are recorded, not errors.
+pub fn run(
+    ctx: &IntegrationContext<'_>,
+    designs: &[Vec<PredictedDesign>],
+    prune: bool,
+    keep_all: bool,
+) -> Result<HeuristicResult, ChopError> {
+    let mut result = HeuristicResult::default();
+    if designs.iter().any(Vec::is_empty) {
+        return Ok(result);
+    }
+    let min_transfer_ii = ctx.min_transfer_ii().value();
+    let mut index = vec![0usize; designs.len()];
+    loop {
+        let selection: Vec<&PredictedDesign> =
+            index.iter().zip(designs).map(|(&i, list)| &list[i]).collect();
+        result.trials += 1;
+
+        let ii = selection
+            .iter()
+            .map(|d| d.initiation_interval().value())
+            .max()
+            .expect("non-empty selection")
+            .max(min_transfer_ii);
+
+        let quick_reject = prune && quick_area_reject(ctx, &selection);
+        if !quick_reject {
+            let system = ctx.evaluate(&selection, Cycles::new(ii))?;
+            if keep_all {
+                result.points.push(DesignPoint::from_system(&system));
+            }
+            if system.verdict.feasible {
+                result.feasible_trials += 1;
+                result.feasible.push(FeasibleImplementation {
+                    selection: selection.iter().map(|d| (*d).clone()).collect(),
+                    system,
+                });
+            }
+        }
+
+        // Odometer increment.
+        let mut pos = designs.len();
+        loop {
+            if pos == 0 {
+                result.retain_non_inferior();
+                return Ok(result);
+            }
+            pos -= 1;
+            index[pos] += 1;
+            if index[pos] < designs[pos].len() {
+                break;
+            }
+            index[pos] = 0;
+        }
+    }
+}
+
+/// Cheap level-2 pruning: reject when even the optimistic (lower-bound)
+/// partition areas overflow some chip's usable area.
+fn quick_area_reject(ctx: &IntegrationContext<'_>, selection: &[&PredictedDesign]) -> bool {
+    let partitioning_chips = ctx.budgets().len();
+    let mut lo = vec![0.0f64; partitioning_chips];
+    for (p, d) in selection.iter().enumerate() {
+        let chip = ctx_chip_of(ctx, p);
+        lo[chip] += d.area().lo();
+    }
+    ctx_chips_usable(ctx)
+        .iter()
+        .zip(&lo)
+        .any(|(usable, used)| used > usable)
+}
+
+// Small accessors over the context's partitioning (kept here to avoid
+// widening IntegrationContext's public surface).
+fn ctx_chip_of(ctx: &IntegrationContext<'_>, partition: usize) -> usize {
+    ctx.partitioning()
+        .chip_of(crate::spec::PartitionId::new(partition as u32))
+        .index()
+}
+
+fn ctx_chips_usable(ctx: &IntegrationContext<'_>) -> Vec<f64> {
+    ctx.partitioning()
+        .chips()
+        .iter()
+        .map(|(_, pkg)| pkg.usable_area().value())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_bad::prune::prune;
+    use chop_bad::{
+        ArchitectureStyle, ClockConfig, PartitionEnvelope, Predictor, PredictorParams,
+    };
+    use chop_dfg::benchmarks;
+    use chop_library::standard::{table1_library, table2_packages};
+    use chop_library::{ChipSet, Library};
+    use chop_stat::units::Nanos;
+
+    use super::*;
+    use crate::feasibility::{Constraints, FeasibilityCriteria};
+    use crate::spec::{Partitioning, PartitioningBuilder};
+
+    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Vec<PredictedDesign>>) {
+        let dfg = benchmarks::ar_lattice_filter();
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
+        let lib = table1_library();
+        let clocks = ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap();
+        let predictor = Predictor::new(
+            lib.clone(),
+            clocks,
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+        );
+        let env = PartitionEnvelope::new(
+            table2_packages()[1].usable_area(),
+            Nanos::new(30_000.0),
+            Nanos::new(30_000.0),
+        );
+        let designs: Vec<Vec<PredictedDesign>> = p
+            .partition_ids()
+            .map(|pid| {
+                let (kept, _) =
+                    prune(predictor.predict(&p.partition_dfg(pid)).unwrap(), &env, &clocks);
+                kept
+            })
+            .collect();
+        (p, lib, clocks, designs)
+    }
+
+    #[test]
+    fn enumeration_finds_feasible_single_chip() {
+        let (p, lib, clocks, designs) = setup(1);
+        let ctx = IntegrationContext::new(
+            &p,
+            &lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        let r = run(&ctx, &designs, true, false).unwrap();
+        assert!(r.trials >= designs[0].len());
+        assert!(r.feasible_trials >= 1, "Table 4 row 1: a feasible trial exists");
+        assert!(!r.feasible.is_empty());
+    }
+
+    #[test]
+    fn enumeration_trials_equal_product_of_list_sizes() {
+        let (p, lib, clocks, designs) = setup(2);
+        let ctx = IntegrationContext::new(
+            &p,
+            &lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        let r = run(&ctx, &designs, true, false).unwrap();
+        let product: usize = designs.iter().map(Vec::len).product();
+        assert_eq!(r.trials, product);
+    }
+
+    #[test]
+    fn keep_all_records_every_evaluated_point() {
+        let (p, lib, clocks, designs) = setup(1);
+        let ctx = IntegrationContext::new(
+            &p,
+            &lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        let r = run(&ctx, &designs, false, true).unwrap();
+        assert_eq!(r.points.len(), r.trials);
+    }
+
+    #[test]
+    fn empty_design_list_is_graceful() {
+        let (p, lib, clocks, _) = setup(1);
+        let ctx = IntegrationContext::new(
+            &p,
+            &lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        let r = run(&ctx, &[Vec::new()], true, false).unwrap();
+        assert_eq!(r.trials, 0);
+        assert!(r.feasible.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Heuristic **I**: iterative serialization (Fig. 5 of the paper).
+//!
+//! For each feasible initiation interval the heuristic starts from the
+//! fastest predicted implementation of every partition and iteratively
+//! serializes partitions on chips whose area constraint is violated,
+//! picking at each step the serialization with the minimum expected system
+//! delay ("this selection generally favors the serialization of
+//! off-critical-path partitions").
+
+use chop_bad::{DesignStyle, PredictedDesign};
+use chop_stat::units::{Cycles, Nanos};
+
+use crate::error::ChopError;
+use crate::feasibility::Violation;
+use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
+use crate::integration::IntegrationContext;
+
+/// Runs the iterative heuristic.
+///
+/// `designs` holds the (already level-1-pruned) prediction list of each
+/// partition; each list is re-sorted here by (initiation interval, latency)
+/// as Fig. 5 requires. Every system-integration estimate counts as one
+/// trial. With `keep_all` on, every estimate is recorded as a design point.
+///
+/// # Errors
+///
+/// Returns [`ChopError::Integration`] only for structural task-graph
+/// failures.
+pub fn run(
+    ctx: &IntegrationContext<'_>,
+    designs: &[Vec<PredictedDesign>],
+    base_clock: Nanos,
+    keep_all: bool,
+) -> Result<HeuristicResult, ChopError> {
+    let mut result = HeuristicResult::default();
+    if designs.iter().any(Vec::is_empty) {
+        return Ok(result);
+    }
+    // Sorted prediction lists: increasing II, then increasing latency.
+    let sorted: Vec<Vec<&PredictedDesign>> = designs
+        .iter()
+        .map(|list| {
+            let mut v: Vec<&PredictedDesign> = list.iter().collect();
+            v.sort_by_key(|d| (d.initiation_interval(), d.latency()));
+            v
+        })
+        .collect();
+
+    for l in candidate_intervals(ctx, &sorted, base_clock) {
+        // Initialize W_i: advance past implementations too fast to be
+        // useful at rate l.
+        let mut w: Vec<usize> = Vec::with_capacity(sorted.len());
+        let mut ok = true;
+        for list in &sorted {
+            match initial_index(list, l) {
+                Some(i) => w.push(i),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        let budget: usize = sorted.iter().map(Vec::len).sum::<usize>() + 1;
+        for _round in 0..budget {
+            let selection: Vec<&PredictedDesign> =
+                w.iter().zip(&sorted).map(|(&i, list)| list[i]).collect();
+            result.trials += 1;
+            let system = ctx.evaluate(&selection, Cycles::new(l))?;
+            if keep_all {
+                result.points.push(DesignPoint::from_system(&system));
+            }
+            if system.verdict.feasible {
+                result.feasible_trials += 1;
+                result.feasible.push(FeasibleImplementation {
+                    selection: selection.iter().map(|d| (*d).clone()).collect(),
+                    system,
+                });
+                break; // Q ← nil: nothing left to serialize at this l.
+            }
+            // Q: partitions on chips whose AREA constraint was violated.
+            let violated_chips: Vec<usize> = system
+                .verdict
+                .violations
+                .iter()
+                .filter_map(|v| match v {
+                    Violation::ChipArea { chip, .. } => Some(*chip),
+                    _ => None,
+                })
+                .collect();
+            if violated_chips.is_empty() {
+                break; // serialization cannot fix non-area violations
+            }
+            let q: Vec<usize> = (0..sorted.len())
+                .filter(|&p| {
+                    violated_chips.contains(
+                        &ctx.partitioning()
+                            .chip_of(crate::spec::PartitionId::new(p as u32))
+                            .index(),
+                    ) && w[p] + 1 < sorted[p].len()
+                })
+                .collect();
+            if q.is_empty() {
+                break; // no partition can serialize further
+            }
+            // Tentatively serialize each candidate; keep the one with the
+            // minimum expected system delay.
+            let mut best: Option<(usize, f64)> = None;
+            for &p in &q {
+                let mut trial_w = w.clone();
+                trial_w[p] += 1;
+                let trial_sel: Vec<&PredictedDesign> =
+                    trial_w.iter().zip(&sorted).map(|(&i, list)| list[i]).collect();
+                result.trials += 1;
+                let trial_system = ctx.evaluate(&trial_sel, Cycles::new(l))?;
+                if keep_all {
+                    result.points.push(DesignPoint::from_system(&trial_system));
+                }
+                let delay = trial_system.delay_ns.likely();
+                if best.is_none_or(|(_, d)| delay < d) {
+                    best = Some((p, delay));
+                }
+            }
+            let (chosen, _) = best.expect("q was non-empty");
+            w[chosen] += 1;
+        }
+    }
+    result.retain_non_inferior();
+    Ok(result)
+}
+
+/// Fig. 5's initialization: the first (fastest) implementation advanced
+/// "until L_i ≥ l or W_i is a non-pipelined implementation with L_i ≤ l".
+fn initial_index(list: &[&PredictedDesign], l: u64) -> Option<usize> {
+    list.iter().position(|d| {
+        let ii = d.initiation_interval().value();
+        ii >= l || (d.style() == DesignStyle::NonPipelined && ii <= l)
+    })
+}
+
+/// The feasible initiation intervals to sweep: every distinct prediction
+/// II, raised to the transfer-imposed minimum, bounded by the performance
+/// constraint at the base clock.
+fn candidate_intervals(
+    ctx: &IntegrationContext<'_>,
+    sorted: &[Vec<&PredictedDesign>],
+    base_clock: Nanos,
+) -> Vec<u64> {
+    let min_ii = ctx.min_transfer_ii().value();
+    let max_ii = (ctx.constraints().performance().value() / base_clock.value()).floor() as u64;
+    let mut candidates: Vec<u64> = sorted
+        .iter()
+        .flatten()
+        .map(|d| d.initiation_interval().value().max(min_ii))
+        .filter(|&l| l <= max_ii)
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_bad::prune::prune;
+    use chop_bad::{
+        ArchitectureStyle, ClockConfig, PartitionEnvelope, Predictor, PredictorParams,
+    };
+    use chop_dfg::benchmarks;
+    use chop_library::standard::{table1_library, table2_packages};
+    use chop_library::{ChipSet, Library};
+
+    use super::*;
+    use crate::feasibility::{Constraints, FeasibilityCriteria};
+    use crate::spec::{Partitioning, PartitioningBuilder};
+
+    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Vec<PredictedDesign>>) {
+        let dfg = benchmarks::ar_lattice_filter();
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
+        let lib = table1_library();
+        let clocks = ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap();
+        let predictor = Predictor::new(
+            lib.clone(),
+            clocks,
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+        );
+        let env = PartitionEnvelope::new(
+            table2_packages()[1].usable_area(),
+            Nanos::new(30_000.0),
+            Nanos::new(30_000.0),
+        );
+        let designs: Vec<Vec<PredictedDesign>> = p
+            .partition_ids()
+            .map(|pid| {
+                let (kept, _) =
+                    prune(predictor.predict(&p.partition_dfg(pid)).unwrap(), &env, &clocks);
+                kept
+            })
+            .collect();
+        (p, lib, clocks, designs)
+    }
+
+    fn make_ctx<'a>(
+        p: &'a Partitioning,
+        lib: &'a Library,
+        clocks: ClockConfig,
+    ) -> IntegrationContext<'a> {
+        IntegrationContext::new(
+            p,
+            lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+    }
+
+    #[test]
+    fn iterative_finds_feasible_single_chip() {
+        let (p, lib, clocks, designs) = setup(1);
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        assert!(r.feasible_trials >= 1);
+        assert!(!r.feasible.is_empty());
+    }
+
+    #[test]
+    fn iterative_uses_fewer_trials_than_enumeration_on_two_partitions() {
+        let (p, lib, clocks, designs) = setup(2);
+        let ctx = make_ctx(&p, &lib, clocks);
+        let it = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        let en =
+            crate::heuristics::enumeration::run(&ctx, &designs, true, false).unwrap();
+        // The paper's headline contrast (Table 4: 156 vs 9 trials).
+        assert!(
+            it.trials < en.trials,
+            "iterative {} !< enumeration {}",
+            it.trials,
+            en.trials
+        );
+    }
+
+    #[test]
+    fn feasible_results_are_actually_feasible() {
+        let (p, lib, clocks, designs) = setup(2);
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        for f in &r.feasible {
+            assert!(f.system.verdict.feasible);
+            assert_eq!(f.selection.len(), 2);
+        }
+    }
+
+    #[test]
+    fn initial_index_respects_fig5_rule() {
+        let (_, _, _, designs) = setup(1);
+        let mut list: Vec<&PredictedDesign> = designs[0].iter().collect();
+        list.sort_by_key(|d| (d.initiation_interval(), d.latency()));
+        if let Some(i) = initial_index(&list, 60) {
+            let d = list[i];
+            let ii = d.initiation_interval().value();
+            assert!(ii >= 60 || (d.style() == DesignStyle::NonPipelined && ii <= 60));
+        }
+    }
+}

@@ -1,0 +1,934 @@
+//! System-integration prediction: transfer bandwidths, urgency scheduling,
+//! buffers, transfer modules, adjusted clock and the feasibility verdict.
+//!
+//! "System integration predictions basically involve predicting data
+//! transfer module characteristics and, of course, the performance and
+//! delay characteristics of the overall system" (paper §2.5).
+
+use std::fmt;
+
+use chop_bad::area::PlaSpec;
+use chop_bad::{ClockConfig, DesignStyle, PredictedDesign, PredictorParams};
+use chop_library::Library;
+use chop_sched::urgency::{ResourceId, TaskGraph, TaskId};
+use chop_stat::units::{Bits, Cycles, Nanos};
+use chop_stat::Estimate;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ChopError;
+use crate::feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
+use crate::spec::{MemoryAssignment, Partitioning};
+use crate::testability::TestabilityOverhead;
+use crate::transfer::{
+    chip_of_endpoint, is_off_chip, pin_budgets, transfer_specs, Endpoint, PinBudget, TransferSpec,
+};
+
+/// Predicted characteristics of one data-transfer module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferModulePrediction {
+    /// The transfer this module implements.
+    pub spec: TransferSpec,
+    /// Pins used on each involved chip during the transfer.
+    pub pins: u32,
+    /// Transfer duration `X` in main-clock cycles.
+    pub duration: Cycles,
+    /// Wait time `W` before the transfer starts, in main-clock cycles.
+    pub wait: Cycles,
+    /// Predicted buffer size `B = D·(⌈W/l⌉ + X/l)` in bits.
+    pub buffer_bits: Bits,
+    /// The module's PLA controller.
+    pub controller: PlaSpec,
+}
+
+impl fmt::Display for TransferModulePrediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} pins, X={}, W={}, buffer {}",
+            self.spec,
+            self.pins,
+            self.duration.value(),
+            self.wait.value(),
+            self.buffer_bits
+        )
+    }
+}
+
+/// The integrated prediction for one combination of partition
+/// implementations at one initiation interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemPrediction {
+    /// System initiation interval in main-clock cycles.
+    pub initiation_interval: Cycles,
+    /// System delay (task-graph makespan) in main-clock cycles.
+    pub delay: Cycles,
+    /// Adjusted clock-cycle estimate in ns (main clock plus integration
+    /// overhead).
+    pub clock: Estimate,
+    /// Initiation interval in ns.
+    pub initiation_ns: Estimate,
+    /// System delay in ns.
+    pub delay_ns: Estimate,
+    /// Per-chip area estimates (partitions + transfer modules + memories +
+    /// pin multiplexing).
+    pub chip_areas: Vec<Estimate>,
+    /// Total system power estimate in mW (partitions + transfer modules).
+    pub power: Estimate,
+    /// Per-transfer module predictions.
+    pub transfer_modules: Vec<TransferModulePrediction>,
+    /// The feasibility verdict.
+    pub verdict: Verdict,
+}
+
+impl SystemPrediction {
+    /// Most-likely adjusted clock period.
+    #[must_use]
+    pub fn clock_ns(&self) -> Nanos {
+        Nanos::new(self.clock.likely())
+    }
+
+    /// Whether this prediction dominates another on (II, delay) in ns —
+    /// the inferiority relation used to report only non-inferior designs.
+    #[must_use]
+    pub fn dominates(&self, other: &SystemPrediction) -> bool {
+        let le = self.initiation_ns.likely() <= other.initiation_ns.likely()
+            && self.delay_ns.likely() <= other.delay_ns.likely();
+        let lt = self.initiation_ns.likely() < other.initiation_ns.likely()
+            || self.delay_ns.likely() < other.delay_ns.likely();
+        le && lt
+    }
+}
+
+impl fmt::Display for SystemPrediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "II={} delay={} clock={:.0} ns [{}]",
+            self.initiation_interval.value(),
+            self.delay.value(),
+            self.clock.likely(),
+            self.verdict
+        )
+    }
+}
+
+/// Reusable integration context for one partitioning: transfers and pin
+/// budgets are computed once, then [`IntegrationContext::evaluate`] is
+/// called per candidate combination.
+#[derive(Debug)]
+pub struct IntegrationContext<'a> {
+    partitioning: &'a Partitioning,
+    library: &'a Library,
+    clocks: ClockConfig,
+    params: PredictorParams,
+    criteria: FeasibilityCriteria,
+    constraints: Constraints,
+    testability: TestabilityOverhead,
+    transfers: Vec<TransferSpec>,
+    budgets: Vec<PinBudget>,
+}
+
+impl<'a> IntegrationContext<'a> {
+    /// Builds the context (creates data-transfer tasks and pin budgets).
+    #[must_use]
+    pub fn new(
+        partitioning: &'a Partitioning,
+        library: &'a Library,
+        clocks: ClockConfig,
+        params: PredictorParams,
+        criteria: FeasibilityCriteria,
+        constraints: Constraints,
+    ) -> Self {
+        let transfers = transfer_specs(partitioning);
+        let budgets = pin_budgets(partitioning, &transfers);
+        Self {
+            partitioning,
+            library,
+            clocks,
+            params,
+            criteria,
+            constraints,
+            testability: TestabilityOverhead::none(),
+            transfers,
+            budgets,
+        }
+    }
+
+    /// Applies a testability discipline: scan pins come off every chip's
+    /// data-pin budget; area and clock overheads are applied during
+    /// evaluation (paper §5 future work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead fractions are invalid.
+    #[must_use]
+    pub fn with_testability(mut self, testability: TestabilityOverhead) -> Self {
+        testability.assert_valid();
+        self.testability = testability;
+        for b in &mut self.budgets {
+            b.data = b.data.saturating_sub(testability.scan_pins);
+        }
+        self
+    }
+
+    /// The partitioning under evaluation.
+    #[must_use]
+    pub fn partitioning(&self) -> &Partitioning {
+        self.partitioning
+    }
+
+    /// The data-transfer requirements of this partitioning.
+    #[must_use]
+    pub fn transfers(&self) -> &[TransferSpec] {
+        &self.transfers
+    }
+
+    /// The per-chip pin budgets.
+    #[must_use]
+    pub fn budgets(&self) -> &[PinBudget] {
+        &self.budgets
+    }
+
+    /// The hard constraints in force.
+    #[must_use]
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// The smallest initiation interval any combination could reach, from
+    /// the transfer side alone (every transfer must fit in one interval).
+    #[must_use]
+    pub fn min_transfer_ii(&self) -> Cycles {
+        let mut worst = 1u64;
+        for (i, t) in self.transfers.iter().enumerate() {
+            let _ = i;
+            if let Some((x, _)) = self.transfer_duration(t) {
+                worst = worst.max(x.value());
+            }
+        }
+        Cycles::new(worst)
+    }
+
+    /// Duration (main cycles) and pin width of a transfer, or `None` when a
+    /// required chip has no data pins.
+    fn transfer_duration(&self, t: &TransferSpec) -> Option<(Cycles, u32)> {
+        if !is_off_chip(self.partitioning, t) {
+            return Some((Cycles::zero(), 0));
+        }
+        let mut width = u32::MAX;
+        for chip in [
+            chip_of_endpoint(self.partitioning, t.src),
+            chip_of_endpoint(self.partitioning, t.dst),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            width = width.min(self.budgets[chip.index()].data);
+        }
+        if width == 0 {
+            return None;
+        }
+        if width == u32::MAX {
+            // Both endpoints off the chip set (external→external) — not a
+            // real hardware transfer.
+            return Some((Cycles::zero(), 0));
+        }
+        let width = width.min(u32::try_from(t.bits.value()).unwrap_or(u32::MAX)).max(1);
+        // Pin-limited transfer time plus one pad-pipeline fill cycle.
+        let mut xfer_cycles = t.bits.transfers_at_width(Bits::new(u64::from(width))) + 1;
+        // Memory-side rate limit.
+        for e in [t.src, t.dst] {
+            if let Endpoint::Memory(m) = e {
+                let mem = &self.partitioning.memories()[m.index()];
+                let accesses = t.bits.transfers_at_width(mem.bandwidth_per_access());
+                let access_cycles = self
+                    .clocks
+                    .transfer_cycle()
+                    .cycles_to_cover(mem.access_time())
+                    .max(1);
+                xfer_cycles = xfer_cycles.max(accesses * access_cycles);
+            }
+        }
+        Some((Cycles::new(self.clocks.transfer_to_main(xfer_cycles).value()), width))
+    }
+
+    /// Evaluates one combination of partition implementations (one design
+    /// per partition, in partition order) at system initiation interval
+    /// `ii` (main cycles).
+    ///
+    /// Always produces a [`SystemPrediction`] whose verdict records any
+    /// violations; hard structural failures (cyclic task graphs) become
+    /// [`ChopError::Integration`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChopError::Integration`] if task scheduling fails
+    /// structurally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` length differs from the partition count or
+    /// `ii` is zero.
+    pub fn evaluate(
+        &self,
+        selection: &[&PredictedDesign],
+        ii: Cycles,
+    ) -> Result<SystemPrediction, ChopError> {
+        assert_eq!(
+            selection.len(),
+            self.partitioning.partition_count(),
+            "one design per partition required"
+        );
+        assert!(ii.value() >= 1, "initiation interval must be positive");
+        let l = ii.value();
+        let mut violations = Vec::new();
+
+        // Data-rate compatibility: every partition must keep up with the
+        // system rate; pipelined partitions must not be rate-mismatched
+        // with it ("if any 2 or more partition implementations … have
+        // pipelined design styles and different data rates, then the global
+        // implementation is [in]feasible due to a data rate mismatch").
+        let pipelined_iis: Vec<u64> = selection
+            .iter()
+            .filter(|d| d.style() == DesignStyle::Pipelined)
+            .map(|d| d.initiation_interval().value())
+            .collect();
+        if pipelined_iis.windows(2).any(|w| w[0] != w[1]) {
+            violations.push(Violation::DataRateMismatch);
+        }
+        if selection.iter().any(|d| d.initiation_interval().value() > l) {
+            violations.push(Violation::Performance {
+                probability: chop_stat::Probability::impossible(),
+            });
+        }
+
+        // Transfer durations and pin demands.
+        let mut durations: Vec<(Cycles, u32)> = Vec::with_capacity(self.transfers.len());
+        for (i, t) in self.transfers.iter().enumerate() {
+            match self.transfer_duration(t) {
+                Some((x, w)) => {
+                    if x.value() > l {
+                        violations.push(Violation::DataClash { transfer: i });
+                    }
+                    durations.push((x, w));
+                }
+                None => {
+                    let chip = chip_of_endpoint(self.partitioning, t.src)
+                        .or(chip_of_endpoint(self.partitioning, t.dst))
+                        .map_or(0, |c| c.index());
+                    violations.push(Violation::PinsExhausted { chip });
+                    durations.push((Cycles::zero(), 0));
+                }
+            }
+        }
+
+        // Steady-state pin-time conservation: in a pipelined overall
+        // process every initiation interval must accommodate all of a
+        // chip's transfers ("an urgency scheduling is performed to confirm
+        // feasibility of sharing the data pins of chips"). Pin-time used
+        // per interval (Σ X·w) cannot exceed the interval's pin capacity
+        // (l · data pins).
+        for (chip, _) in self.partitioning.chips().iter() {
+            let pin_time: u64 = self
+                .transfers
+                .iter()
+                .zip(&durations)
+                .filter(|(t, (_, w))| {
+                    *w > 0
+                        && (chip_of_endpoint(self.partitioning, t.src) == Some(chip)
+                            || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
+                })
+                .map(|(_, (x, w))| x.value() * u64::from(*w))
+                .sum();
+            let capacity = l * u64::from(self.budgets[chip.index()].data);
+            if pin_time > capacity {
+                violations.push(Violation::PinBandwidth { chip: chip.index() });
+            }
+        }
+
+        // Memory bandwidth per initiation: total busy time per block ≤ l.
+        for (mi, _mem) in self.partitioning.memories().iter().enumerate() {
+            let busy: u64 = self
+                .transfers
+                .iter()
+                .zip(&durations)
+                .filter(|(t, _)| {
+                    matches!(t.src, Endpoint::Memory(m) if m.index() == mi)
+                        || matches!(t.dst, Endpoint::Memory(m) if m.index() == mi)
+                })
+                .map(|(_, (x, _))| x.value())
+                .sum();
+            if busy > l {
+                violations.push(Violation::MemoryBandwidth { memory: mi });
+            }
+        }
+
+        if !violations.is_empty() {
+            // Rate/structural violations make the rest of the model
+            // meaningless; report immediately (CHOP's immediate pruning).
+            return Ok(self.infeasible_stub(selection, ii, violations));
+        }
+
+        // Task graph: PU tasks + transfer tasks over chip-pin and
+        // memory-port resources.
+        let n_chips = self.partitioning.chips().len();
+        let mut graph = TaskGraph::new();
+        let capacities: Vec<u64> = self
+            .budgets
+            .iter()
+            .map(|b| u64::from(b.data))
+            .chain(self.partitioning.memories().iter().map(|m| u64::from(m.ports())))
+            .collect();
+        let mem_resource = |m: usize| ResourceId::new((n_chips + m) as u32);
+
+        let pu_tasks: Vec<TaskId> = self
+            .partitioning
+            .partition_ids()
+            .map(|p| {
+                graph.add_task(
+                    format!("{p}"),
+                    selection[p.index()].latency().value(),
+                    vec![],
+                )
+            })
+            .collect();
+        let mut xfer_tasks: Vec<TaskId> = Vec::with_capacity(self.transfers.len());
+        for (t, (x, w)) in self.transfers.iter().zip(&durations) {
+            let mut demands = Vec::new();
+            if *w > 0 {
+                for chip in [
+                    chip_of_endpoint(self.partitioning, t.src),
+                    chip_of_endpoint(self.partitioning, t.dst),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    demands.push((ResourceId::new(chip.index() as u32), u64::from(*w)));
+                }
+            }
+            for e in [t.src, t.dst] {
+                if let Endpoint::Memory(m) = e {
+                    demands.push((mem_resource(m.index()), 1));
+                }
+            }
+            let id = graph.add_task(format!("{t}"), x.value(), demands);
+            xfer_tasks.push(id);
+        }
+        for (i, t) in self.transfers.iter().enumerate() {
+            if let Endpoint::Partition(p) = t.src {
+                graph.add_dep(pu_tasks[p.index()], xfer_tasks[i])?;
+            }
+            if let Endpoint::Partition(p) = t.dst {
+                graph.add_dep(xfer_tasks[i], pu_tasks[p.index()])?;
+            }
+        }
+        let schedule = graph.schedule(&capacities)?;
+        let delay_cycles = Cycles::new(schedule.makespan());
+
+        // Adjusted clock: main period + per-chip integration overhead
+        // (pin-sharing multiplexer tree and, when the datapath runs on the
+        // main clock, the datapath's own overhead).
+        let mux = self.library.multiplexer();
+        let mut overhead = Estimate::zero();
+        for (chip, _) in self.partitioning.chips().iter() {
+            let n_transfers = self
+                .transfers
+                .iter()
+                .filter(|t| {
+                    is_off_chip(self.partitioning, t)
+                        && (chip_of_endpoint(self.partitioning, t.src) == Some(chip)
+                            || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
+                })
+                .count() as u64;
+            let levels = if n_transfers <= 1 { 0 } else { 64 - (n_transfers - 1).leading_zeros() };
+            let mux_delay = mux.map_or(4.0, |m| m.delay().value());
+            let mut chip_overhead = Estimate::with_spread(
+                mux_delay * f64::from(levels) + 2.0, // + pad-side wiring
+                self.params.delay_spread_above,
+            );
+            if self.clocks.datapath_on_main_clock() {
+                for p in self.partitioning.partitions_on(chip) {
+                    chip_overhead = chip_overhead.max(
+                        Estimate::with_spread(2.0, self.params.delay_spread_above)
+                            + selection[p.index()].clock_overhead(),
+                    );
+                }
+            }
+            overhead = overhead.max(chip_overhead);
+        }
+        let clock = (Estimate::exact(self.clocks.main_cycle().value()) + overhead)
+            * (1.0 + self.testability.clock_fraction);
+        let initiation_ns = clock * l as f64;
+        let delay_ns = clock * delay_cycles.value() as f64;
+
+        // Transfer modules: buffer B = D·(⌈W/l⌉ + X/l) and a PLA per module.
+        let mut transfer_modules = Vec::with_capacity(self.transfers.len());
+        for ((t, (x, w)), task) in self.transfers.iter().zip(&durations).zip(&xfer_tasks) {
+            let wait = Cycles::new(schedule.wait_before(&graph, *task));
+            let b_bits = if *w == 0 {
+                0
+            } else {
+                let d = t.bits.value() as f64;
+                (d * ((wait.value() as f64 / l as f64).ceil() + x.value() as f64 / l as f64))
+                    .ceil() as u64
+            };
+            let states = wait.value() + x.value();
+            let controller =
+                PlaSpec::for_fsm(states.max(1), w.div_ceil(8).max(1) + 2, 2);
+            transfer_modules.push(TransferModulePrediction {
+                spec: *t,
+                pins: *w,
+                duration: *x,
+                wait,
+                buffer_bits: Bits::new(b_bits),
+                controller,
+            });
+        }
+
+        // Per-chip area: partitions + on-chip memories + transfer modules +
+        // pin-sharing multiplexers.
+        let register = self.library.register();
+        let mut chip_areas: Vec<Estimate> =
+            vec![Estimate::zero(); self.partitioning.chips().len()];
+        for p in self.partitioning.partition_ids() {
+            let chip = self.partitioning.chip_of(p);
+            chip_areas[chip.index()] += selection[p.index()].area();
+        }
+        for (mi, mem) in self.partitioning.memories().iter().enumerate() {
+            if let MemoryAssignment::OnChip(c) =
+                self.partitioning.memory_assignment(chop_library::MemoryId::new(mi as u32))
+            {
+                chip_areas[c.index()] += Estimate::exact(mem.area().value());
+            }
+        }
+        let mux_area = self.library.multiplexer().map_or(18.0, |m| m.area().value());
+        for (tm, t) in transfer_modules.iter().zip(&self.transfers) {
+            if tm.pins == 0 {
+                continue; // on-chip transfer: plain wiring, no module
+            }
+            let pla = tm.controller.area(&self.params).value();
+            // Interface steering onto the shared data pins: one 2:1 slice
+            // per transferred bit, independent of the bus width chosen
+            // (wider buses steer more bits per cycle, narrower buses steer
+            // the same bits over more cycles).
+            let steer = mux_area * t.bits.value() as f64;
+            let buffer = register
+                .map_or(31.0 * tm.buffer_bits.value() as f64, |r| {
+                    r.area_at_width(tm.buffer_bits).value()
+                });
+            // Input-side module holds the buffer; output side just the PLA
+            // and steering.
+            if let Some(c) = chip_of_endpoint(self.partitioning, t.dst) {
+                chip_areas[c.index()] += Estimate::with_spreads(
+                    pla + steer + buffer,
+                    self.params.area_spread_below,
+                    self.params.area_spread_above,
+                );
+            }
+            if let Some(c) = chip_of_endpoint(self.partitioning, t.src) {
+                chip_areas[c.index()] += Estimate::with_spreads(
+                    pla + steer,
+                    self.params.area_spread_below,
+                    self.params.area_spread_above,
+                );
+            }
+        }
+
+        // System power: partitions at their predicted utilization plus
+        // transfer-module overhead (controller + buffer + steering).
+        let mut power = Estimate::zero();
+        for p in self.partitioning.partition_ids() {
+            power += selection[p.index()].power();
+        }
+        for (tm, t) in transfer_modules.iter().zip(&self.transfers) {
+            if tm.pins == 0 {
+                continue;
+            }
+            let module_area = tm.controller.area(&self.params).value()
+                + mux_area * t.bits.value() as f64
+                + 31.0 * tm.buffer_bits.value() as f64;
+            power += Estimate::exact(module_area * chop_library::DEFAULT_POWER_DENSITY * 0.5);
+        }
+
+        // Testability area overhead (scan registers, test controller).
+        if self.testability.area_fraction > 0.0 {
+            for a in &mut chip_areas {
+                *a = *a * (1.0 + self.testability.area_fraction);
+            }
+        }
+
+        // Feasibility analysis.
+        for (ci, (chip, pkg)) in self.partitioning.chips().iter().enumerate() {
+            let _ = chip;
+            let p = chip_areas[ci].probability_le(pkg.usable_area().value());
+            if !p.meets(self.criteria.area) {
+                violations.push(Violation::ChipArea { chip: ci, probability: p });
+            }
+        }
+        let p_perf = initiation_ns.probability_le(self.constraints.performance().value());
+        if !p_perf.meets(self.criteria.performance) {
+            violations.push(Violation::Performance { probability: p_perf });
+        }
+        let p_delay = delay_ns.probability_le(self.constraints.delay().value());
+        if !p_delay.meets(self.criteria.delay) {
+            violations.push(Violation::Delay { probability: p_delay });
+        }
+        if let Some(limit) = self.constraints.power_limit() {
+            let p_power = power.probability_le(limit.value());
+            if !p_power.meets(self.criteria.power) {
+                violations.push(Violation::Power { probability: p_power });
+            }
+        }
+
+        let verdict = if violations.is_empty() {
+            Verdict::feasible()
+        } else {
+            Verdict::infeasible(violations)
+        };
+        Ok(SystemPrediction {
+            initiation_interval: ii,
+            delay: delay_cycles,
+            clock,
+            initiation_ns,
+            delay_ns,
+            chip_areas,
+            power,
+            transfer_modules,
+            verdict,
+        })
+    }
+
+    /// Minimal prediction for combinations rejected before scheduling.
+    fn infeasible_stub(
+        &self,
+        selection: &[&PredictedDesign],
+        ii: Cycles,
+        violations: Vec<Violation>,
+    ) -> SystemPrediction {
+        let clock = Estimate::exact(self.clocks.main_cycle().value());
+        let delay = Cycles::new(
+            selection.iter().map(|d| d.latency().value()).max().unwrap_or(1),
+        );
+        // Partition areas only (no transfer modules were sized): keeps
+        // keep-all design-space dumps meaningful for rejected points.
+        let mut chip_areas = vec![Estimate::zero(); self.partitioning.chips().len()];
+        for p in self.partitioning.partition_ids() {
+            let chip = self.partitioning.chip_of(p);
+            chip_areas[chip.index()] += selection[p.index()].area();
+        }
+        let power = selection.iter().map(|d| d.power()).sum();
+        SystemPrediction {
+            initiation_interval: ii,
+            delay,
+            clock,
+            initiation_ns: clock * ii.value() as f64,
+            delay_ns: clock * delay.value() as f64,
+            chip_areas,
+            power,
+            transfer_modules: Vec::new(),
+            verdict: Verdict::infeasible(violations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_bad::{ArchitectureStyle, Predictor};
+    use chop_dfg::benchmarks;
+    use chop_library::standard::{table1_library, table2_packages};
+    use chop_library::ChipSet;
+    use chop_stat::units::Nanos;
+
+    use super::*;
+    use crate::spec::PartitioningBuilder;
+
+    fn setup(
+        k: usize,
+        pkg: usize,
+    ) -> (Partitioning, Library, ClockConfig, Vec<Vec<PredictedDesign>>) {
+        let dfg = benchmarks::ar_lattice_filter();
+        let chips = ChipSet::uniform(table2_packages()[pkg].clone(), k);
+        let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
+        let lib = table1_library();
+        let clocks = ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap();
+        let predictor = Predictor::new(
+            lib.clone(),
+            clocks,
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+        );
+        let designs: Vec<Vec<PredictedDesign>> = p
+            .partition_ids()
+            .map(|pid| predictor.predict(&p.partition_dfg(pid)).unwrap())
+            .collect();
+        (p, lib, clocks, designs)
+    }
+
+    fn ctx<'a>(
+        p: &'a Partitioning,
+        lib: &'a Library,
+        clocks: ClockConfig,
+    ) -> IntegrationContext<'a> {
+        IntegrationContext::new(
+            p,
+            lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+    }
+
+    #[test]
+    fn single_partition_evaluates() {
+        let (p, lib, clocks, designs) = setup(1, 1);
+        let c = ctx(&p, &lib, clocks);
+        // Pick the smallest-area design; evaluate at its own II.
+        let d = designs[0]
+            .iter()
+            .min_by(|a, b| a.area().likely().partial_cmp(&b.area().likely()).unwrap())
+            .unwrap();
+        let ii = Cycles::new(d.initiation_interval().value().max(c.min_transfer_ii().value()));
+        let s = c.evaluate(&[d], ii).unwrap();
+        assert!(s.delay.value() >= d.latency().value());
+        assert!(s.clock.likely() >= 300.0);
+        assert_eq!(s.chip_areas.len(), 1);
+    }
+
+    #[test]
+    fn some_combination_is_feasible_for_paper_constraints() {
+        let (p, lib, clocks, designs) = setup(1, 1);
+        let c = ctx(&p, &lib, clocks);
+        let min_ii = c.min_transfer_ii().value();
+        let feasible = designs[0].iter().any(|d| {
+            let ii = Cycles::new(d.initiation_interval().value().max(min_ii));
+            c.evaluate(&[d], ii).map(|s| s.verdict.feasible).unwrap_or(false)
+        });
+        assert!(feasible, "no single-chip combination feasible (Table 4 row 1 exists)");
+    }
+
+    #[test]
+    fn transfer_modules_have_paper_buffer_formula() {
+        let (p, lib, clocks, designs) = setup(2, 1);
+        let c = ctx(&p, &lib, clocks);
+        let sel: Vec<&PredictedDesign> = designs
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .min_by_key(|d| d.initiation_interval().value())
+                    .unwrap()
+            })
+            .collect();
+        let ii_needed = sel
+            .iter()
+            .map(|d| d.initiation_interval().value())
+            .max()
+            .unwrap()
+            .max(c.min_transfer_ii().value());
+        let s = c.evaluate(&sel, Cycles::new(ii_needed)).unwrap();
+        let l = ii_needed;
+        for tm in &s.transfer_modules {
+            if tm.pins == 0 {
+                continue;
+            }
+            let d = tm.spec.bits.value() as f64;
+            let expect = (d * ((tm.wait.value() as f64 / l as f64).ceil()
+                + tm.duration.value() as f64 / l as f64))
+                .ceil() as u64;
+            assert_eq!(tm.buffer_bits.value(), expect);
+        }
+    }
+
+    #[test]
+    fn data_clash_detected_at_tiny_ii() {
+        let (p, lib, clocks, designs) = setup(2, 0);
+        let c = ctx(&p, &lib, clocks);
+        let sel: Vec<&PredictedDesign> =
+            designs.iter().map(|l| l.first().unwrap()).collect();
+        let s = c.evaluate(&sel, Cycles::new(1)).unwrap();
+        assert!(!s.verdict.feasible);
+        assert!(s
+            .verdict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DataClash { .. } | Violation::Performance { .. })));
+    }
+
+    #[test]
+    fn fewer_pins_never_speed_up_transfers() {
+        let (p64, lib, clocks, _) = setup(2, 0);
+        let (p84, _, _, _) = setup(2, 1);
+        let c64 = ctx(&p64, &lib, clocks);
+        let c84 = ctx(&p84, &lib, clocks);
+        assert!(c64.min_transfer_ii().value() >= c84.min_transfer_ii().value());
+    }
+
+    #[test]
+    fn pin_bandwidth_violation_detected() {
+        use chop_bad::PredictorParams;
+        // Two chips at the minimum rate: the transfer chain's combined
+        // pin-time cannot fit a 1-cycle... use a tiny ii just above each
+        // transfer but below the chip's aggregate demand.
+        let (p, lib, clocks, designs) = setup(2, 0);
+        let c = ctx(&p, &lib, clocks);
+        let _ = PredictorParams::default();
+        let sel: Vec<&PredictedDesign> = designs
+            .iter()
+            .map(|l| l.iter().min_by_key(|d| d.initiation_interval().value()).unwrap())
+            .collect();
+        // At exactly the per-transfer minimum, a chip carrying several
+        // full-width transfers can exceed l × pins.
+        let ii = Cycles::new(
+            c.min_transfer_ii()
+                .value()
+                .max(sel.iter().map(|d| d.initiation_interval().value()).max().unwrap()),
+        );
+        let s = c.evaluate(&sel, ii).unwrap();
+        // Not asserted to *always* trigger (depends on widths); instead
+        // verify the invariant directly against the reported modules.
+        for (chip, _) in p.chips().iter() {
+            let pin_time: u64 = s
+                .transfer_modules
+                .iter()
+                .filter(|tm| {
+                    tm.pins > 0
+                        && (crate::transfer::chip_of_endpoint(&p, tm.spec.src) == Some(chip)
+                            || crate::transfer::chip_of_endpoint(&p, tm.spec.dst)
+                                == Some(chip))
+                })
+                .map(|tm| tm.duration.value() * u64::from(tm.pins))
+                .sum();
+            let capacity = ii.value() * u64::from(c.budgets()[chip.index()].data);
+            let flagged = s
+                .verdict
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::PinBandwidth { chip: ci } if *ci == chip.index()));
+            assert_eq!(
+                pin_time > capacity,
+                flagged,
+                "chip {chip}: pin_time={pin_time} capacity={capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bandwidth_violation_detected() {
+        use chop_bad::PredictorParams;
+        use chop_dfg::{DfgBuilder, MemoryRef, Operation};
+        use chop_library::standard::example_off_shelf_ram;
+        use chop_stat::units::Bits;
+        use crate::spec::{MemoryAssignment, PartitioningBuilder};
+
+        // Heavy two-way traffic to one slow single-port memory block.
+        let mut b = DfgBuilder::new();
+        let w = Bits::new(16);
+        let m = MemoryRef::new(0);
+        let addr = b.node(Operation::Input, w);
+        let mut accum = None;
+        for _ in 0..8 {
+            let r = b.node(Operation::MemRead(m), w);
+            b.connect(addr, r).unwrap();
+            let x = match accum {
+                Some(prev) => {
+                    let a = b.node(Operation::Add, w);
+                    b.connect(prev, a).unwrap();
+                    b.connect(r, a).unwrap();
+                    a
+                }
+                None => r,
+            };
+            let wr = b.node(Operation::MemWrite(m), w);
+            b.connect(addr, wr).unwrap();
+            b.connect(x, wr).unwrap();
+            accum = Some(x);
+        }
+        let o = b.node(Operation::Output, w);
+        b.connect(accum.unwrap(), o).unwrap();
+        let g = b.build().unwrap();
+
+        let chips = chop_library::ChipSet::uniform(table2_packages()[1].clone(), 1);
+        let p = PartitioningBuilder::new(g, chips)
+            .with_memory(example_off_shelf_ram(), MemoryAssignment::External)
+            .build()
+            .unwrap();
+        let lib = table1_library();
+        let clocks = ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap();
+        let predictor = Predictor::new(
+            lib.clone(),
+            clocks,
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+        );
+        let designs = predictor.predict(&p.partition_dfg(crate::spec::PartitionId::new(0))).unwrap();
+        let c = IntegrationContext::new(
+            &p,
+            &lib,
+            clocks,
+            PredictorParams::default(),
+            FeasibilityCriteria::paper_defaults(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        );
+        // Evaluate at an II big enough for each single transfer but too
+        // small for the block's combined read+write busy time.
+        let d = designs
+            .iter()
+            .min_by_key(|d| d.initiation_interval())
+            .expect("non-empty");
+        let per_transfer_max = c.min_transfer_ii().value();
+        let memory_transfers = c
+            .transfers()
+            .iter()
+            .filter(|t| {
+                matches!(t.src, Endpoint::Memory(_)) || matches!(t.dst, Endpoint::Memory(_))
+            })
+            .count() as u64;
+        assert_eq!(memory_transfers, 2, "one read stream, one write stream");
+        let total_busy = memory_transfers * per_transfer_max;
+        let ii = Cycles::new(per_transfer_max.max(d.initiation_interval().value()));
+        assert!(
+            total_busy > ii.value(),
+            "test setup must oversubscribe the memory: busy {total_busy} vs II {}",
+            ii.value()
+        );
+        let s = c.evaluate(&[d], ii).unwrap();
+        assert!(
+            s.verdict
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MemoryBandwidth { memory: 0 })),
+            "expected memory bandwidth violation, got {}",
+            s.verdict
+        );
+    }
+
+    #[test]
+    fn mismatched_pipelined_rates_rejected() {
+        let (p, lib, clocks, designs) = setup(2, 1);
+        let c = ctx(&p, &lib, clocks);
+        // Find two pipelined designs with different IIs.
+        let mut pick: Vec<&PredictedDesign> = Vec::new();
+        'outer: for a in designs[0].iter().filter(|d| d.style() == DesignStyle::Pipelined) {
+            for b in designs[1].iter().filter(|d| d.style() == DesignStyle::Pipelined) {
+                if a.initiation_interval() != b.initiation_interval() {
+                    pick = vec![a, b];
+                    break 'outer;
+                }
+            }
+        }
+        if pick.len() == 2 {
+            let ii = pick
+                .iter()
+                .map(|d| d.initiation_interval().value())
+                .max()
+                .unwrap()
+                .max(c.min_transfer_ii().value());
+            let s = c.evaluate(&pick, Cycles::new(ii)).unwrap();
+            assert!(s
+                .verdict
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::DataRateMismatch)));
+        }
+    }
+}

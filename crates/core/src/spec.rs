@@ -1,0 +1,683 @@
+//! The tentative partitioning: partitions, chip assignments and memories.
+
+use std::fmt;
+
+use chop_dfg::grouping::{extract_group, Grouping, GroupingError};
+use chop_dfg::{Dfg, NodeId};
+use chop_library::{ChipId, ChipSet, MemoryId, MemoryModule, MemoryPlacement};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition within one [`Partitioning`].
+///
+/// # Examples
+///
+/// ```
+/// use chop_core::PartitionId;
+///
+/// assert_eq!(PartitionId::new(0).to_string(), "P1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PartitionId(u32);
+
+impl PartitionId {
+    /// Creates a partition id from a zero-based index.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper numbering is one-based (P1…P5 in Fig. 2).
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// Where a memory block lives relative to the chip set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryAssignment {
+    /// Placed on a chip of the set (consumes that chip's project area).
+    OnChip(ChipId),
+    /// An off-the-shelf part outside the chip set (consumes pins only).
+    External,
+}
+
+impl fmt::Display for MemoryAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryAssignment::OnChip(c) => write!(f, "on {c}"),
+            MemoryAssignment::External => write!(f, "external"),
+        }
+    }
+}
+
+/// Error validating a [`Partitioning`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The chip set is empty.
+    NoChips,
+    /// The partition→chip assignment does not cover every partition.
+    ChipAssignmentLength {
+        /// Partitions in the grouping.
+        partitions: usize,
+        /// Assignments supplied.
+        assignments: usize,
+    },
+    /// A partition was assigned to a chip outside the set.
+    UnknownChip(ChipId),
+    /// The DFG references a memory block that was not declared.
+    UndeclaredMemory(u32),
+    /// A memory declared [`MemoryPlacement::OnChip`] was assigned
+    /// [`MemoryAssignment::External`] or vice versa.
+    PlacementMismatch(MemoryId),
+    /// A memory was assigned to a chip outside the set.
+    MemoryOnUnknownChip(MemoryId, ChipId),
+    /// The memory assignment list does not match the memory list.
+    MemoryAssignmentLength {
+        /// Declared memories.
+        memories: usize,
+        /// Assignments supplied.
+        assignments: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoChips => write!(f, "chip set is empty"),
+            SpecError::ChipAssignmentLength { partitions, assignments } => write!(
+                f,
+                "{assignments} chip assignments supplied for {partitions} partitions"
+            ),
+            SpecError::UnknownChip(c) => write!(f, "partition assigned to unknown {c}"),
+            SpecError::UndeclaredMemory(m) => {
+                write!(f, "data flow graph references undeclared memory block M{m}")
+            }
+            SpecError::PlacementMismatch(m) => {
+                write!(f, "memory {m} placement style conflicts with its assignment")
+            }
+            SpecError::MemoryOnUnknownChip(m, c) => {
+                write!(f, "memory {m} assigned to unknown {c}")
+            }
+            SpecError::MemoryAssignmentLength { memories, assignments } => write!(
+                f,
+                "{assignments} memory assignments supplied for {memories} memories"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated tentative partitioning: the behavioral DFG, its node
+/// grouping into partitions, the chip set, the partition→chip map and the
+/// memory blocks with their chip assignments.
+///
+/// Multiple partitions may share one chip, and memory blocks may share
+/// chips with partitions — exactly the flexibility of the paper's Fig. 2
+/// example.
+///
+/// Construct through [`PartitioningBuilder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioning {
+    dfg: Dfg,
+    grouping: Grouping,
+    chips: ChipSet,
+    partition_chip: Vec<ChipId>,
+    memories: Vec<MemoryModule>,
+    memory_assignment: Vec<MemoryAssignment>,
+}
+
+impl Partitioning {
+    /// The behavioral specification.
+    #[must_use]
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// The node grouping defining the partitions.
+    #[must_use]
+    pub fn grouping(&self) -> &Grouping {
+        &self.grouping
+    }
+
+    /// The chip set.
+    #[must_use]
+    pub fn chips(&self) -> &ChipSet {
+        &self.chips
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.grouping.group_count()
+    }
+
+    /// All partition ids.
+    pub fn partition_ids(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        (0..self.partition_count()).map(|i| PartitionId::new(i as u32))
+    }
+
+    /// The chip a partition is assigned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn chip_of(&self, p: PartitionId) -> ChipId {
+        self.partition_chip[p.index()]
+    }
+
+    /// Partitions assigned to a chip.
+    #[must_use]
+    pub fn partitions_on(&self, chip: ChipId) -> Vec<PartitionId> {
+        self.partition_ids().filter(|p| self.chip_of(*p) == chip).collect()
+    }
+
+    /// The declared memory blocks.
+    #[must_use]
+    pub fn memories(&self) -> &[MemoryModule] {
+        &self.memories
+    }
+
+    /// Assignment of a memory block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn memory_assignment(&self, m: MemoryId) -> MemoryAssignment {
+        self.memory_assignment[m.index()]
+    }
+
+    /// Extracts the self-contained sub-DFG of one partition (cut values
+    /// become primary I/O) for prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn partition_dfg(&self, p: PartitionId) -> Dfg {
+        extract_group(&self.dfg, &self.grouping, p.index())
+    }
+
+    /// Inter-partition cut values (constant-fed values excluded — constants
+    /// are replicated into their consuming partition rather than
+    /// transferred between chips).
+    #[must_use]
+    pub fn inter_partition_cuts(&self) -> Vec<chop_dfg::grouping::CutValue> {
+        let mut filtered: Vec<chop_dfg::grouping::CutValue> = Vec::new();
+        let mut agg: std::collections::BTreeMap<(usize, usize), (u64, usize)> =
+            std::collections::BTreeMap::new();
+        for (_, e) in self.dfg.edges() {
+            let sg = self.grouping.group_of(e.src());
+            let dg = self.grouping.group_of(e.dst());
+            if sg != dg && self.dfg.node(e.src()).op() != chop_dfg::Operation::Const {
+                let entry = agg.entry((sg, dg)).or_insert((0, 0));
+                entry.0 += e.width().value();
+                entry.1 += 1;
+            }
+        }
+        for ((src_group, dst_group), (bits, values)) in agg {
+            filtered.push(chop_dfg::grouping::CutValue {
+                src_group,
+                dst_group,
+                bits: chop_stat::units::Bits::new(bits),
+                values,
+            });
+        }
+        filtered
+    }
+
+    /// Returns a copy with one node moved to a different partition
+    /// ("operation migrations from partition to partition", paper §2.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GroupingError`] if the move empties a partition or
+    /// creates mutual data dependency.
+    pub fn with_node_moved(
+        &self,
+        node: NodeId,
+        to: PartitionId,
+    ) -> Result<Self, GroupingError> {
+        let moved = self.grouping.with_node_moved(node, to.index());
+        if let Some(empty) = (0..moved.group_count()).find(|&g| moved.members(g).is_empty()) {
+            return Err(GroupingError::EmptyGroup(empty));
+        }
+        moved.check_no_mutual_dependency(&self.dfg)?;
+        Ok(Self { grouping: moved, ..self.clone() })
+    }
+
+    /// Returns a copy with a partition migrated to another chip
+    /// ("migration of partitions from chip to chip", paper §2.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownChip`] if `chip` is outside the set.
+    pub fn with_partition_on_chip(
+        &self,
+        p: PartitionId,
+        chip: ChipId,
+    ) -> Result<Self, SpecError> {
+        if chip.index() >= self.chips.len() {
+            return Err(SpecError::UnknownChip(chip));
+        }
+        let mut next = self.clone();
+        next.partition_chip[p.index()] = chip;
+        Ok(next)
+    }
+
+    /// Returns a copy with an on-chip memory block reassigned to another
+    /// chip ("the assignments of memory blocks can also be changed to
+    /// possibly decrease the number of off-chip memory accesses", §2.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::MemoryOnUnknownChip`] for a chip outside the
+    /// set and [`SpecError::PlacementMismatch`] for off-the-shelf parts,
+    /// which live outside the chip set by definition.
+    pub fn with_memory_on_chip(
+        &self,
+        m: MemoryId,
+        chip: ChipId,
+    ) -> Result<Self, SpecError> {
+        if chip.index() >= self.chips.len() {
+            return Err(SpecError::MemoryOnUnknownChip(m, chip));
+        }
+        if self.memories[m.index()].placement() != MemoryPlacement::OnChip {
+            return Err(SpecError::PlacementMismatch(m));
+        }
+        let mut next = self.clone();
+        next.memory_assignment[m.index()] = MemoryAssignment::OnChip(chip);
+        Ok(next)
+    }
+
+    /// Returns a copy with a different chip set (same length), the
+    /// "target chip set" modification of §2.7.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NoChips`] if the new set is empty, or
+    /// [`SpecError::UnknownChip`] if it has fewer chips than some partition
+    /// assignment requires.
+    pub fn with_chip_set(&self, chips: ChipSet) -> Result<Self, SpecError> {
+        if chips.is_empty() {
+            return Err(SpecError::NoChips);
+        }
+        if let Some(&c) = self.partition_chip.iter().find(|c| c.index() >= chips.len()) {
+            return Err(SpecError::UnknownChip(c));
+        }
+        Ok(Self { chips, ..self.clone() })
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Partitioning({} partitions on {} chips, {} memories)",
+            self.partition_count(),
+            self.chips.len(),
+            self.memories.len()
+        )
+    }
+}
+
+/// Builder for [`Partitioning`].
+///
+/// # Examples
+///
+/// ```
+/// use chop_core::spec::PartitioningBuilder;
+/// use chop_dfg::benchmarks;
+/// use chop_library::standard::table2_packages;
+/// use chop_library::ChipSet;
+///
+/// let dfg = benchmarks::ar_lattice_filter();
+/// let chips = ChipSet::uniform(table2_packages()[1].clone(), 3);
+/// let p = PartitioningBuilder::new(dfg, chips)
+///     .split_horizontal(3)
+///     .build()?;
+/// assert_eq!(p.partition_count(), 3);
+/// // Default assignment: partition i on chip i.
+/// assert_eq!(p.chip_of(chop_core::PartitionId::new(2)).index(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitioningBuilder {
+    dfg: Dfg,
+    chips: ChipSet,
+    grouping: Option<Grouping>,
+    partition_chip: Option<Vec<ChipId>>,
+    memories: Vec<MemoryModule>,
+    memory_assignment: Vec<MemoryAssignment>,
+}
+
+impl PartitioningBuilder {
+    /// Starts a builder from a specification and a chip set.
+    #[must_use]
+    pub fn new(dfg: Dfg, chips: ChipSet) -> Self {
+        Self {
+            dfg,
+            chips,
+            grouping: None,
+            partition_chip: None,
+            memories: Vec::new(),
+            memory_assignment: Vec::new(),
+        }
+    }
+
+    /// Uses a single partition containing the whole specification.
+    #[must_use]
+    pub fn single_partition(mut self) -> Self {
+        self.grouping = Some(Grouping::single(&self.dfg));
+        self
+    }
+
+    /// Splits the graph into `k` topological slices of roughly equal size —
+    /// the "horizontal cut" partitioning of the paper's experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the node count.
+    #[must_use]
+    pub fn split_horizontal(mut self, k: usize) -> Self {
+        self.grouping = Some(Grouping::horizontal(&self.dfg, k));
+        self
+    }
+
+    /// Uses an explicit node grouping.
+    #[must_use]
+    pub fn with_grouping(mut self, grouping: Grouping) -> Self {
+        self.grouping = Some(grouping);
+        self
+    }
+
+    /// Assigns partitions to chips explicitly (defaults to partition *i* on
+    /// chip *i mod chips*).
+    #[must_use]
+    pub fn with_chip_assignment(mut self, assignment: Vec<ChipId>) -> Self {
+        self.partition_chip = Some(assignment);
+        self
+    }
+
+    /// Declares a memory block and its assignment.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryModule, assignment: MemoryAssignment) -> Self {
+        self.memories.push(memory);
+        self.memory_assignment.push(assignment);
+        self
+    }
+
+    /// Validates and builds the partitioning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] or [`GroupingError`] (via [`BuildError`])
+    /// describing the first problem found: empty chip set, bad chip ids,
+    /// undeclared memories, placement mismatches or mutual data dependency
+    /// between partitions.
+    pub fn build(self) -> Result<Partitioning, BuildError> {
+        if self.chips.is_empty() {
+            return Err(SpecError::NoChips.into());
+        }
+        let grouping = match self.grouping {
+            Some(g) => g,
+            None => Grouping::single(&self.dfg),
+        };
+        grouping.check_no_mutual_dependency(&self.dfg)?;
+        let k = grouping.group_count();
+        let partition_chip = match self.partition_chip {
+            Some(a) => {
+                if a.len() != k {
+                    return Err(SpecError::ChipAssignmentLength {
+                        partitions: k,
+                        assignments: a.len(),
+                    }
+                    .into());
+                }
+                a
+            }
+            None => (0..k)
+                .map(|i| ChipId::new((i % self.chips.len()) as u32))
+                .collect(),
+        };
+        for &c in &partition_chip {
+            if c.index() >= self.chips.len() {
+                return Err(SpecError::UnknownChip(c).into());
+            }
+        }
+        if self.memory_assignment.len() != self.memories.len() {
+            return Err(SpecError::MemoryAssignmentLength {
+                memories: self.memories.len(),
+                assignments: self.memory_assignment.len(),
+            }
+            .into());
+        }
+        // Every memory the DFG touches must be declared.
+        for (_, node) in self.dfg.nodes() {
+            if let Some(m) = node.op().memory() {
+                if m.index() as usize >= self.memories.len() {
+                    return Err(SpecError::UndeclaredMemory(m.index()).into());
+                }
+            }
+        }
+        // Placement style must agree with the assignment.
+        for (i, (mem, assign)) in
+            self.memories.iter().zip(&self.memory_assignment).enumerate()
+        {
+            let id = MemoryId::new(i as u32);
+            match (mem.placement(), assign) {
+                (MemoryPlacement::OnChip, MemoryAssignment::OnChip(c)) => {
+                    if c.index() >= self.chips.len() {
+                        return Err(SpecError::MemoryOnUnknownChip(id, *c).into());
+                    }
+                }
+                (MemoryPlacement::OffTheShelf, MemoryAssignment::External) => {}
+                _ => return Err(SpecError::PlacementMismatch(id).into()),
+            }
+        }
+        Ok(Partitioning {
+            dfg: self.dfg,
+            grouping,
+            chips: self.chips,
+            partition_chip,
+            memories: self.memories,
+            memory_assignment: self.memory_assignment,
+        })
+    }
+}
+
+/// Error from [`PartitioningBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A structural specification error.
+    Spec(SpecError),
+    /// A grouping error (mutual dependency, empty group…).
+    Grouping(GroupingError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Spec(e) => e.fmt(f),
+            BuildError::Grouping(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SpecError> for BuildError {
+    fn from(e: SpecError) -> Self {
+        BuildError::Spec(e)
+    }
+}
+
+impl From<GroupingError> for BuildError {
+    fn from(e: GroupingError) -> Self {
+        BuildError::Grouping(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::benchmarks;
+    use chop_dfg::grouping::cut_values;
+    use chop_library::standard::{example_off_shelf_ram, example_on_chip_ram, table2_packages};
+
+    use super::*;
+
+    fn chips(n: usize) -> ChipSet {
+        ChipSet::uniform(table2_packages()[1].clone(), n)
+    }
+
+    #[test]
+    fn build_default_single_partition() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(1))
+            .build()
+            .unwrap();
+        assert_eq!(p.partition_count(), 1);
+        assert_eq!(p.partitions_on(ChipId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn empty_chipset_rejected() {
+        let err = PartitioningBuilder::new(benchmarks::diffeq(), ChipSet::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::Spec(SpecError::NoChips));
+    }
+
+    #[test]
+    fn chip_assignment_length_checked() {
+        let err = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .with_chip_assignment(vec![ChipId::new(0)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Spec(SpecError::ChipAssignmentLength { .. })));
+    }
+
+    #[test]
+    fn unknown_chip_rejected() {
+        let err = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(1))
+            .split_horizontal(2)
+            .with_chip_assignment(vec![ChipId::new(0), ChipId::new(7)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Spec(SpecError::UnknownChip(_))));
+    }
+
+    #[test]
+    fn two_partitions_share_a_chip() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(1))
+            .split_horizontal(2)
+            .with_chip_assignment(vec![ChipId::new(0), ChipId::new(0)])
+            .build()
+            .unwrap();
+        assert_eq!(p.partitions_on(ChipId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn undeclared_memory_rejected() {
+        use chop_dfg::{DfgBuilder, MemoryRef, Operation};
+        use chop_stat::units::Bits;
+        let mut b = DfgBuilder::new();
+        let w = Bits::new(16);
+        let i = b.node(Operation::Input, w);
+        let r = b.node(Operation::MemRead(MemoryRef::new(0)), w);
+        b.connect(i, r).unwrap();
+        let o = b.node(Operation::Output, w);
+        b.connect(r, o).unwrap();
+        let g = b.build().unwrap();
+        let err = PartitioningBuilder::new(g, chips(1)).build().unwrap_err();
+        assert!(matches!(err, BuildError::Spec(SpecError::UndeclaredMemory(0))));
+    }
+
+    #[test]
+    fn placement_mismatch_rejected() {
+        let err = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(1))
+            .with_memory(example_on_chip_ram(), MemoryAssignment::External)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Spec(SpecError::PlacementMismatch(_))));
+    }
+
+    #[test]
+    fn off_the_shelf_memory_accepted() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(1))
+            .with_memory(example_off_shelf_ram(), MemoryAssignment::External)
+            .build()
+            .unwrap();
+        assert_eq!(p.memories().len(), 1);
+        assert_eq!(
+            p.memory_assignment(MemoryId::new(0)),
+            MemoryAssignment::External
+        );
+    }
+
+    #[test]
+    fn partition_dfg_is_predictable() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        for pid in p.partition_ids() {
+            let sub = p.partition_dfg(pid);
+            assert!(sub.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn inter_partition_cuts_exclude_constants() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        let filtered = p.inter_partition_cuts();
+        let raw = cut_values(p.dfg(), p.grouping());
+        let f_bits: u64 = filtered.iter().map(|c| c.bits.value()).sum();
+        let r_bits: u64 = raw.iter().map(|c| c.bits.value()).sum();
+        assert!(f_bits <= r_bits);
+    }
+
+    #[test]
+    fn node_move_roundtrip() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        let node = p.grouping().members(0)[0];
+        // Moving most nodes forward violates nothing structural; if it
+        // introduces mutual dependency the API must say so.
+        match p.with_node_moved(node, PartitionId::new(1)) {
+            Ok(moved) => assert_eq!(moved.grouping().group_of(node), 1),
+            Err(e) => assert!(matches!(e, GroupingError::MutualDependency(_, _))),
+        }
+    }
+
+    #[test]
+    fn chip_set_swap() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        let smaller = ChipSet::uniform(table2_packages()[0].clone(), 2);
+        let swapped = p.with_chip_set(smaller).unwrap();
+        assert_eq!(swapped.chips().chip(ChipId::new(0)).pins(), 64);
+        assert!(p.with_chip_set(ChipSet::new()).is_err());
+        let too_few = ChipSet::uniform(table2_packages()[0].clone(), 1);
+        assert!(p.with_chip_set(too_few).is_err());
+    }
+}

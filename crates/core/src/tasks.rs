@@ -1,0 +1,314 @@
+//! Task creation for a custom-designed processor style — the third
+//! application the paper's abstract names ("behavioral partitioning,
+//! system-level advising and task creation based on a custom-designed
+//! processor style").
+//!
+//! Given a fixed processor datapath (a functional-unit allocation — the
+//! "custom-designed processor style") and a per-task cycle budget, the
+//! behavior is sliced along its topological order into *tasks*: maximal
+//! contiguous sub-graphs whose resource-constrained schedule fits the
+//! budget on that datapath. The resulting [`Grouping`] can be fed straight
+//! back into a [`crate::Partitioning`] (tasks → partitions) or used as a
+//! software-style task list for the processor.
+
+use std::fmt;
+
+use chop_dfg::grouping::Grouping;
+use chop_dfg::{Dfg, NodeId};
+use chop_sched::{list_schedule, NodeSpec, ResourceMap, ScheduleError};
+
+/// Error from [`create_tasks`].
+#[derive(Debug)]
+pub enum CreateTasksError {
+    /// The cycle budget is zero.
+    ZeroBudget,
+    /// Some single operation cannot fit the budget on this processor
+    /// (its duration alone exceeds the budget).
+    OperationTooLong {
+        /// The offending node.
+        node: NodeId,
+        /// Its duration in cycles.
+        duration: u64,
+    },
+    /// The processor lacks units for a class the behavior uses.
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for CreateTasksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreateTasksError::ZeroBudget => write!(f, "cycle budget must be positive"),
+            CreateTasksError::OperationTooLong { node, duration } => write!(
+                f,
+                "operation {node} needs {duration} cycles, more than the whole budget"
+            ),
+            CreateTasksError::Schedule(e) => write!(f, "processor cannot run behavior: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CreateTasksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CreateTasksError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for CreateTasksError {
+    fn from(e: ScheduleError) -> Self {
+        CreateTasksError::Schedule(e)
+    }
+}
+
+/// The created task set: the node grouping plus each task's schedule
+/// length on the processor.
+#[derive(Debug, Clone)]
+pub struct TaskSet {
+    /// Node → task assignment (tasks are groups, in execution order).
+    pub grouping: Grouping,
+    /// Schedule length of each task on the processor, in cycles.
+    pub task_cycles: Vec<u64>,
+}
+
+impl TaskSet {
+    /// Number of tasks created.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.task_cycles.len()
+    }
+
+    /// Whether no tasks were created (never true on success).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.task_cycles.is_empty()
+    }
+
+    /// Total sequential execution time of all tasks, in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.task_cycles.iter().sum()
+    }
+}
+
+/// Slices `dfg` into tasks for a processor with the given functional-unit
+/// allocation, such that each task's resource-constrained schedule fits
+/// `cycle_budget` cycles.
+///
+/// Nodes are consumed in topological order, so every task only depends on
+/// earlier tasks (the grouping is forward-only by construction and never
+/// creates mutual dependency).
+///
+/// # Errors
+///
+/// Returns a [`CreateTasksError`] for a zero budget, an operation longer
+/// than the budget, or a processor lacking a required unit class.
+///
+/// # Examples
+///
+/// ```
+/// use chop_core::tasks::create_tasks;
+/// use chop_dfg::{benchmarks, OpClass};
+/// use chop_sched::{NodeSpec, ResourceMap};
+///
+/// let g = benchmarks::ar_lattice_filter();
+/// let specs = NodeSpec::uniform(&g, 1);
+/// let processor: ResourceMap =
+///     [(OpClass::Addition, 1), (OpClass::Multiplication, 1)].into_iter().collect();
+/// let tasks = create_tasks(&g, &specs, &processor, 6)?;
+/// assert!(tasks.len() >= 4); // 28 single-cycle ops, ≤6 cycles per task
+/// assert!(tasks.task_cycles.iter().all(|&c| c <= 6));
+/// # Ok::<(), chop_core::tasks::CreateTasksError>(())
+/// ```
+pub fn create_tasks(
+    dfg: &Dfg,
+    specs: &NodeSpec,
+    processor: &ResourceMap,
+    cycle_budget: u64,
+) -> Result<TaskSet, CreateTasksError> {
+    if cycle_budget == 0 {
+        return Err(CreateTasksError::ZeroBudget);
+    }
+    for id in dfg.node_ids() {
+        let d = specs.duration(id);
+        if d > cycle_budget {
+            return Err(CreateTasksError::OperationTooLong { node: id, duration: d });
+        }
+    }
+    // Whole-graph schedulability check surfaces missing units early.
+    let _ = list_schedule(dfg, specs, processor)?;
+
+    let order = dfg.topo_order();
+    let mut assignment = vec![0usize; dfg.len()];
+    let mut task_cycles: Vec<u64> = Vec::new();
+    let mut task = 0usize;
+    let mut members: Vec<NodeId> = Vec::new();
+    let mut accepted_cycles = 0u64;
+
+    let mut i = 0usize;
+    while i < order.len() {
+        let id = order[i];
+        members.push(id);
+        let cycles = task_schedule_len(dfg, specs, processor, &members)?;
+        if cycles <= cycle_budget {
+            assignment[id.index()] = task;
+            accepted_cycles = cycles;
+            i += 1;
+        } else {
+            members.pop();
+            if members.is_empty() {
+                // Cannot happen: single ops fit (checked above) and an
+                // empty task accepts any node.
+                return Err(CreateTasksError::OperationTooLong {
+                    node: id,
+                    duration: specs.duration(id),
+                });
+            }
+            task_cycles.push(accepted_cycles);
+            task += 1;
+            members.clear();
+            accepted_cycles = 0;
+        }
+    }
+    if !members.is_empty() {
+        task_cycles.push(accepted_cycles);
+    }
+    let grouping = Grouping::new(dfg, task_cycles.len().max(1), assignment)
+        .expect("assignment covers every node with non-empty groups");
+    Ok(TaskSet { grouping, task_cycles })
+}
+
+/// Schedule length of one candidate task: its members' induced sub-graph
+/// on the processor (cross-task values are assumed staged in registers,
+/// so only intra-task precedence constrains the schedule).
+fn task_schedule_len(
+    dfg: &Dfg,
+    specs: &NodeSpec,
+    processor: &ResourceMap,
+    members: &[NodeId],
+) -> Result<u64, CreateTasksError> {
+    use chop_dfg::DfgBuilder;
+    let mut b = DfgBuilder::new();
+    let mut map = vec![None; dfg.len()];
+    for &id in members {
+        let node = dfg.node(id);
+        map[id.index()] = Some(b.node(node.op(), node.width()));
+    }
+    for (_, e) in dfg.edges() {
+        if let (Some(s), Some(d)) = (map[e.src().index()], map[e.dst().index()]) {
+            b.connect_with_width(s, d, e.width()).expect("ids valid");
+        }
+    }
+    let sub = b.build().expect("non-empty member set");
+    let sub_specs = NodeSpec::from_fn(
+        &sub,
+        |id| {
+            // Recover the original node's duration via position: members
+            // were added in order.
+            specs.duration(members[id.index()])
+        },
+        |id| sub.node(id).op().class(),
+    );
+    let schedule = list_schedule(&sub, &sub_specs, processor)?;
+    Ok(schedule.makespan())
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::{benchmarks, OpClass};
+    use chop_sched::NodeSpec;
+
+    use super::*;
+
+    fn processor(adds: usize, muls: usize) -> ResourceMap {
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let g = benchmarks::fir_filter(2);
+        let specs = NodeSpec::uniform(&g, 1);
+        assert!(matches!(
+            create_tasks(&g, &specs, &processor(1, 1), 0),
+            Err(CreateTasksError::ZeroBudget)
+        ));
+    }
+
+    #[test]
+    fn long_operation_rejected() {
+        let g = benchmarks::fir_filter(2);
+        let specs = NodeSpec::uniform(&g, 10);
+        assert!(matches!(
+            create_tasks(&g, &specs, &processor(1, 1), 5),
+            Err(CreateTasksError::OperationTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_units_rejected() {
+        let g = benchmarks::fir_filter(2);
+        let specs = NodeSpec::uniform(&g, 1);
+        let no_mul = processor(1, 0);
+        assert!(matches!(
+            create_tasks(&g, &specs, &no_mul, 5),
+            Err(CreateTasksError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn every_task_fits_the_budget() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        for budget in [3u64, 6, 12] {
+            let tasks = create_tasks(&g, &specs, &processor(1, 2), budget).unwrap();
+            assert!(tasks.task_cycles.iter().all(|&c| c <= budget), "budget {budget}");
+            assert_eq!(tasks.grouping.group_count(), tasks.len());
+        }
+    }
+
+    #[test]
+    fn tasks_are_forward_only() {
+        let g = benchmarks::dct8();
+        let specs = NodeSpec::uniform(&g, 1);
+        let tasks = create_tasks(&g, &specs, &processor(2, 2), 4).unwrap();
+        for (_, e) in g.edges() {
+            assert!(
+                tasks.grouping.group_of(e.src()) <= tasks.grouping.group_of(e.dst()),
+                "task slicing must follow the data flow"
+            );
+        }
+        assert!(tasks.grouping.check_no_mutual_dependency(&g).is_ok());
+    }
+
+    #[test]
+    fn bigger_budget_means_fewer_tasks() {
+        let g = benchmarks::elliptic_wave_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let small = create_tasks(&g, &specs, &processor(1, 1), 4).unwrap();
+        let large = create_tasks(&g, &specs, &processor(1, 1), 16).unwrap();
+        assert!(large.len() < small.len());
+        // Total work is conserved within scheduling slack.
+        assert!(large.total_cycles() <= small.total_cycles());
+    }
+
+    #[test]
+    fn tasks_feed_back_into_partitioning() {
+        use crate::spec::PartitioningBuilder;
+        use chop_library::standard::table2_packages;
+        use chop_library::ChipSet;
+
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let tasks = create_tasks(&g, &specs, &processor(2, 4), 3).unwrap();
+        let k = tasks.grouping.group_count();
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let p = PartitioningBuilder::new(g, chips)
+            .with_grouping(tasks.grouping)
+            .build()
+            .unwrap();
+        assert_eq!(p.partition_count(), k);
+    }
+}

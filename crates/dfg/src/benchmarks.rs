@@ -1,0 +1,617 @@
+//! The paper's workload (AR lattice filter, Fig. 6) and the classic
+//! high-level-synthesis benchmarks used for extended experiments.
+//!
+//! The AR lattice filter is reconstructed with the canonical operation mix
+//! of the HLS literature — 16 multiplications and 12 additions at 16 bits —
+//! arranged as two levels of four lattice butterflies plus a combining adder
+//! row (Fig. 6 of the paper is only partially legible; DESIGN.md documents
+//! this substitution). The filter has no memory or I/O *operations*, only
+//! primary inputs/outputs, exactly as the paper notes.
+
+use chop_stat::units::Bits;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Dfg, DfgBuilder, NodeId};
+use crate::op::Operation;
+
+const W16: u64 = 16;
+
+/// The AR lattice filter element of Fig. 6: 16 multiplications, 12
+/// additions, 8 data inputs, 16 coefficient constants and 4 outputs.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+///
+/// let ar = benchmarks::ar_lattice_filter();
+/// let h = ar.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Multiplication), 16);
+/// assert_eq!(h.count_class(OpClass::Addition), 12);
+/// assert_eq!(ar.inputs().count(), 8);
+/// assert_eq!(ar.outputs().count(), 4);
+/// ```
+#[must_use]
+pub fn ar_lattice_filter() -> Dfg {
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+
+    let xs: Vec<NodeId> =
+        (0..4).map(|i| b.labeled_node(Operation::Input, w, format!("x{i}"))).collect();
+    let ys: Vec<NodeId> =
+        (0..4).map(|i| b.labeled_node(Operation::Input, w, format!("y{i}"))).collect();
+    let mut coeff = {
+        let mut k = 0;
+        move |b: &mut DfgBuilder| {
+            let c = b.labeled_node(Operation::Const, w, format!("c{k}"));
+            k += 1;
+            c
+        }
+    };
+
+    // One lattice butterfly: s = u*cu + v*cv.
+    let mut butterfly = |b: &mut DfgBuilder, u: NodeId, v: NodeId, tag: &str| {
+        let cu = coeff(b);
+        let cv = coeff(b);
+        let m1 = b.labeled_node(Operation::Mul, w, format!("{tag}.m1"));
+        let m2 = b.labeled_node(Operation::Mul, w, format!("{tag}.m2"));
+        let s = b.labeled_node(Operation::Add, w, format!("{tag}.s"));
+        b.connect(u, m1).expect("valid");
+        b.connect(cu, m1).expect("valid");
+        b.connect(v, m2).expect("valid");
+        b.connect(cv, m2).expect("valid");
+        b.connect(m1, s).expect("valid");
+        b.connect(m2, s).expect("valid");
+        s
+    };
+
+    // Level 1: four butterflies pairing x_i with y_i.
+    let level1: Vec<NodeId> = (0..4)
+        .map(|i| butterfly(&mut b, xs[i], ys[i], &format!("l1b{i}")))
+        .collect();
+
+    // Level 2: four butterflies pairing neighbouring level-1 sums — the
+    // lattice cross-links.
+    let level2: Vec<NodeId> = (0..4)
+        .map(|j| butterfly(&mut b, level1[j], level1[(j + 1) % 4], &format!("l2b{j}")))
+        .collect();
+
+    // Combining row: z_j = level2[j] + level1[(j+2) % 4].
+    for j in 0..4 {
+        let z = b.labeled_node(Operation::Add, w, format!("z{j}"));
+        b.connect(level2[j], z).expect("valid");
+        b.connect(level1[(j + 2) % 4], z).expect("valid");
+        let out = b.labeled_node(Operation::Output, w, format!("out{j}"));
+        b.connect(z, out).expect("valid");
+    }
+
+    let g = b.build().expect("AR filter is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A fifth-order elliptic wave filter with the canonical operation mix of
+/// the HLS benchmark suite: 26 additions and 8 multiplications.
+///
+/// The exact EWF netlist is reconstructed as a serpentine adder backbone
+/// with multiplier side-chains, preserving the benchmark's signature
+/// properties: a long additive critical path (≈ 14 additions) and sparse
+/// multiplications hanging off it.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{analysis, benchmarks, OpClass};
+///
+/// let g = benchmarks::elliptic_wave_filter();
+/// let h = g.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Addition), 26);
+/// assert_eq!(h.count_class(OpClass::Multiplication), 8);
+/// let depth = analysis::critical_path(&g, |_, n| u64::from(n.op().class().is_some()));
+/// assert!(depth >= 12);
+/// ```
+#[must_use]
+pub fn elliptic_wave_filter() -> Dfg {
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+    let input = b.labeled_node(Operation::Input, w, "in");
+    let states: Vec<NodeId> =
+        (0..7).map(|i| b.labeled_node(Operation::Input, w, format!("s{i}"))).collect();
+
+    // Backbone: a chain of additions; every other stage mixes in a state
+    // register or a multiplier side-chain until 26 adds and 8 muls are
+    // placed.
+    let mut adds = 0usize;
+    let mut muls = 0usize;
+    let mut frontier = input;
+    let mut state_iter = states.iter().copied().cycle();
+    let mut side_values: Vec<NodeId> = Vec::new();
+    while adds < 26 {
+        let other = if muls < 8 && adds % 3 == 1 {
+            // Multiplier side-chain: state * backbone.
+            let m = b.labeled_node(Operation::Mul, w, format!("m{muls}"));
+            let s = state_iter.next().expect("cycle is infinite");
+            b.connect(frontier, m).expect("valid");
+            b.connect(s, m).expect("valid");
+            muls += 1;
+            m
+        } else {
+            state_iter.next().expect("cycle is infinite")
+        };
+        let a = b.labeled_node(Operation::Add, w, format!("a{adds}"));
+        b.connect(frontier, a).expect("valid");
+        b.connect(other, a).expect("valid");
+        if adds % 5 == 4 {
+            side_values.push(a);
+        }
+        frontier = a;
+        adds += 1;
+    }
+    let out = b.labeled_node(Operation::Output, w, "out");
+    b.connect(frontier, out).expect("valid");
+    for (i, v) in side_values.into_iter().enumerate() {
+        let o = b.labeled_node(Operation::Output, w, format!("tap{i}"));
+        b.connect(v, o).expect("valid");
+    }
+    let g = b.build().expect("EWF is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// An `n`-tap FIR filter: `n` multiplications and an `n-1`-addition
+/// balanced reduction tree.
+///
+/// # Panics
+///
+/// Panics if `taps` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+///
+/// let g = benchmarks::fir_filter(8);
+/// let h = g.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Multiplication), 8);
+/// assert_eq!(h.count_class(OpClass::Addition), 7);
+/// ```
+#[must_use]
+pub fn fir_filter(taps: usize) -> Dfg {
+    assert!(taps >= 1, "FIR filter needs at least one tap");
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+    let mut products = Vec::with_capacity(taps);
+    for i in 0..taps {
+        let x = b.labeled_node(Operation::Input, w, format!("x{i}"));
+        let c = b.labeled_node(Operation::Const, w, format!("h{i}"));
+        let m = b.labeled_node(Operation::Mul, w, format!("p{i}"));
+        b.connect(x, m).expect("valid");
+        b.connect(c, m).expect("valid");
+        products.push(m);
+    }
+    // Balanced adder tree.
+    let mut layer = products;
+    let mut k = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let a = b.labeled_node(Operation::Add, w, format!("t{k}"));
+                k += 1;
+                b.connect(pair[0], a).expect("valid");
+                b.connect(pair[1], a).expect("valid");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let out = b.labeled_node(Operation::Output, w, "y");
+    b.connect(layer[0], out).expect("valid");
+    let g = b.build().expect("FIR is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A radix-2 decimation-in-time FFT dataflow network with `stages` stages
+/// over `2^stages` points (real-valued simplification: each butterfly is
+/// one multiplication, one addition and one subtraction).
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or greater than 10.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+///
+/// let g = benchmarks::fft_network(3); // 8-point FFT
+/// let h = g.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Multiplication), 12); // 3 stages × 4 butterflies
+/// assert_eq!(h.count_class(OpClass::Addition), 24);
+/// ```
+#[must_use]
+pub fn fft_network(stages: u32) -> Dfg {
+    assert!((1..=10).contains(&stages), "stages must be in 1..=10");
+    let n = 1usize << stages;
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+    let mut values: Vec<NodeId> =
+        (0..n).map(|i| b.labeled_node(Operation::Input, w, format!("x{i}"))).collect();
+    for s in 0..stages {
+        let half = 1usize << s;
+        let mut next = values.clone();
+        let mut pair_index = 0;
+        let mut i = 0;
+        while i < n {
+            for j in 0..half {
+                let a = values[i + j];
+                let bb = values[i + j + half];
+                let tw = b.labeled_node(Operation::Const, w, format!("w{s}_{pair_index}"));
+                let t = b.labeled_node(Operation::Mul, w, format!("bt{s}_{pair_index}.t"));
+                b.connect(bb, t).expect("valid");
+                b.connect(tw, t).expect("valid");
+                let hi = b.labeled_node(Operation::Add, w, format!("bt{s}_{pair_index}.hi"));
+                let lo = b.labeled_node(Operation::Sub, w, format!("bt{s}_{pair_index}.lo"));
+                b.connect(a, hi).expect("valid");
+                b.connect(t, hi).expect("valid");
+                b.connect(a, lo).expect("valid");
+                b.connect(t, lo).expect("valid");
+                next[i + j] = hi;
+                next[i + j + half] = lo;
+                pair_index += 1;
+            }
+            i += half * 2;
+        }
+        values = next;
+    }
+    for (i, v) in values.iter().enumerate() {
+        let o = b.labeled_node(Operation::Output, w, format!("y{i}"));
+        b.connect(*v, o).expect("valid");
+    }
+    let g = b.build().expect("FFT network is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// The HAL differential-equation solver benchmark (`y'' + 3xy' + 3y = 0`):
+/// 6 multiplications, 2 additions, 2 subtractions and a comparison.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass, Operation};
+///
+/// let g = benchmarks::diffeq();
+/// let h = g.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Multiplication), 6);
+/// assert_eq!(h.count(Operation::Add), 2);
+/// assert_eq!(h.count(Operation::Sub), 2);
+/// assert_eq!(h.count_class(OpClass::Comparison), 1);
+/// ```
+#[must_use]
+pub fn diffeq() -> Dfg {
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+    let x = b.labeled_node(Operation::Input, w, "x");
+    let y = b.labeled_node(Operation::Input, w, "y");
+    let u = b.labeled_node(Operation::Input, w, "u");
+    let dx = b.labeled_node(Operation::Input, w, "dx");
+    let a_limit = b.labeled_node(Operation::Input, w, "a");
+    let three = b.labeled_node(Operation::Const, w, "3");
+
+    // x1 = x + dx
+    let x1 = b.labeled_node(Operation::Add, w, "x1");
+    b.connect(x, x1).expect("valid");
+    b.connect(dx, x1).expect("valid");
+    // t1 = 3 * x;  t2 = u * dx;  t3 = t1 * t2  (3*x*u*dx)
+    let t1 = b.labeled_node(Operation::Mul, w, "t1");
+    b.connect(three, t1).expect("valid");
+    b.connect(x, t1).expect("valid");
+    let t2 = b.labeled_node(Operation::Mul, w, "t2");
+    b.connect(u, t2).expect("valid");
+    b.connect(dx, t2).expect("valid");
+    let t3 = b.labeled_node(Operation::Mul, w, "t3");
+    b.connect(t1, t3).expect("valid");
+    b.connect(t2, t3).expect("valid");
+    // t4 = 3 * y;  t5 = t4 * dx  (3*y*dx)
+    let t4 = b.labeled_node(Operation::Mul, w, "t4");
+    b.connect(three, t4).expect("valid");
+    b.connect(y, t4).expect("valid");
+    let t5 = b.labeled_node(Operation::Mul, w, "t5");
+    b.connect(t4, t5).expect("valid");
+    b.connect(dx, t5).expect("valid");
+    // u1 = (u - t3) - t5
+    let d1 = b.labeled_node(Operation::Sub, w, "d1");
+    b.connect(u, d1).expect("valid");
+    b.connect(t3, d1).expect("valid");
+    let u1 = b.labeled_node(Operation::Sub, w, "u1");
+    b.connect(d1, u1).expect("valid");
+    b.connect(t5, u1).expect("valid");
+    // y1 = y + u * dx
+    let t6 = b.labeled_node(Operation::Mul, w, "t6");
+    b.connect(u, t6).expect("valid");
+    b.connect(dx, t6).expect("valid");
+    let y1 = b.labeled_node(Operation::Add, w, "y1");
+    b.connect(y, y1).expect("valid");
+    b.connect(t6, y1).expect("valid");
+    // c = x1 < a
+    let c = b.labeled_node(Operation::Compare, Bits::new(1), "c");
+    b.connect(x1, c).expect("valid");
+    b.connect(a_limit, c).expect("valid");
+
+    for (v, name, width) in
+        [(x1, "x_out", w), (y1, "y_out", w), (u1, "u_out", w), (c, "c_out", Bits::new(1))]
+    {
+        let o = b.labeled_node(Operation::Output, width, name);
+        b.connect_with_width(v, o, width).expect("valid");
+    }
+    let g = b.build().expect("diffeq is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// An 8-point DCT butterfly/rotation network (simplified Loeffler
+/// structure): a stage of 8 input butterflies, an even half computed as a
+/// DCT-4 and an odd half of two rotation pairs — 12 multiplications and
+/// 24 additions/subtractions.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+///
+/// let g = benchmarks::dct8();
+/// let h = g.op_histogram();
+/// assert_eq!(h.count_class(OpClass::Multiplication), 12);
+/// assert_eq!(h.count_class(OpClass::Addition), 24);
+/// assert_eq!(g.inputs().count(), 8);
+/// assert_eq!(g.outputs().count(), 8);
+/// ```
+#[must_use]
+pub fn dct8() -> Dfg {
+    let w = Bits::new(W16);
+    let mut b = DfgBuilder::new();
+    let x: Vec<NodeId> =
+        (0..8).map(|i| b.labeled_node(Operation::Input, w, format!("x{i}"))).collect();
+    let mut coeff_k = 0;
+    let mut coeff = |b: &mut DfgBuilder| {
+        let c = b.labeled_node(Operation::Const, w, format!("k{coeff_k}"));
+        coeff_k += 1;
+        c
+    };
+    let add = |b: &mut DfgBuilder, u: NodeId, v: NodeId, tag: String| {
+        let n = b.labeled_node(Operation::Add, w, tag);
+        b.connect(u, n).expect("valid");
+        b.connect(v, n).expect("valid");
+        n
+    };
+    let sub = |b: &mut DfgBuilder, u: NodeId, v: NodeId, tag: String| {
+        let n = b.labeled_node(Operation::Sub, w, tag);
+        b.connect(u, n).expect("valid");
+        b.connect(v, n).expect("valid");
+        n
+    };
+    // rot(u, v) = (u·c + v·s, v·c − u·s): 4 muls, one add, one sub.
+    let mut rot = |b: &mut DfgBuilder, u: NodeId, v: NodeId, tag: &str| {
+        let (c, s) = (coeff(b), coeff(b));
+        let mul = |b: &mut DfgBuilder, a: NodeId, k: NodeId, t: String| {
+            let n = b.labeled_node(Operation::Mul, w, t);
+            b.connect(a, n).expect("valid");
+            b.connect(k, n).expect("valid");
+            n
+        };
+        let uc = mul(b, u, c, format!("{tag}.uc"));
+        let vs = mul(b, v, s, format!("{tag}.vs"));
+        let vc = mul(b, v, c, format!("{tag}.vc"));
+        let us = mul(b, u, s, format!("{tag}.us"));
+        let p = add(b, uc, vs, format!("{tag}.p"));
+        let q = sub(b, vc, us, format!("{tag}.q"));
+        (p, q)
+    };
+
+    // Stage 1: input butterflies.
+    let s: Vec<NodeId> =
+        (0..4).map(|i| add(&mut b, x[i], x[7 - i], format!("s{i}"))).collect();
+    let d: Vec<NodeId> =
+        (0..4).map(|i| sub(&mut b, x[i], x[7 - i], format!("d{i}"))).collect();
+
+    // Even half: DCT-4 on s.
+    let e0 = add(&mut b, s[0], s[3], "e0".into());
+    let e1 = add(&mut b, s[1], s[2], "e1".into());
+    let e2 = sub(&mut b, s[0], s[3], "e2".into());
+    let e3 = sub(&mut b, s[1], s[2], "e3".into());
+    let y0 = add(&mut b, e0, e1, "y0".into());
+    let y4 = sub(&mut b, e0, e1, "y4".into());
+    let (y2, y6) = rot(&mut b, e2, e3, "even_rot");
+
+    // Odd half: two rotation pairs, then output butterflies.
+    let (u0, v0) = rot(&mut b, d[0], d[3], "odd_rot0");
+    let (u1, v1) = rot(&mut b, d[1], d[2], "odd_rot1");
+    let y1 = add(&mut b, u0, u1, "y1".into());
+    let y7 = sub(&mut b, u0, u1, "y7".into());
+    let y5 = add(&mut b, v0, v1, "y5".into());
+    let y3 = sub(&mut b, v0, v1, "y3".into());
+
+    for (i, v) in [y0, y1, y2, y3, y4, y5, y6, y7].into_iter().enumerate() {
+        let o = b.labeled_node(Operation::Output, w, format!("Y{i}"));
+        b.connect(v, o).expect("valid");
+    }
+    let g = b.build().expect("DCT-8 is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Parameters for [`random_layered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDfgParams {
+    /// Number of operation layers.
+    pub layers: usize,
+    /// Operations per layer.
+    pub width: usize,
+    /// Primary inputs feeding layer 0.
+    pub inputs: usize,
+    /// Percentage (0–100) of operations that are multiplications; the rest
+    /// are additions/subtractions.
+    pub mul_percent: u32,
+    /// Data width of every value.
+    pub bits: u64,
+}
+
+impl Default for RandomDfgParams {
+    fn default() -> Self {
+        Self { layers: 4, width: 6, inputs: 4, mul_percent: 40, bits: 16 }
+    }
+}
+
+/// Generates a random layered DFG — useful for property tests and scaling
+/// benchmarks beyond the paper's single workload.
+///
+/// Deterministic for a given `(seed, params)` pair.
+///
+/// # Panics
+///
+/// Panics if `layers`, `width` or `inputs` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
+///
+/// let g = random_layered(42, RandomDfgParams::default());
+/// assert!(g.validate().is_ok());
+/// let same = random_layered(42, RandomDfgParams::default());
+/// assert_eq!(g.len(), same.len());
+/// ```
+#[must_use]
+pub fn random_layered(seed: u64, params: RandomDfgParams) -> Dfg {
+    assert!(params.layers >= 1, "need at least one layer");
+    assert!(params.width >= 1, "need at least one op per layer");
+    assert!(params.inputs >= 1, "need at least one input");
+    let w = Bits::new(params.bits);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DfgBuilder::new();
+    let mut previous: Vec<NodeId> =
+        (0..params.inputs).map(|i| b.labeled_node(Operation::Input, w, format!("x{i}"))).collect();
+    for layer in 0..params.layers {
+        let mut current = Vec::with_capacity(params.width);
+        for i in 0..params.width {
+            let op = if rng.gen_range(0..100) < params.mul_percent {
+                Operation::Mul
+            } else if rng.gen_bool(0.5) {
+                Operation::Add
+            } else {
+                Operation::Sub
+            };
+            let n = b.labeled_node(op, w, format!("l{layer}o{i}"));
+            let a = previous[rng.gen_range(0..previous.len())];
+            let c = previous[rng.gen_range(0..previous.len())];
+            b.connect(a, n).expect("valid");
+            b.connect(c, n).expect("valid");
+            current.push(n);
+        }
+        previous = current;
+    }
+    for (i, v) in previous.iter().enumerate() {
+        let o = b.labeled_node(Operation::Output, w, format!("y{i}"));
+        b.connect(*v, o).expect("valid");
+    }
+    let g = b.build().expect("layered graph is acyclic by construction");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::critical_path;
+    use crate::op::OpClass;
+
+    use super::*;
+
+    #[test]
+    fn ar_filter_shape() {
+        let g = ar_lattice_filter();
+        let h = g.op_histogram();
+        assert_eq!(h.count_class(OpClass::Multiplication), 16);
+        assert_eq!(h.count_class(OpClass::Addition), 12);
+        assert_eq!(g.inputs().count(), 8);
+        assert_eq!(g.outputs().count(), 4);
+        assert!(g.validate().is_ok());
+        // mul, add, mul, add, add — five FU operations on the critical path.
+        let depth = critical_path(&g, |_, n| u64::from(n.op().class().is_some()));
+        assert_eq!(depth, 5);
+    }
+
+    #[test]
+    fn ewf_shape() {
+        let g = elliptic_wave_filter();
+        let h = g.op_histogram();
+        assert_eq!(h.count_class(OpClass::Addition), 26);
+        assert_eq!(h.count_class(OpClass::Multiplication), 8);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fir_counts_scale_with_taps() {
+        for taps in [1usize, 2, 5, 16] {
+            let g = fir_filter(taps);
+            let h = g.op_histogram();
+            assert_eq!(h.count_class(OpClass::Multiplication), taps);
+            assert_eq!(h.count_class(OpClass::Addition), taps - 1);
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn fft_counts() {
+        let g = fft_network(2); // 4-point: 2 stages × 2 butterflies
+        let h = g.op_histogram();
+        assert_eq!(h.count_class(OpClass::Multiplication), 4);
+        assert_eq!(h.count_class(OpClass::Addition), 8);
+        assert_eq!(g.inputs().count(), 4);
+        assert_eq!(g.outputs().count(), 4);
+    }
+
+    #[test]
+    fn dct8_shape() {
+        let g = dct8();
+        let h = g.op_histogram();
+        assert_eq!(h.count_class(OpClass::Multiplication), 12);
+        assert_eq!(h.count_class(OpClass::Addition), 24);
+        assert!(g.validate().is_ok());
+        // butterfly → even butterfly → rotation mul → rotation add = depth 4.
+        let depth = critical_path(&g, |_, n| u64::from(n.op().class().is_some()));
+        assert_eq!(depth, 4);
+    }
+
+    #[test]
+    fn diffeq_validates() {
+        let g = diffeq();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.outputs().count(), 4);
+    }
+
+    #[test]
+    fn random_layered_is_deterministic() {
+        let p = RandomDfgParams { layers: 6, width: 8, inputs: 5, mul_percent: 30, bits: 8 };
+        let a = random_layered(7, p);
+        let b = random_layered(7, p);
+        assert_eq!(a, b);
+        let c = random_layered(8, p);
+        // Different seeds shuffle connectivity (sizes stay equal).
+        assert_eq!(a.len(), c.len());
+    }
+
+    #[test]
+    fn random_layered_depth_tracks_layers() {
+        let g = random_layered(
+            1,
+            RandomDfgParams { layers: 10, width: 3, inputs: 2, mul_percent: 50, bits: 16 },
+        );
+        let depth = critical_path(&g, |_, n| u64::from(n.op().class().is_some()));
+        assert_eq!(depth, 10);
+    }
+}

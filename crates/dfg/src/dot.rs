@@ -1,0 +1,100 @@
+//! Graphviz (DOT) export of data-flow graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::Dfg;
+use crate::grouping::Grouping;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, dot};
+///
+/// let text = dot::to_dot(&benchmarks::diffeq());
+/// assert!(text.starts_with("digraph dfg"));
+/// assert!(text.contains("->"));
+/// ```
+#[must_use]
+pub fn to_dot(dfg: &Dfg) -> String {
+    render(dfg, None)
+}
+
+/// Renders the graph with nodes clustered by partition group — this is the
+/// visual counterpart of Fig. 2's "example partitioning".
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, dot, grouping::Grouping};
+///
+/// let g = benchmarks::ar_lattice_filter();
+/// let parts = Grouping::horizontal(&g, 2);
+/// let text = dot::to_dot_grouped(&g, &parts);
+/// assert!(text.contains("subgraph cluster_0"));
+/// assert!(text.contains("subgraph cluster_1"));
+/// ```
+#[must_use]
+pub fn to_dot_grouped(dfg: &Dfg, grouping: &Grouping) -> String {
+    render(dfg, Some(grouping))
+}
+
+fn render(dfg: &Dfg, grouping: Option<&Grouping>) -> String {
+    let mut out = String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box];\n");
+    let node_line = |dfg: &Dfg, id: crate::NodeId| {
+        let n = dfg.node(id);
+        let label = match n.label() {
+            Some(l) => format!("{l}\\n{}", n.op()),
+            None => n.op().to_string(),
+        };
+        format!("  {id} [label=\"{label}\"];\n")
+    };
+    match grouping {
+        Some(g) => {
+            for group in 0..g.group_count() {
+                let _ = writeln!(out, "  subgraph cluster_{group} {{");
+                let _ = writeln!(out, "    label=\"P{}\";", group + 1);
+                for id in g.members(group) {
+                    out.push_str("  ");
+                    out.push_str(&node_line(dfg, id));
+                }
+                out.push_str("  }\n");
+            }
+        }
+        None => {
+            for (id, _) in dfg.nodes() {
+                out.push_str(&node_line(dfg, id));
+            }
+        }
+    }
+    for (_, e) in dfg.edges() {
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.src(), e.dst(), e.width().value());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = benchmarks::diffeq();
+        let text = to_dot(&g);
+        for (id, _) in g.nodes() {
+            assert!(text.contains(&format!("{id} [label=")));
+        }
+        assert_eq!(text.matches("->").count(), g.edges().count());
+    }
+
+    #[test]
+    fn grouped_dot_has_one_cluster_per_group() {
+        let g = benchmarks::ar_lattice_filter();
+        let parts = Grouping::horizontal(&g, 3);
+        let text = to_dot_grouped(&g, &parts);
+        assert_eq!(text.matches("subgraph cluster_").count(), 3);
+    }
+}

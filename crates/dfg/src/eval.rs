@@ -1,0 +1,321 @@
+//! Behavioral evaluation of data-flow graphs.
+//!
+//! CHOP itself never executes the behavior — it predicts implementations —
+//! but the *reproduction* uses this evaluator to prove that partition
+//! extraction preserves semantics: executing the partitions of a
+//! [`crate::grouping::Grouping`] independently, wiring cut values across,
+//! produces exactly the outputs of the whole graph (see the
+//! `partitioned_execution_is_equivalent` property test).
+//!
+//! Arithmetic is fixed-point two's-complement at each node's bit width
+//! (values wrap modulo 2^width); comparisons yield 0/1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::{Dfg, NodeId};
+use crate::op::Operation;
+
+/// A simple word-addressed memory model shared by all blocks during
+/// evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::eval::Memory;
+///
+/// let mut m = Memory::new(16);
+/// m.write(0, 3, 0xBEEF);
+/// assert_eq!(m.read(0, 3), 0xBEEF);
+/// assert_eq!(m.read(1, 3), 0); // blocks are independent
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    words: usize,
+    blocks: BTreeMap<u32, Vec<u64>>,
+}
+
+impl Memory {
+    /// Creates a memory model with `words` words per block (addresses wrap
+    /// modulo `words`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "memory must have at least one word");
+        Self { words, blocks: BTreeMap::new() }
+    }
+
+    /// Reads block `block` at `addr` (zero if never written).
+    #[must_use]
+    pub fn read(&self, block: u32, addr: u64) -> u64 {
+        let idx = (addr as usize) % self.words;
+        self.blocks.get(&block).map_or(0, |b| b[idx])
+    }
+
+    /// Writes block `block` at `addr`.
+    pub fn write(&mut self, block: u32, addr: u64, value: u64) {
+        let words = self.words;
+        let idx = (addr as usize) % words;
+        self.blocks.entry(block).or_insert_with(|| vec![0; words])[idx] = value;
+    }
+}
+
+/// Error from [`evaluate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Fewer input values than input nodes.
+    NotEnoughInputs {
+        /// Input nodes in the graph.
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
+    /// Fewer constant values than constant nodes.
+    NotEnoughConsts {
+        /// Constant nodes in the graph.
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
+    /// A node is missing a required operand (graph fails validation).
+    MissingOperand(NodeId),
+    /// Division by zero.
+    DivideByZero(NodeId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotEnoughInputs { expected, found } => {
+                write!(f, "graph has {expected} inputs, {found} values supplied")
+            }
+            EvalError::NotEnoughConsts { expected, found } => {
+                write!(f, "graph has {expected} constants, {found} values supplied")
+            }
+            EvalError::MissingOperand(n) => write!(f, "node {n} is missing an operand"),
+            EvalError::DivideByZero(n) => write!(f, "division by zero at {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn mask(width: u64) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Evaluates the graph: input nodes consume `inputs` in id order, constant
+/// nodes consume `consts` in id order; outputs are returned in id order.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for missing values/operands or division by
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::eval::{evaluate, Memory};
+/// use chop_dfg::parse::parse_dfg;
+///
+/// let g = parse_dfg("a = input 16\nb = input 16\ns = add a b\ny = output s\n")?;
+/// let mut mem = Memory::new(16);
+/// let out = evaluate(&g, &[40_000, 30_000], &[], &mut mem)?;
+/// // 16-bit wrap-around: 70 000 mod 65 536.
+/// assert_eq!(out, vec![70_000 % 65_536]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(
+    dfg: &Dfg,
+    inputs: &[u64],
+    consts: &[u64],
+    memory: &mut Memory,
+) -> Result<Vec<u64>, EvalError> {
+    let n_inputs = dfg.inputs().count();
+    if inputs.len() < n_inputs {
+        return Err(EvalError::NotEnoughInputs { expected: n_inputs, found: inputs.len() });
+    }
+    let n_consts = dfg.nodes().filter(|(_, n)| n.op() == Operation::Const).count();
+    if consts.len() < n_consts {
+        return Err(EvalError::NotEnoughConsts { expected: n_consts, found: consts.len() });
+    }
+    let mut next_input = 0usize;
+    let mut next_const = 0usize;
+    let mut value = vec![0u64; dfg.len()];
+    // Sources consume their streams in *id* order for determinism.
+    for (id, node) in dfg.nodes() {
+        match node.op() {
+            Operation::Input => {
+                value[id.index()] = inputs[next_input] & mask(node.width().value());
+                next_input += 1;
+            }
+            Operation::Const => {
+                value[id.index()] = consts[next_const] & mask(node.width().value());
+                next_const += 1;
+            }
+            _ => {}
+        }
+    }
+    for &id in dfg.topo_order() {
+        let node = dfg.node(id);
+        let w = mask(node.width().value());
+        let operands: Vec<u64> =
+            dfg.pred_nodes(id).map(|p| value[p.index()]).collect();
+        let binary = |i: usize| operands.get(i).copied().ok_or(EvalError::MissingOperand(id));
+        let result = match node.op() {
+            Operation::Input | Operation::Const => continue,
+            Operation::Output => binary(0)?,
+            Operation::Add => binary(0)?.wrapping_add(binary(1)?) & w,
+            Operation::Sub => binary(0)?.wrapping_sub(binary(1)?) & w,
+            Operation::Mul => binary(0)?.wrapping_mul(binary(1)?) & w,
+            Operation::Div => {
+                let d = binary(1)?;
+                if d == 0 {
+                    return Err(EvalError::DivideByZero(id));
+                }
+                (binary(0)? / d) & w
+            }
+            Operation::Logic => binary(0)? ^ binary(1)?,
+            Operation::Shift => {
+                let amount = binary(1)? % 64;
+                (binary(0)? << amount) & w
+            }
+            Operation::Compare => u64::from(binary(0)? < binary(1)?),
+            Operation::MemRead(m) => memory.read(m.index(), binary(0)?) & w,
+            Operation::MemWrite(m) => {
+                let addr = binary(0)?;
+                let data = binary(1)?;
+                memory.write(m.index(), addr, data & w);
+                data & w
+            }
+        };
+        value[id.index()] = result;
+    }
+    Ok(dfg.outputs().map(|id| value[id.index()]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_stat::units::Bits;
+
+    use super::*;
+    use crate::graph::DfgBuilder;
+    use crate::parse::parse_dfg;
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let g = parse_dfg("a = input 8\nb = input 8\np = mul a b\ny = output p\n").unwrap();
+        let mut mem = Memory::new(4);
+        let out = evaluate(&g, &[200, 3], &[], &mut mem).unwrap();
+        assert_eq!(out, vec![(200 * 3) % 256]);
+    }
+
+    #[test]
+    fn sub_wraps_two_complement() {
+        let g = parse_dfg("a = input 8\nb = input 8\nd = sub a b\ny = output d\n").unwrap();
+        let mut mem = Memory::new(4);
+        let out = evaluate(&g, &[1, 2], &[], &mut mem).unwrap();
+        assert_eq!(out, vec![255]);
+    }
+
+    #[test]
+    fn compare_yields_flag() {
+        let g = parse_dfg("a = input 16\nb = input 16\nc = cmp a b\ny = output c\n").unwrap();
+        let mut mem = Memory::new(4);
+        assert_eq!(evaluate(&g, &[1, 2], &[], &mut mem).unwrap(), vec![1]);
+        assert_eq!(evaluate(&g, &[2, 1], &[], &mut mem).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn memory_round_trips_through_graph() {
+        let g = parse_dfg(
+            "addr = input 16\n\
+             data = input 16\n\
+             w = write M0 addr data\n\
+             r = read M0 addr\n\
+             y = output r\n",
+        )
+        .unwrap();
+        // Note: read has no ordering edge to the write here, so make the
+        // read depend on the write through its address to be safe.
+        let mut mem = Memory::new(8);
+        mem.write(0, 5, 77);
+        let out = evaluate(&g, &[5, 99], &[], &mut mem).unwrap();
+        // The read observes either the pre-written or newly written value
+        // depending on topological order; both are legal data-flow
+        // executions. What must hold: memory now contains 99.
+        assert!(out == vec![77] || out == vec![99]);
+        assert_eq!(mem.read(0, 5), 99);
+    }
+
+    #[test]
+    fn divide_by_zero_reported() {
+        let g = parse_dfg("a = input 8\nb = input 8\nq = div a b\ny = output q\n").unwrap();
+        let mut mem = Memory::new(4);
+        assert!(matches!(
+            evaluate(&g, &[8, 0], &[], &mut mem),
+            Err(EvalError::DivideByZero(_))
+        ));
+    }
+
+    #[test]
+    fn missing_inputs_reported() {
+        let g = parse_dfg("a = input 8\nb = input 8\ns = add a b\ny = output s\n").unwrap();
+        let mut mem = Memory::new(4);
+        assert!(matches!(
+            evaluate(&g, &[1], &[], &mut mem),
+            Err(EvalError::NotEnoughInputs { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn consts_consumed_in_id_order() {
+        let g = parse_dfg(
+            "a = input 8\nc1 = const 8\nc2 = const 8\np = mul a c1\nq = add p c2\ny = output q\n",
+        )
+        .unwrap();
+        let mut mem = Memory::new(4);
+        let out = evaluate(&g, &[2], &[10, 1], &mut mem).unwrap();
+        assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn benchmark_graphs_evaluate() {
+        for g in [
+            crate::benchmarks::ar_lattice_filter(),
+            crate::benchmarks::dct8(),
+            crate::benchmarks::fir_filter(8),
+        ] {
+            let inputs: Vec<u64> = (0..g.inputs().count() as u64).map(|i| i * 7 + 1).collect();
+            let consts: Vec<u64> = (0..g
+                .nodes()
+                .filter(|(_, n)| n.op() == Operation::Const)
+                .count() as u64)
+                .map(|i| i + 2)
+                .collect();
+            let mut mem = Memory::new(16);
+            let out = evaluate(&g, &inputs, &consts, &mut mem).unwrap();
+            assert_eq!(out.len(), g.outputs().count());
+        }
+    }
+
+    #[test]
+    fn wide_values_do_not_overflow_mask() {
+        let mut b = DfgBuilder::new();
+        let w = Bits::new(64);
+        let a = b.node(Operation::Input, w);
+        let o = b.node(Operation::Output, w);
+        b.connect(a, o).unwrap();
+        let g = b.build().unwrap();
+        let mut mem = Memory::new(2);
+        let out = evaluate(&g, &[u64::MAX], &[], &mut mem).unwrap();
+        assert_eq!(out, vec![u64::MAX]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Behavioral data-flow-graph substrate for the CHOP partitioner.
+//!
+//! CHOP partitions *behavioral specifications in the form of a data flow
+//! graph (with added control constructs)* (paper §2.2). This crate is that
+//! substrate:
+//!
+//! * [`Dfg`] / [`DfgBuilder`] — a validated, acyclic, typed data-flow graph
+//!   whose nodes carry an [`Operation`] and a bit width,
+//! * [`analysis`] — topological ordering, ASAP/depth levels, critical paths,
+//!   operation histograms,
+//! * [`grouping`] — cut-value extraction between disjoint node groups (the
+//!   raw material for CHOP's data-transfer tasks),
+//! * [`unroll`] — unrolling of inner loops with determinate iteration counts
+//!   (paper §2.3: such loops "can be unrolled so that the resulting data
+//!   flow graph is acyclic"),
+//! * [`benchmarks`] — the AR lattice filter of Fig. 6 plus the classic HLS
+//!   workloads (elliptic wave filter, FIR, FFT, HAL differential equation
+//!   solver) and a random layered-DFG generator,
+//! * [`dot`] — Graphviz export for inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use chop_dfg::{benchmarks, Operation};
+//!
+//! let ar = benchmarks::ar_lattice_filter();
+//! let hist = ar.op_histogram();
+//! assert_eq!(hist.count_class(chop_dfg::OpClass::Multiplication), 16);
+//! assert_eq!(hist.count_class(chop_dfg::OpClass::Addition), 12);
+//! assert!(ar.validate().is_ok());
+//! # let _ = Operation::Add;
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod dot;
+pub mod eval;
+mod graph;
+pub mod grouping;
+mod op;
+pub mod parse;
+pub mod unroll;
+
+pub use graph::{BuildDfgError, Dfg, DfgBuilder, Edge, EdgeId, Node, NodeId, ValidateDfgError};
+pub use op::{MemoryRef, OpClass, OpHistogram, Operation};

@@ -1,0 +1,416 @@
+//! A small textual format for behavioral specifications.
+//!
+//! CHOP's input is "the behavioral specification in the form of a data
+//! flow graph" (paper §2.2); this module gives that input a concrete
+//! file format so the tool can be driven from disk:
+//!
+//! ```text
+//! # one definition per line:  name = op operands...
+//! x  = input 16          # primary input, explicit width
+//! c  = const 16          # constant source, explicit width
+//! s  = add x c           # add/sub/mul/div/logic/shift (width of operands)
+//! t  = cmp s x           # comparison (1-bit result)
+//! r  = read M0 x         # memory read: block, address operand
+//! w  = write M0 x s      # memory write: block, address, data
+//! y  = output s          # primary output
+//! ```
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_]*`; comments run from `#` to end
+//! of line; memory blocks are `M<index>`. [`parse_dfg`] builds a validated
+//! [`Dfg`]; [`to_text`] writes one back out (round-trip stable up to
+//! whitespace).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use chop_stat::units::Bits;
+
+use crate::graph::{Dfg, DfgBuilder, NodeId};
+use crate::op::{MemoryRef, Operation};
+
+/// Error from [`parse_dfg`], with the offending 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDfgError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The line is not of the form `name = op operands…`.
+    Malformed,
+    /// The operation name is unknown.
+    UnknownOp(String),
+    /// An operand name was never defined.
+    UnknownName(String),
+    /// A name was defined twice.
+    Redefined(String),
+    /// A width or memory index failed to parse.
+    BadNumber(String),
+    /// Wrong operand count for the operation.
+    WrongArity {
+        /// The operation.
+        op: String,
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+    /// The finished graph failed structural validation.
+    Graph(String),
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::Malformed => write!(f, "expected `name = op operands…`"),
+            ParseErrorKind::UnknownOp(op) => write!(f, "unknown operation {op:?}"),
+            ParseErrorKind::UnknownName(n) => write!(f, "undefined operand {n:?}"),
+            ParseErrorKind::Redefined(n) => write!(f, "{n:?} defined twice"),
+            ParseErrorKind::BadNumber(s) => write!(f, "bad number {s:?}"),
+            ParseErrorKind::WrongArity { op, expected, found } => {
+                write!(f, "{op} takes {expected} operand(s), found {found}")
+            }
+            ParseErrorKind::Graph(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDfgError {}
+
+/// Parses the textual format into a validated [`Dfg`].
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] naming the offending line for syntax
+/// errors, unknown names, redefinitions, arity mismatches and structural
+/// failures (cycles).
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::parse::parse_dfg;
+///
+/// let g = parse_dfg(
+///     "x = input 16\n\
+///      y = input 16\n\
+///      s = add x y\n\
+///      o = output s\n",
+/// )?;
+/// assert_eq!(g.len(), 4);
+/// assert!(g.validate().is_ok());
+/// # Ok::<(), chop_dfg::parse::ParseDfgError>(())
+/// ```
+pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
+    let mut builder = DfgBuilder::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |kind| ParseDfgError { line, kind };
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (name, rest) = content
+            .split_once('=')
+            .ok_or_else(|| err(ParseErrorKind::Malformed))?;
+        let name = name.trim();
+        if name.is_empty() || !is_ident(name) {
+            return Err(err(ParseErrorKind::Malformed));
+        }
+        if names.contains_key(name) {
+            return Err(err(ParseErrorKind::Redefined(name.to_owned())));
+        }
+        let mut tokens = rest.split_whitespace();
+        let op = tokens
+            .next()
+            .ok_or_else(|| err(ParseErrorKind::Malformed))?
+            .to_ascii_lowercase();
+        let args: Vec<&str> = tokens.collect();
+        let lookup = |names: &HashMap<String, NodeId>, n: &str| {
+            names
+                .get(n)
+                .copied()
+                .ok_or_else(|| err(ParseErrorKind::UnknownName(n.to_owned())))
+        };
+        let arity = |expected: usize| {
+            if args.len() == expected {
+                Ok(())
+            } else {
+                Err(err(ParseErrorKind::WrongArity {
+                    op: op.clone(),
+                    expected,
+                    found: args.len(),
+                }))
+            }
+        };
+        let parse_width = |s: &str| {
+            s.parse::<u64>()
+                .ok()
+                .filter(|&w| w > 0)
+                .map(Bits::new)
+                .ok_or_else(|| err(ParseErrorKind::BadNumber(s.to_owned())))
+        };
+        let parse_mem = |s: &str| {
+            s.strip_prefix('M')
+                .and_then(|d| d.parse::<u32>().ok())
+                .map(MemoryRef::new)
+                .ok_or_else(|| err(ParseErrorKind::BadNumber(s.to_owned())))
+        };
+
+        let id = match op.as_str() {
+            "input" | "const" => {
+                arity(1)?;
+                let width = parse_width(args[0])?;
+                let operation =
+                    if op == "input" { Operation::Input } else { Operation::Const };
+                builder.labeled_node(operation, width, name)
+            }
+            "add" | "sub" | "mul" | "div" | "logic" | "shift" => {
+                arity(2)?;
+                let a = lookup(&names, args[0])?;
+                let b = lookup(&names, args[1])?;
+                let width = builder_width(&builder, a);
+                let operation = match op.as_str() {
+                    "add" => Operation::Add,
+                    "sub" => Operation::Sub,
+                    "mul" => Operation::Mul,
+                    "div" => Operation::Div,
+                    "logic" => Operation::Logic,
+                    _ => Operation::Shift,
+                };
+                let n = builder.labeled_node(operation, width, name);
+                builder.connect(a, n).expect("looked-up ids are valid");
+                builder.connect(b, n).expect("looked-up ids are valid");
+                n
+            }
+            "cmp" => {
+                arity(2)?;
+                let a = lookup(&names, args[0])?;
+                let b = lookup(&names, args[1])?;
+                let n = builder.labeled_node(Operation::Compare, Bits::new(1), name);
+                builder.connect(a, n).expect("looked-up ids are valid");
+                builder.connect(b, n).expect("looked-up ids are valid");
+                n
+            }
+            "read" => {
+                arity(2)?;
+                let mem = parse_mem(args[0])?;
+                let addr = lookup(&names, args[1])?;
+                let width = builder_width(&builder, addr);
+                let n = builder.labeled_node(Operation::MemRead(mem), width, name);
+                builder.connect(addr, n).expect("looked-up ids are valid");
+                n
+            }
+            "write" => {
+                arity(3)?;
+                let mem = parse_mem(args[0])?;
+                let addr = lookup(&names, args[1])?;
+                let data = lookup(&names, args[2])?;
+                let width = builder_width(&builder, data);
+                let n = builder.labeled_node(Operation::MemWrite(mem), width, name);
+                builder.connect(addr, n).expect("looked-up ids are valid");
+                builder.connect(data, n).expect("looked-up ids are valid");
+                n
+            }
+            "output" => {
+                arity(1)?;
+                let src = lookup(&names, args[0])?;
+                let width = builder_width(&builder, src);
+                let n = builder.labeled_node(Operation::Output, width, name);
+                builder.connect(src, n).expect("looked-up ids are valid");
+                n
+            }
+            other => return Err(err(ParseErrorKind::UnknownOp(other.to_owned()))),
+        };
+        names.insert(name.to_owned(), id);
+    }
+    let dfg = builder.build().map_err(|e| ParseDfgError {
+        line: 0,
+        kind: ParseErrorKind::Graph(e.to_string()),
+    })?;
+    dfg.validate().map_err(|e| ParseDfgError {
+        line: 0,
+        kind: ParseErrorKind::Graph(e.to_string()),
+    })?;
+    Ok(dfg)
+}
+
+// DfgBuilder has no width getter; track it through a tiny shadow helper.
+// (Widths are only needed for inheritance, and every node was created in
+// this pass, so indexing by insertion order is safe.)
+fn builder_width(builder: &DfgBuilder, id: NodeId) -> Bits {
+    builder.width_of(id)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Writes a DFG back into the textual format (labels are preserved when
+/// present, otherwise `n<i>` names are generated).
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::parse::{parse_dfg, to_text};
+///
+/// let src = "a = input 8\nb = output a\n";
+/// let g = parse_dfg(src)?;
+/// let round = parse_dfg(&to_text(&g))?;
+/// assert_eq!(g.len(), round.len());
+/// # Ok::<(), chop_dfg::parse::ParseDfgError>(())
+/// ```
+#[must_use]
+pub fn to_text(dfg: &Dfg) -> String {
+    use std::fmt::Write as _;
+    let name = |id: NodeId| -> String {
+        match dfg.node(id).label() {
+            Some(l) if is_ident(l) => l.to_owned(),
+            _ => format!("n{}", id.index()),
+        }
+    };
+    let mut out = String::new();
+    for &id in dfg.topo_order() {
+        let n = dfg.node(id);
+        let operands: Vec<String> = dfg.pred_nodes(id).map(name).collect();
+        let line = match n.op() {
+            Operation::Input => format!("{} = input {}", name(id), n.width().value()),
+            Operation::Const => format!("{} = const {}", name(id), n.width().value()),
+            Operation::Add => format!("{} = add {}", name(id), operands.join(" ")),
+            Operation::Sub => format!("{} = sub {}", name(id), operands.join(" ")),
+            Operation::Mul => format!("{} = mul {}", name(id), operands.join(" ")),
+            Operation::Div => format!("{} = div {}", name(id), operands.join(" ")),
+            Operation::Logic => format!("{} = logic {}", name(id), operands.join(" ")),
+            Operation::Shift => format!("{} = shift {}", name(id), operands.join(" ")),
+            Operation::Compare => format!("{} = cmp {}", name(id), operands.join(" ")),
+            Operation::MemRead(m) => {
+                format!("{} = read M{} {}", name(id), m.index(), operands.join(" "))
+            }
+            Operation::MemWrite(m) => {
+                format!("{} = write M{} {}", name(id), m.index(), operands.join(" "))
+            }
+            Operation::Output => format!("{} = output {}", name(id), operands.join(" ")),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::OpClass;
+
+    #[test]
+    fn parse_simple_spec() {
+        let g = parse_dfg(
+            "# MAC kernel\n\
+             x = input 16\n\
+             c = const 16\n\
+             p = mul x c\n\
+             s = add p x\n\
+             y = output s\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 5);
+        let h = g.op_histogram();
+        assert_eq!(h.count_class(OpClass::Multiplication), 1);
+        assert_eq!(h.count_class(OpClass::Addition), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_dfg("\n# nothing\n  \nx = input 8\ny = output x # tail\n").unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn unknown_operand_reported_with_line() {
+        let e = parse_dfg("x = input 8\ns = add x ghost\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ParseErrorKind::UnknownName(ref n) if n == "ghost"));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let e = parse_dfg("x = input 8\nx = input 8\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Redefined(_)));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let e = parse_dfg("x = input 8\ns = add x\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::WrongArity { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let e = parse_dfg("x = input zero\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadNumber(_)));
+        let e0 = parse_dfg("x = input 0\n").unwrap_err();
+        assert!(matches!(e0.kind, ParseErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let e = parse_dfg("x = frobnicate 8\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownOp(_)));
+    }
+
+    #[test]
+    fn memory_ops_parse() {
+        let g = parse_dfg(
+            "a = input 16\n\
+             r = read M0 a\n\
+             w = write M1 a r\n\
+             y = output r\n",
+        )
+        .unwrap();
+        let h = g.op_histogram();
+        assert_eq!(h.count(Operation::MemRead(MemoryRef::new(0))), 1);
+        assert_eq!(h.count(Operation::MemWrite(MemoryRef::new(1))), 1);
+    }
+
+    #[test]
+    fn cmp_produces_one_bit() {
+        let g = parse_dfg("a = input 16\nb = input 16\nc = cmp a b\ny = output c\n").unwrap();
+        let cmp = g
+            .nodes()
+            .find(|(_, n)| n.op() == Operation::Compare)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(g.node(cmp).width().value(), 1);
+    }
+
+    #[test]
+    fn round_trip_benchmarks() {
+        for g in [
+            benchmarks::ar_lattice_filter(),
+            benchmarks::fir_filter(6),
+            benchmarks::diffeq(),
+        ] {
+            let text = to_text(&g);
+            let back = parse_dfg(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(back.len(), g.len());
+            assert_eq!(back.edges().count(), g.edges().count());
+            assert_eq!(back.op_histogram(), g.op_histogram());
+        }
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let e = parse_dfg("s = add x x\nx = input 8\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

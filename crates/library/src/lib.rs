@@ -1,0 +1,43 @@
+//! Component, chip-package and memory libraries for the CHOP partitioner.
+//!
+//! CHOP's inputs (paper §2.2) include *a library of components*, *the chip
+//! set onto which the design is to be partitioned* and *on and off chip
+//! memory modules*. This crate provides all three:
+//!
+//! * [`HwModule`] / [`Library`] — functional-unit, register and multiplexer
+//!   modules with area and delay, plus enumeration of *module sets* (one
+//!   module choice per operation class — "the library allows up to 9
+//!   module-set configurations for implementation of each partition"),
+//! * [`ChipPackage`] / [`ChipSet`] — MOSIS-style packages with project-area
+//!   dimensions, pin count, pad delay and I/O pad area,
+//! * [`MemoryModule`] — on/off-chip memories with port counts and access
+//!   times,
+//! * [`standard`] — the paper's Table 1 (3 µm library) and Table 2 (MOSIS
+//!   package subset) encoded verbatim.
+//!
+//! # Examples
+//!
+//! ```
+//! use chop_library::standard;
+//! use chop_dfg::OpClass;
+//!
+//! let lib = standard::table1_library();
+//! let adders = lib.candidates(OpClass::Addition);
+//! assert_eq!(adders.len(), 3);
+//! let sets = lib.module_sets([OpClass::Addition, OpClass::Multiplication]);
+//! assert_eq!(sets.len(), 9); // 3 adders × 3 multipliers
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chip;
+mod library;
+mod memory;
+mod module;
+pub mod standard;
+
+pub use chip::{ChipId, ChipPackage, ChipSet};
+pub use library::{Library, LibraryError, ModuleSet};
+pub use memory::{MemoryId, MemoryModule, MemoryPlacement};
+pub use module::{HwModule, ModuleKind, DEFAULT_POWER_DENSITY};

@@ -1,0 +1,243 @@
+//! The paper's input data: Table 1 (3 µm module library) and Table 2
+//! (MOSIS package subset), plus example memories for extended scenarios.
+
+use chop_dfg::OpClass;
+use chop_stat::units::{Bits, Mils, Nanos, SquareMils};
+
+use crate::chip::ChipPackage;
+use crate::library::Library;
+use crate::memory::{MemoryModule, MemoryPlacement};
+use crate::module::{HwModule, ModuleKind};
+
+/// The 3 µm library of Table 1.
+///
+/// | Module   | Type            | Bits | Area (mil²) | Delay (ns) |
+/// |----------|-----------------|------|-------------|------------|
+/// | add1     | Addition        | 16   | 4200        | 34         |
+/// | add2     | Addition        | 16   | 2880        | 53         |
+/// | add3     | Addition        | 16   | 1200        | 151        |
+/// | mul1     | Multiplication  | 16   | 49000       | 375        |
+/// | mul2     | Multiplication  | 16   | 9800        | 2950       |
+/// | mul3     | Multiplication  | 16   | 7100        | 7370       |
+/// | register | Register        | 1    | 31          | 5          |
+/// | mux      | 2:1 Multiplexer | 1    | 18          | 4          |
+///
+/// # Examples
+///
+/// ```
+/// use chop_library::standard::table1_library;
+///
+/// let lib = table1_library();
+/// assert_eq!(lib.modules().len(), 8);
+/// assert_eq!(lib.by_name("mul1").unwrap().delay().value(), 375.0);
+/// ```
+#[must_use]
+pub fn table1_library() -> Library {
+    let w16 = Bits::new(16);
+    let w1 = Bits::new(1);
+    let add = ModuleKind::Functional(OpClass::Addition);
+    let mul = ModuleKind::Functional(OpClass::Multiplication);
+    let rows = [
+        HwModule::new("add1", add, w16, SquareMils::new(4200.0), Nanos::new(34.0)),
+        HwModule::new("add2", add, w16, SquareMils::new(2880.0), Nanos::new(53.0)),
+        HwModule::new("add3", add, w16, SquareMils::new(1200.0), Nanos::new(151.0)),
+        HwModule::new("mul1", mul, w16, SquareMils::new(49_000.0), Nanos::new(375.0)),
+        HwModule::new("mul2", mul, w16, SquareMils::new(9800.0), Nanos::new(2950.0)),
+        HwModule::new("mul3", mul, w16, SquareMils::new(7100.0), Nanos::new(7370.0)),
+        HwModule::new("register", ModuleKind::Register, w1, SquareMils::new(31.0), Nanos::new(5.0)),
+        HwModule::new("mux", ModuleKind::Multiplexer, w1, SquareMils::new(18.0), Nanos::new(4.0)),
+    ];
+    Library::from_modules(rows).expect("table 1 has unique names")
+}
+
+/// The MOSIS standard-package subset of Table 2.
+///
+/// | No | Width (mil) | Height (mil) | Pins | Pad delay (ns) | Pad area (mil²) |
+/// |----|-------------|--------------|------|----------------|-----------------|
+/// | 1  | 311.02      | 362.20       | 64   | 25.0           | 297.60          |
+/// | 2  | 311.02      | 362.20       | 84   | 25.0           | 297.60          |
+///
+/// # Examples
+///
+/// ```
+/// use chop_library::standard::table2_packages;
+///
+/// let pkgs = table2_packages();
+/// assert_eq!(pkgs[0].pins(), 64);
+/// assert_eq!(pkgs[1].pins(), 84);
+/// ```
+#[must_use]
+pub fn table2_packages() -> Vec<ChipPackage> {
+    let (w, h) = (Mils::new(311.02), Mils::new(362.20));
+    vec![
+        ChipPackage::new("MOSIS-1 (64 pin)", w, h, 64, Nanos::new(25.0), SquareMils::new(297.60)),
+        ChipPackage::new("MOSIS-2 (84 pin)", w, h, 84, Nanos::new(25.0), SquareMils::new(297.60)),
+    ]
+}
+
+/// The Table 1 library extended with comparator, logic-unit and shifter
+/// modules (consistent 3 µm scaling) so that workloads beyond the AR
+/// filter — the HAL differential-equation solver, FFT control paths — can
+/// be partitioned too.
+///
+/// # Examples
+///
+/// ```
+/// use chop_library::standard::extended_library;
+/// use chop_dfg::OpClass;
+///
+/// let lib = extended_library();
+/// assert!(!lib.candidates(OpClass::Comparison).is_empty());
+/// assert!(!lib.candidates(OpClass::Logic).is_empty());
+/// ```
+#[must_use]
+pub fn extended_library() -> Library {
+    let mut lib = table1_library();
+    let w16 = Bits::new(16);
+    let extra = [
+        HwModule::new(
+            "cmp1",
+            ModuleKind::Functional(OpClass::Comparison),
+            w16,
+            SquareMils::new(1400.0),
+            Nanos::new(40.0),
+        ),
+        HwModule::new(
+            "cmp2",
+            ModuleKind::Functional(OpClass::Comparison),
+            w16,
+            SquareMils::new(700.0),
+            Nanos::new(120.0),
+        ),
+        HwModule::new(
+            "logic1",
+            ModuleKind::Functional(OpClass::Logic),
+            w16,
+            SquareMils::new(900.0),
+            Nanos::new(18.0),
+        ),
+        HwModule::new(
+            "shift1",
+            ModuleKind::Functional(OpClass::Shift),
+            w16,
+            SquareMils::new(2100.0),
+            Nanos::new(30.0),
+        ),
+        HwModule::new(
+            "shift2",
+            ModuleKind::Functional(OpClass::Shift),
+            w16,
+            SquareMils::new(800.0),
+            Nanos::new(95.0),
+        ),
+    ];
+    lib.extend(extra);
+    lib
+}
+
+/// A small single-port on-chip RAM consistent with the 3 µm library, for
+/// memory-partitioning scenarios beyond the AR filter.
+///
+/// # Examples
+///
+/// ```
+/// use chop_library::standard::example_on_chip_ram;
+///
+/// let ram = example_on_chip_ram();
+/// assert_eq!(ram.words(), 256);
+/// ```
+#[must_use]
+pub fn example_on_chip_ram() -> MemoryModule {
+    MemoryModule::new(
+        "ram256x16",
+        256,
+        Bits::new(16),
+        1,
+        Nanos::new(150.0),
+        SquareMils::new(14_000.0),
+        MemoryPlacement::OnChip,
+    )
+}
+
+/// An off-the-shelf SRAM part usable next to the chip set.
+///
+/// # Examples
+///
+/// ```
+/// use chop_library::standard::example_off_shelf_ram;
+/// use chop_library::MemoryPlacement;
+///
+/// let ram = example_off_shelf_ram();
+/// assert_eq!(ram.placement(), MemoryPlacement::OffTheShelf);
+/// assert_eq!(ram.area().value(), 0.0);
+/// ```
+#[must_use]
+pub fn example_off_shelf_ram() -> MemoryModule {
+    MemoryModule::new(
+        "sram4kx16",
+        4096,
+        Bits::new(16),
+        1,
+        Nanos::new(200.0),
+        SquareMils::new(0.0),
+        MemoryPlacement::OffTheShelf,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let lib = table1_library();
+        let check = |name: &str, area: f64, delay: f64| {
+            let m = lib.by_name(name).unwrap();
+            assert_eq!(m.area().value(), area, "{name} area");
+            assert_eq!(m.delay().value(), delay, "{name} delay");
+        };
+        check("add1", 4200.0, 34.0);
+        check("add2", 2880.0, 53.0);
+        check("add3", 1200.0, 151.0);
+        check("mul1", 49_000.0, 375.0);
+        check("mul2", 9800.0, 2950.0);
+        check("mul3", 7100.0, 7370.0);
+        check("register", 31.0, 5.0);
+        check("mux", 18.0, 4.0);
+    }
+
+    #[test]
+    fn table1_supports_ar_filter_classes() {
+        let lib = table1_library();
+        assert!(lib
+            .check_supports([OpClass::Addition, OpClass::Multiplication])
+            .is_ok());
+    }
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        let pkgs = table2_packages();
+        for p in &pkgs {
+            assert_eq!(p.width().value(), 311.02);
+            assert_eq!(p.height().value(), 362.20);
+            assert_eq!(p.pad_delay().value(), 25.0);
+            assert_eq!(p.pad_area().value(), 297.60);
+        }
+        assert_eq!(pkgs[0].pins(), 64);
+        assert_eq!(pkgs[1].pins(), 84);
+    }
+
+    #[test]
+    fn area_delay_tradeoff_is_monotone_in_table1() {
+        // Within each class, smaller modules are slower — the
+        // serial/parallel tradeoff CHOP exploits.
+        let lib = table1_library();
+        for class in [OpClass::Addition, OpClass::Multiplication] {
+            let mods = lib.candidates(class); // sorted fastest first
+            for pair in mods.windows(2) {
+                assert!(pair[0].area().value() > pair[1].area().value());
+                assert!(pair[0].delay().value() < pair[1].delay().value());
+            }
+        }
+    }
+}

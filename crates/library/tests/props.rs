@@ -1,0 +1,101 @@
+//! Property-based tests for the component library.
+
+use chop_dfg::OpClass;
+use chop_library::{HwModule, Library, ModuleKind};
+use chop_stat::units::{Bits, Nanos, SquareMils};
+use proptest::prelude::*;
+
+fn arb_module(idx: usize) -> impl Strategy<Value = HwModule> {
+    (
+        prop_oneof![
+            Just(ModuleKind::Functional(OpClass::Addition)),
+            Just(ModuleKind::Functional(OpClass::Multiplication)),
+            Just(ModuleKind::Functional(OpClass::Logic)),
+            Just(ModuleKind::Register),
+            Just(ModuleKind::Multiplexer),
+        ],
+        1u64..64,
+        1.0f64..50_000.0,
+        1.0f64..8_000.0,
+    )
+        .prop_map(move |(kind, width, area, delay)| {
+            HwModule::new(
+                format!("m{idx}_{width}"),
+                kind,
+                Bits::new(width),
+                SquareMils::new(area),
+                Nanos::new(delay),
+            )
+        })
+}
+
+fn arb_library() -> impl Strategy<Value = Library> {
+    proptest::collection::vec(any::<u8>(), 1..10).prop_flat_map(|seeds| {
+        let strategies: Vec<_> = seeds.iter().enumerate().map(|(i, _)| arb_module(i)).collect();
+        strategies.prop_map(|modules| {
+            Library::from_modules(modules).expect("generated names are unique")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn candidates_are_sorted_fastest_first(lib in arb_library()) {
+        for class in OpClass::ALL {
+            let c = lib.candidates(class);
+            for pair in c.windows(2) {
+                prop_assert!(pair[0].delay().value() <= pair[1].delay().value());
+            }
+        }
+    }
+
+    #[test]
+    fn module_set_count_is_product_of_candidates(lib in arb_library()) {
+        let classes = [OpClass::Addition, OpClass::Multiplication, OpClass::Logic];
+        let populated: Vec<OpClass> = classes
+            .into_iter()
+            .filter(|&c| !lib.candidates(c).is_empty())
+            .collect();
+        let sets = lib.module_sets(populated.iter().copied());
+        let expected: usize = populated.iter().map(|&c| lib.candidates(c).len()).product();
+        prop_assert_eq!(sets.len(), expected.max(usize::from(populated.is_empty())));
+        // Every set resolves every class to a real module.
+        for set in &sets {
+            for &class in &populated {
+                prop_assert!(set.module_for(&lib, class).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_sliced_area_scales_linearly(lib in arb_library(), width in 1u64..128) {
+        for m in lib.modules() {
+            let scaled = m.area_at_width(Bits::new(width)).value();
+            match m.kind() {
+                ModuleKind::Register | ModuleKind::Multiplexer => {
+                    let per_bit = m.area().value() / m.width().value() as f64;
+                    prop_assert!((scaled - per_bit * width as f64).abs() < 1e-6);
+                }
+                ModuleKind::Functional(_) => prop_assert_eq!(scaled, m.area().value()),
+            }
+        }
+    }
+
+    #[test]
+    fn power_defaults_are_positive(lib in arb_library()) {
+        for m in lib.modules() {
+            prop_assert!(m.power().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_finds_every_module(lib in arb_library()) {
+        for m in lib.modules() {
+            let found = lib.by_name(m.name()).expect("inserted module must be found");
+            prop_assert_eq!(found, m);
+        }
+        prop_assert!(lib.by_name("definitely-not-a-module").is_none());
+    }
+}

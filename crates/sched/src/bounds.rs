@@ -1,0 +1,116 @@
+//! Unconstrained ASAP/ALAP time bounds.
+
+use chop_dfg::Dfg;
+
+use crate::list::NodeSpec;
+
+/// As-soon-as-possible start cycles with unlimited resources.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::benchmarks;
+/// use chop_sched::{asap_times, NodeSpec};
+///
+/// let g = benchmarks::diffeq();
+/// let t = asap_times(&g, &NodeSpec::uniform(&g, 1));
+/// assert_eq!(t.len(), g.len());
+/// ```
+#[must_use]
+pub fn asap_times(dfg: &Dfg, specs: &NodeSpec) -> Vec<u64> {
+    let mut start = vec![0u64; dfg.len()];
+    for &id in dfg.topo_order() {
+        let ready = dfg
+            .pred_nodes(id)
+            .map(|p| start[p.index()] + specs.duration(p))
+            .max()
+            .unwrap_or(0);
+        start[id.index()] = ready;
+    }
+    start
+}
+
+/// As-late-as-possible start cycles against the unconstrained critical-path
+/// length (so the most critical nodes get ALAP == ASAP).
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::benchmarks;
+/// use chop_sched::{alap_times, asap_times, NodeSpec};
+///
+/// let g = benchmarks::diffeq();
+/// let specs = NodeSpec::uniform(&g, 1);
+/// let asap = asap_times(&g, &specs);
+/// let alap = alap_times(&g, &specs);
+/// for i in 0..g.len() {
+///     assert!(asap[i] <= alap[i]);
+/// }
+/// ```
+#[must_use]
+pub fn alap_times(dfg: &Dfg, specs: &NodeSpec) -> Vec<u64> {
+    let asap = asap_times(dfg, specs);
+    let horizon = dfg
+        .node_ids()
+        .map(|id| asap[id.index()] + specs.duration(id))
+        .max()
+        .unwrap_or(0);
+    let mut latest_finish = vec![horizon; dfg.len()];
+    for &id in dfg.topo_order().iter().rev() {
+        let must_finish_by = dfg
+            .succ_nodes(id)
+            .map(|s| latest_finish[s.index()].saturating_sub(specs.duration(s)))
+            .min()
+            .unwrap_or(horizon);
+        latest_finish[id.index()] = must_finish_by;
+    }
+    dfg.node_ids()
+        .map(|id| latest_finish[id.index()].saturating_sub(specs.duration(id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::benchmarks;
+
+    use super::*;
+
+    #[test]
+    fn asap_respects_precedence() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 2);
+        let t = asap_times(&g, &specs);
+        for (_, e) in g.edges() {
+            assert!(
+                t[e.src().index()] + specs.duration(e.src()) <= t[e.dst().index()],
+                "edge violates ASAP"
+            );
+        }
+    }
+
+    #[test]
+    fn alap_ge_asap_with_critical_nodes_tight() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let asap = asap_times(&g, &specs);
+        let alap = alap_times(&g, &specs);
+        let mut any_tight = false;
+        for i in 0..g.len() {
+            assert!(asap[i] <= alap[i]);
+            if asap[i] == alap[i] {
+                any_tight = true;
+            }
+        }
+        assert!(any_tight, "critical-path nodes must have zero slack");
+    }
+
+    #[test]
+    fn alap_respects_precedence() {
+        let g = benchmarks::elliptic_wave_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let alap = alap_times(&g, &specs);
+        for (_, e) in g.edges() {
+            assert!(alap[e.src().index()] + specs.duration(e.src()) <= alap[e.dst().index()]);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Pipeline (modulo) resource analysis.
+//!
+//! A pipelined design style initiates a new data set every *initiation
+//! interval* (II) cycles. Operations of successive initiations overlap, so
+//! resource usage must be checked *modulo* the II — the classic Sehwa-style
+//! reservation-table model the paper builds on.
+
+use std::collections::BTreeMap;
+
+use chop_dfg::{Dfg, OpClass};
+
+use crate::list::{NodeSpec, ResourceMap, Schedule};
+
+/// Per-class functional-unit demand of a schedule folded modulo `ii`.
+///
+/// Entry `(class, slot)` counts operations of `class` busy in cycle
+/// `slot mod ii` across all overlapped initiations; the map's value is the
+/// *maximum* over slots — the instances needed to sustain the pipeline.
+///
+/// # Panics
+///
+/// Panics if `ii` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+/// use chop_sched::{list_schedule, NodeSpec, ResourceMap};
+/// use chop_sched::pipeline::modulo_demand;
+///
+/// let g = benchmarks::fir_filter(4);
+/// let specs = NodeSpec::uniform(&g, 1);
+/// let alloc: ResourceMap =
+///     [(OpClass::Addition, 4), (OpClass::Multiplication, 4)].into_iter().collect();
+/// let s = list_schedule(&g, &specs, &alloc)?;
+/// let demand = modulo_demand(&g, &specs, &s, 1);
+/// // With II=1 every op of a class overlaps: demand equals op count.
+/// assert_eq!(demand.get(OpClass::Multiplication), 4);
+/// # Ok::<(), chop_sched::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn modulo_demand(dfg: &Dfg, specs: &NodeSpec, schedule: &Schedule, ii: u64) -> ResourceMap {
+    assert!(ii > 0, "initiation interval must be positive");
+    let mut per_slot: BTreeMap<(OpClass, u64), usize> = BTreeMap::new();
+    for id in dfg.node_ids() {
+        let Some(class) = specs.resource(id) else { continue };
+        let dur = specs.duration(id);
+        if dur == 0 {
+            continue;
+        }
+        if dur >= ii {
+            // The op occupies its unit in every modulo slot.
+            for slot in 0..ii {
+                *per_slot.entry((class, slot)).or_insert(0) += 1;
+            }
+            // Ops longer than the II additionally overlap themselves:
+            // ceil(dur/ii) concurrent instances in every slot is modeled by
+            // adding the extra overlap count.
+            let extra = (dur.div_ceil(ii) - 1) as usize;
+            if extra > 0 {
+                for slot in 0..ii {
+                    *per_slot.entry((class, slot)).or_insert(0) += extra;
+                }
+            }
+        } else {
+            for t in schedule.start(id)..schedule.finish(id) {
+                *per_slot.entry((class, t % ii)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut demand = ResourceMap::new();
+    for ((class, _), count) in per_slot {
+        if count > demand.get(class) {
+            demand.set(class, count);
+        }
+    }
+    demand
+}
+
+/// Whether a schedule can be pipelined at initiation interval `ii` with the
+/// given allocation.
+///
+/// # Panics
+///
+/// Panics if `ii` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+/// use chop_sched::{list_schedule, NodeSpec, ResourceMap};
+/// use chop_sched::pipeline::supports_ii;
+///
+/// let g = benchmarks::fir_filter(4);
+/// let specs = NodeSpec::uniform(&g, 1);
+/// let alloc: ResourceMap =
+///     [(OpClass::Addition, 4), (OpClass::Multiplication, 4)].into_iter().collect();
+/// let s = list_schedule(&g, &specs, &alloc)?;
+/// assert!(supports_ii(&g, &specs, &s, &alloc, 1));
+/// # Ok::<(), chop_sched::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn supports_ii(
+    dfg: &Dfg,
+    specs: &NodeSpec,
+    schedule: &Schedule,
+    alloc: &ResourceMap,
+    ii: u64,
+) -> bool {
+    let demand = modulo_demand(dfg, specs, schedule, ii);
+    let ok = demand.iter().all(|(class, need)| need <= alloc.get(class));
+    ok
+}
+
+/// The smallest initiation interval the schedule sustains with `alloc`,
+/// searching from 1 up to the schedule makespan (at which point the design
+/// degenerates to non-pipelined operation).
+///
+/// Returns `max(makespan, 1)` for empty or purely-combinational schedules.
+///
+/// # Examples
+///
+/// ```
+/// use chop_dfg::{benchmarks, OpClass};
+/// use chop_sched::{list_schedule, NodeSpec, ResourceMap};
+/// use chop_sched::pipeline::min_initiation_interval;
+///
+/// let g = benchmarks::ar_lattice_filter();
+/// let specs = NodeSpec::uniform(&g, 1);
+/// let alloc: ResourceMap =
+///     [(OpClass::Addition, 2), (OpClass::Multiplication, 4)].into_iter().collect();
+/// let s = list_schedule(&g, &specs, &alloc)?;
+/// let ii = min_initiation_interval(&g, &specs, &s, &alloc);
+/// // 16 muls / 4 multipliers => at least 4 cycles between initiations.
+/// assert!(ii >= 4);
+/// assert!(ii <= s.makespan());
+/// # Ok::<(), chop_sched::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn min_initiation_interval(
+    dfg: &Dfg,
+    specs: &NodeSpec,
+    schedule: &Schedule,
+    alloc: &ResourceMap,
+) -> u64 {
+    let horizon = schedule.makespan().max(1);
+    // Resource lower bound: ceil(total busy cycles per class / instances).
+    let mut busy: BTreeMap<OpClass, u64> = BTreeMap::new();
+    for id in dfg.node_ids() {
+        if let Some(class) = specs.resource(id) {
+            *busy.entry(class).or_insert(0) += specs.duration(id);
+        }
+    }
+    let lower = busy
+        .iter()
+        .map(|(class, cycles)| {
+            let inst = alloc.get(*class).max(1) as u64;
+            cycles.div_ceil(inst)
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    (lower..=horizon)
+        .find(|&ii| supports_ii(dfg, specs, schedule, alloc, ii))
+        .unwrap_or(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::benchmarks;
+
+    use super::*;
+    use crate::list::list_schedule;
+
+    fn alloc(adds: usize, muls: usize) -> ResourceMap {
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn ii_equal_to_makespan_always_supported() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let a = alloc(2, 3);
+        let s = list_schedule(&g, &specs, &a).unwrap();
+        assert!(supports_ii(&g, &specs, &s, &a, s.makespan()));
+    }
+
+    #[test]
+    fn min_ii_monotone_in_allocation() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let small = alloc(1, 2);
+        let big = alloc(4, 8);
+        let s_small = list_schedule(&g, &specs, &small).unwrap();
+        let s_big = list_schedule(&g, &specs, &big).unwrap();
+        let ii_small = min_initiation_interval(&g, &specs, &s_small, &small);
+        let ii_big = min_initiation_interval(&g, &specs, &s_big, &big);
+        assert!(ii_big <= ii_small);
+    }
+
+    #[test]
+    fn min_ii_at_least_resource_bound() {
+        let g = benchmarks::ar_lattice_filter();
+        let specs = NodeSpec::uniform(&g, 1);
+        let a = alloc(2, 2);
+        let s = list_schedule(&g, &specs, &a).unwrap();
+        let ii = min_initiation_interval(&g, &specs, &s, &a);
+        // 16 mul-cycles / 2 units = 8.
+        assert!(ii >= 8);
+    }
+
+    #[test]
+    fn long_ops_self_overlap() {
+        // A single 6-cycle multiply at II=2 needs ceil(6/2)=3 units.
+        let g = benchmarks::fir_filter(1); // 1 mul, 0 adds
+        let specs = NodeSpec::uniform(&g, 6);
+        let a = alloc(1, 4);
+        let s = list_schedule(&g, &specs, &a).unwrap();
+        let demand = modulo_demand(&g, &specs, &s, 2);
+        assert_eq!(demand.get(OpClass::Multiplication), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_ii_panics() {
+        let g = benchmarks::fir_filter(2);
+        let specs = NodeSpec::uniform(&g, 1);
+        let a = alloc(1, 1);
+        let s = list_schedule(&g, &specs, &a).unwrap();
+        let _ = modulo_demand(&g, &specs, &s, 0);
+    }
+}

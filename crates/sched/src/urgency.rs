@@ -1,0 +1,590 @@
+//! Urgency scheduling of task graphs over capacitated resources.
+//!
+//! After CHOP creates data-transfer tasks, "an urgency scheduling is
+//! performed to confirm feasibility of sharing the data pins of chips as
+//! well as to keep memory accesses to each memory block feasible while
+//! reaching the minimum overall system delay. The urgency measure is based
+//! on the actual critical path delays of tasks" (paper §2.5). This module
+//! is that scheduler, generalized over any set of capacitated resources
+//! (pin pools, memory ports).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task in a [`TaskGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// The task's index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a capacitated resource (a chip's data-pin pool, a memory
+/// block's port pool, …).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// Creates a resource id (an index into the capacity vector).
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The resource's index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Task {
+    duration: u64,
+    demands: Vec<(ResourceId, u64)>,
+    label: String,
+}
+
+/// Error constructing or scheduling a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrgencyError {
+    /// A dependency referenced an unknown task.
+    UnknownTask(TaskId),
+    /// The dependencies form a cycle.
+    Cyclic,
+    /// A task demands more of a resource than its total capacity — it can
+    /// never run.
+    UnsatisfiableDemand {
+        /// The offending task.
+        task: TaskId,
+        /// The over-demanded resource.
+        resource: ResourceId,
+        /// Amount demanded.
+        demanded: u64,
+        /// Capacity available.
+        capacity: u64,
+    },
+    /// A demand referenced a resource outside the capacity vector.
+    UnknownResource(ResourceId),
+}
+
+impl fmt::Display for UrgencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrgencyError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            UrgencyError::Cyclic => write!(f, "task graph contains a cycle"),
+            UrgencyError::UnsatisfiableDemand { task, resource, demanded, capacity } => write!(
+                f,
+                "task {task} demands {demanded} of {resource} but only {capacity} exists"
+            ),
+            UrgencyError::UnknownResource(r) => write!(f, "unknown resource {r}"),
+        }
+    }
+}
+
+impl std::error::Error for UrgencyError {}
+
+/// Priority policy for [`TaskGraph::schedule_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Most urgent first — remaining critical path (the paper's choice).
+    Urgency,
+    /// First-come-first-served by task id — the baseline the urgency
+    /// measure is ablated against.
+    Fifo,
+}
+
+impl fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulePolicy::Urgency => write!(f, "urgency"),
+            SchedulePolicy::Fifo => write!(f, "fifo"),
+        }
+    }
+}
+
+/// A precedence graph of tasks with durations and resource demands.
+///
+/// # Examples
+///
+/// ```
+/// use chop_sched::urgency::{ResourceId, TaskGraph};
+///
+/// let pins = ResourceId::new(0);
+/// let mut g = TaskGraph::new();
+/// let produce = g.add_task("P1", 10, vec![]);
+/// let transfer = g.add_task("T1", 3, vec![(pins, 16)]);
+/// let consume = g.add_task("P2", 8, vec![]);
+/// g.add_dep(produce, transfer)?;
+/// g.add_dep(transfer, consume)?;
+/// let s = g.schedule(&[16])?;
+/// assert_eq!(s.makespan(), 21);
+/// # Ok::<(), chop_sched::urgency::UrgencyError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    deps: Vec<(TaskId, TaskId)>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task with a duration (cycles) and resource demands; returns
+    /// its id.
+    pub fn add_task(
+        &mut self,
+        label: impl Into<String>,
+        duration: u64,
+        demands: Vec<(ResourceId, u64)>,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task { duration, demands, label: label.into() });
+        id
+    }
+
+    /// Adds a precedence edge `before → after`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrgencyError::UnknownTask`] for ids not produced by this
+    /// graph.
+    pub fn add_dep(&mut self, before: TaskId, after: TaskId) -> Result<(), UrgencyError> {
+        for t in [before, after] {
+            if t.index() >= self.tasks.len() {
+                return Err(UrgencyError::UnknownTask(t));
+            }
+        }
+        self.deps.push((before, after));
+        Ok(())
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Duration of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn duration(&self, id: TaskId) -> u64 {
+        self.tasks[id.index()].duration
+    }
+
+    /// Label of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn label(&self, id: TaskId) -> &str {
+        &self.tasks[id.index()].label
+    }
+
+    /// Urgency of each task: its own duration plus the longest downstream
+    /// chain — "the actual critical path delays of tasks".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrgencyError::Cyclic`] if the precedences form a cycle.
+    pub fn urgencies(&self) -> Result<Vec<u64>, UrgencyError> {
+        let order = self.topo_order()?;
+        let n = self.tasks.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.deps {
+            succ[a.index()].push(b.index());
+        }
+        let mut urgency = vec![0u64; n];
+        for &i in order.iter().rev() {
+            let downstream = succ[i].iter().map(|&s| urgency[s]).max().unwrap_or(0);
+            urgency[i] = self.tasks[i].duration + downstream;
+        }
+        Ok(urgency)
+    }
+
+    fn topo_order(&self) -> Result<Vec<usize>, UrgencyError> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.deps {
+            succ[a.index()].push(b.index());
+            indeg[b.index()] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &s in &succ[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(UrgencyError::Cyclic);
+        }
+        Ok(order)
+    }
+
+    /// Schedules the graph over resources with the given capacities
+    /// (indexed by [`ResourceId`]), most-urgent-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UrgencyError`] for cyclic precedences, demands on
+    /// unknown resources or demands exceeding total capacity.
+    pub fn schedule(&self, capacities: &[u64]) -> Result<TaskSchedule, UrgencyError> {
+        self.schedule_with(SchedulePolicy::Urgency, capacities)
+    }
+
+    /// Schedules with an explicit priority policy — [`SchedulePolicy::Fifo`]
+    /// exists to quantify what the urgency measure buys.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TaskGraph::schedule`].
+    pub fn schedule_with(
+        &self,
+        policy: SchedulePolicy,
+        capacities: &[u64],
+    ) -> Result<TaskSchedule, UrgencyError> {
+        for (i, task) in self.tasks.iter().enumerate() {
+            for &(r, amount) in &task.demands {
+                let cap = *capacities
+                    .get(r.index())
+                    .ok_or(UrgencyError::UnknownResource(r))?;
+                if amount > cap {
+                    return Err(UrgencyError::UnsatisfiableDemand {
+                        task: TaskId(i as u32),
+                        resource: r,
+                        demanded: amount,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        let urgency = self.urgencies()?;
+        let n = self.tasks.len();
+        let mut pred_count = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.deps {
+            succ[a.index()].push(b.index());
+            pred[b.index()].push(a.index());
+            pred_count[b.index()] += 1;
+        }
+        let mut start = vec![0u64; n];
+        let mut finish = vec![0u64; n];
+        let mut placed = vec![false; n];
+        let mut in_use = vec![0u64; capacities.len()];
+        // Running tasks: (finish_time, index).
+        let mut running: Vec<(u64, usize)> = Vec::new();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| pred_count[i] == 0).collect();
+        let mut time = 0u64;
+        let mut done = 0usize;
+        while done < n {
+            match policy {
+                SchedulePolicy::Urgency => {
+                    ready.sort_by_key(|&i| (std::cmp::Reverse(urgency[i]), i));
+                }
+                SchedulePolicy::Fifo => ready.sort_unstable(),
+            }
+            let mut still_waiting = Vec::new();
+            let mut progressed = false;
+            for &i in &ready {
+                let operands_at = pred[i].iter().map(|&p| finish[p]).max().unwrap_or(0);
+                if operands_at > time {
+                    still_waiting.push(i);
+                    continue;
+                }
+                let fits = self.tasks[i]
+                    .demands
+                    .iter()
+                    .all(|&(r, amount)| in_use[r.index()] + amount <= capacities[r.index()]);
+                if !fits {
+                    still_waiting.push(i);
+                    continue;
+                }
+                for &(r, amount) in &self.tasks[i].demands {
+                    in_use[r.index()] += amount;
+                }
+                start[i] = time;
+                finish[i] = time + self.tasks[i].duration;
+                running.push((finish[i], i));
+                placed[i] = true;
+                done += 1;
+                progressed = true;
+                for &s in &succ[i] {
+                    pred_count[s] -= 1;
+                    if pred_count[s] == 0 {
+                        still_waiting.push(s);
+                    }
+                }
+            }
+            still_waiting.sort_unstable();
+            still_waiting.dedup();
+            still_waiting.retain(|&i| !placed[i]);
+            ready = still_waiting;
+            if !progressed {
+                // Advance to the next release or operand-availability event.
+                let next_finish = running
+                    .iter()
+                    .map(|&(f, _)| f)
+                    .filter(|&f| f > time)
+                    .min();
+                let next_operand = ready
+                    .iter()
+                    .flat_map(|&i| pred[i].iter().map(|&p| finish[p]))
+                    .filter(|&f| f > time)
+                    .min();
+                time = match (next_finish, next_operand) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => time + 1,
+                };
+            }
+            // Release resources of tasks finished by `time`.
+            let mut kept = Vec::with_capacity(running.len());
+            for &(f, i) in &running {
+                if f <= time {
+                    for &(r, amount) in &self.tasks[i].demands {
+                        in_use[r.index()] -= amount;
+                    }
+                } else {
+                    kept.push((f, i));
+                }
+            }
+            running = kept;
+        }
+        Ok(TaskSchedule { start, finish })
+    }
+}
+
+/// The result of [`TaskGraph::schedule`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSchedule {
+    start: Vec<u64>,
+    finish: Vec<u64>,
+}
+
+impl TaskSchedule {
+    /// Start cycle of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn start(&self, id: TaskId) -> u64 {
+        self.start[id.index()]
+    }
+
+    /// Finish cycle of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn finish(&self, id: TaskId) -> u64 {
+        self.finish[id.index()]
+    }
+
+    /// Overall makespan — the system delay in cycles.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Idle (wait) time between a task's operands being ready and its start
+    /// — the `W` of the paper's buffer equation.
+    #[must_use]
+    pub fn wait_before(&self, graph: &TaskGraph, id: TaskId) -> u64 {
+        let ready = graph
+            .deps
+            .iter()
+            .filter(|(_, b)| *b == id)
+            .map(|(a, _)| self.finish[a.index()])
+            .max()
+            .unwrap_or(0);
+        self.start[id.index()].saturating_sub(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_schedules_sequentially() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 5, vec![]);
+        let b = g.add_task("b", 3, vec![]);
+        g.add_dep(a, b).unwrap();
+        let s = g.schedule(&[]).unwrap();
+        assert_eq!(s.start(a), 0);
+        assert_eq!(s.start(b), 5);
+        assert_eq!(s.makespan(), 8);
+    }
+
+    #[test]
+    fn cyclic_deps_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1, vec![]);
+        let b = g.add_task("b", 1, vec![]);
+        g.add_dep(a, b).unwrap();
+        g.add_dep(b, a).unwrap();
+        assert_eq!(g.schedule(&[]).unwrap_err(), UrgencyError::Cyclic);
+    }
+
+    #[test]
+    fn impossible_demand_rejected() {
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        let _ = g.add_task("x", 1, vec![(pins, 100)]);
+        assert!(matches!(
+            g.schedule(&[64]).unwrap_err(),
+            UrgencyError::UnsatisfiableDemand { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task("x", 1, vec![(ResourceId::new(5), 1)]);
+        assert!(matches!(g.schedule(&[1]).unwrap_err(), UrgencyError::UnknownResource(_)));
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 4, vec![(pins, 10)]);
+        let b = g.add_task("b", 4, vec![(pins, 10)]);
+        let s = g.schedule(&[10]).unwrap();
+        // Both want all 10 pins: must serialize.
+        let (first, second) = if s.start(a) <= s.start(b) { (a, b) } else { (b, a) };
+        assert_eq!(s.start(first), 0);
+        assert_eq!(s.start(second), 4);
+        assert_eq!(s.makespan(), 8);
+    }
+
+    #[test]
+    fn partial_demands_overlap() {
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 4, vec![(pins, 5)]);
+        let b = g.add_task("b", 4, vec![(pins, 5)]);
+        let s = g.schedule(&[10]).unwrap();
+        assert_eq!(s.start(a), 0);
+        assert_eq!(s.start(b), 0);
+        assert_eq!(s.makespan(), 4);
+    }
+
+    #[test]
+    fn urgency_prefers_critical_chain() {
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        // Critical chain: a(2) -> c(10). Short task: b(2).
+        let a = g.add_task("a", 2, vec![(pins, 10)]);
+        let b = g.add_task("b", 2, vec![(pins, 10)]);
+        let c = g.add_task("c", 10, vec![]);
+        g.add_dep(a, c).unwrap();
+        let s = g.schedule(&[10]).unwrap();
+        // a (urgency 12) must run before b (urgency 2).
+        assert!(s.start(a) < s.start(b));
+        assert_eq!(s.makespan(), 12);
+        let _ = c;
+    }
+
+    #[test]
+    fn wait_before_measures_stall() {
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        let src = g.add_task("src", 1, vec![]);
+        let hog = g.add_task("hog", 10, vec![(pins, 8)]);
+        let xfer = g.add_task("xfer", 2, vec![(pins, 8)]);
+        g.add_dep(src, xfer).unwrap();
+        let s = g.schedule(&[8]).unwrap();
+        // hog (urgency 10) grabs the pins at t=0; xfer's operand is ready at
+        // t=1 but it stalls until t=10.
+        assert_eq!(s.start(hog), 0);
+        assert_eq!(s.start(xfer), 10);
+        assert_eq!(s.wait_before(&g, xfer), 9);
+    }
+
+    #[test]
+    fn urgency_beats_fifo_on_critical_chains() {
+        // FIFO starts b (id order) while the critical chain a→c waits.
+        let pins = ResourceId::new(0);
+        let mut g = TaskGraph::new();
+        let b = g.add_task("b", 2, vec![(pins, 10)]);
+        let a = g.add_task("a", 2, vec![(pins, 10)]);
+        let c = g.add_task("c", 10, vec![]);
+        g.add_dep(a, c).unwrap();
+        let urgent = g.schedule_with(SchedulePolicy::Urgency, &[10]).unwrap();
+        let fifo = g.schedule_with(SchedulePolicy::Fifo, &[10]).unwrap();
+        assert!(urgent.makespan() < fifo.makespan());
+        let _ = b;
+    }
+
+    #[test]
+    fn policies_agree_without_contention() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 3, vec![]);
+        let b = g.add_task("b", 4, vec![]);
+        let _ = (a, b);
+        let u = g.schedule_with(SchedulePolicy::Urgency, &[]).unwrap();
+        let f = g.schedule_with(SchedulePolicy::Fifo, &[]).unwrap();
+        assert_eq!(u.makespan(), f.makespan());
+    }
+
+    #[test]
+    fn urgencies_computed_along_longest_path() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1, vec![]);
+        let b = g.add_task("b", 2, vec![]);
+        let c = g.add_task("c", 3, vec![]);
+        g.add_dep(a, b).unwrap();
+        g.add_dep(b, c).unwrap();
+        let u = g.urgencies().unwrap();
+        assert_eq!(u[a.index()], 6);
+        assert_eq!(u[b.index()], 5);
+        assert_eq!(u[c.index()], 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration in keep-all mode: reproduce a Figure-7-style
+//! dump of every design CHOP considers, then show the Pareto front.
+//!
+//! Run with: `cargo run -p chop-core --example design_space`
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{DesignPoint, Heuristic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut all_points: Vec<DesignPoint> = Vec::new();
+    let mut total_trials = 0usize;
+
+    for partitions in 1..=3 {
+        let session = experiment1_session(&Exp1Config { partitions, package: 1 })?
+            .with_pruning(false)
+            .with_keep_all(true);
+        let outcome = session.explore(Heuristic::Enumeration)?;
+        println!(
+            "{partitions} partition(s): {} designs considered ({} unique), {} feasible",
+            outcome.points.len(),
+            outcome.unique_points(),
+            outcome.points.iter().filter(|p| p.feasible).count(),
+        );
+        total_trials += outcome.trials;
+        all_points.extend(outcome.points);
+    }
+
+    let mut keys: Vec<_> = all_points.iter().map(DesignPoint::unique_key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    println!(
+        "\ntotal: {} designs considered across all partitionings ({} unique, {} trials)",
+        all_points.len(),
+        keys.len(),
+        total_trials
+    );
+
+    // The Pareto front over (delay, area) — the lower-left frontier of the
+    // Figure 7 scatter.
+    let mut front: Vec<&DesignPoint> = Vec::new();
+    for p in all_points.iter().filter(|p| p.feasible) {
+        if front.iter().any(|q| q.delay_ns <= p.delay_ns && q.area <= p.area) {
+            continue;
+        }
+        front.retain(|q| !(p.delay_ns <= q.delay_ns && p.area <= q.area));
+        front.push(p);
+    }
+    front.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).expect("finite"));
+    println!("\nPareto front (delay ns, area mil², initiation ns):");
+    for p in front {
+        println!("  {:>9.0} {:>10.0} {:>9.0}", p.delay_ns, p.area, p.initiation_ns);
+    }
+    Ok(())
+}

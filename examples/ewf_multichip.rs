@@ -1,0 +1,54 @@
+//! Partition the fifth-order elliptic wave filter — the classic HLS
+//! benchmark — across one to three chips and compare what each chip count
+//! buys.
+//!
+//! Run with: `cargo run -p chop-core --example ewf_multichip`
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{Constraints, Heuristic, Session};
+use chop_dfg::benchmarks;
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ewf = benchmarks::elliptic_wave_filter();
+    println!(
+        "elliptic wave filter: {} operations ({})",
+        ewf.op_histogram().total(),
+        ewf.op_histogram()
+    );
+
+    println!("\n{:>6} | {:>9} | {:>8} | {:>11} | {:>9}", "chips", "II cycles", "delay", "clock ns", "trials");
+    for k in 1..=3usize {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let partitioning =
+            PartitioningBuilder::new(ewf.clone(), chips).split_horizontal(k).build()?;
+        let session = Session::new(
+            partitioning,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 1, 1)?,
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(45_000.0)),
+        );
+        let outcome = session.explore(Heuristic::Iterative)?;
+        match outcome
+            .feasible
+            .iter()
+            .min_by_key(|f| f.system.initiation_interval.value())
+        {
+            Some(best) => println!(
+                "{k:>6} | {:>9} | {:>8} | {:>11.0} | {:>9}",
+                best.system.initiation_interval.value(),
+                best.system.delay.value(),
+                best.system.clock.likely(),
+                outcome.trials
+            ),
+            None => println!("{k:>6} | {:>9} | {:>8} | {:>11} | {:>9}", "-", "-", "-", outcome.trials),
+        }
+    }
+    println!("\n(the EWF is addition-dominated, so extra chips buy less than for the AR filter)");
+    Ok(())
+}

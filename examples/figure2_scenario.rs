@@ -1,0 +1,130 @@
+//! The paper's Fig. 2 example partitioning, reconstructed: five partitions
+//! (P1–P5) on four chips, two memory blocks, multiple partitions sharing
+//! chip 4, and *cyclic data flow between chips* (P2 on chip 2 feeds P4 on
+//! chip 4, while P5 on chip 4 feeds back to P2's chip) — legal because no
+//! two *partitions* are mutually dependent.
+//!
+//! Run with: `cargo run -p chop-core --example figure2_scenario`
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{report, Constraints, Heuristic, MemoryAssignment, Session};
+use chop_dfg::grouping::Grouping;
+use chop_dfg::{Dfg, DfgBuilder, MemoryRef, NodeId, Operation};
+use chop_library::standard::{
+    example_off_shelf_ram, example_on_chip_ram, table1_library, table2_packages,
+};
+use chop_library::{ChipId, ChipSet};
+use chop_stat::units::{Bits, Nanos};
+
+/// Builds the five-cluster DFG and the node→partition assignment.
+fn figure2_spec() -> (Dfg, Vec<usize>) {
+    let w = Bits::new(16);
+    let mut b = DfgBuilder::new();
+    let mut groups: Vec<usize> = Vec::new();
+    // A small MAC cluster: two inputs (internal wires), returns its result.
+    let cluster = |b: &mut DfgBuilder,
+                       groups: &mut Vec<usize>,
+                       g: usize,
+                       feeds: &[NodeId]|
+     -> NodeId {
+        let track = |groups: &mut Vec<usize>, id: NodeId| {
+            while groups.len() <= id.index() {
+                groups.push(g);
+            }
+            groups[id.index()] = g;
+            id
+        };
+        let a = match feeds.first() {
+            Some(&f) => f,
+            None => track(groups, b.node(Operation::Input, w)),
+        };
+        let c = match feeds.get(1) {
+            Some(&f) => f,
+            None => track(groups, b.node(Operation::Input, w)),
+        };
+        let m1 = track(groups, b.node(Operation::Mul, w));
+        b.connect(a, m1).expect("valid");
+        b.connect(c, m1).expect("valid");
+        let m2 = track(groups, b.node(Operation::Mul, w));
+        b.connect(a, m2).expect("valid");
+        b.connect(m1, m2).expect("valid");
+        let s = track(groups, b.node(Operation::Add, w));
+        b.connect(m1, s).expect("valid");
+        b.connect(m2, s).expect("valid");
+        s
+    };
+
+    // P1 reads coefficients from M_A (memory block 0).
+    let p1_out = {
+        let g = 0;
+        let addr = b.node(Operation::Input, w);
+        groups.resize(addr.index() + 1, g);
+        let rd = b.node(Operation::MemRead(MemoryRef::new(0)), w);
+        groups.resize(rd.index() + 1, g);
+        b.connect(addr, rd).expect("valid");
+        cluster(&mut b, &mut groups, g, &[rd])
+    };
+    let p2_out = cluster(&mut b, &mut groups, 1, &[p1_out]);
+    let p3_out = cluster(&mut b, &mut groups, 2, &[p1_out]);
+    let p4_out = cluster(&mut b, &mut groups, 3, &[p2_out, p3_out]);
+    // P5 consumes P3 and writes its state into off-the-shelf M_B (block 1);
+    // its output feeds back toward P2's *chip* (but not P2 itself).
+    let p5_out = {
+        let g = 4;
+        let s = cluster(&mut b, &mut groups, g, &[p3_out]);
+        let wr = b.node(Operation::MemWrite(MemoryRef::new(1)), w);
+        groups.resize(wr.index() + 1, g);
+        b.connect(s, wr).expect("valid");
+        b.connect(p3_out, wr).expect("valid");
+        s
+    };
+    for (v, g) in [(p4_out, 3usize), (p5_out, 4)] {
+        let o = b.node(Operation::Output, w);
+        groups.resize(o.index() + 1, g);
+        b.connect(v, o).expect("valid");
+    }
+    let dfg = b.build().expect("acyclic by construction");
+    groups.resize(dfg.len(), 4);
+    (dfg, groups)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (dfg, groups) = figure2_spec();
+    let grouping = Grouping::new(&dfg, 5, groups)?;
+
+    // Four chips; P4 and P5 share chip 4 (index 3) exactly as in Fig. 2.
+    let chips = ChipSet::uniform(table2_packages()[1].clone(), 4);
+    let partitioning = PartitioningBuilder::new(dfg, chips)
+        .with_grouping(grouping)
+        .with_chip_assignment(vec![
+            ChipId::new(0), // P1 → chip 1
+            ChipId::new(1), // P2 → chip 2
+            ChipId::new(2), // P3 → chip 3
+            ChipId::new(3), // P4 → chip 4
+            ChipId::new(3), // P5 → chip 4 (shared!)
+        ])
+        .with_memory(example_on_chip_ram(), MemoryAssignment::OnChip(ChipId::new(0)))
+        .with_memory(example_off_shelf_ram(), MemoryAssignment::External)
+        .build()?;
+
+    println!("{}", report::task_graph_dot(&partitioning));
+
+    let session = Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 1, 1)?,
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+    );
+    let outcome = session.explore(Heuristic::Iterative)?;
+    println!(
+        "5 partitions / 4 chips: {} trials, {} feasible",
+        outcome.trials, outcome.feasible_trials
+    );
+    if let Some(best) = outcome.feasible.first() {
+        println!("{}", report::guideline(best, session.library()));
+    }
+    Ok(())
+}

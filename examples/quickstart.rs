@@ -1,0 +1,55 @@
+//! Quickstart: partition the AR lattice filter onto two MOSIS chips and
+//! ask CHOP whether the partitioning is feasible.
+//!
+//! Run with: `cargo run -p chop-core --example quickstart`
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{report, Constraints, Heuristic, Session};
+use chop_dfg::benchmarks;
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The behavioral specification: the paper's AR lattice filter
+    //    (16 multiplications, 12 additions at 16 bits).
+    let dfg = benchmarks::ar_lattice_filter();
+    println!("specification: {dfg}");
+
+    // 2. The target chip set: two 84-pin MOSIS packages (Table 2).
+    let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
+
+    // 3. A tentative partitioning: a horizontal cut into two halves, one
+    //    half per chip.
+    let partitioning = PartitioningBuilder::new(dfg, chips).split_horizontal(2).build()?;
+
+    // 4. The session: Table 1 library, 300 ns main clock with a 10× slower
+    //    datapath clock (experiment-1 style), performance and delay
+    //    constraints of 30 µs.
+    let session = Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 10, 1)?,
+        ArchitectureStyle::single_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+    );
+    println!("{}", report::environment(&session));
+
+    // 5. Explore with the iterative heuristic (Fig. 5 of the paper).
+    let outcome = session.explore(Heuristic::Iterative)?;
+    println!(
+        "searched {} combinations in {:.2?}; {} feasible",
+        outcome.trials, outcome.elapsed, outcome.feasible_trials
+    );
+
+    // 6. Print the designer guideline for the best feasible design.
+    match outcome.feasible.first() {
+        Some(best) => {
+            println!("\n{}", report::guideline(best, session.library()));
+        }
+        None => println!("no feasible implementation — relax constraints or repartition"),
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Task creation for a custom-designed processor style — the abstract's
+//! third application: slice a behavior into tasks sized for a fixed
+//! datapath, then feed the tasks back into CHOP as partitions.
+//!
+//! Run with: `cargo run -p chop-core --example task_creation`
+
+use chop_core::tasks::create_tasks;
+use chop_dfg::{benchmarks, OpClass};
+use chop_sched::{NodeSpec, ResourceMap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dfg = benchmarks::dct8();
+    println!("behavior: 8-point DCT ({})", dfg.op_histogram());
+
+    // The custom processor: one adder, one multiplier (a tiny MAC engine).
+    let processor: ResourceMap =
+        [(OpClass::Addition, 1), (OpClass::Multiplication, 1)].into_iter().collect();
+    let specs = NodeSpec::uniform(&dfg, 1);
+
+    println!("\n{:>12} | {:>5} | {:>12} | {:>12}", "budget (cyc)", "tasks", "total cycles", "per-task max");
+    for budget in [4u64, 8, 16, 32] {
+        let tasks = create_tasks(&dfg, &specs, &processor, budget)?;
+        println!(
+            "{budget:>12} | {:>5} | {:>12} | {:>12}",
+            tasks.len(),
+            tasks.total_cycles(),
+            tasks.task_cycles.iter().max().copied().unwrap_or(0)
+        );
+    }
+
+    // The 8-cycle slicing, as a task list.
+    let tasks = create_tasks(&dfg, &specs, &processor, 8)?;
+    println!("\n8-cycle tasks (ops per task):");
+    for (i, cycles) in tasks.task_cycles.iter().enumerate() {
+        let ops = tasks
+            .grouping
+            .members(i)
+            .into_iter()
+            .filter(|&n| dfg.node(n).op().class().is_some())
+            .count();
+        println!("  task {i}: {ops} operations in {cycles} cycles");
+    }
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! Cross-crate property tests: invariants of the whole CHOP pipeline on
+//! randomized workloads and partitionings.
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::transfer::{pin_budgets, transfer_specs};
+use chop_core::{Constraints, Heuristic, Session};
+use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = (u64, RandomDfgParams)> {
+    (any::<u64>(), 2usize..5, 2usize..6, 1usize..4, 0u32..80).prop_map(
+        |(seed, layers, width, inputs, mul_percent)| {
+            (seed, RandomDfgParams { layers, width, inputs, mul_percent, bits: 16 })
+        },
+    )
+}
+
+fn session_for(dfg: chop_dfg::Dfg, k: usize) -> Session {
+    let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+    let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
+    Session::new(
+        p,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn feasible_results_respect_all_hard_constraints(
+        (seed, params) in arb_workload(),
+        k in 1usize..3,
+    ) {
+        let dfg = random_layered(seed, params);
+        let k = k.min(dfg.len());
+        let s = session_for(dfg, k);
+        let o = s.explore(Heuristic::Iterative).unwrap();
+        for f in &o.feasible {
+            prop_assert!(f.system.verdict.feasible);
+            // Performance and delay in ns respect the constraints at their
+            // most-likely values.
+            prop_assert!(f.system.initiation_ns.likely() <= 60_000.0 + 1e-6);
+            // Delay threshold is probabilistic (80 %), so check the likely
+            // value only against a generous bound.
+            prop_assert!(f.system.delay_ns.lo() <= 90_000.0 + 1e-6);
+            // Chip areas fit their packages at the likely value.
+            for (i, (_, pkg)) in s.partitioning().chips().iter().enumerate() {
+                prop_assert!(
+                    f.system.chip_areas[i].likely() <= pkg.usable_area().value() + 1e-6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_conservation(
+        (seed, params) in arb_workload(),
+        k in 2usize..4,
+    ) {
+        let dfg = random_layered(seed, params);
+        let k = k.min(dfg.len());
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let p = PartitioningBuilder::new(dfg.clone(), chips)
+            .split_horizontal(k)
+            .build()
+            .unwrap();
+        let specs = transfer_specs(&p);
+        // External input bits equal the sum of input-node widths.
+        let graph_inputs: u64 = dfg
+            .inputs()
+            .map(|id| dfg.node(id).width().value())
+            .sum();
+        let spec_inputs: u64 = specs
+            .iter()
+            .filter(|t| t.src == chop_core::transfer::Endpoint::External)
+            .map(|t| t.bits.value())
+            .sum();
+        prop_assert_eq!(graph_inputs, spec_inputs);
+        // Pin budgets never exceed the package.
+        for b in pin_budgets(&p, &specs) {
+            prop_assert!(b.control + b.memory_control + b.data <= b.total);
+        }
+    }
+
+    #[test]
+    fn reported_designs_reevaluate_identically(
+        (seed, params) in arb_workload(),
+    ) {
+        // Neither heuristic dominates the other (the paper: "neither of
+        // the heuristics can be claimed to be better"); what must hold is
+        // that every reported feasible design re-evaluates to the same
+        // feasible prediction through the integration context directly.
+        use chop_bad::PredictorParams;
+        use chop_core::{FeasibilityCriteria, IntegrationContext};
+        use chop_stat::units::Cycles;
+
+        let dfg = random_layered(seed, params);
+        let s = session_for(dfg, 1);
+        for h in [Heuristic::Enumeration, Heuristic::Iterative] {
+            let o = s.explore(h).unwrap();
+            let ctx = IntegrationContext::new(
+                s.partitioning(),
+                s.library(),
+                *s.clocks(),
+                PredictorParams::default(),
+                FeasibilityCriteria::paper_defaults(),
+                *s.constraints(),
+            );
+            for f in &o.feasible {
+                let sel: Vec<_> = f.selection.iter().collect();
+                let again = ctx
+                    .evaluate(&sel, Cycles::new(f.system.initiation_interval.value()))
+                    .unwrap();
+                prop_assert!(again.verdict.feasible);
+                prop_assert_eq!(again.delay.value(), f.system.delay.value());
+                prop_assert!((again.clock.likely() - f.system.clock.likely()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_searches_a_subset(
+        (seed, params) in arb_workload(),
+    ) {
+        let dfg = random_layered(seed, params);
+        let s = session_for(dfg, 1);
+        let pruned = s.explore(Heuristic::Enumeration).unwrap();
+        let unpruned = s
+            .clone()
+            .with_pruning(false)
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        // Pruning explores a subset: never more trials, never more
+        // feasible hits, and anything it finds can be no better than the
+        // exhaustive optimum (the pruned optimum may be slightly worse —
+        // level-1 dominance ignores clock-overhead differences).
+        prop_assert!(pruned.trials <= unpruned.trials);
+        prop_assert!(pruned.feasible_trials <= unpruned.feasible_trials);
+        let best = |o: &chop_core::SearchOutcome| {
+            o.feasible
+                .iter()
+                .map(|f| f.system.initiation_ns.likely())
+                .fold(f64::INFINITY, f64::min)
+        };
+        if !pruned.feasible.is_empty() {
+            prop_assert!(!unpruned.feasible.is_empty());
+            prop_assert!(best(&pruned) >= best(&unpruned) - 1e-6);
+        }
+    }
+}

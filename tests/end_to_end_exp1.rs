@@ -1,0 +1,116 @@
+//! End-to-end reproduction checks for experiment 1 (Tables 3 and 4).
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::Heuristic;
+
+#[test]
+fn single_partition_has_feasible_design() {
+    let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 }).unwrap();
+    for h in [Heuristic::Enumeration, Heuristic::Iterative] {
+        let o = s.explore(h).unwrap();
+        assert!(o.feasible_trials >= 1, "{h}: Table 4 row 1 has a feasible trial");
+        assert!(!o.feasible.is_empty());
+    }
+}
+
+#[test]
+fn doubling_chips_doubles_performance() {
+    // Table 4 headline: "two times higher performance can be obtained
+    // easily by doubling the available chip area."
+    let one = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
+        .unwrap()
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    let two = experiment1_session(&Exp1Config { partitions: 2, package: 1 })
+        .unwrap()
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    let best_ii = |o: &chop_core::SearchOutcome| {
+        o.feasible
+            .iter()
+            .map(|f| f.system.initiation_ns.likely())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let ii1 = best_ii(&one);
+    let ii2 = best_ii(&two);
+    assert!(ii1.is_finite() && ii2.is_finite());
+    assert!(
+        ii2 <= ii1 / 1.5,
+        "two chips ({ii2} ns) should be well below one chip ({ii1} ns)"
+    );
+}
+
+#[test]
+fn fewer_pins_never_improve_delay() {
+    // Table 4: "Using 64 rather than 84 pin chip packaging causes a slight
+    // increase in the system delay."
+    let p64 = experiment1_session(&Exp1Config { partitions: 2, package: 0 })
+        .unwrap()
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    let p84 = experiment1_session(&Exp1Config { partitions: 2, package: 1 })
+        .unwrap()
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    let best_delay = |o: &chop_core::SearchOutcome| {
+        o.feasible
+            .iter()
+            .map(|f| f.system.delay_ns.likely())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let d64 = best_delay(&p64);
+    let d84 = best_delay(&p84);
+    assert!(d64.is_finite() && d84.is_finite());
+    assert!(d64 >= d84, "64-pin best delay {d64} must be >= 84-pin {d84}");
+}
+
+#[test]
+fn partitioned_specs_admit_more_feasible_predictions() {
+    // Table 3 shape: splitting the design (1 → 2/3 partitions) multiplies
+    // the feasible predictions (5 → 25/32 in the paper) because each
+    // smaller partition fits its chip more easily.
+    let single = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
+        .unwrap()
+        .explore(Heuristic::Iterative)
+        .unwrap()
+        .feasible_predictions();
+    for partitions in 2..=3 {
+        let multi = experiment1_session(&Exp1Config { partitions, package: 1 })
+            .unwrap()
+            .explore(Heuristic::Iterative)
+            .unwrap()
+            .feasible_predictions();
+        assert!(
+            multi > single,
+            "{partitions} partitions: {multi} feasible predictions !> {single}"
+        );
+    }
+}
+
+#[test]
+fn iterative_needs_fewer_trials_at_higher_partition_counts() {
+    // Table 4: E uses 1050 trials at 3 partitions, I uses 9.
+    let s = experiment1_session(&Exp1Config { partitions: 3, package: 1 }).unwrap();
+    let e = s.explore(Heuristic::Enumeration).unwrap();
+    let i = s.explore(Heuristic::Iterative).unwrap();
+    assert!(i.trials < e.trials, "I ({}) !< E ({})", i.trials, e.trials);
+}
+
+#[test]
+fn clock_cycle_close_to_main_clock() {
+    // Table 4 clocks are 308–312 ns: the 10×-slower datapath keeps its
+    // overhead off the main clock; only transfer-path overhead remains.
+    for partitions in 1..=3 {
+        let o = experiment1_session(&Exp1Config { partitions, package: 1 })
+            .unwrap()
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        for f in &o.feasible {
+            let clock = f.system.clock.likely();
+            assert!(
+                (300.0..340.0).contains(&clock),
+                "{partitions} partitions: clock {clock} outside Table 4 band"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Tests for the paper's §5 future-work extensions implemented here:
+//! power constraints and testability overhead.
+
+use chop_core::experiments::{experiment1_session, experiment2_session, Exp1Config, Exp2Config};
+use chop_core::testability::TestabilityOverhead;
+use chop_core::{Constraints, Heuristic};
+use chop_stat::units::{MilliWatts, Nanos};
+
+#[test]
+fn power_estimates_are_reported() {
+    let o = experiment2_session(&Exp2Config { partitions: 2, package: 1 })
+        .unwrap()
+        .explore(Heuristic::Iterative)
+        .unwrap();
+    assert!(!o.feasible.is_empty());
+    for f in &o.feasible {
+        assert!(f.system.power.likely() > 0.0, "system power must be predicted");
+    }
+}
+
+#[test]
+fn tiny_power_limit_kills_every_design() {
+    let constrained = experiment1_session(&Exp1Config { partitions: 2, package: 1 })
+        .unwrap()
+        .with_constraints(
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0))
+                .with_power_limit(MilliWatts::new(1.0)),
+        );
+    let o = constrained.explore(Heuristic::Enumeration).unwrap();
+    assert_eq!(o.feasible_trials, 0, "1 mW cannot power a multiplier");
+}
+
+#[test]
+fn generous_power_limit_changes_nothing() {
+    let base = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let unconstrained = base.explore(Heuristic::Enumeration).unwrap();
+    let generous = base
+        .clone()
+        .with_constraints(
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0))
+                .with_power_limit(MilliWatts::new(1_000_000.0)),
+        )
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert_eq!(unconstrained.feasible_trials, generous.feasible_trials);
+}
+
+#[test]
+fn intermediate_power_limit_prunes_hot_designs() {
+    let base = experiment2_session(&Exp2Config { partitions: 2, package: 1 }).unwrap();
+    let all = base.explore(Heuristic::Enumeration).unwrap();
+    assert!(!all.feasible.is_empty());
+    // Set the limit just below the hottest feasible design.
+    let hottest = all
+        .feasible
+        .iter()
+        .map(|f| f.system.power.likely())
+        .fold(0.0f64, f64::max);
+    let coolest = all
+        .feasible
+        .iter()
+        .map(|f| f.system.power.likely())
+        .fold(f64::INFINITY, f64::min);
+    if hottest > coolest * 1.05 {
+        let limited = base
+            .clone()
+            .with_constraints(
+                Constraints::new(Nanos::new(20_000.0), Nanos::new(30_000.0))
+                    .with_power_limit(MilliWatts::new((hottest + coolest) / 2.0)),
+            )
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        assert!(limited.feasible_trials < all.feasible_trials);
+    }
+}
+
+#[test]
+fn testability_overhead_shrinks_the_feasible_set() {
+    let base = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let plain = base.explore(Heuristic::Enumeration).unwrap();
+    let scan = base
+        .clone()
+        .with_testability(TestabilityOverhead::full_scan())
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert!(
+        scan.feasible_trials <= plain.feasible_trials,
+        "full scan cannot add feasible designs"
+    );
+}
+
+#[test]
+fn testability_clock_overhead_visible_in_results() {
+    let base = experiment2_session(&Exp2Config { partitions: 2, package: 1 }).unwrap();
+    let plain = base.explore(Heuristic::Iterative).unwrap();
+    let scan = base
+        .clone()
+        .with_testability(TestabilityOverhead::partial_scan())
+        .explore(Heuristic::Iterative)
+        .unwrap();
+    let best_clock = |o: &chop_core::SearchOutcome| {
+        o.feasible
+            .iter()
+            .map(|f| f.system.clock.likely())
+            .fold(f64::INFINITY, f64::min)
+    };
+    if !plain.feasible.is_empty() && !scan.feasible.is_empty() {
+        assert!(best_clock(&scan) > best_clock(&plain));
+    }
+}
+
+#[test]
+fn partial_scan_is_gentler_than_full_scan() {
+    let base = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let partial = base
+        .clone()
+        .with_testability(TestabilityOverhead::partial_scan())
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    let full = base
+        .clone()
+        .with_testability(TestabilityOverhead::full_scan())
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert!(full.feasible_trials <= partial.feasible_trials);
+}

@@ -1,0 +1,84 @@
+//! Golden results: the exact design points the reproduction produces for
+//! the paper's tables. These pin the model — any change to the predictor,
+//! integration overhead or heuristics that shifts a headline number shows
+//! up here first.
+//!
+//! (The points are this reproduction's, not the paper's; EXPERIMENTS.md
+//! records the comparison against the paper's numbers.)
+
+use chop_core::experiments::{
+    experiment1_session, experiment2_session, Exp1Config, Exp2Config,
+};
+use chop_core::{Heuristic, SearchOutcome};
+
+/// (II cycles, delay cycles, clock ns rounded).
+fn rows(o: &SearchOutcome) -> Vec<(u64, u64, u64)> {
+    let mut v: Vec<(u64, u64, u64)> = o
+        .feasible
+        .iter()
+        .map(|f| {
+            (
+                f.system.initiation_interval.value(),
+                f.system.delay.value(),
+                f.system.clock.likely().round() as u64,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn table4_rows_are_stable() {
+    let expect = |partitions: usize, package: usize, want: &[(u64, u64, u64)]| {
+        for h in [Heuristic::Enumeration, Heuristic::Iterative] {
+            let o = experiment1_session(&Exp1Config { partitions, package })
+                .unwrap()
+                .explore(h)
+                .unwrap();
+            assert_eq!(
+                rows(&o),
+                want,
+                "exp1 partitions={partitions} package={package} heuristic={h}"
+            );
+        }
+    };
+    expect(1, 1, &[(50, 75, 306)]);
+    expect(2, 1, &[(30, 79, 306)]);
+    expect(2, 0, &[(30, 82, 306)]);
+    expect(3, 1, &[(20, 81, 310)]);
+}
+
+#[test]
+fn table6_rows_are_stable() {
+    let expect = |partitions: usize, want: &[(u64, u64, u64)]| {
+        for h in [Heuristic::Enumeration, Heuristic::Iterative] {
+            let o = experiment2_session(&Exp2Config { partitions, package: 1 })
+                .unwrap()
+                .explore(h)
+                .unwrap();
+            assert_eq!(rows(&o), want, "exp2 partitions={partitions} heuristic={h}");
+        }
+    };
+    expect(1, &[(42, 52, 379)]);
+    expect(2, &[(20, 43, 367)]);
+    expect(3, &[(16, 45, 364)]);
+}
+
+#[test]
+fn table3_and_5_totals_are_stable() {
+    let totals = |experiment: u8, partitions: usize| -> (usize, usize) {
+        let session = match experiment {
+            1 => experiment1_session(&Exp1Config { partitions, package: 1 }).unwrap(),
+            _ => experiment2_session(&Exp2Config { partitions, package: 1 }).unwrap(),
+        };
+        let o = session.explore(Heuristic::Iterative).unwrap();
+        (o.total_predictions(), o.feasible_predictions())
+    };
+    assert_eq!(totals(1, 1), (384, 36));
+    assert_eq!(totals(1, 2), (486, 185));
+    assert_eq!(totals(1, 3), (210, 100));
+    assert_eq!(totals(2, 1), (576, 12));
+    assert_eq!(totals(2, 2), (621, 225));
+    assert_eq!(totals(2, 3), (279, 134));
+}

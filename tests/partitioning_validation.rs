@@ -1,0 +1,172 @@
+//! Cross-crate validation: malformed partitionings are rejected with
+//! precise errors, well-formed ones flow through the whole pipeline.
+
+use chop_core::spec::{BuildError, PartitioningBuilder, SpecError};
+use chop_core::{Constraints, Heuristic, MemoryAssignment, Session};
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_dfg::grouping::Grouping;
+use chop_dfg::{benchmarks, DfgBuilder, MemoryRef, Operation};
+use chop_library::standard::{
+    example_off_shelf_ram, example_on_chip_ram, table1_library, table2_packages,
+};
+use chop_library::{ChipId, ChipSet};
+use chop_stat::units::{Bits, Nanos};
+
+fn chips(n: usize) -> ChipSet {
+    ChipSet::uniform(table2_packages()[1].clone(), n)
+}
+
+#[test]
+fn mutual_dependency_rejected_at_build() {
+    // Interleave groups along a chain: 0,1,0 creates 0→1 and 1→0 flow.
+    let mut b = DfgBuilder::new();
+    let w = Bits::new(16);
+    let i = b.node(Operation::Input, w);
+    let a = b.node(Operation::Add, w);
+    let m = b.node(Operation::Mul, w);
+    let o = b.node(Operation::Output, w);
+    b.connect(i, a).unwrap();
+    b.connect(i, a).unwrap();
+    b.connect(a, m).unwrap();
+    b.connect(a, m).unwrap();
+    b.connect(m, o).unwrap();
+    let g = b.build().unwrap();
+    let grouping = Grouping::new(&g, 2, vec![0, 0, 1, 0]).unwrap();
+    let err = PartitioningBuilder::new(g, chips(2))
+        .with_grouping(grouping)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::Grouping(_)));
+}
+
+#[test]
+fn memory_on_chip_consumes_area_in_exploration() {
+    // A DFG with memory traffic; the on-chip RAM's area must reduce what
+    // fits beside it compared to an off-the-shelf part.
+    let mut b = DfgBuilder::new();
+    let w = Bits::new(16);
+    let mref = MemoryRef::new(0);
+    let addr = b.node(Operation::Input, w);
+    let rd = b.node(Operation::MemRead(mref), w);
+    b.connect(addr, rd).unwrap();
+    let x = b.node(Operation::Input, w);
+    let mul = b.node(Operation::Mul, w);
+    b.connect(rd, mul).unwrap();
+    b.connect(x, mul).unwrap();
+    let wr = b.node(Operation::MemWrite(mref), w);
+    b.connect(mul, wr).unwrap();
+    b.connect(addr, wr).unwrap();
+    let o = b.node(Operation::Output, w);
+    b.connect(mul, o).unwrap();
+    let g = b.build().unwrap();
+
+    let on_chip = PartitioningBuilder::new(g.clone(), chips(1))
+        .with_memory(example_on_chip_ram(), MemoryAssignment::OnChip(ChipId::new(0)))
+        .build()
+        .unwrap();
+    let off_shelf = PartitioningBuilder::new(g, chips(1))
+        .with_memory(example_off_shelf_ram(), MemoryAssignment::External)
+        .build()
+        .unwrap();
+
+    let session = |p| {
+        Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+    };
+    let on = session(on_chip).explore(Heuristic::Enumeration).unwrap();
+    let off = session(off_shelf).explore(Heuristic::Enumeration).unwrap();
+    let best_area = |o: &chop_core::SearchOutcome| {
+        o.feasible
+            .iter()
+            .map(|f| f.system.chip_areas[0].likely())
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(!on.feasible.is_empty() && !off.feasible.is_empty());
+    assert!(best_area(&on) > best_area(&off));
+}
+
+#[test]
+fn chip_swap_changes_pin_budget_effects() {
+    let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+        .split_horizontal(2)
+        .build()
+        .unwrap();
+    let swapped = p
+        .with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))
+        .unwrap();
+    assert_eq!(swapped.chips().chip(ChipId::new(0)).pins(), 64);
+}
+
+#[test]
+fn placement_mismatch_is_spec_error() {
+    let err = PartitioningBuilder::new(benchmarks::diffeq(), chips(1))
+        .with_memory(example_off_shelf_ram(), MemoryAssignment::OnChip(ChipId::new(0)))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::Spec(SpecError::PlacementMismatch(_))));
+}
+
+#[test]
+fn cyclic_chip_flow_with_acyclic_partitions_is_legal() {
+    // Fig. 2's key subtlety: "cyclic data flow is allowed among chips" as
+    // long as no two *partitions* are mutually dependent. Chain
+    // P1→P2→P3 with P1,P3 on chip 0 and P2 on chip 1: data flows
+    // chip0→chip1→chip0.
+    let mut b = DfgBuilder::new();
+    let w = Bits::new(16);
+    let i = b.node(Operation::Input, w);
+    let a1 = b.node(Operation::Mul, w);
+    b.connect(i, a1).unwrap();
+    b.connect(i, a1).unwrap();
+    let a2 = b.node(Operation::Mul, w);
+    b.connect(a1, a2).unwrap();
+    b.connect(a1, a2).unwrap();
+    let a3 = b.node(Operation::Add, w);
+    b.connect(a2, a3).unwrap();
+    b.connect(a2, a3).unwrap();
+    let o = b.node(Operation::Output, w);
+    b.connect(a3, o).unwrap();
+    let g = b.build().unwrap();
+    // nodes: i,a1 → P1; a2 → P2; a3,o → P3.
+    let grouping = Grouping::new(&g, 3, vec![0, 0, 1, 2, 2]).unwrap();
+    let p = PartitioningBuilder::new(g, chips(2))
+        .with_grouping(grouping)
+        .with_chip_assignment(vec![ChipId::new(0), ChipId::new(1), ChipId::new(0)])
+        .build()
+        .unwrap();
+    // Both chips host work; chip 0 hosts two partitions.
+    assert_eq!(p.partitions_on(ChipId::new(0)).len(), 2);
+    let s = Session::new(
+        p,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+    );
+    let outcome = s.explore(Heuristic::Enumeration).unwrap();
+    assert!(outcome.trials > 0);
+    assert!(outcome.feasible_trials > 0, "the tiny chain easily fits two chips");
+}
+
+#[test]
+fn predict_error_names_partition() {
+    // diffeq needs a comparator the Table 1 library lacks.
+    let p = PartitioningBuilder::new(benchmarks::diffeq(), chips(1)).build().unwrap();
+    let s = Session::new(
+        p,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+        ArchitectureStyle::multi_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+    );
+    let err = s.explore(Heuristic::Iterative).unwrap_err();
+    assert!(err.to_string().contains("P1"));
+}

@@ -1,0 +1,91 @@
+//! The §2.3 workflow: an inner loop with a determinate trip count is
+//! unrolled into an acyclic DFG, then partitioned and checked — end to
+//! end through every crate.
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{Constraints, Heuristic, Session};
+use chop_dfg::unroll::LoopSpec;
+use chop_dfg::{DfgBuilder, NodeId, Operation};
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::{Bits, Nanos};
+
+/// One iteration of `acc = acc * c + x[i]` — an IIR-ish recurrence.
+fn mac_body() -> (chop_dfg::Dfg, NodeId, NodeId) {
+    let mut b = DfgBuilder::new();
+    let w = Bits::new(16);
+    let acc_in = b.node(Operation::Input, w);
+    let c = b.node(Operation::Const, w);
+    let x = b.node(Operation::Input, w);
+    let p = b.node(Operation::Mul, w);
+    b.connect(acc_in, p).unwrap();
+    b.connect(c, p).unwrap();
+    let s = b.node(Operation::Add, w);
+    b.connect(p, s).unwrap();
+    b.connect(x, s).unwrap();
+    let acc_out = b.node(Operation::Output, w);
+    b.connect(s, acc_out).unwrap();
+    (b.build().unwrap(), acc_in, acc_out)
+}
+
+#[test]
+fn unrolled_loop_flows_through_chop() {
+    let (body, acc_in, acc_out) = mac_body();
+    let spec = LoopSpec::new(body, 6, vec![(acc_out, acc_in)]).unwrap();
+    let unrolled = spec.unroll();
+    assert!(unrolled.validate().is_ok());
+    let h = unrolled.op_histogram();
+    assert_eq!(h.count(Operation::Mul), 6);
+    assert_eq!(h.count(Operation::Add), 6);
+
+    for k in 1..=2usize {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let p = PartitioningBuilder::new(unrolled.clone(), chips)
+            .split_horizontal(k)
+            .build()
+            .unwrap();
+        let session = Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+        );
+        let outcome = session.explore(Heuristic::Iterative).unwrap();
+        assert!(
+            outcome.feasible_trials > 0,
+            "a 12-op unrolled loop easily fits {k} chip(s)"
+        );
+    }
+}
+
+#[test]
+fn deeper_unrolling_serializes_the_critical_path() {
+    // The recurrence is serial: latency grows ~linearly with trip count.
+    let best_delay = |trips: u32| -> u64 {
+        let (body, acc_in, acc_out) = mac_body();
+        let spec = LoopSpec::new(body, trips, vec![(acc_out, acc_in)]).unwrap();
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), 1);
+        let p = PartitioningBuilder::new(spec.unroll(), chips).build().unwrap();
+        let session = Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(120_000.0), Nanos::new(120_000.0)),
+        );
+        let outcome = session.explore(Heuristic::Iterative).unwrap();
+        outcome
+            .feasible
+            .iter()
+            .map(|f| f.system.delay.value())
+            .min()
+            .expect("feasible")
+    };
+    let d2 = best_delay(2);
+    let d8 = best_delay(8);
+    assert!(d8 > d2 * 2, "8 iterations ({d8}) should far exceed 2 ({d2})");
+}

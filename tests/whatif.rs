@@ -1,0 +1,70 @@
+//! The §2.7 what-if modification loop: partitions, memory, chip set and
+//! constraints.
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{Constraints, Heuristic, PartitionId};
+use chop_library::standard::table2_packages;
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+#[test]
+fn operation_migration_changes_cut() {
+    let s = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let p = s.partitioning().clone();
+    let before: u64 = p.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
+    // Move one movable node from P1 to P2 without violating structure.
+    let mut moved = None;
+    for node in p.grouping().members(0) {
+        if let Ok(m) = p.with_node_moved(node, PartitionId::new(1)) {
+            moved = Some(m);
+            break;
+        }
+    }
+    let moved = moved.expect("some node is movable");
+    let after: u64 = moved.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
+    assert_ne!(before, after, "migration should change the cut");
+}
+
+#[test]
+fn chip_set_downgrade_weakens_results() {
+    let s84 = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let s64 = s84
+        .clone()
+        .with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))
+        .unwrap();
+    let o84 = s84.explore(Heuristic::Enumeration).unwrap();
+    let o64 = s64.explore(Heuristic::Enumeration).unwrap();
+    let best_delay = |o: &chop_core::SearchOutcome| {
+        o.feasible
+            .iter()
+            .map(|f| f.system.delay_ns.likely())
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(best_delay(&o64) >= best_delay(&o84));
+}
+
+#[test]
+fn tightening_performance_prunes_slow_designs() {
+    let s = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let loose = s.explore(Heuristic::Enumeration).unwrap();
+    let tight = s
+        .clone()
+        .with_constraints(Constraints::new(Nanos::new(10_000.0), Nanos::new(30_000.0)))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    // Every surviving design under the tight constraint meets it.
+    for f in &tight.feasible {
+        assert!(f.system.initiation_ns.hi() <= 10_000.0 + 1e-6);
+    }
+    assert!(tight.feasible.len() <= loose.feasible.len());
+}
+
+#[test]
+fn infeasible_constraints_yield_empty_but_ok() {
+    let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
+        .unwrap()
+        .with_constraints(Constraints::new(Nanos::new(100.0), Nanos::new(100.0)));
+    let o = s.explore(Heuristic::Iterative).unwrap();
+    assert_eq!(o.feasible_trials, 0);
+    assert!(o.feasible.is_empty());
+}
