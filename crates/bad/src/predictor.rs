@@ -28,6 +28,10 @@ pub enum PredictError {
     /// No module set fits the architecture style (e.g. every multiplier is
     /// slower than the single-cycle datapath clock).
     NoUsableModuleSet,
+    /// The predictor panicked; the payload is the panic message. Produced
+    /// by callers that isolate a prediction with `catch_unwind` so one
+    /// poisoned partition cannot abort a whole exploration.
+    Panicked(String),
 }
 
 impl fmt::Display for PredictError {
@@ -38,6 +42,9 @@ impl fmt::Display for PredictError {
             PredictError::NoUsableModuleSet => {
                 write!(f, "no module set fits the architecture style and clocking")
             }
+            PredictError::Panicked(message) => {
+                write!(f, "predictor panicked: {message}")
+            }
         }
     }
 }
@@ -47,7 +54,7 @@ impl std::error::Error for PredictError {
         match self {
             PredictError::Library(e) => Some(e),
             PredictError::Schedule(e) => Some(e),
-            PredictError::NoUsableModuleSet => None,
+            PredictError::NoUsableModuleSet | PredictError::Panicked(_) => None,
         }
     }
 }

@@ -1,0 +1,83 @@
+//! Budget-engine ablation: overhead of the cooperative budget checks on
+//! an unlimited run, cost of truncated runs at various deadlines, and the
+//! payoff of E→I degradation on a wide space.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{Heuristic, SearchBudget};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_budget_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_overhead");
+    group.sample_size(10);
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).expect("valid");
+    // Baseline: the default budget (degradation threshold only).
+    group.bench_function("default_budget_E", |b| {
+        b.iter(|| black_box(session.explore(Heuristic::Enumeration).expect("explore")));
+    });
+    // Fully unlimited: no checks can ever trip.
+    let unlimited = session.clone().with_budget(SearchBudget::unlimited());
+    group.bench_function("unlimited_E", |b| {
+        b.iter(|| black_box(unlimited.explore(Heuristic::Enumeration).expect("explore")));
+    });
+    // Armed but roomy: deadline and caps present, never tripped — measures
+    // the per-trial cost of the cooperative checks themselves.
+    let roomy = session.clone().with_budget(
+        SearchBudget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_max_trials(usize::MAX)
+            .with_max_points(usize::MAX),
+    );
+    group.bench_function("armed_budget_E", |b| {
+        b.iter(|| black_box(roomy.explore(Heuristic::Enumeration).expect("explore")));
+    });
+    group.finish();
+}
+
+fn bench_truncated_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncated_runs");
+    group.sample_size(10);
+    let session = experiment1_session(&Exp1Config { partitions: 3, package: 1 }).expect("valid");
+    for deadline_ms in [1u64, 10, 100] {
+        let budgeted = session.clone().with_budget(
+            SearchBudget::unlimited().with_deadline(Duration::from_millis(deadline_ms)),
+        );
+        group.bench_function(format!("deadline_{deadline_ms}ms_E"), |b| {
+            b.iter(|| black_box(budgeted.explore(Heuristic::Enumeration).expect("explore")));
+        });
+    }
+    for max_trials in [10usize, 100, 1000] {
+        let budgeted = session
+            .clone()
+            .with_budget(SearchBudget::unlimited().with_max_trials(max_trials));
+        group.bench_function(format!("max_trials_{max_trials}_E"), |b| {
+            b.iter(|| black_box(budgeted.explore(Heuristic::Enumeration).expect("explore")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_degradation_payoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degradation_payoff");
+    group.sample_size(10);
+    let session = experiment1_session(&Exp1Config { partitions: 3, package: 1 })
+        .expect("valid")
+        .with_pruning(false);
+    // Forced E on the unpruned space versus the engine degrading to I.
+    let forced_e = session.clone().with_budget(SearchBudget::unlimited());
+    group.bench_function("forced_E_unpruned", |b| {
+        b.iter(|| black_box(forced_e.explore(Heuristic::Enumeration).expect("explore")));
+    });
+    let degrading = session.clone().with_budget(
+        SearchBudget::unlimited().with_degrade_threshold(1),
+    );
+    group.bench_function("degraded_to_I_unpruned", |b| {
+        b.iter(|| black_box(degrading.explore(Heuristic::Enumeration).expect("explore")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_overhead, bench_truncated_runs, bench_degradation_payoff);
+criterion_main!(benches);

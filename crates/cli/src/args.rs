@@ -33,6 +33,14 @@ pub struct Options {
     pub extended_library: bool,
     /// Emit a markdown report instead of plain text (check only).
     pub markdown: bool,
+    /// Wall-clock deadline for exploration, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Cap on global combinations examined.
+    pub max_trials: Option<usize>,
+    /// Cap on retained design points.
+    pub max_points: Option<usize>,
+    /// Never degrade heuristic E to I, however large the space.
+    pub no_degrade: bool,
 }
 
 impl Default for Options {
@@ -52,6 +60,10 @@ impl Default for Options {
             on_chip_memories: Vec::new(),
             extended_library: false,
             markdown: false,
+            deadline_ms: None,
+            max_trials: None,
+            max_points: None,
+            no_degrade: false,
         }
     }
 }
@@ -158,6 +170,28 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
             }
             "--extended-library" => opts.extended_library = true,
             "--markdown" => opts.markdown = true,
+            "--deadline" => {
+                opts.deadline_ms = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--max-trials" => {
+                opts.max_trials = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--max-points" => {
+                opts.max_points = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--no-degrade" => opts.no_degrade = true,
             flag if flag.starts_with('-') => {
                 return Err(ArgError(format!("unknown option {flag}")));
             }
@@ -221,6 +255,39 @@ mod tests {
         assert_eq!(o.power, Some(5000.0));
         assert_eq!(o.testability, "full");
         assert_eq!(o.on_chip_memories, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let o = parse_options(&s(&[
+            "d.cbs",
+            "--deadline",
+            "250",
+            "--max-trials",
+            "5000",
+            "--max-points",
+            "100",
+            "--no-degrade",
+        ]))
+        .unwrap();
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.max_trials, Some(5000));
+        assert_eq!(o.max_points, Some(100));
+        assert!(o.no_degrade);
+    }
+
+    #[test]
+    fn budget_flags_default_off() {
+        let o = parse_options(&s(&["d.cbs"])).unwrap();
+        assert_eq!(o.deadline_ms, None);
+        assert_eq!(o.max_trials, None);
+        assert_eq!(o.max_points, None);
+        assert!(!o.no_degrade);
+    }
+
+    #[test]
+    fn rejects_bad_deadline() {
+        assert!(parse_options(&s(&["d.cbs", "--deadline", "soon"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The `chop` subcommands.
 
 use std::error::Error;
+use std::time::Duration;
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
 use chop_core::spec::PartitioningBuilder;
 use chop_core::testability::TestabilityOverhead;
-use chop_core::{report, Constraints, Heuristic, MemoryAssignment, Session};
+use chop_core::{
+    report, Constraints, Heuristic, MemoryAssignment, SearchBudget, SearchOutcome, Session,
+};
 use chop_dfg::parse::parse_dfg;
 use chop_dfg::Dfg;
 use chop_library::standard::{
@@ -40,6 +43,16 @@ OPTIONS (check / tasks):
   --on-chip-memory <M:C>   place memory block M on chip C  [off-the-shelf]
   --extended-library       add comparators/logic/shifters to Table 1
   --markdown               emit a markdown report (check only)
+  --deadline <ms>          wall-clock budget for exploration
+  --max-trials <N>         cap on combinations examined
+  --max-points <N>         cap on retained design points
+  --no-degrade             never switch heuristic E to I on huge spaces
+
+EXIT CODES:
+  0  a feasible implementation was found (search complete)
+  1  error (bad usage, unreadable spec, prediction failure)
+  2  infeasible — the search completed and found nothing
+  3  truncated — a budget tripped; results are partial
 ";
 
 const FORMAT: &str = "Spec format (# comments, one definition per line):
@@ -53,24 +66,64 @@ const FORMAT: &str = "Spec format (# comments, one definition per line):
   y  = output s          primary output
 ";
 
+/// The outcome of a successful `chop` invocation, mapped to a process
+/// exit code by `main` (errors exit 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// A feasible implementation was found (or the command has no
+    /// feasibility verdict, e.g. `dot`/`help`). Exit code 0.
+    Feasible,
+    /// The search completed and found nothing feasible. Exit code 2.
+    Infeasible,
+    /// A budget tripped before the search finished; any reported results
+    /// are partial. Exit code 3.
+    Truncated,
+}
+
+impl RunStatus {
+    /// The process exit code for this status.
+    #[must_use]
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RunStatus::Feasible => 0,
+            RunStatus::Infeasible => 2,
+            RunStatus::Truncated => 3,
+        }
+    }
+
+    /// Classifies an exploration outcome: truncation wins over the
+    /// feasible/infeasible verdict because the results are partial either
+    /// way. E→I degradation is a *complete* (heuristic-I) search and does
+    /// not truncate.
+    fn from_outcome(outcome: &SearchOutcome) -> Self {
+        if outcome.completion.is_truncated() {
+            RunStatus::Truncated
+        } else if outcome.feasible.is_empty() {
+            RunStatus::Infeasible
+        } else {
+            RunStatus::Feasible
+        }
+    }
+}
+
 /// Dispatches a `chop` invocation.
 ///
 /// # Errors
 ///
 /// Returns a displayable error for bad usage, unreadable files, parse
 /// failures and infeasible configurations that cannot even be built.
-pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
+pub fn run(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
     match argv.first().map(String::as_str) {
         Some("check") => check(&parse_options(&argv[1..])?),
         Some("dot") => dot(&argv[1..]),
         Some("tasks") => tasks(&parse_options(&argv[1..])?),
         Some("format") => {
             print!("{FORMAT}");
-            Ok(())
+            Ok(RunStatus::Feasible)
         }
         Some("help") | None => {
             print!("{HELP}");
-            Ok(())
+            Ok(RunStatus::Feasible)
         }
         Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
     }
@@ -139,49 +192,72 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
         "full" => session.with_testability(TestabilityOverhead::full_scan()),
         _ => session,
     };
-    Ok(session)
+    let mut budget = SearchBudget::default();
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = opts.max_trials {
+        budget = budget.with_max_trials(n);
+    }
+    if let Some(n) = opts.max_points {
+        budget = budget.with_max_points(n);
+    }
+    if opts.no_degrade {
+        budget = budget.without_degradation();
+    }
+    Ok(session.with_budget(budget))
 }
 
-fn check(opts: &Options) -> Result<(), Box<dyn Error>> {
+fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
     let session = build_session(opts)?;
     let heuristic =
         if opts.heuristic == 'e' { Heuristic::Enumeration } else { Heuristic::Iterative };
     if opts.markdown {
         let outcome = session.explore(heuristic)?;
         print!("{}", report::markdown(&session, &outcome));
-        return Ok(());
+        return Ok(RunStatus::from_outcome(&outcome));
     }
     print!("{}", report::environment(&session));
     let outcome = session.explore(heuristic)?;
     println!(
-        "heuristic {heuristic}: {} trials, {} feasible, {:.2?}",
-        outcome.trials, outcome.feasible_trials, outcome.elapsed
+        "heuristic {}: {} trials, {} feasible, {:.2?}",
+        outcome.heuristic, outcome.trials, outcome.feasible_trials, outcome.elapsed
     );
+    if outcome.degraded {
+        println!("note: enumeration space too large, degraded to heuristic I");
+    }
+    if outcome.completion.is_truncated() {
+        println!("TRUNCATED ({}) — results below are partial.", outcome.completion);
+    }
     match outcome.feasible.first() {
         Some(best) => {
             println!("\n{}", report::guideline(best, session.library()));
+        }
+        None if outcome.completion.is_truncated() => {
+            println!("\nNo feasible combination found before the budget tripped.");
+            println!("Raise --deadline/--max-trials or drop the budget to search further.");
         }
         None => {
             println!("\nINFEASIBLE — no combination of predicted implementations works.");
             println!("Try more chips/partitions, a larger package, or weaker constraints.");
         }
     }
-    Ok(())
+    Ok(RunStatus::from_outcome(&outcome))
 }
 
-fn dot(argv: &[String]) -> Result<(), Box<dyn Error>> {
+fn dot(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
     let path = argv
         .first()
         .ok_or_else(|| ArgError("dot needs a <spec.cbs> argument".into()))?;
     let dfg = load_spec(path)?;
     print!("{}", chop_dfg::dot::to_dot(&dfg));
-    Ok(())
+    Ok(RunStatus::Feasible)
 }
 
-fn tasks(opts: &Options) -> Result<(), Box<dyn Error>> {
+fn tasks(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
     let session = build_session(opts)?;
     print!("{}", report::task_graph_dot(session.partitioning()));
-    Ok(())
+    Ok(RunStatus::Feasible)
 }
 
 #[cfg(test)]
@@ -280,5 +356,70 @@ mod tests {
         let path = write_spec("bad.cbs", "a = input 16\nb = add a ghost\n");
         let err = run(&argv(&["check", &path])).unwrap_err();
         assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn exit_code_mapping_is_exhaustive() {
+        // One arm per RunStatus variant: adding a variant breaks this
+        // match, forcing the mapping (and its docs) to be revisited.
+        for status in [RunStatus::Feasible, RunStatus::Infeasible, RunStatus::Truncated] {
+            let code = match status {
+                RunStatus::Feasible => 0,
+                RunStatus::Infeasible => 2,
+                RunStatus::Truncated => 3,
+            };
+            assert_eq!(status.exit_code(), code);
+        }
+    }
+
+    #[test]
+    fn feasible_check_reports_feasible_status() {
+        let path = write_spec(
+            "status-ok.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
+        );
+        let status = run(&argv(&["check", &path, "--multi-cycle"])).unwrap();
+        assert_eq!(status, RunStatus::Feasible);
+    }
+
+    #[test]
+    fn impossible_constraint_reports_infeasible_status() {
+        let path = write_spec(
+            "status-bad.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
+        );
+        // A 1 ns performance bound is unmeetable with a 300 ns clock.
+        let status =
+            run(&argv(&["check", &path, "--multi-cycle", "--perf", "1", "--delay", "1"]))
+                .unwrap();
+        assert_eq!(status, RunStatus::Infeasible);
+    }
+
+    #[test]
+    fn zero_deadline_reports_truncated_status() {
+        let path = write_spec(
+            "status-trunc.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
+        );
+        let status = run(&argv(&["check", &path, "--multi-cycle", "--deadline", "0"])).unwrap();
+        assert_eq!(status, RunStatus::Truncated);
+    }
+
+    #[test]
+    fn zero_trials_reports_truncated_status() {
+        let path = write_spec(
+            "status-trials.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
+        );
+        let status =
+            run(&argv(&["check", &path, "--multi-cycle", "--max-trials", "0"])).unwrap();
+        assert_eq!(status, RunStatus::Truncated);
+    }
+
+    #[test]
+    fn help_lists_budget_flags_and_exit_codes() {
+        assert!(HELP.contains("--deadline"));
+        assert!(HELP.contains("--no-degrade"));
+        assert!(HELP.contains("EXIT CODES"));
     }
 }

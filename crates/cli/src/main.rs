@@ -16,8 +16,9 @@ mod commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Exit codes: 0 feasible, 1 error, 2 infeasible, 3 truncated budget.
     match commands::run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status.exit_code()),
         Err(e) => {
             eprintln!("chop: {e}");
             ExitCode::FAILURE

@@ -139,6 +139,10 @@ pub fn improve_by_migration(
     Ok(Advice { partitioning: current, outcome: current_outcome, candidates_examined: examined })
 }
 
+/// Result of a [`minimum_chip_count`] sweep: the smallest feasible chip
+/// count (if any) and the outcome observed at every count tried.
+pub type ChipCountSweep = (Option<usize>, Vec<(usize, SearchOutcome)>);
+
 /// Finds the smallest chip count in `1..=max_chips` whose horizontal
 /// partitioning meets the session's constraints, returning it with the
 /// outcomes of every count tried (the designer's first question: *how
@@ -170,7 +174,7 @@ pub fn minimum_chip_count(
     session: &Session,
     heuristic: Heuristic,
     max_chips: usize,
-) -> Result<(Option<usize>, Vec<(usize, SearchOutcome)>), ChopError> {
+) -> Result<ChipCountSweep, ChopError> {
     use crate::spec::PartitioningBuilder;
     let mut tried = Vec::new();
     let base = session.partitioning();

@@ -1,16 +1,20 @@
 //! The designer-facing session: predict, prune, search, report.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use chop_bad::prune::{prune, PredictionStats};
 use chop_bad::{
-    ArchitectureStyle, ClockConfig, PartitionEnvelope, PredictedDesign, Predictor,
-    PredictorParams,
+    ArchitectureStyle, ClockConfig, PartitionEnvelope, PredictError, PredictedDesign,
+    Predictor, PredictorParams,
 };
 use chop_library::{ChipSet, Library};
 
+use crate::budget::{BudgetTimer, Completion, SearchBudget};
 use crate::error::ChopError;
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
 use crate::feasibility::{Constraints, FeasibilityCriteria};
 use crate::heuristics::{self, HeuristicResult};
 use crate::integration::IntegrationContext;
@@ -55,6 +59,12 @@ pub struct SearchOutcome {
     pub elapsed: Duration,
     /// Every design point examined (keep-all mode only).
     pub points: Vec<DesignPoint>,
+    /// How the run ended: complete, truncated by a budget, or degraded.
+    /// Truncation takes precedence over degradation here; `degraded`
+    /// records the E→I switch unconditionally.
+    pub completion: Completion,
+    /// Whether a requested heuristic-E search was degraded to heuristic I.
+    pub degraded: bool,
 }
 
 impl SearchOutcome {
@@ -92,7 +102,11 @@ impl fmt::Display for SearchOutcome {
             self.feasible_trials,
             self.feasible.len(),
             self.elapsed
-        )
+        )?;
+        if self.completion != Completion::Complete {
+            write!(f, " [{}]", self.completion)?;
+        }
+        Ok(())
     }
 }
 
@@ -113,6 +127,9 @@ pub struct Session {
     testability: TestabilityOverhead,
     prune: bool,
     keep_all: bool,
+    budget: SearchBudget,
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Session {
@@ -138,6 +155,9 @@ impl Session {
             testability: TestabilityOverhead::none(),
             prune: true,
             keep_all: false,
+            budget: SearchBudget::default(),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
@@ -173,6 +193,29 @@ impl Session {
     #[must_use]
     pub fn with_keep_all(mut self, keep_all: bool) -> Self {
         self.keep_all = keep_all;
+        self
+    }
+
+    /// Sets the resource budget for exploration runs (deadline, trial and
+    /// point caps, E→I degradation threshold).
+    #[must_use]
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The search budget in force.
+    #[must_use]
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
+    /// Attaches a scripted fault plan to the prediction phase (testing
+    /// only; compiled with the `fault-inject` feature).
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -232,19 +275,63 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns [`ChopError::Predict`] if BAD cannot serve a partition.
+    /// Returns [`ChopError::Predict`] if BAD cannot serve a partition —
+    /// including a predictor *panic*, which is contained with
+    /// `catch_unwind` and reported as [`chop_bad::PredictError::Panicked`]
+    /// for the offending partition only.
     pub fn predict_partitions(
         &self,
     ) -> Result<(Vec<Vec<PredictedDesign>>, Vec<PredictionStats>), ChopError> {
+        let (lists, stats, _) = self.predict_partitions_with(&BudgetTimer::unlimited())?;
+        Ok((lists, stats))
+    }
+
+    /// Budget-aware prediction sweep: checks the deadline before each
+    /// partition and stops early with `Some(TruncatedDeadline)` plus the
+    /// lists and statistics gathered so far.
+    fn predict_partitions_with(
+        &self,
+        timer: &BudgetTimer,
+    ) -> Result<PartialPredictions, ChopError> {
         let predictor =
             Predictor::new(self.library.clone(), self.clocks, self.style, self.params);
         let mut lists = Vec::with_capacity(self.partitioning.partition_count());
         let mut stats = Vec::with_capacity(self.partitioning.partition_count());
         for p in self.partitioning.partition_ids() {
+            if timer.deadline_exceeded() {
+                return Ok((lists, stats, Some(Completion::TruncatedDeadline)));
+            }
             let sub = self.partitioning.partition_dfg(p);
-            let designs = predictor
-                .predict(&sub)
-                .map_err(|source| ChopError::Predict { partition: p.index(), source })?;
+            // A panic anywhere in BAD poisons only this partition: it is
+            // caught here and reported as a typed Predict error.
+            let predicted = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &self.fault_plan {
+                    plan.before_predict(p.index());
+                }
+                #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+                let mut designs = predictor.predict(&sub)?;
+                // Post-prediction corruption stays inside the guard: a
+                // poisoned estimate that trips a numeric invariant (e.g.
+                // `Estimate` rejecting NaN) is contained the same way.
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &self.fault_plan {
+                    plan.corrupt(p.index(), &mut designs);
+                }
+                Ok(designs)
+            }));
+            let designs = match predicted {
+                Ok(Ok(designs)) => designs,
+                Ok(Err(source)) => {
+                    return Err(ChopError::Predict { partition: p.index(), source })
+                }
+                Err(payload) => {
+                    return Err(ChopError::Predict {
+                        partition: p.index(),
+                        source: PredictError::Panicked(panic_message(payload.as_ref())),
+                    })
+                }
+            };
             let chip = self.partitioning.chips().chip(self.partitioning.chip_of(p));
             let envelope = PartitionEnvelope::new(
                 chip.usable_area(),
@@ -267,12 +354,21 @@ impl Session {
                 lists.push(designs);
             }
         }
-        Ok((lists, stats))
+        Ok((lists, stats, None))
     }
 
     /// Runs the full CHOP flow: per-partition prediction, level-1 pruning,
     /// combination search with the chosen heuristic and system-integration
-    /// feasibility analysis.
+    /// feasibility analysis — all under the session's [`SearchBudget`].
+    ///
+    /// A tripped budget is a *normal outcome*: the returned
+    /// [`SearchOutcome`] holds whatever was found before the trip, tagged
+    /// with the truncating [`Completion`]. Likewise, a heuristic-E request
+    /// whose predicted combination count (the product of surviving
+    /// per-partition predictions) exceeds the budget's degradation
+    /// threshold runs heuristic I instead; `outcome.heuristic` reports the
+    /// heuristic that actually ran and `outcome.degraded` records the
+    /// switch.
     ///
     /// # Errors
     ///
@@ -280,7 +376,21 @@ impl Session {
     /// failures; an infeasible partitioning is a normal outcome with an
     /// empty `feasible` list.
     pub fn explore(&self, heuristic: Heuristic) -> Result<SearchOutcome, ChopError> {
-        let (lists, stats) = self.predict_partitions()?;
+        let timer = BudgetTimer::start(self.budget);
+        let (lists, stats, predict_truncation) = self.predict_partitions_with(&timer)?;
+        if let Some(status) = predict_truncation {
+            return Ok(SearchOutcome {
+                heuristic,
+                feasible: Vec::new(),
+                trials: 0,
+                feasible_trials: 0,
+                prediction_stats: stats,
+                elapsed: timer.elapsed(),
+                points: Vec::new(),
+                completion: status,
+                degraded: false,
+            });
+        }
         let ctx = IntegrationContext::new(
             &self.partitioning,
             &self.library,
@@ -290,25 +400,72 @@ impl Session {
             self.constraints,
         )
         .with_testability(self.testability);
+        let mut effective = heuristic;
+        let mut degraded = false;
+        if heuristic == Heuristic::Enumeration {
+            let combinations = predicted_combinations(&lists);
+            if self.budget.should_degrade(combinations) {
+                effective = Heuristic::Iterative;
+                degraded = true;
+            }
+        }
         let start = Instant::now();
-        let result: HeuristicResult = match heuristic {
+        let result: HeuristicResult = match effective {
             Heuristic::Enumeration => {
-                heuristics::enumeration::run(&ctx, &lists, self.prune, self.keep_all)?
+                heuristics::enumeration::run(&ctx, &lists, self.prune, self.keep_all, &timer)?
             }
-            Heuristic::Iterative => {
-                heuristics::iterative::run(&ctx, &lists, self.clocks.main_cycle(), self.keep_all)?
-            }
+            Heuristic::Iterative => heuristics::iterative::run(
+                &ctx,
+                &lists,
+                self.clocks.main_cycle(),
+                self.keep_all,
+                &timer,
+            )?,
         };
         let elapsed = start.elapsed();
+        let completion = if result.completion.is_truncated() {
+            result.completion
+        } else if degraded {
+            Completion::DegradedToIterative
+        } else {
+            Completion::Complete
+        };
         Ok(SearchOutcome {
-            heuristic,
+            heuristic: effective,
             feasible: result.feasible,
             trials: result.trials,
             feasible_trials: result.feasible_trials,
             prediction_stats: stats,
             elapsed,
             points: result.points,
+            completion,
+            degraded,
         })
+    }
+}
+
+/// The lists/statistics gathered before a deadline trip, plus the trip
+/// status (`None` when the sweep finished).
+type PartialPredictions =
+    (Vec<Vec<PredictedDesign>>, Vec<PredictionStats>, Option<Completion>);
+
+/// Heuristic E's search-space size: the product of surviving per-partition
+/// prediction counts, saturating at `u128::MAX`.
+fn predicted_combinations(lists: &[Vec<PredictedDesign>]) -> u128 {
+    lists
+        .iter()
+        .try_fold(1u128, |acc, list| acc.checked_mul(list.len() as u128))
+        .unwrap_or(u128::MAX)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

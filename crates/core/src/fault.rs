@@ -1,0 +1,143 @@
+//! Fault injection for robustness testing (compiled only with the
+//! `fault-inject` cargo feature).
+//!
+//! A [`FaultPlan`] attached to a [`Session`](crate::Session) sabotages the
+//! per-partition BAD prediction step in controlled ways so tests can prove
+//! the exploration engine contains failures:
+//!
+//! * a **panicking** partition must surface as
+//!   [`ChopError::Predict`](crate::ChopError::Predict) for that partition
+//!   only, never as a process abort;
+//! * **NaN** estimates are structurally rejected by the finiteness
+//!   invariant of [`chop_stat::Estimate`]; the injection proves that
+//!   rejection is *contained* as a typed error for the poisoned partition,
+//!   not a process abort;
+//! * **absurd** (finite but impossible) estimates must flow through
+//!   pruning and feasibility analysis without panicking — they simply
+//!   never become feasible;
+//! * injected **latency** lets deadline tests trip the budget
+//!   deterministically inside the prediction phase.
+
+use std::time::Duration;
+
+use chop_bad::PredictedDesign;
+use chop_stat::Estimate;
+
+/// A scripted set of prediction faults, keyed by partition index.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Panic inside the predictor for this partition.
+    pub panic_partition: Option<usize>,
+    /// Replace this partition's area estimates with NaN.
+    pub nan_partition: Option<usize>,
+    /// Replace this partition's area estimates with an absurdly large
+    /// value (overflows any chip).
+    pub absurd_partition: Option<usize>,
+    /// Sleep this long before predicting each partition.
+    pub predict_latency: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Panic while predicting partition `partition`.
+    #[must_use]
+    pub fn panic_on(mut self, partition: usize) -> Self {
+        self.panic_partition = Some(partition);
+        self
+    }
+
+    /// Poison partition `partition`'s area estimates with NaN.
+    ///
+    /// [`chop_stat::Estimate`] refuses non-finite values, so this fault
+    /// manifests as a panic *inside* the engine's containment guard and
+    /// surfaces as a typed `Predict` error for this partition.
+    #[must_use]
+    pub fn nan_on(mut self, partition: usize) -> Self {
+        self.nan_partition = Some(partition);
+        self
+    }
+
+    /// Poison partition `partition`'s area estimates with an absurd value.
+    #[must_use]
+    pub fn absurd_on(mut self, partition: usize) -> Self {
+        self.absurd_partition = Some(partition);
+        self
+    }
+
+    /// Sleep `latency` before every partition prediction.
+    #[must_use]
+    pub fn with_predict_latency(mut self, latency: Duration) -> Self {
+        self.predict_latency = Some(latency);
+        self
+    }
+
+    /// Runs the pre-prediction faults for `partition`: the latency sleep,
+    /// then the scripted panic. Called *inside* the `catch_unwind` guard so
+    /// the panic exercises real containment.
+    ///
+    /// # Panics
+    ///
+    /// Panics (by design) when `partition` is the scripted panic target.
+    pub fn before_predict(&self, partition: usize) {
+        if let Some(latency) = self.predict_latency {
+            std::thread::sleep(latency);
+        }
+        if self.panic_partition == Some(partition) {
+            panic!("injected fault: predictor panic for partition {partition}");
+        }
+    }
+
+    /// Corrupts the predicted designs of `partition` per the plan.
+    pub fn corrupt(&self, partition: usize, designs: &mut [PredictedDesign]) {
+        let poison = if self.nan_partition == Some(partition) {
+            f64::NAN
+        } else if self.absurd_partition == Some(partition) {
+            1.0e30
+        } else {
+            return;
+        };
+        for d in designs.iter_mut() {
+            *d = PredictedDesign::new(
+                d.style(),
+                d.module_set().clone(),
+                d.allocation().clone(),
+                d.initiation_interval(),
+                d.latency(),
+                Estimate::exact(poison),
+                d.clock_overhead(),
+                d.power(),
+                d.detail().clone(),
+                d.memory_bandwidth().clone(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::none();
+        plan.before_predict(0);
+        let mut designs = Vec::new();
+        plan.corrupt(0, &mut designs);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn scripted_panic_fires_on_target_partition() {
+        FaultPlan::none().panic_on(2).before_predict(2);
+    }
+
+    #[test]
+    fn scripted_panic_spares_other_partitions() {
+        FaultPlan::none().panic_on(2).before_predict(1);
+    }
+}

@@ -9,6 +9,7 @@
 use chop_bad::PredictedDesign;
 use chop_stat::units::Cycles;
 
+use crate::budget::BudgetTimer;
 use crate::error::ChopError;
 use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
 use crate::integration::IntegrationContext;
@@ -22,6 +23,10 @@ use crate::integration::IntegrationContext;
 /// With `keep_all` on, every examined point is recorded for Figure-7-style
 /// design-space dumps.
 ///
+/// The `timer` is consulted before every combination; a tripped budget
+/// stops the odometer and returns the partial result tagged with the
+/// truncation status.
+///
 /// # Errors
 ///
 /// Returns [`ChopError::Integration`] only for structural task-graph
@@ -31,6 +36,7 @@ pub fn run(
     designs: &[Vec<PredictedDesign>],
     prune: bool,
     keep_all: bool,
+    timer: &BudgetTimer,
 ) -> Result<HeuristicResult, ChopError> {
     let mut result = HeuristicResult::default();
     if designs.iter().any(Vec::is_empty) {
@@ -39,6 +45,11 @@ pub fn run(
     let min_transfer_ii = ctx.min_transfer_ii().value();
     let mut index = vec![0usize; designs.len()];
     loop {
+        if let Some(status) = timer.check(result.trials, result.retained_points()) {
+            result.completion = status;
+            result.retain_non_inferior();
+            return Ok(result);
+        }
         let selection: Vec<&PredictedDesign> =
             index.iter().zip(designs).map(|(&i, list)| &list[i]).collect();
         result.trials += 1;
@@ -167,7 +178,7 @@ mod tests {
             FeasibilityCriteria::paper_defaults(),
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
         );
-        let r = run(&ctx, &designs, true, false).unwrap();
+        let r = run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
         assert!(r.trials >= designs[0].len());
         assert!(r.feasible_trials >= 1, "Table 4 row 1: a feasible trial exists");
         assert!(!r.feasible.is_empty());
@@ -184,7 +195,7 @@ mod tests {
             FeasibilityCriteria::paper_defaults(),
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
         );
-        let r = run(&ctx, &designs, true, false).unwrap();
+        let r = run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
         let product: usize = designs.iter().map(Vec::len).product();
         assert_eq!(r.trials, product);
     }
@@ -200,7 +211,7 @@ mod tests {
             FeasibilityCriteria::paper_defaults(),
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
         );
-        let r = run(&ctx, &designs, false, true).unwrap();
+        let r = run(&ctx, &designs, false, true, &BudgetTimer::unlimited()).unwrap();
         assert_eq!(r.points.len(), r.trials);
     }
 
@@ -215,7 +226,7 @@ mod tests {
             FeasibilityCriteria::paper_defaults(),
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
         );
-        let r = run(&ctx, &[Vec::new()], true, false).unwrap();
+        let r = run(&ctx, &[Vec::new()], true, false, &BudgetTimer::unlimited()).unwrap();
         assert_eq!(r.trials, 0);
         assert!(r.feasible.is_empty());
     }

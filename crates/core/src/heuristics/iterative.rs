@@ -10,6 +10,7 @@
 use chop_bad::{DesignStyle, PredictedDesign};
 use chop_stat::units::{Cycles, Nanos};
 
+use crate::budget::BudgetTimer;
 use crate::error::ChopError;
 use crate::feasibility::Violation;
 use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
@@ -22,6 +23,10 @@ use crate::integration::IntegrationContext;
 /// as Fig. 5 requires. Every system-integration estimate counts as one
 /// trial. With `keep_all` on, every estimate is recorded as a design point.
 ///
+/// The `timer` is consulted before every integration estimate; a tripped
+/// budget abandons the sweep and returns the partial result tagged with
+/// the truncation status.
+///
 /// # Errors
 ///
 /// Returns [`ChopError::Integration`] only for structural task-graph
@@ -31,6 +36,7 @@ pub fn run(
     designs: &[Vec<PredictedDesign>],
     base_clock: Nanos,
     keep_all: bool,
+    timer: &BudgetTimer,
 ) -> Result<HeuristicResult, ChopError> {
     let mut result = HeuristicResult::default();
     if designs.iter().any(Vec::is_empty) {
@@ -66,6 +72,11 @@ pub fn run(
 
         let budget: usize = sorted.iter().map(Vec::len).sum::<usize>() + 1;
         for _round in 0..budget {
+            if let Some(status) = timer.check(result.trials, result.retained_points()) {
+                result.completion = status;
+                result.retain_non_inferior();
+                return Ok(result);
+            }
             let selection: Vec<&PredictedDesign> =
                 w.iter().zip(&sorted).map(|(&i, list)| list[i]).collect();
             result.trials += 1;
@@ -110,6 +121,11 @@ pub fn run(
             // minimum expected system delay.
             let mut best: Option<(usize, f64)> = None;
             for &p in &q {
+                if let Some(status) = timer.check(result.trials, result.retained_points()) {
+                    result.completion = status;
+                    result.retain_non_inferior();
+                    return Ok(result);
+                }
                 let mut trial_w = w.clone();
                 trial_w[p] += 1;
                 let trial_sel: Vec<&PredictedDesign> =
@@ -223,7 +239,7 @@ mod tests {
     fn iterative_finds_feasible_single_chip() {
         let (p, lib, clocks, designs) = setup(1);
         let ctx = make_ctx(&p, &lib, clocks);
-        let r = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        let r = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
         assert!(r.feasible_trials >= 1);
         assert!(!r.feasible.is_empty());
     }
@@ -232,9 +248,9 @@ mod tests {
     fn iterative_uses_fewer_trials_than_enumeration_on_two_partitions() {
         let (p, lib, clocks, designs) = setup(2);
         let ctx = make_ctx(&p, &lib, clocks);
-        let it = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        let it = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
         let en =
-            crate::heuristics::enumeration::run(&ctx, &designs, true, false).unwrap();
+            crate::heuristics::enumeration::run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
         // The paper's headline contrast (Table 4: 156 vs 9 trials).
         assert!(
             it.trials < en.trials,
@@ -248,7 +264,7 @@ mod tests {
     fn feasible_results_are_actually_feasible() {
         let (p, lib, clocks, designs) = setup(2);
         let ctx = make_ctx(&p, &lib, clocks);
-        let r = run(&ctx, &designs, Nanos::new(300.0), false).unwrap();
+        let r = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
         for f in &r.feasible {
             assert!(f.system.verdict.feasible);
             assert_eq!(f.selection.len(), 2);

@@ -12,6 +12,7 @@ pub mod iterative;
 use chop_bad::PredictedDesign;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::Completion;
 use crate::integration::SystemPrediction;
 
 /// One feasible global implementation: the chosen design per partition and
@@ -71,9 +72,17 @@ pub struct HeuristicResult {
     pub feasible_trials: usize,
     /// Every point examined (populated only in keep-all mode).
     pub points: Vec<DesignPoint>,
+    /// Whether the search ran to completion or a budget tripped.
+    pub completion: Completion,
 }
 
 impl HeuristicResult {
+    /// Count of retained design points (feasible implementations plus
+    /// keep-all recordings) — what a `max_points` budget caps.
+    pub(crate) fn retained_points(&self) -> usize {
+        self.points.len() + self.feasible.len()
+    }
+
     /// Keeps only non-inferior feasible implementations (by most-likely
     /// initiation interval and delay in ns).
     pub(crate) fn retain_non_inferior(&mut self) {

@@ -57,9 +57,12 @@
 #![forbid(unsafe_code)]
 
 pub mod advise;
+pub mod budget;
 mod error;
 pub mod experiments;
 mod explorer;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod feasibility;
 pub mod heuristics;
 mod integration;
@@ -69,8 +72,11 @@ pub mod tasks;
 pub mod testability;
 pub mod transfer;
 
+pub use budget::{BudgetTimer, Completion, SearchBudget};
 pub use error::ChopError;
 pub use explorer::{DesignPoint, Heuristic, SearchOutcome, Session};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
 pub use integration::{IntegrationContext, SystemPrediction, TransferModulePrediction};
 pub use spec::{MemoryAssignment, PartitionId, Partitioning};

@@ -33,6 +33,10 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface failures as typed errors, never unwrap; tests
+// may unwrap freely.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod benchmarks;

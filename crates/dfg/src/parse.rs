@@ -28,11 +28,16 @@ use chop_stat::units::Bits;
 use crate::graph::{Dfg, DfgBuilder, NodeId};
 use crate::op::{MemoryRef, Operation};
 
-/// Error from [`parse_dfg`], with the offending 1-based line number.
+/// Error from [`parse_dfg`], with the offending 1-based line and column.
+///
+/// Whole-graph errors (cycles found after the last line) carry
+/// `line == 0` and `column == 0`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDfgError {
-    /// 1-based line the error occurred on.
+    /// 1-based line the error occurred on (0 for whole-graph errors).
     pub line: usize,
+    /// 1-based column of the offending token (0 when unknown).
+    pub column: usize,
     /// What went wrong.
     pub kind: ParseErrorKind,
 }
@@ -65,7 +70,11 @@ pub enum ParseErrorKind {
 
 impl fmt::Display for ParseDfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
+        write!(f, "line {}", self.line)?;
+        if self.column > 0 {
+            write!(f, ", column {}", self.column)?;
+        }
+        write!(f, ": ")?;
         match &self.kind {
             ParseErrorKind::Malformed => write!(f, "expected `name = op operands…`"),
             ParseErrorKind::UnknownOp(op) => write!(f, "unknown operation {op:?}"),
@@ -86,9 +95,9 @@ impl std::error::Error for ParseDfgError {}
 ///
 /// # Errors
 ///
-/// Returns a [`ParseDfgError`] naming the offending line for syntax
-/// errors, unknown names, redefinitions, arity mismatches and structural
-/// failures (cycles).
+/// Returns a [`ParseDfgError`] naming the offending line and column for
+/// syntax errors, unknown names, redefinitions, arity mismatches and
+/// structural failures (cycles).
 ///
 /// # Examples
 ///
@@ -110,42 +119,52 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
     let mut names: HashMap<String, NodeId> = HashMap::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
-        let err = |kind| ParseDfgError { line, kind };
+        let err_at = |column: usize, kind| ParseDfgError { line, column, kind };
         let content = raw.split('#').next().unwrap_or("").trim();
         if content.is_empty() {
             continue;
         }
+        let eq_byte = raw.find('=');
+        // Column of a token on the left-hand side (the defined name).
+        let lhs_col = |token: &str| token_column(raw, token, 0);
+        // Column of a token on the right-hand side (op or operand), so a
+        // name that also appears left of `=` is not matched there.
+        let rhs_col = |token: &str| token_column(raw, token, eq_byte.map_or(0, |b| b + 1));
         let (name, rest) = content
             .split_once('=')
-            .ok_or_else(|| err(ParseErrorKind::Malformed))?;
+            .ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
         let name = name.trim();
         if name.is_empty() || !is_ident(name) {
-            return Err(err(ParseErrorKind::Malformed));
+            return Err(err_at(lhs_col(name), ParseErrorKind::Malformed));
         }
         if names.contains_key(name) {
-            return Err(err(ParseErrorKind::Redefined(name.to_owned())));
+            return Err(err_at(lhs_col(name), ParseErrorKind::Redefined(name.to_owned())));
         }
         let mut tokens = rest.split_whitespace();
-        let op = tokens
+        let op_token = tokens
             .next()
-            .ok_or_else(|| err(ParseErrorKind::Malformed))?
-            .to_ascii_lowercase();
+            .ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
+        let op = op_token.to_ascii_lowercase();
+        let op_col = rhs_col(op_token);
         let args: Vec<&str> = tokens.collect();
         let lookup = |names: &HashMap<String, NodeId>, n: &str| {
             names
                 .get(n)
                 .copied()
-                .ok_or_else(|| err(ParseErrorKind::UnknownName(n.to_owned())))
+                .ok_or_else(|| err_at(rhs_col(n), ParseErrorKind::UnknownName(n.to_owned())))
         };
         let arity = |expected: usize| {
             if args.len() == expected {
                 Ok(())
             } else {
-                Err(err(ParseErrorKind::WrongArity {
-                    op: op.clone(),
-                    expected,
-                    found: args.len(),
-                }))
+                Err(err_at(
+                    op_col,
+                    ParseErrorKind::WrongArity {
+                        op: op.clone(),
+                        expected,
+                        found: args.len(),
+                    },
+                ))
             }
         };
         let parse_width = |s: &str| {
@@ -153,13 +172,18 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 .ok()
                 .filter(|&w| w > 0)
                 .map(Bits::new)
-                .ok_or_else(|| err(ParseErrorKind::BadNumber(s.to_owned())))
+                .ok_or_else(|| err_at(rhs_col(s), ParseErrorKind::BadNumber(s.to_owned())))
         };
         let parse_mem = |s: &str| {
             s.strip_prefix('M')
                 .and_then(|d| d.parse::<u32>().ok())
                 .map(MemoryRef::new)
-                .ok_or_else(|| err(ParseErrorKind::BadNumber(s.to_owned())))
+                .ok_or_else(|| err_at(rhs_col(s), ParseErrorKind::BadNumber(s.to_owned())))
+        };
+        let connect = |builder: &mut DfgBuilder, src: NodeId, dst: NodeId, operand: &str| {
+            builder.connect(src, dst).map(|_| ()).map_err(|e| {
+                err_at(rhs_col(operand), ParseErrorKind::Graph(e.to_string()))
+            })
         };
 
         let id = match op.as_str() {
@@ -184,8 +208,8 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                     _ => Operation::Shift,
                 };
                 let n = builder.labeled_node(operation, width, name);
-                builder.connect(a, n).expect("looked-up ids are valid");
-                builder.connect(b, n).expect("looked-up ids are valid");
+                connect(&mut builder, a, n, args[0])?;
+                connect(&mut builder, b, n, args[1])?;
                 n
             }
             "cmp" => {
@@ -193,8 +217,8 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 let a = lookup(&names, args[0])?;
                 let b = lookup(&names, args[1])?;
                 let n = builder.labeled_node(Operation::Compare, Bits::new(1), name);
-                builder.connect(a, n).expect("looked-up ids are valid");
-                builder.connect(b, n).expect("looked-up ids are valid");
+                connect(&mut builder, a, n, args[0])?;
+                connect(&mut builder, b, n, args[1])?;
                 n
             }
             "read" => {
@@ -203,7 +227,7 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 let addr = lookup(&names, args[1])?;
                 let width = builder_width(&builder, addr);
                 let n = builder.labeled_node(Operation::MemRead(mem), width, name);
-                builder.connect(addr, n).expect("looked-up ids are valid");
+                connect(&mut builder, addr, n, args[1])?;
                 n
             }
             "write" => {
@@ -213,8 +237,8 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 let data = lookup(&names, args[2])?;
                 let width = builder_width(&builder, data);
                 let n = builder.labeled_node(Operation::MemWrite(mem), width, name);
-                builder.connect(addr, n).expect("looked-up ids are valid");
-                builder.connect(data, n).expect("looked-up ids are valid");
+                connect(&mut builder, addr, n, args[1])?;
+                connect(&mut builder, data, n, args[2])?;
                 n
             }
             "output" => {
@@ -222,22 +246,46 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 let src = lookup(&names, args[0])?;
                 let width = builder_width(&builder, src);
                 let n = builder.labeled_node(Operation::Output, width, name);
-                builder.connect(src, n).expect("looked-up ids are valid");
+                connect(&mut builder, src, n, args[0])?;
                 n
             }
-            other => return Err(err(ParseErrorKind::UnknownOp(other.to_owned()))),
+            other => return Err(err_at(op_col, ParseErrorKind::UnknownOp(other.to_owned()))),
         };
         names.insert(name.to_owned(), id);
     }
     let dfg = builder.build().map_err(|e| ParseDfgError {
         line: 0,
+        column: 0,
         kind: ParseErrorKind::Graph(e.to_string()),
     })?;
     dfg.validate().map_err(|e| ParseDfgError {
         line: 0,
+        column: 0,
         kind: ParseErrorKind::Graph(e.to_string()),
     })?;
     Ok(dfg)
+}
+
+/// 1-based character column of the first whole-token occurrence of
+/// `token` in `raw` at or after byte offset `from`; falls back to 1 when
+/// the token cannot be located (e.g. it was synthesized by the parser).
+fn token_column(raw: &str, token: &str, from: usize) -> usize {
+    if token.is_empty() || from > raw.len() {
+        return 1;
+    }
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut search = from;
+    while let Some(rel) = raw[search..].find(token) {
+        let start = search + rel;
+        let end = start + token.len();
+        let ok_before = raw[..start].chars().next_back().is_none_or(|c| !is_word(c));
+        let ok_after = raw[end..].chars().next().is_none_or(|c| !is_word(c));
+        if ok_before && ok_after {
+            return raw[..start].chars().count() + 1;
+        }
+        search = start + token.len().max(1);
+    }
+    1
 }
 
 // DfgBuilder has no width getter; track it through a tiny shadow helper.
@@ -336,27 +384,42 @@ mod tests {
     }
 
     #[test]
-    fn unknown_operand_reported_with_line() {
+    fn unknown_operand_reported_with_line_and_column() {
         let e = parse_dfg("x = input 8\ns = add x ghost\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.column, 11); // "s = add x ghost" — ghost starts at column 11
         assert!(matches!(e.kind, ParseErrorKind::UnknownName(ref n) if n == "ghost"));
+        assert_eq!(e.to_string(), "line 2, column 11: undefined operand \"ghost\"");
+    }
+
+    #[test]
+    fn operand_column_skips_lhs_name() {
+        // `x` also appears left of `=`; the column must point at the operand.
+        let e = parse_dfg("q = input 8\nx = add x q\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 9);
+        assert!(matches!(e.kind, ParseErrorKind::UnknownName(ref n) if n == "x"));
     }
 
     #[test]
     fn redefinition_rejected() {
         let e = parse_dfg("x = input 8\nx = input 8\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 1);
         assert!(matches!(e.kind, ParseErrorKind::Redefined(_)));
     }
 
     #[test]
     fn arity_checked() {
         let e = parse_dfg("x = input 8\ns = add x\n").unwrap_err();
+        assert_eq!(e.column, 5); // points at the op token
         assert!(matches!(e.kind, ParseErrorKind::WrongArity { expected: 2, found: 1, .. }));
     }
 
     #[test]
     fn bad_width_rejected() {
         let e = parse_dfg("x = input zero\n").unwrap_err();
+        assert_eq!(e.column, 11);
         assert!(matches!(e.kind, ParseErrorKind::BadNumber(_)));
         let e0 = parse_dfg("x = input 0\n").unwrap_err();
         assert!(matches!(e0.kind, ParseErrorKind::BadNumber(_)));
@@ -365,7 +428,33 @@ mod tests {
     #[test]
     fn unknown_op_rejected() {
         let e = parse_dfg("x = frobnicate 8\n").unwrap_err();
+        assert_eq!(e.column, 5);
         assert!(matches!(e.kind, ParseErrorKind::UnknownOp(_)));
+    }
+
+    #[test]
+    fn malformed_line_points_at_start() {
+        let e = parse_dfg("this line has no equals sign\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 1);
+        assert!(matches!(e.kind, ParseErrorKind::Malformed));
+    }
+
+    #[test]
+    fn whole_graph_errors_carry_no_position() {
+        // An output feeding another node only fails whole-graph validation.
+        let e = parse_dfg("x = input 8\ny = output x\nz = output y\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert_eq!(e.column, 0);
+        assert!(matches!(e.kind, ParseErrorKind::Graph(_)));
+        assert!(e.to_string().starts_with("line 0: "));
+    }
+
+    #[test]
+    fn column_counts_chars_not_bytes() {
+        // A multi-byte comment before the error must not skew the column.
+        let e = parse_dfg("x = input 8\ns = add x bogus # µ-op\n").unwrap_err();
+        assert_eq!(e.column, 11);
     }
 
     #[test]

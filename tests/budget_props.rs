@@ -1,0 +1,203 @@
+//! Budget and degradation properties of the resilient exploration engine:
+//! deadlines are honored within one trial's latency, count caps truncate,
+//! and E→I degradation triggers exactly at the configured threshold.
+
+use std::time::{Duration, Instant};
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{Completion, Constraints, Heuristic, SearchBudget, Session};
+use chop_dfg::benchmarks;
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+use proptest::prelude::*;
+
+/// A session over the AR lattice filter split `k` ways, with pruning
+/// disabled so the enumeration space stays large.
+fn wide_session(k: usize) -> Session {
+    let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+    let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips)
+        .split_horizontal(k)
+        .build()
+        .unwrap();
+    Session::new(
+        p,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+        ArchitectureStyle::single_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
+    )
+    .with_pruning(false)
+}
+
+fn combination_count(session: &Session) -> u128 {
+    let (lists, _) = session.predict_partitions().unwrap();
+    lists
+        .iter()
+        .try_fold(1u128, |acc, l| acc.checked_mul(l.len() as u128))
+        .unwrap_or(u128::MAX)
+}
+
+/// One calibration run bounding the cost of "one more trial" plus the
+/// prediction phase — the granularity at which the deadline is polled.
+fn calibration_cost(session: &Session) -> Duration {
+    let start = Instant::now();
+    let outcome = session
+        .clone()
+        .with_budget(SearchBudget::unlimited().with_max_trials(1))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert!(outcome.trials <= 1);
+    start.elapsed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The engine never overruns a deadline by more than roughly one
+    // trial's latency (plus the prediction sweep and scheduler jitter).
+    #[test]
+    fn deadline_never_overruns_by_more_than_one_trial(deadline_ms in 1u64..40) {
+        let session = wide_session(3);
+        let slack = calibration_cost(&session) + Duration::from_millis(100);
+        let budget = SearchBudget::unlimited()
+            .with_deadline(Duration::from_millis(deadline_ms))
+            .without_degradation();
+        let start = Instant::now();
+        let outcome = session
+            .with_budget(budget)
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        let took = start.elapsed();
+        let limit = Duration::from_millis(deadline_ms) + slack;
+        if took > limit {
+            return Err(format!(
+                "explore took {took:?}, budget {deadline_ms} ms + slack {slack:?}"
+            ));
+        }
+        // A truncated run is still a usable partial outcome.
+        if outcome.completion.is_truncated() {
+            assert!(outcome.trials > 0 || outcome.feasible.is_empty());
+        }
+    }
+}
+
+/// Acceptance: a 50 ms deadline on a > 10^6-combination space comes back
+/// as a *partial outcome*, not an error, tagged truncated or degraded.
+#[test]
+fn huge_space_under_50ms_deadline_returns_partial_outcome() {
+    let mut chosen = None;
+    for k in [3, 4, 5, 6, 8] {
+        let s = wide_session(k);
+        let combos = combination_count(&s);
+        if combos > 1_000_000 {
+            chosen = Some((s, combos));
+            break;
+        }
+    }
+    let (session, combos) = chosen.expect("some split exceeds 10^6 combinations");
+    assert!(combos > 1_000_000, "space has {combos} combinations");
+    let outcome = session
+        .with_budget(SearchBudget::default().with_deadline(Duration::from_millis(50)))
+        .explore(Heuristic::Enumeration)
+        .expect("budget trips are partial outcomes, not errors");
+    assert!(
+        matches!(
+            outcome.completion,
+            Completion::TruncatedDeadline | Completion::DegradedToIterative
+        ),
+        "expected truncation or degradation, got {:?}",
+        outcome.completion
+    );
+}
+
+#[test]
+fn zero_deadline_truncates_before_any_trial() {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let outcome = session
+        .with_budget(SearchBudget::unlimited().with_deadline(Duration::ZERO))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert_eq!(outcome.completion, Completion::TruncatedDeadline);
+    assert_eq!(outcome.trials, 0);
+    assert!(outcome.feasible.is_empty());
+}
+
+#[test]
+fn max_trials_caps_combinations_examined() {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let full = session.explore(Heuristic::Enumeration).unwrap();
+    assert!(full.trials > 3, "need a non-trivial space for this test");
+    let capped = session
+        .clone()
+        .with_budget(SearchBudget::unlimited().with_max_trials(3))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert_eq!(capped.completion, Completion::TruncatedTrials);
+    assert_eq!(capped.trials, 3);
+}
+
+#[test]
+fn max_points_caps_retained_designs() {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let capped = session
+        .with_keep_all(true)
+        .with_budget(SearchBudget::unlimited().with_max_points(2))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert_eq!(capped.completion, Completion::TruncatedTrials);
+    assert!(capped.points.len() + capped.feasible.len() <= 3);
+}
+
+/// Degradation triggers *exactly* at the threshold: a threshold equal to
+/// the combination count keeps heuristic E; one below it switches to I.
+#[test]
+fn degradation_triggers_exactly_at_threshold() {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let combos = combination_count(&session);
+    assert!(combos > 1, "need at least two combinations");
+
+    let at = session
+        .clone()
+        .with_budget(SearchBudget::unlimited().with_degrade_threshold(combos))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert!(!at.degraded, "threshold == combinations must not degrade");
+    assert_eq!(at.heuristic, Heuristic::Enumeration);
+    assert_eq!(at.completion, Completion::Complete);
+
+    let below = session
+        .clone()
+        .with_budget(SearchBudget::unlimited().with_degrade_threshold(combos - 1))
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert!(below.degraded, "threshold < combinations must degrade");
+    assert_eq!(below.heuristic, Heuristic::Iterative);
+    assert_eq!(below.completion, Completion::DegradedToIterative);
+
+    // Degradation never applies to an explicit heuristic-I request.
+    let iterative = session
+        .with_budget(SearchBudget::unlimited().with_degrade_threshold(1))
+        .explore(Heuristic::Iterative)
+        .unwrap();
+    assert!(!iterative.degraded);
+    assert_eq!(iterative.completion, Completion::Complete);
+}
+
+#[test]
+fn unlimited_budget_is_bit_identical_to_default_run() {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+    let plain = session.explore(Heuristic::Enumeration).unwrap();
+    let budgeted = session
+        .clone()
+        .with_budget(SearchBudget::unlimited())
+        .explore(Heuristic::Enumeration)
+        .unwrap();
+    assert_eq!(plain.trials, budgeted.trials);
+    assert_eq!(plain.feasible.len(), budgeted.feasible.len());
+    assert_eq!(plain.completion, Completion::Complete);
+    assert_eq!(budgeted.completion, Completion::Complete);
+}

@@ -1,0 +1,123 @@
+//! Adversarial-corpus harness: every spec under `tests/corpus/` must flow
+//! through parse → partition → explore returning `Ok` or a typed error —
+//! never a panic. New hostile inputs only need a `.cbs` file drop-in.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::spec::PartitioningBuilder;
+use chop_core::{Constraints, Heuristic, SearchBudget, Session};
+use chop_dfg::parse::parse_dfg;
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+fn corpus_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the corpus rides with the
+    // workspace-level tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Drives one spec text through the full pipeline. Returns a stage label
+/// on a typed failure; panics are the caller's to detect.
+fn drive(text: &str) -> String {
+    let dfg = match parse_dfg(text) {
+        Ok(dfg) => dfg,
+        Err(e) => return format!("parse error: {e}"),
+    };
+    for k in [1usize, 2] {
+        let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
+        let partitioning =
+            match PartitioningBuilder::new(dfg.clone(), chips).split_horizontal(k).build() {
+                Ok(p) => p,
+                Err(e) => return format!("partitioning error: {e}"),
+            };
+        let session = Session::new(
+            partitioning,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 10, 1).expect("valid clock"),
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+        .with_budget(
+            // Keep hostile inputs cheap: a short deadline and a trial cap
+            // still exercise prediction, integration and feasibility.
+            SearchBudget::default()
+                .with_deadline(Duration::from_millis(500))
+                .with_max_trials(2_000),
+        );
+        for heuristic in [Heuristic::Enumeration, Heuristic::Iterative] {
+            if let Err(e) = session.explore(heuristic) {
+                return format!("explore error ({heuristic:?}, k={k}): {e}");
+            }
+        }
+    }
+    "ok".to_owned()
+}
+
+#[test]
+fn corpus_never_panics() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cbs"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 4, "corpus unexpectedly small: {entries:?}");
+
+    let mut panicked = Vec::new();
+    for path in &entries {
+        let text = std::fs::read_to_string(path).expect("readable corpus file");
+        match catch_unwind(AssertUnwindSafe(|| drive(&text))) {
+            Ok(disposition) => {
+                eprintln!("{}: {disposition}", path.display());
+            }
+            Err(_) => panicked.push(path.clone()),
+        }
+    }
+    assert!(panicked.is_empty(), "corpus specs caused panics: {panicked:?}");
+}
+
+#[test]
+fn self_dependency_is_a_typed_parse_error() {
+    let text = std::fs::read_to_string(corpus_dir().join("self_dependency.cbs")).unwrap();
+    let e = parse_dfg(&text).unwrap_err();
+    assert!(e.to_string().contains("undefined operand"), "got: {e}");
+}
+
+#[test]
+fn zero_width_is_a_typed_parse_error() {
+    let text = std::fs::read_to_string(corpus_dir().join("zero_width.cbs")).unwrap();
+    let e = parse_dfg(&text).unwrap_err();
+    assert!(e.to_string().contains("bad number"), "got: {e}");
+}
+
+#[test]
+fn absurd_pins_spec_is_never_feasible() {
+    let text = std::fs::read_to_string(corpus_dir().join("absurd_pins.cbs")).unwrap();
+    let dfg = parse_dfg(&text).expect("absurd spec is syntactically valid");
+    let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
+    let Ok(partitioning) = PartitioningBuilder::new(dfg, chips).split_horizontal(2).build()
+    else {
+        return; // rejecting the partitioning outright is equally sound
+    };
+    let session = Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(Nanos::new(300.0), 10, 1).expect("valid clock"),
+        ArchitectureStyle::single_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+    )
+    .with_budget(SearchBudget::default().with_deadline(Duration::from_millis(500)));
+    if let Ok(outcome) = session.explore(Heuristic::Iterative) {
+        assert!(
+            outcome.feasible.is_empty(),
+            "65536-bit datapaths cannot fit an 84-pin package"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Fault-injection harness tests (require `--features fault-inject`):
+//! a panicking predictor is contained to a typed error naming the
+//! offending partition; corrupted estimates never panic; injected
+//! latency trips the deadline inside the prediction phase.
+
+#![cfg(feature = "fault-inject")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use chop_bad::PredictError;
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{ChopError, Completion, FaultPlan, Heuristic, SearchBudget, Session};
+
+fn session() -> Session {
+    experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap()
+}
+
+#[test]
+fn panicking_predictor_is_contained_to_its_partition() {
+    for target in [0usize, 1] {
+        let s = session().with_fault_plan(FaultPlan::none().panic_on(target));
+        let err = s
+            .explore(Heuristic::Enumeration)
+            .expect_err("scripted panic must surface as an error");
+        match err {
+            ChopError::Predict { partition, source: PredictError::Panicked(msg) } => {
+                assert_eq!(
+                    partition, target,
+                    "panic on partition {target} must be attributed to it"
+                );
+                assert!(msg.contains(&format!("partition {target}")), "got {msg:?}");
+            }
+            other => panic!("expected a Predict/Panicked error, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn panic_on_later_partition_means_earlier_ones_predicted_fine() {
+    // If partition 1 panics, partition 0 must have been served first: the
+    // error is attributed to 1, proving the failure did not leak backward.
+    let s = session().with_fault_plan(FaultPlan::none().panic_on(1));
+    match s.explore(Heuristic::Iterative) {
+        Err(ChopError::Predict { partition, .. }) => assert_eq!(partition, 1),
+        other => panic!("expected Predict error for partition 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn panic_never_escapes_explore() {
+    let s = session().with_fault_plan(FaultPlan::none().panic_on(0));
+    let outcome = catch_unwind(AssertUnwindSafe(|| s.explore(Heuristic::Enumeration)));
+    assert!(outcome.is_ok(), "explore must never propagate the injected panic");
+}
+
+#[test]
+fn nan_estimates_are_contained_as_typed_errors() {
+    // `Estimate` structurally rejects NaN, so the poison trips a numeric
+    // invariant inside the containment guard: the engine must report a
+    // typed Predict error for the poisoned partition, never abort.
+    for heuristic in [Heuristic::Enumeration, Heuristic::Iterative] {
+        let s = session().with_fault_plan(FaultPlan::none().nan_on(0));
+        let run = catch_unwind(AssertUnwindSafe(|| s.explore(heuristic)));
+        let result = run.expect("NaN estimates must never escape as a panic");
+        match result {
+            Err(ChopError::Predict { partition, source: PredictError::Panicked(_) }) => {
+                assert_eq!(partition, 0);
+            }
+            other => panic!("expected a contained Predict error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn absurd_estimates_flow_through_without_panicking() {
+    let s = session().with_fault_plan(FaultPlan::none().absurd_on(1));
+    let run = catch_unwind(AssertUnwindSafe(|| s.explore(Heuristic::Enumeration)));
+    let result = run.expect("absurd estimates must not panic the engine");
+    if let Ok(outcome) = result {
+        assert!(
+            outcome.feasible.is_empty(),
+            "a 1e30 area overflows every chip, so nothing is feasible"
+        );
+    }
+}
+
+#[test]
+fn injected_latency_trips_the_deadline_during_prediction() {
+    let s = session()
+        .with_fault_plan(FaultPlan::none().with_predict_latency(Duration::from_millis(30)))
+        .with_budget(SearchBudget::unlimited().with_deadline(Duration::from_millis(40)));
+    let outcome = s.explore(Heuristic::Enumeration).unwrap();
+    // Two partitions at 30 ms each blow a 40 ms deadline between
+    // predictions: the run is truncated with zero search trials.
+    assert_eq!(outcome.completion, Completion::TruncatedDeadline);
+    assert_eq!(outcome.trials, 0);
+    assert!(outcome.feasible.is_empty());
+}
+
+#[test]
+fn faults_on_absent_partitions_are_inert() {
+    let s = session().with_fault_plan(FaultPlan::none().panic_on(99).nan_on(98));
+    let outcome = s.explore(Heuristic::Enumeration).unwrap();
+    assert_eq!(outcome.completion, Completion::Complete);
+}

@@ -1,0 +1,153 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the entry points this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and
+//! `Bencher::iter` — over a plain wall-clock harness: warm up once, run
+//! `sample_size` timed samples, report min/median/mean to stdout. No
+//! statistics engine, plots or comparison baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Stub of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 20 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), 20, f);
+        self
+    }
+}
+
+/// Stub of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("  {id}"), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Stub of `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times the closure; called once per sample by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warm-up and calibration: one untimed call.
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    f(&mut b);
+    let warmup = b.samples.first().copied().unwrap_or_default();
+    // Aim for samples of at least ~1 ms without exceeding ~64 iterations.
+    let iters = if warmup.as_micros() == 0 {
+        64
+    } else {
+        (1000 / warmup.as_micros().max(1)).clamp(1, 64) as u32
+    };
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: iters };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        println!("{id}: no samples (closure never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id}: min {min:.2?}, median {median:.2?}, mean {mean:.2?} ({} samples x {iters} iters)",
+        samples.len()
+    );
+}
+
+/// Stub of `criterion_group!`: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Stub of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            calls += 1;
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+}

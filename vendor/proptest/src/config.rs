@@ -1,0 +1,24 @@
+//! Runner configuration.
+
+/// Stub of `proptest::test_runner::Config` / `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Real proptest defaults to 256 cases; the stub uses 64 to keep the
+    /// full workspace test run fast without external tuning.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

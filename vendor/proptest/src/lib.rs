@@ -1,0 +1,98 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest this workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`,
+//! range/tuple/`Just`/`any`/vec/regex-string strategies, the `proptest!`,
+//! `prop_assert*!` and `prop_oneof!` macros, and `ProptestConfig`.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * sampling is plain deterministic pseudo-randomness seeded from the
+//!   test name and case index — every run replays the same cases;
+//! * there is **no shrinking**: a failing case reports the assertion as-is.
+//!
+//! `*.proptest-regressions` files are ignored.
+
+pub mod collection;
+pub mod config;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Replacement for `proptest::proptest!`: runs each body over
+/// `ProptestConfig::cases` deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::config::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $( #[test] fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    // Bodies may `return Ok(())` to reject a case early,
+                    // mirroring real proptest's `Result`-returning bodies.
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Replacement for `prop_assert!` — no shrinking, so plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Replacement for `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Replacement for `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Replacement for `prop_oneof!`: uniform choice among the listed
+/// strategies (real proptest supports weights; this workspace doesn't use
+/// them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}

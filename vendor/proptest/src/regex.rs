@@ -1,0 +1,232 @@
+//! A tiny regex *generator* for string strategies.
+//!
+//! Real proptest interprets `&str` strategies as regular expressions and
+//! samples matching strings. This stub supports the subset the workspace's
+//! tests use: literals, `.`, character classes `[a-z0-9_]`, groups
+//! `( … )`, alternation `|`, and the quantifiers `?`, `*`, `+`, `{n}` and
+//! `{m,n}`. Unsupported syntax degrades to literal emission — generation
+//! must never fail, since the pattern only drives fuzz input.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    Quantified(Box<Node>, u32, u32),
+}
+
+/// Samples one string matching `pattern` (best effort).
+#[must_use]
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (alts, _) = parse_alternation(&chars, 0, None);
+    let mut out = String::new();
+    emit_group(&alts, rng, &mut out);
+    out
+}
+
+/// Parses `|`-separated sequences up to `close` (a closing paren) or end
+/// of input; returns the alternatives and the index after the terminator.
+fn parse_alternation(
+    chars: &[char],
+    mut i: usize,
+    close: Option<char>,
+) -> (Vec<Vec<Node>>, usize) {
+    let mut alts: Vec<Vec<Node>> = vec![Vec::new()];
+    while i < chars.len() {
+        let c = chars[i];
+        if Some(c) == close {
+            i += 1;
+            break;
+        }
+        if c == '|' {
+            alts.push(Vec::new());
+            i += 1;
+            continue;
+        }
+        let (node, next) = parse_atom(chars, i);
+        let (min, max, after) = parse_quantifier(chars, next);
+        let node = if (min, max) == (1, 1) {
+            node
+        } else {
+            Node::Quantified(Box::new(node), min, max)
+        };
+        alts.last_mut().expect("alts starts non-empty").push(node);
+        i = after;
+    }
+    (alts, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (Node, usize) {
+    match chars[i] {
+        '.' => (Node::AnyChar, i + 1),
+        '\\' if i + 1 < chars.len() => (Node::Literal(chars[i + 1]), i + 2),
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (alts, after) = parse_alternation(chars, i + 1, Some(')'));
+            (Node::Group(alts), after)
+        }
+        c => (Node::Literal(c), i + 1),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+    let mut ranges = Vec::new();
+    // A leading '^' (negated class) is unsupported; ignore the marker and
+    // generate from the listed ranges instead.
+    if i < chars.len() && chars[i] == '^' {
+        i += 1;
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            ranges.push((lo, chars[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    if ranges.is_empty() {
+        ranges.push(('a', 'z'));
+    }
+    (Node::Class(ranges), (i + 1).min(chars.len()))
+}
+
+/// Parses `?`, `*`, `+`, `{n}`, `{m,n}` after an atom. Unbounded
+/// repetitions are capped at 8.
+fn parse_quantifier(chars: &[char], i: usize) -> (u32, u32, usize) {
+    const CAP: u32 = 8;
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '?' => (0, 1, i + 1),
+        '*' => (0, CAP, i + 1),
+        '+' => (1, CAP, i + 1),
+        '{' => {
+            let Some(close) = chars[i..].iter().position(|&c| c == '}').map(|p| i + p) else {
+                return (1, 1, i);
+            };
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, n)) => {
+                    let min: u32 = m.trim().parse().unwrap_or(0);
+                    let max: u32 = n.trim().parse().unwrap_or(min + CAP);
+                    (min, max)
+                }
+                None => {
+                    let n: u32 = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (min, max.max(min), close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn emit_group(alts: &[Vec<Node>], rng: &mut TestRng, out: &mut String) {
+    let pick = rng.below(alts.len().max(1) as u64) as usize;
+    for node in &alts[pick] {
+        emit_node(node, rng, out);
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => {
+            // Printable ASCII, with occasional newline / multi-byte chars
+            // to stress parsers.
+            let roll = rng.below(100);
+            let c = if roll < 90 {
+                char::from(32 + rng.below(95) as u8)
+            } else if roll < 95 {
+                '\n'
+            } else {
+                '\u{00e9}' // multi-byte UTF-8, catches byte/char confusion
+            };
+            out.push(c);
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = u64::from((hi as u32).saturating_sub(lo as u32) + 1);
+            let c = char::from_u32(lo as u32 + rng.below(span) as u32).unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Group(alts) => emit_group(alts, rng, out),
+        Node::Quantified(inner, min, max) => {
+            let reps = min + rng.below(u64::from(max - min + 1)) as u32;
+            for _ in 0..reps {
+                emit_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn rng(case: u32) -> TestRng {
+        TestRng::deterministic("regex::tests", case)
+    }
+
+    #[test]
+    fn fixed_literal_round_trips() {
+        assert_eq!(generate("abc = x", &mut rng(0)), "abc = x");
+    }
+
+    #[test]
+    fn class_and_counts_respected() {
+        for case in 0..200 {
+            let s = generate("[a-z]{1,4}", &mut rng(case));
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn spec_line_shape() {
+        for case in 0..100 {
+            let s = generate(
+                "[a-z]{1,4} = [a-z]{1,6}( [a-zA-Z0-9]{1,4}){0,3}",
+                &mut rng(case),
+            );
+            assert!(s.contains(" = "), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_quantifier_bounded() {
+        for case in 0..50 {
+            let s = generate(".{0,200}", &mut rng(case));
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn alternation_picks_arms() {
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for case in 0..50 {
+            match generate("(a|b)", &mut rng(case)).as_str() {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+}

@@ -1,0 +1,321 @@
+//! The `Strategy` trait and the combinators this workspace uses.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values (stub of `proptest::strategy::Strategy`).
+///
+/// Unlike real proptest there is no value tree and no shrinking — a
+/// strategy is just a samplable distribution.
+pub trait Strategy {
+    /// The values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Samples a value, builds a dependent strategy from it, samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy (type erasure).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Boxes a strategy; used by `prop_oneof!` so type inference can unify the
+/// arm types.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value (stub of `proptest::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds from a non-empty arm list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+// ---- ranges -------------------------------------------------------------
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- tuples -------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- homogeneous collections as strategies ------------------------------
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+// ---- any::<T>() ---------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// One unconstrained sample.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly finite values across a wide magnitude span.
+        let mag = rng.unit_f64() * 200.0 - 100.0;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * mag.exp2() * rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Stub of `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- regex string strategies --------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::regex::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::regex::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b, f) = (1usize..5, 10u32..20, -1.0f64..1.0).sample(&mut r);
+            assert!((1..5).contains(&a));
+            assert!((10..20).contains(&b));
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..4).prop_map(|n| n * 2).prop_flat_map(|n| 0usize..n);
+        for _ in 0..100 {
+            assert!(s.sample(&mut r) < 6);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_of_strategies_samples_each() {
+        let mut r = rng();
+        let v = vec![0u8..10, 10u8..20, 20u8..30].sample(&mut r);
+        assert_eq!(v.len(), 3);
+        assert!(v[0] < 10 && (10..20).contains(&v[1]) && (20..30).contains(&v[2]));
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Provides the subset of the `rand` API this workspace uses —
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::{gen_range,
+//! gen_bool, gen}` — over a SplitMix64 core. Deterministic for a given
+//! seed, which is all the random-workload generators here require; it is
+//! **not** a cryptographic or statistically rigorous generator.
+
+use std::ops::Range;
+
+/// Core of the stub: anything that can produce `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (stub of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods (stub of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Mirrors real rand's
+    /// two-parameter signature so the result type drives inference of the
+    /// range's element type (`gen_range(0..100) < some_u32` compiles).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(&mut |()| self.next_u64())
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    /// Builds a value from one raw 64-bit draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn from_u64(raw: u64) -> Self { raw as $t }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        unit_f64(raw)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample; `next` yields raw 64-bit randomness.
+    fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> T;
+}
+
+/// Element types uniformly samplable from a range (stub of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_between(lo: Self, hi: Self, next: &mut dyn FnMut(()) -> u64) -> Self;
+}
+
+// One blanket impl (like real rand) so type inference can flow from the
+// result type back into an unsuffixed range literal.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(self.start, self.end, next)
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn sample_between(lo: Self, hi: Self, next: &mut dyn FnMut(()) -> u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (u128::from(next(())) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(lo: Self, hi: Self, next: &mut dyn FnMut(()) -> u64) -> Self {
+        lo + unit_f64(next(())) * (hi - lo)
+    }
+}
+
+fn unit_f64(raw: u64) -> f64 {
+    // 53 significant bits into [0, 1).
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// SplitMix64 step — the classic constant-time mixer.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators (stub of `rand::rngs`).
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Stub of `rand::rngs::StdRng`: SplitMix64 under the hood.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // One warm-up step so seed 0 doesn't emit 0 first.
+            let mut s = state;
+            let _ = splitmix64(&mut s);
+            StdRng { state: s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.gen_range(0usize..100), b.gen_range(0usize..100));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no network access to crates.io, and this
+//! workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes at run time (there is no `serde_json`/`bincode` in the
+//! dependency tree). The stub therefore provides the two trait names and
+//! no-op derive macros so the annotations compile unchanged; swapping the
+//! real crate back in requires only restoring the registry dependency in
+//! the workspace `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace calls `serialize`/`deserialize`, so emitting
+//! no impls at all is sufficient for the annotations to compile — and it
+//! sidesteps parsing generics/attributes without `syn`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
