@@ -49,14 +49,12 @@ impl PlaSpec {
     /// approximate one per state transition.
     #[must_use]
     pub fn for_fsm(states: u64, control_outputs: u32, status_inputs: u32) -> Self {
-        let state_bits = if states <= 1 {
-            1
-        } else {
-            (64 - (states - 1).leading_zeros()).max(1)
-        };
+        let state_bits =
+            if states <= 1 { 1 } else { (64 - (states - 1).leading_zeros()).max(1) };
         let inputs = state_bits + status_inputs;
         let outputs = control_outputs + state_bits;
-        let terms = u32::try_from(states.max(1)).unwrap_or(u32::MAX).saturating_add(status_inputs);
+        let terms =
+            u32::try_from(states.max(1)).unwrap_or(u32::MAX).saturating_add(status_inputs);
         Self { inputs, outputs, terms }
     }
 

@@ -18,7 +18,9 @@ impl fmt::Display for ClockConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClockConfigError::ZeroMainClock => write!(f, "main clock period must be positive"),
-            ClockConfigError::ZeroMultiplier => write!(f, "clock multipliers must be at least 1"),
+            ClockConfigError::ZeroMultiplier => {
+                write!(f, "clock multipliers must be at least 1")
+            }
         }
     }
 }

@@ -51,3 +51,13 @@ pub use prediction::{DesignDetail, PredictedDesign};
 pub use predictor::{PredictError, Predictor};
 pub use prune::{PartitionEnvelope, PredictionStats};
 pub use style::{ArchitectureStyle, DesignStyle, OperationTiming};
+
+// The exploration engine shares predictors and prediction lists across
+// scoped worker threads; losing these bounds (e.g. by adding interior
+// mutability) must fail to compile here rather than at every use site.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Predictor>();
+    _assert_send_sync::<PredictedDesign>();
+    _assert_send_sync::<PredictionStats>();
+};

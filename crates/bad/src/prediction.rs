@@ -232,14 +232,10 @@ impl PredictedDesign {
         let _ = writeln!(
             out,
             "- a {} design style with {} stages,",
-            self.style,
-            self.detail.stages
+            self.style, self.detail.stages
         );
-        let modules: Vec<String> = self
-            .module_set
-            .iter()
-            .map(|(_, name)| name.to_owned())
-            .collect();
+        let modules: Vec<String> =
+            self.module_set.iter().map(|(_, name)| name.to_owned()).collect();
         if !modules.is_empty() {
             let _ = writeln!(out, "- module library of {},", modules.join(" and "));
         }
@@ -339,8 +335,14 @@ mod tests {
 
     #[test]
     fn design_point_key_discriminates() {
-        assert_ne!(mk(10, 20, 1000.0).design_point_key(), mk(11, 20, 1000.0).design_point_key());
-        assert_eq!(mk(10, 20, 1000.4).design_point_key(), mk(10, 20, 1000.0).design_point_key());
+        assert_ne!(
+            mk(10, 20, 1000.0).design_point_key(),
+            mk(11, 20, 1000.0).design_point_key()
+        );
+        assert_eq!(
+            mk(10, 20, 1000.4).design_point_key(),
+            mk(10, 20, 1000.0).design_point_key()
+        );
     }
 
     #[test]

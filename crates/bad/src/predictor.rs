@@ -177,7 +177,8 @@ impl Predictor {
                     let (ii_dp, latency_dp) = match style {
                         DesignStyle::NonPipelined => (stages, stages),
                         DesignStyle::Pipelined => {
-                            let ii = min_initiation_interval(dfg, &specs, &schedule, &allocation);
+                            let ii =
+                                min_initiation_interval(dfg, &specs, &schedule, &allocation);
                             if ii >= stages {
                                 // Degenerates to the non-pipelined design.
                                 continue;
@@ -326,9 +327,8 @@ impl Predictor {
 
         // Power: utilization-scaled functional units plus steering,
         // storage and controller overhead at half activity.
-        let overhead_power = (reg_area + mux_area + pla_area)
-            * chop_library::DEFAULT_POWER_DENSITY
-            * 0.5;
+        let overhead_power =
+            (reg_area + mux_area + pla_area) * chop_library::DEFAULT_POWER_DENSITY * 0.5;
         let power = Estimate::with_spreads(
             fu_power + overhead_power,
             self.params.area_spread_below,
@@ -382,12 +382,7 @@ impl Predictor {
             ),
             Estimate::exact(0.0),
             Estimate::exact(area * chop_library::DEFAULT_POWER_DENSITY * 0.5),
-            DesignDetail {
-                stages: 1,
-                register_bits: Bits::zero(),
-                mux_count: 0,
-                controller,
-            },
+            DesignDetail { stages: 1, register_bits: Bits::zero(), mux_count: 0, controller },
             memory_bandwidth,
         )
     }
@@ -534,9 +529,7 @@ mod tests {
         let target_set = designs[0].module_set().clone();
         let np: Vec<_> = designs
             .iter()
-            .filter(|d| {
-                d.style() == DesignStyle::NonPipelined && *d.module_set() == target_set
-            })
+            .filter(|d| d.style() == DesignStyle::NonPipelined && *d.module_set() == target_set)
             .collect();
         let serial = np
             .iter()

@@ -114,13 +114,8 @@ impl PartitionEnvelope {
         let clock = effective_clock(design, clocks);
         let ii_ns = clock * design.initiation_interval().value() as f64;
         let latency_ns = clock * design.latency().value() as f64;
-        design
-            .area()
-            .probability_le(self.area_budget.value())
-            .meets(self.area_threshold)
-            && ii_ns
-                .probability_le(self.performance.value())
-                .meets(self.performance_threshold)
+        design.area().probability_le(self.area_budget.value()).meets(self.area_threshold)
+            && ii_ns.probability_le(self.performance.value()).meets(self.performance_threshold)
             && latency_ns.probability_le(self.delay.value()).meets(self.delay_threshold)
     }
 }

@@ -76,7 +76,11 @@ impl ArchitectureStyle {
     ///
     /// Panics if both design styles are disallowed.
     #[must_use]
-    pub fn new(timing: OperationTiming, allow_pipelined: bool, allow_nonpipelined: bool) -> Self {
+    pub fn new(
+        timing: OperationTiming,
+        allow_pipelined: bool,
+        allow_nonpipelined: bool,
+    ) -> Self {
         assert!(
             allow_pipelined || allow_nonpipelined,
             "at least one design style must be allowed"

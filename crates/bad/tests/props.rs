@@ -1,9 +1,7 @@
 //! Property-based tests of the BAD predictor over random workloads.
 
 use chop_bad::prune::{pareto_filter, prune};
-use chop_bad::{
-    ArchitectureStyle, ClockConfig, PartitionEnvelope, Predictor, PredictorParams,
-};
+use chop_bad::{ArchitectureStyle, ClockConfig, PartitionEnvelope, Predictor, PredictorParams};
 use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
 use chop_library::standard::table1_library;
 use chop_stat::units::{Nanos, SquareMils};
@@ -28,10 +26,7 @@ fn predictor(multi_cycle: bool) -> (Predictor, ClockConfig) {
     } else {
         ArchitectureStyle::single_cycle()
     };
-    (
-        Predictor::new(table1_library(), clocks, style, PredictorParams::default()),
-        clocks,
-    )
+    (Predictor::new(table1_library(), clocks, style, PredictorParams::default()), clocks)
 }
 
 proptest! {

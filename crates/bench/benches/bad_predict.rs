@@ -13,10 +13,16 @@ fn bench_predict(c: &mut Criterion) {
     let ar = benchmarks::ar_lattice_filter();
     let ewf = benchmarks::elliptic_wave_filter();
     let configs = [
-        ("ar_single_cycle", ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
-            ArchitectureStyle::single_cycle()),
-        ("ar_multi_cycle", ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
-            ArchitectureStyle::multi_cycle()),
+        (
+            "ar_single_cycle",
+            ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+            ArchitectureStyle::single_cycle(),
+        ),
+        (
+            "ar_multi_cycle",
+            ClockConfig::new(Nanos::new(300.0), 1, 1).unwrap(),
+            ArchitectureStyle::multi_cycle(),
+        ),
     ];
     for (name, clocks, style) in configs {
         let p = Predictor::new(table1_library(), clocks, style, PredictorParams::default());

@@ -12,7 +12,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_budget_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("budget_overhead");
     group.sample_size(10);
-    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).expect("valid");
+    let session =
+        experiment1_session(&Exp1Config { partitions: 2, package: 1 }).expect("valid");
     // Baseline: the default budget (degradation threshold only).
     group.bench_function("default_budget_E", |b| {
         b.iter(|| black_box(session.explore(Heuristic::Enumeration).expect("explore")));
@@ -39,7 +40,8 @@ fn bench_budget_overhead(c: &mut Criterion) {
 fn bench_truncated_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("truncated_runs");
     group.sample_size(10);
-    let session = experiment1_session(&Exp1Config { partitions: 3, package: 1 }).expect("valid");
+    let session =
+        experiment1_session(&Exp1Config { partitions: 3, package: 1 }).expect("valid");
     for deadline_ms in [1u64, 10, 100] {
         let budgeted = session.clone().with_budget(
             SearchBudget::unlimited().with_deadline(Duration::from_millis(deadline_ms)),
@@ -49,9 +51,8 @@ fn bench_truncated_runs(c: &mut Criterion) {
         });
     }
     for max_trials in [10usize, 100, 1000] {
-        let budgeted = session
-            .clone()
-            .with_budget(SearchBudget::unlimited().with_max_trials(max_trials));
+        let budgeted =
+            session.clone().with_budget(SearchBudget::unlimited().with_max_trials(max_trials));
         group.bench_function(format!("max_trials_{max_trials}_E"), |b| {
             b.iter(|| black_box(budgeted.explore(Heuristic::Enumeration).expect("explore")));
         });
@@ -70,14 +71,18 @@ fn bench_degradation_payoff(c: &mut Criterion) {
     group.bench_function("forced_E_unpruned", |b| {
         b.iter(|| black_box(forced_e.explore(Heuristic::Enumeration).expect("explore")));
     });
-    let degrading = session.clone().with_budget(
-        SearchBudget::unlimited().with_degrade_threshold(1),
-    );
+    let degrading =
+        session.clone().with_budget(SearchBudget::unlimited().with_degrade_threshold(1));
     group.bench_function("degraded_to_I_unpruned", |b| {
         b.iter(|| black_box(degrading.explore(Heuristic::Enumeration).expect("explore")));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_budget_overhead, bench_truncated_runs, bench_degradation_payoff);
+criterion_group!(
+    benches,
+    bench_budget_overhead,
+    bench_truncated_runs,
+    bench_degradation_payoff
+);
 criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Prediction-cache ablation: cold exploration versus a fully warmed
+//! re-exploration, the same run with memoization disabled, and the
+//! incremental repartition workflow (move one node, re-explore with only
+//! the two touched partitions re-predicted). Summary numbers are checked
+//! in as `BENCH_explore.json`.
+
+use std::hint::black_box;
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{Heuristic, PartitionId, Session};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn fresh_session() -> Session {
+    experiment1_session(&Exp1Config { partitions: 3, package: 1 }).expect("valid")
+}
+
+/// The first structurally movable node of partition 1 (destination:
+/// partition 2) — the single-node edit of the incremental workflow.
+fn movable_node(s: &Session) -> chop_dfg::NodeId {
+    s.partitioning()
+        .grouping()
+        .members(0)
+        .into_iter()
+        .find(|&node| s.repartition(node, PartitionId::new(1)).is_ok())
+        .expect("some node is movable")
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(10);
+
+    // Cold: a fresh (empty) cache each measurement — every partition hits
+    // the predictor.
+    group.bench_function("cold_explore_I", |b| {
+        b.iter_batched(
+            fresh_session,
+            |s| black_box(s.explore(Heuristic::Iterative).expect("explore")),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Warm: the same session re-explored — all predictions served from
+    // the cache, measuring the floor of search + integration alone.
+    let warm = fresh_session();
+    warm.explore(Heuristic::Iterative).expect("warm-up");
+    group.bench_function("warm_re_explore_I", |b| {
+        b.iter(|| black_box(warm.explore(Heuristic::Iterative).expect("explore")));
+    });
+
+    // Ablated: memoization disabled (capacity 0) — every re-exploration
+    // pays the full prediction cost again.
+    let uncached = fresh_session().with_cache_capacity(0);
+    uncached.explore(Heuristic::Iterative).expect("warm-up");
+    group.bench_function("uncached_re_explore_I", |b| {
+        b.iter(|| black_box(uncached.explore(Heuristic::Iterative).expect("explore")));
+    });
+
+    // Incremental: explore, move one node, re-explore. The warmed base
+    // cache serves the untouched partition; only the two changed
+    // partitions re-predict. Fresh base per measurement so every run does
+    // exactly the incremental amount of work.
+    let node = movable_node(&fresh_session());
+    group.bench_function("repartition_re_explore_I", |b| {
+        b.iter_batched(
+            || {
+                let s = fresh_session();
+                s.explore(Heuristic::Iterative).expect("baseline");
+                s
+            },
+            |s| {
+                let moved = s.repartition(node, PartitionId::new(1)).expect("movable");
+                black_box(moved.explore(Heuristic::Iterative).expect("explore"))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_ablation);
+criterion_main!(benches);

@@ -44,11 +44,7 @@ fn main() {
                 Constraints::new(Nanos::new(30_000.0), Nanos::new(45_000.0)),
             );
             let outcome = session.explore(Heuristic::Iterative).expect("explore");
-            match outcome
-                .feasible
-                .iter()
-                .min_by_key(|f| f.system.initiation_interval.value())
-            {
+            match outcome.feasible.iter().min_by_key(|f| f.system.initiation_interval.value()) {
                 Some(best) => println!(
                     "{name:>10} | {k:>5} | {:>6} | {:>9} | {:>5} | {:>8.0} | {:>9.0} | {:>8}",
                     outcome.trials,

@@ -8,10 +8,7 @@ fn main() {
         "{:>8} | {:>15} | {:>5} | {:>8} | {:>6}",
         "Module", "Type", "Bit", "Area", "Delay"
     );
-    println!(
-        "{:>8} | {:>15} | {:>5} | {:>8} | {:>6}",
-        "Name", "", "Width", "mil²", "ns"
-    );
+    println!("{:>8} | {:>15} | {:>5} | {:>8} | {:>6}", "Name", "", "Width", "mil²", "ns");
     println!("{}", "-".repeat(58));
     for m in table1_library().modules() {
         println!(

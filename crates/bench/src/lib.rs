@@ -135,7 +135,13 @@ pub fn render_results(title: &str, rows: &[ResultRow]) -> String {
     let _ = writeln!(
         out,
         "{:>9} | {:>7} | H | {:>8} | {:>12} | {:>8} | {:>10} | {:>5} | {:>11}",
-        "Partition", "Package", "CPU", "Partitioning", "Feasible", "Initiation", "Delay",
+        "Partition",
+        "Package",
+        "CPU",
+        "Partitioning",
+        "Feasible",
+        "Initiation",
+        "Delay",
         "Clock Cycle"
     );
     let _ = writeln!(

@@ -41,6 +41,16 @@ pub struct Options {
     pub max_points: Option<usize>,
     /// Never degrade heuristic E to I, however large the space.
     pub no_degrade: bool,
+    /// Worker threads for prediction and combination scoring
+    /// (default: available parallelism).
+    pub jobs: Option<usize>,
+    /// Print the per-stage trace and cache statistics after the search.
+    pub stats: bool,
+    /// Write the trace and cache statistics as JSON to this path.
+    pub stats_json: Option<String>,
+    /// What-if migration: `(node index, target partition)` re-explored
+    /// incrementally after the baseline run.
+    pub move_node: Option<(u32, u32)>,
 }
 
 impl Default for Options {
@@ -64,6 +74,10 @@ impl Default for Options {
             max_trials: None,
             max_points: None,
             no_degrade: false,
+            jobs: None,
+            stats: false,
+            stats_json: None,
+            move_node: None,
         }
     }
 }
@@ -87,9 +101,7 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
     let mut positional = Vec::new();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String, ArgError> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+            it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
         };
         match arg.as_str() {
             "--partitions" | "-k" => {
@@ -192,6 +204,26 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
                 );
             }
             "--no-degrade" => opts.no_degrade = true,
+            "--jobs" | "-j" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--jobs must be at least 1".into()));
+                }
+                opts.jobs = Some(n);
+            }
+            "--stats" => opts.stats = true,
+            "--stats-json" => opts.stats_json = Some(value(arg)?),
+            "--move-node" => {
+                let v = value(arg)?;
+                let (n, p) = v
+                    .split_once(':')
+                    .ok_or_else(|| ArgError("--move-node wants NODE:PARTITION".into()))?;
+                let n = n.parse().map_err(|_| ArgError("bad node index".into()))?;
+                let p = p.parse().map_err(|_| ArgError("bad partition index".into()))?;
+                opts.move_node = Some((n, p));
+            }
             flag if flag.starts_with('-') => {
                 return Err(ArgError(format!("unknown option {flag}")));
             }
@@ -283,6 +315,45 @@ mod tests {
         assert_eq!(o.max_trials, None);
         assert_eq!(o.max_points, None);
         assert!(!o.no_degrade);
+    }
+
+    #[test]
+    fn engine_flags_parse() {
+        let o = parse_options(&s(&[
+            "d.cbs",
+            "--jobs",
+            "4",
+            "--stats",
+            "--stats-json",
+            "out.json",
+            "--move-node",
+            "7:1",
+        ]))
+        .unwrap();
+        assert_eq!(o.jobs, Some(4));
+        assert!(o.stats);
+        assert_eq!(o.stats_json.as_deref(), Some("out.json"));
+        assert_eq!(o.move_node, Some((7, 1)));
+    }
+
+    #[test]
+    fn engine_flags_default_off() {
+        let o = parse_options(&s(&["d.cbs"])).unwrap();
+        assert_eq!(o.jobs, None);
+        assert!(!o.stats);
+        assert_eq!(o.stats_json, None);
+        assert_eq!(o.move_node, None);
+    }
+
+    #[test]
+    fn rejects_zero_jobs() {
+        assert!(parse_options(&s(&["d.cbs", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_move_node() {
+        assert!(parse_options(&s(&["d.cbs", "--move-node", "7"])).is_err());
+        assert!(parse_options(&s(&["d.cbs", "--move-node", "a:b"])).is_err());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
 use chop_core::spec::PartitioningBuilder;
 use chop_core::testability::TestabilityOverhead;
 use chop_core::{
-    report, Constraints, Heuristic, MemoryAssignment, SearchBudget, SearchOutcome, Session,
+    report, Constraints, Heuristic, MemoryAssignment, PartitionId, SearchBudget, SearchOutcome,
+    Session,
 };
 use chop_dfg::parse::parse_dfg;
 use chop_dfg::Dfg;
@@ -47,6 +48,12 @@ OPTIONS (check / tasks):
   --max-trials <N>         cap on combinations examined
   --max-points <N>         cap on retained design points
   --no-degrade             never switch heuristic E to I on huge spaces
+  --jobs, -j <N>           worker threads for prediction and combination
+                           scoring                         [all CPUs]
+  --stats                  print per-stage trace and cache statistics
+  --stats-json <path>      write trace/cache statistics as JSON
+  --move-node <N:P>        after the run, move node N to partition P and
+                           re-explore incrementally (check only)
 
 EXIT CODES:
   0  a feasible implementation was found (search complete)
@@ -205,7 +212,10 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
     if opts.no_degrade {
         budget = budget.without_degradation();
     }
-    Ok(session.with_budget(budget))
+    let jobs = opts.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    });
+    Ok(session.with_budget(budget).with_jobs(jobs))
 }
 
 fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
@@ -215,10 +225,42 @@ fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
     if opts.markdown {
         let outcome = session.explore(heuristic)?;
         print!("{}", report::markdown(&session, &outcome));
+        write_stats_json(opts, &[("baseline", &outcome)])?;
         return Ok(RunStatus::from_outcome(&outcome));
     }
     print!("{}", report::environment(&session));
     let outcome = session.explore(heuristic)?;
+    report_outcome(opts, &outcome, &session);
+    let moved_outcome;
+    let mut runs: Vec<(&str, &SearchOutcome)> = vec![("baseline", &outcome)];
+    let status = match opts.move_node {
+        Some((node, part)) => {
+            let node_id = session
+                .partitioning()
+                .dfg()
+                .nodes()
+                .map(|(id, _)| id)
+                .find(|id| id.index() == node as usize)
+                .ok_or_else(|| ArgError(format!("--move-node: no node with index {node}")))?;
+            let moved = session.repartition(node_id, PartitionId::new(part))?;
+            println!("\nWHAT-IF: node {node} moved to partition {part}, re-exploring");
+            moved_outcome = moved.explore(heuristic)?;
+            report_outcome(opts, &moved_outcome, &moved);
+            println!(
+                "incremental re-explore: {} predictor call(s), {} partition(s) from cache",
+                moved_outcome.trace.predictor_calls, moved_outcome.trace.cache_hits
+            );
+            runs.push(("moved", &moved_outcome));
+            RunStatus::from_outcome(&moved_outcome)
+        }
+        None => RunStatus::from_outcome(&outcome),
+    };
+    write_stats_json(opts, &runs)?;
+    Ok(status)
+}
+
+/// Prints the human-readable result block for one exploration run.
+fn report_outcome(opts: &Options, outcome: &SearchOutcome, session: &Session) {
     println!(
         "heuristic {}: {} trials, {} feasible, {:.2?}",
         outcome.heuristic, outcome.trials, outcome.feasible_trials, outcome.elapsed
@@ -231,7 +273,7 @@ fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
     }
     match outcome.feasible.first() {
         Some(best) => {
-            println!("\n{}", report::guideline(best, session.library()));
+            println!("\n{}", report::guideline(outcome, best, session.library()));
         }
         None if outcome.completion.is_truncated() => {
             println!("\nNo feasible combination found before the budget tripped.");
@@ -242,13 +284,69 @@ fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
             println!("Try more chips/partitions, a larger package, or weaker constraints.");
         }
     }
-    Ok(RunStatus::from_outcome(&outcome))
+    if opts.stats {
+        print_stats(outcome);
+    }
+}
+
+/// Prints the `--stats` table: per-stage spans, then the counters.
+///
+/// `predict` and `search` are wall-clock; `prune-L1`, `integrate` and
+/// `feasibility` are CPU time summed across workers, so they can exceed
+/// the wall-clock spans that contain them.
+fn print_stats(outcome: &SearchOutcome) {
+    let t = &outcome.trace;
+    let c = &outcome.cache;
+    println!("\nPIPELINE STATS ({} worker thread(s)):", t.jobs);
+    for (stage, ns) in [
+        ("predict (wall)", t.predict_ns),
+        ("prune-L1 (cpu)", t.prune_l1_ns),
+        ("search (wall)", t.search_ns),
+        ("integrate (cpu)", t.integrate_ns),
+        ("feasibility (cpu)", t.feasibility_ns),
+    ] {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = ns as f64 / 1e6;
+        println!("  {stage:<18} {ms:>10.3} ms");
+    }
+    println!(
+        "  {} predictor call(s); cache: {} hit(s), {} miss(es), {} eviction(s), {} entries (~{} B)",
+        t.predictor_calls, c.hits, c.misses, c.evictions, c.entries, c.bytes
+    );
+    println!("  {} evaluation(s), {} quick reject(s)", t.evaluations, t.quick_rejects);
+}
+
+/// Writes `--stats-json`: one object per run, in run order.
+fn write_stats_json(
+    opts: &Options,
+    runs: &[(&str, &SearchOutcome)],
+) -> Result<(), Box<dyn Error>> {
+    let Some(path) = opts.stats_json.as_deref() else { return Ok(()) };
+    let body = runs
+        .iter()
+        .map(|(label, o)| {
+            let c = &o.cache;
+            format!(
+                "{{\"label\":\"{label}\",\"trace\":{},\"cache\":{{\"hits\":{},\
+                 \"misses\":{},\"evictions\":{},\"entries\":{},\"bytes\":{}}}}}",
+                o.trace.to_json(),
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.entries,
+                c.bytes
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    std::fs::write(path, format!("{{\"runs\":[{body}]}}\n"))
+        .map_err(|e| ArgError(format!("cannot write {path:?}: {e}")))?;
+    Ok(())
 }
 
 fn dot(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
-    let path = argv
-        .first()
-        .ok_or_else(|| ArgError("dot needs a <spec.cbs> argument".into()))?;
+    let path =
+        argv.first().ok_or_else(|| ArgError("dot needs a <spec.cbs> argument".into()))?;
     let dfg = load_spec(path)?;
     print!("{}", chop_dfg::dot::to_dot(&dfg));
     Ok(RunStatus::Feasible)
@@ -307,28 +405,24 @@ mod tests {
 
     #[test]
     fn memory_spec_defaults_to_off_the_shelf() {
-        let path = write_spec(
-            "mem.cbs",
-            "a = input 16\nr = read M0 a\np = mul r a\ny = output p\n",
-        );
+        let path =
+            write_spec("mem.cbs", "a = input 16\nr = read M0 a\np = mul r a\ny = output p\n");
         assert!(run(&argv(&["check", &path, "--multi-cycle"])).is_ok());
-        assert!(run(&argv(&["check", &path, "--multi-cycle", "--on-chip-memory", "M0:0"]))
-            .is_ok());
+        assert!(
+            run(&argv(&["check", &path, "--multi-cycle", "--on-chip-memory", "M0:0"])).is_ok()
+        );
     }
 
     #[test]
     fn markdown_report_flag_accepted() {
-        let path = write_spec(
-            "md.cbs",
-            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
-        );
+        let path =
+            write_spec("md.cbs", "a = input 16\nb = input 16\np = mul a b\ny = output p\n");
         assert!(run(&argv(&["check", &path, "--multi-cycle", "--markdown"])).is_ok());
     }
 
     #[test]
     fn shipped_spec_files_all_check() {
-        let specs = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../specs");
+        let specs = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
         let mut found = 0;
         for entry in std::fs::read_dir(specs).expect("specs/ directory ships with the repo") {
             let path = entry.unwrap().path();
@@ -421,5 +515,72 @@ mod tests {
         assert!(HELP.contains("--deadline"));
         assert!(HELP.contains("--no-degrade"));
         assert!(HELP.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn help_lists_engine_flags() {
+        assert!(HELP.contains("--jobs"));
+        assert!(HELP.contains("--stats"));
+        assert!(HELP.contains("--stats-json"));
+        assert!(HELP.contains("--move-node"));
+    }
+
+    #[test]
+    fn stats_and_jobs_flags_run() {
+        let path = write_spec(
+            "stats.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
+        );
+        assert!(
+            run(&argv(&["check", &path, "--multi-cycle", "--stats", "--jobs", "2"])).is_ok()
+        );
+    }
+
+    #[test]
+    fn stats_json_writes_a_runs_object() {
+        let path = write_spec(
+            "stats-json.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
+        );
+        let out = std::env::temp_dir().join("chop-cli-tests").join("stats.json");
+        let out = out.to_string_lossy().into_owned();
+        assert!(run(&argv(&["check", &path, "--multi-cycle", "--stats-json", &out])).is_ok());
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.starts_with("{\"runs\":[{\"label\":\"baseline\""));
+        assert!(body.contains("\"predictor_calls\""));
+        assert!(body.contains("\"cache\""));
+    }
+
+    #[test]
+    fn move_node_reexplores_incrementally() {
+        let path = write_spec(
+            "move.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ns = add p a\nt = add s b\ny = output t\n",
+        );
+        let out = std::env::temp_dir().join("chop-cli-tests").join("move.json");
+        let out = out.to_string_lossy().into_owned();
+        assert!(run(&argv(&[
+            "check",
+            &path,
+            "--multi-cycle",
+            "--partitions",
+            "2",
+            "--move-node",
+            "3:0",
+            "--stats-json",
+            &out,
+        ]))
+        .is_ok());
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.contains("\"label\":\"baseline\""));
+        assert!(body.contains("\"label\":\"moved\""));
+    }
+
+    #[test]
+    fn move_node_rejects_unknown_node() {
+        let path = write_spec("move-bad.cbs", "a = input 16\ny = output a\n");
+        let err =
+            run(&argv(&["check", &path, "--multi-cycle", "--move-node", "99:0"])).unwrap_err();
+        assert!(err.to_string().contains("no node with index"));
     }
 }

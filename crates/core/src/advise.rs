@@ -121,9 +121,7 @@ pub fn improve_by_migration(
                 session.clone().with_partitioning(candidate.clone()).explore(heuristic)?;
             examined += 1;
             let beats_incumbent = better(&outcome, &current_outcome);
-            let beats_best = best_move
-                .as_ref()
-                .is_none_or(|(_, best)| better(&outcome, best));
+            let beats_best = best_move.as_ref().is_none_or(|(_, best)| better(&outcome, best));
             if beats_incumbent && beats_best {
                 best_move = Some((candidate, outcome));
             }
@@ -136,7 +134,11 @@ pub fn improve_by_migration(
             None => break, // local optimum
         }
     }
-    Ok(Advice { partitioning: current, outcome: current_outcome, candidates_examined: examined })
+    Ok(Advice {
+        partitioning: current,
+        outcome: current_outcome,
+        candidates_examined: examined,
+    })
 }
 
 /// Result of a [`minimum_chip_count`] sweep: the smallest feasible chip
@@ -204,8 +206,7 @@ pub fn minimum_chip_count(
         let Ok(partitioning) = builder.build() else {
             break;
         };
-        let outcome =
-            session.clone().with_partitioning(partitioning).explore(heuristic)?;
+        let outcome = session.clone().with_partitioning(partitioning).explore(heuristic)?;
         let feasible = !outcome.feasible.is_empty();
         tried.push((k, outcome));
         if feasible {
@@ -276,10 +277,7 @@ mod tests {
         let chips = ChipSet::uniform(table2_packages()[1].clone(), 2);
         let p = PartitioningBuilder::new(memory_workload(), chips)
             .split_horizontal(2)
-            .with_memory(
-                example_on_chip_ram(),
-                MemoryAssignment::OnChip(ChipId::new(mem_chip)),
-            )
+            .with_memory(example_on_chip_ram(), MemoryAssignment::OnChip(ChipId::new(mem_chip)))
             .build()
             .unwrap();
         Session::new(
@@ -338,7 +336,12 @@ mod tests {
             chop_stat::units::Nanos::new(30_000.0),
         ));
         let (best, tried) = minimum_chip_count(&tight, Heuristic::Iterative, 3).unwrap();
-        assert_eq!(best, Some(2), "tried: {:?}", tried.iter().map(|(k, o)| (*k, o.feasible.len())).collect::<Vec<_>>());
+        assert_eq!(
+            best,
+            Some(2),
+            "tried: {:?}",
+            tried.iter().map(|(k, o)| (*k, o.feasible.len())).collect::<Vec<_>>()
+        );
     }
 
     #[test]

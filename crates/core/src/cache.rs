@@ -1,0 +1,297 @@
+//! Content-addressed memoization of per-partition BAD predictions.
+//!
+//! CHOP is interactive: the designer edits one partition, asks again, and
+//! should not pay for re-predicting the other partitions. The exploration
+//! engine therefore keys each partition's (predicted, level-1-pruned)
+//! design list by a stable fingerprint of everything the prediction
+//! depends on — the partition's [structural hash](chop_dfg::hash), the
+//! chip's usable area and the predictor/clock/style/constraint
+//! configuration — and memoizes the result in a [`PredictionCache`].
+//!
+//! The cache is shared between the sessions of one what-if dialogue:
+//! [`Session::repartition`](crate::Session::repartition) keeps the cache
+//! of the parent session, so a follow-up [`explore`](crate::Session::explore)
+//! re-predicts only the partitions whose fingerprint changed.
+//!
+//! Entries are bounded ([`DEFAULT_CACHE_CAPACITY`]) with least-recently-used
+//! eviction; [`CacheStats`] reports hits, misses, evictions and the
+//! approximate resident bytes, and each [`SearchOutcome`](crate::SearchOutcome)
+//! carries the per-run delta.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use chop_bad::prune::PredictionStats;
+use chop_bad::PredictedDesign;
+use serde::{Deserialize, Serialize};
+
+/// Default bound on the number of cached partition entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Aggregate cache counters.
+///
+/// `hits`, `misses` and `evictions` are lifetime counters of the cache
+/// (monotonically increasing); `entries` and `bytes` are point-in-time
+/// gauges. A [`SearchOutcome`](crate::SearchOutcome) reports the counter
+/// *delta* of its run via [`CacheStats::since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the predictor.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate bytes currently resident (design structs only; heap
+    /// detail inside designs is estimated, not measured).
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// The counters accumulated since `earlier` (for `hits`/`misses`/
+    /// `evictions`); `entries`/`bytes` are reported as the current gauges.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// One memoized prediction: the pruned design list and its Table 3/5
+/// statistics.
+#[derive(Debug, Clone)]
+struct Entry {
+    designs: Arc<[PredictedDesign]>,
+    stats: PredictionStats,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    bytes: u64,
+}
+
+/// A bounded, thread-safe LRU cache of per-partition predictions.
+///
+/// Lookup keys are the content-addressed fingerprints computed by the
+/// exploration engine (see the [module docs](self)). The cache hands out
+/// `Arc<[PredictedDesign]>` so hits share one allocation with every
+/// session and worker thread that uses them.
+#[derive(Debug)]
+pub struct PredictionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for PredictionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredictionCache {
+    /// Creates a cache bounded at [`DEFAULT_CACHE_CAPACITY`] entries.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a cache bounded at `capacity` entries. A capacity of zero
+    /// disables memoization (every lookup misses, nothing is retained).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { inner: Mutex::new(Inner::default()), capacity }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked while holding the lock cannot leave the
+        // map structurally broken (all mutations are single-step inserts/
+        // removes), so recover instead of propagating the poison.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<(Arc<[PredictedDesign]>, PredictionStats)> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let out = (Arc::clone(&entry.designs), entry.stats);
+                inner.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting least-recently-used
+    /// entries beyond the capacity bound.
+    pub fn insert(&self, key: u64, designs: Arc<[PredictedDesign]>, stats: PredictionStats) {
+        if self.capacity == 0 {
+            return;
+        }
+        let bytes = approximate_bytes(&designs);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) =
+            inner.map.insert(key, Entry { designs, stats, bytes, last_used: tick })
+        {
+            inner.bytes = inner.bytes.saturating_sub(old.bytes);
+        }
+        inner.bytes += bytes;
+        while inner.map.len() > self.capacity {
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes = inner.bytes.saturating_sub(evicted.bytes);
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the cache counters and gauges.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry-capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Approximate resident size of a design list. `PredictedDesign` owns
+/// small maps and strings whose heap size is not walked; the struct size
+/// plus a fixed per-design overhead is close enough for an eviction gauge.
+fn approximate_bytes(designs: &[PredictedDesign]) -> u64 {
+    const PER_DESIGN_HEAP_GUESS: usize = 160;
+    ((std::mem::size_of::<PredictedDesign>() + PER_DESIGN_HEAP_GUESS) * designs.len()
+        + std::mem::size_of::<Entry>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize) -> (Arc<[PredictedDesign]>, PredictionStats) {
+        let designs: Arc<[PredictedDesign]> = Vec::new().into();
+        let _ = n;
+        (designs, PredictionStats { total: n, feasible: n, non_inferior: n })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PredictionCache::new();
+        assert!(cache.get(1).is_none());
+        let (d, s) = entry(3);
+        cache.insert(1, d, s);
+        let (_, got) = cache.get(1).expect("hit");
+        assert_eq!(got.total, 3);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest() {
+        let cache = PredictionCache::with_capacity(2);
+        for key in 0..3u64 {
+            let (d, s) = entry(key as usize);
+            cache.insert(key, d, s);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Key 0 was least recently used.
+        assert!(cache.get(0).is_none());
+        assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let cache = PredictionCache::with_capacity(2);
+        let (d, s) = entry(0);
+        cache.insert(0, d, s);
+        let (d, s) = entry(1);
+        cache.insert(1, d, s);
+        assert!(cache.get(0).is_some()); // refresh 0 → 1 becomes LRU
+        let (d, s) = entry(2);
+        cache.insert(2, d, s);
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let cache = PredictionCache::with_capacity(0);
+        let (d, s) = entry(1);
+        cache.insert(9, d, s);
+        assert!(cache.is_empty());
+        assert!(cache.get(9).is_none());
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let cache = PredictionCache::new();
+        let before = cache.stats();
+        assert!(cache.get(7).is_none());
+        let (d, s) = entry(1);
+        cache.insert(7, d, s);
+        assert!(cache.get(7).is_some());
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.entries), (1, 1, 1));
+        assert!(delta.bytes > 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_bytes() {
+        let cache = PredictionCache::new();
+        let (d, s) = entry(1);
+        cache.insert(1, d, s);
+        let first = cache.stats().bytes;
+        let (d, s) = entry(1);
+        cache.insert(1, d, s);
+        assert_eq!(cache.stats().bytes, first);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Stage 1: cached, parallel per-partition prediction with level-1 pruning.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use chop_bad::prune::{prune, PredictionStats};
+use chop_bad::{AllocationSweep, DesignStyle, OperationTiming};
+use chop_bad::{PartitionEnvelope, PredictError, PredictedDesign, Predictor};
+use chop_dfg::hash::{structural_hash, StableHasher};
+
+use crate::budget::{BudgetTimer, Completion};
+use crate::engine::panic_message;
+use crate::engine::trace::TraceRecorder;
+use crate::error::ChopError;
+use crate::explorer::Session;
+use crate::spec::PartitionId;
+
+/// What the prediction stage hands to the search stage.
+pub(crate) struct PredictOutput {
+    /// Surviving per-partition design lists (shared; a cache hit aliases
+    /// the cached allocation instead of re-predicting).
+    pub lists: Vec<Arc<[PredictedDesign]>>,
+    /// Table 3/5 statistics per partition.
+    pub stats: Vec<PredictionStats>,
+    /// `Some` when the deadline tripped mid-sweep; `lists`/`stats` then
+    /// hold the completed prefix, exactly as a serial sweep would.
+    pub truncated: Option<Completion>,
+}
+
+type Slot = Option<Result<(Arc<[PredictedDesign]>, PredictionStats), ChopError>>;
+
+/// Runs (and wall-clock-times) the prediction stage.
+pub(crate) fn predict_stage(
+    session: &Session,
+    timer: &BudgetTimer,
+    trace: &TraceRecorder,
+) -> Result<PredictOutput, ChopError> {
+    let started = Instant::now();
+    let output = run_stage(session, timer, trace);
+    trace.add_predict(started.elapsed());
+    output
+}
+
+fn run_stage(
+    session: &Session,
+    timer: &BudgetTimer,
+    trace: &TraceRecorder,
+) -> Result<PredictOutput, ChopError> {
+    let predictor =
+        Predictor::new(session.library.clone(), session.clocks, session.style, session.params);
+    let fingerprint = config_fingerprint(session);
+    let ids: Vec<PartitionId> = session.partitioning.partition_ids().collect();
+    let mut slots: Vec<Slot> = Vec::with_capacity(ids.len());
+    slots.resize_with(ids.len(), || None);
+    let jobs = session.jobs.max(1).min(ids.len().max(1));
+    if jobs <= 1 {
+        predict_run(session, &predictor, fingerprint, timer, trace, &mut slots, &ids);
+    } else {
+        let chunk = ids.len().div_ceil(jobs);
+        thread::scope(|scope| {
+            for (slot_chunk, id_chunk) in slots.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+                let predictor = &predictor;
+                scope.spawn(move || {
+                    predict_run(
+                        session,
+                        predictor,
+                        fingerprint,
+                        timer,
+                        trace,
+                        slot_chunk,
+                        id_chunk,
+                    );
+                });
+            }
+        });
+    }
+    // Canonical-order merge: the completed prefix wins and the first error
+    // in partition order is the run's error, identical to a serial sweep.
+    let mut lists = Vec::with_capacity(ids.len());
+    let mut stats = Vec::with_capacity(ids.len());
+    for slot in slots {
+        match slot {
+            Some(Ok((list, stat))) => {
+                lists.push(list);
+                stats.push(stat);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Ok(PredictOutput {
+                    lists,
+                    stats,
+                    truncated: Some(Completion::TruncatedDeadline),
+                })
+            }
+        }
+    }
+    Ok(PredictOutput { lists, stats, truncated: None })
+}
+
+/// Fills `slots` for `ids` in order, stopping at the deadline or at the
+/// first error (later slots stay `None`; after an error the canonical
+/// merge never reaches them).
+fn predict_run(
+    session: &Session,
+    predictor: &Predictor,
+    fingerprint: u64,
+    timer: &BudgetTimer,
+    trace: &TraceRecorder,
+    slots: &mut [Slot],
+    ids: &[PartitionId],
+) {
+    for (slot, &p) in slots.iter_mut().zip(ids) {
+        if timer.deadline_exceeded() {
+            return;
+        }
+        let outcome = predict_one(session, predictor, fingerprint, p, trace);
+        let failed = outcome.is_err();
+        *slot = Some(outcome);
+        if failed {
+            return;
+        }
+    }
+}
+
+/// Predicts one partition: cache lookup first, then BAD (panic-isolated)
+/// plus level-1 pruning, seeding the cache on the way out.
+fn predict_one(
+    session: &Session,
+    predictor: &Predictor,
+    fingerprint: u64,
+    p: PartitionId,
+    trace: &TraceRecorder,
+) -> Result<(Arc<[PredictedDesign]>, PredictionStats), ChopError> {
+    let sub = session.partitioning.partition_dfg(p);
+    let chip = session.partitioning.chips().chip(session.partitioning.chip_of(p));
+    let key = {
+        let mut h = StableHasher::new();
+        h.write_u64(fingerprint);
+        h.write_u64(structural_hash(&sub));
+        h.write_f64(chip.usable_area().value());
+        h.finish()
+    };
+    // Fault plans script per-call behavior, so a fault-injected session
+    // must neither serve nor seed memoized predictions.
+    #[cfg(feature = "fault-inject")]
+    let cacheable = session.fault_plan.is_none();
+    #[cfg(not(feature = "fault-inject"))]
+    let cacheable = true;
+    if cacheable {
+        if let Some((designs, stats)) = session.cache.get(key) {
+            trace.count_cache_hit();
+            return Ok((designs, stats));
+        }
+        trace.count_cache_miss();
+    }
+    trace.count_predictor_call();
+    // A panic anywhere in BAD poisons only this partition: it is caught
+    // here and reported as a typed Predict error.
+    let predicted = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &session.fault_plan {
+            plan.before_predict(p.index());
+        }
+        #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+        let mut designs = predictor.predict(&sub)?;
+        // Post-prediction corruption stays inside the guard: a poisoned
+        // estimate that trips a numeric invariant (e.g. `Estimate`
+        // rejecting NaN) is contained the same way.
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &session.fault_plan {
+            plan.corrupt(p.index(), &mut designs);
+        }
+        Ok(designs)
+    }));
+    let designs = match predicted {
+        Ok(Ok(designs)) => designs,
+        Ok(Err(source)) => return Err(ChopError::Predict { partition: p.index(), source }),
+        Err(payload) => {
+            return Err(ChopError::Predict {
+                partition: p.index(),
+                source: PredictError::Panicked(panic_message(payload.as_ref())),
+            })
+        }
+    };
+    let envelope = PartitionEnvelope::new(
+        chip.usable_area(),
+        session.constraints.performance(),
+        session.constraints.delay(),
+    )
+    .with_thresholds(
+        session.criteria.area,
+        session.criteria.performance,
+        session.criteria.delay,
+    );
+    let prune_started = Instant::now();
+    let (list, stat): (Arc<[PredictedDesign]>, PredictionStats) = if session.prune {
+        let (kept, s) = prune(designs, &envelope, &session.clocks);
+        (kept.into(), s)
+    } else {
+        // Statistics still reflect what pruning *would* keep.
+        let total = designs.len();
+        let feasible = designs.iter().filter(|d| envelope.admits(d, &session.clocks)).count();
+        (designs.into(), PredictionStats { total, feasible, non_inferior: total })
+    };
+    trace.add_prune_l1(prune_started.elapsed());
+    if cacheable {
+        session.cache.insert(key, Arc::clone(&list), stat);
+    }
+    Ok((list, stat))
+}
+
+/// Hashes everything — besides the partition's own DFG and chip — that the
+/// prediction and its level-1 pruning depend on: clock configuration,
+/// architecture style, predictor parameters, the pruning envelope's
+/// constraint values and probability thresholds, and the prune switch.
+///
+/// Deliberately excluded: the component library (fixed at session
+/// construction and shared, never replaced, by every session family that
+/// shares the cache), the power limit and power threshold (power enters at
+/// system integration, not per-partition prediction), and testability
+/// overheads (likewise integration-only).
+fn config_fingerprint(session: &Session) -> u64 {
+    let mut h = StableHasher::new();
+    let clocks = &session.clocks;
+    h.write_f64(clocks.main_cycle().value());
+    h.write_u32(clocks.datapath_multiplier());
+    h.write_u32(clocks.transfer_multiplier());
+    h.write_u64(match session.style.timing() {
+        OperationTiming::SingleCycle => 1,
+        OperationTiming::MultiCycle => 2,
+    });
+    for style in session.style.styles() {
+        h.write_u64(match style {
+            DesignStyle::Pipelined => 1,
+            DesignStyle::NonPipelined => 2,
+        });
+    }
+    let params = &session.params;
+    h.write_f64(params.area_spread_below);
+    h.write_f64(params.area_spread_above);
+    h.write_f64(params.delay_spread_below);
+    h.write_f64(params.delay_spread_above);
+    h.write_f64(params.wiring_factor);
+    h.write_f64(params.pla_cell_area);
+    h.write_f64(params.pla_base_delay);
+    h.write_f64(params.pla_delay_per_line);
+    h.write_f64(params.wiring_delay_factor);
+    h.write_u64(params.max_units_per_class as u64);
+    h.write_u64(match params.allocation_sweep {
+        AllocationSweep::Exhaustive => 1,
+        AllocationSweep::PowersOfTwo => 2,
+    });
+    h.write_f64(session.constraints.performance().value());
+    h.write_f64(session.constraints.delay().value());
+    for threshold in
+        [session.criteria.area, session.criteria.performance, session.criteria.delay]
+    {
+        h.write_f64(threshold.probability().value());
+    }
+    h.write_u64(u64::from(session.prune));
+    h.finish()
+}

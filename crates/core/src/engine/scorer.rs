@@ -1,0 +1,93 @@
+//! Stage 3: parallel batch scoring of candidate combinations.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use chop_bad::PredictedDesign;
+use chop_stat::units::Cycles;
+
+use crate::budget::BudgetTimer;
+use crate::engine::panic_message;
+use crate::engine::trace::TraceRecorder;
+use crate::error::ChopError;
+use crate::heuristics::{Candidate, ScoreBatch, ScoreSlot};
+use crate::integration::IntegrationContext;
+
+/// The engine's [`ScoreBatch`] implementation: evaluates a batch across up
+/// to `jobs` scoped worker threads and returns the slots in candidate
+/// order, so the single-threaded heuristics fold identical results for
+/// every worker count. Each candidate is checked against the wall-clock
+/// deadline right before evaluation; abandoned candidates stay `None` and
+/// the heuristics' canonical fold turns the first `None` into deadline
+/// truncation.
+///
+/// An evaluation panic is contained per candidate and surfaced as
+/// [`ChopError::EvalPanicked`], so one poisoned combination cannot take
+/// down sibling workers or the session.
+pub(crate) struct BatchScorer<'e> {
+    /// Integration context shared by every worker.
+    pub ctx: &'e IntegrationContext<'e>,
+    /// Per-partition prediction lists the candidate indices resolve into.
+    pub lists: &'e [Arc<[PredictedDesign]>],
+    /// Worker-thread allowance.
+    pub jobs: usize,
+    /// The run's budget timer (deadline polling inside workers).
+    pub timer: &'e BudgetTimer,
+    /// The run's trace recorder (evaluation count, integrate span).
+    pub trace: &'e TraceRecorder,
+}
+
+impl BatchScorer<'_> {
+    fn eval_one(&self, candidate: &Candidate) -> ScoreSlot {
+        if self.timer.deadline_exceeded() {
+            return None;
+        }
+        let selection: Vec<&PredictedDesign> = candidate
+            .indices
+            .iter()
+            .zip(self.lists)
+            .map(|(&i, list)| &list[i as usize])
+            .collect();
+        self.trace.count_evaluation();
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.ctx.evaluate(&selection, Cycles::new(candidate.ii))
+        }));
+        self.trace.add_integrate(started.elapsed());
+        Some(match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                Err(ChopError::EvalPanicked { message: panic_message(payload.as_ref()) })
+            }
+        })
+    }
+}
+
+impl ScoreBatch for BatchScorer<'_> {
+    fn score(&self, batch: &[Candidate]) -> Vec<ScoreSlot> {
+        let mut slots: Vec<ScoreSlot> = Vec::with_capacity(batch.len());
+        slots.resize_with(batch.len(), || None);
+        let jobs = self.jobs.max(1).min(batch.len());
+        if jobs <= 1 {
+            for (slot, candidate) in slots.iter_mut().zip(batch) {
+                *slot = self.eval_one(candidate);
+            }
+            return slots;
+        }
+        // Contiguous chunking keeps the slot↔candidate pairing trivially
+        // index-aligned; workers never share a slot.
+        let chunk = batch.len().div_ceil(jobs);
+        thread::scope(|scope| {
+            for (slot_chunk, cand_chunk) in slots.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, candidate) in slot_chunk.iter_mut().zip(cand_chunk) {
+                        *slot = self.eval_one(candidate);
+                    }
+                });
+            }
+        });
+        slots
+    }
+}

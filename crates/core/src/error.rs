@@ -24,6 +24,12 @@ pub enum ChopError {
     },
     /// Task scheduling failed during system integration.
     Integration(UrgencyError),
+    /// A combination evaluation panicked inside a search worker; the
+    /// panic was contained and converted into this error.
+    EvalPanicked {
+        /// Best-effort panic message.
+        message: String,
+    },
     /// Level-1 pruning removed every prediction of a partition — no
     /// implementation of that partition can meet the constraints.
     NoFeasiblePrediction {
@@ -41,6 +47,9 @@ impl fmt::Display for ChopError {
                 write!(f, "prediction failed for partition P{}: {source}", partition + 1)
             }
             ChopError::Integration(e) => write!(f, "system integration failed: {e}"),
+            ChopError::EvalPanicked { message } => {
+                write!(f, "combination evaluation panicked: {message}")
+            }
             ChopError::NoFeasiblePrediction { partition } => write!(
                 f,
                 "no predicted implementation of partition P{} meets the constraints",
@@ -57,6 +66,7 @@ impl std::error::Error for ChopError {
             ChopError::Grouping(e) => Some(e),
             ChopError::Predict { source, .. } => Some(source),
             ChopError::Integration(e) => Some(e),
+            ChopError::EvalPanicked { .. } => None,
             ChopError::NoFeasiblePrediction { .. } => None,
         }
     }

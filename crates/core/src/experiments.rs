@@ -60,9 +60,8 @@ pub fn experiment1_session(config: &Exp1Config) -> Result<Session, BuildError> {
     let pkg = packages[config.package].clone();
     let dfg = benchmarks::ar_lattice_filter();
     let chips = ChipSet::uniform(pkg, config.partitions);
-    let partitioning = PartitioningBuilder::new(dfg, chips)
-        .split_horizontal(config.partitions)
-        .build()?;
+    let partitioning =
+        PartitioningBuilder::new(dfg, chips).split_horizontal(config.partitions).build()?;
     Ok(Session::new(
         partitioning,
         table1_library(),
@@ -89,9 +88,8 @@ pub fn experiment2_session(config: &Exp2Config) -> Result<Session, BuildError> {
     let pkg = packages[config.package].clone();
     let dfg = benchmarks::ar_lattice_filter();
     let chips = ChipSet::uniform(pkg, config.partitions);
-    let partitioning = PartitioningBuilder::new(dfg, chips)
-        .split_horizontal(config.partitions)
-        .build()?;
+    let partitioning =
+        PartitioningBuilder::new(dfg, chips).split_horizontal(config.partitions).build()?;
     Ok(Session::new(
         partitioning,
         table1_library(),

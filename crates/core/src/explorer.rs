@@ -1,24 +1,24 @@
 //! The designer-facing session: predict, prune, search, report.
 
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-use chop_bad::prune::{prune, PredictionStats};
-use chop_bad::{
-    ArchitectureStyle, ClockConfig, PartitionEnvelope, PredictError, PredictedDesign,
-    Predictor, PredictorParams,
-};
+use chop_bad::prune::PredictionStats;
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictedDesign, PredictorParams};
+use chop_dfg::grouping::GroupingError;
+use chop_dfg::NodeId;
 use chop_library::{ChipSet, Library};
 
 use crate::budget::{BudgetTimer, Completion, SearchBudget};
+use crate::cache::{CacheStats, PredictionCache};
+use crate::engine;
+use crate::engine::trace::{ExploreTrace, TraceRecorder};
 use crate::error::ChopError;
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
 use crate::feasibility::{Constraints, FeasibilityCriteria};
-use crate::heuristics::{self, HeuristicResult};
-use crate::integration::IntegrationContext;
-use crate::spec::Partitioning;
+use crate::spec::{PartitionId, Partitioning};
 use crate::testability::TestabilityOverhead;
 
 pub use crate::heuristics::{DesignPoint, FeasibleImplementation};
@@ -42,12 +42,15 @@ impl fmt::Display for Heuristic {
 }
 
 /// The result of one exploration run — the fields of one row block in the
-/// paper's Tables 4 and 6, plus the recorded design space.
+/// paper's Tables 4 and 6, plus the recorded design space and the run's
+/// pipeline instrumentation.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// Heuristic that produced this outcome.
     pub heuristic: Heuristic,
-    /// Feasible, non-inferior global implementations.
+    /// Feasible, non-inferior global implementations. Selections index
+    /// into [`SearchOutcome::predictions`]; resolve them with
+    /// [`SearchOutcome::selected_designs`].
     pub feasible: Vec<FeasibleImplementation>,
     /// Global combinations examined ("Partitioning Imp. Trials").
     pub trials: usize,
@@ -65,6 +68,14 @@ pub struct SearchOutcome {
     pub completion: Completion,
     /// Whether a requested heuristic-E search was degraded to heuristic I.
     pub degraded: bool,
+    /// The surviving per-partition prediction lists the search ran over
+    /// (shared with the session's prediction cache).
+    pub predictions: Vec<Arc<[PredictedDesign]>>,
+    /// Pipeline counters and stage spans for this run.
+    pub trace: ExploreTrace,
+    /// Prediction-cache activity during this run (counter deltas plus the
+    /// current entry/byte gauges).
+    pub cache: CacheStats,
 }
 
 impl SearchOutcome {
@@ -90,6 +101,87 @@ impl SearchOutcome {
         keys.dedup();
         keys.len()
     }
+
+    /// Resolves one feasible implementation's selection indices into the
+    /// per-partition predicted designs they name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `implementation` does not belong to this outcome (its
+    /// indices must address [`SearchOutcome::predictions`]).
+    #[must_use]
+    pub fn selected_designs(
+        &self,
+        implementation: &FeasibleImplementation,
+    ) -> Vec<&PredictedDesign> {
+        implementation
+            .selection
+            .iter()
+            .zip(&self.predictions)
+            .map(|(&i, list)| &list[i as usize])
+            .collect()
+    }
+
+    /// A canonical fingerprint of the run's *results*: heuristic, trial
+    /// counts, completion, per-partition prediction statistics and list
+    /// lengths, every feasible implementation (selection indices plus the
+    /// exact bit patterns of its system estimates) and every recorded
+    /// design point.
+    ///
+    /// Wall-clock measurements (`elapsed`, `trace`) and cache counters are
+    /// excluded: they legitimately differ between runs and thread counts
+    /// (two workers may race to predict identical partitions, shifting
+    /// hit/miss counts without changing any result). Two runs with equal
+    /// digests found exactly the same designs — the determinism tests
+    /// assert digest equality across `--jobs 1/2/8`.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "h={};trials={};feasible_trials={};completion={:?};degraded={};",
+            self.heuristic, self.trials, self.feasible_trials, self.completion, self.degraded
+        );
+        for (i, (list, s)) in self.predictions.iter().zip(&self.prediction_stats).enumerate() {
+            let _ = write!(
+                out,
+                "p{}:{}/{}/{}/{};",
+                i,
+                list.len(),
+                s.total,
+                s.feasible,
+                s.non_inferior
+            );
+        }
+        for f in &self.feasible {
+            let _ = write!(out, "f:");
+            for &i in &f.selection {
+                let _ = write!(out, "{i},");
+            }
+            let sys = &f.system;
+            let _ = write!(
+                out,
+                "ii={};delay={};ii_ns={:016x};delay_ns={:016x};feas={};",
+                sys.initiation_interval.value(),
+                sys.delay.value(),
+                sys.initiation_ns.likely().to_bits(),
+                sys.delay_ns.likely().to_bits(),
+                sys.verdict.feasible
+            );
+        }
+        for p in &self.points {
+            let _ = write!(
+                out,
+                "d:{:016x}/{:016x}/{:016x}/{};",
+                p.area.to_bits(),
+                p.delay_ns.to_bits(),
+                p.initiation_ns.to_bits(),
+                p.feasible
+            );
+        }
+        out
+    }
 }
 
 impl fmt::Display for SearchOutcome {
@@ -110,31 +202,51 @@ impl fmt::Display for SearchOutcome {
     }
 }
 
+/// Per-partition surviving prediction lists plus their Table 3/5
+/// pruning statistics, as returned by [`Session::predict_partitions`].
+pub type PartitionPredictions = (Vec<Arc<[PredictedDesign]>>, Vec<PredictionStats>);
+
 /// A CHOP session: one tentative partitioning plus the prediction and
 /// feasibility configuration, with what-if modification methods
 /// (paper §2.7).
 ///
 /// See the [crate-level documentation](crate) for a complete example.
+///
+/// # Builder contract
+///
+/// `with_*` methods are infallible: they take pre-validated inputs (or
+/// values whose invariants their own types enforce) and always return the
+/// modified session. Methods that must cross-validate their argument
+/// against existing session state are named `try_with_*` and return a
+/// `Result` — currently [`Session::try_with_chip_set`], which checks the
+/// new chip set against the partition assignment. Fallible what-if edits
+/// that derive a new session keep their verb names
+/// ([`Session::repartition`]).
 #[derive(Debug, Clone)]
 pub struct Session {
-    partitioning: Partitioning,
-    library: Library,
-    clocks: ClockConfig,
-    style: ArchitectureStyle,
-    params: PredictorParams,
-    constraints: Constraints,
-    criteria: FeasibilityCriteria,
-    testability: TestabilityOverhead,
-    prune: bool,
-    keep_all: bool,
-    budget: SearchBudget,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) library: Library,
+    pub(crate) clocks: ClockConfig,
+    pub(crate) style: ArchitectureStyle,
+    pub(crate) params: PredictorParams,
+    pub(crate) constraints: Constraints,
+    pub(crate) criteria: FeasibilityCriteria,
+    pub(crate) testability: TestabilityOverhead,
+    pub(crate) prune: bool,
+    pub(crate) keep_all: bool,
+    pub(crate) budget: SearchBudget,
+    pub(crate) jobs: usize,
+    /// Shared with every session cloned or derived from this one, so a
+    /// what-if dialogue pays for each distinct partition prediction once.
+    pub(crate) cache: Arc<PredictionCache>,
     #[cfg(feature = "fault-inject")]
-    fault_plan: Option<FaultPlan>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Session {
     /// Creates a session with the paper's default feasibility criteria,
-    /// pruning enabled and keep-all disabled.
+    /// pruning enabled, keep-all disabled, one worker thread and a fresh
+    /// prediction cache.
     #[must_use]
     pub fn new(
         partitioning: Partitioning,
@@ -156,6 +268,8 @@ impl Session {
             prune: true,
             keep_all: false,
             budget: SearchBudget::default(),
+            jobs: 1,
+            cache: Arc::new(PredictionCache::new()),
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
         }
@@ -204,14 +318,50 @@ impl Session {
         self
     }
 
+    /// Sets the worker-thread allowance for the prediction and
+    /// combination-scoring stages (`0` is clamped to `1`, i.e. serial).
+    /// Exploration results are identical for every value — only wall-clock
+    /// time and the trace's span split change; see
+    /// [`SearchOutcome::digest`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
     /// The search budget in force.
     #[must_use]
     pub fn budget(&self) -> &SearchBudget {
         &self.budget
     }
 
+    /// The worker-thread allowance in force.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Replaces the session's prediction cache with a fresh one holding
+    /// at most `capacity` entries (`0` disables memoization entirely).
+    /// Unlike the other `with_*` builders this *detaches* the session
+    /// from the cache shared with its clones — useful for ablation
+    /// measurements and for bounding memory on huge design spaces.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Arc::new(PredictionCache::with_capacity(capacity));
+        self
+    }
+
+    /// Lifetime statistics of the session's shared prediction cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Attaches a scripted fault plan to the prediction phase (testing
-    /// only; compiled with the `fault-inject` feature).
+    /// only; compiled with the `fault-inject` feature). Fault-injected
+    /// sessions bypass the prediction cache: plans script per-call
+    /// behavior, which memoization would suppress.
     #[cfg(feature = "fault-inject")]
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
@@ -244,20 +394,43 @@ impl Session {
     }
 
     /// What-if: replaces the partitioning (operation migration, partition
-    /// migration — build the new [`Partitioning`] first).
+    /// migration — build the new [`Partitioning`] first). The prediction
+    /// cache is kept: unchanged partitions of the new partitioning are
+    /// served from it.
     #[must_use]
     pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
         self.partitioning = partitioning;
         self
     }
 
+    /// What-if: moves one DFG node to another partition, returning the
+    /// re-keyed session (paper §2.7 "operation migration"). The derived
+    /// session shares this session's prediction cache, so a follow-up
+    /// [`explore`](Session::explore) re-predicts only the source and
+    /// destination partitions and serves every other partition from the
+    /// cache — check [`SearchOutcome::cache`] and
+    /// [`ExploreTrace::predictor_calls`] to observe it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GroupingError`] if `node` is unknown, `to` is not a
+    /// valid partition, or the move would empty the node's partition.
+    pub fn repartition(&self, node: NodeId, to: PartitionId) -> Result<Self, GroupingError> {
+        let mut next = self.clone();
+        next.partitioning = self.partitioning.clone().with_node_moved(node, to)?;
+        Ok(next)
+    }
+
     /// What-if: replaces the target chip set (§2.7 "Target chip set").
+    /// Fallible — the set is cross-validated against the current partition
+    /// assignment — hence `try_with_*`; see the builder contract in the
+    /// [type docs](Session).
     ///
     /// # Errors
     ///
     /// Returns the underlying [`crate::spec::SpecError`] if the set is
     /// empty or too small for the current assignment.
-    pub fn with_chip_set(mut self, chips: ChipSet) -> Result<Self, crate::spec::SpecError> {
+    pub fn try_with_chip_set(mut self, chips: ChipSet) -> Result<Self, crate::spec::SpecError> {
         self.partitioning = self.partitioning.with_chip_set(chips)?;
         Ok(self)
     }
@@ -271,7 +444,8 @@ impl Session {
 
     /// Runs BAD on every partition and applies level-1 pruning (unless
     /// disabled), returning the surviving lists and the Table 3/5
-    /// statistics.
+    /// statistics. Served from the session's prediction cache where
+    /// possible; uncached partitions fan across [`Session::jobs`] workers.
     ///
     /// # Errors
     ///
@@ -279,87 +453,18 @@ impl Session {
     /// including a predictor *panic*, which is contained with
     /// `catch_unwind` and reported as [`chop_bad::PredictError::Panicked`]
     /// for the offending partition only.
-    pub fn predict_partitions(
-        &self,
-    ) -> Result<(Vec<Vec<PredictedDesign>>, Vec<PredictionStats>), ChopError> {
-        let (lists, stats, _) = self.predict_partitions_with(&BudgetTimer::unlimited())?;
-        Ok((lists, stats))
+    pub fn predict_partitions(&self) -> Result<PartitionPredictions, ChopError> {
+        let trace = TraceRecorder::new(self.jobs);
+        let output = engine::predict::predict_stage(self, &BudgetTimer::unlimited(), &trace)?;
+        Ok((output.lists, output.stats))
     }
 
-    /// Budget-aware prediction sweep: checks the deadline before each
-    /// partition and stops early with `Some(TruncatedDeadline)` plus the
-    /// lists and statistics gathered so far.
-    fn predict_partitions_with(
-        &self,
-        timer: &BudgetTimer,
-    ) -> Result<PartialPredictions, ChopError> {
-        let predictor =
-            Predictor::new(self.library.clone(), self.clocks, self.style, self.params);
-        let mut lists = Vec::with_capacity(self.partitioning.partition_count());
-        let mut stats = Vec::with_capacity(self.partitioning.partition_count());
-        for p in self.partitioning.partition_ids() {
-            if timer.deadline_exceeded() {
-                return Ok((lists, stats, Some(Completion::TruncatedDeadline)));
-            }
-            let sub = self.partitioning.partition_dfg(p);
-            // A panic anywhere in BAD poisons only this partition: it is
-            // caught here and reported as a typed Predict error.
-            let predicted = catch_unwind(AssertUnwindSafe(|| {
-                #[cfg(feature = "fault-inject")]
-                if let Some(plan) = &self.fault_plan {
-                    plan.before_predict(p.index());
-                }
-                #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
-                let mut designs = predictor.predict(&sub)?;
-                // Post-prediction corruption stays inside the guard: a
-                // poisoned estimate that trips a numeric invariant (e.g.
-                // `Estimate` rejecting NaN) is contained the same way.
-                #[cfg(feature = "fault-inject")]
-                if let Some(plan) = &self.fault_plan {
-                    plan.corrupt(p.index(), &mut designs);
-                }
-                Ok(designs)
-            }));
-            let designs = match predicted {
-                Ok(Ok(designs)) => designs,
-                Ok(Err(source)) => {
-                    return Err(ChopError::Predict { partition: p.index(), source })
-                }
-                Err(payload) => {
-                    return Err(ChopError::Predict {
-                        partition: p.index(),
-                        source: PredictError::Panicked(panic_message(payload.as_ref())),
-                    })
-                }
-            };
-            let chip = self.partitioning.chips().chip(self.partitioning.chip_of(p));
-            let envelope = PartitionEnvelope::new(
-                chip.usable_area(),
-                self.constraints.performance(),
-                self.constraints.delay(),
-            )
-            .with_thresholds(self.criteria.area, self.criteria.performance, self.criteria.delay);
-            if self.prune {
-                let (kept, s) = prune(designs, &envelope, &self.clocks);
-                lists.push(kept);
-                stats.push(s);
-            } else {
-                // Statistics still reflect what pruning *would* keep.
-                let total = designs.len();
-                let feasible = designs
-                    .iter()
-                    .filter(|d| envelope.admits(d, &self.clocks))
-                    .count();
-                stats.push(PredictionStats { total, feasible, non_inferior: total });
-                lists.push(designs);
-            }
-        }
-        Ok((lists, stats, None))
-    }
-
-    /// Runs the full CHOP flow: per-partition prediction, level-1 pruning,
-    /// combination search with the chosen heuristic and system-integration
-    /// feasibility analysis — all under the session's [`SearchBudget`].
+    /// Runs the full CHOP flow through the staged [`engine`]: cached
+    /// per-partition prediction, level-1 pruning, combination search with
+    /// the chosen heuristic and system-integration feasibility analysis —
+    /// all under the session's [`SearchBudget`], fanned across
+    /// [`Session::jobs`] worker threads, and instrumented in the outcome's
+    /// [`trace`](SearchOutcome::trace).
     ///
     /// A tripped budget is a *normal outcome*: the returned
     /// [`SearchOutcome`] holds whatever was found before the trip, tagged
@@ -376,96 +481,7 @@ impl Session {
     /// failures; an infeasible partitioning is a normal outcome with an
     /// empty `feasible` list.
     pub fn explore(&self, heuristic: Heuristic) -> Result<SearchOutcome, ChopError> {
-        let timer = BudgetTimer::start(self.budget);
-        let (lists, stats, predict_truncation) = self.predict_partitions_with(&timer)?;
-        if let Some(status) = predict_truncation {
-            return Ok(SearchOutcome {
-                heuristic,
-                feasible: Vec::new(),
-                trials: 0,
-                feasible_trials: 0,
-                prediction_stats: stats,
-                elapsed: timer.elapsed(),
-                points: Vec::new(),
-                completion: status,
-                degraded: false,
-            });
-        }
-        let ctx = IntegrationContext::new(
-            &self.partitioning,
-            &self.library,
-            self.clocks,
-            self.params,
-            self.criteria,
-            self.constraints,
-        )
-        .with_testability(self.testability);
-        let mut effective = heuristic;
-        let mut degraded = false;
-        if heuristic == Heuristic::Enumeration {
-            let combinations = predicted_combinations(&lists);
-            if self.budget.should_degrade(combinations) {
-                effective = Heuristic::Iterative;
-                degraded = true;
-            }
-        }
-        let start = Instant::now();
-        let result: HeuristicResult = match effective {
-            Heuristic::Enumeration => {
-                heuristics::enumeration::run(&ctx, &lists, self.prune, self.keep_all, &timer)?
-            }
-            Heuristic::Iterative => heuristics::iterative::run(
-                &ctx,
-                &lists,
-                self.clocks.main_cycle(),
-                self.keep_all,
-                &timer,
-            )?,
-        };
-        let elapsed = start.elapsed();
-        let completion = if result.completion.is_truncated() {
-            result.completion
-        } else if degraded {
-            Completion::DegradedToIterative
-        } else {
-            Completion::Complete
-        };
-        Ok(SearchOutcome {
-            heuristic: effective,
-            feasible: result.feasible,
-            trials: result.trials,
-            feasible_trials: result.feasible_trials,
-            prediction_stats: stats,
-            elapsed,
-            points: result.points,
-            completion,
-            degraded,
-        })
-    }
-}
-
-/// The lists/statistics gathered before a deadline trip, plus the trip
-/// status (`None` when the sweep finished).
-type PartialPredictions =
-    (Vec<Vec<PredictedDesign>>, Vec<PredictionStats>, Option<Completion>);
-
-/// Heuristic E's search-space size: the product of surviving per-partition
-/// prediction counts, saturating at `u128::MAX`.
-fn predicted_combinations(lists: &[Vec<PredictedDesign>]) -> u128 {
-    lists
-        .iter()
-        .try_fold(1u128, |acc, list| acc.checked_mul(list.len() as u128))
-        .unwrap_or(u128::MAX)
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
+        engine::explore(self, heuristic)
     }
 }
 
@@ -510,11 +526,7 @@ mod tests {
         let e = session(1).explore(Heuristic::Enumeration).unwrap();
         let i = session(1).explore(Heuristic::Iterative).unwrap();
         let best = |o: &SearchOutcome| {
-            o.feasible
-                .iter()
-                .map(|f| f.system.initiation_interval.value())
-                .min()
-                .unwrap()
+            o.feasible.iter().map(|f| f.system.initiation_interval.value()).min().unwrap()
         };
         assert_eq!(best(&e), best(&i));
     }
@@ -549,11 +561,52 @@ mod tests {
     #[test]
     fn what_if_constraint_change_applies() {
         let s = session(1);
-        let tightened = s
-            .clone()
-            .with_constraints(Constraints::new(Nanos::new(300.0), Nanos::new(300.0)));
+        let tightened =
+            s.clone().with_constraints(Constraints::new(Nanos::new(300.0), Nanos::new(300.0)));
         let loose = s.explore(Heuristic::Iterative).unwrap();
         let tight = tightened.explore(Heuristic::Iterative).unwrap();
         assert!(tight.feasible.len() <= loose.feasible.len());
+    }
+
+    #[test]
+    fn selected_designs_resolve_selection_indices() {
+        let outcome = session(2).explore(Heuristic::Enumeration).unwrap();
+        let best = outcome.feasible.first().expect("a feasible implementation");
+        let designs = outcome.selected_designs(best);
+        assert_eq!(designs.len(), 2);
+    }
+
+    #[test]
+    fn explore_populates_trace_and_cache_stats() {
+        let outcome = session(2).explore(Heuristic::Enumeration).unwrap();
+        assert_eq!(outcome.trace.jobs, 1);
+        assert_eq!(outcome.trace.predictor_calls, 2);
+        assert_eq!(outcome.cache.misses, 2);
+        assert_eq!(outcome.cache.entries, 2);
+        assert!(outcome.trace.evaluations > 0);
+        assert!(outcome.trace.predict_ns > 0);
+    }
+
+    #[test]
+    fn second_explore_is_served_from_the_cache() {
+        let s = session(2);
+        let first = s.explore(Heuristic::Iterative).unwrap();
+        assert_eq!(first.trace.cache_hits, 0);
+        let second = s.explore(Heuristic::Iterative).unwrap();
+        assert_eq!(second.trace.predictor_calls, 0);
+        assert_eq!(second.trace.cache_hits, 2);
+        assert_eq!(first.digest(), second.digest());
+    }
+
+    #[test]
+    fn digest_ignores_timing_but_not_results() {
+        let a = session(1).explore(Heuristic::Enumeration).unwrap();
+        let b = session(1).explore(Heuristic::Enumeration).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let c = session(1)
+            .with_constraints(Constraints::new(Nanos::new(3_000.0), Nanos::new(3_000.0)))
+            .explore(Heuristic::Enumeration)
+            .unwrap();
+        assert_ne!(a.digest(), c.digest());
     }
 }

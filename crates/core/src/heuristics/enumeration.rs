@@ -6,13 +6,22 @@
 //! each combination is upper bounded and set by the slowest partition
 //! implementation in the combination" (paper §2.4).
 
-use chop_bad::PredictedDesign;
-use chop_stat::units::Cycles;
+use std::sync::Arc;
 
-use crate::budget::BudgetTimer;
+use chop_bad::PredictedDesign;
+
+use crate::budget::{BudgetTimer, Completion};
+use crate::engine::trace::TraceRecorder;
 use crate::error::ChopError;
-use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
+use crate::heuristics::{
+    finalize, Candidate, DesignPoint, FeasibleImplementation, HeuristicResult, ScoreBatch,
+};
 use crate::integration::IntegrationContext;
+
+/// Candidates generated per scoring batch. Deliberately independent of the
+/// worker count so that candidate/trial accounting — and therefore any
+/// count-capped truncation point — is identical for every `--jobs` value.
+const BLOCK: usize = 128;
 
 /// Runs the enumeration heuristic.
 ///
@@ -23,9 +32,12 @@ use crate::integration::IntegrationContext;
 /// With `keep_all` on, every examined point is recorded for Figure-7-style
 /// design-space dumps.
 ///
-/// The `timer` is consulted before every combination; a tripped budget
-/// stops the odometer and returns the partial result tagged with the
-/// truncation status.
+/// The odometer walk proceeds in three repeated stages: generate a block
+/// of candidates, hand the survivors of the cheap area pre-check to the
+/// `score` batch evaluator (the engine parallelizes this), then fold the
+/// results back in canonical order — consulting the `timer` before every
+/// combination exactly as the original serial loop did, so results and
+/// budget accounting are independent of the scorer's worker count.
 ///
 /// # Errors
 ///
@@ -33,95 +45,122 @@ use crate::integration::IntegrationContext;
 /// failures; infeasible combinations are recorded, not errors.
 pub fn run(
     ctx: &IntegrationContext<'_>,
-    designs: &[Vec<PredictedDesign>],
+    designs: &[Arc<[PredictedDesign]>],
     prune: bool,
     keep_all: bool,
     timer: &BudgetTimer,
+    score: &dyn ScoreBatch,
+    trace: &TraceRecorder,
 ) -> Result<HeuristicResult, ChopError> {
     let mut result = HeuristicResult::default();
-    if designs.iter().any(Vec::is_empty) {
+    if designs.iter().any(|list| list.is_empty()) {
         return Ok(result);
     }
     let min_transfer_ii = ctx.min_transfer_ii().value();
     let mut index = vec![0usize; designs.len()];
-    loop {
-        if let Some(status) = timer.check(result.trials, result.retained_points()) {
-            result.completion = status;
-            result.retain_non_inferior();
-            return Ok(result);
+    let mut exhausted = false;
+    while !exhausted {
+        // Stage A: generate a block of candidates (pure odometer walk,
+        // with the cheap level-2 area pre-check applied eagerly).
+        let mut block: Vec<(Candidate, bool)> = Vec::with_capacity(BLOCK);
+        while block.len() < BLOCK && !exhausted {
+            let indices: Vec<u32> = index.iter().map(|&i| i as u32).collect();
+            let ii = index
+                .iter()
+                .zip(designs)
+                .map(|(&i, list)| list[i].initiation_interval().value())
+                .max()
+                .expect("non-empty selection")
+                .max(min_transfer_ii);
+            let rejected = prune && quick_area_reject(ctx, designs, &index);
+            block.push((Candidate { indices, ii }, rejected));
+            exhausted = !advance(&mut index, designs);
         }
-        let selection: Vec<&PredictedDesign> =
-            index.iter().zip(designs).map(|(&i, list)| &list[i]).collect();
-        result.trials += 1;
-
-        let ii = selection
-            .iter()
-            .map(|d| d.initiation_interval().value())
-            .max()
-            .expect("non-empty selection")
-            .max(min_transfer_ii);
-
-        let quick_reject = prune && quick_area_reject(ctx, &selection);
-        if !quick_reject {
-            let system = ctx.evaluate(&selection, Cycles::new(ii))?;
+        // Stage B: score the surviving candidates (in parallel when the
+        // scorer has workers).
+        let to_score: Vec<Candidate> =
+            block.iter().filter(|(_, rejected)| !rejected).map(|(c, _)| c.clone()).collect();
+        let mut slots = score.score(&to_score).into_iter();
+        // Stage C: fold in canonical order, replaying the serial budget
+        // semantics exactly.
+        for (candidate, rejected) in block {
+            if let Some(status) = timer.check(result.trials, result.retained_points()) {
+                result.completion = status;
+                finalize(&mut result, trace);
+                return Ok(result);
+            }
+            result.trials += 1;
+            if rejected {
+                trace.count_quick_reject();
+                continue;
+            }
+            let system = match slots.next().flatten() {
+                Some(Ok(system)) => system,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    // The scorer abandoned the rest of the batch at the
+                    // wall-clock deadline.
+                    result.completion = Completion::TruncatedDeadline;
+                    finalize(&mut result, trace);
+                    return Ok(result);
+                }
+            };
             if keep_all {
                 result.points.push(DesignPoint::from_system(&system));
             }
             if system.verdict.feasible {
                 result.feasible_trials += 1;
-                result.feasible.push(FeasibleImplementation {
-                    selection: selection.iter().map(|d| (*d).clone()).collect(),
-                    system,
-                });
+                result
+                    .feasible
+                    .push(FeasibleImplementation { selection: candidate.indices, system });
             }
         }
+    }
+    finalize(&mut result, trace);
+    Ok(result)
+}
 
-        // Odometer increment.
-        let mut pos = designs.len();
-        loop {
-            if pos == 0 {
-                result.retain_non_inferior();
-                return Ok(result);
-            }
-            pos -= 1;
-            index[pos] += 1;
-            if index[pos] < designs[pos].len() {
-                break;
-            }
-            index[pos] = 0;
+/// Odometer increment from the rightmost position; returns `false` when
+/// the combination space is exhausted.
+fn advance(index: &mut [usize], designs: &[Arc<[PredictedDesign]>]) -> bool {
+    let mut pos = index.len();
+    loop {
+        if pos == 0 {
+            return false;
         }
+        pos -= 1;
+        index[pos] += 1;
+        if index[pos] < designs[pos].len() {
+            return true;
+        }
+        index[pos] = 0;
     }
 }
 
 /// Cheap level-2 pruning: reject when even the optimistic (lower-bound)
 /// partition areas overflow some chip's usable area.
-fn quick_area_reject(ctx: &IntegrationContext<'_>, selection: &[&PredictedDesign]) -> bool {
+fn quick_area_reject(
+    ctx: &IntegrationContext<'_>,
+    designs: &[Arc<[PredictedDesign]>],
+    index: &[usize],
+) -> bool {
     let partitioning_chips = ctx.budgets().len();
     let mut lo = vec![0.0f64; partitioning_chips];
-    for (p, d) in selection.iter().enumerate() {
+    for (p, (&i, list)) in index.iter().zip(designs).enumerate() {
         let chip = ctx_chip_of(ctx, p);
-        lo[chip] += d.area().lo();
+        lo[chip] += list[i].area().lo();
     }
-    ctx_chips_usable(ctx)
-        .iter()
-        .zip(&lo)
-        .any(|(usable, used)| used > usable)
+    ctx_chips_usable(ctx).iter().zip(&lo).any(|(usable, used)| used > usable)
 }
 
 // Small accessors over the context's partitioning (kept here to avoid
 // widening IntegrationContext's public surface).
 fn ctx_chip_of(ctx: &IntegrationContext<'_>, partition: usize) -> usize {
-    ctx.partitioning()
-        .chip_of(crate::spec::PartitionId::new(partition as u32))
-        .index()
+    ctx.partitioning().chip_of(crate::spec::PartitionId::new(partition as u32)).index()
 }
 
 fn ctx_chips_usable(ctx: &IntegrationContext<'_>) -> Vec<f64> {
-    ctx.partitioning()
-        .chips()
-        .iter()
-        .map(|(_, pkg)| pkg.usable_area().value())
-        .collect()
+    ctx.partitioning().chips().iter().map(|(_, pkg)| pkg.usable_area().value()).collect()
 }
 
 #[cfg(test)]
@@ -136,10 +175,12 @@ mod tests {
     use chop_stat::units::Nanos;
 
     use super::*;
+    use crate::engine::scorer::BatchScorer;
+    use crate::engine::trace::TraceRecorder;
     use crate::feasibility::{Constraints, FeasibilityCriteria};
     use crate::spec::{Partitioning, PartitioningBuilder};
 
-    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Vec<PredictedDesign>>) {
+    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Arc<[PredictedDesign]>>) {
         let dfg = benchmarks::ar_lattice_filter();
         let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
         let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
@@ -156,29 +197,49 @@ mod tests {
             Nanos::new(30_000.0),
             Nanos::new(30_000.0),
         );
-        let designs: Vec<Vec<PredictedDesign>> = p
+        let designs: Vec<Arc<[PredictedDesign]>> = p
             .partition_ids()
             .map(|pid| {
                 let (kept, _) =
                     prune(predictor.predict(&p.partition_dfg(pid)).unwrap(), &env, &clocks);
-                kept
+                kept.into()
             })
             .collect();
         (p, lib, clocks, designs)
     }
 
-    #[test]
-    fn enumeration_finds_feasible_single_chip() {
-        let (p, lib, clocks, designs) = setup(1);
-        let ctx = IntegrationContext::new(
-            &p,
-            &lib,
+    fn make_ctx<'a>(
+        p: &'a Partitioning,
+        lib: &'a Library,
+        clocks: ClockConfig,
+    ) -> IntegrationContext<'a> {
+        IntegrationContext::new(
+            p,
+            lib,
             clocks,
             PredictorParams::default(),
             FeasibilityCriteria::paper_defaults(),
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
-        );
-        let r = run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
+        )
+    }
+
+    fn run_serial(
+        ctx: &IntegrationContext<'_>,
+        designs: &[Arc<[PredictedDesign]>],
+        prune: bool,
+        keep_all: bool,
+    ) -> HeuristicResult {
+        let timer = BudgetTimer::unlimited();
+        let trace = TraceRecorder::new(1);
+        let scorer = BatchScorer { ctx, lists: designs, jobs: 1, timer: &timer, trace: &trace };
+        run(ctx, designs, prune, keep_all, &timer, &scorer, &trace).unwrap()
+    }
+
+    #[test]
+    fn enumeration_finds_feasible_single_chip() {
+        let (p, lib, clocks, designs) = setup(1);
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run_serial(&ctx, &designs, true, false);
         assert!(r.trials >= designs[0].len());
         assert!(r.feasible_trials >= 1, "Table 4 row 1: a feasible trial exists");
         assert!(!r.feasible.is_empty());
@@ -187,47 +248,40 @@ mod tests {
     #[test]
     fn enumeration_trials_equal_product_of_list_sizes() {
         let (p, lib, clocks, designs) = setup(2);
-        let ctx = IntegrationContext::new(
-            &p,
-            &lib,
-            clocks,
-            PredictorParams::default(),
-            FeasibilityCriteria::paper_defaults(),
-            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
-        );
-        let r = run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
-        let product: usize = designs.iter().map(Vec::len).product();
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run_serial(&ctx, &designs, true, false);
+        let product: usize = designs.iter().map(|l| l.len()).product();
         assert_eq!(r.trials, product);
     }
 
     #[test]
     fn keep_all_records_every_evaluated_point() {
         let (p, lib, clocks, designs) = setup(1);
-        let ctx = IntegrationContext::new(
-            &p,
-            &lib,
-            clocks,
-            PredictorParams::default(),
-            FeasibilityCriteria::paper_defaults(),
-            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
-        );
-        let r = run(&ctx, &designs, false, true, &BudgetTimer::unlimited()).unwrap();
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run_serial(&ctx, &designs, false, true);
         assert_eq!(r.points.len(), r.trials);
     }
 
     #[test]
     fn empty_design_list_is_graceful() {
         let (p, lib, clocks, _) = setup(1);
-        let ctx = IntegrationContext::new(
-            &p,
-            &lib,
-            clocks,
-            PredictorParams::default(),
-            FeasibilityCriteria::paper_defaults(),
-            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
-        );
-        let r = run(&ctx, &[Vec::new()], true, false, &BudgetTimer::unlimited()).unwrap();
+        let ctx = make_ctx(&p, &lib, clocks);
+        let empty: Vec<Arc<[PredictedDesign]>> = vec![Vec::new().into()];
+        let r = run_serial(&ctx, &empty, true, false);
         assert_eq!(r.trials, 0);
         assert!(r.feasible.is_empty());
+    }
+
+    #[test]
+    fn selection_indices_resolve_into_design_lists() {
+        let (p, lib, clocks, designs) = setup(2);
+        let ctx = make_ctx(&p, &lib, clocks);
+        let r = run_serial(&ctx, &designs, true, false);
+        for f in &r.feasible {
+            assert_eq!(f.selection.len(), designs.len());
+            for (&i, list) in f.selection.iter().zip(&designs) {
+                assert!((i as usize) < list.len());
+            }
+        }
     }
 }

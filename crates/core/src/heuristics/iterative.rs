@@ -7,25 +7,35 @@
 //! delay ("this selection generally favors the serialization of
 //! off-critical-path partitions").
 
-use chop_bad::{DesignStyle, PredictedDesign};
-use chop_stat::units::{Cycles, Nanos};
+use std::sync::Arc;
 
-use crate::budget::BudgetTimer;
+use chop_bad::{DesignStyle, PredictedDesign};
+use chop_stat::units::Nanos;
+
+use crate::budget::{BudgetTimer, Completion};
+use crate::engine::trace::TraceRecorder;
 use crate::error::ChopError;
 use crate::feasibility::Violation;
-use crate::heuristics::{DesignPoint, FeasibleImplementation, HeuristicResult};
+use crate::heuristics::{
+    finalize, Candidate, DesignPoint, FeasibleImplementation, HeuristicResult, ScoreBatch,
+};
 use crate::integration::IntegrationContext;
 
 /// Runs the iterative heuristic.
 ///
 /// `designs` holds the (already level-1-pruned) prediction list of each
 /// partition; each list is re-sorted here by (initiation interval, latency)
-/// as Fig. 5 requires. Every system-integration estimate counts as one
-/// trial. With `keep_all` on, every estimate is recorded as a design point.
+/// as Fig. 5 requires, with the original index riding along so selections
+/// are reported as indices into the engine's (unsorted) prediction lists.
+/// Every system-integration estimate counts as one trial. With `keep_all`
+/// on, every estimate is recorded as a design point.
 ///
-/// The `timer` is consulted before every integration estimate; a tripped
-/// budget abandons the sweep and returns the partial result tagged with
-/// the truncation status.
+/// Each round's tentative serializations are handed to the `score` batch
+/// evaluator in one canonical-order batch (the engine parallelizes this);
+/// the fold that follows consults the `timer` before every estimate and
+/// picks the minimum-delay serialization with first-wins tie-breaking,
+/// exactly as the original serial loop did — results are independent of
+/// the scorer's worker count.
 ///
 /// # Errors
 ///
@@ -33,21 +43,24 @@ use crate::integration::IntegrationContext;
 /// failures.
 pub fn run(
     ctx: &IntegrationContext<'_>,
-    designs: &[Vec<PredictedDesign>],
+    designs: &[Arc<[PredictedDesign]>],
     base_clock: Nanos,
     keep_all: bool,
     timer: &BudgetTimer,
+    score: &dyn ScoreBatch,
+    trace: &TraceRecorder,
 ) -> Result<HeuristicResult, ChopError> {
     let mut result = HeuristicResult::default();
-    if designs.iter().any(Vec::is_empty) {
+    if designs.iter().any(|list| list.is_empty()) {
         return Ok(result);
     }
     // Sorted prediction lists: increasing II, then increasing latency.
-    let sorted: Vec<Vec<&PredictedDesign>> = designs
+    let sorted: Vec<Vec<(u32, &PredictedDesign)>> = designs
         .iter()
         .map(|list| {
-            let mut v: Vec<&PredictedDesign> = list.iter().collect();
-            v.sort_by_key(|d| (d.initiation_interval(), d.latency()));
+            let mut v: Vec<(u32, &PredictedDesign)> =
+                list.iter().enumerate().map(|(i, d)| (i as u32, d)).collect();
+            v.sort_by_key(|(_, d)| (d.initiation_interval(), d.latency()));
             v
         })
         .collect();
@@ -74,22 +87,33 @@ pub fn run(
         for _round in 0..budget {
             if let Some(status) = timer.check(result.trials, result.retained_points()) {
                 result.completion = status;
-                result.retain_non_inferior();
+                finalize(&mut result, trace);
                 return Ok(result);
             }
-            let selection: Vec<&PredictedDesign> =
-                w.iter().zip(&sorted).map(|(&i, list)| list[i]).collect();
+            let current = candidate(&w, &sorted, l);
             result.trials += 1;
-            let system = ctx.evaluate(&selection, Cycles::new(l))?;
+            let system = match score
+                .score(std::slice::from_ref(&current))
+                .into_iter()
+                .next()
+                .flatten()
+            {
+                Some(Ok(system)) => system,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    result.completion = Completion::TruncatedDeadline;
+                    finalize(&mut result, trace);
+                    return Ok(result);
+                }
+            };
             if keep_all {
                 result.points.push(DesignPoint::from_system(&system));
             }
             if system.verdict.feasible {
                 result.feasible_trials += 1;
-                result.feasible.push(FeasibleImplementation {
-                    selection: selection.iter().map(|d| (*d).clone()).collect(),
-                    system,
-                });
+                result
+                    .feasible
+                    .push(FeasibleImplementation { selection: current.indices, system });
                 break; // Q ← nil: nothing left to serialize at this l.
             }
             // Q: partitions on chips whose AREA constraint was violated.
@@ -117,21 +141,35 @@ pub fn run(
             if q.is_empty() {
                 break; // no partition can serialize further
             }
-            // Tentatively serialize each candidate; keep the one with the
-            // minimum expected system delay.
+            // Tentatively serialize each candidate — scored as one batch —
+            // and keep the one with the minimum expected system delay
+            // (first wins on ties, as in the serial loop).
+            let tentative: Vec<Candidate> = q
+                .iter()
+                .map(|&p| {
+                    let mut trial_w = w.clone();
+                    trial_w[p] += 1;
+                    candidate(&trial_w, &sorted, l)
+                })
+                .collect();
+            let mut slots = score.score(&tentative).into_iter();
             let mut best: Option<(usize, f64)> = None;
             for &p in &q {
                 if let Some(status) = timer.check(result.trials, result.retained_points()) {
                     result.completion = status;
-                    result.retain_non_inferior();
+                    finalize(&mut result, trace);
                     return Ok(result);
                 }
-                let mut trial_w = w.clone();
-                trial_w[p] += 1;
-                let trial_sel: Vec<&PredictedDesign> =
-                    trial_w.iter().zip(&sorted).map(|(&i, list)| list[i]).collect();
                 result.trials += 1;
-                let trial_system = ctx.evaluate(&trial_sel, Cycles::new(l))?;
+                let trial_system = match slots.next().flatten() {
+                    Some(Ok(system)) => system,
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        result.completion = Completion::TruncatedDeadline;
+                        finalize(&mut result, trace);
+                        return Ok(result);
+                    }
+                };
                 if keep_all {
                     result.points.push(DesignPoint::from_system(&trial_system));
                 }
@@ -144,14 +182,19 @@ pub fn run(
             w[chosen] += 1;
         }
     }
-    result.retain_non_inferior();
+    finalize(&mut result, trace);
     Ok(result)
+}
+
+/// Builds the candidate for the current serialization state `w`.
+fn candidate(w: &[usize], sorted: &[Vec<(u32, &PredictedDesign)>], ii: u64) -> Candidate {
+    Candidate { indices: w.iter().zip(sorted).map(|(&i, list)| list[i].0).collect(), ii }
 }
 
 /// Fig. 5's initialization: the first (fastest) implementation advanced
 /// "until L_i ≥ l or W_i is a non-pipelined implementation with L_i ≤ l".
-fn initial_index(list: &[&PredictedDesign], l: u64) -> Option<usize> {
-    list.iter().position(|d| {
+fn initial_index(list: &[(u32, &PredictedDesign)], l: u64) -> Option<usize> {
+    list.iter().position(|(_, d)| {
         let ii = d.initiation_interval().value();
         ii >= l || (d.style() == DesignStyle::NonPipelined && ii <= l)
     })
@@ -162,7 +205,7 @@ fn initial_index(list: &[&PredictedDesign], l: u64) -> Option<usize> {
 /// constraint at the base clock.
 fn candidate_intervals(
     ctx: &IntegrationContext<'_>,
-    sorted: &[Vec<&PredictedDesign>],
+    sorted: &[Vec<(u32, &PredictedDesign)>],
     base_clock: Nanos,
 ) -> Vec<u64> {
     let min_ii = ctx.min_transfer_ii().value();
@@ -170,7 +213,7 @@ fn candidate_intervals(
     let mut candidates: Vec<u64> = sorted
         .iter()
         .flatten()
-        .map(|d| d.initiation_interval().value().max(min_ii))
+        .map(|(_, d)| d.initiation_interval().value().max(min_ii))
         .filter(|&l| l <= max_ii)
         .collect();
     candidates.sort_unstable();
@@ -189,10 +232,11 @@ mod tests {
     use chop_library::{ChipSet, Library};
 
     use super::*;
+    use crate::engine::scorer::BatchScorer;
     use crate::feasibility::{Constraints, FeasibilityCriteria};
     use crate::spec::{Partitioning, PartitioningBuilder};
 
-    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Vec<PredictedDesign>>) {
+    fn setup(k: usize) -> (Partitioning, Library, ClockConfig, Vec<Arc<[PredictedDesign]>>) {
         let dfg = benchmarks::ar_lattice_filter();
         let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
         let p = PartitioningBuilder::new(dfg, chips).split_horizontal(k).build().unwrap();
@@ -209,12 +253,12 @@ mod tests {
             Nanos::new(30_000.0),
             Nanos::new(30_000.0),
         );
-        let designs: Vec<Vec<PredictedDesign>> = p
+        let designs: Vec<Arc<[PredictedDesign]>> = p
             .partition_ids()
             .map(|pid| {
                 let (kept, _) =
                     prune(predictor.predict(&p.partition_dfg(pid)).unwrap(), &env, &clocks);
-                kept
+                kept.into()
             })
             .collect();
         (p, lib, clocks, designs)
@@ -235,11 +279,22 @@ mod tests {
         )
     }
 
+    fn run_serial(
+        ctx: &IntegrationContext<'_>,
+        designs: &[Arc<[PredictedDesign]>],
+        keep_all: bool,
+    ) -> HeuristicResult {
+        let timer = BudgetTimer::unlimited();
+        let trace = TraceRecorder::new(1);
+        let scorer = BatchScorer { ctx, lists: designs, jobs: 1, timer: &timer, trace: &trace };
+        run(ctx, designs, Nanos::new(300.0), keep_all, &timer, &scorer, &trace).unwrap()
+    }
+
     #[test]
     fn iterative_finds_feasible_single_chip() {
         let (p, lib, clocks, designs) = setup(1);
         let ctx = make_ctx(&p, &lib, clocks);
-        let r = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
+        let r = run_serial(&ctx, &designs, false);
         assert!(r.feasible_trials >= 1);
         assert!(!r.feasible.is_empty());
     }
@@ -248,23 +303,24 @@ mod tests {
     fn iterative_uses_fewer_trials_than_enumeration_on_two_partitions() {
         let (p, lib, clocks, designs) = setup(2);
         let ctx = make_ctx(&p, &lib, clocks);
-        let it = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
-        let en =
-            crate::heuristics::enumeration::run(&ctx, &designs, true, false, &BudgetTimer::unlimited()).unwrap();
+        let it = run_serial(&ctx, &designs, false);
+        let timer = BudgetTimer::unlimited();
+        let trace = TraceRecorder::new(1);
+        let scorer =
+            BatchScorer { ctx: &ctx, lists: &designs, jobs: 1, timer: &timer, trace: &trace };
+        let en = crate::heuristics::enumeration::run(
+            &ctx, &designs, true, false, &timer, &scorer, &trace,
+        )
+        .unwrap();
         // The paper's headline contrast (Table 4: 156 vs 9 trials).
-        assert!(
-            it.trials < en.trials,
-            "iterative {} !< enumeration {}",
-            it.trials,
-            en.trials
-        );
+        assert!(it.trials < en.trials, "iterative {} !< enumeration {}", it.trials, en.trials);
     }
 
     #[test]
     fn feasible_results_are_actually_feasible() {
         let (p, lib, clocks, designs) = setup(2);
         let ctx = make_ctx(&p, &lib, clocks);
-        let r = run(&ctx, &designs, Nanos::new(300.0), false, &BudgetTimer::unlimited()).unwrap();
+        let r = run_serial(&ctx, &designs, false);
         for f in &r.feasible {
             assert!(f.system.verdict.feasible);
             assert_eq!(f.selection.len(), 2);
@@ -274,10 +330,11 @@ mod tests {
     #[test]
     fn initial_index_respects_fig5_rule() {
         let (_, _, _, designs) = setup(1);
-        let mut list: Vec<&PredictedDesign> = designs[0].iter().collect();
-        list.sort_by_key(|d| (d.initiation_interval(), d.latency()));
+        let mut list: Vec<(u32, &PredictedDesign)> =
+            designs[0].iter().enumerate().map(|(i, d)| (i as u32, d)).collect();
+        list.sort_by_key(|(_, d)| (d.initiation_interval(), d.latency()));
         if let Some(i) = initial_index(&list, 60) {
-            let d = list[i];
+            let (_, d) = list[i];
             let ii = d.initiation_interval().value();
             assert!(ii >= 60 || (d.style() == DesignStyle::NonPipelined && ii <= 60));
         }

@@ -9,20 +9,51 @@
 pub mod enumeration;
 pub mod iterative;
 
-use chop_bad::PredictedDesign;
 use serde::{Deserialize, Serialize};
 
 use crate::budget::Completion;
+use crate::engine::trace::TraceRecorder;
+use crate::error::ChopError;
 use crate::integration::SystemPrediction;
 
-/// One feasible global implementation: the chosen design per partition and
-/// its integrated system prediction.
+/// One feasible global implementation: the chosen design per partition
+/// (as an index into the outcome's per-partition prediction lists) and its
+/// integrated system prediction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeasibleImplementation {
-    /// Chosen predicted design, one per partition (partition order).
-    pub selection: Vec<PredictedDesign>,
+    /// Chosen design index per partition, in partition order, indexing
+    /// into [`SearchOutcome::predictions`](crate::SearchOutcome::predictions).
+    /// Resolve with [`SearchOutcome::selected_designs`](crate::SearchOutcome::selected_designs).
+    pub selection: Vec<u32>,
     /// The integrated prediction (feasible verdict).
     pub system: SystemPrediction,
+}
+
+/// One candidate combination handed to a [`ScoreBatch`] scorer: the chosen
+/// design index per partition plus the initiation interval (main-clock
+/// cycles) the combination is evaluated at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Chosen design index per partition, in partition order.
+    pub indices: Vec<u32>,
+    /// Initiation interval (cycles) to evaluate the combination at.
+    pub ii: u64,
+}
+
+/// One scored slot: `None` when the scorer abandoned the candidate because
+/// the wall-clock deadline passed before it was reached.
+pub type ScoreSlot = Option<Result<SystemPrediction, ChopError>>;
+
+/// Batch evaluator for candidate combinations.
+///
+/// The heuristics stay single-threaded and deterministic: they generate
+/// candidates in canonical order, hand them over in batches, and fold the
+/// returned slots back in the same order. Implementations (the engine's
+/// parallel scorer) may evaluate a batch's candidates concurrently but
+/// must return exactly one slot per candidate, in candidate order.
+pub trait ScoreBatch: Sync {
+    /// Scores every candidate of `batch`, preserving order.
+    fn score(&self, batch: &[Candidate]) -> Vec<ScoreSlot>;
 }
 
 /// One explored design point, recorded for the paper's Figures 7/8 when
@@ -110,6 +141,14 @@ impl HeuristicResult {
         });
         self.feasible = kept;
     }
+}
+
+/// Applies the non-inferiority filter, timing it as the trace's
+/// feasibility span. Every heuristic exit path funnels through here.
+pub(crate) fn finalize(result: &mut HeuristicResult, trace: &TraceRecorder) {
+    let started = std::time::Instant::now();
+    result.retain_non_inferior();
+    trace.add_feasibility(started.elapsed());
 }
 
 #[cfg(test)]

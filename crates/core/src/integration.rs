@@ -20,7 +20,8 @@ use crate::feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
 use crate::spec::{MemoryAssignment, Partitioning};
 use crate::testability::TestabilityOverhead;
 use crate::transfer::{
-    chip_of_endpoint, is_off_chip, pin_budgets, transfer_specs, Endpoint, PinBudget, TransferSpec,
+    chip_of_endpoint, is_off_chip, pin_budgets, transfer_specs, Endpoint, PinBudget,
+    TransferSpec,
 };
 
 /// Predicted characteristics of one data-transfer module.
@@ -241,11 +242,8 @@ impl<'a> IntegrationContext<'a> {
             if let Endpoint::Memory(m) = e {
                 let mem = &self.partitioning.memories()[m.index()];
                 let accesses = t.bits.transfers_at_width(mem.bandwidth_per_access());
-                let access_cycles = self
-                    .clocks
-                    .transfer_cycle()
-                    .cycles_to_cover(mem.access_time())
-                    .max(1);
+                let access_cycles =
+                    self.clocks.transfer_cycle().cycles_to_cover(mem.access_time()).max(1);
                 xfer_cycles = xfer_cycles.max(accesses * access_cycles);
             }
         }
@@ -385,11 +383,7 @@ impl<'a> IntegrationContext<'a> {
             .partitioning
             .partition_ids()
             .map(|p| {
-                graph.add_task(
-                    format!("{p}"),
-                    selection[p.index()].latency().value(),
-                    vec![],
-                )
+                graph.add_task(format!("{p}"), selection[p.index()].latency().value(), vec![])
             })
             .collect();
         let mut xfer_tasks: Vec<TaskId> = Vec::with_capacity(self.transfers.len());
@@ -440,7 +434,8 @@ impl<'a> IntegrationContext<'a> {
                             || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
                 })
                 .count() as u64;
-            let levels = if n_transfers <= 1 { 0 } else { 64 - (n_transfers - 1).leading_zeros() };
+            let levels =
+                if n_transfers <= 1 { 0 } else { 64 - (n_transfers - 1).leading_zeros() };
             let mux_delay = mux.map_or(4.0, |m| m.delay().value());
             let mut chip_overhead = Estimate::with_spread(
                 mux_delay * f64::from(levels) + 2.0, // + pad-side wiring
@@ -473,8 +468,7 @@ impl<'a> IntegrationContext<'a> {
                     .ceil() as u64
             };
             let states = wait.value() + x.value();
-            let controller =
-                PlaSpec::for_fsm(states.max(1), w.div_ceil(8).max(1) + 2, 2);
+            let controller = PlaSpec::for_fsm(states.max(1), w.div_ceil(8).max(1) + 2, 2);
             transfer_modules.push(TransferModulePrediction {
                 spec: *t,
                 pins: *w,
@@ -512,10 +506,9 @@ impl<'a> IntegrationContext<'a> {
             // (wider buses steer more bits per cycle, narrower buses steer
             // the same bits over more cycles).
             let steer = mux_area * t.bits.value() as f64;
-            let buffer = register
-                .map_or(31.0 * tm.buffer_bits.value() as f64, |r| {
-                    r.area_at_width(tm.buffer_bits).value()
-                });
+            let buffer = register.map_or(31.0 * tm.buffer_bits.value() as f64, |r| {
+                r.area_at_width(tm.buffer_bits).value()
+            });
             // Input-side module holds the buffer; output side just the PLA
             // and steering.
             if let Some(c) = chip_of_endpoint(self.partitioning, t.dst) {
@@ -606,9 +599,8 @@ impl<'a> IntegrationContext<'a> {
         violations: Vec<Violation>,
     ) -> SystemPrediction {
         let clock = Estimate::exact(self.clocks.main_cycle().value());
-        let delay = Cycles::new(
-            selection.iter().map(|d| d.latency().value()).max().unwrap_or(1),
-        );
+        let delay =
+            Cycles::new(selection.iter().map(|d| d.latency().value()).max().unwrap_or(1));
         // Partition areas only (no transfer modules were sized): keeps
         // keep-all design-space dumps meaningful for rejected points.
         let mut chip_areas = vec![Estimate::zero(); self.partitioning.chips().len()];
@@ -713,11 +705,7 @@ mod tests {
         let c = ctx(&p, &lib, clocks);
         let sel: Vec<&PredictedDesign> = designs
             .iter()
-            .map(|list| {
-                list.iter()
-                    .min_by_key(|d| d.initiation_interval().value())
-                    .unwrap()
-            })
+            .map(|list| list.iter().min_by_key(|d| d.initiation_interval().value()).unwrap())
             .collect();
         let ii_needed = sel
             .iter()
@@ -732,8 +720,9 @@ mod tests {
                 continue;
             }
             let d = tm.spec.bits.value() as f64;
-            let expect = (d * ((tm.wait.value() as f64 / l as f64).ceil()
-                + tm.duration.value() as f64 / l as f64))
+            let expect = (d
+                * ((tm.wait.value() as f64 / l as f64).ceil()
+                    + tm.duration.value() as f64 / l as f64))
                 .ceil() as u64;
             assert_eq!(tm.buffer_bits.value(), expect);
         }
@@ -743,8 +732,7 @@ mod tests {
     fn data_clash_detected_at_tiny_ii() {
         let (p, lib, clocks, designs) = setup(2, 0);
         let c = ctx(&p, &lib, clocks);
-        let sel: Vec<&PredictedDesign> =
-            designs.iter().map(|l| l.first().unwrap()).collect();
+        let sel: Vec<&PredictedDesign> = designs.iter().map(|l| l.first().unwrap()).collect();
         let s = c.evaluate(&sel, Cycles::new(1)).unwrap();
         assert!(!s.verdict.feasible);
         assert!(s
@@ -793,17 +781,14 @@ mod tests {
                 .filter(|tm| {
                     tm.pins > 0
                         && (crate::transfer::chip_of_endpoint(&p, tm.spec.src) == Some(chip)
-                            || crate::transfer::chip_of_endpoint(&p, tm.spec.dst)
-                                == Some(chip))
+                            || crate::transfer::chip_of_endpoint(&p, tm.spec.dst) == Some(chip))
                 })
                 .map(|tm| tm.duration.value() * u64::from(tm.pins))
                 .sum();
             let capacity = ii.value() * u64::from(c.budgets()[chip.index()].data);
-            let flagged = s
-                .verdict
-                .violations
-                .iter()
-                .any(|v| matches!(v, Violation::PinBandwidth { chip: ci } if *ci == chip.index()));
+            let flagged = s.verdict.violations.iter().any(
+                |v| matches!(v, Violation::PinBandwidth { chip: ci } if *ci == chip.index()),
+            );
             assert_eq!(
                 pin_time > capacity,
                 flagged,
@@ -814,11 +799,11 @@ mod tests {
 
     #[test]
     fn memory_bandwidth_violation_detected() {
+        use crate::spec::{MemoryAssignment, PartitioningBuilder};
         use chop_bad::PredictorParams;
         use chop_dfg::{DfgBuilder, MemoryRef, Operation};
         use chop_library::standard::example_off_shelf_ram;
         use chop_stat::units::Bits;
-        use crate::spec::{MemoryAssignment, PartitioningBuilder};
 
         // Heavy two-way traffic to one slow single-port memory block.
         let mut b = DfgBuilder::new();
@@ -860,7 +845,8 @@ mod tests {
             ArchitectureStyle::multi_cycle(),
             PredictorParams::default(),
         );
-        let designs = predictor.predict(&p.partition_dfg(crate::spec::PartitionId::new(0))).unwrap();
+        let designs =
+            predictor.predict(&p.partition_dfg(crate::spec::PartitionId::new(0))).unwrap();
         let c = IntegrationContext::new(
             &p,
             &lib,
@@ -871,10 +857,7 @@ mod tests {
         );
         // Evaluate at an II big enough for each single transfer but too
         // small for the block's combined read+write busy time.
-        let d = designs
-            .iter()
-            .min_by_key(|d| d.initiation_interval())
-            .expect("non-empty");
+        let d = designs.iter().min_by_key(|d| d.initiation_interval()).expect("non-empty");
         let per_transfer_max = c.min_transfer_ii().value();
         let memory_transfers = c
             .transfers()

@@ -58,6 +58,8 @@
 
 pub mod advise;
 pub mod budget;
+pub mod cache;
+pub mod engine;
 mod error;
 pub mod experiments;
 mod explorer;
@@ -73,8 +75,10 @@ pub mod testability;
 pub mod transfer;
 
 pub use budget::{BudgetTimer, Completion, SearchBudget};
+pub use cache::{CacheStats, PredictionCache};
+pub use engine::trace::ExploreTrace;
 pub use error::ChopError;
-pub use explorer::{DesignPoint, Heuristic, SearchOutcome, Session};
+pub use explorer::{DesignPoint, Heuristic, PartitionPredictions, SearchOutcome, Session};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};

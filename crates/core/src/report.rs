@@ -14,6 +14,10 @@ use crate::transfer::{transfer_specs, Endpoint};
 /// the per-partition design decisions plus the data-transfer module
 /// predictions, in the format of the paper's §3.1 walkthrough.
 ///
+/// The implementation's selection indices are resolved against `outcome`
+/// (the run that produced it) via
+/// [`SearchOutcome::selected_designs`](crate::SearchOutcome::selected_designs).
+///
 /// # Examples
 ///
 /// ```
@@ -22,13 +26,17 @@ use crate::transfer::{transfer_specs, Endpoint};
 ///
 /// let session = experiment1_session(&Exp1Config { partitions: 1, package: 1 })?;
 /// let outcome = session.explore(Heuristic::Iterative)?;
-/// let text = report::guideline(&outcome.feasible[0], session.library());
+/// let text = report::guideline(&outcome, &outcome.feasible[0], session.library());
 /// assert!(text.contains("Partition 1"));
 /// assert!(text.contains("design style"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn guideline(implementation: &FeasibleImplementation, library: &Library) -> String {
+pub fn guideline(
+    outcome: &SearchOutcome,
+    implementation: &FeasibleImplementation,
+    library: &Library,
+) -> String {
     let mut out = String::new();
     let s = &implementation.system;
     let _ = writeln!(
@@ -39,7 +47,7 @@ pub fn guideline(implementation: &FeasibleImplementation, library: &Library) -> 
         s.delay.value(),
         s.clock.likely()
     );
-    for (i, design) in implementation.selection.iter().enumerate() {
+    for (i, design) in outcome.selected_designs(implementation).iter().enumerate() {
         let p = PartitionId::new(i as u32);
         let _ = writeln!(out, "\nPartition {}:", p.index() + 1);
         out.push_str(&design.guideline(library));
@@ -140,11 +148,8 @@ pub fn task_graph_dot(partitioning: &Partitioning) -> String {
         Endpoint::Memory(m) => format!("M{}", m.index()),
     };
     for (i, t) in transfer_specs(partitioning).iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  T{i} [shape=diamond,label=\"T{i}\\n{} bits\"];",
-            t.bits.value()
-        );
+        let _ =
+            writeln!(out, "  T{i} [shape=diamond,label=\"T{i}\\n{} bits\"];", t.bits.value());
         let _ = writeln!(out, "  {} -> T{i};", name(t.src));
         let _ = writeln!(out, "  T{i} -> {};", name(t.dst));
     }
@@ -219,7 +224,7 @@ pub fn markdown(session: &Session, outcome: &SearchOutcome) -> String {
         for (i, f) in outcome.feasible.iter().enumerate() {
             let _ = writeln!(out, "\n### Design {}\n", i + 1);
             let _ = writeln!(out, "```");
-            out.push_str(&guideline(f, session.library()));
+            out.push_str(&guideline(outcome, f, session.library()));
             let _ = writeln!(out, "```");
         }
     }
@@ -250,11 +255,10 @@ mod tests {
 
     #[test]
     fn guideline_covers_all_partitions_and_transfers() {
-        let session =
-            experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
+        let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
         let outcome = session.explore(Heuristic::Iterative).unwrap();
         assert!(!outcome.feasible.is_empty());
-        let text = guideline(&outcome.feasible[0], session.library());
+        let text = guideline(&outcome, &outcome.feasible[0], session.library());
         assert!(text.contains("Partition 1"));
         assert!(text.contains("Partition 2"));
         assert!(text.contains("Data transfer modules"));
@@ -262,8 +266,7 @@ mod tests {
 
     #[test]
     fn task_graph_covers_every_transfer() {
-        let session =
-            experiment1_session(&Exp1Config { partitions: 3, package: 1 }).unwrap();
+        let session = experiment1_session(&Exp1Config { partitions: 3, package: 1 }).unwrap();
         let dot = task_graph_dot(session.partitioning());
         let transfers = crate::transfer::transfer_specs(session.partitioning());
         for i in 0..transfers.len() {
@@ -275,8 +278,7 @@ mod tests {
 
     #[test]
     fn rows_render() {
-        let session =
-            experiment1_session(&Exp1Config { partitions: 1, package: 1 }).unwrap();
+        let session = experiment1_session(&Exp1Config { partitions: 1, package: 1 }).unwrap();
         let outcome = session.explore(Heuristic::Enumeration).unwrap();
         let rows = results_rows(1, 2, &outcome);
         assert!(rows.len() >= 2);

@@ -94,10 +94,9 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::NoChips => write!(f, "chip set is empty"),
-            SpecError::ChipAssignmentLength { partitions, assignments } => write!(
-                f,
-                "{assignments} chip assignments supplied for {partitions} partitions"
-            ),
+            SpecError::ChipAssignmentLength { partitions, assignments } => {
+                write!(f, "{assignments} chip assignments supplied for {partitions} partitions")
+            }
             SpecError::UnknownChip(c) => write!(f, "partition assigned to unknown {c}"),
             SpecError::UndeclaredMemory(m) => {
                 write!(f, "data flow graph references undeclared memory block M{m}")
@@ -108,10 +107,9 @@ impl fmt::Display for SpecError {
             SpecError::MemoryOnUnknownChip(m, c) => {
                 write!(f, "memory {m} assigned to unknown {c}")
             }
-            SpecError::MemoryAssignmentLength { memories, assignments } => write!(
-                f,
-                "{assignments} memory assignments supplied for {memories} memories"
-            ),
+            SpecError::MemoryAssignmentLength { memories, assignments } => {
+                write!(f, "{assignments} memory assignments supplied for {memories} memories")
+            }
         }
     }
 }
@@ -286,11 +284,7 @@ impl Partitioning {
     /// Returns [`SpecError::MemoryOnUnknownChip`] for a chip outside the
     /// set and [`SpecError::PlacementMismatch`] for off-the-shelf parts,
     /// which live outside the chip set by definition.
-    pub fn with_memory_on_chip(
-        &self,
-        m: MemoryId,
-        chip: ChipId,
-    ) -> Result<Self, SpecError> {
+    pub fn with_memory_on_chip(&self, m: MemoryId, chip: ChipId) -> Result<Self, SpecError> {
         if chip.index() >= self.chips.len() {
             return Err(SpecError::MemoryOnUnknownChip(m, chip));
         }
@@ -448,9 +442,7 @@ impl PartitioningBuilder {
                 }
                 a
             }
-            None => (0..k)
-                .map(|i| ChipId::new((i % self.chips.len()) as u32))
-                .collect(),
+            None => (0..k).map(|i| ChipId::new((i % self.chips.len()) as u32)).collect(),
         };
         for &c in &partition_chip {
             if c.index() >= self.chips.len() {
@@ -473,8 +465,7 @@ impl PartitioningBuilder {
             }
         }
         // Placement style must agree with the assignment.
-        for (i, (mem, assign)) in
-            self.memories.iter().zip(&self.memory_assignment).enumerate()
+        for (i, (mem, assign)) in self.memories.iter().zip(&self.memory_assignment).enumerate()
         {
             let id = MemoryId::new(i as u32);
             match (mem.placement(), assign) {
@@ -553,9 +544,8 @@ mod tests {
 
     #[test]
     fn empty_chipset_rejected() {
-        let err = PartitioningBuilder::new(benchmarks::diffeq(), ChipSet::new())
-            .build()
-            .unwrap_err();
+        let err =
+            PartitioningBuilder::new(benchmarks::diffeq(), ChipSet::new()).build().unwrap_err();
         assert_eq!(err, BuildError::Spec(SpecError::NoChips));
     }
 
@@ -621,10 +611,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(p.memories().len(), 1);
-        assert_eq!(
-            p.memory_assignment(MemoryId::new(0)),
-            MemoryAssignment::External
-        );
+        assert_eq!(p.memory_assignment(MemoryId::new(0)), MemoryAssignment::External);
     }
 
     #[test]

@@ -222,9 +222,7 @@ mod tests {
     use super::*;
 
     fn processor(adds: usize, muls: usize) -> ResourceMap {
-        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
-            .into_iter()
-            .collect()
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)].into_iter().collect()
     }
 
     #[test]
@@ -305,10 +303,8 @@ mod tests {
         let tasks = create_tasks(&g, &specs, &processor(2, 4), 3).unwrap();
         let k = tasks.grouping.group_count();
         let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
-        let p = PartitioningBuilder::new(g, chips)
-            .with_grouping(tasks.grouping)
-            .build()
-            .unwrap();
+        let p =
+            PartitioningBuilder::new(g, chips).with_grouping(tasks.grouping).build().unwrap();
         assert_eq!(p.partition_count(), k);
     }
 }

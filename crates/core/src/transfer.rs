@@ -264,12 +264,10 @@ pub fn pin_budgets(partitioning: &Partitioning, transfers: &[TransferSpec]) -> V
         if !is_off_chip(partitioning, t) {
             continue;
         }
-        for chip in [
-            chip_of_endpoint(partitioning, t.src),
-            chip_of_endpoint(partitioning, t.dst),
-        ]
-        .into_iter()
-        .flatten()
+        for chip in
+            [chip_of_endpoint(partitioning, t.src), chip_of_endpoint(partitioning, t.dst)]
+                .into_iter()
+                .flatten()
         {
             budgets[chip.index()].control += 2;
         }
@@ -328,22 +326,17 @@ mod tests {
         let inter = specs
             .iter()
             .filter(|t| {
-                matches!(t.src, Endpoint::Partition(_)) && matches!(t.dst, Endpoint::Partition(_))
+                matches!(t.src, Endpoint::Partition(_))
+                    && matches!(t.dst, Endpoint::Partition(_))
             })
             .count();
         assert!(inter >= 1, "horizontal cut must move data forward");
         // 8 inputs at 16 bits each somewhere, 4 outputs at 16 bits.
-        let in_bits: u64 = specs
-            .iter()
-            .filter(|t| t.src == Endpoint::External)
-            .map(|t| t.bits.value())
-            .sum();
+        let in_bits: u64 =
+            specs.iter().filter(|t| t.src == Endpoint::External).map(|t| t.bits.value()).sum();
         assert_eq!(in_bits, 8 * 16);
-        let out_bits: u64 = specs
-            .iter()
-            .filter(|t| t.dst == Endpoint::External)
-            .map(|t| t.bits.value())
-            .sum();
+        let out_bits: u64 =
+            specs.iter().filter(|t| t.dst == Endpoint::External).map(|t| t.bits.value()).sum();
         assert_eq!(out_bits, 4 * 16);
     }
 
@@ -367,7 +360,8 @@ mod tests {
         let inter: Vec<TransferSpec> = transfer_specs(&same)
             .into_iter()
             .filter(|t| {
-                matches!(t.src, Endpoint::Partition(_)) && matches!(t.dst, Endpoint::Partition(_))
+                matches!(t.src, Endpoint::Partition(_))
+                    && matches!(t.dst, Endpoint::Partition(_))
             })
             .collect();
         assert!(!inter.is_empty());
@@ -406,13 +400,10 @@ mod tests {
         let o = b.node(Operation::Output, w);
         b.connect(a, o).unwrap();
         let g = b.build().unwrap();
-        let p = PartitioningBuilder::new(
-            g,
-            ChipSet::uniform(table2_packages()[1].clone(), 1),
-        )
-        .with_memory(example_off_shelf_ram(), crate::spec::MemoryAssignment::External)
-        .build()
-        .unwrap();
+        let p = PartitioningBuilder::new(g, ChipSet::uniform(table2_packages()[1].clone(), 1))
+            .with_memory(example_off_shelf_ram(), crate::spec::MemoryAssignment::External)
+            .build()
+            .unwrap();
         let specs = transfer_specs(&p);
         let budgets = pin_budgets(&p, &specs);
         // One memory interface from chip 0, regardless of two reads.

@@ -67,9 +67,8 @@ pub fn ar_lattice_filter() -> Dfg {
     };
 
     // Level 1: four butterflies pairing x_i with y_i.
-    let level1: Vec<NodeId> = (0..4)
-        .map(|i| butterfly(&mut b, xs[i], ys[i], &format!("l1b{i}")))
-        .collect();
+    let level1: Vec<NodeId> =
+        (0..4).map(|i| butterfly(&mut b, xs[i], ys[i], &format!("l1b{i}"))).collect();
 
     // Level 2: four butterflies pairing neighbouring level-1 sums — the
     // lattice cross-links.
@@ -414,10 +413,8 @@ pub fn dct8() -> Dfg {
     };
 
     // Stage 1: input butterflies.
-    let s: Vec<NodeId> =
-        (0..4).map(|i| add(&mut b, x[i], x[7 - i], format!("s{i}"))).collect();
-    let d: Vec<NodeId> =
-        (0..4).map(|i| sub(&mut b, x[i], x[7 - i], format!("d{i}"))).collect();
+    let s: Vec<NodeId> = (0..4).map(|i| add(&mut b, x[i], x[7 - i], format!("s{i}"))).collect();
+    let d: Vec<NodeId> = (0..4).map(|i| sub(&mut b, x[i], x[7 - i], format!("d{i}"))).collect();
 
     // Even half: DCT-4 on s.
     let e0 = add(&mut b, s[0], s[3], "e0".into());
@@ -494,8 +491,9 @@ pub fn random_layered(seed: u64, params: RandomDfgParams) -> Dfg {
     let w = Bits::new(params.bits);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = DfgBuilder::new();
-    let mut previous: Vec<NodeId> =
-        (0..params.inputs).map(|i| b.labeled_node(Operation::Input, w, format!("x{i}"))).collect();
+    let mut previous: Vec<NodeId> = (0..params.inputs)
+        .map(|i| b.labeled_node(Operation::Input, w, format!("x{i}")))
+        .collect();
     for layer in 0..params.layers {
         let mut current = Vec::with_capacity(params.width);
         for i in 0..params.width {

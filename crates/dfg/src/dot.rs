@@ -69,7 +69,8 @@ fn render(dfg: &Dfg, grouping: Option<&Grouping>) -> String {
         }
     }
     for (_, e) in dfg.edges() {
-        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.src(), e.dst(), e.width().value());
+        let _ =
+            writeln!(out, "  {} -> {} [label=\"{}\"];", e.src(), e.dst(), e.width().value());
     }
     out.push_str("}\n");
     out

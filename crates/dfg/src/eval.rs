@@ -166,8 +166,7 @@ pub fn evaluate(
     for &id in dfg.topo_order() {
         let node = dfg.node(id);
         let w = mask(node.width().value());
-        let operands: Vec<u64> =
-            dfg.pred_nodes(id).map(|p| value[p.index()]).collect();
+        let operands: Vec<u64> = dfg.pred_nodes(id).map(|p| value[p.index()]).collect();
         let binary = |i: usize| operands.get(i).copied().ok_or(EvalError::MissingOperand(id));
         let result = match node.op() {
             Operation::Input | Operation::Const => continue,
@@ -294,12 +293,10 @@ mod tests {
             crate::benchmarks::fir_filter(8),
         ] {
             let inputs: Vec<u64> = (0..g.inputs().count() as u64).map(|i| i * 7 + 1).collect();
-            let consts: Vec<u64> = (0..g
-                .nodes()
-                .filter(|(_, n)| n.op() == Operation::Const)
-                .count() as u64)
-                .map(|i| i + 2)
-                .collect();
+            let consts: Vec<u64> =
+                (0..g.nodes().filter(|(_, n)| n.op() == Operation::Const).count() as u64)
+                    .map(|i| i + 2)
+                    .collect();
             let mut mem = Memory::new(16);
             let out = evaluate(&g, &inputs, &consts, &mut mem).unwrap();
             assert_eq!(out.len(), g.outputs().count());

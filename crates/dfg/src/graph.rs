@@ -19,9 +19,7 @@ use crate::op::{OpHistogram, Operation};
 /// let a = b.node(Operation::Input, Bits::new(16));
 /// assert_eq!(a.index(), 0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -45,9 +43,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an edge (a data value) within one [`Dfg`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -332,7 +328,11 @@ impl Dfg {
             }
             if let Some(max) = node.op().max_operands() {
                 if n_preds > max {
-                    return Err(ValidateDfgError::TooManyOperands { node: id, found: n_preds, max });
+                    return Err(ValidateDfgError::TooManyOperands {
+                        node: id,
+                        found: n_preds,
+                        max,
+                    });
                 }
             }
             if node.op() == Operation::Output && !self.succs(id).is_empty() {
@@ -391,11 +391,7 @@ impl DfgBuilder {
     /// Returns [`BuildDfgError::UnknownNode`] if either id was not produced
     /// by this builder.
     pub fn connect(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, BuildDfgError> {
-        let width = self
-            .nodes
-            .get(src.index())
-            .ok_or(BuildDfgError::UnknownNode(src))?
-            .width;
+        let width = self.nodes.get(src.index()).ok_or(BuildDfgError::UnknownNode(src))?.width;
         self.connect_with_width(src, dst, width)
     }
 

@@ -166,10 +166,7 @@ impl Grouping {
             if assignment[id.index()].is_some() {
                 continue;
             }
-            let from_preds = dfg
-                .pred_nodes(id)
-                .filter_map(|p| assignment[p.index()])
-                .max();
+            let from_preds = dfg.pred_nodes(id).filter_map(|p| assignment[p.index()]).max();
             if let Some(g) = from_preds {
                 assignment[id.index()] = Some(g);
             }
@@ -179,14 +176,10 @@ impl Grouping {
             if assignment[id.index()].is_some() {
                 continue;
             }
-            let from_succs = dfg
-                .succ_nodes(id)
-                .filter_map(|s| assignment[s.index()])
-                .min();
+            let from_succs = dfg.succ_nodes(id).filter_map(|s| assignment[s.index()]).min();
             assignment[id.index()] = Some(from_succs.unwrap_or(0));
         }
-        let assignment: Vec<usize> =
-            assignment.into_iter().map(|g| g.unwrap_or(0)).collect();
+        let assignment: Vec<usize> = assignment.into_iter().map(|g| g.unwrap_or(0)).collect();
         Self { assignment, group_count: k }
     }
 
@@ -258,10 +251,8 @@ impl Grouping {
 impl GroupingError {
     fn fix_node(self, dfg: &Dfg, index: usize) -> Self {
         if let GroupingError::GroupOutOfRange { group, groups, .. } = self {
-            let node = dfg
-                .node_ids()
-                .nth(index)
-                .expect("index checked against assignment length");
+            let node =
+                dfg.node_ids().nth(index).expect("index checked against assignment length");
             GroupingError::GroupOutOfRange { node, group, groups }
         } else {
             self
@@ -429,9 +420,7 @@ pub fn extract_group_detailed(dfg: &Dfg, grouping: &Grouping, group: usize) -> E
             (false, false) => {}
         }
     }
-    let dfg = b
-        .build()
-        .expect("group subgraph of an acyclic graph is acyclic and non-empty");
+    let dfg = b.build().expect("group subgraph of an acyclic graph is acyclic and non-empty");
     ExtractedGroup { dfg, origin }
 }
 

@@ -1,0 +1,222 @@
+//! Stable structural hashing of data-flow graphs.
+//!
+//! The incremental exploration engine memoizes per-partition predictions
+//! under a *content-addressed* key: two partitions whose extracted DFGs are
+//! structurally identical (same operations, widths and dependence edges in
+//! the same concrete order) hash equal, so re-exploring a partitioning in
+//! which only one partition changed re-predicts only that partition.
+//!
+//! The hash is a plain FNV-1a over a canonical byte feed — deliberately
+//! *not* [`std::hash::DefaultHasher`], whose per-process random keys would
+//! make the value useless as a persistent cache key. Node labels are
+//! excluded: they are designer-facing names and do not affect prediction.
+//!
+//! # Examples
+//!
+//! ```
+//! use chop_dfg::hash::structural_hash;
+//! use chop_dfg::benchmarks;
+//!
+//! let a = benchmarks::ar_lattice_filter();
+//! let b = benchmarks::ar_lattice_filter();
+//! assert_eq!(structural_hash(&a), structural_hash(&b));
+//! assert_ne!(structural_hash(&a), structural_hash(&benchmarks::diffeq()));
+//! ```
+
+use crate::graph::Dfg;
+use crate::op::Operation;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic, seed-free 64-bit FNV-1a hasher.
+///
+/// Unlike the standard library's hashers this produces the same value for
+/// the same feed in every process and on every platform with the same
+/// endianness conventions (integers are fed in little-endian byte order),
+/// which is what a content-addressed cache key needs.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds one `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds one `f64` by its IEEE-754 bit pattern. `NaN` payloads and
+    /// signed zeros hash by their exact bits — callers wanting semantic
+    /// equality must canonicalize first.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A small stable tag per operation variant (memory operations fold in the
+/// referenced block index so accesses to different blocks hash apart).
+fn op_tag(op: Operation) -> u64 {
+    match op {
+        Operation::Input => 1,
+        Operation::Output => 2,
+        Operation::Const => 3,
+        Operation::Add => 4,
+        Operation::Sub => 5,
+        Operation::Mul => 6,
+        Operation::Div => 7,
+        Operation::Logic => 8,
+        Operation::Shift => 9,
+        Operation::Compare => 10,
+        Operation::MemRead(m) => 0x100 + u64::from(m.index()),
+        Operation::MemWrite(m) => 0x2_0000 + u64::from(m.index()),
+    }
+}
+
+/// Hashes the graph's structure: every node's operation and width in node
+/// order, then every dependence edge's endpoints and width in edge order.
+///
+/// The hash is over the *concrete representation* (node/edge numbering as
+/// built), not an isomorphism class: graphs that differ only by node
+/// renumbering hash differently. That is the right trade-off for a
+/// prediction cache — partition extraction is deterministic, so an
+/// unchanged partition re-extracts to a byte-identical graph, while
+/// representation hashing avoids the collision risk of canonicalization.
+/// Node labels are ignored.
+#[must_use]
+pub fn structural_hash(dfg: &Dfg) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(dfg.nodes().count() as u64);
+    for (id, node) in dfg.nodes() {
+        h.write_u64(id.index() as u64);
+        h.write_u64(op_tag(node.op()));
+        h.write_u64(node.width().value());
+    }
+    h.write_u64(dfg.edges().count() as u64);
+    for (_, edge) in dfg.edges() {
+        h.write_u64(edge.src().index() as u64);
+        h.write_u64(edge.dst().index() as u64);
+        h.write_u64(edge.width().value());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::graph::DfgBuilder;
+    use crate::op::MemoryRef;
+
+    #[test]
+    fn identical_builds_hash_equal() {
+        assert_eq!(
+            structural_hash(&benchmarks::ar_lattice_filter()),
+            structural_hash(&benchmarks::ar_lattice_filter())
+        );
+    }
+
+    #[test]
+    fn distinct_benchmarks_hash_apart() {
+        let hashes: Vec<u64> = [
+            structural_hash(&benchmarks::ar_lattice_filter()),
+            structural_hash(&benchmarks::diffeq()),
+            structural_hash(&benchmarks::elliptic_wave_filter()),
+        ]
+        .into();
+        assert_ne!(hashes[0], hashes[1]);
+        assert_ne!(hashes[1], hashes[2]);
+        assert_ne!(hashes[0], hashes[2]);
+    }
+
+    fn two_node_graph(width: u64, label: &str) -> Dfg {
+        use chop_stat::units::Bits;
+        let mut b = DfgBuilder::new();
+        let x = b.labeled_node(Operation::Input, Bits::new(width), label);
+        let y = b.node(Operation::Output, Bits::new(width));
+        b.connect(x, y).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn width_change_changes_hash() {
+        assert_ne!(
+            structural_hash(&two_node_graph(16, "x")),
+            structural_hash(&two_node_graph(32, "x"))
+        );
+    }
+
+    #[test]
+    fn labels_do_not_affect_hash() {
+        assert_eq!(
+            structural_hash(&two_node_graph(16, "x")),
+            structural_hash(&two_node_graph(16, "completely_different"))
+        );
+    }
+
+    #[test]
+    fn memory_block_index_is_part_of_the_hash() {
+        let tag0 = op_tag(Operation::MemRead(MemoryRef::new(0)));
+        let tag1 = op_tag(Operation::MemRead(MemoryRef::new(1)));
+        let w0 = op_tag(Operation::MemWrite(MemoryRef::new(0)));
+        assert_ne!(tag0, tag1);
+        assert_ne!(tag0, w0);
+    }
+
+    #[test]
+    fn hasher_is_seed_free_and_order_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn f64_hashes_by_bits() {
+        let mut a = StableHasher::new();
+        a.write_f64(0.0);
+        let mut b = StableHasher::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -44,6 +44,7 @@ pub mod dot;
 pub mod eval;
 mod graph;
 pub mod grouping;
+pub mod hash;
 mod op;
 pub mod parse;
 pub mod unroll;

@@ -256,11 +256,7 @@ impl OpHistogram {
     /// Occurrences of all operations in a functional-unit class.
     #[must_use]
     pub fn count_class(&self, class: OpClass) -> usize {
-        self.counts
-            .iter()
-            .filter(|(op, _)| op.class() == Some(class))
-            .map(|(_, n)| n)
-            .sum()
+        self.counts.iter().filter(|(op, _)| op.class() == Some(class)).map(|(_, n)| n).sum()
     }
 
     /// Total number of recorded operations.
@@ -277,10 +273,8 @@ impl OpHistogram {
     /// The functional-unit classes present, in a stable order.
     #[must_use]
     pub fn classes(&self) -> Vec<OpClass> {
-        let mut classes: Vec<OpClass> = OpClass::ALL
-            .into_iter()
-            .filter(|c| self.count_class(*c) > 0)
-            .collect();
+        let mut classes: Vec<OpClass> =
+            OpClass::ALL.into_iter().filter(|c| self.count_class(*c) > 0).collect();
         classes.dedup();
         classes
     }
@@ -326,10 +320,9 @@ mod tests {
 
     #[test]
     fn histogram_counts_by_class() {
-        let h: OpHistogram =
-            [Operation::Add, Operation::Sub, Operation::Mul, Operation::Input]
-                .into_iter()
-                .collect();
+        let h: OpHistogram = [Operation::Add, Operation::Sub, Operation::Mul, Operation::Input]
+            .into_iter()
+            .collect();
         assert_eq!(h.count_class(OpClass::Addition), 2);
         assert_eq!(h.count_class(OpClass::Multiplication), 1);
         assert_eq!(h.total(), 4);

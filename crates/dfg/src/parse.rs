@@ -130,9 +130,8 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
         // Column of a token on the right-hand side (op or operand), so a
         // name that also appears left of `=` is not matched there.
         let rhs_col = |token: &str| token_column(raw, token, eq_byte.map_or(0, |b| b + 1));
-        let (name, rest) = content
-            .split_once('=')
-            .ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
+        let (name, rest) =
+            content.split_once('=').ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
         let name = name.trim();
         if name.is_empty() || !is_ident(name) {
             return Err(err_at(lhs_col(name), ParseErrorKind::Malformed));
@@ -141,9 +140,7 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
             return Err(err_at(lhs_col(name), ParseErrorKind::Redefined(name.to_owned())));
         }
         let mut tokens = rest.split_whitespace();
-        let op_token = tokens
-            .next()
-            .ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
+        let op_token = tokens.next().ok_or_else(|| err_at(1, ParseErrorKind::Malformed))?;
         let op = op_token.to_ascii_lowercase();
         let op_col = rhs_col(op_token);
         let args: Vec<&str> = tokens.collect();
@@ -159,11 +156,7 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
             } else {
                 Err(err_at(
                     op_col,
-                    ParseErrorKind::WrongArity {
-                        op: op.clone(),
-                        expected,
-                        found: args.len(),
-                    },
+                    ParseErrorKind::WrongArity { op: op.clone(), expected, found: args.len() },
                 ))
             }
         };
@@ -181,17 +174,17 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
                 .ok_or_else(|| err_at(rhs_col(s), ParseErrorKind::BadNumber(s.to_owned())))
         };
         let connect = |builder: &mut DfgBuilder, src: NodeId, dst: NodeId, operand: &str| {
-            builder.connect(src, dst).map(|_| ()).map_err(|e| {
-                err_at(rhs_col(operand), ParseErrorKind::Graph(e.to_string()))
-            })
+            builder
+                .connect(src, dst)
+                .map(|_| ())
+                .map_err(|e| err_at(rhs_col(operand), ParseErrorKind::Graph(e.to_string())))
         };
 
         let id = match op.as_str() {
             "input" | "const" => {
                 arity(1)?;
                 let width = parse_width(args[0])?;
-                let operation =
-                    if op == "input" { Operation::Input } else { Operation::Const };
+                let operation = if op == "input" { Operation::Input } else { Operation::Const };
                 builder.labeled_node(operation, width, name)
             }
             "add" | "sub" | "mul" | "div" | "logic" | "shift" => {
@@ -474,21 +467,16 @@ mod tests {
     #[test]
     fn cmp_produces_one_bit() {
         let g = parse_dfg("a = input 16\nb = input 16\nc = cmp a b\ny = output c\n").unwrap();
-        let cmp = g
-            .nodes()
-            .find(|(_, n)| n.op() == Operation::Compare)
-            .map(|(id, _)| id)
-            .unwrap();
+        let cmp =
+            g.nodes().find(|(_, n)| n.op() == Operation::Compare).map(|(id, _)| id).unwrap();
         assert_eq!(g.node(cmp).width().value(), 1);
     }
 
     #[test]
     fn round_trip_benchmarks() {
-        for g in [
-            benchmarks::ar_lattice_filter(),
-            benchmarks::fir_filter(6),
-            benchmarks::diffeq(),
-        ] {
+        for g in
+            [benchmarks::ar_lattice_filter(), benchmarks::fir_filter(6), benchmarks::diffeq()]
+        {
             let text = to_text(&g);
             let back = parse_dfg(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
             assert_eq!(back.len(), g.len());

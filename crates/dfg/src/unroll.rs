@@ -108,8 +108,7 @@ impl LoopSpec {
         }
         let mut seen_inputs = Vec::new();
         for &(out, inp) in &carried {
-            let out_ok =
-                out.index() < body.len() && body.node(out).op() == Operation::Output;
+            let out_ok = out.index() < body.len() && body.node(out).op() == Operation::Output;
             let in_ok = inp.index() < body.len() && body.node(inp).op() == Operation::Input;
             if !out_ok || !in_ok {
                 return Err(UnrollError::BadCarriedPair { output: out, input: inp });
@@ -149,10 +148,7 @@ impl LoopSpec {
             .carried
             .iter()
             .map(|&(out, _)| {
-                self.body
-                    .pred_nodes(out)
-                    .next()
-                    .expect("a carried output must be driven")
+                self.body.pred_nodes(out).next().expect("a carried output must be driven")
             })
             .collect();
         // Previous iteration's mapped producer for each carried pair.

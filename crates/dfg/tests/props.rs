@@ -12,16 +12,11 @@ use chop_dfg::{analysis, NodeId, OpClass, Operation};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = (u64, RandomDfgParams)> {
-    (
-        any::<u64>(),
-        1usize..6,
-        1usize..8,
-        1usize..5,
-        0u32..100,
-    )
-        .prop_map(|(seed, layers, width, inputs, mul_percent)| {
+    (any::<u64>(), 1usize..6, 1usize..8, 1usize..5, 0u32..100).prop_map(
+        |(seed, layers, width, inputs, mul_percent)| {
             (seed, RandomDfgParams { layers, width, inputs, mul_percent, bits: 16 })
-        })
+        },
+    )
 }
 
 proptest! {

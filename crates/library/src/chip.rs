@@ -89,7 +89,10 @@ impl ChipPackage {
         let name = name.into();
         assert!(!name.is_empty(), "package name must not be empty");
         assert!(pins > 0, "package must have pins");
-        assert!(width.value() > 0.0 && height.value() > 0.0, "package dimensions must be positive");
+        assert!(
+            width.value() > 0.0 && height.value() > 0.0,
+            "package dimensions must be positive"
+        );
         Self { name, width, height, pins, pad_delay, pad_area }
     }
 

@@ -109,16 +109,10 @@ impl Library {
     /// Functional modules implementing an operation class, fastest first.
     #[must_use]
     pub fn candidates(&self, class: OpClass) -> Vec<&HwModule> {
-        let mut v: Vec<&HwModule> = self
-            .modules
-            .iter()
-            .filter(|m| m.kind().op_class() == Some(class))
-            .collect();
+        let mut v: Vec<&HwModule> =
+            self.modules.iter().filter(|m| m.kind().op_class() == Some(class)).collect();
         v.sort_by(|a, b| {
-            a.delay()
-                .value()
-                .partial_cmp(&b.delay().value())
-                .expect("delays are finite")
+            a.delay().value().partial_cmp(&b.delay().value()).expect("delays are finite")
         });
         v
     }
@@ -175,10 +169,7 @@ impl Library {
     /// assert_eq!(sets.len(), 3);
     /// ```
     #[must_use]
-    pub fn module_sets(
-        &self,
-        classes: impl IntoIterator<Item = OpClass>,
-    ) -> Vec<ModuleSet> {
+    pub fn module_sets(&self, classes: impl IntoIterator<Item = OpClass>) -> Vec<ModuleSet> {
         let mut unique: Vec<OpClass> = Vec::new();
         for c in classes {
             if !unique.contains(&c) {
@@ -254,7 +245,11 @@ impl ModuleSet {
 
     /// Resolves the chosen module for a class against a library.
     #[must_use]
-    pub fn module_for<'lib>(&self, library: &'lib Library, class: OpClass) -> Option<&'lib HwModule> {
+    pub fn module_for<'lib>(
+        &self,
+        library: &'lib Library,
+        class: OpClass,
+    ) -> Option<&'lib HwModule> {
         self.name_for(class).and_then(|n| library.by_name(n))
     }
 
@@ -278,8 +273,7 @@ impl ModuleSet {
 
 impl fmt::Display for ModuleSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.choices.values().map(String::clone).collect();
+        let parts: Vec<String> = self.choices.values().map(String::clone).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }

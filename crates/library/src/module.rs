@@ -165,8 +165,7 @@ impl HwModule {
     /// if one was attached, otherwise area × [`DEFAULT_POWER_DENSITY`].
     #[must_use]
     pub fn power(&self) -> MilliWatts {
-        self.power
-            .unwrap_or_else(|| MilliWatts::new(self.area.value() * DEFAULT_POWER_DENSITY))
+        self.power.unwrap_or_else(|| MilliWatts::new(self.area.value() * DEFAULT_POWER_DENSITY))
     }
 
     /// Area of an instance scaled to `width` bits (bit-sliced modules like
@@ -175,9 +174,9 @@ impl HwModule {
     #[must_use]
     pub fn area_at_width(&self, width: Bits) -> SquareMils {
         match self.kind {
-            ModuleKind::Register | ModuleKind::Multiplexer => {
-                SquareMils::new(self.area.value() * width.value() as f64 / self.width.value() as f64)
-            }
+            ModuleKind::Register | ModuleKind::Multiplexer => SquareMils::new(
+                self.area.value() * width.value() as f64 / self.width.value() as f64,
+            ),
             ModuleKind::Functional(_) => self.area,
         }
     }
@@ -188,7 +187,11 @@ impl fmt::Display for HwModule {
         write!(
             f,
             "{} ({}, {} bits, {}, {})",
-            self.name, self.kind, self.width.value(), self.area, self.delay
+            self.name,
+            self.kind,
+            self.width.value(),
+            self.area,
+            self.delay
         )
     }
 }

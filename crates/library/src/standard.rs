@@ -44,8 +44,20 @@ pub fn table1_library() -> Library {
         HwModule::new("mul1", mul, w16, SquareMils::new(49_000.0), Nanos::new(375.0)),
         HwModule::new("mul2", mul, w16, SquareMils::new(9800.0), Nanos::new(2950.0)),
         HwModule::new("mul3", mul, w16, SquareMils::new(7100.0), Nanos::new(7370.0)),
-        HwModule::new("register", ModuleKind::Register, w1, SquareMils::new(31.0), Nanos::new(5.0)),
-        HwModule::new("mux", ModuleKind::Multiplexer, w1, SquareMils::new(18.0), Nanos::new(4.0)),
+        HwModule::new(
+            "register",
+            ModuleKind::Register,
+            w1,
+            SquareMils::new(31.0),
+            Nanos::new(5.0),
+        ),
+        HwModule::new(
+            "mux",
+            ModuleKind::Multiplexer,
+            w1,
+            SquareMils::new(18.0),
+            Nanos::new(4.0),
+        ),
     ];
     Library::from_modules(rows).expect("table 1 has unique names")
 }
@@ -70,8 +82,22 @@ pub fn table1_library() -> Library {
 pub fn table2_packages() -> Vec<ChipPackage> {
     let (w, h) = (Mils::new(311.02), Mils::new(362.20));
     vec![
-        ChipPackage::new("MOSIS-1 (64 pin)", w, h, 64, Nanos::new(25.0), SquareMils::new(297.60)),
-        ChipPackage::new("MOSIS-2 (84 pin)", w, h, 84, Nanos::new(25.0), SquareMils::new(297.60)),
+        ChipPackage::new(
+            "MOSIS-1 (64 pin)",
+            w,
+            h,
+            64,
+            Nanos::new(25.0),
+            SquareMils::new(297.60),
+        ),
+        ChipPackage::new(
+            "MOSIS-2 (84 pin)",
+            w,
+            h,
+            84,
+            Nanos::new(25.0),
+            SquareMils::new(297.60),
+        ),
     ]
 }
 
@@ -209,9 +235,7 @@ mod tests {
     #[test]
     fn table1_supports_ar_filter_classes() {
         let lib = table1_library();
-        assert!(lib
-            .check_supports([OpClass::Addition, OpClass::Multiplication])
-            .is_ok());
+        assert!(lib.check_supports([OpClass::Addition, OpClass::Multiplication]).is_ok());
     }
 
     #[test]

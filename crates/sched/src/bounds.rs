@@ -20,11 +20,8 @@ use crate::list::NodeSpec;
 pub fn asap_times(dfg: &Dfg, specs: &NodeSpec) -> Vec<u64> {
     let mut start = vec![0u64; dfg.len()];
     for &id in dfg.topo_order() {
-        let ready = dfg
-            .pred_nodes(id)
-            .map(|p| start[p.index()] + specs.duration(p))
-            .max()
-            .unwrap_or(0);
+        let ready =
+            dfg.pred_nodes(id).map(|p| start[p.index()] + specs.duration(p)).max().unwrap_or(0);
         start[id.index()] = ready;
     }
     start
@@ -50,11 +47,8 @@ pub fn asap_times(dfg: &Dfg, specs: &NodeSpec) -> Vec<u64> {
 #[must_use]
 pub fn alap_times(dfg: &Dfg, specs: &NodeSpec) -> Vec<u64> {
     let asap = asap_times(dfg, specs);
-    let horizon = dfg
-        .node_ids()
-        .map(|id| asap[id.index()] + specs.duration(id))
-        .max()
-        .unwrap_or(0);
+    let horizon =
+        dfg.node_ids().map(|id| asap[id.index()] + specs.duration(id)).max().unwrap_or(0);
     let mut latest_finish = vec![horizon; dfg.len()];
     for &id in dfg.topo_order().iter().rev() {
         let must_finish_by = dfg

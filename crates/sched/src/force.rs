@@ -91,11 +91,8 @@ pub fn force_directed_schedule(
         });
     }
     let asap = asap_times(dfg, specs);
-    let critical_path = dfg
-        .node_ids()
-        .map(|id| asap[id.index()] + specs.duration(id))
-        .max()
-        .unwrap_or(0);
+    let critical_path =
+        dfg.node_ids().map(|id| asap[id.index()] + specs.duration(id)).max().unwrap_or(0);
     if critical_path > latency {
         return Err(ForceScheduleError::LatencyTooShort { requested: latency, critical_path });
     }
@@ -109,10 +106,8 @@ pub fn force_directed_schedule(
 
     // Distribution graphs per class: expected concurrency per cycle,
     // assuming uniform placement within each frame.
-    let fu_nodes: Vec<NodeId> = dfg
-        .node_ids()
-        .filter(|&id| specs.resource(id).is_some())
-        .collect();
+    let fu_nodes: Vec<NodeId> =
+        dfg.node_ids().filter(|&id| specs.resource(id).is_some()).collect();
     let mut fixed: Vec<Option<u64>> = vec![None; dfg.len()];
 
     let distribution = |class: OpClass,
@@ -185,11 +180,7 @@ pub fn force_directed_schedule(
     for &id in dfg.topo_order() {
         let s = match fixed[id.index()] {
             Some(t) => t,
-            None => dfg
-                .pred_nodes(id)
-                .map(|p| finish[p.index()])
-                .max()
-                .unwrap_or(0),
+            None => dfg.pred_nodes(id).map(|p| finish[p.index()]).max().unwrap_or(0),
         };
         start[id.index()] = s;
         finish[id.index()] = s + specs.duration(id);

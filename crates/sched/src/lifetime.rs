@@ -190,9 +190,7 @@ mod tests {
     use crate::list::{list_schedule, NodeSpec, ResourceMap};
 
     fn alloc(adds: usize, muls: usize) -> ResourceMap {
-        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
-            .into_iter()
-            .collect()
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)].into_iter().collect()
     }
 
     #[test]

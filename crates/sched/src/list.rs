@@ -139,8 +139,7 @@ impl FromIterator<(OpClass, usize)> for ResourceMap {
 
 impl fmt::Display for ResourceMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.counts.iter().map(|(c, n)| format!("{n}×{c}")).collect();
+        let parts: Vec<String> = self.counts.iter().map(|(c, n)| format!("{n}×{c}")).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }
@@ -282,15 +281,14 @@ pub fn list_schedule(
     let mut start = vec![0u64; n];
     let mut finish = vec![0u64; n];
     let mut placed = vec![false; n];
-    let mut remaining_preds: Vec<usize> = dfg.node_ids().map(|id| dfg.preds(id).len()).collect();
+    let mut remaining_preds: Vec<usize> =
+        dfg.node_ids().map(|id| dfg.preds(id).len()).collect();
     // Busy intervals per class: (finish_time, count) map as a simple vec of
     // finish times, one per busy instance.
     let mut busy: BTreeMap<OpClass, Vec<u64>> = BTreeMap::new();
 
-    let mut ready: Vec<NodeId> = dfg
-        .node_ids()
-        .filter(|id| remaining_preds[id.index()] == 0)
-        .collect();
+    let mut ready: Vec<NodeId> =
+        dfg.node_ids().filter(|id| remaining_preds[id.index()] == 0).collect();
     let mut time = 0u64;
     let mut done = 0usize;
 
@@ -303,11 +301,8 @@ pub fn list_schedule(
         for &id in &ready {
             debug_assert!(!placed[id.index()]);
             // Earliest start is when all operands are finished.
-            let operand_ready = dfg
-                .pred_nodes(id)
-                .map(|p| finish[p.index()])
-                .max()
-                .unwrap_or(0);
+            let operand_ready =
+                dfg.pred_nodes(id).map(|p| finish[p.index()]).max().unwrap_or(0);
             if operand_ready > time {
                 next_ready.push(id);
                 continue;
@@ -342,11 +337,8 @@ pub fn list_schedule(
         if !started_any {
             // Advance time to the next interesting event: the earliest busy
             // unit release or operand finish among ready nodes.
-            let next_release = busy
-                .values()
-                .flat_map(|v| v.iter().copied())
-                .filter(|&f| f > time)
-                .min();
+            let next_release =
+                busy.values().flat_map(|v| v.iter().copied()).filter(|&f| f > time).min();
             let next_operand = ready
                 .iter()
                 .flat_map(|&id| dfg.pred_nodes(id).map(|p| finish[p.index()]))
@@ -372,9 +364,7 @@ mod tests {
     use super::*;
 
     fn ar_alloc(adds: usize, muls: usize) -> ResourceMap {
-        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
-            .into_iter()
-            .collect()
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)].into_iter().collect()
     }
 
     #[test]

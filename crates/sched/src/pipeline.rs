@@ -173,9 +173,7 @@ mod tests {
     use crate::list::list_schedule;
 
     fn alloc(adds: usize, muls: usize) -> ResourceMap {
-        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)]
-            .into_iter()
-            .collect()
+        [(OpClass::Addition, adds), (OpClass::Multiplication, muls)].into_iter().collect()
     }
 
     #[test]

@@ -13,9 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a task in a [`TaskGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -34,9 +32,7 @@ impl fmt::Display for TaskId {
 
 /// Identifier of a capacitated resource (a chip's data-pin pool, a memory
 /// block's port pool, …).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ResourceId(u32);
 
 impl ResourceId {
@@ -286,9 +282,7 @@ impl TaskGraph {
     ) -> Result<TaskSchedule, UrgencyError> {
         for (i, task) in self.tasks.iter().enumerate() {
             for &(r, amount) in &task.demands {
-                let cap = *capacities
-                    .get(r.index())
-                    .ok_or(UrgencyError::UnknownResource(r))?;
+                let cap = *capacities.get(r.index()).ok_or(UrgencyError::UnknownResource(r))?;
                 if amount > cap {
                     return Err(UrgencyError::UnsatisfiableDemand {
                         task: TaskId(i as u32),
@@ -363,11 +357,7 @@ impl TaskGraph {
             ready = still_waiting;
             if !progressed {
                 // Advance to the next release or operand-availability event.
-                let next_finish = running
-                    .iter()
-                    .map(|&(f, _)| f)
-                    .filter(|&f| f > time)
-                    .min();
+                let next_finish = running.iter().map(|&(f, _)| f).filter(|&f| f > time).min();
                 let next_operand = ready
                     .iter()
                     .flat_map(|&i| pred[i].iter().map(|&p| finish[p]))

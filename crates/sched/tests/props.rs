@@ -18,9 +18,7 @@ fn arb_workload() -> impl Strategy<Value = (u64, RandomDfgParams)> {
 
 fn arb_alloc() -> impl Strategy<Value = ResourceMap> {
     (1usize..5, 1usize..5).prop_map(|(a, m)| {
-        [(OpClass::Addition, a), (OpClass::Multiplication, m)]
-            .into_iter()
-            .collect()
+        [(OpClass::Addition, a), (OpClass::Multiplication, m)].into_iter().collect()
     })
 }
 

@@ -106,11 +106,7 @@ impl Estimate {
     pub fn with_spread(likely: f64, spread: f64) -> Self {
         assert!(likely.is_finite() && likely >= 0.0, "likely must be finite and non-negative");
         assert!(spread.is_finite() && spread >= 0.0, "spread must be finite and non-negative");
-        Self {
-            lo: likely * (1.0 - spread).max(0.0),
-            likely,
-            hi: likely * (1.0 + spread),
-        }
+        Self { lo: likely * (1.0 - spread).max(0.0), likely, hi: likely * (1.0 + spread) }
     }
 
     /// Creates an estimate with asymmetric fractional spreads below/above.
@@ -122,11 +118,7 @@ impl Estimate {
     pub fn with_spreads(likely: f64, below: f64, above: f64) -> Self {
         assert!(likely.is_finite() && likely >= 0.0, "likely must be finite and non-negative");
         assert!(below >= 0.0 && above >= 0.0, "spreads must be non-negative");
-        Self {
-            lo: likely * (1.0 - below).max(0.0),
-            likely,
-            hi: likely * (1.0 + above),
-        }
+        Self { lo: likely * (1.0 - below).max(0.0), likely, hi: likely * (1.0 + above) }
     }
 
     /// The zero estimate (identity for [`Add`]).
@@ -271,11 +263,7 @@ impl Mul<f64> for Estimate {
     /// ordering silently).
     fn mul(self, rhs: f64) -> Estimate {
         assert!(rhs >= 0.0, "estimate scale factor must be non-negative");
-        Estimate {
-            lo: self.lo * rhs,
-            likely: self.likely * rhs,
-            hi: self.hi * rhs,
-        }
+        Estimate { lo: self.lo * rhs, likely: self.likely * rhs, hi: self.hi * rhs }
     }
 }
 
@@ -297,10 +285,7 @@ mod tests {
 
     #[test]
     fn new_rejects_unordered() {
-        assert!(matches!(
-            Estimate::new(2.0, 1.0, 3.0),
-            Err(EstimateError::Unordered { .. })
-        ));
+        assert!(matches!(Estimate::new(2.0, 1.0, 3.0), Err(EstimateError::Unordered { .. })));
         assert!(matches!(Estimate::new(1.0, 5.0, 3.0), Err(EstimateError::Unordered { .. })));
     }
 

@@ -11,11 +11,7 @@ use chop_library::ChipSet;
 use chop_stat::units::Nanos;
 
 fn summarize(label: &str, outcome: &SearchOutcome) {
-    match outcome
-        .feasible
-        .iter()
-        .min_by_key(|f| f.system.initiation_interval.value())
-    {
+    match outcome.feasible.iter().min_by_key(|f| f.system.initiation_interval.value()) {
         Some(best) => println!(
             "{label:<44} II={:>3} cycles, delay={:>3} cycles, clock={:>4.0} ns ({} feasible)",
             best.system.initiation_interval.value(),
@@ -33,9 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     summarize("baseline (2×84-pin, 30 µs)", &base.explore(Heuristic::Iterative)?);
 
     // Decision 1: can we ship the cheaper 64-pin package?
-    let cheap = base
-        .clone()
-        .with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))?;
+    let cheap =
+        base.clone().try_with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))?;
     summarize("what if: 64-pin packages", &cheap.explore(Heuristic::Iterative)?);
 
     // Decision 2: marketing wants 2× the performance.
@@ -45,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     summarize("what if: performance ≤ 15 µs", &fast.explore(Heuristic::Iterative)?);
 
     // Decision 3: both at once.
-    let both = cheap
-        .with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)));
+    let both =
+        cheap.with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)));
     summarize("what if: 64-pin AND ≤ 15 µs", &both.explore(Heuristic::Iterative)?);
 
     // Decision 4: migrate one operation across the cut and see the effect
@@ -55,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let before: u64 = p.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
     for node in p.grouping().members(0).into_iter().rev() {
         if let Ok(moved) = p.with_node_moved(node, PartitionId::new(1)) {
-            let after: u64 =
-                moved.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
+            let after: u64 = moved.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
             if after == before {
                 continue; // pick a migration that actually moves the cut
             }
@@ -64,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "\nmigrating one operation P1→P2 changes the cut from {before} to {after} bits"
             );
             let migrated = base.clone().with_partitioning(moved);
-            summarize("what if: migrate one operation", &migrated.explore(Heuristic::Iterative)?);
+            summarize(
+                "what if: migrate one operation",
+                &migrated.explore(Heuristic::Iterative)?,
+            );
             break;
         }
     }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ewf.op_histogram()
     );
 
-    println!("\n{:>6} | {:>9} | {:>8} | {:>11} | {:>9}", "chips", "II cycles", "delay", "clock ns", "trials");
+    println!(
+        "\n{:>6} | {:>9} | {:>8} | {:>11} | {:>9}",
+        "chips", "II cycles", "delay", "clock ns", "trials"
+    );
     for k in 1..=3usize {
         let chips = ChipSet::uniform(table2_packages()[1].clone(), k);
         let partitioning =
@@ -34,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Constraints::new(Nanos::new(30_000.0), Nanos::new(45_000.0)),
         );
         let outcome = session.explore(Heuristic::Iterative)?;
-        match outcome
-            .feasible
-            .iter()
-            .min_by_key(|f| f.system.initiation_interval.value())
-        {
+        match outcome.feasible.iter().min_by_key(|f| f.system.initiation_interval.value()) {
             Some(best) => println!(
                 "{k:>6} | {:>9} | {:>8} | {:>11.0} | {:>9}",
                 best.system.initiation_interval.value(),
@@ -46,9 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 best.system.clock.likely(),
                 outcome.trials
             ),
-            None => println!("{k:>6} | {:>9} | {:>8} | {:>11} | {:>9}", "-", "-", "-", outcome.trials),
+            None => println!(
+                "{k:>6} | {:>9} | {:>8} | {:>11} | {:>9}",
+                "-", "-", "-", outcome.trials
+            ),
         }
     }
-    println!("\n(the EWF is addition-dominated, so extra chips buy less than for the AR filter)");
+    println!(
+        "\n(the EWF is addition-dominated, so extra chips buy less than for the AR filter)"
+    );
     Ok(())
 }

@@ -23,37 +23,34 @@ fn figure2_spec() -> (Dfg, Vec<usize>) {
     let mut b = DfgBuilder::new();
     let mut groups: Vec<usize> = Vec::new();
     // A small MAC cluster: two inputs (internal wires), returns its result.
-    let cluster = |b: &mut DfgBuilder,
-                       groups: &mut Vec<usize>,
-                       g: usize,
-                       feeds: &[NodeId]|
-     -> NodeId {
-        let track = |groups: &mut Vec<usize>, id: NodeId| {
-            while groups.len() <= id.index() {
-                groups.push(g);
-            }
-            groups[id.index()] = g;
-            id
+    let cluster =
+        |b: &mut DfgBuilder, groups: &mut Vec<usize>, g: usize, feeds: &[NodeId]| -> NodeId {
+            let track = |groups: &mut Vec<usize>, id: NodeId| {
+                while groups.len() <= id.index() {
+                    groups.push(g);
+                }
+                groups[id.index()] = g;
+                id
+            };
+            let a = match feeds.first() {
+                Some(&f) => f,
+                None => track(groups, b.node(Operation::Input, w)),
+            };
+            let c = match feeds.get(1) {
+                Some(&f) => f,
+                None => track(groups, b.node(Operation::Input, w)),
+            };
+            let m1 = track(groups, b.node(Operation::Mul, w));
+            b.connect(a, m1).expect("valid");
+            b.connect(c, m1).expect("valid");
+            let m2 = track(groups, b.node(Operation::Mul, w));
+            b.connect(a, m2).expect("valid");
+            b.connect(m1, m2).expect("valid");
+            let s = track(groups, b.node(Operation::Add, w));
+            b.connect(m1, s).expect("valid");
+            b.connect(m2, s).expect("valid");
+            s
         };
-        let a = match feeds.first() {
-            Some(&f) => f,
-            None => track(groups, b.node(Operation::Input, w)),
-        };
-        let c = match feeds.get(1) {
-            Some(&f) => f,
-            None => track(groups, b.node(Operation::Input, w)),
-        };
-        let m1 = track(groups, b.node(Operation::Mul, w));
-        b.connect(a, m1).expect("valid");
-        b.connect(c, m1).expect("valid");
-        let m2 = track(groups, b.node(Operation::Mul, w));
-        b.connect(a, m2).expect("valid");
-        b.connect(m1, m2).expect("valid");
-        let s = track(groups, b.node(Operation::Add, w));
-        b.connect(m1, s).expect("valid");
-        b.connect(m2, s).expect("valid");
-        s
-    };
 
     // P1 reads coefficients from M_A (memory block 0).
     let p1_out = {
@@ -124,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.trials, outcome.feasible_trials
     );
     if let Some(best) = outcome.feasible.first() {
-        println!("{}", report::guideline(best, session.library()));
+        println!("{}", report::guideline(&outcome, best, session.library()));
     }
     Ok(())
 }

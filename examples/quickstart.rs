@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Print the designer guideline for the best feasible design.
     match outcome.feasible.first() {
         Some(best) => {
-            println!("\n{}", report::guideline(best, session.library()));
+            println!("\n{}", report::guideline(&outcome, best, session.library()));
         }
         None => println!("no feasible implementation — relax constraints or repartition"),
     }

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [(OpClass::Addition, 1), (OpClass::Multiplication, 1)].into_iter().collect();
     let specs = NodeSpec::uniform(&dfg, 1);
 
-    println!("\n{:>12} | {:>5} | {:>12} | {:>12}", "budget (cyc)", "tasks", "total cycles", "per-task max");
+    println!(
+        "\n{:>12} | {:>5} | {:>12} | {:>12}",
+        "budget (cyc)", "tasks", "total cycles", "per-task max"
+    );
     for budget in [4u64, 8, 16, 32] {
         let tasks = create_tasks(&dfg, &specs, &processor, budget)?;
         println!(

@@ -35,10 +35,7 @@ fn wide_session(k: usize) -> Session {
 
 fn combination_count(session: &Session) -> u128 {
     let (lists, _) = session.predict_partitions().unwrap();
-    lists
-        .iter()
-        .try_fold(1u128, |acc, l| acc.checked_mul(l.len() as u128))
-        .unwrap_or(u128::MAX)
+    lists.iter().try_fold(1u128, |acc, l| acc.checked_mul(l.len() as u128)).unwrap_or(u128::MAX)
 }
 
 /// One calibration run bounding the cost of "one more trial" plus the

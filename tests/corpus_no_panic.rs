@@ -20,6 +20,12 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
 }
 
+/// Worker threads for the suite: `CHOP_TEST_JOBS` (CI sets 4 to shake
+/// out races in the parallel engine), default 1.
+fn test_jobs() -> usize {
+    std::env::var("CHOP_TEST_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
 /// Drives one spec text through the full pipeline. Returns a stage label
 /// on a typed failure; panics are the caller's to detect.
 fn drive(text: &str) -> String {
@@ -48,7 +54,8 @@ fn drive(text: &str) -> String {
             SearchBudget::default()
                 .with_deadline(Duration::from_millis(500))
                 .with_max_trials(2_000),
-        );
+        )
+        .with_jobs(test_jobs());
         for heuristic in [Heuristic::Enumeration, Heuristic::Iterative] {
             if let Err(e) = session.explore(heuristic) {
                 return format!("explore error ({heuristic:?}, k={k}): {e}");
@@ -113,7 +120,8 @@ fn absurd_pins_spec_is_never_feasible() {
         PredictorParams::default(),
         Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
     )
-    .with_budget(SearchBudget::default().with_deadline(Duration::from_millis(500)));
+    .with_budget(SearchBudget::default().with_deadline(Duration::from_millis(500)))
+    .with_jobs(test_jobs());
     if let Ok(outcome) = session.explore(Heuristic::Iterative) {
         assert!(
             outcome.feasible.is_empty(),

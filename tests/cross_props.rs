@@ -116,7 +116,7 @@ proptest! {
                 *s.constraints(),
             );
             for f in &o.feasible {
-                let sel: Vec<_> = f.selection.iter().collect();
+                let sel = o.selected_designs(f);
                 let again = ctx
                     .evaluate(&sel, Cycles::new(f.system.initiation_interval.value()))
                     .unwrap();

@@ -26,18 +26,12 @@ fn doubling_chips_doubles_performance() {
         .explore(Heuristic::Enumeration)
         .unwrap();
     let best_ii = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.initiation_ns.likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.initiation_ns.likely()).fold(f64::INFINITY, f64::min)
     };
     let ii1 = best_ii(&one);
     let ii2 = best_ii(&two);
     assert!(ii1.is_finite() && ii2.is_finite());
-    assert!(
-        ii2 <= ii1 / 1.5,
-        "two chips ({ii2} ns) should be well below one chip ({ii1} ns)"
-    );
+    assert!(ii2 <= ii1 / 1.5, "two chips ({ii2} ns) should be well below one chip ({ii1} ns)");
 }
 
 #[test]
@@ -53,10 +47,7 @@ fn fewer_pins_never_improve_delay() {
         .explore(Heuristic::Enumeration)
         .unwrap();
     let best_delay = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.delay_ns.likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.delay_ns.likely()).fold(f64::INFINITY, f64::min)
     };
     let d64 = best_delay(&p64);
     let d84 = best_delay(&p84);

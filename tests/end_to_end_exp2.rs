@@ -41,10 +41,7 @@ fn multi_cycle_single_chip_beats_single_cycle_performance() {
         .explore(Heuristic::Enumeration)
         .unwrap();
     let best_ii_ns = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.initiation_ns.likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.initiation_ns.likely()).fold(f64::INFINITY, f64::min)
     };
     let ns1 = best_ii_ns(&e1);
     let ns2 = best_ii_ns(&e2);
@@ -72,10 +69,7 @@ fn multi_cycle_single_chip_beats_single_cycle_performance() {
         .unwrap();
     let ns1b = best_ii_ns(&e1b);
     let ns2b = best_ii_ns(&e2b);
-    assert!(
-        ns2b < ns1b,
-        "exp2 two-chip best {ns2b} ns should strictly beat exp1's {ns1b} ns"
-    );
+    assert!(ns2b < ns1b, "exp2 two-chip best {ns2b} ns should strictly beat exp1's {ns1b} ns");
 }
 
 #[test]
@@ -89,10 +83,7 @@ fn clock_cycle_reflects_datapath_overhead() {
     assert!(!o.feasible.is_empty());
     for f in &o.feasible {
         let clock = f.system.clock.likely();
-        assert!(
-            (350.0..450.0).contains(&clock),
-            "clock {clock} outside Table 6 band"
-        );
+        assert!((350.0..450.0).contains(&clock), "clock {clock} outside Table 6 band");
     }
 }
 
@@ -108,10 +99,7 @@ fn more_partitions_allow_lower_initiation_intervals() {
         .explore(Heuristic::Enumeration)
         .unwrap();
     let best = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.initiation_interval.value())
-            .min()
+        o.feasible.iter().map(|f| f.system.initiation_interval.value()).min()
     };
     let b1 = best(&one);
     let b3 = best(&three);

@@ -1,7 +1,9 @@
 //! Tests for the paper's §5 future-work extensions implemented here:
 //! power constraints and testability overhead.
 
-use chop_core::experiments::{experiment1_session, experiment2_session, Exp1Config, Exp2Config};
+use chop_core::experiments::{
+    experiment1_session, experiment2_session, Exp1Config, Exp2Config,
+};
 use chop_core::testability::TestabilityOverhead;
 use chop_core::{Constraints, Heuristic};
 use chop_stat::units::{MilliWatts, Nanos};
@@ -51,16 +53,9 @@ fn intermediate_power_limit_prunes_hot_designs() {
     let all = base.explore(Heuristic::Enumeration).unwrap();
     assert!(!all.feasible.is_empty());
     // Set the limit just below the hottest feasible design.
-    let hottest = all
-        .feasible
-        .iter()
-        .map(|f| f.system.power.likely())
-        .fold(0.0f64, f64::max);
-    let coolest = all
-        .feasible
-        .iter()
-        .map(|f| f.system.power.likely())
-        .fold(f64::INFINITY, f64::min);
+    let hottest = all.feasible.iter().map(|f| f.system.power.likely()).fold(0.0f64, f64::max);
+    let coolest =
+        all.feasible.iter().map(|f| f.system.power.likely()).fold(f64::INFINITY, f64::min);
     if hottest > coolest * 1.05 {
         let limited = base
             .clone()
@@ -99,10 +94,7 @@ fn testability_clock_overhead_visible_in_results() {
         .explore(Heuristic::Iterative)
         .unwrap();
     let best_clock = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.clock.likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.clock.likely()).fold(f64::INFINITY, f64::min)
     };
     if !plain.feasible.is_empty() && !scan.feasible.is_empty() {
         assert!(best_clock(&scan) > best_clock(&plain));

@@ -12,8 +12,16 @@ use chop_bad::PredictError;
 use chop_core::experiments::{experiment1_session, Exp1Config};
 use chop_core::{ChopError, Completion, FaultPlan, Heuristic, SearchBudget, Session};
 
+/// Worker threads for the suite: `CHOP_TEST_JOBS` (CI sets 4 so fault
+/// containment is also exercised across scoped workers), default 1.
+fn test_jobs() -> usize {
+    std::env::var("CHOP_TEST_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
 fn session() -> Session {
-    experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap()
+    experiment1_session(&Exp1Config { partitions: 2, package: 1 })
+        .unwrap()
+        .with_jobs(test_jobs())
 }
 
 #[test]

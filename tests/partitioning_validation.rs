@@ -1,9 +1,9 @@
 //! Cross-crate validation: malformed partitionings are rejected with
 //! precise errors, well-formed ones flow through the whole pipeline.
 
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
 use chop_core::spec::{BuildError, PartitioningBuilder, SpecError};
 use chop_core::{Constraints, Heuristic, MemoryAssignment, Session};
-use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
 use chop_dfg::grouping::Grouping;
 use chop_dfg::{benchmarks, DfgBuilder, MemoryRef, Operation};
 use chop_library::standard::{
@@ -32,10 +32,8 @@ fn mutual_dependency_rejected_at_build() {
     b.connect(m, o).unwrap();
     let g = b.build().unwrap();
     let grouping = Grouping::new(&g, 2, vec![0, 0, 1, 0]).unwrap();
-    let err = PartitioningBuilder::new(g, chips(2))
-        .with_grouping(grouping)
-        .build()
-        .unwrap_err();
+    let err =
+        PartitioningBuilder::new(g, chips(2)).with_grouping(grouping).build().unwrap_err();
     assert!(matches!(err, BuildError::Grouping(_)));
 }
 
@@ -82,10 +80,7 @@ fn memory_on_chip_consumes_area_in_exploration() {
     let on = session(on_chip).explore(Heuristic::Enumeration).unwrap();
     let off = session(off_shelf).explore(Heuristic::Enumeration).unwrap();
     let best_area = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.chip_areas[0].likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.chip_areas[0].likely()).fold(f64::INFINITY, f64::min)
     };
     assert!(!on.feasible.is_empty() && !off.feasible.is_empty());
     assert!(best_area(&on) > best_area(&off));
@@ -97,9 +92,7 @@ fn chip_swap_changes_pin_budget_effects() {
         .split_horizontal(2)
         .build()
         .unwrap();
-    let swapped = p
-        .with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))
-        .unwrap();
+    let swapped = p.with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2)).unwrap();
     assert_eq!(swapped.chips().chip(ChipId::new(0)).pins(), 64);
 }
 

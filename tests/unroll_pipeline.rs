@@ -54,10 +54,7 @@ fn unrolled_loop_flows_through_chop() {
             Constraints::new(Nanos::new(60_000.0), Nanos::new(90_000.0)),
         );
         let outcome = session.explore(Heuristic::Iterative).unwrap();
-        assert!(
-            outcome.feasible_trials > 0,
-            "a 12-op unrolled loop easily fits {k} chip(s)"
-        );
+        assert!(outcome.feasible_trials > 0, "a 12-op unrolled loop easily fits {k} chip(s)");
     }
 }
 
@@ -78,12 +75,7 @@ fn deeper_unrolling_serializes_the_critical_path() {
             Constraints::new(Nanos::new(120_000.0), Nanos::new(120_000.0)),
         );
         let outcome = session.explore(Heuristic::Iterative).unwrap();
-        outcome
-            .feasible
-            .iter()
-            .map(|f| f.system.delay.value())
-            .min()
-            .expect("feasible")
+        outcome.feasible.iter().map(|f| f.system.delay.value()).min().expect("feasible")
     };
     let d2 = best_delay(2);
     let d8 = best_delay(8);

@@ -30,15 +30,12 @@ fn chip_set_downgrade_weakens_results() {
     let s84 = experiment1_session(&Exp1Config { partitions: 2, package: 1 }).unwrap();
     let s64 = s84
         .clone()
-        .with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))
+        .try_with_chip_set(ChipSet::uniform(table2_packages()[0].clone(), 2))
         .unwrap();
     let o84 = s84.explore(Heuristic::Enumeration).unwrap();
     let o64 = s64.explore(Heuristic::Enumeration).unwrap();
     let best_delay = |o: &chop_core::SearchOutcome| {
-        o.feasible
-            .iter()
-            .map(|f| f.system.delay_ns.likely())
-            .fold(f64::INFINITY, f64::min)
+        o.feasible.iter().map(|f| f.system.delay_ns.likely()).fold(f64::INFINITY, f64::min)
     };
     assert!(best_delay(&o64) >= best_delay(&o84));
 }

@@ -3,9 +3,9 @@
 //! Implements the entry points this workspace's benches use —
 //! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
 //! `BenchmarkGroup::{sample_size, bench_function, finish}` and
-//! `Bencher::iter` — over a plain wall-clock harness: warm up once, run
-//! `sample_size` timed samples, report min/median/mean to stdout. No
-//! statistics engine, plots or comparison baselines.
+//! `Bencher::{iter, iter_batched}` — over a plain wall-clock harness:
+//! warm up once, run `sample_size` timed samples, report min/median/mean
+//! to stdout. No statistics engine, plots or comparison baselines.
 
 use std::fmt::Display;
 use std::hint;
@@ -71,12 +71,39 @@ pub struct Bencher {
     iters_per_sample: u32,
 }
 
+/// Stub of `criterion::BatchSize`; the stub harness sizes batches by
+/// `iters_per_sample` regardless of the variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 impl Bencher {
     /// Times the closure; called once per sample by the harness.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         for _ in 0..self.iters_per_sample {
             black_box(f());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup runs
+    /// untimed before the batch starts.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
         }
         self.samples.push(start.elapsed() / self.iters_per_sample);
     }

@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn spec_line_shape() {
         for case in 0..100 {
-            let s = generate(
-                "[a-z]{1,4} = [a-z]{1,6}( [a-zA-Z0-9]{1,4}){0,3}",
-                &mut rng(case),
-            );
+            let s = generate("[a-z]{1,4} = [a-z]{1,6}( [a-zA-Z0-9]{1,4}){0,3}", &mut rng(case));
             assert!(s.contains(" = "), "{s:?}");
         }
     }
