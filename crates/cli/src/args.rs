@@ -238,12 +238,104 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
     Ok(opts)
 }
 
+/// Options for `chop serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address. Port 0 asks the OS for an ephemeral port (the
+    /// server prints the bound address either way).
+    pub addr: String,
+    /// Worker threads running explorations.
+    pub workers: usize,
+    /// Explorations queued or running before `busy` replies.
+    pub max_inflight: usize,
+    /// Default per-exploration thread count (requests may override).
+    pub jobs: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        // 1991: the year of the DAC paper — a memorable default port.
+        Self { addr: "127.0.0.1:1991".to_owned(), workers: 4, max_inflight: 64, jobs: None }
+    }
+}
+
+/// Parses `serve` options from argv (after the subcommand).
+pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
+    let mut opts = ServeOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, ArgError> {
+            it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value(arg)?,
+            "--workers" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--workers must be at least 1".into()));
+                }
+                opts.workers = n;
+            }
+            "--max-inflight" => {
+                opts.max_inflight = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--jobs" | "-j" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--jobs must be at least 1".into()));
+                }
+                opts.jobs = Some(n);
+            }
+            other => return Err(ArgError(format!("unknown serve option {other}"))),
+        }
+    }
+    Ok(opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let o = parse_serve_options(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:1991");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.max_inflight, 64);
+        assert_eq!(o.jobs, None);
+        let o = parse_serve_options(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--max-inflight",
+            "8",
+            "--jobs",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.max_inflight, 8);
+        assert_eq!(o.jobs, Some(3));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(parse_serve_options(&s(&["--workers", "0"])).is_err());
+        assert!(parse_serve_options(&s(&["--jobs", "0"])).is_err());
+        assert!(parse_serve_options(&s(&["--addr"])).is_err());
+        assert!(parse_serve_options(&s(&["--frobnicate"])).is_err());
     }
 
     #[test]

@@ -4,12 +4,7 @@ use std::error::Error;
 use std::time::Duration;
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::testability::TestabilityOverhead;
-use chop_core::{
-    report, Constraints, Heuristic, MemoryAssignment, PartitionId, SearchBudget, SearchOutcome,
-    Session,
-};
+use chop_core::prelude::*;
 use chop_dfg::parse::parse_dfg;
 use chop_dfg::Dfg;
 use chop_library::standard::{
@@ -19,7 +14,7 @@ use chop_library::standard::{
 use chop_library::{ChipId, ChipSet};
 use chop_stat::units::{MilliWatts, Nanos};
 
-use crate::args::{parse_options, ArgError, Options};
+use crate::args::{parse_options, parse_serve_options, ArgError, Options};
 
 const HELP: &str = "chop — constraint-driven system-level partitioner
 
@@ -27,6 +22,8 @@ USAGE:
   chop check <spec.cbs> [options]   decide feasibility of a partitioning
   chop dot <spec.cbs>               print the DFG in Graphviz DOT
   chop tasks <spec.cbs> [options]   print the task graph in DOT
+  chop serve [options]              run the partitioning service (TCP)
+  chop client <addr> <cmd> [...]    talk to a running service
   chop format                       describe the spec file format
   chop help                         this text
 
@@ -55,9 +52,25 @@ OPTIONS (check / tasks):
   --move-node <N:P>        after the run, move node N to partition P and
                            re-explore incrementally (check only)
 
+OPTIONS (serve):
+  --addr <host:port>       listen address (port 0 = ephemeral) [127.0.0.1:1991]
+  --workers <N>            exploration worker threads          [4]
+  --max-inflight <N>       explorations in flight before busy  [64]
+  --jobs, -j <N>           default threads per exploration     [all CPUs]
+
+CLIENT COMMANDS (chop client <addr> ...):
+  ping                               liveness / protocol version
+  open <name> <spec.cbs> [--partitions N] [--chips N] [--package 64|84]
+                         [--perf ns] [--delay ns] [--single-cycle]
+  explore <name> [--heuristic e|i] [--deadline ms] [--max-trials N] [--jobs N]
+  repartition <name> <NODE:PARTITION>
+  stats [name]
+  close <name>
+  shutdown                           drain the server and exit 0
+
 EXIT CODES:
   0  a feasible implementation was found (search complete)
-  1  error (bad usage, unreadable spec, prediction failure)
+  1  error (bad usage, unreadable spec, prediction failure, busy server)
   2  infeasible — the search completed and found nothing
   3  truncated — a budget tripped; results are partial
 ";
@@ -124,6 +137,8 @@ pub fn run(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
         Some("check") => check(&parse_options(&argv[1..])?),
         Some("dot") => dot(&argv[1..]),
         Some("tasks") => tasks(&parse_options(&argv[1..])?),
+        Some("serve") => crate::service::serve(&parse_serve_options(&argv[1..])?),
+        Some("client") => crate::service::client(&argv[1..]),
         Some("format") => {
             print!("{FORMAT}");
             Ok(RunStatus::Feasible)
@@ -181,6 +196,20 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
     } else {
         ArchitectureStyle::single_cycle()
     };
+    // The unit types panic on NaN/negative input, so bad bounds must be
+    // rejected as argument errors before any Nanos is constructed; zero
+    // bounds are caught by `try_with_constraints` below.
+    for (flag, v) in [
+        ("--perf", opts.performance),
+        ("--delay", opts.delay),
+        ("--power", opts.power.unwrap_or(1.0)),
+    ] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(Box::new(ArgError(format!(
+                "{flag} must be a positive, finite number"
+            ))));
+        }
+    }
     let mut constraints =
         Constraints::new(Nanos::new(opts.performance), Nanos::new(opts.delay));
     if let Some(mw) = opts.power {
@@ -193,7 +222,8 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
         style,
         PredictorParams::default(),
         constraints,
-    );
+    )
+    .try_with_constraints(constraints)?;
     session = match opts.testability.as_str() {
         "partial" => session.with_testability(TestabilityOverhead::partial_scan()),
         "full" => session.with_testability(TestabilityOverhead::full_scan()),
@@ -362,12 +392,14 @@ fn tasks(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
 mod tests {
     use super::*;
 
-    fn write_spec(name: &str, body: &str) -> String {
+    /// Materializes a spec under the temp dir. I/O failures surface as
+    /// `Err` (and a test failure) instead of a panic mid-assertion.
+    fn write_spec(name: &str, body: &str) -> Result<String, Box<dyn Error>> {
         let dir = std::env::temp_dir().join("chop-cli-tests");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join(name);
-        std::fs::write(&path, body).unwrap();
-        path.to_string_lossy().into_owned()
+        std::fs::write(&path, body)?;
+        Ok(path.to_string_lossy().into_owned())
     }
 
     fn argv(v: &[&str]) -> Vec<String> {
@@ -387,56 +419,57 @@ mod tests {
     }
 
     #[test]
-    fn check_runs_on_simple_spec() {
+    fn check_runs_on_simple_spec() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "simple.cbs",
             "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
-        );
-        assert!(run(&argv(&["check", &path])).is_ok());
-        assert!(run(&argv(&["check", &path, "--multi-cycle", "--heuristic", "e"])).is_ok());
+        )?;
+        run(&argv(&["check", &path]))?;
+        run(&argv(&["check", &path, "--multi-cycle", "--heuristic", "e"]))?;
+        Ok(())
     }
 
     #[test]
-    fn dot_and_tasks_run() {
-        let path = write_spec("dot.cbs", "a = input 8\ny = output a\n");
-        assert!(run(&argv(&["dot", &path])).is_ok());
-        assert!(run(&argv(&["tasks", &path, "--partitions", "1"])).is_ok());
+    fn dot_and_tasks_run() -> Result<(), Box<dyn Error>> {
+        let path = write_spec("dot.cbs", "a = input 8\ny = output a\n")?;
+        run(&argv(&["dot", &path]))?;
+        run(&argv(&["tasks", &path, "--partitions", "1"]))?;
+        Ok(())
     }
 
     #[test]
-    fn memory_spec_defaults_to_off_the_shelf() {
+    fn memory_spec_defaults_to_off_the_shelf() -> Result<(), Box<dyn Error>> {
         let path =
-            write_spec("mem.cbs", "a = input 16\nr = read M0 a\np = mul r a\ny = output p\n");
-        assert!(run(&argv(&["check", &path, "--multi-cycle"])).is_ok());
-        assert!(
-            run(&argv(&["check", &path, "--multi-cycle", "--on-chip-memory", "M0:0"])).is_ok()
-        );
+            write_spec("mem.cbs", "a = input 16\nr = read M0 a\np = mul r a\ny = output p\n")?;
+        run(&argv(&["check", &path, "--multi-cycle"]))?;
+        run(&argv(&["check", &path, "--multi-cycle", "--on-chip-memory", "M0:0"]))?;
+        Ok(())
     }
 
     #[test]
-    fn markdown_report_flag_accepted() {
+    fn markdown_report_flag_accepted() -> Result<(), Box<dyn Error>> {
         let path =
-            write_spec("md.cbs", "a = input 16\nb = input 16\np = mul a b\ny = output p\n");
-        assert!(run(&argv(&["check", &path, "--multi-cycle", "--markdown"])).is_ok());
+            write_spec("md.cbs", "a = input 16\nb = input 16\np = mul a b\ny = output p\n")?;
+        run(&argv(&["check", &path, "--multi-cycle", "--markdown"]))?;
+        Ok(())
     }
 
     #[test]
-    fn shipped_spec_files_all_check() {
+    fn shipped_spec_files_all_check() -> Result<(), Box<dyn Error>> {
         let specs = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
         let mut found = 0;
-        for entry in std::fs::read_dir(specs).expect("specs/ directory ships with the repo") {
-            let path = entry.unwrap().path();
+        for entry in std::fs::read_dir(specs)? {
+            let path = entry?.path();
             if path.extension().is_some_and(|e| e == "cbs") {
                 found += 1;
                 let p = path.to_string_lossy().into_owned();
-                assert!(
-                    run(&argv(&["check", &p, "--multi-cycle", "--partitions", "2"])).is_ok(),
-                    "{p} failed"
-                );
-                assert!(run(&argv(&["dot", &p])).is_ok());
+                run(&argv(&["check", &p, "--multi-cycle", "--partitions", "2"]))
+                    .map_err(|e| format!("{p} failed: {e}"))?;
+                run(&argv(&["dot", &p]))?;
             }
         }
         assert!(found >= 3, "expected the shipped spec files, found {found}");
+        Ok(())
     }
 
     #[test]
@@ -446,10 +479,24 @@ mod tests {
     }
 
     #[test]
-    fn parse_error_reports_line() {
-        let path = write_spec("bad.cbs", "a = input 16\nb = add a ghost\n");
+    fn parse_error_reports_line() -> Result<(), Box<dyn Error>> {
+        let path = write_spec("bad.cbs", "a = input 16\nb = add a ghost\n")?;
         let err = run(&argv(&["check", &path])).unwrap_err();
         assert!(err.to_string().contains("line 2"));
+        Ok(())
+    }
+
+    #[test]
+    fn nonpositive_constraints_are_argument_errors() -> Result<(), Box<dyn Error>> {
+        let path = write_spec("neg.cbs", "a = input 16\ny = output a\n")?;
+        for flag in ["--perf", "--delay", "--power"] {
+            let err = run(&argv(&["check", &path, flag, "-5"])).unwrap_err();
+            assert!(err.to_string().contains("positive"), "{flag}: {err}");
+        }
+        // Zero is caught by the validating builder, not the unit types.
+        let err = run(&argv(&["check", &path, "--perf", "0"])).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        Ok(())
     }
 
     #[test]
@@ -467,47 +514,49 @@ mod tests {
     }
 
     #[test]
-    fn feasible_check_reports_feasible_status() {
+    fn feasible_check_reports_feasible_status() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "status-ok.cbs",
             "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
-        );
-        let status = run(&argv(&["check", &path, "--multi-cycle"])).unwrap();
+        )?;
+        let status = run(&argv(&["check", &path, "--multi-cycle"]))?;
         assert_eq!(status, RunStatus::Feasible);
+        Ok(())
     }
 
     #[test]
-    fn impossible_constraint_reports_infeasible_status() {
+    fn impossible_constraint_reports_infeasible_status() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "status-bad.cbs",
             "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
-        );
+        )?;
         // A 1 ns performance bound is unmeetable with a 300 ns clock.
         let status =
-            run(&argv(&["check", &path, "--multi-cycle", "--perf", "1", "--delay", "1"]))
-                .unwrap();
+            run(&argv(&["check", &path, "--multi-cycle", "--perf", "1", "--delay", "1"]))?;
         assert_eq!(status, RunStatus::Infeasible);
+        Ok(())
     }
 
     #[test]
-    fn zero_deadline_reports_truncated_status() {
+    fn zero_deadline_reports_truncated_status() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "status-trunc.cbs",
             "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
-        );
-        let status = run(&argv(&["check", &path, "--multi-cycle", "--deadline", "0"])).unwrap();
+        )?;
+        let status = run(&argv(&["check", &path, "--multi-cycle", "--deadline", "0"]))?;
         assert_eq!(status, RunStatus::Truncated);
+        Ok(())
     }
 
     #[test]
-    fn zero_trials_reports_truncated_status() {
+    fn zero_trials_reports_truncated_status() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "status-trials.cbs",
             "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
-        );
-        let status =
-            run(&argv(&["check", &path, "--multi-cycle", "--max-trials", "0"])).unwrap();
+        )?;
+        let status = run(&argv(&["check", &path, "--multi-cycle", "--max-trials", "0"]))?;
         assert_eq!(status, RunStatus::Truncated);
+        Ok(())
     }
 
     #[test]
@@ -526,40 +575,40 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_jobs_flags_run() {
+    fn stats_and_jobs_flags_run() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "stats.cbs",
             "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n",
-        );
-        assert!(
-            run(&argv(&["check", &path, "--multi-cycle", "--stats", "--jobs", "2"])).is_ok()
-        );
+        )?;
+        run(&argv(&["check", &path, "--multi-cycle", "--stats", "--jobs", "2"]))?;
+        Ok(())
     }
 
     #[test]
-    fn stats_json_writes_a_runs_object() {
+    fn stats_json_writes_a_runs_object() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "stats-json.cbs",
             "a = input 16\nb = input 16\np = mul a b\ny = output p\n",
-        );
+        )?;
         let out = std::env::temp_dir().join("chop-cli-tests").join("stats.json");
         let out = out.to_string_lossy().into_owned();
-        assert!(run(&argv(&["check", &path, "--multi-cycle", "--stats-json", &out])).is_ok());
-        let body = std::fs::read_to_string(&out).unwrap();
+        run(&argv(&["check", &path, "--multi-cycle", "--stats-json", &out]))?;
+        let body = std::fs::read_to_string(&out)?;
         assert!(body.starts_with("{\"runs\":[{\"label\":\"baseline\""));
         assert!(body.contains("\"predictor_calls\""));
         assert!(body.contains("\"cache\""));
+        Ok(())
     }
 
     #[test]
-    fn move_node_reexplores_incrementally() {
+    fn move_node_reexplores_incrementally() -> Result<(), Box<dyn Error>> {
         let path = write_spec(
             "move.cbs",
             "a = input 16\nb = input 16\np = mul a b\ns = add p a\nt = add s b\ny = output t\n",
-        );
+        )?;
         let out = std::env::temp_dir().join("chop-cli-tests").join("move.json");
         let out = out.to_string_lossy().into_owned();
-        assert!(run(&argv(&[
+        run(&argv(&[
             "check",
             &path,
             "--multi-cycle",
@@ -569,18 +618,27 @@ mod tests {
             "3:0",
             "--stats-json",
             &out,
-        ]))
-        .is_ok());
-        let body = std::fs::read_to_string(&out).unwrap();
+        ]))?;
+        let body = std::fs::read_to_string(&out)?;
         assert!(body.contains("\"label\":\"baseline\""));
         assert!(body.contains("\"label\":\"moved\""));
+        Ok(())
     }
 
     #[test]
-    fn move_node_rejects_unknown_node() {
-        let path = write_spec("move-bad.cbs", "a = input 16\ny = output a\n");
+    fn move_node_rejects_unknown_node() -> Result<(), Box<dyn Error>> {
+        let path = write_spec("move-bad.cbs", "a = input 16\ny = output a\n")?;
         let err =
             run(&argv(&["check", &path, "--multi-cycle", "--move-node", "99:0"])).unwrap_err();
         assert!(err.to_string().contains("no node with index"));
+        Ok(())
+    }
+
+    #[test]
+    fn help_lists_service_commands() {
+        assert!(HELP.contains("chop serve"));
+        assert!(HELP.contains("chop client"));
+        assert!(HELP.contains("--max-inflight"));
+        assert!(HELP.contains("shutdown"));
     }
 }

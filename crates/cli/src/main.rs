@@ -4,6 +4,8 @@
 //! chop check <spec.cbs> [options]   decide feasibility of a partitioning
 //! chop dot <spec.cbs>               print the DFG in Graphviz DOT
 //! chop tasks <spec.cbs> [options]   print the task graph in DOT (Fig. 3)
+//! chop serve [options]              run the partitioning service (TCP)
+//! chop client <addr> <cmd> [...]    talk to a running service
 //! chop format                       describe the spec file format
 //! ```
 //!
@@ -13,6 +15,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod service;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

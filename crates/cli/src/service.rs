@@ -1,0 +1,296 @@
+//! The `chop serve` and `chop client` subcommands.
+
+use std::error::Error;
+
+use chop_core::prelude::Heuristic;
+use chop_service::{
+    Client, ExploreParams, OpenParams, Request, Response, RunSummary, ServeConfig, Server,
+};
+
+use crate::args::{ArgError, ServeOptions};
+use crate::commands::RunStatus;
+
+/// Runs the partitioning service until a client sends `shutdown`.
+///
+/// # Errors
+///
+/// Returns bind/listener failures; per-request failures are answered on
+/// the wire.
+pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
+    let jobs = opts.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    });
+    let config = ServeConfig { workers: opts.workers, max_inflight: opts.max_inflight, jobs };
+    let server = Server::bind(opts.addr.as_str(), config)?;
+    // The tests (and scripts) parse this line to discover an ephemeral
+    // port; keep its shape stable.
+    println!(
+        "chop-service listening on {} (protocol v{})",
+        server.local_addr()?,
+        chop_service::PROTOCOL_VERSION
+    );
+    server.run()?;
+    println!("chop-service drained, exiting");
+    Ok(RunStatus::Feasible)
+}
+
+/// Parses and runs one `chop client <addr> <command…>` invocation.
+///
+/// # Errors
+///
+/// Argument errors, connection failures, and typed server errors (all
+/// exit 1); an `explore` reply additionally maps feasibility onto the
+/// standard exit-code table.
+pub fn client(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
+    let [addr, command, rest @ ..] = argv else {
+        return Err(Box::new(ArgError("client needs <addr> <command>".into())));
+    };
+    let request = parse_client_request(command, rest)?;
+    let mut client = Client::connect(addr.as_str())?;
+    let response = client.request(&request)?;
+    render_response(&response)
+}
+
+/// Builds the wire request for one client command.
+fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<dyn Error>> {
+    match command {
+        "ping" => Ok(Request::Ping),
+        "open" => {
+            let [session, spec_path, flags @ ..] = rest else {
+                return Err(Box::new(ArgError("open needs <session> <spec.cbs>".into())));
+            };
+            let spec = std::fs::read_to_string(spec_path)
+                .map_err(|e| ArgError(format!("cannot read {spec_path:?}: {e}")))?;
+            let mut params = OpenParams { spec, ..OpenParams::default() };
+            let mut it = flags.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<String, ArgError> {
+                    it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+                };
+                match arg.as_str() {
+                    "--partitions" | "-k" => params.partitions = parse_num(arg, &value(arg)?)?,
+                    "--chips" => params.chips = Some(parse_num(arg, &value(arg)?)?),
+                    "--package" => params.package_pins = parse_num(arg, &value(arg)?)?,
+                    "--perf" => params.performance_ns = parse_num(arg, &value(arg)?)?,
+                    "--delay" => params.delay_ns = parse_num(arg, &value(arg)?)?,
+                    "--single-cycle" => params.multi_cycle = false,
+                    other => {
+                        return Err(Box::new(ArgError(format!("unknown open option {other}"))))
+                    }
+                }
+            }
+            Ok(Request::Open { session: session.clone(), params })
+        }
+        "explore" => {
+            let [session, flags @ ..] = rest else {
+                return Err(Box::new(ArgError("explore needs <session>".into())));
+            };
+            let mut params = ExploreParams::default();
+            let mut it = flags.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<String, ArgError> {
+                    it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+                };
+                match arg.as_str() {
+                    "--heuristic" => {
+                        params.heuristic = match value(arg)?.as_str() {
+                            "e" | "E" => Heuristic::Enumeration,
+                            "i" | "I" => Heuristic::Iterative,
+                            _ => {
+                                return Err(Box::new(ArgError(
+                                    "--heuristic must be e or i".into(),
+                                )))
+                            }
+                        };
+                    }
+                    "--deadline" => params.deadline_ms = Some(parse_num(arg, &value(arg)?)?),
+                    "--max-trials" => params.max_trials = Some(parse_num(arg, &value(arg)?)?),
+                    "--jobs" | "-j" => params.jobs = Some(parse_num(arg, &value(arg)?)?),
+                    other => {
+                        return Err(Box::new(ArgError(format!(
+                            "unknown explore option {other}"
+                        ))))
+                    }
+                }
+            }
+            Ok(Request::Explore { session: session.clone(), params })
+        }
+        "repartition" => {
+            let [session, spec] = rest else {
+                return Err(Box::new(ArgError(
+                    "repartition needs <session> <NODE:PARTITION>".into(),
+                )));
+            };
+            let (node, to) = spec
+                .split_once(':')
+                .ok_or_else(|| ArgError("repartition wants NODE:PARTITION".into()))?;
+            Ok(Request::Repartition {
+                session: session.clone(),
+                node: parse_num("NODE", node)?,
+                to: parse_num("PARTITION", to)?,
+            })
+        }
+        "stats" => match rest {
+            [] => Ok(Request::Stats { session: None }),
+            [session] => Ok(Request::Stats { session: Some(session.clone()) }),
+            _ => Err(Box::new(ArgError("stats takes at most one <session>".into()))),
+        },
+        "close" => match rest {
+            [session] => Ok(Request::Close { session: session.clone() }),
+            _ => Err(Box::new(ArgError("close needs <session>".into()))),
+        },
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(Box::new(ArgError(format!("unknown client command {other:?}")))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, ArgError> {
+    text.parse().map_err(|_| ArgError(format!("bad value for {flag}")))
+}
+
+/// Prints a response and maps it to an exit status. Typed server errors
+/// become process errors (exit 1); an `explored` reply reuses the
+/// feasible/infeasible/truncated exit-code table.
+fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
+    match response {
+        Response::Pong { version } => {
+            println!("pong (protocol v{version})");
+            Ok(RunStatus::Feasible)
+        }
+        Response::Opened { session, partitions } => {
+            println!("opened session {session:?} with {partitions} partition(s)");
+            Ok(RunStatus::Feasible)
+        }
+        Response::Explored { session, run } => {
+            print_run(session, run);
+            Ok(run_status(run))
+        }
+        Response::Repartitioned { session, node, to } => {
+            println!("session {session:?}: node {node} moved to partition {to}");
+            Ok(RunStatus::Feasible)
+        }
+        Response::Stats { sessions, cache, last_run } => {
+            println!("sessions ({}): {}", sessions.len(), sessions.join(", "));
+            println!(
+                "shared cache: {} hit(s), {} miss(es), {} eviction(s), {} entries (~{} B)",
+                cache.hits, cache.misses, cache.evictions, cache.entries, cache.bytes
+            );
+            if let Some(run) = last_run {
+                print_run("last run", run);
+            }
+            Ok(RunStatus::Feasible)
+        }
+        Response::Closed { session } => {
+            println!("closed session {session:?}");
+            Ok(RunStatus::Feasible)
+        }
+        Response::ShuttingDown => {
+            println!("server draining");
+            Ok(RunStatus::Feasible)
+        }
+        Response::Busy { inflight, max_inflight } => Err(Box::new(ArgError(format!(
+            "server busy ({inflight}/{max_inflight} explorations in flight), retry later"
+        )))),
+        Response::Error(e) => Err(Box::new(e.clone())),
+    }
+}
+
+fn print_run(label: &str, run: &RunSummary) {
+    println!(
+        "{label}: heuristic {} — {} trials, {} feasible trials, {} implementation(s), \
+         {} ({}{:.2} ms)",
+        run.heuristic,
+        run.trials,
+        run.feasible_trials,
+        run.feasible,
+        run.completion,
+        if run.degraded { "degraded, " } else { "" },
+        run.elapsed_ms,
+    );
+    println!(
+        "  {} predictor call(s), {} cache hit(s), {} miss(es)",
+        run.predictor_calls, run.cache_hits, run.cache_misses
+    );
+    println!("  digest {}", run.digest);
+}
+
+fn run_status(run: &RunSummary) -> RunStatus {
+    if run.completion.is_truncated() {
+        RunStatus::Truncated
+    } else if run.feasible == 0 {
+        RunStatus::Infeasible
+    } else {
+        RunStatus::Feasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn client_request_parsing_covers_every_command() {
+        assert_eq!(parse_client_request("ping", &[]).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_client_request("stats", &[]).unwrap(),
+            Request::Stats { session: None }
+        );
+        assert_eq!(
+            parse_client_request("stats", &s(&["a"])).unwrap(),
+            Request::Stats { session: Some("a".into()) }
+        );
+        assert_eq!(
+            parse_client_request("close", &s(&["a"])).unwrap(),
+            Request::Close { session: "a".into() }
+        );
+        assert_eq!(parse_client_request("shutdown", &[]).unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_client_request("repartition", &s(&["a", "3:0"])).unwrap(),
+            Request::Repartition { session: "a".into(), node: 3, to: 0 }
+        );
+        let req = parse_client_request(
+            "explore",
+            &s(&["a", "--heuristic", "e", "--deadline", "250", "--jobs", "2"]),
+        )
+        .unwrap();
+        let Request::Explore { params, .. } = req else { panic!() };
+        assert_eq!(params.heuristic, Heuristic::Enumeration);
+        assert_eq!(params.deadline_ms, Some(250));
+        assert_eq!(params.jobs, Some(2));
+    }
+
+    #[test]
+    fn client_request_parsing_rejects_nonsense() {
+        assert!(parse_client_request("frobnicate", &[]).is_err());
+        assert!(parse_client_request("repartition", &s(&["a", "3"])).is_err());
+        assert!(parse_client_request("explore", &s(&["a", "--heuristic", "z"])).is_err());
+        assert!(parse_client_request("open", &s(&["a"])).is_err());
+        assert!(parse_client_request("open", &s(&["a", "/nonexistent/x.cbs"])).is_err());
+        assert!(parse_client_request("close", &[]).is_err());
+    }
+
+    #[test]
+    fn explored_responses_map_to_the_exit_code_table() {
+        let run = |feasible, completion| RunSummary {
+            heuristic: Heuristic::Iterative,
+            digest: String::new(),
+            trials: 1,
+            feasible_trials: feasible,
+            feasible,
+            completion,
+            degraded: false,
+            elapsed_ms: 0.0,
+            predictor_calls: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        use chop_core::prelude::Completion;
+        assert_eq!(run_status(&run(1, Completion::Complete)), RunStatus::Feasible);
+        assert_eq!(run_status(&run(0, Completion::Complete)), RunStatus::Infeasible);
+        assert_eq!(run_status(&run(1, Completion::TruncatedDeadline)), RunStatus::Truncated);
+    }
+}

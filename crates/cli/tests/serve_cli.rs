@@ -1,0 +1,98 @@
+//! End-to-end test of the `chop serve` / `chop client` binaries: a real
+//! server process on an ephemeral port, driven by real client processes,
+//! finishing with a graceful drain and exit code 0.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
+
+fn chop() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chop"))
+}
+
+/// Runs `chop client <addr> <args…>`, asserting it exits successfully,
+/// and returns its stdout.
+fn client_ok(addr: &str, args: &[&str]) -> String {
+    let output = chop().arg("client").arg(addr).args(args).output().expect("spawn chop client");
+    assert!(
+        output.status.success(),
+        "chop client {addr} {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn serve_and_client_binaries_run_a_full_session() {
+    let spec_path =
+        std::env::temp_dir().join(format!("chop-serve-cli-{}.cbs", std::process::id()));
+    std::fs::write(&spec_path, SPEC).expect("write spec");
+
+    let mut server = chop()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "--jobs", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn chop serve");
+
+    // The first stdout line has a stable shape:
+    //   chop-service listening on 127.0.0.1:PORT (protocol vN)
+    let mut stdout = BufReader::new(server.stdout.take().expect("server stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unparseable banner: {banner:?}"))
+        .to_owned();
+
+    assert!(client_ok(&addr, &["ping"]).contains("pong"));
+
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+    let opened = client_ok(&addr, &["open", "demo", spec, "--partitions", "2", "--chips", "2"]);
+    assert!(opened.contains("opened session"), "{opened}");
+
+    let explored = client_ok(&addr, &["explore", "demo", "--heuristic", "i"]);
+    assert!(explored.contains("digest"), "{explored}");
+
+    let moved = client_ok(&addr, &["repartition", "demo", "2:0"]);
+    assert!(moved.contains("moved to partition 0"), "{moved}");
+
+    let stats = client_ok(&addr, &["stats", "demo"]);
+    assert!(stats.contains("shared cache"), "{stats}");
+    assert!(stats.contains("demo"), "{stats}");
+
+    assert!(client_ok(&addr, &["close", "demo"]).contains("closed"));
+    assert!(client_ok(&addr, &["shutdown"]).contains("draining"));
+
+    // The server must drain and exit 0.
+    let status = server.wait().expect("wait for server");
+    assert!(status.success(), "server exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("drain stdout");
+    assert!(rest.contains("drained"), "{rest}");
+
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn client_reports_typed_errors_with_exit_code_1() {
+    let mut server = chop()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn chop serve");
+    let mut stdout = BufReader::new(server.stdout.take().expect("server stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner.split_whitespace().nth(3).expect("addr in banner").to_owned();
+
+    let output =
+        chop().args(["client", &addr, "explore", "ghost"]).output().expect("spawn chop client");
+    assert_eq!(output.status.code(), Some(1), "unknown session must exit 1");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown_session"), "{stderr}");
+
+    assert!(client_ok(&addr, &["shutdown"]).contains("draining"));
+    assert!(server.wait().expect("wait").success());
+}

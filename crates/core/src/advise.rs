@@ -79,7 +79,7 @@ pub fn best_memory_assignment(
                 continue;
             }
             let outcome =
-                session.clone().with_partitioning(candidate.clone()).explore(heuristic)?;
+                session.clone().try_with_partitioning(candidate.clone())?.explore(heuristic)?;
             examined += 1;
             if better(&outcome, &best_outcome) {
                 best_outcome = outcome;
@@ -118,7 +118,7 @@ pub fn improve_by_migration(
         for (node, target) in boundary_moves(&current) {
             let Ok(candidate) = current.with_node_moved(node, target) else { continue };
             let outcome =
-                session.clone().with_partitioning(candidate.clone()).explore(heuristic)?;
+                session.clone().try_with_partitioning(candidate.clone())?.explore(heuristic)?;
             examined += 1;
             let beats_incumbent = better(&outcome, &current_outcome);
             let beats_best = best_move.as_ref().is_none_or(|(_, best)| better(&outcome, best));
@@ -206,7 +206,8 @@ pub fn minimum_chip_count(
         let Ok(partitioning) = builder.build() else {
             break;
         };
-        let outcome = session.clone().with_partitioning(partitioning).explore(heuristic)?;
+        let outcome =
+            session.clone().try_with_partitioning(partitioning)?.explore(heuristic)?;
         let feasible = !outcome.feasible.is_empty();
         tried.push((k, outcome));
         if feasible {
@@ -331,10 +332,12 @@ mod tests {
 
         // Tighten performance to 10 µs: one chip can no longer keep up,
         // but two or three can (II 20 × ~370 ns ≈ 7.4 µs).
-        let tight = s.with_constraints(crate::feasibility::Constraints::new(
-            chop_stat::units::Nanos::new(10_000.0),
-            chop_stat::units::Nanos::new(30_000.0),
-        ));
+        let tight = s
+            .try_with_constraints(crate::feasibility::Constraints::new(
+                chop_stat::units::Nanos::new(10_000.0),
+                chop_stat::units::Nanos::new(30_000.0),
+            ))
+            .unwrap();
         let (best, tried) = minimum_chip_count(&tight, Heuristic::Iterative, 3).unwrap();
         assert_eq!(
             best,
@@ -349,10 +352,11 @@ mod tests {
         use crate::experiments::{experiment1_session, Exp1Config};
         let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
             .unwrap()
-            .with_constraints(crate::feasibility::Constraints::new(
+            .try_with_constraints(crate::feasibility::Constraints::new(
                 chop_stat::units::Nanos::new(100.0),
                 chop_stat::units::Nanos::new(100.0),
-            ));
+            ))
+            .unwrap();
         let (best, tried) = minimum_chip_count(&s, Heuristic::Iterative, 2).unwrap();
         assert_eq!(best, None);
         assert_eq!(tried.len(), 2);

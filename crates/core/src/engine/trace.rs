@@ -80,7 +80,7 @@ impl ExploreTrace {
 /// threads; relaxed ordering suffices because the recorder is only read
 /// after the workers have been joined.
 #[derive(Debug, Default)]
-pub struct TraceRecorder {
+pub(crate) struct TraceRecorder {
     predict_ns: AtomicU64,
     prune_l1_ns: AtomicU64,
     search_ns: AtomicU64,

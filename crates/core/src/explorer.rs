@@ -214,14 +214,23 @@ pub type PartitionPredictions = (Vec<Arc<[PredictedDesign]>>, Vec<PredictionStat
 ///
 /// # Builder contract
 ///
-/// `with_*` methods are infallible: they take pre-validated inputs (or
-/// values whose invariants their own types enforce) and always return the
-/// modified session. Methods that must cross-validate their argument
-/// against existing session state are named `try_with_*` and return a
-/// `Result` — currently [`Session::try_with_chip_set`], which checks the
-/// new chip set against the partition assignment. Fallible what-if edits
-/// that derive a new session keep their verb names
-/// ([`Session::repartition`]).
+/// This is the one normative statement of the `Session` builder rules;
+/// every builder method's own doc comment defers to it.
+///
+/// * `with_*` methods are infallible: they take values whose invariants
+///   their own types already enforce (flags, budgets, thread counts) and
+///   always return the modified session.
+/// * Methods whose argument must be *validated* — against the session's
+///   state or against invariants the argument's type cannot express — are
+///   named `try_with_*` and return `Result<Self, SpecError>`:
+///   [`Session::try_with_chip_set`] (chip set vs. partition assignment),
+///   [`Session::try_with_partitioning`] (structural re-validation) and
+///   [`Session::try_with_constraints`] (positive, finite bounds).
+/// * Fallible what-if edits that *derive* a new session keep their verb
+///   names ([`Session::repartition`]).
+/// * The panicking shims [`Session::with_partitioning`] and
+///   [`Session::with_constraints`] are deprecated and kept for one
+///   release; new code uses the `try_with_*` forms.
 #[derive(Debug, Clone)]
 pub struct Session {
     pub(crate) partitioning: Partitioning,
@@ -352,6 +361,28 @@ impl Session {
         self
     }
 
+    /// Attaches an externally owned prediction cache, replacing the
+    /// session's current one. This is how a *service* shares one cache
+    /// across many independent sessions: entries are content-addressed
+    /// (configuration fingerprint + partition structural hash), so two
+    /// sessions exploring identical partitions under identical
+    /// configurations hit each other's entries, and differing
+    /// configurations can never collide. The cache is thread-safe; handing
+    /// the same `Arc` to sessions exploring concurrently is sound.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<PredictionCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The session's prediction cache handle (shared with every session
+    /// cloned or derived from this one, and with any session given the
+    /// same cache via [`Session::with_shared_cache`]).
+    #[must_use]
+    pub fn shared_cache(&self) -> Arc<PredictionCache> {
+        Arc::clone(&self.cache)
+    }
+
     /// Lifetime statistics of the session's shared prediction cache.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
@@ -394,13 +425,37 @@ impl Session {
     }
 
     /// What-if: replaces the partitioning (operation migration, partition
-    /// migration — build the new [`Partitioning`] first). The prediction
-    /// cache is kept: unchanged partitions of the new partitioning are
-    /// served from it.
-    #[must_use]
-    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+    /// migration — build the new [`Partitioning`] first), re-validating
+    /// its structural invariants per the [builder contract](Session). The
+    /// prediction cache is kept: unchanged partitions of the new
+    /// partitioning are served from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::spec::SpecError`] found by
+    /// [`Partitioning::validate`].
+    pub fn try_with_partitioning(
+        mut self,
+        partitioning: Partitioning,
+    ) -> Result<Self, crate::spec::SpecError> {
+        partitioning.validate()?;
         self.partitioning = partitioning;
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Session::try_with_partitioning`], kept for one
+    /// release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitioning fails [`Partitioning::validate`].
+    #[deprecated(since = "0.2.0", note = "use `try_with_partitioning`")]
+    #[must_use]
+    pub fn with_partitioning(self, partitioning: Partitioning) -> Self {
+        match self.try_with_partitioning(partitioning) {
+            Ok(session) => session,
+            Err(e) => panic!("invalid partitioning: {e}"),
+        }
     }
 
     /// What-if: moves one DFG node to another partition, returning the
@@ -435,11 +490,36 @@ impl Session {
         Ok(self)
     }
 
-    /// What-if: replaces the constraints (§2.7 "Constraints").
-    #[must_use]
-    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+    /// What-if: replaces the constraints (§2.7 "Constraints"), validating
+    /// that every bound is positive and finite per the
+    /// [builder contract](Session).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::spec::SpecError::InvalidConstraint`] naming the
+    /// offending bound.
+    pub fn try_with_constraints(
+        mut self,
+        constraints: Constraints,
+    ) -> Result<Self, crate::spec::SpecError> {
+        constraints.validate()?;
         self.constraints = constraints;
-        self
+        Ok(self)
+    }
+
+    /// Panicking shim for [`Session::try_with_constraints`], kept for one
+    /// release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound is not positive and finite.
+    #[deprecated(since = "0.2.0", note = "use `try_with_constraints`")]
+    #[must_use]
+    pub fn with_constraints(self, constraints: Constraints) -> Self {
+        match self.try_with_constraints(constraints) {
+            Ok(session) => session,
+            Err(e) => panic!("invalid constraints: {e}"),
+        }
     }
 
     /// Runs BAD on every partition and applies level-1 pruning (unless
@@ -561,8 +641,10 @@ mod tests {
     #[test]
     fn what_if_constraint_change_applies() {
         let s = session(1);
-        let tightened =
-            s.clone().with_constraints(Constraints::new(Nanos::new(300.0), Nanos::new(300.0)));
+        let tightened = s
+            .clone()
+            .try_with_constraints(Constraints::new(Nanos::new(300.0), Nanos::new(300.0)))
+            .unwrap();
         let loose = s.explore(Heuristic::Iterative).unwrap();
         let tight = tightened.explore(Heuristic::Iterative).unwrap();
         assert!(tight.feasible.len() <= loose.feasible.len());
@@ -599,12 +681,58 @@ mod tests {
     }
 
     #[test]
+    fn session_and_cache_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<PredictionCache>();
+        assert_send_sync::<SearchOutcome>();
+    }
+
+    #[test]
+    fn try_with_partitioning_accepts_validated_values() {
+        let s = session(2);
+        let p = s.partitioning().clone();
+        let moved = s.try_with_partitioning(p).unwrap();
+        assert_eq!(moved.partitioning().partition_count(), 2);
+    }
+
+    #[test]
+    fn try_with_constraints_rejects_zero_bounds() {
+        let err = session(1)
+            .try_with_constraints(Constraints::new(Nanos::zero(), Nanos::new(1.0)))
+            .unwrap_err();
+        assert_eq!(err, crate::spec::SpecError::InvalidConstraint("performance"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "invalid constraints")]
+    fn deprecated_constraint_shim_panics_on_invalid_input() {
+        let _ = session(1).with_constraints(Constraints::new(Nanos::zero(), Nanos::new(1.0)));
+    }
+
+    #[test]
+    fn shared_cache_serves_sibling_sessions() {
+        let a = session(2);
+        let b = session(2).with_shared_cache(a.shared_cache());
+        let first = a.explore(Heuristic::Iterative).unwrap();
+        assert_eq!(first.trace.cache_hits, 0);
+        // Identical configuration + partitions → b is served entirely
+        // from a's entries.
+        let second = b.explore(Heuristic::Iterative).unwrap();
+        assert_eq!(second.trace.predictor_calls, 0);
+        assert_eq!(second.trace.cache_hits, 2);
+        assert_eq!(first.digest(), second.digest());
+    }
+
+    #[test]
     fn digest_ignores_timing_but_not_results() {
         let a = session(1).explore(Heuristic::Enumeration).unwrap();
         let b = session(1).explore(Heuristic::Enumeration).unwrap();
         assert_eq!(a.digest(), b.digest());
         let c = session(1)
-            .with_constraints(Constraints::new(Nanos::new(3_000.0), Nanos::new(3_000.0)))
+            .try_with_constraints(Constraints::new(Nanos::new(3_000.0), Nanos::new(3_000.0)))
+            .unwrap()
             .explore(Heuristic::Enumeration)
             .unwrap();
         assert_ne!(a.digest(), c.digest());

@@ -79,6 +79,34 @@ impl Constraints {
         self.performance = performance;
         self
     }
+
+    /// Checks that every bound is a positive, finite quantity. The unit
+    /// types already refuse NaN and negative values at construction, but
+    /// they do allow **zero** — and a zero performance or delay bound
+    /// silently declares every design infeasible, which is never what a
+    /// designer (or a wire request) means. Constraints built from
+    /// untrusted input pass here before they reach a
+    /// [`Session`](crate::Session).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidConstraint`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), crate::spec::SpecError> {
+        use crate::spec::SpecError;
+        if !(self.performance.value().is_finite() && self.performance.value() > 0.0) {
+            return Err(SpecError::InvalidConstraint("performance"));
+        }
+        if !(self.delay.value().is_finite() && self.delay.value() > 0.0) {
+            return Err(SpecError::InvalidConstraint("delay"));
+        }
+        if let Some(p) = self.power {
+            if !(p.value().is_finite() && p.value() > 0.0) {
+                return Err(SpecError::InvalidConstraint("power"));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Constraints {
@@ -302,5 +330,18 @@ mod tests {
             .with_performance(Nanos::new(20_000.0));
         assert_eq!(c.performance().value(), 20_000.0);
         assert_eq!(c.delay().value(), 30_000.0);
+    }
+
+    #[test]
+    fn constraint_validation_rejects_zero_bounds() {
+        use crate::spec::SpecError;
+        let ok = Constraints::new(Nanos::new(1.0), Nanos::new(1.0));
+        assert_eq!(ok.validate(), Ok(()));
+        let perf = Constraints::new(Nanos::zero(), Nanos::new(1.0));
+        assert_eq!(perf.validate(), Err(SpecError::InvalidConstraint("performance")));
+        let delay = Constraints::new(Nanos::new(1.0), Nanos::zero());
+        assert_eq!(delay.validate(), Err(SpecError::InvalidConstraint("delay")));
+        let power = ok.with_power_limit(MilliWatts::zero());
+        assert_eq!(power.validate(), Err(SpecError::InvalidConstraint("power")));
     }
 }

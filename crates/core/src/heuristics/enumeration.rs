@@ -43,7 +43,7 @@ const BLOCK: usize = 128;
 ///
 /// Returns [`ChopError::Integration`] only for structural task-graph
 /// failures; infeasible combinations are recorded, not errors.
-pub fn run(
+pub(crate) fn run(
     ctx: &IntegrationContext<'_>,
     designs: &[Arc<[PredictedDesign]>],
     prune: bool,

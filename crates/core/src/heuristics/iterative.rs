@@ -41,7 +41,7 @@ use crate::integration::IntegrationContext;
 ///
 /// Returns [`ChopError::Integration`] only for structural task-graph
 /// failures.
-pub fn run(
+pub(crate) fn run(
     ctx: &IntegrationContext<'_>,
     designs: &[Arc<[PredictedDesign]>],
     base_clock: Nanos,

@@ -33,16 +33,16 @@ pub struct FeasibleImplementation {
 /// design index per partition plus the initiation interval (main-clock
 /// cycles) the combination is evaluated at.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Candidate {
+pub(crate) struct Candidate {
     /// Chosen design index per partition, in partition order.
-    pub indices: Vec<u32>,
+    pub(crate) indices: Vec<u32>,
     /// Initiation interval (cycles) to evaluate the combination at.
-    pub ii: u64,
+    pub(crate) ii: u64,
 }
 
 /// One scored slot: `None` when the scorer abandoned the candidate because
 /// the wall-clock deadline passed before it was reached.
-pub type ScoreSlot = Option<Result<SystemPrediction, ChopError>>;
+pub(crate) type ScoreSlot = Option<Result<SystemPrediction, ChopError>>;
 
 /// Batch evaluator for candidate combinations.
 ///
@@ -51,7 +51,7 @@ pub type ScoreSlot = Option<Result<SystemPrediction, ChopError>>;
 /// returned slots back in the same order. Implementations (the engine's
 /// parallel scorer) may evaluate a batch's candidates concurrently but
 /// must return exactly one slot per candidate, in candidate order.
-pub trait ScoreBatch: Sync {
+pub(crate) trait ScoreBatch: Sync {
     /// Scores every candidate of `batch`, preserving order.
     fn score(&self, batch: &[Candidate]) -> Vec<ScoreSlot>;
 }
@@ -93,7 +93,7 @@ impl DesignPoint {
 
 /// Outcome of one heuristic search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
-pub struct HeuristicResult {
+pub(crate) struct HeuristicResult {
     /// Feasible, non-inferior global implementations found.
     pub feasible: Vec<FeasibleImplementation>,
     /// Global implementation combinations examined ("Partitioning Imp.

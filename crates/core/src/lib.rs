@@ -68,6 +68,7 @@ pub mod fault;
 mod feasibility;
 pub mod heuristics;
 mod integration;
+pub mod prelude;
 pub mod report;
 pub mod spec;
 pub mod tasks;

@@ -88,6 +88,9 @@ pub enum SpecError {
         /// Assignments supplied.
         assignments: usize,
     },
+    /// A constraint value is not a positive, finite quantity (the named
+    /// field is the offender).
+    InvalidConstraint(&'static str),
 }
 
 impl fmt::Display for SpecError {
@@ -109,6 +112,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::MemoryAssignmentLength { memories, assignments } => {
                 write!(f, "{assignments} memory assignments supplied for {memories} memories")
+            }
+            SpecError::InvalidConstraint(what) => {
+                write!(f, "constraint {what} must be a positive, finite quantity")
             }
         }
     }
@@ -241,13 +247,21 @@ impl Partitioning {
     ///
     /// # Errors
     ///
-    /// Returns a [`GroupingError`] if the move empties a partition or
-    /// creates mutual data dependency.
+    /// Returns a [`GroupingError`] if `to` is not a partition of this
+    /// partitioning, the move empties a partition, or it creates mutual
+    /// data dependency.
     pub fn with_node_moved(
         &self,
         node: NodeId,
         to: PartitionId,
     ) -> Result<Self, GroupingError> {
+        if to.index() >= self.grouping.group_count() {
+            return Err(GroupingError::GroupOutOfRange {
+                node,
+                group: to.index(),
+                groups: self.grouping.group_count(),
+            });
+        }
         let moved = self.grouping.with_node_moved(node, to.index());
         if let Some(empty) = (0..moved.group_count()).find(|&g| moved.members(g).is_empty()) {
             return Err(GroupingError::EmptyGroup(empty));
@@ -294,6 +308,46 @@ impl Partitioning {
         let mut next = self.clone();
         next.memory_assignment[m.index()] = MemoryAssignment::OnChip(chip);
         Ok(next)
+    }
+
+    /// Re-checks the structural invariants [`PartitioningBuilder::build`]
+    /// established: a non-empty chip set, every partition and on-chip
+    /// memory assigned to a chip inside the set, and matching memory /
+    /// assignment list lengths. Construction through the builder
+    /// guarantees these; the check exists for values that cross a trust
+    /// boundary (a protocol decode, a hand-assembled what-if edit) before
+    /// they are installed into a [`Session`](crate::Session).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.chips.is_empty() {
+            return Err(SpecError::NoChips);
+        }
+        if self.partition_chip.len() != self.partition_count() {
+            return Err(SpecError::ChipAssignmentLength {
+                partitions: self.partition_count(),
+                assignments: self.partition_chip.len(),
+            });
+        }
+        if let Some(&c) = self.partition_chip.iter().find(|c| c.index() >= self.chips.len()) {
+            return Err(SpecError::UnknownChip(c));
+        }
+        if self.memory_assignment.len() != self.memories.len() {
+            return Err(SpecError::MemoryAssignmentLength {
+                memories: self.memories.len(),
+                assignments: self.memory_assignment.len(),
+            });
+        }
+        for (i, assign) in self.memory_assignment.iter().enumerate() {
+            if let MemoryAssignment::OnChip(c) = assign {
+                if c.index() >= self.chips.len() {
+                    return Err(SpecError::MemoryOnUnknownChip(MemoryId::new(i as u32), *c));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Returns a copy with a different chip set (same length), the
@@ -652,6 +706,22 @@ mod tests {
             Ok(moved) => assert_eq!(moved.grouping().group_of(node), 1),
             Err(e) => assert!(matches!(e, GroupingError::MutualDependency(_, _))),
         }
+    }
+
+    #[test]
+    fn built_partitionings_revalidate() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .with_memory(example_off_shelf_ram(), MemoryAssignment::External)
+            .build()
+            .unwrap();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_constraint_display_names_field() {
+        let e = SpecError::InvalidConstraint("performance");
+        assert!(e.to_string().contains("performance"));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! A small blocking client for the wire protocol.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Request, Response, ServiceError};
+
+/// A client-side failure: transport trouble or a malformed reply.
+///
+/// A *typed* server failure is not an error at this layer — it arrives
+/// as [`Response::Error`] so callers can match on its
+/// [`kind`](crate::protocol::ErrorKind).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection failed.
+    Io(std::io::Error),
+    /// The server closed the connection mid-request.
+    ConnectionClosed,
+    /// The reply line did not decode as a protocol response.
+    Protocol(ServiceError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+            ClientError::Protocol(e) => write!(f, "malformed server reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::ConnectionClosed => None,
+            ClientError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection speaking the newline-delimited protocol.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running `chop serve`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request and blocks for its response. Note that a long
+    /// `explore` blocks for as long as the search runs — bound it with
+    /// [`ExploreParams::deadline_ms`](crate::protocol::ExploreParams).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and undecodable replies; typed server errors
+    /// come back as [`Response::Error`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::ConnectionClosed);
+        }
+        Response::decode(reply.trim()).map_err(ClientError::Protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_errors_display_and_chain() {
+        let e = ClientError::from(std::io::Error::other("nope"));
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ClientError::ConnectionClosed.to_string().contains("closed"));
+    }
+}

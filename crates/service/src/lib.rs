@@ -1,0 +1,43 @@
+//! `chop-service` — CHOP as a long-running partitioning service.
+//!
+//! The `chop serve` subcommand (and any embedder of [`Server`]) exposes
+//! the core [`chop_core::Session`] workflow over TCP: clients open named
+//! sessions, explore them, move nodes between partitions and read
+//! statistics, all over a newline-delimited JSON protocol
+//! ([`protocol`], version [`protocol::PROTOCOL_VERSION`]).
+//!
+//! What the service adds over one-shot `chop check` runs:
+//!
+//! * **Concurrent named sessions** — a [`manager::SessionManager`] keeps
+//!   every open session; explorations on different connections run in
+//!   parallel on a bounded worker pool.
+//! * **A shared prediction cache** — all sessions feed one
+//!   [`chop_core::PredictionCache`], so opening the same spec twice (or
+//!   re-exploring after a `repartition`) reuses prior BAD predictions
+//!   across sessions and connections.
+//! * **Typed backpressure and fault isolation** — past `--max-inflight`
+//!   explorations clients get a `busy` response; a panicking request
+//!   becomes one `internal` error reply, never a dead server.
+//! * **Graceful drain** — the `shutdown` request stops the accept loop,
+//!   lets in-flight work finish and exits cleanly.
+//!
+//! The wire format is hand-rolled JSON ([`json`]) because this workspace
+//! builds offline against a no-op `serde` stub.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod json;
+pub mod manager;
+mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use manager::{build_session, SessionManager};
+pub use protocol::{
+    ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server};

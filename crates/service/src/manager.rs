@@ -1,0 +1,460 @@
+//! Named-session bookkeeping and the request → core-API façade.
+//!
+//! A [`SessionManager`] owns every open [`Session`] behind one mutex and
+//! threads a single shared [`PredictionCache`] through all of them, so
+//! two sessions opened on the same spec (or a session re-explored after a
+//! [`repartition`](SessionManager::repartition)) serve partition
+//! predictions from each other's work — the cross-session cache hits the
+//! `stats` response exposes.
+//!
+//! Locking discipline: the sessions map is locked only for bookkeeping.
+//! [`explore`](SessionManager::explore) clones the session out of the map
+//! (a cheap, `Arc`-sharing clone), runs the search **unlocked**, then
+//! re-locks briefly to record the run summary — concurrent explores on
+//! different (or the same) session never serialize on the manager.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::prelude::*;
+use chop_dfg::parse::parse_dfg;
+use chop_library::standard::{example_off_shelf_ram, table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+
+use crate::protocol::{
+    ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
+    PROTOCOL_VERSION,
+};
+
+/// One managed session: the live core session plus its latest run.
+struct Managed {
+    session: Session,
+    last_run: Option<RunSummary>,
+}
+
+/// Owns every named session and the cache they share.
+pub struct SessionManager {
+    cache: Arc<PredictionCache>,
+    sessions: Mutex<HashMap<String, Managed>>,
+    default_jobs: usize,
+}
+
+impl SessionManager {
+    /// Creates an empty manager. `default_jobs` is the worker-thread count
+    /// an `explore` uses when the request does not override it.
+    #[must_use]
+    pub fn new(default_jobs: usize) -> Self {
+        Self {
+            cache: Arc::new(PredictionCache::new()),
+            sessions: Mutex::new(HashMap::new()),
+            default_jobs: default_jobs.max(1),
+        }
+    }
+
+    /// The prediction cache shared by every session this manager opens.
+    #[must_use]
+    pub fn shared_cache(&self) -> Arc<PredictionCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Number of open sessions.
+    ///
+    /// # Panics
+    ///
+    /// Never — a poisoned lock is recovered, not propagated.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Managed>> {
+        // A panic while the map was locked (contained elsewhere by the
+        // server's panic isolation) must not wedge every later request.
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Handles any request synchronously and returns its response. The
+    /// server dispatches `explore` through its worker pool instead (and
+    /// intercepts `shutdown`, which here only acknowledges).
+    pub fn dispatch(&self, request: &Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+            Request::Open { session, params } => match self.open(session, params) {
+                Ok(partitions) => Response::Opened { session: session.clone(), partitions },
+                Err(e) => Response::Error(e),
+            },
+            Request::Explore { session, params } => match self.explore(session, params) {
+                Ok(run) => Response::Explored { session: session.clone(), run },
+                Err(e) => Response::Error(e),
+            },
+            Request::Repartition { session, node, to } => {
+                match self.repartition(session, *node, *to) {
+                    Ok(()) => Response::Repartitioned {
+                        session: session.clone(),
+                        node: *node,
+                        to: *to,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::Stats { session } => match self.stats(session.as_deref()) {
+                Ok((sessions, cache, last_run)) => {
+                    Response::Stats { sessions, cache, last_run }
+                }
+                Err(e) => Response::Error(e),
+            },
+            Request::Close { session } => match self.close(session) {
+                Ok(()) => Response::Closed { session: session.clone() },
+                Err(e) => Response::Error(e),
+            },
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Opens a named session, returning its partition count.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::SessionExists`] for a duplicate name and
+    /// [`ErrorKind::Spec`] for anything wrong with the parameters.
+    pub fn open(&self, name: &str, params: &OpenParams) -> Result<u64, ServiceError> {
+        if name.is_empty() || name.len() > 256 {
+            return Err(ServiceError::new(
+                ErrorKind::Spec,
+                "session names must be 1..=256 characters",
+            ));
+        }
+        let session =
+            build_session(params, self.default_jobs)?.with_shared_cache(self.shared_cache());
+        let partitions = session.partitioning().partition_count() as u64;
+        let mut sessions = self.lock();
+        if sessions.contains_key(name) {
+            return Err(ServiceError::new(
+                ErrorKind::SessionExists,
+                format!("session {name:?} is already open"),
+            ));
+        }
+        sessions.insert(name.to_owned(), Managed { session, last_run: None });
+        Ok(partitions)
+    }
+
+    /// Runs an exploration on a named session. The search itself runs
+    /// without holding the manager lock.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name,
+    /// [`ErrorKind::Engine`] when the core search fails.
+    pub fn explore(
+        &self,
+        name: &str,
+        params: &ExploreParams,
+    ) -> Result<RunSummary, ServiceError> {
+        let session = {
+            let sessions = self.lock();
+            let managed = sessions.get(name).ok_or_else(|| unknown_session(name))?;
+            managed.session.clone()
+        };
+        let mut budget = SearchBudget::default();
+        if let Some(ms) = params.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = params.max_trials {
+            budget = budget.with_max_trials(usize::try_from(n).unwrap_or(usize::MAX));
+        }
+        let jobs =
+            params.jobs.map_or(self.default_jobs, |j| usize::try_from(j.max(1)).unwrap_or(1));
+        let outcome = session
+            .with_budget(budget)
+            .with_jobs(jobs)
+            .explore(params.heuristic)
+            .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
+        let run = RunSummary::from_outcome(&outcome);
+        if let Some(managed) = self.lock().get_mut(name) {
+            managed.last_run = Some(run.clone());
+        }
+        Ok(run)
+    }
+
+    /// Moves one DFG node to another partition (the incremental what-if).
+    /// The replaced session keeps the shared cache, so the next `explore`
+    /// re-predicts only the touched partitions.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name, [`ErrorKind::Spec`]
+    /// for an unknown node index, [`ErrorKind::Engine`] for an invalid move.
+    pub fn repartition(&self, name: &str, node: u32, to: u32) -> Result<(), ServiceError> {
+        let mut sessions = self.lock();
+        let managed = sessions.get_mut(name).ok_or_else(|| unknown_session(name))?;
+        let node_id = managed
+            .session
+            .partitioning()
+            .dfg()
+            .nodes()
+            .map(|(id, _)| id)
+            .find(|id| id.index() == node as usize)
+            .ok_or_else(|| {
+                ServiceError::new(ErrorKind::Spec, format!("no node with index {node}"))
+            })?;
+        managed.session = managed
+            .session
+            .repartition(node_id, PartitionId::new(to))
+            .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
+        Ok(())
+    }
+
+    /// Server statistics: sorted session names, the shared cache's
+    /// lifetime counters, and — when `session` names an open session —
+    /// its most recent run summary.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] when `session` names nothing.
+    pub fn stats(
+        &self,
+        session: Option<&str>,
+    ) -> Result<(Vec<String>, CacheStats, Option<RunSummary>), ServiceError> {
+        let sessions = self.lock();
+        let last_run = match session {
+            None => None,
+            Some(name) => {
+                sessions.get(name).ok_or_else(|| unknown_session(name))?.last_run.clone()
+            }
+        };
+        let mut names: Vec<String> = sessions.keys().cloned().collect();
+        names.sort_unstable();
+        Ok((names, self.cache.stats(), last_run))
+    }
+
+    /// Discards a named session (its cache contributions stay shared).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name.
+    pub fn close(&self, name: &str) -> Result<(), ServiceError> {
+        match self.lock().remove(name) {
+            Some(_) => Ok(()),
+            None => Err(unknown_session(name)),
+        }
+    }
+}
+
+fn unknown_session(name: &str) -> ServiceError {
+    ServiceError::new(ErrorKind::UnknownSession, format!("no open session named {name:?}"))
+}
+
+/// Builds a core [`Session`] from wire parameters, mirroring the `chop
+/// check` defaults: uniform MOSIS packages, a horizontal cut, referenced
+/// memory blocks declared as off-the-shelf external parts.
+///
+/// Exposed so tests (and embedders) can reproduce the exact session a
+/// server builds for an `open` request and compare
+/// [`SearchOutcome::digest`]s against service results.
+///
+/// # Errors
+///
+/// [`ErrorKind::Spec`] for unparseable spec text, an out-of-range
+/// partition/chip/package choice, or a non-positive constraint.
+pub fn build_session(params: &OpenParams, jobs: usize) -> Result<Session, ServiceError> {
+    let spec_err = |m: String| ServiceError::new(ErrorKind::Spec, m);
+    let dfg = parse_dfg(&params.spec).map_err(|e| spec_err(e.to_string()))?;
+    let partitions = params.partitions as usize;
+    if partitions == 0 || partitions > dfg.len() {
+        return Err(spec_err(format!(
+            "partitions must be in 1..={} for this spec, got {partitions}",
+            dfg.len()
+        )));
+    }
+    let chip_count = params.chips.unwrap_or(params.partitions) as usize;
+    if chip_count == 0 {
+        return Err(spec_err("chip count must be at least 1".into()));
+    }
+    if params.package_pins != 64 && params.package_pins != 84 {
+        return Err(spec_err(format!(
+            "package_pins must be 64 or 84 (Table 2), got {}",
+            params.package_pins
+        )));
+    }
+    for (field, value) in
+        [("performance_ns", params.performance_ns), ("delay_ns", params.delay_ns)]
+    {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(spec_err(format!("{field} must be a positive, finite number")));
+        }
+    }
+
+    let packages = table2_packages();
+    let package = if params.package_pins == 64 { &packages[0] } else { &packages[1] };
+    let chips = ChipSet::uniform(package.clone(), chip_count);
+
+    // Declare every memory block the spec references as an off-the-shelf
+    // external part (protocol v1 has no on-chip memory placement).
+    let mut max_memory: Option<u32> = None;
+    for (_, node) in dfg.nodes() {
+        if let Some(m) = node.op().memory() {
+            max_memory = Some(max_memory.map_or(m.index(), |x| x.max(m.index())));
+        }
+    }
+    let mut builder = PartitioningBuilder::new(dfg, chips).split_horizontal(partitions);
+    if let Some(max) = max_memory {
+        for _ in 0..=max {
+            builder = builder.with_memory(example_off_shelf_ram(), MemoryAssignment::External);
+        }
+    }
+    let partitioning = builder.build().map_err(|e| spec_err(e.to_string()))?;
+
+    let (dp_mult, style) = if params.multi_cycle {
+        (1, ArchitectureStyle::multi_cycle())
+    } else {
+        (10, ArchitectureStyle::single_cycle())
+    };
+    let clocks =
+        ClockConfig::new(Nanos::new(300.0), dp_mult, 1).map_err(|e| spec_err(e.to_string()))?;
+    let constraints =
+        Constraints::new(Nanos::new(params.performance_ns), Nanos::new(params.delay_ns));
+    let session = Session::new(
+        partitioning,
+        table1_library(),
+        clocks,
+        style,
+        PredictorParams::default(),
+        constraints,
+    )
+    .try_with_constraints(constraints)
+    .map_err(|e| spec_err(e.to_string()))?;
+    Ok(session.with_jobs(jobs.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
+
+    fn open_params(partitions: u32) -> OpenParams {
+        OpenParams { spec: SPEC.into(), partitions, ..OpenParams::default() }
+    }
+
+    #[test]
+    fn open_explore_stats_close_lifecycle() {
+        let mgr = SessionManager::new(1);
+        assert_eq!(mgr.open("s1", &open_params(2)).unwrap(), 2);
+        let run = mgr.explore("s1", &ExploreParams::default()).unwrap();
+        assert!(run.trials > 0);
+        let (names, cache, last) = mgr.stats(Some("s1")).unwrap();
+        assert_eq!(names, vec!["s1".to_owned()]);
+        assert!(cache.misses > 0, "first run must miss the shared cache");
+        assert_eq!(last.unwrap().digest, run.digest);
+        mgr.close("s1").unwrap();
+        assert_eq!(mgr.session_count(), 0);
+        assert_eq!(mgr.close("s1").unwrap_err().kind, ErrorKind::UnknownSession);
+    }
+
+    #[test]
+    fn duplicate_open_is_rejected() {
+        let mgr = SessionManager::new(1);
+        mgr.open("dup", &open_params(1)).unwrap();
+        assert_eq!(
+            mgr.open("dup", &open_params(1)).unwrap_err().kind,
+            ErrorKind::SessionExists
+        );
+        assert_eq!(mgr.open("", &open_params(1)).unwrap_err().kind, ErrorKind::Spec);
+    }
+
+    #[test]
+    fn sibling_sessions_share_the_prediction_cache() {
+        let mgr = SessionManager::new(1);
+        mgr.open("first", &open_params(2)).unwrap();
+        mgr.open("second", &open_params(2)).unwrap();
+        let a = mgr.explore("first", &ExploreParams::default()).unwrap();
+        let b = mgr.explore("second", &ExploreParams::default()).unwrap();
+        assert_eq!(a.digest, b.digest, "identical sessions find identical results");
+        assert!(a.predictor_calls > 0);
+        assert_eq!(b.predictor_calls, 0, "second session must be served from the cache");
+        assert_eq!(b.cache_hits, 2);
+    }
+
+    #[test]
+    fn repartition_then_explore_repredicts_only_touched_partitions() {
+        let spec = "a = input 16\nb = input 16\np = mul a b\ns = add p a\nt = add s b\n\
+                    u = add t a\ny = output u\n";
+        let mgr = SessionManager::new(1);
+        let params = OpenParams { spec: spec.into(), partitions: 3, ..OpenParams::default() };
+        mgr.open("inc", &params).unwrap();
+        let before = mgr.explore("inc", &ExploreParams::default()).unwrap();
+        assert_eq!(before.cache_hits, 0);
+        mgr.repartition("inc", 3, 0).unwrap();
+        let after = mgr.explore("inc", &ExploreParams::default()).unwrap();
+        assert!(
+            after.cache_hits >= 1,
+            "untouched partitions must be served from the cache, got {after:?}"
+        );
+        assert!(
+            after.predictor_calls < before.predictor_calls,
+            "only the touched partitions may be re-predicted"
+        );
+    }
+
+    #[test]
+    fn explore_budget_truncates() {
+        let mgr = SessionManager::new(1);
+        mgr.open("b", &open_params(2)).unwrap();
+        let params = ExploreParams { max_trials: Some(0), ..ExploreParams::default() };
+        let run = mgr.explore("b", &params).unwrap();
+        assert!(run.completion.is_truncated());
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mgr = SessionManager::new(1);
+        assert_eq!(
+            mgr.explore("ghost", &ExploreParams::default()).unwrap_err().kind,
+            ErrorKind::UnknownSession
+        );
+        assert_eq!(mgr.stats(Some("ghost")).unwrap_err().kind, ErrorKind::UnknownSession);
+        let bad = OpenParams { spec: "a = frob 16\n".into(), ..OpenParams::default() };
+        assert_eq!(mgr.open("x", &bad).unwrap_err().kind, ErrorKind::Spec);
+        let bad = OpenParams { partitions: 99, ..open_params(99) };
+        assert_eq!(mgr.open("x", &bad).unwrap_err().kind, ErrorKind::Spec);
+        let bad = OpenParams { package_pins: 40, ..open_params(1) };
+        assert_eq!(mgr.open("x", &bad).unwrap_err().kind, ErrorKind::Spec);
+        let bad = OpenParams { performance_ns: 0.0, ..open_params(1) };
+        assert_eq!(mgr.open("x", &bad).unwrap_err().kind, ErrorKind::Spec);
+        mgr.open("m", &open_params(2)).unwrap();
+        assert_eq!(mgr.repartition("m", 99, 0).unwrap_err().kind, ErrorKind::Spec);
+        assert_eq!(mgr.repartition("m", 0, 99).unwrap_err().kind, ErrorKind::Engine);
+    }
+
+    #[test]
+    fn dispatch_covers_every_request() {
+        let mgr = SessionManager::new(1);
+        assert_eq!(mgr.dispatch(&Request::Ping), Response::Pong { version: PROTOCOL_VERSION });
+        let open = Request::Open { session: "d".into(), params: open_params(2) };
+        assert_eq!(
+            mgr.dispatch(&open),
+            Response::Opened { session: "d".into(), partitions: 2 }
+        );
+        let explored = mgr.dispatch(&Request::Explore {
+            session: "d".into(),
+            params: ExploreParams::default(),
+        });
+        assert!(matches!(explored, Response::Explored { .. }), "{explored:?}");
+        assert!(matches!(
+            mgr.dispatch(&Request::Stats { session: Some("d".into()) }),
+            Response::Stats { .. }
+        ));
+        assert_eq!(mgr.dispatch(&Request::Shutdown), Response::ShuttingDown);
+        assert_eq!(
+            mgr.dispatch(&Request::Close { session: "d".into() }),
+            Response::Closed { session: "d".into() }
+        );
+        assert!(matches!(
+            mgr.dispatch(&Request::Close { session: "d".into() }),
+            Response::Error(_)
+        ));
+    }
+}

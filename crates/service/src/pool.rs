@@ -1,0 +1,103 @@
+//! A small bounded worker pool for exploration jobs.
+//!
+//! Connections enqueue closures; a fixed set of worker threads drains
+//! them. The pool is deliberately tiny — `std::sync::mpsc` plus a shared
+//! `Mutex<Receiver>` — because the *admission* bound (the server's
+//! `--max-inflight` backpressure) lives upstream in
+//! [`Server`](crate::server::Server), not here.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of job-running threads.
+pub(crate) struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least one) threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("chop-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while *receiving*; jobs run
+                        // unlocked so workers drain the queue in parallel.
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match job {
+                            // Jobs contain their own panic isolation, but a
+                            // worker thread must survive even if that fails.
+                            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                            Err(_) => break, // all senders dropped: drain done
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Self { sender: Some(sender), handles }
+    }
+
+    /// Enqueues a job. Fails only while the pool is shutting down.
+    pub(crate) fn execute(&self, job: Job) -> Result<(), ()> {
+        match &self.sender {
+            Some(sender) => sender.send(job).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
+
+    /// Drops the queue (letting workers finish what is already enqueued)
+    /// and joins every worker.
+    pub(crate) fn shutdown(mut self) {
+        self.sender = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_drain_on_shutdown() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        pool.execute(Box::new(|| panic!("boom"))).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "the single worker must survive");
+    }
+}

@@ -1,0 +1,830 @@
+//! The versioned, newline-delimited JSON wire protocol.
+//!
+//! Every message is one JSON object on one line, and every object carries
+//! two envelope fields: `"v"` (the protocol version, currently
+//! [`PROTOCOL_VERSION`]) and `"type"` (the variant tag). Unknown *fields*
+//! are ignored for forward compatibility; an unknown *type* or a version
+//! mismatch is a [`ErrorKind::Protocol`] error.
+//!
+//! Encoding and decoding are hand-written against the [`json`](crate::json)
+//! module (the vendored `serde` is a no-op stub), and the round-trip
+//! guarantee — `decode(encode(m)) == m` for every variant — is enforced by
+//! property tests in `tests/protocol_roundtrip.rs`.
+
+use std::fmt;
+
+use chop_core::{CacheStats, Completion, Heuristic, SearchOutcome};
+
+use crate::json::{self, obj, Value};
+
+/// The wire-protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Classifies a [`ServiceError`]; the wire tag is the snake_case name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a valid protocol message.
+    Protocol,
+    /// The named session does not exist.
+    UnknownSession,
+    /// `open` named a session that already exists.
+    SessionExists,
+    /// The request was well-formed but its contents are invalid (bad
+    /// spec text, out-of-range partition count, zero constraint…).
+    Spec,
+    /// The exploration engine failed (prediction error, bad move…).
+    Engine,
+    /// The server malfunctioned (a handler panicked, a worker vanished).
+    Internal,
+}
+
+impl ErrorKind {
+    fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::SessionExists => "session_exists",
+            ErrorKind::Spec => "spec",
+            ErrorKind::Engine => "engine",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_wire(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "protocol" => ErrorKind::Protocol,
+            "unknown_session" => ErrorKind::UnknownSession,
+            "session_exists" => ErrorKind::SessionExists,
+            "spec" => ErrorKind::Spec,
+            "engine" => ErrorKind::Engine,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed service failure, sent on the wire as the `error` response and
+/// raised locally by the [`SessionManager`](crate::manager::SessionManager).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Builds an error of the given kind.
+    #[must_use]
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+
+    /// A protocol-level (malformed message) error.
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Protocol, message)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind.wire(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Parameters of an `open` request — everything needed to build a
+/// [`Session`](chop_core::Session) server-side. Mirrors the `chop check`
+/// flags; fields omitted on the wire take these defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenParams {
+    /// The behavioral spec, inline, in the `.cbs` text format.
+    pub spec: String,
+    /// Partition count (horizontal cut). Default 1.
+    pub partitions: u32,
+    /// Chips in the set. Default: one per partition.
+    pub chips: Option<u32>,
+    /// MOSIS package pins, 64 or 84. Default 84.
+    pub package_pins: u32,
+    /// Performance constraint in ns. Default 30 000.
+    pub performance_ns: f64,
+    /// System-delay constraint in ns. Default 30 000.
+    pub delay_ns: f64,
+    /// Multi-cycle operations (datapath multiplier 1). Default true.
+    pub multi_cycle: bool,
+}
+
+impl Default for OpenParams {
+    fn default() -> Self {
+        Self {
+            spec: String::new(),
+            partitions: 1,
+            chips: None,
+            package_pins: 84,
+            performance_ns: 30_000.0,
+            delay_ns: 30_000.0,
+            multi_cycle: true,
+        }
+    }
+}
+
+/// Parameters of an `explore` request; the budget fields reuse the core
+/// [`SearchBudget`](chop_core::SearchBudget) semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreParams {
+    /// Which heuristic to run. Default I (iterative).
+    pub heuristic: Heuristic,
+    /// Wall-clock deadline for the search, in ms.
+    pub deadline_ms: Option<u64>,
+    /// Cap on combinations examined.
+    pub max_trials: Option<u64>,
+    /// Worker threads for this run. Default: the server's `--jobs`.
+    pub jobs: Option<u32>,
+}
+
+impl Default for ExploreParams {
+    fn default() -> Self {
+        Self {
+            heuristic: Heuristic::Iterative,
+            deadline_ms: None,
+            max_trials: None,
+            jobs: None,
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness/version probe.
+    Ping,
+    /// Create a named session.
+    Open {
+        /// Session name (unique on the server).
+        session: String,
+        /// Session construction parameters.
+        params: OpenParams,
+    },
+    /// Run an exploration on a session (dispatched to the worker pool).
+    Explore {
+        /// Session name.
+        session: String,
+        /// Search parameters.
+        params: ExploreParams,
+    },
+    /// Move one node to another partition (incremental what-if).
+    Repartition {
+        /// Session name.
+        session: String,
+        /// DFG node index to move.
+        node: u32,
+        /// Target partition index.
+        to: u32,
+    },
+    /// Server and cache statistics; with a session name, also that
+    /// session's last run.
+    Stats {
+        /// Optional session whose last run to report.
+        session: Option<String>,
+    },
+    /// Discard a session.
+    Close {
+        /// Session name.
+        session: String,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A condensed [`SearchOutcome`]: the digest plus the counters a client
+/// needs to reason about feasibility, truncation and cache behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Heuristic that produced the run.
+    pub heuristic: Heuristic,
+    /// Canonical result fingerprint ([`SearchOutcome::digest`]).
+    pub digest: String,
+    /// Combinations examined.
+    pub trials: u64,
+    /// Feasible combinations.
+    pub feasible_trials: u64,
+    /// Feasible, non-inferior implementations found.
+    pub feasible: u64,
+    /// How the search ended.
+    pub completion: Completion,
+    /// Whether heuristic E degraded to I.
+    pub degraded: bool,
+    /// Wall-clock search time in ms.
+    pub elapsed_ms: f64,
+    /// BAD predictor invocations this run (cache misses that did work).
+    pub predictor_calls: u64,
+    /// Partition predictions served from the shared cache this run.
+    pub cache_hits: u64,
+    /// Cache lookups that missed this run.
+    pub cache_misses: u64,
+}
+
+impl RunSummary {
+    /// Condenses a full outcome into its wire summary.
+    #[must_use]
+    pub fn from_outcome(outcome: &SearchOutcome) -> Self {
+        Self {
+            heuristic: outcome.heuristic,
+            digest: outcome.digest(),
+            trials: outcome.trials as u64,
+            feasible_trials: outcome.feasible_trials as u64,
+            feasible: outcome.feasible.len() as u64,
+            completion: outcome.completion,
+            degraded: outcome.degraded,
+            elapsed_ms: outcome.elapsed.as_secs_f64() * 1e3,
+            predictor_calls: outcome.trace.predictor_calls,
+            cache_hits: outcome.trace.cache_hits,
+            cache_misses: outcome.trace.cache_misses,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `ping`.
+    Pong {
+        /// The server's protocol version.
+        version: u64,
+    },
+    /// A session was created.
+    Opened {
+        /// Session name.
+        session: String,
+        /// Partition count of the built partitioning.
+        partitions: u64,
+    },
+    /// An exploration finished.
+    Explored {
+        /// Session name.
+        session: String,
+        /// The run's summary.
+        run: RunSummary,
+    },
+    /// A node was moved.
+    Repartitioned {
+        /// Session name.
+        session: String,
+        /// Node that moved.
+        node: u32,
+        /// Its new partition.
+        to: u32,
+    },
+    /// Server statistics.
+    Stats {
+        /// Names of the open sessions, sorted.
+        sessions: Vec<String>,
+        /// Shared prediction-cache counters (lifetime).
+        cache: CacheStats,
+        /// The named session's most recent run, if any.
+        last_run: Option<RunSummary>,
+    },
+    /// A session was discarded.
+    Closed {
+        /// Session name.
+        session: String,
+    },
+    /// The server acknowledged `shutdown` and is draining.
+    ShuttingDown,
+    /// The worker pool is saturated; retry later.
+    Busy {
+        /// Explorations queued or running.
+        inflight: u64,
+        /// The server's `--max-inflight` bound.
+        max_inflight: u64,
+    },
+    /// The request failed.
+    Error(ServiceError),
+}
+
+fn heuristic_wire(h: Heuristic) -> &'static str {
+    match h {
+        Heuristic::Enumeration => "E",
+        Heuristic::Iterative => "I",
+    }
+}
+
+fn heuristic_from_wire(tag: &str) -> Option<Heuristic> {
+    match tag {
+        "E" => Some(Heuristic::Enumeration),
+        "I" => Some(Heuristic::Iterative),
+        _ => None,
+    }
+}
+
+fn completion_wire(c: Completion) -> &'static str {
+    match c {
+        Completion::Complete => "complete",
+        Completion::TruncatedDeadline => "truncated_deadline",
+        Completion::TruncatedTrials => "truncated_trials",
+        Completion::DegradedToIterative => "degraded_to_iterative",
+    }
+}
+
+fn completion_from_wire(tag: &str) -> Option<Completion> {
+    match tag {
+        "complete" => Some(Completion::Complete),
+        "truncated_deadline" => Some(Completion::TruncatedDeadline),
+        "truncated_trials" => Some(Completion::TruncatedTrials),
+        "degraded_to_iterative" => Some(Completion::DegradedToIterative),
+        _ => None,
+    }
+}
+
+// ---- field accessors -------------------------------------------------
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ServiceError> {
+    v.get(key).ok_or_else(|| ServiceError::protocol(format!("missing field {key:?}")))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, ServiceError> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be a string")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, ServiceError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be an integer")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, ServiceError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be a number")))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, ServiceError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be a boolean")))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, ServiceError> {
+    u32::try_from(u64_field(v, key)?)
+        .map_err(|_| ServiceError::protocol(format!("field {key:?} out of u32 range")))
+}
+
+/// `Some(x)` if `key` is present and non-null, mapped through `get`.
+fn opt_field<T>(
+    v: &Value,
+    key: &str,
+    get: impl Fn(&Value, &str) -> Result<T, ServiceError>,
+) -> Result<Option<T>, ServiceError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(_) => get(v, key).map(Some),
+    }
+}
+
+fn push_opt_u64(pairs: &mut Vec<(&str, Value)>, key: &'static str, v: Option<u64>) {
+    if let Some(n) = v {
+        #[allow(clippy::cast_precision_loss)]
+        pairs.push((key, Value::Num(n as f64)));
+    }
+}
+
+fn envelope(kind: &str, mut rest: Vec<(&str, Value)>) -> Value {
+    #[allow(clippy::cast_precision_loss)]
+    let mut pairs =
+        vec![("v", Value::Num(PROTOCOL_VERSION as f64)), ("type", Value::Str(kind.into()))];
+    pairs.append(&mut rest);
+    obj(pairs)
+}
+
+/// Parses and checks the `"v"` / `"type"` envelope, returning the type tag.
+fn open_envelope(line: &str) -> Result<(Value, String), ServiceError> {
+    let v = json::parse(line).map_err(|e| ServiceError::protocol(e.to_string()))?;
+    let version = u64_field(&v, "v")?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServiceError::protocol(format!(
+            "protocol version {version} not supported (this server speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let kind = str_field(&v, "type")?;
+    Ok((v, kind))
+}
+
+impl Request {
+    /// Encodes this request as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        #[allow(clippy::cast_precision_loss)]
+        let value = match self {
+            Request::Ping => envelope("ping", vec![]),
+            Request::Open { session, params } => {
+                let mut rest = vec![
+                    ("session", Value::Str(session.clone())),
+                    ("spec", Value::Str(params.spec.clone())),
+                    ("partitions", Value::Num(f64::from(params.partitions))),
+                ];
+                if let Some(chips) = params.chips {
+                    rest.push(("chips", Value::Num(f64::from(chips))));
+                }
+                rest.push(("package_pins", Value::Num(f64::from(params.package_pins))));
+                rest.push(("performance_ns", Value::Num(params.performance_ns)));
+                rest.push(("delay_ns", Value::Num(params.delay_ns)));
+                rest.push(("multi_cycle", Value::Bool(params.multi_cycle)));
+                envelope("open", rest)
+            }
+            Request::Explore { session, params } => {
+                let mut rest = vec![
+                    ("session", Value::Str(session.clone())),
+                    ("heuristic", Value::Str(heuristic_wire(params.heuristic).into())),
+                ];
+                push_opt_u64(&mut rest, "deadline_ms", params.deadline_ms);
+                push_opt_u64(&mut rest, "max_trials", params.max_trials);
+                push_opt_u64(&mut rest, "jobs", params.jobs.map(u64::from));
+                envelope("explore", rest)
+            }
+            Request::Repartition { session, node, to } => envelope(
+                "repartition",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("node", Value::Num(f64::from(*node))),
+                    ("to", Value::Num(f64::from(*to))),
+                ],
+            ),
+            Request::Stats { session } => {
+                let mut rest = vec![];
+                if let Some(s) = session {
+                    rest.push(("session", Value::Str(s.clone())));
+                }
+                envelope("stats", rest)
+            }
+            Request::Close { session } => {
+                envelope("close", vec![("session", Value::Str(session.clone()))])
+            }
+            Request::Shutdown => envelope("shutdown", vec![]),
+        };
+        value.to_string()
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErrorKind::Protocol`] error for malformed JSON, a
+    /// version mismatch, an unknown type tag or mistyped fields.
+    pub fn decode(line: &str) -> Result<Self, ServiceError> {
+        let (v, kind) = open_envelope(line)?;
+        match kind.as_str() {
+            "ping" => Ok(Request::Ping),
+            "open" => {
+                let defaults = OpenParams::default();
+                #[allow(clippy::cast_possible_truncation)]
+                let params = OpenParams {
+                    spec: str_field(&v, "spec")?,
+                    partitions: opt_field(&v, "partitions", u32_field)?
+                        .unwrap_or(defaults.partitions),
+                    chips: opt_field(&v, "chips", u32_field)?,
+                    package_pins: opt_field(&v, "package_pins", u32_field)?
+                        .unwrap_or(defaults.package_pins),
+                    performance_ns: opt_field(&v, "performance_ns", f64_field)?
+                        .unwrap_or(defaults.performance_ns),
+                    delay_ns: opt_field(&v, "delay_ns", f64_field)?
+                        .unwrap_or(defaults.delay_ns),
+                    multi_cycle: opt_field(&v, "multi_cycle", bool_field)?
+                        .unwrap_or(defaults.multi_cycle),
+                };
+                Ok(Request::Open { session: str_field(&v, "session")?, params })
+            }
+            "explore" => {
+                let heuristic = match opt_field(&v, "heuristic", str_field)? {
+                    None => Heuristic::Iterative,
+                    Some(tag) => heuristic_from_wire(&tag).ok_or_else(|| {
+                        ServiceError::protocol(format!("unknown heuristic {tag:?}"))
+                    })?,
+                };
+                let params = ExploreParams {
+                    heuristic,
+                    deadline_ms: opt_field(&v, "deadline_ms", u64_field)?,
+                    max_trials: opt_field(&v, "max_trials", u64_field)?,
+                    jobs: opt_field(&v, "jobs", u32_field)?,
+                };
+                Ok(Request::Explore { session: str_field(&v, "session")?, params })
+            }
+            "repartition" => Ok(Request::Repartition {
+                session: str_field(&v, "session")?,
+                node: u32_field(&v, "node")?,
+                to: u32_field(&v, "to")?,
+            }),
+            "stats" => Ok(Request::Stats { session: opt_field(&v, "session", str_field)? }),
+            "close" => Ok(Request::Close { session: str_field(&v, "session")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServiceError::protocol(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn run_to_value(run: &RunSummary) -> Value {
+    obj(vec![
+        ("heuristic", Value::Str(heuristic_wire(run.heuristic).into())),
+        ("digest", Value::Str(run.digest.clone())),
+        ("trials", Value::Num(run.trials as f64)),
+        ("feasible_trials", Value::Num(run.feasible_trials as f64)),
+        ("feasible", Value::Num(run.feasible as f64)),
+        ("completion", Value::Str(completion_wire(run.completion).into())),
+        ("degraded", Value::Bool(run.degraded)),
+        ("elapsed_ms", Value::Num(run.elapsed_ms)),
+        ("predictor_calls", Value::Num(run.predictor_calls as f64)),
+        ("cache_hits", Value::Num(run.cache_hits as f64)),
+        ("cache_misses", Value::Num(run.cache_misses as f64)),
+    ])
+}
+
+fn run_from_value(v: &Value) -> Result<RunSummary, ServiceError> {
+    let tag = str_field(v, "heuristic")?;
+    let heuristic = heuristic_from_wire(&tag)
+        .ok_or_else(|| ServiceError::protocol(format!("unknown heuristic {tag:?}")))?;
+    let tag = str_field(v, "completion")?;
+    let completion = completion_from_wire(&tag)
+        .ok_or_else(|| ServiceError::protocol(format!("unknown completion {tag:?}")))?;
+    Ok(RunSummary {
+        heuristic,
+        digest: str_field(v, "digest")?,
+        trials: u64_field(v, "trials")?,
+        feasible_trials: u64_field(v, "feasible_trials")?,
+        feasible: u64_field(v, "feasible")?,
+        completion,
+        degraded: bool_field(v, "degraded")?,
+        elapsed_ms: f64_field(v, "elapsed_ms")?,
+        predictor_calls: u64_field(v, "predictor_calls")?,
+        cache_hits: u64_field(v, "cache_hits")?,
+        cache_misses: u64_field(v, "cache_misses")?,
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn cache_to_value(c: &CacheStats) -> Value {
+    obj(vec![
+        ("hits", Value::Num(c.hits as f64)),
+        ("misses", Value::Num(c.misses as f64)),
+        ("evictions", Value::Num(c.evictions as f64)),
+        ("entries", Value::Num(c.entries as f64)),
+        ("bytes", Value::Num(c.bytes as f64)),
+    ])
+}
+
+fn cache_from_value(v: &Value) -> Result<CacheStats, ServiceError> {
+    Ok(CacheStats {
+        hits: u64_field(v, "hits")?,
+        misses: u64_field(v, "misses")?,
+        evictions: u64_field(v, "evictions")?,
+        entries: u64_field(v, "entries")?,
+        bytes: u64_field(v, "bytes")?,
+    })
+}
+
+impl Response {
+    /// Encodes this response as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        #[allow(clippy::cast_precision_loss)]
+        let value = match self {
+            Response::Pong { version } => {
+                envelope("pong", vec![("version", Value::Num(*version as f64))])
+            }
+            Response::Opened { session, partitions } => envelope(
+                "opened",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("partitions", Value::Num(*partitions as f64)),
+                ],
+            ),
+            Response::Explored { session, run } => envelope(
+                "explored",
+                vec![("session", Value::Str(session.clone())), ("run", run_to_value(run))],
+            ),
+            Response::Repartitioned { session, node, to } => envelope(
+                "repartitioned",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("node", Value::Num(f64::from(*node))),
+                    ("to", Value::Num(f64::from(*to))),
+                ],
+            ),
+            Response::Stats { sessions, cache, last_run } => envelope(
+                "stats",
+                vec![
+                    (
+                        "sessions",
+                        Value::Arr(sessions.iter().map(|s| Value::Str(s.clone())).collect()),
+                    ),
+                    ("cache", cache_to_value(cache)),
+                    ("last_run", last_run.as_ref().map_or(Value::Null, run_to_value)),
+                ],
+            ),
+            Response::Closed { session } => {
+                envelope("closed", vec![("session", Value::Str(session.clone()))])
+            }
+            Response::ShuttingDown => envelope("shutting_down", vec![]),
+            Response::Busy { inflight, max_inflight } => envelope(
+                "busy",
+                vec![
+                    ("inflight", Value::Num(*inflight as f64)),
+                    ("max_inflight", Value::Num(*max_inflight as f64)),
+                ],
+            ),
+            Response::Error(e) => envelope(
+                "error",
+                vec![
+                    ("kind", Value::Str(e.kind.wire().into())),
+                    ("message", Value::Str(e.message.clone())),
+                ],
+            ),
+        };
+        value.to_string()
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErrorKind::Protocol`] error for malformed JSON, a
+    /// version mismatch, an unknown type tag or mistyped fields.
+    pub fn decode(line: &str) -> Result<Self, ServiceError> {
+        let (v, kind) = open_envelope(line)?;
+        match kind.as_str() {
+            "pong" => Ok(Response::Pong { version: u64_field(&v, "version")? }),
+            "opened" => Ok(Response::Opened {
+                session: str_field(&v, "session")?,
+                partitions: u64_field(&v, "partitions")?,
+            }),
+            "explored" => Ok(Response::Explored {
+                session: str_field(&v, "session")?,
+                run: run_from_value(field(&v, "run")?)?,
+            }),
+            "repartitioned" => Ok(Response::Repartitioned {
+                session: str_field(&v, "session")?,
+                node: u32_field(&v, "node")?,
+                to: u32_field(&v, "to")?,
+            }),
+            "stats" => {
+                let sessions = field(&v, "sessions")?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        ServiceError::protocol("field \"sessions\" must be an array")
+                    })?
+                    .iter()
+                    .map(|s| {
+                        s.as_str().map(str::to_owned).ok_or_else(|| {
+                            ServiceError::protocol("session names must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let last_run = match v.get("last_run") {
+                    None | Some(Value::Null) => None,
+                    Some(run) => Some(run_from_value(run)?),
+                };
+                Ok(Response::Stats {
+                    sessions,
+                    cache: cache_from_value(field(&v, "cache")?)?,
+                    last_run,
+                })
+            }
+            "closed" => Ok(Response::Closed { session: str_field(&v, "session")? }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "busy" => Ok(Response::Busy {
+                inflight: u64_field(&v, "inflight")?,
+                max_inflight: u64_field(&v, "max_inflight")?,
+            }),
+            "error" => {
+                let tag = str_field(&v, "kind")?;
+                let kind = ErrorKind::from_wire(&tag).ok_or_else(|| {
+                    ServiceError::protocol(format!("unknown error kind {tag:?}"))
+                })?;
+                Ok(Response::Error(ServiceError::new(kind, str_field(&v, "message")?)))
+            }
+            other => Err(ServiceError::protocol(format!("unknown response type {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Open {
+                session: "a".into(),
+                params: OpenParams {
+                    spec: "x = input 16\ny = output x\n".into(),
+                    partitions: 2,
+                    chips: Some(3),
+                    ..OpenParams::default()
+                },
+            },
+            Request::Explore {
+                session: "a".into(),
+                params: ExploreParams {
+                    heuristic: Heuristic::Enumeration,
+                    deadline_ms: Some(250),
+                    max_trials: None,
+                    jobs: Some(4),
+                },
+            },
+            Request::Repartition { session: "a".into(), node: 3, to: 0 },
+            Request::Stats { session: None },
+            Request::Stats { session: Some("a".into()) },
+            Request::Close { session: "a".into() },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn open_fields_default_when_omitted() {
+        let req =
+            Request::decode(r#"{"v":1,"type":"open","session":"s","spec":"x = input 8"}"#)
+                .unwrap();
+        let Request::Open { params, .. } = req else { panic!() };
+        assert_eq!(params.partitions, 1);
+        assert_eq!(params.package_pins, 84);
+        assert!(params.multi_cycle);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let err = Request::decode(r#"{"v":2,"type":"ping"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Protocol);
+        assert!(err.to_string().contains("version"));
+        assert!(Request::decode(r#"{"type":"ping"}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_type_and_bad_fields_are_protocol_errors() {
+        for bad in [
+            "not json",
+            r#"{"v":1,"type":"frobnicate"}"#,
+            r#"{"v":1,"type":"open","session":7,"spec":""}"#,
+            r#"{"v":1,"type":"explore","session":"s","heuristic":"Q"}"#,
+            r#"{"v":1,"type":"repartition","session":"s","node":-1,"to":0}"#,
+        ] {
+            let err = Request::decode(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let run = RunSummary {
+            heuristic: Heuristic::Iterative,
+            digest: "h=I;trials=9".into(),
+            trials: 9,
+            feasible_trials: 4,
+            feasible: 2,
+            completion: Completion::Complete,
+            degraded: false,
+            elapsed_ms: 1.25,
+            predictor_calls: 2,
+            cache_hits: 1,
+            cache_misses: 2,
+        };
+        let resps = [
+            Response::Pong { version: PROTOCOL_VERSION },
+            Response::Opened { session: "a".into(), partitions: 2 },
+            Response::Explored { session: "a".into(), run: run.clone() },
+            Response::Repartitioned { session: "a".into(), node: 3, to: 1 },
+            Response::Stats {
+                sessions: vec!["a".into(), "b".into()],
+                cache: CacheStats { hits: 5, misses: 3, evictions: 0, entries: 3, bytes: 640 },
+                last_run: Some(run),
+            },
+            Response::Stats { sessions: vec![], cache: CacheStats::default(), last_run: None },
+            Response::Closed { session: "a".into() },
+            Response::ShuttingDown,
+            Response::Busy { inflight: 8, max_inflight: 8 },
+            Response::Error(ServiceError::new(ErrorKind::UnknownSession, "no session \"z\"")),
+        ];
+        for resp in resps {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn service_error_implements_error_trait() {
+        let e = ServiceError::new(ErrorKind::Spec, "bad spec");
+        let dynamic: &dyn std::error::Error = &e;
+        assert!(dynamic.to_string().contains("spec error: bad spec"));
+    }
+}

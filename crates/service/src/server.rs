@@ -1,0 +1,366 @@
+//! The TCP server: accept loop, per-connection threads, admission
+//! control and graceful drain.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!   accept loop (run)        connection threads          worker pool
+//!   ┌───────────────┐   ┌──────────────────────┐   ┌─────────────────┐
+//!   │ nonblocking    │   │ read lines (100 ms    │   │ N threads drain │
+//!   │ accept, polls  ├──▶│ timeout, polls the    ├──▶│ explore jobs;   │
+//!   │ the shutdown   │   │ shutdown flag);       │   │ results return  │
+//!   │ flag           │   │ cheap requests inline │◀──┤ over a channel  │
+//!   └───────────────┘   └──────────────────────┘   └─────────────────┘
+//! ```
+//!
+//! * **Backpressure** — an `explore` is admitted only while fewer than
+//!   `max_inflight` explorations are queued or running; past that the
+//!   client gets a typed [`Response::Busy`] immediately instead of an
+//!   unbounded queue.
+//! * **Panic isolation** — every request is handled under
+//!   `catch_unwind`, twice for explorations (once around the whole
+//!   handler, once inside the worker job), so one poisoned request
+//!   produces one `internal` error response and the server keeps serving.
+//! * **Graceful drain** — a `shutdown` request flips a shared flag; the
+//!   accept loop stops, every connection thread finishes its buffered
+//!   lines and exits at the next 100 ms poll, queued explorations drain,
+//!   and [`Server::run`] returns `Ok(())` (the CLI maps that to exit 0).
+//!   There is no in-process SIGINT hook (that would need `unsafe` signal
+//!   code); embedders can wire one to [`Server::shutdown_handle`].
+
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::manager::SessionManager;
+use crate::pool::WorkerPool;
+use crate::protocol::{ErrorKind, Request, Response, ServiceError};
+
+/// How long blocked reads and accept polls wait before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads running explorations.
+    pub workers: usize,
+    /// Maximum explorations queued or running before `busy` replies.
+    pub max_inflight: usize,
+    /// Default per-exploration thread count (a request's `jobs` field
+    /// overrides it).
+    pub jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: 4, max_inflight: 64, jobs: 1 }
+    }
+}
+
+/// A bound, not-yet-running service instance.
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+}
+
+/// Everything a connection thread needs, cloned per connection.
+#[derive(Clone)]
+struct ConnCtx {
+    manager: Arc<SessionManager>,
+    pool: Arc<WorkerPool>,
+    shutdown: Arc<AtomicBool>,
+    inflight: Arc<AtomicUsize>,
+    max_inflight: usize,
+}
+
+impl Server {
+    /// Binds the listener. Pass port 0 to let the OS pick one (read it
+    /// back with [`local_addr`](Server::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            manager: Arc::new(SessionManager::new(config.jobs)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The session manager (shared with every connection).
+    #[must_use]
+    pub fn manager(&self) -> Arc<SessionManager> {
+        Arc::clone(&self.manager)
+    }
+
+    /// The drain flag: storing `true` makes [`run`](Server::run) stop
+    /// accepting, drain and return. The wire `shutdown` request sets the
+    /// same flag; this handle exists for embedders (e.g. a signal hook).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until a `shutdown` request (or the
+    /// [`shutdown_handle`](Server::shutdown_handle)) drains the server.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors; per-connection and per-request
+    /// failures are answered on the wire, never returned here.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = Arc::new(WorkerPool::new(self.config.workers));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let ctx = ConnCtx {
+            manager: self.manager,
+            pool: Arc::clone(&pool),
+            shutdown: Arc::clone(&self.shutdown),
+            inflight,
+            max_inflight: self.config.max_inflight,
+        };
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let ctx = ctx.clone();
+                    connections.retain(|h| !h.is_finished());
+                    connections
+                        .push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: connection threads notice the flag within one poll
+        // interval and exit; then let the pool finish queued work.
+        for handle in connections {
+            let _ = handle.join();
+        }
+        drop(ctx);
+        if let Ok(pool) = Arc::try_unwrap(pool) {
+            pool.shutdown();
+        }
+        Ok(())
+    }
+}
+
+/// Reads newline-delimited requests off one socket until EOF, an I/O
+/// error, or drain.
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut out = respond(text, ctx).encode();
+            out.push('\n');
+            if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line with panic isolation.
+fn respond(line: &str, ctx: &ConnCtx) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| route(line, ctx))) {
+        Ok(response) => response,
+        Err(payload) => Response::Error(ServiceError::new(
+            ErrorKind::Internal,
+            format!("request handler panicked: {}", panic_message(&payload)),
+        )),
+    }
+}
+
+/// Decodes and dispatches: `shutdown` flips the drain flag, `explore`
+/// goes through admission control and the worker pool, everything else
+/// is answered inline by the manager.
+fn route(line: &str, ctx: &ConnCtx) -> Response {
+    let request = match Request::decode(line) {
+        Ok(request) => request,
+        Err(e) => return Response::Error(e),
+    };
+    match request {
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Explore { session, params } => {
+            let Some(token) = InflightToken::try_acquire(&ctx.inflight, ctx.max_inflight)
+            else {
+                return Response::Busy {
+                    inflight: ctx.inflight.load(Ordering::SeqCst) as u64,
+                    max_inflight: ctx.max_inflight as u64,
+                };
+            };
+            let (tx, rx) = mpsc::channel::<Response>();
+            let manager = Arc::clone(&ctx.manager);
+            let job = Box::new(move || {
+                let _token = token;
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| manager.explore(&session, &params)));
+                let response = match result {
+                    Ok(Ok(run)) => Response::Explored { session, run },
+                    Ok(Err(e)) => Response::Error(e),
+                    Err(payload) => Response::Error(ServiceError::new(
+                        ErrorKind::Internal,
+                        format!("exploration panicked: {}", panic_message(&payload)),
+                    )),
+                };
+                let _ = tx.send(response);
+            });
+            if ctx.pool.execute(job).is_err() {
+                return Response::Error(ServiceError::new(
+                    ErrorKind::Internal,
+                    "server is shutting down",
+                ));
+            }
+            rx.recv().unwrap_or_else(|_| {
+                Response::Error(ServiceError::new(ErrorKind::Internal, "worker vanished"))
+            })
+        }
+        other => ctx.manager.dispatch(&other),
+    }
+}
+
+/// RAII admission token: holding one counts toward `max_inflight`.
+struct InflightToken(Arc<AtomicUsize>);
+
+impl InflightToken {
+    fn try_acquire(inflight: &Arc<AtomicUsize>, max: usize) -> Option<Self> {
+        inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
+            .ok()
+            .map(|_| Self(Arc::clone(inflight)))
+    }
+}
+
+impl Drop for InflightToken {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Best-effort panic payload extraction.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        req: &Request,
+    ) -> Response {
+        let mut line = req.encode();
+        line.push('\n');
+        stream.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::decode(reply.trim()).unwrap()
+    }
+
+    #[test]
+    fn ping_shutdown_drains_cleanly() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig { workers: 1, ..ServeConfig::default() })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert!(matches!(
+            roundtrip(&mut stream, &mut reader, &Request::Ping),
+            Response::Pong { version: crate::protocol::PROTOCOL_VERSION }
+        ));
+        // A malformed line gets a typed error, not a dropped connection.
+        stream.write_all(b"this is not json\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            Response::decode(reply.trim()).unwrap(),
+            Response::Error(ServiceError { kind: ErrorKind::Protocol, .. })
+        ));
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, &Request::Shutdown),
+            Response::ShuttingDown
+        );
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_max_inflight_reports_busy() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig { workers: 1, max_inflight: 0, jobs: 1 })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let explore = Request::Explore {
+            session: "any".into(),
+            params: crate::protocol::ExploreParams::default(),
+        };
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, &explore),
+            Response::Busy { inflight: 0, max_inflight: 0 }
+        );
+        roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests: `decode(encode(m)) == m` for **every** protocol
+//! variant, with fuzzed payloads (including JSON-hostile strings — quotes,
+//! backslashes, control characters, non-ASCII) since the wire format is
+//! hand-written rather than serde-derived.
+
+use chop_core::prelude::{CacheStats, Completion, Heuristic};
+use chop_service::{
+    ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError, PROTOCOL_VERSION,
+};
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// A session-ish identifier.
+fn name() -> BoxedStrategy<String> {
+    "[a-z][a-z0-9_-]{0,12}".boxed()
+}
+
+/// Strings that stress the JSON escaper: quotes, backslashes, control
+/// characters, multi-byte UTF-8, braces. Built from literal fragments so
+/// the regex stub can't mangle the escapes.
+fn hostile_text() -> BoxedStrategy<String> {
+    let fragment = prop_oneof![
+        Just("a = input 16"),
+        Just("\n"),
+        Just("\""),
+        Just("\\"),
+        Just("\t"),
+        Just("\r"),
+        Just("\u{0}"),
+        Just("\u{1f}"),
+        Just("π"),
+        Just("🦀"),
+        Just("{},:[]"),
+        Just(" "),
+    ];
+    collection::vec(fragment, 0..8).prop_map(|parts| parts.concat()).boxed()
+}
+
+fn heuristic() -> BoxedStrategy<Heuristic> {
+    prop_oneof![Just(Heuristic::Enumeration), Just(Heuristic::Iterative)].boxed()
+}
+
+fn completion() -> BoxedStrategy<Completion> {
+    prop_oneof![
+        Just(Completion::Complete),
+        Just(Completion::TruncatedDeadline),
+        Just(Completion::TruncatedTrials),
+        Just(Completion::DegradedToIterative),
+    ]
+    .boxed()
+}
+
+fn opt_u64() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None), (0u64..1_000_000_000).prop_map(Some)].boxed()
+}
+
+fn opt_u32() -> BoxedStrategy<Option<u32>> {
+    prop_oneof![Just(None), (1u32..64).prop_map(Some)].boxed()
+}
+
+fn open_params() -> BoxedStrategy<OpenParams> {
+    let head = (hostile_text(), 1u32..9, opt_u32());
+    let tail = (prop_oneof![Just(64u32), Just(84u32)], 1.0f64..1e9, 1.0f64..1e9, any::<bool>());
+    (head, tail)
+        .prop_map(|((spec, partitions, chips), (package_pins, perf, delay, multi_cycle))| {
+            OpenParams {
+                spec,
+                partitions,
+                chips,
+                package_pins,
+                performance_ns: perf,
+                delay_ns: delay,
+                multi_cycle,
+            }
+        })
+        .boxed()
+}
+
+fn explore_params() -> BoxedStrategy<ExploreParams> {
+    (heuristic(), opt_u64(), opt_u64(), opt_u32())
+        .prop_map(|(heuristic, deadline_ms, max_trials, jobs)| ExploreParams {
+            heuristic,
+            deadline_ms,
+            max_trials,
+            jobs,
+        })
+        .boxed()
+}
+
+fn run_summary() -> BoxedStrategy<RunSummary> {
+    let head = (heuristic(), hostile_text(), 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000);
+    let tail = (
+        completion(),
+        any::<bool>(),
+        0.0f64..1e6,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000,
+    );
+    (head, tail)
+        .prop_map(
+            |(
+                (heuristic, digest, trials, feasible_trials, feasible),
+                (completion, degraded, elapsed_ms, predictor_calls, cache_hits, cache_misses),
+            )| RunSummary {
+                heuristic,
+                digest,
+                trials,
+                feasible_trials,
+                feasible,
+                completion,
+                degraded,
+                elapsed_ms,
+                predictor_calls,
+                cache_hits,
+                cache_misses,
+            },
+        )
+        .boxed()
+}
+
+fn cache_stats() -> BoxedStrategy<CacheStats> {
+    (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000, 0u64..1_000, 0u64..1_000_000_000)
+        .prop_map(|(hits, misses, evictions, entries, bytes)| CacheStats {
+            hits,
+            misses,
+            evictions,
+            entries,
+            bytes,
+        })
+        .boxed()
+}
+
+fn service_error() -> BoxedStrategy<ServiceError> {
+    use chop_service::ErrorKind;
+    let kind = prop_oneof![
+        Just(ErrorKind::Protocol),
+        Just(ErrorKind::UnknownSession),
+        Just(ErrorKind::SessionExists),
+        Just(ErrorKind::Spec),
+        Just(ErrorKind::Engine),
+        Just(ErrorKind::Internal),
+    ];
+    (kind, hostile_text()).prop_map(|(kind, message)| ServiceError::new(kind, message)).boxed()
+}
+
+/// Every [`Request`] variant, with fuzzed payloads.
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        (name(), open_params()).prop_map(|(session, params)| Request::Open { session, params }),
+        (name(), explore_params())
+            .prop_map(|(session, params)| Request::Explore { session, params }),
+        (name(), 0u32..64, 0u32..8).prop_map(|(session, node, to)| Request::Repartition {
+            session,
+            node,
+            to
+        }),
+        prop_oneof![Just(None), name().prop_map(Some)]
+            .prop_map(|session| Request::Stats { session }),
+        name().prop_map(|session| Request::Close { session }),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+/// Every [`Response`] variant, with fuzzed payloads.
+fn response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        Just(Response::Pong { version: PROTOCOL_VERSION }),
+        (name(), 1u64..64)
+            .prop_map(|(session, partitions)| Response::Opened { session, partitions }),
+        (name(), run_summary()).prop_map(|(session, run)| Response::Explored { session, run }),
+        (name(), 0u32..64, 0u32..8).prop_map(|(session, node, to)| Response::Repartitioned {
+            session,
+            node,
+            to
+        }),
+        (
+            collection::vec(name(), 0..5),
+            cache_stats(),
+            prop_oneof![Just(None), run_summary().prop_map(Some)],
+        )
+            .prop_map(|(sessions, cache, last_run)| Response::Stats {
+                sessions,
+                cache,
+                last_run
+            }),
+        name().prop_map(|session| Response::Closed { session }),
+        Just(Response::ShuttingDown),
+        (0u64..128, 0u64..128)
+            .prop_map(|(inflight, max_inflight)| Response::Busy { inflight, max_inflight }),
+        service_error().prop_map(Response::Error),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_request_round_trips(req in request()) {
+        let line = req.encode();
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line: {line}");
+        prop_assert_eq!(Request::decode(&line).expect(&line), req);
+    }
+
+    #[test]
+    fn every_response_round_trips(resp in response()) {
+        let line = resp.encode();
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line: {line}");
+        prop_assert_eq!(Response::decode(&line).expect(&line), resp);
+    }
+
+    #[test]
+    fn requests_survive_a_double_round_trip(req in request()) {
+        // encode → decode → encode must be a fixed point (canonical form).
+        let once = req.encode();
+        let twice = Request::decode(&once).expect(&once).encode();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn responses_survive_a_double_round_trip(resp in response()) {
+        let once = resp.encode();
+        let twice = Response::decode(&once).expect(&once).encode();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests: a real server on an ephemeral port, real TCP
+//! clients, and the acceptance criteria from the service design —
+//! concurrent clients get digests byte-identical to in-process runs,
+//! `repartition` after `explore` re-predicts only the touched partitions,
+//! and `shutdown` drains the server to a clean exit.
+
+use std::net::TcpStream;
+use std::thread;
+
+use chop_core::prelude::Heuristic;
+use chop_service::{
+    build_session, Client, ErrorKind, ExploreParams, OpenParams, Request, Response,
+    ServeConfig, Server,
+};
+
+/// The five-node running example (mul feeding an add chain).
+const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
+
+/// A larger spec so three partitions stay non-trivial.
+const WIDE_SPEC: &str = "a = input 16\nb = input 16\nc = input 16\n\
+                         p = mul a b\nq = add b c\nr = sub p q\n\
+                         s = add r a\ny = output s\n";
+
+/// Worker threads per exploration, honoring the suite-wide override.
+fn test_jobs() -> usize {
+    std::env::var("CHOP_TEST_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+fn start_server(config: ServeConfig) -> (std::net::SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = thread::spawn(move || server.run().expect("server drains cleanly"));
+    (addr, handle)
+}
+
+fn open_params(spec: &str, partitions: u32) -> OpenParams {
+    OpenParams { spec: spec.into(), partitions, ..OpenParams::default() }
+}
+
+fn explore(client: &mut Client, session: &str) -> chop_service::RunSummary {
+    let response = client
+        .request(&Request::Explore {
+            session: session.into(),
+            params: ExploreParams::default(),
+        })
+        .expect("explore request");
+    match response {
+        Response::Explored { run, .. } => run,
+        other => panic!("expected explored, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_match_in_process_digests() {
+    let jobs = test_jobs();
+    let (addr, server) = start_server(ServeConfig { workers: 4, max_inflight: 64, jobs });
+
+    // Four clients, four distinct sessions with distinct shapes, all in
+    // flight at once.
+    let cases: Vec<(String, &str, u32)> = (0..4)
+        .map(|i| {
+            let spec = if i % 2 == 0 { SPEC } else { WIDE_SPEC };
+            (format!("client-{i}"), spec, 1 + i % 3)
+        })
+        .collect();
+
+    let digests: Vec<(String, String)> = {
+        let workers: Vec<_> = cases
+            .iter()
+            .cloned()
+            .map(|(session, spec, partitions)| {
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let opened = client
+                        .request(&Request::Open {
+                            session: session.clone(),
+                            params: open_params(spec, partitions),
+                        })
+                        .expect("open request");
+                    assert!(matches!(opened, Response::Opened { .. }), "{opened:?}");
+                    (session.clone(), explore(&mut client, &session).digest)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    };
+
+    // Every digest must be byte-identical to an in-process run of the
+    // same spec through the same construction path.
+    for ((session, spec, partitions), (got_session, got_digest)) in cases.iter().zip(&digests) {
+        assert_eq!(session, got_session);
+        let local = build_session(&open_params(spec, *partitions), jobs)
+            .expect("in-process session")
+            .explore(Heuristic::Iterative)
+            .expect("in-process explore");
+        assert_eq!(&local.digest(), got_digest, "session {session}");
+    }
+
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let ack = client.request(&Request::Shutdown).expect("shutdown request");
+    assert_eq!(ack, Response::ShuttingDown);
+    server.join().expect("server thread"); // run() already asserted Ok
+}
+
+#[test]
+fn repartition_after_explore_repredicts_only_touched_partitions() {
+    let (addr, server) =
+        start_server(ServeConfig { workers: 2, max_inflight: 8, jobs: test_jobs() });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let opened = client
+        .request(&Request::Open { session: "inc".into(), params: open_params(WIDE_SPEC, 3) })
+        .expect("open");
+    assert!(matches!(opened, Response::Opened { .. }), "{opened:?}");
+
+    let before = explore(&mut client, "inc");
+    assert!(before.predictor_calls > 0, "first run must predict: {before:?}");
+
+    let stats_before =
+        match client.request(&Request::Stats { session: Some("inc".into()) }).expect("stats") {
+            Response::Stats { cache, .. } => cache,
+            other => panic!("expected stats, got {other:?}"),
+        };
+
+    let moved = client
+        .request(&Request::Repartition { session: "inc".into(), node: 3, to: 0 })
+        .expect("repartition");
+    assert_eq!(moved, Response::Repartitioned { session: "inc".into(), node: 3, to: 0 });
+
+    let after = explore(&mut client, "inc");
+
+    // Untouched partitions come from the shared cache: the re-explore
+    // must hit the cache and predict strictly less than the cold run.
+    assert!(after.cache_hits >= 1, "expected cache hits after repartition: {after:?}");
+    assert!(
+        after.predictor_calls < before.predictor_calls,
+        "expected fewer predictions ({} -> {})",
+        before.predictor_calls,
+        after.predictor_calls
+    );
+
+    // The same delta must be visible through the stats endpoint (the
+    // shared cache's lifetime counters moved by at least the run's hits).
+    let stats_after =
+        match client.request(&Request::Stats { session: Some("inc".into()) }).expect("stats") {
+            Response::Stats { cache, last_run, .. } => {
+                assert_eq!(last_run.as_ref().map(|r| &r.digest), Some(&after.digest));
+                cache
+            }
+            other => panic!("expected stats, got {other:?}"),
+        };
+    assert!(
+        stats_after.hits >= stats_before.hits + after.cache_hits,
+        "cache hit counter must advance: {stats_before:?} -> {stats_after:?}"
+    );
+
+    assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn saturated_server_answers_busy_not_queueing_forever() {
+    // max_inflight: 0 means every explore is "one too many".
+    let (addr, server) = start_server(ServeConfig { workers: 1, max_inflight: 0, jobs: 1 });
+    let mut client = Client::connect(addr).expect("connect");
+    let opened = client
+        .request(&Request::Open { session: "s".into(), params: open_params(SPEC, 1) })
+        .expect("open");
+    assert!(matches!(opened, Response::Opened { .. }), "{opened:?}");
+    let busy = client
+        .request(&Request::Explore { session: "s".into(), params: ExploreParams::default() })
+        .expect("explore");
+    assert_eq!(busy, Response::Busy { inflight: 0, max_inflight: 0 });
+    assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_sessions_are_isolated() {
+    let (addr, server) = start_server(ServeConfig { workers: 1, max_inflight: 4, jobs: 1 });
+
+    // Raw socket: garbage must come back as a typed protocol error, and
+    // the connection must stay usable afterwards.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = TcpStream::connect(addr).expect("connect raw");
+        stream.write_all(b"this is not json\n").expect("write garbage");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read error line");
+        let response = Response::decode(line.trim()).expect("decodable error");
+        match response {
+            Response::Error(e) => assert_eq!(e.kind, ErrorKind::Protocol),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        stream.write_all(format!("{}\n", Request::Ping.encode()).as_bytes()).expect("ping");
+        line.clear();
+        reader.read_line(&mut line).expect("read pong");
+        assert!(matches!(Response::decode(line.trim()), Ok(Response::Pong { .. })), "{line}");
+    }
+
+    // Typed session errors: unknown session, duplicate open.
+    let mut client = Client::connect(addr).expect("connect");
+    let missing = client
+        .request(&Request::Explore {
+            session: "ghost".into(),
+            params: ExploreParams::default(),
+        })
+        .expect("explore ghost");
+    assert!(
+        matches!(&missing, Response::Error(e) if e.kind == ErrorKind::UnknownSession),
+        "{missing:?}"
+    );
+    let open = Request::Open { session: "dup".into(), params: open_params(SPEC, 1) };
+    assert!(matches!(client.request(&open).expect("open"), Response::Opened { .. }));
+    let again = client.request(&open).expect("reopen");
+    assert!(
+        matches!(&again, Response::Error(e) if e.kind == ErrorKind::SessionExists),
+        "{again:?}"
+    );
+
+    assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
+    server.join().expect("server thread");
+}

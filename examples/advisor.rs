@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run -p chop-core --example advisor`
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{Constraints, Heuristic, PartitionId, SearchOutcome};
+use chop_core::prelude::*;
 use chop_library::standard::table2_packages;
 use chop_library::ChipSet;
 use chop_stat::units::Nanos;
+use experiments::{experiment1_session, Exp1Config};
 
 fn summarize(label: &str, outcome: &SearchOutcome) {
     match outcome.feasible.iter().min_by_key(|f| f.system.initiation_interval.value()) {
@@ -36,12 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decision 2: marketing wants 2× the performance.
     let fast = base
         .clone()
-        .with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)));
+        .try_with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)))?;
     summarize("what if: performance ≤ 15 µs", &fast.explore(Heuristic::Iterative)?);
 
     // Decision 3: both at once.
-    let both =
-        cheap.with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)));
+    let both = cheap
+        .try_with_constraints(Constraints::new(Nanos::new(15_000.0), Nanos::new(30_000.0)))?;
     summarize("what if: 64-pin AND ≤ 15 µs", &both.explore(Heuristic::Iterative)?);
 
     // Decision 4: migrate one operation across the cut and see the effect
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "\nmigrating one operation P1→P2 changes the cut from {before} to {after} bits"
             );
-            let migrated = base.clone().with_partitioning(moved);
+            let migrated = base.clone().try_with_partitioning(moved)?;
             summarize(
                 "what if: migrate one operation",
                 &migrated.explore(Heuristic::Iterative)?,

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run -p chop-core --example design_space`
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{DesignPoint, Heuristic};
+use chop_core::prelude::*;
+use experiments::{experiment1_session, Exp1Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_points: Vec<DesignPoint> = Vec::new();

@@ -7,8 +7,7 @@
 //! Run with: `cargo run -p chop-core --example figure2_scenario`
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{report, Constraints, Heuristic, MemoryAssignment, Session};
+use chop_core::prelude::*;
 use chop_dfg::grouping::Grouping;
 use chop_dfg::{Dfg, DfgBuilder, MemoryRef, NodeId, Operation};
 use chop_library::standard::{

@@ -5,10 +5,9 @@
 //!
 //! Run with: `cargo run -p chop-core --example memory_system`
 
+use advise::best_memory_assignment;
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::advise::best_memory_assignment;
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Constraints, Heuristic, MemoryAssignment, Session};
+use chop_core::prelude::*;
 use chop_dfg::{DfgBuilder, MemoryRef, Operation};
 use chop_library::standard::{example_on_chip_ram, table1_library, table2_packages};
 use chop_library::{ChipId, ChipSet, MemoryId};

@@ -4,8 +4,7 @@
 //! Run with: `cargo run -p chop-core --example quickstart`
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{report, Constraints, Heuristic, Session};
+use chop_core::prelude::*;
 use chop_dfg::benchmarks;
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;

@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run -p chop-core --example task_creation`
 
-use chop_core::tasks::create_tasks;
+use chop_core::prelude::*;
 use chop_dfg::{benchmarks, OpClass};
 use chop_sched::{NodeSpec, ResourceMap};
+use tasks::create_tasks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dfg = benchmarks::dct8();

@@ -24,10 +24,11 @@ fn power_estimates_are_reported() {
 fn tiny_power_limit_kills_every_design() {
     let constrained = experiment1_session(&Exp1Config { partitions: 2, package: 1 })
         .unwrap()
-        .with_constraints(
+        .try_with_constraints(
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0))
                 .with_power_limit(MilliWatts::new(1.0)),
-        );
+        )
+        .unwrap();
     let o = constrained.explore(Heuristic::Enumeration).unwrap();
     assert_eq!(o.feasible_trials, 0, "1 mW cannot power a multiplier");
 }
@@ -38,10 +39,11 @@ fn generous_power_limit_changes_nothing() {
     let unconstrained = base.explore(Heuristic::Enumeration).unwrap();
     let generous = base
         .clone()
-        .with_constraints(
+        .try_with_constraints(
             Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0))
                 .with_power_limit(MilliWatts::new(1_000_000.0)),
         )
+        .unwrap()
         .explore(Heuristic::Enumeration)
         .unwrap();
     assert_eq!(unconstrained.feasible_trials, generous.feasible_trials);
@@ -59,10 +61,11 @@ fn intermediate_power_limit_prunes_hot_designs() {
     if hottest > coolest * 1.05 {
         let limited = base
             .clone()
-            .with_constraints(
+            .try_with_constraints(
                 Constraints::new(Nanos::new(20_000.0), Nanos::new(30_000.0))
                     .with_power_limit(MilliWatts::new((hottest + coolest) / 2.0)),
             )
+            .unwrap()
             .explore(Heuristic::Enumeration)
             .unwrap();
         assert!(limited.feasible_trials < all.feasible_trials);

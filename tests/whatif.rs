@@ -46,7 +46,8 @@ fn tightening_performance_prunes_slow_designs() {
     let loose = s.explore(Heuristic::Enumeration).unwrap();
     let tight = s
         .clone()
-        .with_constraints(Constraints::new(Nanos::new(10_000.0), Nanos::new(30_000.0)))
+        .try_with_constraints(Constraints::new(Nanos::new(10_000.0), Nanos::new(30_000.0)))
+        .unwrap()
         .explore(Heuristic::Enumeration)
         .unwrap();
     // Every surviving design under the tight constraint meets it.
@@ -60,7 +61,8 @@ fn tightening_performance_prunes_slow_designs() {
 fn infeasible_constraints_yield_empty_but_ok() {
     let s = experiment1_session(&Exp1Config { partitions: 1, package: 1 })
         .unwrap()
-        .with_constraints(Constraints::new(Nanos::new(100.0), Nanos::new(100.0)));
+        .try_with_constraints(Constraints::new(Nanos::new(100.0), Nanos::new(100.0)))
+        .unwrap();
     let o = s.explore(Heuristic::Iterative).unwrap();
     assert_eq!(o.feasible_trials, 0);
     assert!(o.feasible.is_empty());
