@@ -201,7 +201,7 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] locating the first malformed byte.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -211,9 +211,17 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses
+/// once per `[`/`{` level, so without a cap a hostile line of repeated
+/// open brackets overflows the thread stack — an abort that no
+/// `catch_unwind` can contain. 128 levels is far beyond anything the
+/// protocol produces.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -263,12 +271,29 @@ impl Parser<'_> {
         }
     }
 
+    /// Counts one more container level, rejecting input past
+    /// [`MAX_DEPTH`]. Error paths never restore the counter — the whole
+    /// parse aborts — so only success returns pair this with `leave`.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(Value::Arr(items));
         }
         loop {
@@ -279,6 +304,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -288,10 +314,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(Value::Obj(pairs));
         }
         loop {
@@ -307,6 +335,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Value::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -488,6 +517,23 @@ mod tests {
             let err = parse(bad).unwrap_err();
             assert!(err.to_string().contains("byte"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        // Within the cap: parses fine (mixed arrays and objects).
+        let deep = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep).is_ok());
+        // One past the cap: a typed error, not a recursion blow-up.
+        let over = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).unwrap_err().to_string().contains("nesting"));
+        // The classic attack: 100k unclosed open brackets must error
+        // quickly instead of overflowing the stack (an uncatchable abort).
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"k\":".repeat(100_000)).is_err());
+        // Sibling (non-nested) containers do not accumulate depth.
+        let wide = format!("[{}0]", "[1],".repeat(10_000));
+        assert!(parse(&wide).is_ok());
     }
 
     #[test]

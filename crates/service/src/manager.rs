@@ -14,6 +14,7 @@
 //! different (or the same) session never serialize on the manager.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -33,12 +34,18 @@ use crate::protocol::{
 struct Managed {
     session: Session,
     last_run: Option<RunSummary>,
+    /// Monotonic id assigned at `open`. An unlocked exploration captures
+    /// it alongside the session clone; the run summary is recorded only
+    /// if the entry under this name still carries the same generation,
+    /// so a close + reopen racing the search never inherits a stale run.
+    generation: u64,
 }
 
 /// Owns every named session and the cache they share.
 pub struct SessionManager {
     cache: Arc<PredictionCache>,
     sessions: Mutex<HashMap<String, Managed>>,
+    generations: AtomicU64,
     default_jobs: usize,
 }
 
@@ -50,6 +57,7 @@ impl SessionManager {
         Self {
             cache: Arc::new(PredictionCache::new()),
             sessions: Mutex::new(HashMap::new()),
+            generations: AtomicU64::new(0),
             default_jobs: default_jobs.max(1),
         }
     }
@@ -137,7 +145,8 @@ impl SessionManager {
                 format!("session {name:?} is already open"),
             ));
         }
-        sessions.insert(name.to_owned(), Managed { session, last_run: None });
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(name.to_owned(), Managed { session, last_run: None, generation });
         Ok(partitions)
     }
 
@@ -153,10 +162,10 @@ impl SessionManager {
         name: &str,
         params: &ExploreParams,
     ) -> Result<RunSummary, ServiceError> {
-        let session = {
+        let (session, generation) = {
             let sessions = self.lock();
             let managed = sessions.get(name).ok_or_else(|| unknown_session(name))?;
-            managed.session.clone()
+            (managed.session.clone(), managed.generation)
         };
         let mut budget = SearchBudget::default();
         if let Some(ms) = params.deadline_ms {
@@ -173,10 +182,20 @@ impl SessionManager {
             .explore(params.heuristic)
             .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
         let run = RunSummary::from_outcome(&outcome);
-        if let Some(managed) = self.lock().get_mut(name) {
-            managed.last_run = Some(run.clone());
-        }
+        self.record_run(name, generation, run.clone());
         Ok(run)
+    }
+
+    /// Attaches a finished run to the session it actually came from: if
+    /// the name was closed (or closed and reopened) while the search ran
+    /// unlocked, the generation no longer matches and the summary is
+    /// dropped instead of landing on an unrelated session.
+    fn record_run(&self, name: &str, generation: u64, run: RunSummary) {
+        if let Some(managed) = self.lock().get_mut(name) {
+            if managed.generation == generation {
+                managed.last_run = Some(run);
+            }
+        }
     }
 
     /// Moves one DFG node to another partition (the incremental what-if).
@@ -397,6 +416,26 @@ mod tests {
             after.predictor_calls < before.predictor_calls,
             "only the touched partitions may be re-predicted"
         );
+    }
+
+    #[test]
+    fn stale_run_is_not_recorded_on_a_reopened_session() {
+        let mgr = SessionManager::new(1);
+        mgr.open("s", &open_params(2)).unwrap();
+        let stale_gen = mgr.lock().get("s").unwrap().generation;
+        let run = mgr.explore("s", &ExploreParams::default()).unwrap();
+        // Close and reopen under the same name while a hypothetical
+        // search still holds the old generation.
+        mgr.close("s").unwrap();
+        mgr.open("s", &open_params(2)).unwrap();
+        mgr.record_run("s", stale_gen, run.clone());
+        let (_, _, last) = mgr.stats(Some("s")).unwrap();
+        assert!(last.is_none(), "stale run must not attach to the reopened session");
+        // The matching generation still records normally.
+        let fresh_gen = mgr.lock().get("s").unwrap().generation;
+        assert_ne!(fresh_gen, stale_gen);
+        mgr.record_run("s", fresh_gen, run);
+        assert!(mgr.stats(Some("s")).unwrap().2.is_some());
     }
 
     #[test]

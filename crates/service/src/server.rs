@@ -43,6 +43,12 @@ use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
+/// Maximum bytes one request line may occupy. A client streaming data
+/// without a newline would otherwise grow the connection buffer without
+/// bound; past this limit the connection gets one protocol error reply
+/// and is closed. 4 MiB comfortably fits any real spec.
+const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -190,6 +196,17 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                 return;
             }
         }
+        if buf.len() > MAX_LINE_BYTES {
+            let mut out = Response::Error(ServiceError::new(
+                ErrorKind::Protocol,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ))
+            .encode();
+            out.push('\n');
+            let _ = writer.write_all(out.as_bytes());
+            let _ = writer.flush();
+            return;
+        }
         if ctx.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -336,6 +353,38 @@ mod tests {
             Response::decode(reply.trim()).unwrap(),
             Response::Error(ServiceError { kind: ErrorKind::Protocol, .. })
         ));
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, &Request::Shutdown),
+            Response::ShuttingDown
+        );
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_gets_protocol_error_then_close() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig { workers: 1, ..ServeConfig::default() })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Stream just past the limit with no newline: the server must
+        // answer with a typed protocol error and close, not buffer on.
+        let blob = vec![b'x'; MAX_LINE_BYTES + 1];
+        stream.write_all(&blob).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            Response::decode(reply.trim()).unwrap(),
+            Response::Error(ServiceError { kind: ErrorKind::Protocol, .. })
+        ));
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0, "connection must be closed");
+        // The server itself keeps serving: shut it down over a fresh
+        // connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
         assert_eq!(
             roundtrip(&mut stream, &mut reader, &Request::Shutdown),
             Response::ShuttingDown
