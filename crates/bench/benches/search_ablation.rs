@@ -1,0 +1,62 @@
+//! Branch-and-bound search ablation: heuristic E with subtree skipping
+//! on versus the exhaustive odometer walk, cold (empty prediction cache,
+//! so the measured run pays prediction + search) and warm (cache
+//! pre-filled, isolating pure search + integration); heuristic I rides
+//! along as the greedy baseline the paper compares against (the
+//! branch-and-bound switch is a no-op there — its walk is not an
+//! odometer). Summary numbers are checked in as `BENCH_search.json`.
+
+use std::hint::black_box;
+
+use chop_core::experiments::{experiment1_session, Exp1Config};
+use chop_core::{Heuristic, Session};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn fresh_session(branch_and_bound: bool) -> Session {
+    experiment1_session(&Exp1Config { partitions: 3, package: 1 })
+        .expect("valid")
+        .with_branch_and_bound(branch_and_bound)
+}
+
+fn bench_search_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_ablation");
+    group.sample_size(10);
+
+    for (tag, bnb) in [("bnb", true), ("naive", false)] {
+        // Cold: fresh session per measurement — prediction + search.
+        group.bench_function(format!("{tag}_cold_E"), |b| {
+            b.iter_batched(
+                || fresh_session(bnb),
+                |s| black_box(s.explore(Heuristic::Enumeration).expect("explore")),
+                BatchSize::SmallInput,
+            );
+        });
+
+        // Warm: cache pre-filled, so the measurement is the combination
+        // walk + scoring alone — the part branch-and-bound accelerates.
+        let warm = fresh_session(bnb);
+        warm.explore(Heuristic::Enumeration).expect("warm-up");
+        group.bench_function(format!("{tag}_warm_E"), |b| {
+            b.iter(|| black_box(warm.explore(Heuristic::Enumeration).expect("explore")));
+        });
+
+        group.bench_function(format!("{tag}_cold_I"), |b| {
+            b.iter_batched(
+                || fresh_session(bnb),
+                |s| black_box(s.explore(Heuristic::Iterative).expect("explore")),
+                BatchSize::SmallInput,
+            );
+        });
+
+        let warm_i = fresh_session(bnb);
+        warm_i.explore(Heuristic::Iterative).expect("warm-up");
+        group.bench_function(format!("{tag}_warm_I"), |b| {
+            b.iter(|| black_box(warm_i.explore(Heuristic::Iterative).expect("explore")));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_ablation);
+criterion_main!(benches);

@@ -41,6 +41,9 @@ pub struct Options {
     pub max_points: Option<usize>,
     /// Never degrade heuristic E to I, however large the space.
     pub no_degrade: bool,
+    /// Disable branch-and-bound subtree skipping in heuristic E (the
+    /// exhaustive odometer walk; results are identical, only slower).
+    pub no_bnb: bool,
     /// Worker threads for prediction and combination scoring
     /// (default: available parallelism).
     pub jobs: Option<usize>,
@@ -74,6 +77,7 @@ impl Default for Options {
             max_trials: None,
             max_points: None,
             no_degrade: false,
+            no_bnb: false,
             jobs: None,
             stats: false,
             stats_json: None,
@@ -204,6 +208,7 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
                 );
             }
             "--no-degrade" => opts.no_degrade = true,
+            "--no-bnb" => opts.no_bnb = true,
             "--jobs" | "-j" => {
                 let n: usize = value(arg)?
                     .parse()
@@ -392,12 +397,14 @@ mod tests {
             "--max-points",
             "100",
             "--no-degrade",
+            "--no-bnb",
         ]))
         .unwrap();
         assert_eq!(o.deadline_ms, Some(250));
         assert_eq!(o.max_trials, Some(5000));
         assert_eq!(o.max_points, Some(100));
         assert!(o.no_degrade);
+        assert!(o.no_bnb);
     }
 
     #[test]
@@ -407,6 +414,7 @@ mod tests {
         assert_eq!(o.max_trials, None);
         assert_eq!(o.max_points, None);
         assert!(!o.no_degrade);
+        assert!(!o.no_bnb);
     }
 
     #[test]

@@ -45,6 +45,8 @@ OPTIONS (check / tasks):
   --max-trials <N>         cap on combinations examined
   --max-points <N>         cap on retained design points
   --no-degrade             never switch heuristic E to I on huge spaces
+  --no-bnb                 exhaustive odometer walk in heuristic E (skip
+                           the branch-and-bound subtree pruning)
   --jobs, -j <N>           worker threads for prediction and combination
                            scoring                         [all CPUs]
   --stats                  print per-stage trace and cache statistics
@@ -245,7 +247,7 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
     let jobs = opts.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     });
-    Ok(session.with_budget(budget).with_jobs(jobs))
+    Ok(session.with_budget(budget).with_jobs(jobs).with_branch_and_bound(!opts.no_bnb))
 }
 
 fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
@@ -344,6 +346,10 @@ fn print_stats(outcome: &SearchOutcome) {
         t.predictor_calls, c.hits, c.misses, c.evictions, c.entries, c.bytes
     );
     println!("  {} evaluation(s), {} quick reject(s)", t.evaluations, t.quick_rejects);
+    println!(
+        "  {} subtree(s) skipped ({} combination(s) never visited)",
+        t.subtrees_skipped, t.combinations_skipped
+    );
 }
 
 /// Writes `--stats-json`: one object per run, in run order.
@@ -572,6 +578,7 @@ mod tests {
         assert!(HELP.contains("--stats"));
         assert!(HELP.contains("--stats-json"));
         assert!(HELP.contains("--move-node"));
+        assert!(HELP.contains("--no-bnb"));
     }
 
     #[test]

@@ -211,6 +211,10 @@ fn print_run(label: &str, run: &RunSummary) {
         "  {} predictor call(s), {} cache hit(s), {} miss(es)",
         run.predictor_calls, run.cache_hits, run.cache_misses
     );
+    println!(
+        "  {} subtree(s) skipped, {} combination(s) never visited",
+        run.subtrees_skipped, run.combinations_skipped
+    );
     println!("  digest {}", run.digest);
 }
 
@@ -287,6 +291,8 @@ mod tests {
             predictor_calls: 0,
             cache_hits: 0,
             cache_misses: 0,
+            subtrees_skipped: 0,
+            combinations_skipped: 0,
         };
         use chop_core::prelude::Completion;
         assert_eq!(run_status(&run(1, Completion::Complete)), RunStatus::Feasible);

@@ -108,6 +108,7 @@ pub(crate) fn explore(
             &predicted.lists,
             session.prune,
             session.keep_all,
+            session.branch_and_bound,
             &timer,
             &scorer,
             &trace,

@@ -44,16 +44,11 @@ impl BatchScorer<'_> {
         if self.timer.deadline_exceeded() {
             return None;
         }
-        let selection: Vec<&PredictedDesign> = candidate
-            .indices
-            .iter()
-            .zip(self.lists)
-            .map(|(&i, list)| &list[i as usize])
-            .collect();
         self.trace.count_evaluation();
         let started = Instant::now();
+        // Index-slice evaluation: no per-candidate selection Vec.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.ctx.evaluate(&selection, Cycles::new(candidate.ii))
+            self.ctx.evaluate_indexed(self.lists, &candidate.indices, Cycles::new(candidate.ii))
         }));
         self.trace.add_integrate(started.elapsed());
         Some(match outcome {

@@ -46,6 +46,13 @@ pub struct ExploreTrace {
     pub evaluations: u64,
     /// Combinations rejected by the cheap level-2 area pre-check.
     pub quick_rejects: u64,
+    /// Subtrees (digit-value cones of the odometer) eliminated by the
+    /// branch-and-bound lower bounds without visiting their combinations.
+    pub subtrees_skipped: u64,
+    /// Combinations contained in the skipped subtrees — never generated,
+    /// so `trials + combinations_skipped` equals the full cross-product
+    /// size on a run that completes.
+    pub combinations_skipped: u64,
     /// Worker threads the engine was allowed to use.
     pub jobs: u64,
 }
@@ -58,7 +65,8 @@ impl ExploreTrace {
         format!(
             "{{\"predict_ns\":{},\"prune_l1_ns\":{},\"search_ns\":{},\"integrate_ns\":{},\
              \"feasibility_ns\":{},\"predictor_calls\":{},\"cache_hits\":{},\
-             \"cache_misses\":{},\"evaluations\":{},\"quick_rejects\":{},\"jobs\":{}}}",
+             \"cache_misses\":{},\"evaluations\":{},\"quick_rejects\":{},\
+             \"subtrees_skipped\":{},\"combinations_skipped\":{},\"jobs\":{}}}",
             self.predict_ns,
             self.prune_l1_ns,
             self.search_ns,
@@ -69,6 +77,8 @@ impl ExploreTrace {
             self.cache_misses,
             self.evaluations,
             self.quick_rejects,
+            self.subtrees_skipped,
+            self.combinations_skipped,
             self.jobs,
         )
     }
@@ -91,6 +101,8 @@ pub(crate) struct TraceRecorder {
     cache_misses: AtomicU64,
     evaluations: AtomicU64,
     quick_rejects: AtomicU64,
+    subtrees_skipped: AtomicU64,
+    combinations_skipped: AtomicU64,
     jobs: u64,
 }
 
@@ -156,6 +168,13 @@ impl TraceRecorder {
         self.quick_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Flushes a search's branch-and-bound skip tallies (called once per
+    /// run, after the walk finishes).
+    pub fn add_skips(&self, subtrees: u64, combinations: u64) {
+        self.subtrees_skipped.fetch_add(subtrees, Ordering::Relaxed);
+        self.combinations_skipped.fetch_add(combinations, Ordering::Relaxed);
+    }
+
     /// Freezes the counters into a plain [`ExploreTrace`].
     #[must_use]
     pub fn snapshot(&self) -> ExploreTrace {
@@ -170,6 +189,8 @@ impl TraceRecorder {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             evaluations: self.evaluations.load(Ordering::Relaxed),
             quick_rejects: self.quick_rejects.load(Ordering::Relaxed),
+            subtrees_skipped: self.subtrees_skipped.load(Ordering::Relaxed),
+            combinations_skipped: self.combinations_skipped.load(Ordering::Relaxed),
             jobs: self.jobs,
         }
     }
@@ -187,10 +208,13 @@ mod tests {
         r.count_cache_hit();
         r.count_evaluation();
         r.count_evaluation();
+        r.add_skips(3, 250);
         let t = r.snapshot();
         assert_eq!(t.predict_ns, 15);
         assert_eq!(t.cache_hits, 1);
         assert_eq!(t.evaluations, 2);
+        assert_eq!(t.subtrees_skipped, 3);
+        assert_eq!(t.combinations_skipped, 250);
         assert_eq!(t.jobs, 4);
     }
 
@@ -209,6 +233,8 @@ mod tests {
             "cache_misses",
             "evaluations",
             "quick_rejects",
+            "subtrees_skipped",
+            "combinations_skipped",
             "jobs",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");

@@ -122,26 +122,30 @@ impl SearchOutcome {
             .collect()
     }
 
-    /// A canonical fingerprint of the run's *results*: heuristic, trial
-    /// counts, completion, per-partition prediction statistics and list
-    /// lengths, every feasible implementation (selection indices plus the
-    /// exact bit patterns of its system estimates) and every recorded
-    /// design point.
+    /// A canonical fingerprint of the run's *results*: heuristic,
+    /// feasible-trial count, completion, per-partition prediction
+    /// statistics and list lengths, every feasible implementation
+    /// (selection indices plus the exact bit patterns of its system
+    /// estimates) and every recorded design point.
     ///
     /// Wall-clock measurements (`elapsed`, `trace`) and cache counters are
     /// excluded: they legitimately differ between runs and thread counts
     /// (two workers may race to predict identical partitions, shifting
-    /// hit/miss counts without changing any result). Two runs with equal
-    /// digests found exactly the same designs — the determinism tests
-    /// assert digest equality across `--jobs 1/2/8`.
+    /// hit/miss counts without changing any result). The raw `trials`
+    /// count is excluded too: under branch-and-bound it counts *visited*
+    /// combinations, which sound pruning is free to reduce without
+    /// changing any retained result — the per-partition list lengths
+    /// already pin the search space. Two runs with equal digests found
+    /// exactly the same designs — the determinism tests assert digest
+    /// equality across `--jobs 1/2/8` and across pruning modes.
     #[must_use]
     pub fn digest(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = write!(
             out,
-            "h={};trials={};feasible_trials={};completion={:?};degraded={};",
-            self.heuristic, self.trials, self.feasible_trials, self.completion, self.degraded
+            "h={};feasible_trials={};completion={:?};degraded={};",
+            self.heuristic, self.feasible_trials, self.completion, self.degraded
         );
         for (i, (list, s)) in self.predictions.iter().zip(&self.prediction_stats).enumerate() {
             let _ = write!(
@@ -243,6 +247,7 @@ pub struct Session {
     pub(crate) testability: TestabilityOverhead,
     pub(crate) prune: bool,
     pub(crate) keep_all: bool,
+    pub(crate) branch_and_bound: bool,
     pub(crate) budget: SearchBudget,
     pub(crate) jobs: usize,
     /// Shared with every session cloned or derived from this one, so a
@@ -276,6 +281,7 @@ impl Session {
             testability: TestabilityOverhead::none(),
             prune: true,
             keep_all: false,
+            branch_and_bound: true,
             budget: SearchBudget::default(),
             jobs: 1,
             cache: Arc::new(PredictionCache::new()),
@@ -317,6 +323,25 @@ impl Session {
     pub fn with_keep_all(mut self, keep_all: bool) -> Self {
         self.keep_all = keep_all;
         self
+    }
+
+    /// Enables or disables branch-and-bound subtree skipping inside
+    /// heuristic E (enabled by default). Only active when pruning is on
+    /// and keep-all is off; it removes provably infeasible combinations
+    /// from the walk without changing the retained feasible set or
+    /// [`SearchOutcome::digest`] — disable it to measure the exhaustive
+    /// odometer, or when the `trials` count must equal the full
+    /// cross-product size.
+    #[must_use]
+    pub fn with_branch_and_bound(mut self, branch_and_bound: bool) -> Self {
+        self.branch_and_bound = branch_and_bound;
+        self
+    }
+
+    /// Whether branch-and-bound subtree skipping is enabled.
+    #[must_use]
+    pub fn branch_and_bound(&self) -> bool {
+        self.branch_and_bound
     }
 
     /// Sets the resource budget for exploration runs (deadline, trial and

@@ -178,7 +178,9 @@ pub(crate) fn run(
                     best = Some((p, delay));
                 }
             }
-            let (chosen, _) = best.expect("q was non-empty");
+            // `q` is non-empty, so `best` is always set here; the guard
+            // (rather than an `expect`) keeps the lib path panic-free.
+            let Some((chosen, _)) = best else { break };
             w[chosen] += 1;
         }
     }
@@ -309,7 +311,7 @@ mod tests {
         let scorer =
             BatchScorer { ctx: &ctx, lists: &designs, jobs: 1, timer: &timer, trace: &trace };
         let en = crate::heuristics::enumeration::run(
-            &ctx, &designs, true, false, &timer, &scorer, &trace,
+            &ctx, &designs, true, false, false, &timer, &scorer, &trace,
         )
         .unwrap();
         // The paper's headline contrast (Table 4: 156 vs 9 trials).

@@ -105,6 +105,12 @@ pub(crate) struct HeuristicResult {
     pub points: Vec<DesignPoint>,
     /// Whether the search ran to completion or a budget tripped.
     pub completion: Completion,
+    /// Odometer subtrees (digit-value cones) eliminated by the
+    /// branch-and-bound lower bounds without being visited.
+    pub subtrees_skipped: u64,
+    /// Combinations inside the skipped subtrees: on a completed run
+    /// `trials + combinations_skipped` equals the cross-product size.
+    pub combinations_skipped: u64,
 }
 
 impl HeuristicResult {

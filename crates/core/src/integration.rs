@@ -6,6 +6,7 @@
 //! delay characteristics of the overall system" (paper §2.5).
 
 use std::fmt;
+use std::sync::Arc;
 
 use chop_bad::area::PlaSpec;
 use chop_bad::{ClockConfig, DesignStyle, PredictedDesign, PredictorParams};
@@ -113,6 +114,97 @@ impl fmt::Display for SystemPrediction {
     }
 }
 
+/// Read-only view of one design choice per partition. The public
+/// [`IntegrationContext::evaluate`] takes the reference-slice form; the
+/// engine's scoring hot path uses [`IndexedSelection`] to evaluate through
+/// index slices into the shared prediction lists without materializing a
+/// `Vec<&PredictedDesign>` per candidate.
+pub(crate) trait SelectionView {
+    /// Number of partitions selected for.
+    fn len(&self) -> usize;
+    /// The chosen design of `partition`.
+    fn design(&self, partition: usize) -> &PredictedDesign;
+}
+
+impl SelectionView for &[&PredictedDesign] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn design(&self, partition: usize) -> &PredictedDesign {
+        self[partition]
+    }
+}
+
+/// Allocation-free selection: one index per partition into the engine's
+/// per-partition prediction lists.
+pub(crate) struct IndexedSelection<'a> {
+    /// Per-partition prediction lists, in partition order.
+    pub lists: &'a [Arc<[PredictedDesign]>],
+    /// Chosen design index per partition, in partition order.
+    pub indices: &'a [u32],
+}
+
+impl SelectionView for IndexedSelection<'_> {
+    fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    fn design(&self, partition: usize) -> &PredictedDesign {
+        &self.lists[partition][self.indices[partition] as usize]
+    }
+}
+
+/// The selection-independent task-graph skeleton used by the search's
+/// branch-and-bound delay lower bound: transfer durations are fixed per
+/// partitioning, only the per-partition task weights (latencies) vary with
+/// the candidate. Node ids: `0..partitions` are partition tasks,
+/// `partitions + t` is transfer task `t`.
+#[derive(Debug, Clone)]
+pub(crate) struct DelayGraph {
+    partitions: usize,
+    /// Duration (main cycles) of each transfer task.
+    xfer_weights: Vec<u64>,
+    /// Outgoing dependency edges per node.
+    successors: Vec<Vec<u32>>,
+    /// All nodes in topological order; empty when the graph is cyclic
+    /// (then the bound degrades to "no pruning").
+    topo: Vec<u32>,
+}
+
+impl DelayGraph {
+    /// Longest dependency path (ignoring resource contention) with the
+    /// given per-partition weights — a lower bound on every schedule
+    /// makespan over this skeleton. `dist` is caller-owned scratch so the
+    /// search loop stays allocation-free.
+    pub(crate) fn longest_path(&self, pu_weights: &[u64], dist: &mut Vec<u64>) -> u64 {
+        if self.topo.is_empty() {
+            return 0;
+        }
+        let weight = |v: usize| {
+            if v < self.partitions {
+                pu_weights[v]
+            } else {
+                self.xfer_weights[v - self.partitions]
+            }
+        };
+        dist.clear();
+        dist.extend((0..self.partitions + self.xfer_weights.len()).map(weight));
+        let mut best = 0u64;
+        for &v in &self.topo {
+            let dv = dist[v as usize];
+            best = best.max(dv);
+            for &to in &self.successors[v as usize] {
+                let reach = dv.saturating_add(weight(to as usize));
+                if reach > dist[to as usize] {
+                    dist[to as usize] = reach;
+                }
+            }
+        }
+        best
+    }
+}
+
 /// Reusable integration context for one partitioning: transfers and pin
 /// budgets are computed once, then [`IntegrationContext::evaluate`] is
 /// called per candidate combination.
@@ -210,6 +302,142 @@ impl<'a> IntegrationContext<'a> {
         Cycles::new(worst)
     }
 
+    /// The feasibility criteria in force.
+    pub(crate) fn criteria(&self) -> &FeasibilityCriteria {
+        &self.criteria
+    }
+
+    /// Pin-sharing multiplexer-tree clock overhead of one chip — the
+    /// selection-independent part of the integration overhead computed in
+    /// [`IntegrationContext::evaluate`] (the datapath term, when the
+    /// datapath runs on the main clock, is `max`ed on top of this).
+    fn chip_mux_overhead(&self, chip: chop_library::ChipId) -> Estimate {
+        let mux = self.library.multiplexer();
+        let n_transfers = self
+            .transfers
+            .iter()
+            .filter(|t| {
+                is_off_chip(self.partitioning, t)
+                    && (chip_of_endpoint(self.partitioning, t.src) == Some(chip)
+                        || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
+            })
+            .count() as u64;
+        let levels = if n_transfers <= 1 { 0 } else { 64 - (n_transfers - 1).leading_zeros() };
+        let mux_delay = mux.map_or(4.0, |m| m.delay().value());
+        Estimate::with_spread(
+            mux_delay * f64::from(levels) + 2.0, // + pad-side wiring
+            self.params.delay_spread_above,
+        )
+    }
+
+    /// A pointwise lower bound on the adjusted clock of *every* candidate
+    /// combination: main period plus the selection-independent multiplexer
+    /// overhead, scaled by the testability fraction. When the datapath is
+    /// not on the main clock this *is* the adjusted clock exactly; with a
+    /// main-clock datapath the per-design overhead only `max`es on top, so
+    /// every actual clock estimate dominates this floor component-wise.
+    pub(crate) fn clock_floor(&self) -> Estimate {
+        let mut overhead = Estimate::zero();
+        for (chip, _) in self.partitioning.chips().iter() {
+            overhead = overhead.max(self.chip_mux_overhead(chip));
+        }
+        (Estimate::exact(self.clocks.main_cycle().value()) + overhead)
+            * (1.0 + self.testability.clock_fraction)
+    }
+
+    /// The smallest initiation interval at which the *deterministic*
+    /// integration checks (pin-time conservation, memory bandwidth, pin
+    /// exhaustion) can pass — they depend only on the partitioning, never
+    /// on the selected designs. Every combination evaluated at a smaller
+    /// interval is provably infeasible; `u64::MAX` means no interval works
+    /// (a transfer has no pins at all).
+    pub(crate) fn deterministic_ii_floor(&self) -> u64 {
+        let mut durations: Vec<(u64, u32)> = Vec::with_capacity(self.transfers.len());
+        for t in &self.transfers {
+            match self.transfer_duration(t) {
+                Some((x, w)) => durations.push((x.value(), w)),
+                None => return u64::MAX,
+            }
+        }
+        let mut floor = 1u64;
+        for (chip, _) in self.partitioning.chips().iter() {
+            let pin_time: u64 = self
+                .transfers
+                .iter()
+                .zip(&durations)
+                .filter(|(t, (_, w))| {
+                    *w > 0
+                        && (chip_of_endpoint(self.partitioning, t.src) == Some(chip)
+                            || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
+                })
+                .map(|(_, (x, w))| x * u64::from(*w))
+                .sum();
+            let pins = u64::from(self.budgets[chip.index()].data);
+            if pin_time > 0 {
+                if pins == 0 {
+                    return u64::MAX;
+                }
+                floor = floor.max(pin_time.div_ceil(pins));
+            }
+        }
+        for mi in 0..self.partitioning.memories().len() {
+            let busy: u64 = self
+                .transfers
+                .iter()
+                .zip(&durations)
+                .filter(|(t, _)| {
+                    matches!(t.src, Endpoint::Memory(m) if m.index() == mi)
+                        || matches!(t.dst, Endpoint::Memory(m) if m.index() == mi)
+                })
+                .map(|(_, (x, _))| x)
+                .sum();
+            floor = floor.max(busy);
+        }
+        floor
+    }
+
+    /// Builds the selection-independent task-graph skeleton used for the
+    /// search's delay lower bound (see [`DelayGraph`]). Transfers without
+    /// usable pins are treated as zero-length (the deterministic floor
+    /// already rules the whole space infeasible in that case).
+    pub(crate) fn delay_graph(&self) -> DelayGraph {
+        let k = self.partitioning.partition_count();
+        let n = k + self.transfers.len();
+        let xfer_weights: Vec<u64> = self
+            .transfers
+            .iter()
+            .map(|t| self.transfer_duration(t).map_or(0, |(x, _)| x.value()))
+            .collect();
+        let mut successors: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (i, t) in self.transfers.iter().enumerate() {
+            if let Endpoint::Partition(p) = t.src {
+                successors[p.index()].push((k + i) as u32);
+                indegree[k + i] += 1;
+            }
+            if let Endpoint::Partition(p) = t.dst {
+                successors[k + i].push(p.index() as u32);
+                indegree[p.index()] += 1;
+            }
+        }
+        let mut topo: Vec<u32> = Vec::with_capacity(n);
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&v| indegree[v as usize] == 0).collect();
+        while let Some(v) = queue.pop() {
+            topo.push(v);
+            for &to in &successors[v as usize] {
+                indegree[to as usize] -= 1;
+                if indegree[to as usize] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if topo.len() != n {
+            topo.clear(); // cyclic skeleton: the delay bound degrades to "never prune"
+        }
+        DelayGraph { partitions: k, xfer_weights, successors, topo }
+    }
+
     /// Duration (main cycles) and pin width of a transfer, or `None` when a
     /// required chip has no data pins.
     fn transfer_duration(&self, t: &TransferSpec) -> Option<(Cycles, u32)> {
@@ -272,6 +500,30 @@ impl<'a> IntegrationContext<'a> {
         selection: &[&PredictedDesign],
         ii: Cycles,
     ) -> Result<SystemPrediction, ChopError> {
+        self.evaluate_impl(&selection, ii)
+    }
+
+    /// Allocation-free variant of [`IntegrationContext::evaluate`] for the
+    /// engine's scoring hot path: the selection is one index per partition
+    /// into the shared per-partition prediction lists.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntegrationContext::evaluate`].
+    pub(crate) fn evaluate_indexed(
+        &self,
+        lists: &[Arc<[PredictedDesign]>],
+        indices: &[u32],
+        ii: Cycles,
+    ) -> Result<SystemPrediction, ChopError> {
+        self.evaluate_impl(&IndexedSelection { lists, indices }, ii)
+    }
+
+    fn evaluate_impl<S: SelectionView>(
+        &self,
+        selection: &S,
+        ii: Cycles,
+    ) -> Result<SystemPrediction, ChopError> {
         assert_eq!(
             selection.len(),
             self.partitioning.partition_count(),
@@ -279,6 +531,7 @@ impl<'a> IntegrationContext<'a> {
         );
         assert!(ii.value() >= 1, "initiation interval must be positive");
         let l = ii.value();
+        let k = selection.len();
         let mut violations = Vec::new();
 
         // Data-rate compatibility: every partition must keep up with the
@@ -286,15 +539,23 @@ impl<'a> IntegrationContext<'a> {
         // with it ("if any 2 or more partition implementations … have
         // pipelined design styles and different data rates, then the global
         // implementation is [in]feasible due to a data rate mismatch").
-        let pipelined_iis: Vec<u64> = selection
-            .iter()
-            .filter(|d| d.style() == DesignStyle::Pipelined)
-            .map(|d| d.initiation_interval().value())
-            .collect();
-        if pipelined_iis.windows(2).any(|w| w[0] != w[1]) {
+        let mut pipelined_ii: Option<u64> = None;
+        let mut rate_mismatch = false;
+        for p in 0..k {
+            let d = selection.design(p);
+            if d.style() == DesignStyle::Pipelined {
+                let d_ii = d.initiation_interval().value();
+                match pipelined_ii {
+                    Some(first) if first != d_ii => rate_mismatch = true,
+                    Some(_) => {}
+                    None => pipelined_ii = Some(d_ii),
+                }
+            }
+        }
+        if rate_mismatch {
             violations.push(Violation::DataRateMismatch);
         }
-        if selection.iter().any(|d| d.initiation_interval().value() > l) {
+        if (0..k).any(|p| selection.design(p).initiation_interval().value() > l) {
             violations.push(Violation::Performance {
                 probability: chop_stat::Probability::impossible(),
             });
@@ -383,7 +644,11 @@ impl<'a> IntegrationContext<'a> {
             .partitioning
             .partition_ids()
             .map(|p| {
-                graph.add_task(format!("{p}"), selection[p.index()].latency().value(), vec![])
+                graph.add_task(
+                    format!("{p}"),
+                    selection.design(p.index()).latency().value(),
+                    vec![],
+                )
             })
             .collect();
         let mut xfer_tasks: Vec<TaskId> = Vec::with_capacity(self.transfers.len());
@@ -422,30 +687,14 @@ impl<'a> IntegrationContext<'a> {
         // Adjusted clock: main period + per-chip integration overhead
         // (pin-sharing multiplexer tree and, when the datapath runs on the
         // main clock, the datapath's own overhead).
-        let mux = self.library.multiplexer();
         let mut overhead = Estimate::zero();
         for (chip, _) in self.partitioning.chips().iter() {
-            let n_transfers = self
-                .transfers
-                .iter()
-                .filter(|t| {
-                    is_off_chip(self.partitioning, t)
-                        && (chip_of_endpoint(self.partitioning, t.src) == Some(chip)
-                            || chip_of_endpoint(self.partitioning, t.dst) == Some(chip))
-                })
-                .count() as u64;
-            let levels =
-                if n_transfers <= 1 { 0 } else { 64 - (n_transfers - 1).leading_zeros() };
-            let mux_delay = mux.map_or(4.0, |m| m.delay().value());
-            let mut chip_overhead = Estimate::with_spread(
-                mux_delay * f64::from(levels) + 2.0, // + pad-side wiring
-                self.params.delay_spread_above,
-            );
+            let mut chip_overhead = self.chip_mux_overhead(chip);
             if self.clocks.datapath_on_main_clock() {
                 for p in self.partitioning.partitions_on(chip) {
                     chip_overhead = chip_overhead.max(
                         Estimate::with_spread(2.0, self.params.delay_spread_above)
-                            + selection[p.index()].clock_overhead(),
+                            + selection.design(p.index()).clock_overhead(),
                     );
                 }
             }
@@ -486,7 +735,7 @@ impl<'a> IntegrationContext<'a> {
             vec![Estimate::zero(); self.partitioning.chips().len()];
         for p in self.partitioning.partition_ids() {
             let chip = self.partitioning.chip_of(p);
-            chip_areas[chip.index()] += selection[p.index()].area();
+            chip_areas[chip.index()] += selection.design(p.index()).area();
         }
         for (mi, mem) in self.partitioning.memories().iter().enumerate() {
             if let MemoryAssignment::OnChip(c) =
@@ -531,7 +780,7 @@ impl<'a> IntegrationContext<'a> {
         // transfer-module overhead (controller + buffer + steering).
         let mut power = Estimate::zero();
         for p in self.partitioning.partition_ids() {
-            power += selection[p.index()].power();
+            power += selection.design(p.index()).power();
         }
         for (tm, t) in transfer_modules.iter().zip(&self.transfers) {
             if tm.pins == 0 {
@@ -592,23 +841,27 @@ impl<'a> IntegrationContext<'a> {
     }
 
     /// Minimal prediction for combinations rejected before scheduling.
-    fn infeasible_stub(
+    fn infeasible_stub<S: SelectionView>(
         &self,
-        selection: &[&PredictedDesign],
+        selection: &S,
         ii: Cycles,
         violations: Vec<Violation>,
     ) -> SystemPrediction {
         let clock = Estimate::exact(self.clocks.main_cycle().value());
-        let delay =
-            Cycles::new(selection.iter().map(|d| d.latency().value()).max().unwrap_or(1));
+        let delay = Cycles::new(
+            (0..selection.len())
+                .map(|p| selection.design(p).latency().value())
+                .max()
+                .unwrap_or(1),
+        );
         // Partition areas only (no transfer modules were sized): keeps
         // keep-all design-space dumps meaningful for rejected points.
         let mut chip_areas = vec![Estimate::zero(); self.partitioning.chips().len()];
         for p in self.partitioning.partition_ids() {
             let chip = self.partitioning.chip_of(p);
-            chip_areas[chip.index()] += selection[p.index()].area();
+            chip_areas[chip.index()] += selection.design(p.index()).area();
         }
-        let power = selection.iter().map(|d| d.power()).sum();
+        let power = (0..selection.len()).map(|p| selection.design(p).power()).sum();
         SystemPrediction {
             initiation_interval: ii,
             delay,

@@ -224,6 +224,10 @@ pub struct RunSummary {
     pub cache_hits: u64,
     /// Cache lookups that missed this run.
     pub cache_misses: u64,
+    /// Odometer subtrees skipped by the branch-and-bound search.
+    pub subtrees_skipped: u64,
+    /// Combinations never visited thanks to subtree skipping.
+    pub combinations_skipped: u64,
 }
 
 impl RunSummary {
@@ -242,6 +246,8 @@ impl RunSummary {
             predictor_calls: outcome.trace.predictor_calls,
             cache_hits: outcome.trace.cache_hits,
             cache_misses: outcome.trace.cache_misses,
+            subtrees_skipped: outcome.trace.subtrees_skipped,
+            combinations_skipped: outcome.trace.combinations_skipped,
         }
     }
 }
@@ -540,6 +546,8 @@ fn run_to_value(run: &RunSummary) -> Value {
         ("predictor_calls", Value::Num(run.predictor_calls as f64)),
         ("cache_hits", Value::Num(run.cache_hits as f64)),
         ("cache_misses", Value::Num(run.cache_misses as f64)),
+        ("subtrees_skipped", Value::Num(run.subtrees_skipped as f64)),
+        ("combinations_skipped", Value::Num(run.combinations_skipped as f64)),
     ])
 }
 
@@ -562,6 +570,8 @@ fn run_from_value(v: &Value) -> Result<RunSummary, ServiceError> {
         predictor_calls: u64_field(v, "predictor_calls")?,
         cache_hits: u64_field(v, "cache_hits")?,
         cache_misses: u64_field(v, "cache_misses")?,
+        subtrees_skipped: u64_field(v, "subtrees_skipped")?,
+        combinations_skipped: u64_field(v, "combinations_skipped")?,
     })
 }
 
@@ -797,6 +807,8 @@ mod tests {
             predictor_calls: 2,
             cache_hits: 1,
             cache_misses: 2,
+            subtrees_skipped: 3,
+            combinations_skipped: 120,
         };
         let resps = [
             Response::Pong { version: PROTOCOL_VERSION },

@@ -97,12 +97,23 @@ fn run_summary() -> BoxedStrategy<RunSummary> {
         0u64..1_000_000,
         0u64..1_000_000,
         0u64..1_000,
+        0u64..1_000_000,
+        0u64..1_000_000_000,
     );
     (head, tail)
         .prop_map(
             |(
                 (heuristic, digest, trials, feasible_trials, feasible),
-                (completion, degraded, elapsed_ms, predictor_calls, cache_hits, cache_misses),
+                (
+                    completion,
+                    degraded,
+                    elapsed_ms,
+                    predictor_calls,
+                    cache_hits,
+                    cache_misses,
+                    subtrees_skipped,
+                    combinations_skipped,
+                ),
             )| RunSummary {
                 heuristic,
                 digest,
@@ -115,6 +126,8 @@ fn run_summary() -> BoxedStrategy<RunSummary> {
                 predictor_calls,
                 cache_hits,
                 cache_misses,
+                subtrees_skipped,
+                combinations_skipped,
             },
         )
         .boxed()
