@@ -255,12 +255,24 @@ pub struct ServeOptions {
     pub max_inflight: usize,
     /// Default per-exploration thread count (requests may override).
     pub jobs: Option<usize>,
+    /// Directory for the write-ahead journal; `None` keeps sessions
+    /// in memory only (the pre-journal behaviour).
+    pub state_dir: Option<String>,
+    /// Journal records tolerated before snapshot compaction (0 = never).
+    pub snapshot_every: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         // 1991: the year of the DAC paper — a memorable default port.
-        Self { addr: "127.0.0.1:1991".to_owned(), workers: 4, max_inflight: 64, jobs: None }
+        Self {
+            addr: "127.0.0.1:1991".to_owned(),
+            workers: 4,
+            max_inflight: 64,
+            jobs: None,
+            state_dir: None,
+            snapshot_every: 1024,
+        }
     }
 }
 
@@ -297,6 +309,12 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
                 }
                 opts.jobs = Some(n);
             }
+            "--state-dir" => opts.state_dir = Some(value(arg)?),
+            "--journal-snapshot-every" => {
+                opts.snapshot_every = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
             other => return Err(ArgError(format!("unknown serve option {other}"))),
         }
     }
@@ -318,6 +336,8 @@ mod tests {
         assert_eq!(o.workers, 4);
         assert_eq!(o.max_inflight, 64);
         assert_eq!(o.jobs, None);
+        assert_eq!(o.state_dir, None);
+        assert_eq!(o.snapshot_every, 1024);
         let o = parse_serve_options(&s(&[
             "--addr",
             "127.0.0.1:0",
@@ -327,12 +347,18 @@ mod tests {
             "8",
             "--jobs",
             "3",
+            "--state-dir",
+            "/tmp/chop-state",
+            "--journal-snapshot-every",
+            "16",
         ]))
         .unwrap();
         assert_eq!(o.addr, "127.0.0.1:0");
         assert_eq!(o.workers, 2);
         assert_eq!(o.max_inflight, 8);
         assert_eq!(o.jobs, Some(3));
+        assert_eq!(o.state_dir.as_deref(), Some("/tmp/chop-state"));
+        assert_eq!(o.snapshot_every, 16);
     }
 
     #[test]
@@ -340,6 +366,8 @@ mod tests {
         assert!(parse_serve_options(&s(&["--workers", "0"])).is_err());
         assert!(parse_serve_options(&s(&["--jobs", "0"])).is_err());
         assert!(parse_serve_options(&s(&["--addr"])).is_err());
+        assert!(parse_serve_options(&s(&["--state-dir"])).is_err());
+        assert!(parse_serve_options(&s(&["--journal-snapshot-every", "often"])).is_err());
         assert!(parse_serve_options(&s(&["--frobnicate"])).is_err());
     }
 

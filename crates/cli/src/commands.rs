@@ -59,13 +59,25 @@ OPTIONS (serve):
   --workers <N>            exploration worker threads          [4]
   --max-inflight <N>       explorations in flight before busy  [64]
   --jobs, -j <N>           default threads per exploration     [all CPUs]
+  --state-dir <dir>        journal mutations here and recover them on
+                           restart (crash-safe sessions)       [in-memory]
+  --journal-snapshot-every <N>
+                           compact the journal past N records (0 = never)
+                                                               [1024]
+  SIGINT/SIGTERM drain the server gracefully (journal flushed, exit 0).
 
-CLIENT COMMANDS (chop client <addr> ...):
+CLIENT COMMANDS (chop client [--retry|--retry-ms N] <addr> ...):
+  --retry / --retry-ms <N>           retry busy replies and transport
+                                     failures (backoff with jitter) for up
+                                     to N ms [2000]; mutations are tagged
+                                     with a req_id so a retried delivery is
+                                     answered once, never applied twice
   ping                               liveness / protocol version
   open <name> <spec.cbs> [--partitions N] [--chips N] [--package 64|84]
                          [--perf ns] [--delay ns] [--single-cycle]
   explore <name> [--heuristic e|i] [--deadline ms] [--max-trials N] [--jobs N]
   repartition <name> <NODE:PARTITION>
+  set-constraints <name> --perf <ns> --delay <ns>
   stats [name]
   close <name>
   shutdown                           drain the server and exit 0
@@ -647,5 +659,14 @@ mod tests {
         assert!(HELP.contains("chop client"));
         assert!(HELP.contains("--max-inflight"));
         assert!(HELP.contains("shutdown"));
+    }
+
+    #[test]
+    fn help_lists_durability_and_retry_flags() {
+        assert!(HELP.contains("--state-dir"));
+        assert!(HELP.contains("--journal-snapshot-every"));
+        assert!(HELP.contains("--retry"));
+        assert!(HELP.contains("set-constraints"));
+        assert!(HELP.contains("SIGINT/SIGTERM"));
     }
 }

@@ -16,6 +16,8 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 mod service;
+#[cfg(unix)]
+mod signals;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

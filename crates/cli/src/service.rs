@@ -4,13 +4,15 @@ use std::error::Error;
 
 use chop_core::prelude::Heuristic;
 use chop_service::{
-    Client, ExploreParams, OpenParams, Request, Response, RunSummary, ServeConfig, Server,
+    Client, ExploreParams, OpenParams, Request, Response, RetryPolicy, RunSummary, ServeConfig,
+    Server,
 };
 
 use crate::args::{ArgError, ServeOptions};
 use crate::commands::RunStatus;
 
-/// Runs the partitioning service until a client sends `shutdown`.
+/// Runs the partitioning service until a client sends `shutdown` (or,
+/// on unix, SIGINT/SIGTERM arrives — same graceful drain, exit 0).
 ///
 /// # Errors
 ///
@@ -20,15 +22,40 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
     let jobs = opts.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     });
-    let config = ServeConfig { workers: opts.workers, max_inflight: opts.max_inflight, jobs };
+    let config = ServeConfig {
+        workers: opts.workers,
+        max_inflight: opts.max_inflight,
+        jobs,
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        snapshot_every: opts.snapshot_every,
+    };
     let server = Server::bind(opts.addr.as_str(), config)?;
     // The tests (and scripts) parse this line to discover an ephemeral
-    // port; keep its shape stable.
+    // port; keep its shape stable (anything extra goes on later lines).
     println!(
         "chop-service listening on {} (protocol v{})",
         server.local_addr()?,
         chop_service::PROTOCOL_VERSION
     );
+    if let Some(report) = server.recovery_report() {
+        println!(
+            "recovered {} session(s) from the journal ({} record(s) replayed, {} skipped)",
+            report.sessions_restored, report.records_replayed, report.records_skipped
+        );
+    }
+    #[cfg(unix)]
+    {
+        crate::signals::install();
+        let handle = server.shutdown_handle();
+        // Detached on purpose: it either trips the drain or dies with
+        // the process after `run` returns.
+        std::thread::spawn(move || {
+            while !crate::signals::termination_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            handle.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+    }
     server.run()?;
     println!("chop-service drained, exiting");
     Ok(RunStatus::Feasible)
@@ -42,13 +69,55 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
 /// exit 1); an `explore` reply additionally maps feasibility onto the
 /// standard exit-code table.
 pub fn client(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
+    let (retry_budget_ms, argv) = parse_client_retry_flags(argv)?;
     let [addr, command, rest @ ..] = argv else {
         return Err(Box::new(ArgError("client needs <addr> <command>".into())));
     };
     let request = parse_client_request(command, rest)?;
     let mut client = Client::connect(addr.as_str())?;
-    let response = client.request(&request)?;
+    let response = match retry_budget_ms {
+        None => client.request(&request)?,
+        Some(ms) => {
+            // Mutations get an automatic idempotency tag so a retry over
+            // a transport failure is answered from the server's dedup
+            // window instead of being applied twice.
+            let req_id = request.is_mutation().then(|| {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.subsec_nanos());
+                format!("cli-{}-{nanos}", std::process::id())
+            });
+            client.request_with_retry(
+                &request,
+                req_id.as_deref(),
+                &RetryPolicy::with_budget_ms(ms),
+            )?
+        }
+    };
     render_response(&response)
+}
+
+/// Strips leading `--retry` / `--retry-ms <N>` flags (before `<addr>`),
+/// returning the retry budget (if any) and the remaining argv.
+fn parse_client_retry_flags(mut argv: &[String]) -> Result<(Option<u64>, &[String]), ArgError> {
+    let mut budget = None;
+    loop {
+        match argv {
+            [flag, rest @ ..] if flag == "--retry" => {
+                budget = Some(2_000);
+                argv = rest;
+            }
+            [flag, ms, rest @ ..] if flag == "--retry-ms" => {
+                budget =
+                    Some(ms.parse().map_err(|_| ArgError("bad value for --retry-ms".into()))?);
+                argv = rest;
+            }
+            [flag] if flag == "--retry-ms" => {
+                return Err(ArgError("--retry-ms needs a value".into()));
+            }
+            _ => return Ok((budget, argv)),
+        }
+    }
 }
 
 /// Builds the wire request for one client command.
@@ -130,6 +199,35 @@ fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<d
                 to: parse_num("PARTITION", to)?,
             })
         }
+        "set-constraints" => {
+            let [session, flags @ ..] = rest else {
+                return Err(Box::new(ArgError(
+                    "set-constraints needs <session> --perf <ns> --delay <ns>".into(),
+                )));
+            };
+            let (mut perf, mut delay) = (None, None);
+            let mut it = flags.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<String, ArgError> {
+                    it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+                };
+                match arg.as_str() {
+                    "--perf" => perf = Some(parse_num(arg, &value(arg)?)?),
+                    "--delay" => delay = Some(parse_num(arg, &value(arg)?)?),
+                    other => {
+                        return Err(Box::new(ArgError(format!(
+                            "unknown set-constraints option {other}"
+                        ))))
+                    }
+                }
+            }
+            let (Some(performance_ns), Some(delay_ns)) = (perf, delay) else {
+                return Err(Box::new(ArgError(
+                    "set-constraints needs both --perf and --delay".into(),
+                )));
+            };
+            Ok(Request::SetConstraints { session: session.clone(), performance_ns, delay_ns })
+        }
         "stats" => match rest {
             [] => Ok(Request::Stats { session: None }),
             [session] => Ok(Request::Stats { session: Some(session.clone()) }),
@@ -169,6 +267,13 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
             println!("session {session:?}: node {node} moved to partition {to}");
             Ok(RunStatus::Feasible)
         }
+        Response::ConstraintsSet { session, performance_ns, delay_ns } => {
+            println!(
+                "session {session:?}: constraints set (perf {performance_ns} ns, \
+                 delay {delay_ns} ns)"
+            );
+            Ok(RunStatus::Feasible)
+        }
         Response::Stats { sessions, cache, last_run } => {
             println!("sessions ({}): {}", sessions.len(), sessions.join(", "));
             println!(
@@ -188,9 +293,12 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
             println!("server draining");
             Ok(RunStatus::Feasible)
         }
-        Response::Busy { inflight, max_inflight } => Err(Box::new(ArgError(format!(
-            "server busy ({inflight}/{max_inflight} explorations in flight), retry later"
-        )))),
+        Response::Busy { inflight, max_inflight, retry_after_ms } => {
+            Err(Box::new(ArgError(format!(
+                "server busy ({inflight}/{max_inflight} explorations in flight), \
+                 retry in {retry_after_ms} ms (or pass --retry)"
+            ))))
+        }
         Response::Error(e) => Err(Box::new(e.clone())),
     }
 }
@@ -265,6 +373,46 @@ mod tests {
         assert_eq!(params.heuristic, Heuristic::Enumeration);
         assert_eq!(params.deadline_ms, Some(250));
         assert_eq!(params.jobs, Some(2));
+    }
+
+    #[test]
+    fn set_constraints_command_parses() {
+        assert_eq!(
+            parse_client_request(
+                "set-constraints",
+                &s(&["a", "--perf", "40000", "--delay", "35000"]),
+            )
+            .unwrap(),
+            Request::SetConstraints {
+                session: "a".into(),
+                performance_ns: 40_000.0,
+                delay_ns: 35_000.0
+            }
+        );
+        assert!(parse_client_request("set-constraints", &s(&["a", "--perf", "1"])).is_err());
+        assert!(parse_client_request("set-constraints", &s(&["a", "--bogus", "1"])).is_err());
+        assert!(parse_client_request("set-constraints", &[]).is_err());
+    }
+
+    #[test]
+    fn retry_flags_strip_off_the_front() {
+        let argv = s(&["--retry", "addr", "ping"]);
+        let (budget, rest) = parse_client_retry_flags(&argv).unwrap();
+        assert_eq!(budget, Some(2_000));
+        assert_eq!(rest, &argv[1..]);
+
+        let argv = s(&["--retry-ms", "150", "addr", "ping"]);
+        let (budget, rest) = parse_client_retry_flags(&argv).unwrap();
+        assert_eq!(budget, Some(150));
+        assert_eq!(rest, &argv[2..]);
+
+        let argv = s(&["addr", "ping"]);
+        let (budget, rest) = parse_client_retry_flags(&argv).unwrap();
+        assert_eq!(budget, None);
+        assert_eq!(rest, &argv[..]);
+
+        assert!(parse_client_retry_flags(&s(&["--retry-ms"])).is_err());
+        assert!(parse_client_retry_flags(&s(&["--retry-ms", "soon", "addr"])).is_err());
     }
 
     #[test]

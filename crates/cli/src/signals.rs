@@ -1,0 +1,44 @@
+//! Minimal POSIX signal hooks for the graceful drain of `chop serve`
+//! (the approved dependency list has no signal-handling crate, so this
+//! talks to libc's `signal(2)` directly).
+//!
+//! Signal handlers may only do async-signal-safe work, so the handler
+//! here just flips a process-wide atomic; [`serve`](crate::service::serve)
+//! polls it from an ordinary thread and trips the server's shutdown
+//! handle, which drains in-flight work and flushes the journal before
+//! the process exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on SIGINT/SIGTERM, read by the drain watcher.
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+type Handler = extern "C" fn(i32);
+
+extern "C" {
+    /// `signal(2)`; the return value (the previous disposition) is a
+    /// function pointer we never call, so it is left as a bare word.
+    fn signal(signum: i32, handler: Handler) -> usize;
+}
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handlers. Idempotent.
+pub fn install() {
+    // SAFETY: `on_terminate` only performs an atomic store, which is
+    // async-signal-safe, and the handler lives for the whole process.
+    unsafe {
+        signal(SIGINT, on_terminate);
+        signal(SIGTERM, on_terminate);
+    }
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::SeqCst)
+}

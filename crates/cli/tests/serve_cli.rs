@@ -11,6 +11,32 @@ fn chop() -> Command {
     Command::new(env!("CARGO_BIN_EXE_chop"))
 }
 
+/// Spawns `chop serve` with the given extra flags and returns the child
+/// plus the address parsed from the banner line and its stdout reader.
+fn spawn_server(
+    extra: &[&str],
+) -> (std::process::Child, String, BufReader<std::process::ChildStdout>) {
+    // stderr → null: if an assertion below panics, the orphaned server
+    // would otherwise keep the test harness's stderr pipe open and hang
+    // the whole `cargo test` pipeline instead of failing it.
+    let mut server = chop()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "--jobs", "1"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn chop serve");
+    let mut stdout = BufReader::new(server.stdout.take().expect("server stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unparseable banner: {banner:?}"))
+        .to_owned();
+    (server, addr, stdout)
+}
+
 /// Runs `chop client <addr> <args…>`, asserting it exits successfully,
 /// and returns its stdout.
 fn client_ok(addr: &str, args: &[&str]) -> String {
@@ -95,4 +121,81 @@ fn client_reports_typed_errors_with_exit_code_1() {
 
     assert!(client_ok(&addr, &["shutdown"]).contains("draining"));
     assert!(server.wait().expect("wait").success());
+}
+
+/// SIGTERM must be the same graceful drain as a wire `shutdown`: exit
+/// code 0 and the drained farewell on stdout (journal flushed, nothing
+/// killed mid-write).
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_server_gracefully() {
+    let (mut server, addr, mut stdout) = spawn_server(&[]);
+    assert!(client_ok(&addr, &["ping"]).contains("pong"));
+
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    let status = server.wait().expect("wait for server");
+    assert!(status.success(), "SIGTERM must drain to exit 0, got {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("drain stdout");
+    assert!(rest.contains("drained"), "{rest}");
+}
+
+/// The restart-recovery smoke from the issue: open + repartition against
+/// a journaled server, SIGKILL it (no drain, no warning), restart on the
+/// same `--state-dir`, and the recovered session must explore to the
+/// byte-identical digest — without being reopened.
+#[test]
+fn kill_nine_then_restart_recovers_sessions_and_digests() {
+    let dir = std::env::temp_dir().join(format!("chop-serve-cli-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state_dir = dir.to_str().expect("utf-8 temp path").to_owned();
+    let spec_path = dir.with_extension("cbs");
+    std::fs::write(&spec_path, SPEC).expect("write spec");
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+
+    let (mut server, addr, _stdout) = spawn_server(&["--state-dir", &state_dir]);
+    // Retry flags go *before* the address: chop client --retry <addr> …
+    let output = chop()
+        .args(["client", "--retry", &addr, "open", "demo", spec, "--partitions", "2"])
+        .args(["--chips", "2"])
+        .output()
+        .expect("spawn chop client");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let opened = String::from_utf8_lossy(&output.stdout);
+    assert!(opened.contains("opened session"), "{opened}");
+    assert!(client_ok(&addr, &["repartition", "demo", "2:0"]).contains("moved"));
+    let digest_before =
+        digest_line(&client_ok(&addr, &["explore", "demo", "--heuristic", "i"]));
+
+    server.kill().expect("SIGKILL server");
+    let _ = server.wait();
+
+    let (mut server, addr, mut stdout) = spawn_server(&["--state-dir", &state_dir]);
+    let mut recovery = String::new();
+    stdout.read_line(&mut recovery).expect("read recovery report");
+    assert!(recovery.contains("recovered 1 session(s)"), "{recovery}");
+
+    // No `open` here: the session must come back from the journal.
+    let digest_after = digest_line(&client_ok(&addr, &["explore", "demo", "--heuristic", "i"]));
+    assert_eq!(digest_before, digest_after, "recovered digest must be byte-identical");
+
+    assert!(client_ok(&addr, &["shutdown"]).contains("draining"));
+    assert!(server.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+/// Extracts the `  digest <hex>` line from `chop client explore` output.
+fn digest_line(explored: &str) -> String {
+    explored
+        .lines()
+        .find(|line| line.trim_start().starts_with("digest "))
+        .unwrap_or_else(|| panic!("no digest line in {explored:?}"))
+        .trim()
+        .to_owned()
 }

@@ -118,6 +118,72 @@ impl FaultPlan {
     }
 }
 
+/// Scripted I/O faults for durability layers built on top of the engine
+/// (the service's write-ahead journal consumes this): failing appends
+/// after a budget and tearing the tail of the final write let tests prove
+/// that persistence failures surface as typed errors and that recovery
+/// tolerates a torn tail.
+///
+/// The plan is a plain counter script — the component under test calls
+/// [`IoFaultPlan::take_append_fault`] before each durable write and obeys
+/// the verdict, so no `unsafe` syscall interposition is needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// Fail every append once this many have succeeded.
+    pub fail_after_appends: Option<usize>,
+    /// Persist only this many bytes of the record written by the last
+    /// successful append (simulating a torn write at crash time).
+    pub torn_tail_bytes: Option<usize>,
+}
+
+/// The scripted verdict for one durable append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// Perform the append normally.
+    None,
+    /// Refuse the append with an I/O error.
+    Fail,
+    /// Write only the first `n` bytes of the record, then report success
+    /// (the torn record must be detected — and skipped — on recovery).
+    Torn(usize),
+}
+
+impl IoFaultPlan {
+    /// A plan injecting no I/O faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail every append after `appends` have succeeded.
+    #[must_use]
+    pub fn fail_after(mut self, appends: usize) -> Self {
+        self.fail_after_appends = Some(appends);
+        self
+    }
+
+    /// Tear the write that crosses the `fail_after` budget down to
+    /// `bytes` bytes instead of failing it outright.
+    #[must_use]
+    pub fn torn_tail(mut self, bytes: usize) -> Self {
+        self.torn_tail_bytes = Some(bytes);
+        self
+    }
+
+    /// The verdict for append number `completed` (zero-based count of
+    /// appends already performed).
+    #[must_use]
+    pub fn take_append_fault(&self, completed: usize) -> AppendFault {
+        match self.fail_after_appends {
+            Some(budget) if completed >= budget => match self.torn_tail_bytes {
+                Some(bytes) => AppendFault::Torn(bytes),
+                None => AppendFault::Fail,
+            },
+            _ => AppendFault::None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +205,19 @@ mod tests {
     #[test]
     fn scripted_panic_spares_other_partitions() {
         FaultPlan::none().panic_on(2).before_predict(1);
+    }
+
+    #[test]
+    fn io_fault_plan_scripts_append_verdicts() {
+        let plan = IoFaultPlan::none();
+        assert_eq!(plan.take_append_fault(0), AppendFault::None);
+        let plan = IoFaultPlan::none().fail_after(2);
+        assert_eq!(plan.take_append_fault(0), AppendFault::None);
+        assert_eq!(plan.take_append_fault(1), AppendFault::None);
+        assert_eq!(plan.take_append_fault(2), AppendFault::Fail);
+        assert_eq!(plan.take_append_fault(9), AppendFault::Fail);
+        let plan = IoFaultPlan::none().fail_after(1).torn_tail(7);
+        assert_eq!(plan.take_append_fault(0), AppendFault::None);
+        assert_eq!(plan.take_append_fault(1), AppendFault::Torn(7));
     }
 }

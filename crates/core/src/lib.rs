@@ -81,7 +81,7 @@ pub use engine::trace::ExploreTrace;
 pub use error::ChopError;
 pub use explorer::{DesignPoint, Heuristic, PartitionPredictions, SearchOutcome, Session};
 #[cfg(feature = "fault-inject")]
-pub use fault::FaultPlan;
+pub use fault::{AppendFault, FaultPlan, IoFaultPlan};
 pub use feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
 pub use integration::{IntegrationContext, SystemPrediction, TransferModulePrediction};
 pub use spec::{MemoryAssignment, PartitionId, Partitioning};

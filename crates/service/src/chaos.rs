@@ -1,0 +1,179 @@
+//! An in-process TCP fault proxy for chaos testing (compiled only with
+//! the `fault-inject` cargo feature).
+//!
+//! A [`ChaosProxy`] sits between a test client and a real [`Server`]
+//! (../server.rs), forwarding bytes faithfully except where a scripted
+//! [`ConnFault`] says otherwise. Faults are queued with
+//! [`ChaosProxy::push_fault`] and consumed one per accepted connection
+//! (FIFO; an empty queue forwards faithfully), so a test can say "the
+//! *next* connection dies after 20 bytes" and then assert the client's
+//! retry recovers.
+//!
+//! The proxy is deliberately dumb: it never parses the protocol, it
+//! drops/limits/stalls raw bytes. That keeps the faults honest — the
+//! server and client under test see exactly what a flaky network would
+//! deliver.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One scripted fault, applied to a single proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Forward faithfully (what an empty fault queue does too).
+    None,
+    /// Forward this many client→server bytes, then kill the connection
+    /// in both directions mid-request.
+    ResetAfter(usize),
+    /// Forward this many client→server bytes, then half-close the
+    /// server-bound side — the server sees a truncated request (EOF with
+    /// no newline) while its reply path stays open.
+    TruncateRequest(usize),
+    /// Sit on the connection this long before forwarding anything — the
+    /// stalled-server case a client `attempt_timeout` must trip on.
+    StallMs(u64),
+}
+
+/// What a forwarding pump does once its byte budget runs out.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Exhaust {
+    /// Tear down both directions of both sockets.
+    Reset,
+    /// Half-close the destination's write side; the paired pump lives on.
+    HalfClose,
+}
+
+/// A fault-injecting TCP forwarder between test clients and a server.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    faults: Arc<Mutex<VecDeque<ConnFault>>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts the proxy on an OS-assigned localhost port, forwarding
+    /// every connection to `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let faults: Arc<Mutex<VecDeque<ConnFault>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_faults = Arc::clone(&faults);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let fault = accept_faults
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front()
+                            .unwrap_or(ConnFault::None);
+                        // Detached deliberately: a pump blocks until its
+                        // peers close, and a test tearing the proxy down
+                        // may still hold a live client socket — joining
+                        // here would deadlock the drop. Pumps die with
+                        // their sockets (or the process).
+                        std::thread::spawn(move || {
+                            proxy_connection(client, upstream, fault);
+                        });
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        Ok(Self { addr, faults, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// Where test clients connect.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queues a fault for the next accepted connection (FIFO).
+    pub fn push_fault(&self, fault: ConnFault) {
+        self.faults.lock().unwrap_or_else(PoisonError::into_inner).push_back(fault);
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Forwards one client connection per its scripted fault.
+fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: ConnFault) {
+    if let ConnFault::StallMs(ms) = fault {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (c2s_budget, exhaust) = match fault {
+        ConnFault::ResetAfter(bytes) => (Some(bytes), Exhaust::Reset),
+        ConnFault::TruncateRequest(bytes) => (Some(bytes), Exhaust::HalfClose),
+        ConnFault::None | ConnFault::StallMs(_) => (None, Exhaust::Reset),
+    };
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let up = std::thread::spawn(move || pump(client_r, server, c2s_budget, exhaust));
+    pump(server_r, client, None, Exhaust::Reset);
+    let _ = up.join();
+}
+
+/// Copies `from` → `to` until EOF, an error, or the byte budget runs
+/// out; then applies the exhaustion action (or, on natural EOF, passes
+/// the half-close along).
+fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: Option<usize>, exhaust: Exhaust) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+        };
+        let forward = match budget {
+            None => n,
+            Some(left) => n.min(left),
+        };
+        if to.write_all(&chunk[..forward]).is_err() || to.flush().is_err() {
+            let _ = from.shutdown(Shutdown::Read);
+            return;
+        }
+        if let Some(left) = &mut budget {
+            *left -= forward;
+            if *left == 0 {
+                match exhaust {
+                    Exhaust::Reset => {
+                        let _ = to.shutdown(Shutdown::Both);
+                        let _ = from.shutdown(Shutdown::Both);
+                    }
+                    Exhaust::HalfClose => {
+                        let _ = to.shutdown(Shutdown::Write);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}

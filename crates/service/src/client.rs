@@ -1,8 +1,22 @@
-//! A small blocking client for the wire protocol.
+//! A small blocking client for the wire protocol, with deadline-aware
+//! retry.
+//!
+//! [`Client::request`] is the bare one-shot call. For flaky transport,
+//! [`Client::request_with_retry`] reconnects and retries under a
+//! [`RetryPolicy`]: exponential backoff with *decorrelated jitter*
+//! (each sleep is drawn uniformly from `base..=3×previous`, capped), the
+//! scheme that avoids retry synchronization between clients recovering
+//! from the same outage. `busy` replies are always retried (the server
+//! refused admission, so nothing was applied) honoring the server's
+//! `retry_after_ms` hint; transport failures are retried only when the
+//! request is idempotent by nature (`!is_mutation()`) or tagged with a
+//! `req_id` the server can deduplicate — retrying an untagged mutation
+//! blind could apply it twice.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use crate::protocol::{Request, Response, ServiceError};
 
@@ -47,10 +61,46 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry tuning for [`Client::request_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total budget: once elapsed, the last failure is returned as-is.
+    pub max_elapsed: Duration,
+    /// Smallest backoff sleep (also the first one).
+    pub base: Duration,
+    /// Largest backoff sleep.
+    pub cap: Duration,
+    /// Per-attempt socket read timeout, so a stalled server trips a
+    /// retry instead of blocking forever. `None` waits indefinitely
+    /// (required for long explores).
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_elapsed: Duration::from_secs(2),
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(500),
+            attempt_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given total budget in milliseconds.
+    #[must_use]
+    pub fn with_budget_ms(ms: u64) -> Self {
+        Self { max_elapsed: Duration::from_millis(ms), ..Self::default() }
+    }
+}
+
 /// One connection speaking the newline-delimited protocol.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// The connected peer, kept so retry can reconnect after a drop.
+    peer: SocketAddr,
 }
 
 impl Client {
@@ -62,8 +112,18 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
+        let peer = writer.peer_addr()?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
+        Ok(Self { writer, reader, peer })
+    }
+
+    /// Drops the current connection and dials the same peer again.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let writer = TcpStream::connect(self.peer)?;
+        writer.set_nodelay(true).ok();
+        self.reader = BufReader::new(writer.try_clone()?);
+        self.writer = writer;
+        Ok(())
     }
 
     /// Sends one request and blocks for its response. Note that a long
@@ -75,7 +135,21 @@ impl Client {
     /// Transport failures and undecodable replies; typed server errors
     /// come back as [`Response::Error`].
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let mut line = request.encode();
+        self.request_tagged(request, None)
+    }
+
+    /// [`request`](Self::request) with the envelope `req_id` the server's
+    /// idempotency window deduplicates on.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Self::request).
+    pub fn request_tagged(
+        &mut self,
+        request: &Request,
+        req_id: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let mut line = request.encode_tagged(req_id);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
@@ -84,6 +158,126 @@ impl Client {
             return Err(ClientError::ConnectionClosed);
         }
         Response::decode(reply.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Sends a request, retrying across reconnects until it gets a
+    /// response or `policy.max_elapsed` runs out.
+    ///
+    /// * [`Response::Busy`] is always retried — the server refused
+    ///   admission, nothing was applied — sleeping at least its
+    ///   `retry_after_ms` hint.
+    /// * Transport failures ([`ClientError::Io`] /
+    ///   [`ClientError::ConnectionClosed`]) are retried only when the
+    ///   request [is not a mutation](Request::is_mutation) or carries a
+    ///   `req_id` (so a duplicate delivery is answered from the server's
+    ///   dedup window, not re-applied).
+    /// * Malformed replies ([`ClientError::Protocol`]) are never retried.
+    ///
+    /// # Errors
+    ///
+    /// The last failure once the budget is exhausted, or immediately for
+    /// non-retryable ones.
+    pub fn request_with_retry(
+        &mut self,
+        request: &Request,
+        req_id: Option<&str>,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        let transport_retry_safe = !request.is_mutation() || req_id.is_some();
+        let mut jitter = Jitter::from_entropy(policy.base, policy.cap);
+        let mut broken = false;
+        loop {
+            if broken {
+                // Reconnect failures burn budget like any other attempt.
+                match self.reconnect() {
+                    Ok(()) => broken = false,
+                    Err(e) => {
+                        if started.elapsed() + jitter.previous() >= policy.max_elapsed {
+                            return Err(e);
+                        }
+                        std::thread::sleep(jitter.next_sleep());
+                        continue;
+                    }
+                }
+            }
+            self.writer.set_read_timeout(policy.attempt_timeout).ok();
+            let outcome = self.request_tagged(request, req_id);
+            self.writer.set_read_timeout(None).ok();
+            match outcome {
+                Ok(response) => {
+                    let Response::Busy { retry_after_ms, .. } = &response else {
+                        return Ok(response);
+                    };
+                    let hint = Duration::from_millis(*retry_after_ms);
+                    let sleep = jitter.next_sleep().max(hint);
+                    if started.elapsed() + sleep >= policy.max_elapsed {
+                        // Budget gone: surface the busy reply itself.
+                        return Ok(response);
+                    }
+                    std::thread::sleep(sleep);
+                }
+                Err(e @ ClientError::Protocol(_)) => return Err(e),
+                Err(e) => {
+                    // Io or ConnectionClosed: the connection is suspect
+                    // either way; reconnect before the next attempt.
+                    broken = true;
+                    if !transport_retry_safe {
+                        return Err(e);
+                    }
+                    let sleep = jitter.next_sleep();
+                    if started.elapsed() + sleep >= policy.max_elapsed {
+                        return Err(e);
+                    }
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff state: each sleep is uniform in
+/// `base..=3×previous`, capped. Randomness comes from a tiny xorshift64*
+/// seeded off the clock — retry jitter needs to be *spread*, not
+/// cryptographic, and the workspace builds without a `rand` crate.
+struct Jitter {
+    base: Duration,
+    cap: Duration,
+    previous: Duration,
+    state: u64,
+}
+
+impl Jitter {
+    fn from_entropy(base: Duration, cap: Duration) -> Self {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64)
+            | 1;
+        Self { base, cap, previous: base, state: seed }
+    }
+
+    fn previous(&self) -> Duration {
+        self.previous
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna); period 2^64-1, plenty for sleep jitter.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_sleep(&mut self) -> Duration {
+        let base = self.base.as_millis() as u64;
+        let upper = (self.previous.as_millis() as u64).saturating_mul(3).max(base + 1);
+        let span = upper - base;
+        let sleep =
+            Duration::from_millis(base + self.next_u64() % span).min(self.cap).max(self.base);
+        self.previous = sleep;
+        sleep
     }
 }
 
@@ -97,5 +291,57 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(ClientError::ConnectionClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn jitter_stays_within_base_and_cap() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_millis(500);
+        let mut jitter = Jitter::from_entropy(base, cap);
+        let mut seen_above_base = false;
+        for _ in 0..1000 {
+            let sleep = jitter.next_sleep();
+            assert!(sleep >= base && sleep <= cap, "{sleep:?} outside [{base:?}, {cap:?}]");
+            seen_above_base |= sleep > base;
+        }
+        assert!(seen_above_base, "jitter must actually spread, not pin to base");
+    }
+
+    #[test]
+    fn retry_policy_budget_constructor() {
+        let policy = RetryPolicy::with_budget_ms(750);
+        assert_eq!(policy.max_elapsed, Duration::from_millis(750));
+        assert_eq!(policy.base, RetryPolicy::default().base);
+    }
+
+    #[test]
+    fn untagged_mutation_is_not_retried_over_transport_failure() {
+        // A listener that accepts and instantly drops the connection:
+        // every attempt fails with ConnectionClosed / a reset.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let alive = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let alive_bg = std::sync::Arc::clone(&alive);
+        let handle = std::thread::spawn(move || {
+            listener.set_nonblocking(true).ok();
+            while alive_bg.load(std::sync::atomic::Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => drop(stream),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let close = Request::Close { session: "s".into() };
+        let policy = RetryPolicy::with_budget_ms(400);
+        let started = Instant::now();
+        let err = client.request_with_retry(&close, None, &policy).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_) | ClientError::ConnectionClosed), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "untagged mutation must fail fast, not burn the retry budget"
+        );
+        alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        handle.join().unwrap();
     }
 }

@@ -27,15 +27,19 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod manager;
 mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use manager::{build_session, SessionManager};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use journal::{Journal, JournalEntry, JournalScan};
+pub use manager::{build_session, RecoveryReport, SessionManager};
 pub use protocol::{
     ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
     PROTOCOL_VERSION,

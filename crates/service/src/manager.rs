@@ -12,8 +12,26 @@
 //! (a cheap, `Arc`-sharing clone), runs the search **unlocked**, then
 //! re-locks briefly to record the run summary — concurrent explores on
 //! different (or the same) session never serialize on the manager.
+//!
+//! # Durability and idempotency
+//!
+//! When built via [`SessionManager::recover`], every state-mutating
+//! request (`open`, `repartition`, `set_constraints`, `close`) is
+//! appended to a write-ahead [`Journal`] *before* it is committed to the
+//! sessions map — a crash between the two replays the mutation on
+//! restart; a journal append failure refuses the mutation with a typed
+//! `internal` error and leaves state untouched. The journal mutex is only
+//! ever taken while already holding the sessions lock, so the two can
+//! never deadlock. Explores are pure (re-running one reproduces the same
+//! digest) and are never journaled.
+//!
+//! Requests tagged with a client `req_id` are answered from a bounded
+//! per-session dedup window on retry: the recorded [`Response`] is
+//! returned instead of re-applying the mutation, which is what makes
+//! client-side retry-after-reconnect safe for non-idempotent requests.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
@@ -25,10 +43,18 @@ use chop_library::standard::{example_off_shelf_ram, table1_library, table2_packa
 use chop_library::ChipSet;
 use chop_stat::units::Nanos;
 
+use crate::journal::{Journal, JournalEntry};
 use crate::protocol::{
     ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
     PROTOCOL_VERSION,
 };
+
+/// Most recent `req_id` outcomes remembered per session.
+const DEDUP_PER_SESSION: usize = 32;
+/// Sessions tracked in the dedup window before the oldest is evicted
+/// (kept separate from the sessions map so a `close` outcome can still be
+/// replayed to a retry).
+const DEDUP_SESSIONS: usize = 256;
 
 /// One managed session: the live core session plus its latest run.
 struct Managed {
@@ -39,12 +65,75 @@ struct Managed {
     /// if the entry under this name still carries the same generation,
     /// so a close + reopen racing the search never inherits a stale run.
     generation: u64,
+    /// The `open` parameters this session was built from — the genesis
+    /// record a journal compaction snapshot starts the session with.
+    genesis: OpenParams,
+    /// The `req_id` the `open` carried, preserved through compaction so
+    /// the idempotency window survives a restart.
+    open_req_id: Option<String>,
+    /// Net mutation history since `open` (repartitions and constraint
+    /// changes, with their `req_id`s), in application order.
+    mutations: Vec<JournalEntry>,
+}
+
+/// Bounded per-session memory of `req_id` → outcome, so a retried
+/// mutation is answered from the recorded response instead of re-applied.
+#[derive(Default)]
+struct DedupWindow {
+    windows: HashMap<String, VecDeque<(String, Response)>>,
+    /// Session insertion order, for eviction.
+    order: VecDeque<String>,
+}
+
+impl DedupWindow {
+    fn lookup(&self, session: &str, req_id: &str) -> Option<Response> {
+        self.windows
+            .get(session)?
+            .iter()
+            .find(|(id, _)| id == req_id)
+            .map(|(_, response)| response.clone())
+    }
+
+    fn record(&mut self, session: &str, req_id: &str, response: Response) {
+        if !self.windows.contains_key(session) {
+            if self.order.len() >= DEDUP_SESSIONS {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.windows.remove(&evicted);
+                }
+            }
+            self.order.push_back(session.to_owned());
+            self.windows.insert(session.to_owned(), VecDeque::new());
+        }
+        let window = self.windows.get_mut(session).expect("window just ensured");
+        if let Some(stale) = window.iter().position(|(id, _)| id == req_id) {
+            window.remove(stale);
+        }
+        if window.len() >= DEDUP_PER_SESSION {
+            window.pop_front();
+        }
+        window.push_back((req_id.to_owned(), response));
+    }
+}
+
+/// What [`SessionManager::recover`] found and rebuilt from the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions live after replay.
+    pub sessions_restored: usize,
+    /// Journal records replayed (including ones for since-closed sessions).
+    pub records_replayed: usize,
+    /// Torn or corrupt tail records skipped with a warning.
+    pub records_skipped: usize,
 }
 
 /// Owns every named session and the cache they share.
 pub struct SessionManager {
     cache: Arc<PredictionCache>,
     sessions: Mutex<HashMap<String, Managed>>,
+    dedup: Mutex<DedupWindow>,
+    /// The write-ahead log; `None` for a purely in-memory manager.
+    /// Lock order: sessions → journal, never the reverse.
+    journal: Option<Mutex<Journal>>,
     generations: AtomicU64,
     default_jobs: usize,
 }
@@ -57,8 +146,63 @@ impl SessionManager {
         Self {
             cache: Arc::new(PredictionCache::new()),
             sessions: Mutex::new(HashMap::new()),
+            dedup: Mutex::new(DedupWindow::default()),
+            journal: None,
             generations: AtomicU64::new(0),
             default_jobs: default_jobs.max(1),
+        }
+    }
+
+    /// Opens (or creates) the write-ahead journal under `state_dir`,
+    /// replays every surviving record to rebuild the sessions it
+    /// describes — torn or corrupt tail records are skipped with a
+    /// warning, never a panic — and returns the recovered manager with
+    /// journaling armed for subsequent mutations. Replay also re-records
+    /// each journaled `req_id` outcome, so the idempotency window
+    /// survives the restart.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures opening the journal only; nothing *in* the
+    /// journal can fail recovery.
+    pub fn recover(
+        default_jobs: usize,
+        state_dir: &Path,
+        snapshot_every: usize,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let (journal, scan) = Journal::open(state_dir, snapshot_every)?;
+        // Replay through the ordinary dispatch paths with journaling
+        // still disarmed: the records are already on disk.
+        let mut manager = Self::new(default_jobs);
+        let mut report = RecoveryReport {
+            records_skipped: scan.skipped,
+            records_replayed: scan.entries.len(),
+            sessions_restored: 0,
+        };
+        for entry in &scan.entries {
+            let response = manager.dispatch_tagged(&entry.request, entry.req_id.as_deref());
+            if let Response::Error(e) = response {
+                // A journal written by this manager replays cleanly; an
+                // error means a hand-edited or cross-version log. Keep
+                // going — later sessions are independent.
+                eprintln!(
+                    "chop-service: recovery: replay of {:?} failed: {}",
+                    entry.request.encode(),
+                    e.message
+                );
+            }
+        }
+        report.sessions_restored = manager.session_count();
+        manager.journal = Some(Mutex::new(journal));
+        Ok((manager, report))
+    }
+
+    /// Scripts I/O faults into the journal's subsequent appends (chaos
+    /// tests only). No-op for a manager without a journal.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_journal_faults(&self, plan: chop_core::fault::IoFaultPlan) {
+        if let Some(journal) = &self.journal {
+            journal.lock().unwrap_or_else(PoisonError::into_inner).set_io_faults(plan);
         }
     }
 
@@ -88,22 +232,53 @@ impl SessionManager {
     /// server dispatches `explore` through its worker pool instead (and
     /// intercepts `shutdown`, which here only acknowledges).
     pub fn dispatch(&self, request: &Request) -> Response {
-        match request {
+        self.dispatch_tagged(request, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) with the request's envelope `req_id`.
+    /// A `req_id`-tagged mutation already in the dedup window is answered
+    /// from its recorded outcome without being re-applied; fresh tagged
+    /// mutations record their outcome (success *or* failure) for retries.
+    pub fn dispatch_tagged(&self, request: &Request, req_id: Option<&str>) -> Response {
+        let dedup_key = match (req_id, request.is_mutation(), mutation_session(request)) {
+            (Some(id), true, Some(session)) => Some((session.to_owned(), id.to_owned())),
+            _ => None,
+        };
+        if let Some((session, id)) = &dedup_key {
+            let recorded =
+                self.dedup.lock().unwrap_or_else(PoisonError::into_inner).lookup(session, id);
+            if let Some(response) = recorded {
+                return response;
+            }
+        }
+        let response = match request {
             Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
-            Request::Open { session, params } => match self.open(session, params) {
-                Ok(partitions) => Response::Opened { session: session.clone(), partitions },
-                Err(e) => Response::Error(e),
-            },
+            Request::Open { session, params } => {
+                match self.open_tagged(session, params, req_id) {
+                    Ok(partitions) => Response::Opened { session: session.clone(), partitions },
+                    Err(e) => Response::Error(e),
+                }
+            }
             Request::Explore { session, params } => match self.explore(session, params) {
                 Ok(run) => Response::Explored { session: session.clone(), run },
                 Err(e) => Response::Error(e),
             },
             Request::Repartition { session, node, to } => {
-                match self.repartition(session, *node, *to) {
+                match self.repartition_tagged(session, *node, *to, req_id) {
                     Ok(()) => Response::Repartitioned {
                         session: session.clone(),
                         node: *node,
                         to: *to,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::SetConstraints { session, performance_ns, delay_ns } => {
+                match self.set_constraints_tagged(session, *performance_ns, *delay_ns, req_id) {
+                    Ok(()) => Response::ConstraintsSet {
+                        session: session.clone(),
+                        performance_ns: *performance_ns,
+                        delay_ns: *delay_ns,
                     },
                     Err(e) => Response::Error(e),
                 }
@@ -114,11 +289,71 @@ impl SessionManager {
                 }
                 Err(e) => Response::Error(e),
             },
-            Request::Close { session } => match self.close(session) {
+            Request::Close { session } => match self.close_tagged(session, req_id) {
                 Ok(()) => Response::Closed { session: session.clone() },
                 Err(e) => Response::Error(e),
             },
             Request::Shutdown => Response::ShuttingDown,
+        };
+        if let Some((session, id)) = dedup_key {
+            self.dedup.lock().unwrap_or_else(PoisonError::into_inner).record(
+                &session,
+                &id,
+                response.clone(),
+            );
+        }
+        response
+    }
+
+    /// Appends a mutation to the journal (when one is mounted), mapping
+    /// failure to a typed `internal` error. Called with the sessions lock
+    /// held, *before* the mutation is committed to the map: an append
+    /// failure therefore refuses the mutation with state unchanged.
+    fn journal_append(
+        &self,
+        request: &Request,
+        req_id: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(request, req_id)
+                .map_err(|e| {
+                    ServiceError::new(
+                        ErrorKind::Internal,
+                        format!("journal append failed, mutation refused: {e}"),
+                    )
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the journal down to a snapshot of the live sessions once
+    /// it outgrows its threshold. Called with the sessions lock held;
+    /// compaction failure only defers shrinking, it never loses records.
+    fn maybe_compact(&self, sessions: &HashMap<String, Managed>) {
+        let Some(journal) = &self.journal else { return };
+        let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if !journal.should_compact() {
+            return;
+        }
+        let mut names: Vec<&String> = sessions.keys().collect();
+        names.sort_unstable();
+        let mut snapshot = Vec::new();
+        for name in names {
+            let managed = &sessions[name];
+            snapshot.push(JournalEntry {
+                request: Request::Open {
+                    session: name.clone(),
+                    params: managed.genesis.clone(),
+                },
+                req_id: managed.open_req_id.clone(),
+            });
+            snapshot.extend(managed.mutations.iter().cloned());
+        }
+        if let Err(e) = journal.compact(&snapshot) {
+            eprintln!("chop-service: journal compaction failed (will retry later): {e}");
         }
     }
 
@@ -129,6 +364,15 @@ impl SessionManager {
     /// [`ErrorKind::SessionExists`] for a duplicate name and
     /// [`ErrorKind::Spec`] for anything wrong with the parameters.
     pub fn open(&self, name: &str, params: &OpenParams) -> Result<u64, ServiceError> {
+        self.open_tagged(name, params, None)
+    }
+
+    fn open_tagged(
+        &self,
+        name: &str,
+        params: &OpenParams,
+        req_id: Option<&str>,
+    ) -> Result<u64, ServiceError> {
         if name.is_empty() || name.len() > 256 {
             return Err(ServiceError::new(
                 ErrorKind::Spec,
@@ -145,8 +389,23 @@ impl SessionManager {
                 format!("session {name:?} is already open"),
             ));
         }
+        self.journal_append(
+            &Request::Open { session: name.to_owned(), params: params.clone() },
+            req_id,
+        )?;
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        sessions.insert(name.to_owned(), Managed { session, last_run: None, generation });
+        sessions.insert(
+            name.to_owned(),
+            Managed {
+                session,
+                last_run: None,
+                generation,
+                genesis: params.clone(),
+                open_req_id: req_id.map(str::to_owned),
+                mutations: Vec::new(),
+            },
+        );
+        self.maybe_compact(&sessions);
         Ok(partitions)
     }
 
@@ -207,6 +466,16 @@ impl SessionManager {
     /// [`ErrorKind::UnknownSession`] for a missing name, [`ErrorKind::Spec`]
     /// for an unknown node index, [`ErrorKind::Engine`] for an invalid move.
     pub fn repartition(&self, name: &str, node: u32, to: u32) -> Result<(), ServiceError> {
+        self.repartition_tagged(name, node, to, None)
+    }
+
+    fn repartition_tagged(
+        &self,
+        name: &str,
+        node: u32,
+        to: u32,
+        req_id: Option<&str>,
+    ) -> Result<(), ServiceError> {
         let mut sessions = self.lock();
         let managed = sessions.get_mut(name).ok_or_else(|| unknown_session(name))?;
         let node_id = managed
@@ -219,10 +488,64 @@ impl SessionManager {
             .ok_or_else(|| {
                 ServiceError::new(ErrorKind::Spec, format!("no node with index {node}"))
             })?;
-        managed.session = managed
+        let next = managed
             .session
             .repartition(node_id, PartitionId::new(to))
             .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
+        let request = Request::Repartition { session: name.to_owned(), node, to };
+        self.journal_append(&request, req_id)?;
+        managed.session = next;
+        managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
+        self.maybe_compact(&sessions);
+        Ok(())
+    }
+
+    /// Replaces a session's performance/delay constraints — the paper's
+    /// interactive tighten-and-retry loop — keeping its partitioning,
+    /// predictions and shared cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name, [`ErrorKind::Spec`]
+    /// for a non-positive or non-finite constraint.
+    pub fn set_constraints(
+        &self,
+        name: &str,
+        performance_ns: f64,
+        delay_ns: f64,
+    ) -> Result<(), ServiceError> {
+        self.set_constraints_tagged(name, performance_ns, delay_ns, None)
+    }
+
+    fn set_constraints_tagged(
+        &self,
+        name: &str,
+        performance_ns: f64,
+        delay_ns: f64,
+        req_id: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        for (field, value) in [("performance_ns", performance_ns), ("delay_ns", delay_ns)] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ServiceError::new(
+                    ErrorKind::Spec,
+                    format!("{field} must be a positive, finite number"),
+                ));
+            }
+        }
+        let mut sessions = self.lock();
+        let managed = sessions.get_mut(name).ok_or_else(|| unknown_session(name))?;
+        let constraints = Constraints::new(Nanos::new(performance_ns), Nanos::new(delay_ns));
+        let next = managed
+            .session
+            .clone()
+            .try_with_constraints(constraints)
+            .map_err(|e| ServiceError::new(ErrorKind::Spec, e.to_string()))?;
+        let request =
+            Request::SetConstraints { session: name.to_owned(), performance_ns, delay_ns };
+        self.journal_append(&request, req_id)?;
+        managed.session = next;
+        managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
+        self.maybe_compact(&sessions);
         Ok(())
     }
 
@@ -255,15 +578,34 @@ impl SessionManager {
     ///
     /// [`ErrorKind::UnknownSession`] for a missing name.
     pub fn close(&self, name: &str) -> Result<(), ServiceError> {
-        match self.lock().remove(name) {
-            Some(_) => Ok(()),
-            None => Err(unknown_session(name)),
+        self.close_tagged(name, None)
+    }
+
+    fn close_tagged(&self, name: &str, req_id: Option<&str>) -> Result<(), ServiceError> {
+        let mut sessions = self.lock();
+        if !sessions.contains_key(name) {
+            return Err(unknown_session(name));
         }
+        self.journal_append(&Request::Close { session: name.to_owned() }, req_id)?;
+        sessions.remove(name);
+        self.maybe_compact(&sessions);
+        Ok(())
     }
 }
 
 fn unknown_session(name: &str) -> ServiceError {
     ServiceError::new(ErrorKind::UnknownSession, format!("no open session named {name:?}"))
+}
+
+/// The session a mutating request targets (used as the dedup-window key).
+fn mutation_session(request: &Request) -> Option<&str> {
+    match request {
+        Request::Open { session, .. }
+        | Request::Repartition { session, .. }
+        | Request::SetConstraints { session, .. }
+        | Request::Close { session } => Some(session),
+        _ => None,
+    }
 }
 
 /// Builds a core [`Session`] from wire parameters, mirroring the `chop
@@ -468,6 +810,144 @@ mod tests {
         assert_eq!(mgr.repartition("m", 0, 99).unwrap_err().kind, ErrorKind::Engine);
     }
 
+    fn state_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chop-mgr-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn set_constraints_validates_and_applies() {
+        let mgr = SessionManager::new(1);
+        mgr.open("c", &open_params(2)).unwrap();
+        assert_eq!(mgr.set_constraints("c", 0.0, 100.0).unwrap_err().kind, ErrorKind::Spec);
+        assert_eq!(
+            mgr.set_constraints("c", f64::NAN, 100.0).unwrap_err().kind,
+            ErrorKind::Spec
+        );
+        assert_eq!(
+            mgr.set_constraints("ghost", 1.0, 1.0).unwrap_err().kind,
+            ErrorKind::UnknownSession
+        );
+        mgr.set_constraints("c", 50_000.0, 50_000.0).unwrap();
+        let run = mgr.explore("c", &ExploreParams::default()).unwrap();
+        assert!(run.trials > 0, "session stays explorable after a constraint change");
+    }
+
+    #[test]
+    fn journaled_mutations_survive_recovery_with_identical_digests() {
+        let dir = state_dir("recover");
+        let before = {
+            let (mgr, report) = SessionManager::recover(1, &dir, 0).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            mgr.open("keep", &open_params(2)).unwrap();
+            mgr.open("gone", &open_params(1)).unwrap();
+            mgr.repartition("keep", 3, 0).unwrap();
+            mgr.set_constraints("keep", 40_000.0, 40_000.0).unwrap();
+            mgr.close("gone").unwrap();
+            mgr.explore("keep", &ExploreParams::default()).unwrap().digest
+            // Dropped without any shutdown ceremony — the crash.
+        };
+        let (mgr, report) = SessionManager::recover(1, &dir, 0).unwrap();
+        assert_eq!(report.sessions_restored, 1);
+        assert_eq!(report.records_replayed, 5);
+        assert_eq!(report.records_skipped, 0);
+        let (names, _, _) = mgr.stats(None).unwrap();
+        assert_eq!(names, vec!["keep".to_owned()]);
+        let after = mgr.explore("keep", &ExploreParams::default()).unwrap().digest;
+        assert_eq!(before, after, "recovered session must reproduce the digest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_sessions_and_their_req_ids() {
+        let dir = state_dir("compact");
+        {
+            let (mgr, _) = SessionManager::recover(1, &dir, 3).unwrap();
+            let open = Request::Open { session: "live".into(), params: open_params(2) };
+            assert!(matches!(
+                mgr.dispatch_tagged(&open, Some("open-live")),
+                Response::Opened { .. }
+            ));
+            for i in 0..3 {
+                mgr.open(&format!("tmp{i}"), &open_params(1)).unwrap();
+                mgr.close(&format!("tmp{i}")).unwrap();
+            }
+        }
+        let (mgr, report) = SessionManager::recover(1, &dir, 3).unwrap();
+        assert!(
+            report.records_replayed < 7,
+            "compaction must have shrunk the log, got {report:?}"
+        );
+        assert_eq!(report.sessions_restored, 1);
+        // The open's req_id survived compaction: a retry is idempotent.
+        let open = Request::Open { session: "live".into(), params: open_params(2) };
+        assert_eq!(
+            mgr.dispatch_tagged(&open, Some("open-live")),
+            Response::Opened { session: "live".into(), partitions: 2 }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retried_req_id_replays_the_recorded_outcome() {
+        let mgr = SessionManager::new(1);
+        let open = Request::Open { session: "dup".into(), params: open_params(2) };
+        let first = mgr.dispatch_tagged(&open, Some("r-1"));
+        assert!(matches!(first, Response::Opened { .. }));
+        // Same req_id → replayed outcome, not SessionExists.
+        assert_eq!(mgr.dispatch_tagged(&open, Some("r-1")), first);
+        // Different req_id → genuinely re-applied, and the failure is
+        // itself recorded for *its* retries.
+        let conflict = mgr.dispatch_tagged(&open, Some("r-2"));
+        let Response::Error(ref e) = conflict else { panic!("{conflict:?}") };
+        assert_eq!(e.kind, ErrorKind::SessionExists);
+        assert_eq!(mgr.dispatch_tagged(&open, Some("r-2")), conflict);
+        // Untagged requests never touch the window.
+        let close = Request::Close { session: "dup".into() };
+        assert!(matches!(mgr.dispatch_tagged(&close, None), Response::Closed { .. }));
+        assert!(matches!(mgr.dispatch_tagged(&close, None), Response::Error(_)));
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_per_session() {
+        let mut window = DedupWindow::default();
+        for i in 0..(DEDUP_PER_SESSION + 5) {
+            window.record("s", &format!("id-{i}"), Response::ShuttingDown);
+        }
+        assert_eq!(window.windows["s"].len(), DEDUP_PER_SESSION);
+        assert!(window.lookup("s", "id-0").is_none(), "oldest entries must be evicted");
+        assert!(window.lookup("s", &format!("id-{}", DEDUP_PER_SESSION + 4)).is_some());
+        // Session-count bound evicts whole sessions in insertion order.
+        for i in 0..DEDUP_SESSIONS {
+            window.record(&format!("extra-{i}"), "x", Response::ShuttingDown);
+        }
+        assert!(window.lookup("s", &format!("id-{}", DEDUP_PER_SESSION + 4)).is_none());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn journal_append_failure_refuses_the_mutation() {
+        use chop_core::fault::IoFaultPlan;
+        let dir = state_dir("append-fail");
+        let (mgr, _) = SessionManager::recover(1, &dir, 0).unwrap();
+        mgr.open("ok", &open_params(2)).unwrap();
+        mgr.inject_journal_faults(IoFaultPlan::none().fail_after(0));
+        let err = mgr.open("refused", &open_params(1)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+        assert_eq!(mgr.session_count(), 1, "refused mutation must not commit");
+        let err = mgr.close("ok").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+        assert_eq!(mgr.session_count(), 1, "session must survive a refused close");
+        mgr.inject_journal_faults(IoFaultPlan::none());
+        mgr.close("ok").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn dispatch_covers_every_request() {
         let mgr = SessionManager::new(1);
@@ -486,6 +966,18 @@ mod tests {
             mgr.dispatch(&Request::Stats { session: Some("d".into()) }),
             Response::Stats { .. }
         ));
+        assert_eq!(
+            mgr.dispatch(&Request::SetConstraints {
+                session: "d".into(),
+                performance_ns: 45_000.0,
+                delay_ns: 45_000.0,
+            }),
+            Response::ConstraintsSet {
+                session: "d".into(),
+                performance_ns: 45_000.0,
+                delay_ns: 45_000.0,
+            }
+        );
         assert_eq!(mgr.dispatch(&Request::Shutdown), Response::ShuttingDown);
         assert_eq!(
             mgr.dispatch(&Request::Close { session: "d".into() }),

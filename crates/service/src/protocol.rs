@@ -10,6 +10,13 @@
 //! module (the vendored `serde` is a no-op stub), and the round-trip
 //! guarantee — `decode(encode(m)) == m` for every variant — is enforced by
 //! property tests in `tests/protocol_roundtrip.rs`.
+//!
+//! Requests may additionally carry an optional client-generated `req_id`
+//! envelope field ([`Request::encode_tagged`] /
+//! [`Request::decode_tagged`]). A `req_id` on a *mutating* request lets
+//! the server answer a retried mutation from its recorded outcome instead
+//! of applying it twice — the idempotency window documented in
+//! `DESIGN.md` §11.
 
 use std::fmt;
 
@@ -19,6 +26,9 @@ use crate::json::{self, obj, Value};
 
 /// The wire-protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Longest accepted `req_id` (bounds the server's idempotency window).
+pub const MAX_REQ_ID_LEN: usize = 128;
 
 /// Classifies a [`ServiceError`]; the wire tag is the snake_case name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +193,17 @@ pub enum Request {
         /// Target partition index.
         to: u32,
     },
+    /// Replace a session's performance/delay constraints (the next
+    /// `explore` searches under the new envelope; predictions are
+    /// constraint-independent, so the cache stays warm).
+    SetConstraints {
+        /// Session name.
+        session: String,
+        /// New performance constraint in ns.
+        performance_ns: f64,
+        /// New system-delay constraint in ns.
+        delay_ns: f64,
+    },
     /// Server and cache statistics; with a session name, also that
     /// session's last run.
     Stats {
@@ -283,6 +304,15 @@ pub enum Response {
         /// Its new partition.
         to: u32,
     },
+    /// A session's constraints were replaced.
+    ConstraintsSet {
+        /// Session name.
+        session: String,
+        /// The performance constraint now in force, in ns.
+        performance_ns: f64,
+        /// The system-delay constraint now in force, in ns.
+        delay_ns: f64,
+    },
     /// Server statistics.
     Stats {
         /// Names of the open sessions, sorted.
@@ -305,6 +335,9 @@ pub enum Response {
         inflight: u64,
         /// The server's `--max-inflight` bound.
         max_inflight: u64,
+        /// Server-suggested backoff before retrying, in ms, derived from
+        /// the inflight depth (0 when the server predates the hint).
+        retry_after_ms: u64,
     },
     /// The request failed.
     Error(ServiceError),
@@ -421,9 +454,45 @@ fn open_envelope(line: &str) -> Result<(Value, String), ServiceError> {
 }
 
 impl Request {
+    /// Whether this request mutates server-side session state (and is
+    /// therefore journaled, deduplicated by `req_id`, and only retried by
+    /// clients when tagged). `explore` is *not* a mutation: re-running it
+    /// produces a byte-identical digest.
+    #[must_use]
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Request::Open { .. }
+                | Request::Repartition { .. }
+                | Request::SetConstraints { .. }
+                | Request::Close { .. }
+        )
+    }
+
     /// Encodes this request as one line of JSON (no trailing newline).
     #[must_use]
     pub fn encode(&self) -> String {
+        self.encode_tagged(None)
+    }
+
+    /// Encodes this request with an optional `req_id` envelope field.
+    ///
+    /// # Panics
+    ///
+    /// Never — the encoder always produces an object envelope.
+    #[must_use]
+    pub fn encode_tagged(&self, req_id: Option<&str>) -> String {
+        let mut value = self.encode_value();
+        if let Some(id) = req_id {
+            let Value::Obj(pairs) = &mut value else {
+                unreachable!("request envelopes are always objects")
+            };
+            pairs.push(("req_id".to_owned(), Value::Str(id.to_owned())));
+        }
+        value.to_string()
+    }
+
+    fn encode_value(&self) -> Value {
         #[allow(clippy::cast_precision_loss)]
         let value = match self {
             Request::Ping => envelope("ping", vec![]),
@@ -460,6 +529,14 @@ impl Request {
                     ("to", Value::Num(f64::from(*to))),
                 ],
             ),
+            Request::SetConstraints { session, performance_ns, delay_ns } => envelope(
+                "set_constraints",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("performance_ns", Value::Num(*performance_ns)),
+                    ("delay_ns", Value::Num(*delay_ns)),
+                ],
+            ),
             Request::Stats { session } => {
                 let mut rest = vec![];
                 if let Some(s) = session {
@@ -472,7 +549,7 @@ impl Request {
             }
             Request::Shutdown => envelope("shutdown", vec![]),
         };
-        value.to_string()
+        value
     }
 
     /// Decodes one request line.
@@ -482,30 +559,51 @@ impl Request {
     /// Returns an [`ErrorKind::Protocol`] error for malformed JSON, a
     /// version mismatch, an unknown type tag or mistyped fields.
     pub fn decode(line: &str) -> Result<Self, ServiceError> {
+        Self::decode_tagged(line).map(|(request, _)| request)
+    }
+
+    /// Decodes one request line together with its optional `req_id`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`decode`](Request::decode) rejects, plus an empty or
+    /// over-long (> [`MAX_REQ_ID_LEN`]) `req_id`.
+    pub fn decode_tagged(line: &str) -> Result<(Self, Option<String>), ServiceError> {
         let (v, kind) = open_envelope(line)?;
-        match kind.as_str() {
+        let req_id = opt_field(&v, "req_id", str_field)?;
+        if let Some(id) = &req_id {
+            if id.is_empty() || id.len() > MAX_REQ_ID_LEN {
+                return Err(ServiceError::protocol(format!(
+                    "req_id must be 1..={MAX_REQ_ID_LEN} bytes"
+                )));
+            }
+        }
+        Ok((Self::decode_body(&v, &kind)?, req_id))
+    }
+
+    fn decode_body(v: &Value, kind: &str) -> Result<Self, ServiceError> {
+        match kind {
             "ping" => Ok(Request::Ping),
             "open" => {
                 let defaults = OpenParams::default();
                 #[allow(clippy::cast_possible_truncation)]
                 let params = OpenParams {
-                    spec: str_field(&v, "spec")?,
-                    partitions: opt_field(&v, "partitions", u32_field)?
+                    spec: str_field(v, "spec")?,
+                    partitions: opt_field(v, "partitions", u32_field)?
                         .unwrap_or(defaults.partitions),
-                    chips: opt_field(&v, "chips", u32_field)?,
-                    package_pins: opt_field(&v, "package_pins", u32_field)?
+                    chips: opt_field(v, "chips", u32_field)?,
+                    package_pins: opt_field(v, "package_pins", u32_field)?
                         .unwrap_or(defaults.package_pins),
-                    performance_ns: opt_field(&v, "performance_ns", f64_field)?
+                    performance_ns: opt_field(v, "performance_ns", f64_field)?
                         .unwrap_or(defaults.performance_ns),
-                    delay_ns: opt_field(&v, "delay_ns", f64_field)?
-                        .unwrap_or(defaults.delay_ns),
-                    multi_cycle: opt_field(&v, "multi_cycle", bool_field)?
+                    delay_ns: opt_field(v, "delay_ns", f64_field)?.unwrap_or(defaults.delay_ns),
+                    multi_cycle: opt_field(v, "multi_cycle", bool_field)?
                         .unwrap_or(defaults.multi_cycle),
                 };
-                Ok(Request::Open { session: str_field(&v, "session")?, params })
+                Ok(Request::Open { session: str_field(v, "session")?, params })
             }
             "explore" => {
-                let heuristic = match opt_field(&v, "heuristic", str_field)? {
+                let heuristic = match opt_field(v, "heuristic", str_field)? {
                     None => Heuristic::Iterative,
                     Some(tag) => heuristic_from_wire(&tag).ok_or_else(|| {
                         ServiceError::protocol(format!("unknown heuristic {tag:?}"))
@@ -513,19 +611,24 @@ impl Request {
                 };
                 let params = ExploreParams {
                     heuristic,
-                    deadline_ms: opt_field(&v, "deadline_ms", u64_field)?,
-                    max_trials: opt_field(&v, "max_trials", u64_field)?,
-                    jobs: opt_field(&v, "jobs", u32_field)?,
+                    deadline_ms: opt_field(v, "deadline_ms", u64_field)?,
+                    max_trials: opt_field(v, "max_trials", u64_field)?,
+                    jobs: opt_field(v, "jobs", u32_field)?,
                 };
-                Ok(Request::Explore { session: str_field(&v, "session")?, params })
+                Ok(Request::Explore { session: str_field(v, "session")?, params })
             }
             "repartition" => Ok(Request::Repartition {
-                session: str_field(&v, "session")?,
-                node: u32_field(&v, "node")?,
-                to: u32_field(&v, "to")?,
+                session: str_field(v, "session")?,
+                node: u32_field(v, "node")?,
+                to: u32_field(v, "to")?,
             }),
-            "stats" => Ok(Request::Stats { session: opt_field(&v, "session", str_field)? }),
-            "close" => Ok(Request::Close { session: str_field(&v, "session")? }),
+            "set_constraints" => Ok(Request::SetConstraints {
+                session: str_field(v, "session")?,
+                performance_ns: f64_field(v, "performance_ns")?,
+                delay_ns: f64_field(v, "delay_ns")?,
+            }),
+            "stats" => Ok(Request::Stats { session: opt_field(v, "session", str_field)? }),
+            "close" => Ok(Request::Close { session: str_field(v, "session")? }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::protocol(format!("unknown request type {other:?}"))),
         }
@@ -624,6 +727,14 @@ impl Response {
                     ("to", Value::Num(f64::from(*to))),
                 ],
             ),
+            Response::ConstraintsSet { session, performance_ns, delay_ns } => envelope(
+                "constraints_set",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("performance_ns", Value::Num(*performance_ns)),
+                    ("delay_ns", Value::Num(*delay_ns)),
+                ],
+            ),
             Response::Stats { sessions, cache, last_run } => envelope(
                 "stats",
                 vec![
@@ -639,11 +750,12 @@ impl Response {
                 envelope("closed", vec![("session", Value::Str(session.clone()))])
             }
             Response::ShuttingDown => envelope("shutting_down", vec![]),
-            Response::Busy { inflight, max_inflight } => envelope(
+            Response::Busy { inflight, max_inflight, retry_after_ms } => envelope(
                 "busy",
                 vec![
                     ("inflight", Value::Num(*inflight as f64)),
                     ("max_inflight", Value::Num(*max_inflight as f64)),
+                    ("retry_after_ms", Value::Num(*retry_after_ms as f64)),
                 ],
             ),
             Response::Error(e) => envelope(
@@ -680,6 +792,11 @@ impl Response {
                 node: u32_field(&v, "node")?,
                 to: u32_field(&v, "to")?,
             }),
+            "constraints_set" => Ok(Response::ConstraintsSet {
+                session: str_field(&v, "session")?,
+                performance_ns: f64_field(&v, "performance_ns")?,
+                delay_ns: f64_field(&v, "delay_ns")?,
+            }),
             "stats" => {
                 let sessions = field(&v, "sessions")?
                     .as_arr()
@@ -708,6 +825,8 @@ impl Response {
             "busy" => Ok(Response::Busy {
                 inflight: u64_field(&v, "inflight")?,
                 max_inflight: u64_field(&v, "max_inflight")?,
+                // Servers that predate the hint omit the field.
+                retry_after_ms: opt_field(&v, "retry_after_ms", u64_field)?.unwrap_or(0),
             }),
             "error" => {
                 let tag = str_field(&v, "kind")?;
@@ -748,6 +867,11 @@ mod tests {
                 },
             },
             Request::Repartition { session: "a".into(), node: 3, to: 0 },
+            Request::SetConstraints {
+                session: "a".into(),
+                performance_ns: 20_000.0,
+                delay_ns: 25_000.5,
+            },
             Request::Stats { session: None },
             Request::Stats { session: Some("a".into()) },
             Request::Close { session: "a".into() },
@@ -757,6 +881,53 @@ mod tests {
             let line = req.encode();
             assert!(!line.contains('\n'), "{line}");
             assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn req_id_rides_the_envelope_and_round_trips() {
+        let req = Request::Repartition { session: "a".into(), node: 3, to: 0 };
+        let line = req.encode_tagged(Some("retry-42"));
+        let (decoded, id) = Request::decode_tagged(&line).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(id.as_deref(), Some("retry-42"));
+        // Untagged lines decode with no id, and plain decode ignores one.
+        assert_eq!(Request::decode_tagged(&req.encode()).unwrap().1, None);
+        assert_eq!(Request::decode(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn hostile_req_ids_are_protocol_errors() {
+        for bad in [
+            format!(r#"{{"v":1,"type":"ping","req_id":"{}"}}"#, "x".repeat(200)),
+            r#"{"v":1,"type":"ping","req_id":""}"#.to_owned(),
+            r#"{"v":1,"type":"ping","req_id":7}"#.to_owned(),
+        ] {
+            let err = Request::decode_tagged(&bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{bad}");
+        }
+    }
+
+    #[test]
+    fn mutation_classification_matches_the_journal_set() {
+        assert!(
+            Request::Open { session: "s".into(), params: OpenParams::default() }.is_mutation()
+        );
+        assert!(Request::Repartition { session: "s".into(), node: 0, to: 0 }.is_mutation());
+        assert!(Request::SetConstraints {
+            session: "s".into(),
+            performance_ns: 1.0,
+            delay_ns: 1.0
+        }
+        .is_mutation());
+        assert!(Request::Close { session: "s".into() }.is_mutation());
+        for read_only in [
+            Request::Ping,
+            Request::Explore { session: "s".into(), params: ExploreParams::default() },
+            Request::Stats { session: None },
+            Request::Shutdown,
+        ] {
+            assert!(!read_only.is_mutation(), "{read_only:?}");
         }
     }
 
@@ -815,6 +986,11 @@ mod tests {
             Response::Opened { session: "a".into(), partitions: 2 },
             Response::Explored { session: "a".into(), run: run.clone() },
             Response::Repartitioned { session: "a".into(), node: 3, to: 1 },
+            Response::ConstraintsSet {
+                session: "a".into(),
+                performance_ns: 12_500.0,
+                delay_ns: 8_000.25,
+            },
             Response::Stats {
                 sessions: vec!["a".into(), "b".into()],
                 cache: CacheStats { hits: 5, misses: 3, evictions: 0, entries: 3, bytes: 640 },
@@ -823,7 +999,7 @@ mod tests {
             Response::Stats { sessions: vec![], cache: CacheStats::default(), last_run: None },
             Response::Closed { session: "a".into() },
             Response::ShuttingDown,
-            Response::Busy { inflight: 8, max_inflight: 8 },
+            Response::Busy { inflight: 8, max_inflight: 8, retry_after_ms: 75 },
             Response::Error(ServiceError::new(ErrorKind::UnknownSession, "no session \"z\"")),
         ];
         for resp in resps {
@@ -831,6 +1007,13 @@ mod tests {
             assert!(!line.contains('\n'), "{line}");
             assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
         }
+    }
+
+    #[test]
+    fn busy_without_a_hint_defaults_to_zero_backoff() {
+        let decoded =
+            Response::decode(r#"{"v":1,"type":"busy","inflight":3,"max_inflight":2}"#).unwrap();
+        assert_eq!(decoded, Response::Busy { inflight: 3, max_inflight: 2, retry_after_ms: 0 });
     }
 
     #[test]

@@ -31,11 +31,12 @@
 use std::io::{ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use crate::manager::SessionManager;
+use crate::manager::{RecoveryReport, SessionManager};
 use crate::pool::WorkerPool;
 use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 
@@ -50,7 +51,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads running explorations.
     pub workers: usize,
@@ -59,11 +60,17 @@ pub struct ServeConfig {
     /// Default per-exploration thread count (a request's `jobs` field
     /// overrides it).
     pub jobs: usize,
+    /// Directory for the write-ahead session journal. `None` keeps every
+    /// session purely in memory (the pre-journal behavior).
+    pub state_dir: Option<PathBuf>,
+    /// Journal records tolerated before a compaction snapshot rewrites
+    /// the log down to the live sessions. 0 disables compaction.
+    pub snapshot_every: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 4, max_inflight: 64, jobs: 1 }
+        Self { workers: 4, max_inflight: 64, jobs: 1, state_dir: None, snapshot_every: 1024 }
     }
 }
 
@@ -73,6 +80,7 @@ pub struct Server {
     manager: Arc<SessionManager>,
     shutdown: Arc<AtomicBool>,
     config: ServeConfig,
+    recovery: Option<RecoveryReport>,
 }
 
 /// Everything a connection thread needs, cloned per connection.
@@ -93,12 +101,28 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let (manager, recovery) = match &config.state_dir {
+            None => (SessionManager::new(config.jobs), None),
+            Some(dir) => {
+                let (manager, report) =
+                    SessionManager::recover(config.jobs, dir, config.snapshot_every)?;
+                (manager, Some(report))
+            }
+        };
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            manager: Arc::new(SessionManager::new(config.jobs)),
+            manager: Arc::new(manager),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
+            recovery,
         })
+    }
+
+    /// What journal recovery restored at bind time; `None` without a
+    /// `state_dir`.
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
     }
 
     /// The bound address (useful after binding port 0).
@@ -171,8 +195,19 @@ impl Server {
     }
 }
 
+/// Writes one typed `protocol` error reply before a server-initiated
+/// close, so the peer never sees a silent disconnect it caused.
+fn refuse(writer: &mut TcpStream, message: String) {
+    let mut out = Response::Error(ServiceError::new(ErrorKind::Protocol, message)).encode();
+    out.push('\n');
+    let _ = writer.write_all(out.as_bytes());
+    let _ = writer.flush();
+}
+
 /// Reads newline-delimited requests off one socket until EOF, an I/O
-/// error, or drain.
+/// error, or drain. Every close the *server* decides on (oversized line,
+/// truncated request) is preceded by a typed `protocol` error reply —
+/// never a silent disconnect.
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -185,6 +220,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     loop {
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
+            if line.len() > MAX_LINE_BYTES {
+                // A completed line past the limit must be refused like a
+                // partial one — parsing it would let a newline smuggled
+                // at the end of a flood bypass the cap.
+                refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                return;
+            }
             let text = String::from_utf8_lossy(&line);
             let text = text.trim();
             if text.is_empty() {
@@ -197,21 +239,27 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
             }
         }
         if buf.len() > MAX_LINE_BYTES {
-            let mut out = Response::Error(ServiceError::new(
-                ErrorKind::Protocol,
-                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-            ))
-            .encode();
-            out.push('\n');
-            let _ = writer.write_all(out.as_bytes());
-            let _ = writer.flush();
+            refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
             return;
         }
         if ctx.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match reader.read(&mut chunk) {
-            Ok(0) => return,
+            Ok(0) => {
+                if !buf.is_empty() {
+                    // The peer half-closed mid-request. Tell it what got
+                    // lost before closing instead of vanishing silently.
+                    refuse(
+                        &mut writer,
+                        format!(
+                            "truncated request: EOF after {} bytes with no newline",
+                            buf.len()
+                        ),
+                    );
+                }
+                return;
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if matches!(
@@ -238,8 +286,8 @@ fn respond(line: &str, ctx: &ConnCtx) -> Response {
 /// goes through admission control and the worker pool, everything else
 /// is answered inline by the manager.
 fn route(line: &str, ctx: &ConnCtx) -> Response {
-    let request = match Request::decode(line) {
-        Ok(request) => request,
+    let (request, req_id) = match Request::decode_tagged(line) {
+        Ok(decoded) => decoded,
         Err(e) => return Response::Error(e),
     };
     match request {
@@ -250,9 +298,11 @@ fn route(line: &str, ctx: &ConnCtx) -> Response {
         Request::Explore { session, params } => {
             let Some(token) = InflightToken::try_acquire(&ctx.inflight, ctx.max_inflight)
             else {
+                let inflight = ctx.inflight.load(Ordering::SeqCst);
                 return Response::Busy {
-                    inflight: ctx.inflight.load(Ordering::SeqCst) as u64,
+                    inflight: inflight as u64,
                     max_inflight: ctx.max_inflight as u64,
+                    retry_after_ms: retry_after_ms(inflight, ctx.max_inflight),
                 };
             };
             let (tx, rx) = mpsc::channel::<Response>();
@@ -281,8 +331,16 @@ fn route(line: &str, ctx: &ConnCtx) -> Response {
                 Response::Error(ServiceError::new(ErrorKind::Internal, "worker vanished"))
             })
         }
-        other => ctx.manager.dispatch(&other),
+        other => ctx.manager.dispatch_tagged(&other, req_id.as_deref()),
     }
+}
+
+/// Backoff hint for a `busy` reply, scaled by how oversubscribed the
+/// pool is: one explore-slot's worth of queueing (50 ms) per excess
+/// in-flight request, clamped to a sane 25 ms..=2 s window.
+fn retry_after_ms(inflight: usize, max_inflight: usize) -> u64 {
+    let excess = inflight.saturating_sub(max_inflight) as u64;
+    (50 * (excess + 1)).clamp(25, 2000)
 }
 
 /// RAII admission token: holding one counts toward `max_inflight`.
@@ -394,9 +452,11 @@ mod tests {
 
     #[test]
     fn zero_max_inflight_reports_busy() {
-        let server =
-            Server::bind("127.0.0.1:0", ServeConfig { workers: 1, max_inflight: 0, jobs: 1 })
-                .unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig { workers: 1, max_inflight: 0, ..ServeConfig::default() },
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run());
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -407,8 +467,54 @@ mod tests {
         };
         assert_eq!(
             roundtrip(&mut stream, &mut reader, &explore),
-            Response::Busy { inflight: 0, max_inflight: 0 }
+            Response::Busy { inflight: 0, max_inflight: 0, retry_after_ms: 50 }
         );
+        roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn truncated_request_gets_protocol_error_not_silent_close() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig { workers: 1, ..ServeConfig::default() })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        {
+            // Send half a request, then half-close the write side: the
+            // server must answer with a typed protocol error, not vanish.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            writer.write_all(b"{\"v\":1,\"type\":\"pi").unwrap();
+            writer.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let decoded = Response::decode(reply.trim()).unwrap();
+            let Response::Error(e) = decoded else { panic!("{decoded:?}") };
+            assert_eq!(e.kind, ErrorKind::Protocol);
+            assert!(e.message.contains("truncated"), "{}", e.message);
+        }
+        // An oversized line that *does* end in a newline is refused the
+        // same way, never parsed.
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut blob = vec![b' '; MAX_LINE_BYTES + 1];
+            *blob.last_mut().unwrap() = b'\n';
+            writer.write_all(&blob).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(matches!(
+                Response::decode(reply.trim()).unwrap(),
+                Response::Error(ServiceError { kind: ErrorKind::Protocol, .. })
+            ));
+            reply.clear();
+            assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
         roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         handle.join().unwrap().unwrap();
     }

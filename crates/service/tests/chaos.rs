@@ -1,0 +1,301 @@
+//! Chaos harness: a real server behind the fault-injecting
+//! [`ChaosProxy`], clients that retry through resets, stalls and torn
+//! requests, and crash/recovery runs that must reproduce byte-identical
+//! digests. Compiled only with `--features fault-inject`.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use chop_core::prelude::Heuristic;
+use chop_service::chaos::{ChaosProxy, ConnFault};
+use chop_service::{
+    build_session, Client, ClientError, ErrorKind, ExploreParams, OpenParams, Request,
+    Response, RetryPolicy, ServeConfig, Server, SessionManager,
+};
+
+const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
+
+const WIDE_SPEC: &str = "a = input 16\nb = input 16\nc = input 16\n\
+                         p = mul a b\nq = add b c\nr = sub p q\n\
+                         s = add r a\ny = output s\n";
+
+fn test_jobs() -> usize {
+    std::env::var("CHOP_TEST_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+fn start_server(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = thread::spawn(move || server.run().expect("server drains cleanly"));
+    (addr, handle)
+}
+
+fn open_params(spec: &str, partitions: u32) -> OpenParams {
+    OpenParams { spec: spec.into(), partitions, ..OpenParams::default() }
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chop-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn explored_digest(client: &mut Client, session: &str) -> String {
+    let response = client
+        .request(&Request::Explore {
+            session: session.into(),
+            params: ExploreParams::default(),
+        })
+        .expect("explore");
+    match response {
+        Response::Explored { run, .. } => run.digest,
+        other => panic!("expected explored, got {other:?}"),
+    }
+}
+
+/// The digest an uninterrupted in-process run of the same spec produces.
+fn reference_digest(spec: &str, partitions: u32, jobs: usize) -> String {
+    build_session(&open_params(spec, partitions), jobs)
+        .expect("in-process session")
+        .explore(Heuristic::Iterative)
+        .expect("in-process explore")
+        .digest()
+}
+
+#[test]
+fn reset_mid_request_is_survived_by_idempotent_retry() {
+    let (addr, server) = start_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let proxy = ChaosProxy::start(addr).expect("proxy");
+
+    // The first connection dies 20 bytes into the request — mid-line, so
+    // the open may or may not have reached the server. The retry
+    // reconnects (next connection is fault-free) and, because the open
+    // carries a req_id, a duplicate delivery is answered from the dedup
+    // window instead of failing with SessionExists.
+    proxy.push_fault(ConnFault::ResetAfter(20));
+    let mut client = Client::connect(proxy.addr()).expect("connect via proxy");
+    let open = Request::Open { session: "chaos".into(), params: open_params(SPEC, 2) };
+    let policy = RetryPolicy::with_budget_ms(5_000);
+    let response =
+        client.request_with_retry(&open, Some("chaos-open-1"), &policy).expect("retried open");
+    assert_eq!(response, Response::Opened { session: "chaos".into(), partitions: 2 });
+
+    // An explicit replay of the same req_id must echo the same outcome.
+    let replay = client.request_tagged(&open, Some("chaos-open-1")).expect("replay");
+    assert_eq!(replay, response);
+
+    // And the session the retries produced is the real one: its digest
+    // matches an uninterrupted in-process run.
+    assert_eq!(
+        explored_digest(&mut client, "chaos"),
+        reference_digest(SPEC, 2, test_jobs()),
+        "digest after chaotic open must match the uninterrupted run"
+    );
+
+    drop(proxy);
+    let mut direct = Client::connect(addr).expect("direct connect");
+    direct.request(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn torn_request_gets_a_typed_protocol_error() {
+    let (addr, server) = start_server(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let proxy = ChaosProxy::start(addr).expect("proxy");
+
+    // Forward only 10 bytes of the request upstream, then half-close the
+    // server-bound side: the server sees EOF mid-line and must answer
+    // with a typed protocol error — never a silent close.
+    proxy.push_fault(ConnFault::TruncateRequest(10));
+    let mut client = Client::connect(proxy.addr()).expect("connect via proxy");
+    let response = client.request(&Request::Ping);
+    match response {
+        Ok(Response::Error(e)) => {
+            assert_eq!(e.kind, ErrorKind::Protocol);
+            assert!(e.message.contains("truncated"), "{}", e.message);
+        }
+        other => panic!("expected typed protocol error, got {other:?}"),
+    }
+
+    drop(proxy);
+    let mut direct = Client::connect(addr).expect("direct connect");
+    direct.request(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn stalled_connection_is_outwaited_by_attempt_timeout() {
+    let (addr, server) = start_server(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let proxy = ChaosProxy::start(addr).expect("proxy");
+
+    // The first connection sits black-holed for 30 s — far past the test
+    // budget. The per-attempt read timeout must trip, and the retry's
+    // fresh connection (fault-free) completes the ping.
+    proxy.push_fault(ConnFault::StallMs(30_000));
+    let mut client = Client::connect(proxy.addr()).expect("connect via proxy");
+    let policy = RetryPolicy {
+        attempt_timeout: Some(Duration::from_millis(200)),
+        ..RetryPolicy::with_budget_ms(10_000)
+    };
+    let response = client.request_with_retry(&Request::Ping, None, &policy).expect("ping");
+    assert!(matches!(response, Response::Pong { .. }), "{response:?}");
+
+    drop(proxy);
+    let mut direct = Client::connect(addr).expect("direct connect");
+    direct.request(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn untagged_mutation_is_refused_transport_retry_under_chaos() {
+    let (addr, server) = start_server(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let proxy = ChaosProxy::start(addr).expect("proxy");
+
+    proxy.push_fault(ConnFault::ResetAfter(5));
+    let mut client = Client::connect(proxy.addr()).expect("connect via proxy");
+    let open = Request::Open { session: "never".into(), params: open_params(SPEC, 1) };
+    let err = client
+        .request_with_retry(&open, None, &RetryPolicy::with_budget_ms(2_000))
+        .expect_err("untagged mutation must not be blindly retried");
+    assert!(matches!(err, ClientError::Io(_) | ClientError::ConnectionClosed), "{err}");
+
+    drop(proxy);
+    let mut direct = Client::connect(addr).expect("direct connect");
+    direct.request(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// The crash/recovery acceptance criterion: kill a journaled server
+/// mid-life, restart on the same state dir, and the recovered sessions
+/// must re-explore to byte-identical digests at jobs 1 *and*
+/// `CHOP_TEST_JOBS`, with a repeated `req_id` mutation still answered
+/// idempotently.
+#[test]
+fn recovered_server_reproduces_digests_and_idempotency() {
+    let dir = state_dir("recover");
+    let config = ServeConfig {
+        workers: 2,
+        state_dir: Some(dir.clone()),
+        snapshot_every: 0,
+        ..ServeConfig::default()
+    };
+
+    // Life before the crash: one session opened with a req_id, then
+    // mutated. The journal fsyncs every record, so an abrupt kill loses
+    // nothing — the CLI suite proves the literal kill -9; here the server
+    // is dropped with sessions still open (no close, no flush ceremony).
+    let open = Request::Open { session: "wal".into(), params: open_params(WIDE_SPEC, 3) };
+    {
+        let (addr, server) = start_server(config.clone());
+        let mut client = Client::connect(addr).expect("connect");
+        let opened = client.request_tagged(&open, Some("wal-open")).expect("open");
+        assert_eq!(opened, Response::Opened { session: "wal".into(), partitions: 3 });
+        let moved = client
+            .request_tagged(
+                &Request::Repartition { session: "wal".into(), node: 3, to: 0 },
+                Some("wal-move"),
+            )
+            .expect("repartition");
+        assert!(matches!(moved, Response::Repartitioned { .. }), "{moved:?}");
+        client.request(&Request::Shutdown).expect("shutdown");
+        server.join().expect("server thread");
+    }
+
+    // The uninterrupted reference: same open + repartition, no crash, no
+    // journal, fresh manager.
+    let uninterrupted = |jobs: usize| -> String {
+        let mgr = SessionManager::new(jobs);
+        mgr.open("ref", &open_params(WIDE_SPEC, 3)).expect("open");
+        mgr.repartition("ref", 3, 0).expect("repartition");
+        mgr.explore("ref", &ExploreParams::default()).expect("explore").digest
+    };
+
+    // Restart on the same state dir and compare, at both job counts.
+    for jobs in [1, test_jobs()] {
+        let (addr, server) = start_server(ServeConfig { jobs, ..config.clone() });
+        let mut client = Client::connect(addr).expect("connect recovered");
+
+        // The recovered server must answer the replayed open from its
+        // rebuilt dedup window — Opened, not SessionExists.
+        let replay = client.request_tagged(&open, Some("wal-open")).expect("replayed open");
+        assert_eq!(
+            replay,
+            Response::Opened { session: "wal".into(), partitions: 3 },
+            "recovered server must answer a repeated req_id idempotently"
+        );
+
+        let digest = explored_digest(&mut client, "wal");
+        assert_eq!(
+            digest,
+            uninterrupted(jobs),
+            "recovered digest must be byte-identical at jobs={jobs}"
+        );
+
+        client.request(&Request::Shutdown).expect("shutdown");
+        server.join().expect("server thread");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal append failure mid-service refuses the mutation with a
+/// typed internal error, and the sessions the failure spared survive a
+/// recovery untouched.
+#[test]
+fn append_failure_is_typed_and_spares_existing_sessions() {
+    use chop_core::fault::IoFaultPlan;
+
+    let dir = state_dir("append-fault");
+    let (mgr, _) = SessionManager::recover(1, &dir, 0).expect("fresh journaled manager");
+    mgr.open("stable", &open_params(SPEC, 2)).expect("open");
+    let stable_digest =
+        mgr.explore("stable", &ExploreParams::default()).expect("explore").digest;
+
+    // Every further append fails: mutations are refused, reads keep
+    // working.
+    mgr.inject_journal_faults(IoFaultPlan::none().fail_after(0));
+    let err = mgr.open("doomed", &open_params(SPEC, 1)).expect_err("append must fail");
+    assert_eq!(err.kind, ErrorKind::Internal);
+    assert!(err.message.contains("journal"), "{}", err.message);
+    assert_eq!(mgr.session_count(), 1);
+    drop(mgr);
+
+    let (recovered, report) = SessionManager::recover(1, &dir, 0).expect("recover");
+    assert_eq!(report.sessions_restored, 1);
+    assert_eq!(report.records_skipped, 0);
+    assert_eq!(
+        recovered.explore("stable", &ExploreParams::default()).expect("explore").digest,
+        stable_digest,
+        "sessions journaled before the fault must recover byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn tail record — the crash happened mid-append — is skipped with
+/// a warning on recovery; every record before it is intact.
+#[test]
+fn torn_journal_tail_loses_only_the_torn_record() {
+    use chop_core::fault::IoFaultPlan;
+
+    let dir = state_dir("torn-tail");
+    let (mgr, _) = SessionManager::recover(1, &dir, 0).expect("fresh journaled manager");
+    mgr.open("kept", &open_params(SPEC, 2)).expect("open kept");
+    // The next append persists only 25 bytes of its record — a torn
+    // write at crash time — but reports success to the dying process.
+    // (Injection resets the journal's append counter, so budget 0 tears
+    // the very next append.)
+    mgr.inject_journal_faults(IoFaultPlan::none().fail_after(0).torn_tail(25));
+    mgr.open("torn", &open_params(SPEC, 1)).expect("torn open still acks");
+    drop(mgr);
+
+    let (recovered, report) = SessionManager::recover(1, &dir, 0).expect("recover");
+    assert_eq!(report.records_skipped, 1, "the torn record must be skipped, not fatal");
+    assert_eq!(report.sessions_restored, 1);
+    assert_eq!(
+        recovered.stats(None).expect("stats").0,
+        vec!["kept".to_owned()],
+        "only the session before the torn record survives"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

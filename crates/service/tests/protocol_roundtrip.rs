@@ -170,10 +170,32 @@ fn request() -> BoxedStrategy<Request> {
             node,
             to
         }),
+        (name(), 1.0f64..1e9, 1.0f64..1e9).prop_map(|(session, performance_ns, delay_ns)| {
+            Request::SetConstraints { session, performance_ns, delay_ns }
+        }),
         prop_oneof![Just(None), name().prop_map(Some)]
             .prop_map(|session| Request::Stats { session }),
         name().prop_map(|session| Request::Close { session }),
         Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+/// Valid `req_id` envelope tags (1..=128 bytes, arbitrary content).
+fn req_id() -> BoxedStrategy<Option<String>> {
+    prop_oneof![
+        Just(None),
+        "[a-z0-9-]{1,32}".prop_map(Some),
+        hostile_text().prop_map(|s| {
+            let mut id = s;
+            while id.len() > 128 {
+                id.pop();
+            }
+            if id.is_empty() {
+                id.push('x');
+            }
+            Some(id)
+        }),
     ]
     .boxed()
 }
@@ -200,10 +222,18 @@ fn response() -> BoxedStrategy<Response> {
                 cache,
                 last_run
             }),
+        (name(), 1.0f64..1e9, 1.0f64..1e9).prop_map(|(session, performance_ns, delay_ns)| {
+            Response::ConstraintsSet { session, performance_ns, delay_ns }
+        }),
         name().prop_map(|session| Response::Closed { session }),
         Just(Response::ShuttingDown),
-        (0u64..128, 0u64..128)
-            .prop_map(|(inflight, max_inflight)| Response::Busy { inflight, max_inflight }),
+        (0u64..128, 0u64..128, 0u64..5_000).prop_map(
+            |(inflight, max_inflight, retry_after_ms)| Response::Busy {
+                inflight,
+                max_inflight,
+                retry_after_ms
+            }
+        ),
         service_error().prop_map(Response::Error),
     ]
     .boxed()
@@ -239,5 +269,21 @@ proptest! {
         let once = resp.encode();
         let twice = Response::decode(&once).expect(&once).encode();
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn req_id_envelopes_round_trip(req in request(), id in req_id()) {
+        let line = req.encode_tagged(id.as_deref());
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line: {line}");
+        let (decoded, decoded_id) = Request::decode_tagged(&line).expect(&line);
+        prop_assert_eq!(decoded, req);
+        prop_assert_eq!(decoded_id, id);
+    }
+
+    #[test]
+    fn untagged_decode_ignores_the_envelope(req in request(), id in req_id()) {
+        // A plain decode must accept a tagged line and just drop the tag.
+        let line = req.encode_tagged(id.as_deref());
+        prop_assert_eq!(Request::decode(&line).expect(&line), req);
     }
 }

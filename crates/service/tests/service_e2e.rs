@@ -53,7 +53,12 @@ fn explore(client: &mut Client, session: &str) -> chop_service::RunSummary {
 #[test]
 fn concurrent_clients_match_in_process_digests() {
     let jobs = test_jobs();
-    let (addr, server) = start_server(ServeConfig { workers: 4, max_inflight: 64, jobs });
+    let (addr, server) = start_server(ServeConfig {
+        workers: 4,
+        max_inflight: 64,
+        jobs,
+        ..ServeConfig::default()
+    });
 
     // Four clients, four distinct sessions with distinct shapes, all in
     // flight at once.
@@ -104,8 +109,12 @@ fn concurrent_clients_match_in_process_digests() {
 
 #[test]
 fn repartition_after_explore_repredicts_only_touched_partitions() {
-    let (addr, server) =
-        start_server(ServeConfig { workers: 2, max_inflight: 8, jobs: test_jobs() });
+    let (addr, server) = start_server(ServeConfig {
+        workers: 2,
+        max_inflight: 8,
+        jobs: test_jobs(),
+        ..ServeConfig::default()
+    });
     let mut client = Client::connect(addr).expect("connect");
 
     let opened = client
@@ -161,7 +170,8 @@ fn repartition_after_explore_repredicts_only_touched_partitions() {
 #[test]
 fn saturated_server_answers_busy_not_queueing_forever() {
     // max_inflight: 0 means every explore is "one too many".
-    let (addr, server) = start_server(ServeConfig { workers: 1, max_inflight: 0, jobs: 1 });
+    let (addr, server) =
+        start_server(ServeConfig { workers: 1, max_inflight: 0, ..ServeConfig::default() });
     let mut client = Client::connect(addr).expect("connect");
     let opened = client
         .request(&Request::Open { session: "s".into(), params: open_params(SPEC, 1) })
@@ -170,14 +180,19 @@ fn saturated_server_answers_busy_not_queueing_forever() {
     let busy = client
         .request(&Request::Explore { session: "s".into(), params: ExploreParams::default() })
         .expect("explore");
-    assert_eq!(busy, Response::Busy { inflight: 0, max_inflight: 0 });
+    assert_eq!(busy, Response::Busy { inflight: 0, max_inflight: 0, retry_after_ms: 50 });
     assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
     server.join().expect("server thread");
 }
 
 #[test]
 fn malformed_lines_get_typed_errors_and_sessions_are_isolated() {
-    let (addr, server) = start_server(ServeConfig { workers: 1, max_inflight: 4, jobs: 1 });
+    let (addr, server) = start_server(ServeConfig {
+        workers: 1,
+        max_inflight: 4,
+        jobs: 1,
+        ..ServeConfig::default()
+    });
 
     // Raw socket: garbage must come back as a typed protocol error, and
     // the connection must stay usable afterwards.
