@@ -260,6 +260,11 @@ pub struct ServeOptions {
     pub state_dir: Option<String>,
     /// Journal records tolerated before snapshot compaction (0 = never).
     pub snapshot_every: usize,
+    /// Start as a warm standby: refuse direct mutations, accept the
+    /// replication stream, wait to be promoted.
+    pub standby: bool,
+    /// Ship every committed journal record to this standby (`host:port`).
+    pub replicate_to: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -272,6 +277,8 @@ impl Default for ServeOptions {
             jobs: None,
             state_dir: None,
             snapshot_every: 1024,
+            standby: false,
+            replicate_to: None,
         }
     }
 }
@@ -315,8 +322,65 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
                     .parse()
                     .map_err(|_| ArgError(format!("bad value for {arg}")))?;
             }
+            "--standby" => opts.standby = true,
+            "--replicate-to" => opts.replicate_to = Some(value(arg)?),
             other => return Err(ArgError(format!("unknown serve option {other}"))),
         }
+    }
+    if opts.standby && opts.replicate_to.is_some() {
+        return Err(ArgError(
+            "--standby and --replicate-to are mutually exclusive (a node is either \
+             the primary of its pair or its standby)"
+                .into(),
+        ));
+    }
+    Ok(opts)
+}
+
+/// Options for `chop router`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Listen address (same convention as `serve`: port 0 = ephemeral).
+    pub addr: String,
+    /// Backend pairs, each `primary[,standby]`.
+    pub backends: Vec<String>,
+    /// Health-check cadence, in milliseconds.
+    pub health_interval_ms: u64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:1990".to_owned(),
+            backends: Vec::new(),
+            health_interval_ms: 500,
+        }
+    }
+}
+
+/// Parses `router` options from argv (after the subcommand).
+pub fn parse_router_options(argv: &[String]) -> Result<RouterOptions, ArgError> {
+    let mut opts = RouterOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, ArgError> {
+            it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value(arg)?,
+            "--backend" => opts.backends.push(value(arg)?),
+            "--health-interval-ms" => {
+                opts.health_interval_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            other => return Err(ArgError(format!("unknown router option {other}"))),
+        }
+    }
+    if opts.backends.is_empty() {
+        return Err(ArgError(
+            "router needs at least one --backend <primary[,standby]> pair".into(),
+        ));
     }
     Ok(opts)
 }
@@ -369,6 +433,39 @@ mod tests {
         assert!(parse_serve_options(&s(&["--state-dir"])).is_err());
         assert!(parse_serve_options(&s(&["--journal-snapshot-every", "often"])).is_err());
         assert!(parse_serve_options(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn serve_replication_flags_parse_and_exclude_each_other() {
+        let o = parse_serve_options(&s(&["--replicate-to", "127.0.0.1:1992"])).unwrap();
+        assert_eq!(o.replicate_to.as_deref(), Some("127.0.0.1:1992"));
+        assert!(!o.standby);
+        let o = parse_serve_options(&s(&["--standby"])).unwrap();
+        assert!(o.standby);
+        assert!(parse_serve_options(&s(&["--standby", "--replicate-to", "x:1"])).is_err());
+        assert!(parse_serve_options(&s(&["--replicate-to"])).is_err());
+    }
+
+    #[test]
+    fn router_options_parse() {
+        let o = parse_router_options(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--backend",
+            "127.0.0.1:1991,127.0.0.1:1992",
+            "--backend",
+            "127.0.0.1:2991",
+            "--health-interval-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.backends.len(), 2);
+        assert_eq!(o.health_interval_ms, 250);
+        assert!(parse_router_options(&[]).is_err(), "no backends is an error");
+        assert!(parse_router_options(&s(&["--backend"])).is_err());
+        assert!(parse_router_options(&s(&["--health-interval-ms", "soon"])).is_err());
+        assert!(parse_router_options(&s(&["--frobnicate"])).is_err());
     }
 
     #[test]

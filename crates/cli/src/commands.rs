@@ -14,7 +14,9 @@ use chop_library::standard::{
 use chop_library::{ChipId, ChipSet};
 use chop_stat::units::{MilliWatts, Nanos};
 
-use crate::args::{parse_options, parse_serve_options, ArgError, Options};
+use crate::args::{
+    parse_options, parse_router_options, parse_serve_options, ArgError, Options,
+};
 
 const HELP: &str = "chop — constraint-driven system-level partitioner
 
@@ -23,7 +25,8 @@ USAGE:
   chop dot <spec.cbs>               print the DFG in Graphviz DOT
   chop tasks <spec.cbs> [options]   print the task graph in DOT
   chop serve [options]              run the partitioning service (TCP)
-  chop client <addr> <cmd> [...]    talk to a running service
+  chop router [options]             proxy sessions over replicated pairs
+  chop client <addrs> <cmd> [...]   talk to a running service/router
   chop format                       describe the spec file format
   chop help                         this text
 
@@ -64,9 +67,25 @@ OPTIONS (serve):
   --journal-snapshot-every <N>
                            compact the journal past N records (0 = never)
                                                                [1024]
+  --replicate-to <host:port>
+                           ship every committed journal record to a warm
+                           standby (snapshot-first on connect)
+  --standby                start as a warm standby: apply the replication
+                           stream, refuse direct mutations until promoted
   SIGINT/SIGTERM drain the server gracefully (journal flushed, exit 0).
 
-CLIENT COMMANDS (chop client [--retry|--retry-ms N] <addr> ...):
+OPTIONS (router):
+  --addr <host:port>       listen address (port 0 = ephemeral) [127.0.0.1:1990]
+  --backend <primary[,standby]>
+                           one replicated backend pair; repeat for more.
+                           Sessions are consistent-hashed over the pairs;
+                           a dead primary fails over to its standby.
+  --health-interval-ms <N> active-backend ping cadence         [500]
+
+CLIENT COMMANDS (chop client [--retry|--retry-ms N] <addrs> ...):
+  <addrs> may be a comma-separated node list (addr1,addr2); the client
+  dials the first that answers and fails over to the next on transport
+  errors when retrying.
   --retry / --retry-ms <N>           retry busy replies and transport
                                      failures (backoff with jitter) for up
                                      to N ms [2000]; mutations are tagged
@@ -80,6 +99,7 @@ CLIENT COMMANDS (chop client [--retry|--retry-ms N] <addr> ...):
   set-constraints <name> --perf <ns> --delay <ns>
   stats [name]
   close <name>
+  promote                            promote a warm standby to primary
   shutdown                           drain the server and exit 0
 
 EXIT CODES:
@@ -152,6 +172,7 @@ pub fn run(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
         Some("dot") => dot(&argv[1..]),
         Some("tasks") => tasks(&parse_options(&argv[1..])?),
         Some("serve") => crate::service::serve(&parse_serve_options(&argv[1..])?),
+        Some("router") => crate::service::router(&parse_router_options(&argv[1..])?),
         Some("client") => crate::service::client(&argv[1..]),
         Some("format") => {
             print!("{FORMAT}");
@@ -668,5 +689,16 @@ mod tests {
         assert!(HELP.contains("--retry"));
         assert!(HELP.contains("set-constraints"));
         assert!(HELP.contains("SIGINT/SIGTERM"));
+    }
+
+    #[test]
+    fn help_lists_replication_and_router() {
+        assert!(HELP.contains("chop router"));
+        assert!(HELP.contains("--replicate-to"));
+        assert!(HELP.contains("--standby"));
+        assert!(HELP.contains("--backend"));
+        assert!(HELP.contains("--health-interval-ms"));
+        assert!(HELP.contains("promote"));
+        assert!(HELP.contains("comma-separated node list"));
     }
 }

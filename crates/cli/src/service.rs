@@ -1,14 +1,14 @@
-//! The `chop serve` and `chop client` subcommands.
+//! The `chop serve`, `chop router` and `chop client` subcommands.
 
 use std::error::Error;
 
 use chop_core::prelude::Heuristic;
 use chop_service::{
-    Client, ExploreParams, OpenParams, Request, Response, RetryPolicy, RunSummary, ServeConfig,
-    Server,
+    BackendSpec, Client, ExploreParams, OpenParams, Request, Response, RetryPolicy, Router,
+    RouterConfig, RunSummary, ServeConfig, Server, DEFAULT_CONNECT_TIMEOUT,
 };
 
-use crate::args::{ArgError, ServeOptions};
+use crate::args::{ArgError, RouterOptions, ServeOptions};
 use crate::commands::RunStatus;
 
 /// Runs the partitioning service until a client sends `shutdown` (or,
@@ -28,6 +28,8 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         jobs,
         state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
         snapshot_every: opts.snapshot_every,
+        standby: opts.standby,
+        replicate_to: opts.replicate_to.clone(),
     };
     let server = Server::bind(opts.addr.as_str(), config)?;
     // The tests (and scripts) parse this line to discover an ephemeral
@@ -37,6 +39,12 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         server.local_addr()?,
         chop_service::PROTOCOL_VERSION
     );
+    if opts.standby {
+        println!("warm standby: refusing direct mutations until promoted");
+    }
+    if let Some(standby) = opts.replicate_to.as_deref() {
+        println!("replicating committed records to {standby}");
+    }
     if let Some(report) = server.recovery_report() {
         println!(
             "recovered {} session(s) from the journal ({} record(s) replayed, {} skipped)",
@@ -61,6 +69,50 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
     Ok(RunStatus::Feasible)
 }
 
+/// Runs the consistent-hashing proxy over replicated backend pairs until
+/// a client sends `shutdown` (or a termination signal arrives).
+///
+/// # Errors
+///
+/// Returns bind/listener failures and malformed `--backend` specs;
+/// per-request failures are answered on the wire.
+pub fn router(opts: &RouterOptions) -> Result<RunStatus, Box<dyn Error>> {
+    let pairs = opts
+        .backends
+        .iter()
+        .map(|spec| BackendSpec::parse(spec))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(ArgError)?;
+    let config = RouterConfig {
+        pairs,
+        health_interval: std::time::Duration::from_millis(opts.health_interval_ms),
+    };
+    let router = Router::bind(opts.addr.as_str(), config)?;
+    // Same contract as the serve banner: tests parse this first line.
+    println!(
+        "chop-router listening on {} (protocol v{})",
+        router.local_addr()?,
+        chop_service::PROTOCOL_VERSION
+    );
+    for backend in &opts.backends {
+        println!("backend pair: {backend}");
+    }
+    #[cfg(unix)]
+    {
+        crate::signals::install();
+        let handle = router.shutdown_handle();
+        std::thread::spawn(move || {
+            while !crate::signals::termination_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            handle.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+    }
+    router.run()?;
+    println!("chop-router drained, exiting");
+    Ok(RunStatus::Feasible)
+}
+
 /// Parses and runs one `chop client <addr> <command…>` invocation.
 ///
 /// # Errors
@@ -74,7 +126,12 @@ pub fn client(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
         return Err(Box::new(ArgError("client needs <addr> <command>".into())));
     };
     let request = parse_client_request(command, rest)?;
-    let mut client = Client::connect(addr.as_str())?;
+    // `<addr>` may be a comma-separated node list: connect to the first
+    // live node, fail over to the next on transport errors while
+    // retrying.
+    let nodes: Vec<String> =
+        addr.split(',').map(str::trim).filter(|a| !a.is_empty()).map(str::to_owned).collect();
+    let mut client = Client::connect_nodes(&nodes, DEFAULT_CONNECT_TIMEOUT)?;
     let response = match retry_budget_ms {
         None => client.request(&request)?,
         Some(ms) => {
@@ -237,6 +294,7 @@ fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<d
             [session] => Ok(Request::Close { session: session.clone() }),
             _ => Err(Box::new(ArgError("close needs <session>".into()))),
         },
+        "promote" => Ok(Request::Promote),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(Box::new(ArgError(format!("unknown client command {other:?}")))),
     }
@@ -299,6 +357,15 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
                  retry in {retry_after_ms} ms (or pass --retry)"
             ))))
         }
+        Response::Promoted { sessions } => {
+            println!("promoted to primary ({sessions} session(s) live)");
+            Ok(RunStatus::Feasible)
+        }
+        Response::ReplAck { seq } => {
+            // Only replication streams see acks; printed for completeness.
+            println!("replication ack through seq {seq}");
+            Ok(RunStatus::Feasible)
+        }
         Response::Error(e) => Err(Box::new(e.clone())),
     }
 }
@@ -360,6 +427,7 @@ mod tests {
             Request::Close { session: "a".into() }
         );
         assert_eq!(parse_client_request("shutdown", &[]).unwrap(), Request::Shutdown);
+        assert_eq!(parse_client_request("promote", &[]).unwrap(), Request::Promote);
         assert_eq!(
             parse_client_request("repartition", &s(&["a", "3:0"])).unwrap(),
             Request::Repartition { session: "a".into(), node: 3, to: 0 }

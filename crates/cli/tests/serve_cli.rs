@@ -190,6 +190,119 @@ fn kill_nine_then_restart_recovers_sessions_and_digests() {
     let _ = std::fs::remove_file(&spec_path);
 }
 
+/// Spawns `chop router` and returns the child plus the address parsed
+/// from its banner (same shape as the serve banner). The stdout reader
+/// must stay alive with the child: dropping it closes the pipe and the
+/// router's next println dies of a broken pipe.
+fn spawn_router(
+    backends: &[&str],
+) -> (std::process::Child, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = chop();
+    cmd.args(["router", "--addr", "127.0.0.1:0", "--health-interval-ms", "200"]);
+    for backend in backends {
+        cmd.args(["--backend", backend]);
+    }
+    let mut router =
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null()).spawn().expect("spawn chop router");
+    let mut stdout = BufReader::new(router.stdout.take().expect("router stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read router banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unparseable router banner: {banner:?}"))
+        .to_owned();
+    (router, addr, stdout)
+}
+
+/// The node-loss drill with real processes: a replicated pair behind
+/// `chop router`, the primary killed with SIGKILL, and the client's next
+/// explore — addressed to the router, never a backend — must return the
+/// digest the primary would have produced, from the promoted standby.
+#[test]
+fn kill_nine_primary_router_promotes_standby_with_identical_digest() {
+    let base = std::env::temp_dir().join(format!("chop-router-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create temp base");
+    let primary_dir = base.join("primary").to_str().expect("utf-8").to_owned();
+    let standby_dir = base.join("standby").to_str().expect("utf-8").to_owned();
+    let spec_path = base.join("spec.cbs");
+    std::fs::write(&spec_path, SPEC).expect("write spec");
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+
+    let (mut standby, standby_addr, _standby_out) =
+        spawn_server(&["--standby", "--state-dir", &standby_dir]);
+    let (mut primary, primary_addr, _primary_out) =
+        spawn_server(&["--replicate-to", &standby_addr, "--state-dir", &primary_dir]);
+    let pair = format!("{primary_addr},{standby_addr}");
+    let (mut router, router_addr, _router_out) = spawn_router(&[&pair]);
+
+    // Open through the router (tagged via --retry) and take the healthy
+    // baseline digest — served by the primary.
+    let output = chop()
+        .args(["client", "--retry", &router_addr, "open", "demo", spec, "--partitions", "2"])
+        .args(["--chips", "2"])
+        .output()
+        .expect("spawn chop client");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let digest_before =
+        digest_line(&client_ok(&router_addr, &["explore", "demo", "--heuristic", "i"]));
+
+    // A standby is read-only until promoted: a direct mutation against it
+    // must be refused with the typed `standby` error.
+    let refused = chop()
+        .args(["client", &standby_addr, "repartition", "demo", "2:0"])
+        .output()
+        .expect("spawn chop client");
+    assert_eq!(refused.status.code(), Some(1), "standby must refuse direct mutations");
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("standby"),
+        "{}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
+
+    // Wait until replication has delivered the session to the standby —
+    // it serves reads, so its stats are visible while unpromoted.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if client_ok(&standby_addr, &["stats"]).contains("demo") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "standby never saw the session");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // SIGKILL the primary: no drain, no goodbye. The router's next
+    // forward hits the dead node, promotes the standby and replays.
+    primary.kill().expect("SIGKILL primary");
+    let _ = primary.wait();
+
+    let explored = chop()
+        .args(["client", "--retry-ms", "20000", &router_addr])
+        .args(["explore", "demo", "--heuristic", "i"])
+        .output()
+        .expect("spawn chop client");
+    assert!(
+        explored.status.success(),
+        "explore after node loss failed: {}",
+        String::from_utf8_lossy(&explored.stderr)
+    );
+    let digest_after = digest_line(&String::from_utf8_lossy(&explored.stdout));
+    assert_eq!(
+        digest_before, digest_after,
+        "promoted standby must explore to the byte-identical digest"
+    );
+
+    // The promoted standby now takes mutations like any primary.
+    assert!(client_ok(&router_addr, &["repartition", "demo", "2:0"]).contains("moved"));
+
+    assert!(client_ok(&router_addr, &["shutdown"]).contains("draining"));
+    assert!(router.wait().expect("wait router").success(), "router must drain to exit 0");
+    assert!(client_ok(&standby_addr, &["shutdown"]).contains("draining"));
+    assert!(standby.wait().expect("wait standby").success());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Extracts the `  digest <hex>` line from `chop client explore` output.
 fn digest_line(explored: &str) -> String {
     explored

@@ -12,6 +12,14 @@
 //! request is idempotent by nature (`!is_mutation()`) or tagged with a
 //! `req_id` the server can deduplicate — retrying an untagged mutation
 //! blind could apply it twice.
+//!
+//! A client may be given several nodes ([`Client::connect_nodes`]): it
+//! connects to the first reachable one and rotates reconnection through
+//! the list on transport failures, so a retried request lands on the next
+//! node when its current one dies. Every dial is bounded by a connect
+//! timeout ([`DEFAULT_CONNECT_TIMEOUT`] unless the policy's
+//! `attempt_timeout` is tighter) — a black-holed peer costs a timeout,
+//! never a hang.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -95,35 +103,122 @@ impl RetryPolicy {
     }
 }
 
-/// One connection speaking the newline-delimited protocol.
+/// Longest a connection attempt may block when nothing tighter is
+/// configured — a black-holed node must trip failover, not hang forever.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One connection speaking the newline-delimited protocol, over a set of
+/// candidate peers: connects to the first reachable one, and rotates to
+/// the next on reconnect after a transport failure.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
-    /// The connected peer, kept so retry can reconnect after a drop.
-    peer: SocketAddr,
+    /// Candidate peers in preference order; `active` indexes the
+    /// currently connected one.
+    peers: Vec<SocketAddr>,
+    active: usize,
+    /// Per-dial bound used when the retry policy has no
+    /// `attempt_timeout` of its own.
+    connect_timeout: Duration,
 }
 
 impl Client {
-    /// Connects to a running `chop serve`.
+    /// Connects to a running `chop serve`, bounding the dial by
+    /// [`DEFAULT_CONNECT_TIMEOUT`].
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true).ok();
-        let peer = writer.peer_addr()?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader, peer })
+        Self::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
     }
 
-    /// Drops the current connection and dials the same peer again.
-    fn reconnect(&mut self) -> Result<(), ClientError> {
-        let writer = TcpStream::connect(self.peer)?;
-        writer.set_nodelay(true).ok();
-        self.reader = BufReader::new(writer.try_clone()?);
-        self.writer = writer;
-        Ok(())
+    /// [`connect`](Self::connect) with an explicit per-dial timeout.
+    /// `addr` may resolve to several peers; each is tried in order.
+    ///
+    /// # Errors
+    ///
+    /// The last dial failure when no peer is reachable.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        Self::connect_peers(addr.to_socket_addrs()?.collect(), timeout)
+    }
+
+    /// Connects to the first reachable of several nodes (each a
+    /// `host:port` string); later transport failures rotate reconnection
+    /// through the whole list — the client-side half of failover.
+    ///
+    /// # Errors
+    ///
+    /// When no address resolves or no resolved peer accepts in time.
+    pub fn connect_nodes(addrs: &[String], timeout: Duration) -> Result<Self, ClientError> {
+        let mut peers = Vec::new();
+        let mut resolve_err = None;
+        for addr in addrs {
+            match addr.to_socket_addrs() {
+                Ok(resolved) => peers.extend(resolved),
+                Err(e) => resolve_err = Some(e),
+            }
+        }
+        if peers.is_empty() {
+            return Err(ClientError::Io(resolve_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses given")
+            })));
+        }
+        Self::connect_peers(peers, timeout)
+    }
+
+    fn connect_peers(peers: Vec<SocketAddr>, timeout: Duration) -> Result<Self, ClientError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for (active, peer) in peers.iter().enumerate() {
+            match TcpStream::connect_timeout(peer, timeout) {
+                Ok(writer) => {
+                    writer.set_nodelay(true).ok();
+                    let reader = BufReader::new(writer.try_clone()?);
+                    return Ok(Self {
+                        writer,
+                        reader,
+                        peers,
+                        active,
+                        connect_timeout: timeout,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
+    /// The peer currently connected.
+    #[must_use]
+    pub fn peer(&self) -> SocketAddr {
+        self.peers[self.active]
+    }
+
+    /// Drops the current connection and redials, starting from the
+    /// current peer and rotating through the rest of the node list.
+    fn reconnect(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for offset in 0..self.peers.len() {
+            let candidate = (self.active + offset) % self.peers.len();
+            match TcpStream::connect_timeout(&self.peers[candidate], timeout) {
+                Ok(writer) => {
+                    writer.set_nodelay(true).ok();
+                    self.reader = BufReader::new(writer.try_clone()?);
+                    self.writer = writer;
+                    self.active = candidate;
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(
+            last_err.unwrap_or_else(|| std::io::Error::other("no peers to reconnect to")),
+        ))
     }
 
     /// Sends one request and blocks for its response. Note that a long
@@ -190,7 +285,8 @@ impl Client {
         loop {
             if broken {
                 // Reconnect failures burn budget like any other attempt.
-                match self.reconnect() {
+                let dial = policy.attempt_timeout.unwrap_or(self.connect_timeout);
+                match self.reconnect(dial) {
                     Ok(()) => broken = false,
                     Err(e) => {
                         if started.elapsed() + jitter.previous() >= policy.max_elapsed {
@@ -343,5 +439,61 @@ mod tests {
         );
         alive.store(false, std::sync::atomic::Ordering::SeqCst);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn connect_nodes_skips_dead_peers() {
+        // A bound-then-dropped listener leaves a port that refuses.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let live_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = live_listener.local_addr().unwrap();
+        let client =
+            Client::connect_nodes(&[dead, live.to_string()], Duration::from_millis(500))
+                .expect("second node is reachable");
+        assert_eq!(client.peer(), live, "the dead first node must be skipped");
+        // No node reachable → the dial error surfaces, promptly.
+        drop(live_listener);
+        let started = Instant::now();
+        let Err(err) = Client::connect_nodes(&[live.to_string()], Duration::from_millis(500))
+        else {
+            panic!("a dropped listener must refuse connections")
+        };
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(2));
+        // An empty list is refused outright.
+        assert!(Client::connect_nodes(&[], Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn retry_reconnects_to_the_next_node_after_a_transport_failure() {
+        // Node A accepts one connection then dies; node B answers pings.
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = [a.local_addr().unwrap().to_string(), b.local_addr().unwrap().to_string()];
+        let a_thread = std::thread::spawn(move || {
+            let (stream, _) = a.accept().unwrap();
+            drop(stream); // immediate hangup, then the listener dies too
+        });
+        let b_thread = std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            let (stream, _) = b.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(matches!(Request::decode(line.trim()), Ok(Request::Ping)));
+            let reply = Response::Pong { version: crate::protocol::PROTOCOL_VERSION }.encode();
+            writeln!(writer, "{reply}").unwrap();
+        });
+        let mut client = Client::connect_nodes(&addrs, Duration::from_millis(500)).unwrap();
+        a_thread.join().unwrap();
+        let policy = RetryPolicy::with_budget_ms(3_000);
+        let response = client.request_with_retry(&Request::Ping, None, &policy).unwrap();
+        assert!(matches!(response, Response::Pong { .. }), "{response:?}");
+        assert_eq!(client.peer().to_string(), addrs[1], "must have failed over to node B");
+        b_thread.join().unwrap();
     }
 }

@@ -20,6 +20,10 @@
 //!   becomes one `internal` error reply, never a dead server.
 //! * **Graceful drain** — the `shutdown` request stops the accept loop,
 //!   lets in-flight work finish and exits cleanly.
+//! * **Warm-standby replication and failover** — `--replicate-to` ships
+//!   every committed journal record to a standby ([`replication`]), and
+//!   `chop router` ([`router`]) consistent-hashes sessions over backend
+//!   pairs, promoting the standby when a primary dies.
 //!
 //! The wire format is hand-rolled JSON ([`json`]) because this workspace
 //! builds offline against a no-op `serde` stub.
@@ -35,13 +39,17 @@ pub mod json;
 pub mod manager;
 mod pool;
 pub mod protocol;
+pub mod replication;
+pub mod router;
 pub mod server;
 
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, RetryPolicy, DEFAULT_CONNECT_TIMEOUT};
 pub use journal::{Journal, JournalEntry, JournalScan};
 pub use manager::{build_session, RecoveryReport, SessionManager};
 pub use protocol::{
     ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
     PROTOCOL_VERSION,
 };
+pub use replication::{ReplEvent, Replicator};
+pub use router::{BackendSpec, HashRing, Router, RouterConfig};
 pub use server::{ServeConfig, Server};

@@ -32,8 +32,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
@@ -48,6 +48,7 @@ use crate::protocol::{
     ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
     PROTOCOL_VERSION,
 };
+use crate::replication::ReplEvent;
 
 /// Most recent `req_id` outcomes remembered per session.
 const DEDUP_PER_SESSION: usize = 32;
@@ -134,8 +135,29 @@ pub struct SessionManager {
     /// The write-ahead log; `None` for a purely in-memory manager.
     /// Lock order: sessions → journal, never the reverse.
     journal: Option<Mutex<Journal>>,
+    /// Gate on [`journal_append`](Self::journal_append): cleared while a
+    /// replicated snapshot replays (the records are re-persisted wholesale
+    /// by the compaction that follows), set everywhere else.
+    journal_armed: AtomicBool,
     generations: AtomicU64,
     default_jobs: usize,
+    /// Warm-standby mode: direct mutations are refused; state arrives
+    /// over the replication stream until [`promote`](Self::promote).
+    standby: AtomicBool,
+    /// Monotonic count of committed mutations — the position a
+    /// replication stream ships records at. Advances only under the
+    /// sessions lock, so emission order equals sequence order.
+    repl_seq: AtomicU64,
+    /// Highest replication sequence number this standby has applied or
+    /// skipped; re-delivered records at or below it are acked, not
+    /// re-applied.
+    repl_high_water: AtomicU64,
+    /// Where committed records are shipped, when a replicator is
+    /// attached. Locked only while already holding the sessions lock.
+    repl_sink: Mutex<Option<mpsc::Sender<ReplEvent>>>,
+    /// Serializes replication applies against each other and against
+    /// promotion, so a promote never interleaves a half-applied snapshot.
+    repl_apply: Mutex<()>,
 }
 
 impl SessionManager {
@@ -148,8 +170,14 @@ impl SessionManager {
             sessions: Mutex::new(HashMap::new()),
             dedup: Mutex::new(DedupWindow::default()),
             journal: None,
+            journal_armed: AtomicBool::new(true),
             generations: AtomicU64::new(0),
             default_jobs: default_jobs.max(1),
+            standby: AtomicBool::new(false),
+            repl_seq: AtomicU64::new(0),
+            repl_high_water: AtomicU64::new(0),
+            repl_sink: Mutex::new(None),
+            repl_apply: Mutex::new(()),
         }
     }
 
@@ -239,8 +267,33 @@ impl SessionManager {
     /// A `req_id`-tagged mutation already in the dedup window is answered
     /// from its recorded outcome without being re-applied; fresh tagged
     /// mutations record their outcome (success *or* failure) for retries.
+    ///
+    /// Replication traffic is routed to its apply paths here, and a warm
+    /// standby refuses every other mutation with [`ErrorKind::Standby`] —
+    /// reads and explores are always served.
     pub fn dispatch_tagged(&self, request: &Request, req_id: Option<&str>) -> Response {
-        let dedup_key = match (req_id, request.is_mutation(), mutation_session(request)) {
+        match request {
+            Request::ReplApply { seq, record } => return self.apply_replicated(*seq, record),
+            Request::ReplSnapshot { seq, records } => {
+                return self.apply_snapshot(*seq, records)
+            }
+            Request::Promote => return Response::Promoted { sessions: self.promote() },
+            _ => {}
+        }
+        if self.is_standby() && request.is_mutation() {
+            return Response::Error(ServiceError::new(
+                ErrorKind::Standby,
+                "this node is a warm standby; send mutations to the primary",
+            ));
+        }
+        self.dispatch_inner(request, req_id)
+    }
+
+    /// The un-guarded dispatch core: dedup window, then the request
+    /// itself. Replication applies call this directly — the records they
+    /// carry are mutations the *primary* already admitted.
+    fn dispatch_inner(&self, request: &Request, req_id: Option<&str>) -> Response {
+        let dedup_key = match (req_id, request.is_mutation(), request.session()) {
             (Some(id), true, Some(session)) => Some((session.to_owned(), id.to_owned())),
             _ => None,
         };
@@ -294,6 +347,14 @@ impl SessionManager {
                 Err(e) => Response::Error(e),
             },
             Request::Shutdown => Response::ShuttingDown,
+            // Replication traffic must not nest inside itself (a record
+            // carrying a record): the wrapper already routed the real
+            // thing, so reaching here means a malformed stream.
+            Request::ReplApply { .. } | Request::ReplSnapshot { .. } | Request::Promote => {
+                Response::Error(ServiceError::protocol(
+                    "replication requests cannot be nested inside records",
+                ))
+            }
         };
         if let Some((session, id)) = dedup_key {
             self.dedup.lock().unwrap_or_else(PoisonError::into_inner).record(
@@ -314,6 +375,9 @@ impl SessionManager {
         request: &Request,
         req_id: Option<&str>,
     ) -> Result<(), ServiceError> {
+        if !self.journal_armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
         if let Some(journal) = &self.journal {
             journal
                 .lock()
@@ -338,6 +402,31 @@ impl SessionManager {
         if !journal.should_compact() {
             return;
         }
+        let snapshot = Self::snapshot_entries(sessions);
+        if let Err(e) = journal.compact(&snapshot) {
+            eprintln!("chop-service: journal compaction failed (will retry later): {e}");
+            return;
+        }
+        drop(journal);
+        // The standby's journal would otherwise keep growing with records
+        // the primary just compacted away: hand the snapshot over so it
+        // can reset to the same baseline.
+        let sink = self.repl_sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sink) = sink.as_ref() {
+            let _ = sink.send(ReplEvent::Snapshot {
+                seq: self.repl_seq.load(Ordering::SeqCst),
+                records: snapshot
+                    .iter()
+                    .map(|e| e.request.encode_tagged(e.req_id.as_deref()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// The genesis-plus-net-mutations history of every live session, in
+    /// sorted-name order — what a compaction writes and a replication
+    /// snapshot ships. Replaying it rebuilds the sessions byte-for-byte.
+    fn snapshot_entries(sessions: &HashMap<String, Managed>) -> Vec<JournalEntry> {
         let mut names: Vec<&String> = sessions.keys().collect();
         names.sort_unstable();
         let mut snapshot = Vec::new();
@@ -352,9 +441,7 @@ impl SessionManager {
             });
             snapshot.extend(managed.mutations.iter().cloned());
         }
-        if let Err(e) = journal.compact(&snapshot) {
-            eprintln!("chop-service: journal compaction failed (will retry later): {e}");
-        }
+        snapshot
     }
 
     /// Opens a named session, returning its partition count.
@@ -389,10 +476,8 @@ impl SessionManager {
                 format!("session {name:?} is already open"),
             ));
         }
-        self.journal_append(
-            &Request::Open { session: name.to_owned(), params: params.clone() },
-            req_id,
-        )?;
+        let request = Request::Open { session: name.to_owned(), params: params.clone() };
+        self.journal_append(&request, req_id)?;
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         sessions.insert(
             name.to_owned(),
@@ -405,6 +490,7 @@ impl SessionManager {
                 mutations: Vec::new(),
             },
         );
+        self.replicate(&request, req_id);
         self.maybe_compact(&sessions);
         Ok(partitions)
     }
@@ -495,6 +581,7 @@ impl SessionManager {
         let request = Request::Repartition { session: name.to_owned(), node, to };
         self.journal_append(&request, req_id)?;
         managed.session = next;
+        self.replicate(&request, req_id);
         managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
         self.maybe_compact(&sessions);
         Ok(())
@@ -544,6 +631,7 @@ impl SessionManager {
             Request::SetConstraints { session: name.to_owned(), performance_ns, delay_ns };
         self.journal_append(&request, req_id)?;
         managed.session = next;
+        self.replicate(&request, req_id);
         managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
         self.maybe_compact(&sessions);
         Ok(())
@@ -586,26 +674,171 @@ impl SessionManager {
         if !sessions.contains_key(name) {
             return Err(unknown_session(name));
         }
-        self.journal_append(&Request::Close { session: name.to_owned() }, req_id)?;
+        let request = Request::Close { session: name.to_owned() };
+        self.journal_append(&request, req_id)?;
         sessions.remove(name);
+        self.replicate(&request, req_id);
         self.maybe_compact(&sessions);
         Ok(())
+    }
+
+    // ---- replication ----------------------------------------------------
+
+    /// Whether this node is a warm standby (refusing direct mutations).
+    #[must_use]
+    pub fn is_standby(&self) -> bool {
+        self.standby.load(Ordering::Acquire)
+    }
+
+    /// Puts this node into warm-standby mode: direct mutations are
+    /// refused until [`promote`](Self::promote); state arrives via
+    /// [`Request::ReplApply`] / [`Request::ReplSnapshot`].
+    pub fn mark_standby(&self) {
+        self.standby.store(true, Ordering::Release);
+    }
+
+    /// Promotes this node to primary (a no-op on one already primary),
+    /// returning the number of live sessions it starts serving with.
+    pub fn promote(&self) -> u64 {
+        let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
+        self.standby.store(false, Ordering::Release);
+        self.session_count() as u64
+    }
+
+    /// The replication high-water mark: the highest stream sequence this
+    /// node has applied or skipped.
+    #[must_use]
+    pub fn replication_high_water(&self) -> u64 {
+        self.repl_high_water.load(Ordering::Acquire)
+    }
+
+    /// Attaches the channel committed mutations are shipped over. One
+    /// replicator per manager; installing a new sink replaces the old.
+    pub fn set_repl_sink(&self, sink: mpsc::Sender<ReplEvent>) {
+        // Taken under the sessions lock so installation serializes with
+        // in-flight commits (same order as `replicate`).
+        let _sessions = self.lock();
+        *self.repl_sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+    }
+
+    /// A consistent snapshot of the full state for stream (re)starts: the
+    /// current replication sequence and the record lines that rebuild
+    /// every live session, taken atomically under the sessions lock.
+    #[must_use]
+    pub fn replication_snapshot(&self) -> (u64, Vec<String>) {
+        let sessions = self.lock();
+        let seq = self.repl_seq.load(Ordering::SeqCst);
+        let records = Self::snapshot_entries(&sessions)
+            .iter()
+            .map(|e| e.request.encode_tagged(e.req_id.as_deref()))
+            .collect();
+        (seq, records)
+    }
+
+    /// Assigns the next stream sequence to a just-committed mutation and
+    /// ships it to the replicator, if one is attached. Called with the
+    /// sessions lock held so sequence order equals emission order.
+    fn replicate(&self, request: &Request, req_id: Option<&str>) {
+        let seq = self.repl_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let sink = self.repl_sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sink) = sink.as_ref() {
+            let _ = sink.send(ReplEvent::Record { seq, line: request.encode_tagged(req_id) });
+        }
+    }
+
+    /// Applies one replicated record on a standby. Records at or below
+    /// the high-water mark are acked without being re-applied, which
+    /// makes stream re-delivery (snapshot overlap, reconnect replays)
+    /// idempotent.
+    fn apply_replicated(&self, seq: u64, record: &str) -> Response {
+        let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
+        if !self.is_standby() {
+            return Response::Error(ServiceError::new(
+                ErrorKind::Standby,
+                "this node is a primary; it does not accept replication records",
+            ));
+        }
+        let high_water = self.repl_high_water.load(Ordering::Acquire);
+        if seq <= high_water {
+            return Response::ReplAck { seq: high_water };
+        }
+        match Request::decode_tagged(record) {
+            Ok((request, req_id)) => {
+                // Through the ordinary dispatch core: the mutation lands
+                // in the standby's own journal (it is crash-safe in its
+                // own right) and its req_id outcome enters the dedup
+                // window, so a client retrying against the promoted
+                // standby gets the recorded answer.
+                if let Response::Error(e) = self.dispatch_inner(&request, req_id.as_deref()) {
+                    eprintln!(
+                        "chop-service: replication: apply of seq {seq} failed: {}",
+                        e.message
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("chop-service: replication: undecodable record at seq {seq}: {e}");
+            }
+        }
+        self.repl_high_water.store(seq, Ordering::Release);
+        self.repl_seq.store(seq, Ordering::SeqCst);
+        Response::ReplAck { seq }
+    }
+
+    /// Replaces the standby's entire state with a shipped snapshot (sent
+    /// on stream start and after primary-side compaction), then compacts
+    /// its own journal down to the same baseline.
+    fn apply_snapshot(&self, seq: u64, records: &[String]) -> Response {
+        let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
+        if !self.is_standby() {
+            return Response::Error(ServiceError::new(
+                ErrorKind::Standby,
+                "this node is a primary; it does not accept replication snapshots",
+            ));
+        }
+        let high_water = self.repl_high_water.load(Ordering::Acquire);
+        if seq < high_water {
+            return Response::ReplAck { seq: high_water };
+        }
+        // Replay with the journal disarmed: the post-replay compaction
+        // persists the same records in one atomic snapshot write.
+        self.journal_armed.store(false, Ordering::Release);
+        self.lock().clear();
+        *self.dedup.lock().unwrap_or_else(PoisonError::into_inner) = DedupWindow::default();
+        for record in records {
+            match Request::decode_tagged(record) {
+                Ok((request, req_id)) => {
+                    if let Response::Error(e) = self.dispatch_inner(&request, req_id.as_deref())
+                    {
+                        eprintln!(
+                            "chop-service: replication: snapshot replay failed: {}",
+                            e.message
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("chop-service: replication: undecodable snapshot record: {e}");
+                }
+            }
+        }
+        self.journal_armed.store(true, Ordering::Release);
+        if let Some(journal) = &self.journal {
+            let sessions = self.lock();
+            let snapshot = Self::snapshot_entries(&sessions);
+            if let Err(e) =
+                journal.lock().unwrap_or_else(PoisonError::into_inner).compact(&snapshot)
+            {
+                eprintln!("chop-service: replication: snapshot persist failed: {e}");
+            }
+        }
+        self.repl_high_water.store(seq, Ordering::Release);
+        self.repl_seq.store(seq, Ordering::SeqCst);
+        Response::ReplAck { seq }
     }
 }
 
 fn unknown_session(name: &str) -> ServiceError {
     ServiceError::new(ErrorKind::UnknownSession, format!("no open session named {name:?}"))
-}
-
-/// The session a mutating request targets (used as the dedup-window key).
-fn mutation_session(request: &Request) -> Option<&str> {
-    match request {
-        Request::Open { session, .. }
-        | Request::Repartition { session, .. }
-        | Request::SetConstraints { session, .. }
-        | Request::Close { session } => Some(session),
-        _ => None,
-    }
 }
 
 /// Builds a core [`Session`] from wire parameters, mirroring the `chop
@@ -987,5 +1220,120 @@ mod tests {
             mgr.dispatch(&Request::Close { session: "d".into() }),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn standby_refuses_direct_mutations_but_serves_reads() {
+        let standby = SessionManager::new(1);
+        standby.mark_standby();
+        assert!(standby.is_standby());
+        let open = Request::Open { session: "s".into(), params: open_params(2) };
+        let Response::Error(e) = standby.dispatch(&open) else { panic!("mutation allowed") };
+        assert_eq!(e.kind, ErrorKind::Standby);
+        // Reads are served; explores on replicated sessions too.
+        assert!(matches!(
+            standby.dispatch(&Request::Stats { session: None }),
+            Response::Stats { .. }
+        ));
+        let record = open.encode_tagged(None);
+        assert_eq!(
+            standby.dispatch(&Request::ReplApply { seq: 1, record }),
+            Response::ReplAck { seq: 1 }
+        );
+        assert!(matches!(
+            standby.dispatch(&Request::Explore {
+                session: "s".into(),
+                params: ExploreParams::default(),
+            }),
+            Response::Explored { .. }
+        ));
+    }
+
+    #[test]
+    fn replicated_records_ack_idempotently_below_the_high_water_mark() {
+        let standby = SessionManager::new(1);
+        standby.mark_standby();
+        let open = Request::Open { session: "s".into(), params: open_params(2) };
+        let record = open.encode_tagged(Some("open-1"));
+        assert_eq!(
+            standby.dispatch(&Request::ReplApply { seq: 3, record: record.clone() }),
+            Response::ReplAck { seq: 3 }
+        );
+        assert_eq!(standby.replication_high_water(), 3);
+        // Re-delivery of the same (or an earlier) seq is acked, not
+        // re-applied — no SessionExists noise, state untouched.
+        assert_eq!(
+            standby.dispatch(&Request::ReplApply { seq: 3, record }),
+            Response::ReplAck { seq: 3 }
+        );
+        assert_eq!(standby.session_count(), 1);
+        // A primary refuses replication traffic outright.
+        let primary = SessionManager::new(1);
+        let Response::Error(e) =
+            primary.dispatch(&Request::ReplApply { seq: 1, record: String::new() })
+        else {
+            panic!("primary accepted a replication record")
+        };
+        assert_eq!(e.kind, ErrorKind::Standby);
+    }
+
+    #[test]
+    fn snapshot_apply_replaces_state_and_promote_flips_the_role() {
+        let standby = SessionManager::new(1);
+        standby.mark_standby();
+        let stale = Request::Open { session: "stale".into(), params: open_params(1) };
+        standby.dispatch(&Request::ReplApply { seq: 1, record: stale.encode() });
+        let fresh = Request::Open { session: "fresh".into(), params: open_params(2) };
+        assert_eq!(
+            standby.dispatch(&Request::ReplSnapshot {
+                seq: 5,
+                records: vec![fresh.encode_tagged(Some("open-fresh"))],
+            }),
+            Response::ReplAck { seq: 5 }
+        );
+        let (names, _, _) = standby.stats(None).unwrap();
+        assert_eq!(names, vec!["fresh".to_owned()], "snapshot replaces, not merges");
+        assert_eq!(standby.replication_high_water(), 5);
+        // Promote: mutations flow directly, and a client retrying the
+        // replicated open's req_id gets the recorded outcome.
+        assert_eq!(standby.dispatch(&Request::Promote), Response::Promoted { sessions: 1 });
+        assert!(!standby.is_standby());
+        assert_eq!(
+            standby.dispatch_tagged(&fresh, Some("open-fresh")),
+            Response::Opened { session: "fresh".into(), partitions: 2 }
+        );
+        standby.repartition("fresh", 3, 0).unwrap();
+    }
+
+    #[test]
+    fn committed_mutations_ship_in_sequence_order() {
+        let mgr = SessionManager::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        mgr.set_repl_sink(tx);
+        mgr.open("a", &open_params(2)).unwrap();
+        mgr.repartition("a", 3, 0).unwrap();
+        // A refused mutation ships nothing.
+        assert!(mgr.open("a", &open_params(2)).is_err());
+        mgr.close("a").unwrap();
+        let events: Vec<ReplEvent> = rx.try_iter().collect();
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                ReplEvent::Record { seq, .. } | ReplEvent::Snapshot { seq, .. } => *seq,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3], "one event per commit, in order: {events:?}");
+        // Shipping a record stream into a standby reproduces the state
+        // machine: the final close leaves it empty.
+        let standby = SessionManager::new(1);
+        standby.mark_standby();
+        for event in events {
+            let ReplEvent::Record { seq, line } = event else { panic!("unexpected snapshot") };
+            assert_eq!(
+                standby.dispatch(&Request::ReplApply { seq, record: line }),
+                Response::ReplAck { seq }
+            );
+        }
+        assert_eq!(standby.session_count(), 0);
     }
 }

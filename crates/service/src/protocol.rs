@@ -46,6 +46,10 @@ pub enum ErrorKind {
     Engine,
     /// The server malfunctioned (a handler panicked, a worker vanished).
     Internal,
+    /// The node's replication role refused the request: a warm standby
+    /// refuses direct mutations (they must arrive over the replication
+    /// stream), and a primary refuses replication records.
+    Standby,
 }
 
 impl ErrorKind {
@@ -57,6 +61,7 @@ impl ErrorKind {
             ErrorKind::Spec => "spec",
             ErrorKind::Engine => "engine",
             ErrorKind::Internal => "internal",
+            ErrorKind::Standby => "standby",
         }
     }
 
@@ -68,6 +73,7 @@ impl ErrorKind {
             "spec" => ErrorKind::Spec,
             "engine" => ErrorKind::Engine,
             "internal" => ErrorKind::Internal,
+            "standby" => ErrorKind::Standby,
             _ => return None,
         })
     }
@@ -217,6 +223,26 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Replication: apply one committed journal record on a standby.
+    /// `record` is the exact tagged request line the primary journaled;
+    /// `seq` is the primary's monotonic replication sequence number.
+    ReplApply {
+        /// Position of this record in the primary's replication stream.
+        seq: u64,
+        /// The journaled request line, verbatim.
+        record: String,
+    },
+    /// Replication: replace the standby's entire state with a snapshot
+    /// (sent on stream start and after primary-side compaction).
+    ReplSnapshot {
+        /// Replication sequence number the snapshot is current through.
+        seq: u64,
+        /// One journaled request line per record, in replay order.
+        records: Vec<String>,
+    },
+    /// Promote a warm standby to primary: it starts accepting direct
+    /// mutations and stops accepting replication records. Idempotent.
+    Promote,
 }
 
 /// A condensed [`SearchOutcome`]: the digest plus the counters a client
@@ -329,6 +355,17 @@ pub enum Response {
     },
     /// The server acknowledged `shutdown` and is draining.
     ShuttingDown,
+    /// A replication record or snapshot was applied; the standby's
+    /// high-water mark is now at least `seq`.
+    ReplAck {
+        /// Highest replication sequence number applied or skipped.
+        seq: u64,
+    },
+    /// The standby was promoted (or already was primary).
+    Promoted {
+        /// Sessions live on the newly-promoted node.
+        sessions: u64,
+    },
     /// The worker pool is saturated; retry later.
     Busy {
         /// Explorations queued or running.
@@ -469,6 +506,26 @@ impl Request {
         )
     }
 
+    /// The session this request targets, if any — the router's sharding
+    /// key. Sessionless requests (`ping`, global `stats`, replication
+    /// traffic) return `None` and may be answered by any backend.
+    #[must_use]
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Open { session, .. }
+            | Request::Explore { session, .. }
+            | Request::Repartition { session, .. }
+            | Request::SetConstraints { session, .. }
+            | Request::Close { session } => Some(session),
+            Request::Stats { session } => session.as_deref(),
+            Request::Ping
+            | Request::Shutdown
+            | Request::ReplApply { .. }
+            | Request::ReplSnapshot { .. }
+            | Request::Promote => None,
+        }
+    }
+
     /// Encodes this request as one line of JSON (no trailing newline).
     #[must_use]
     pub fn encode(&self) -> String {
@@ -548,6 +605,21 @@ impl Request {
                 envelope("close", vec![("session", Value::Str(session.clone()))])
             }
             Request::Shutdown => envelope("shutdown", vec![]),
+            Request::ReplApply { seq, record } => envelope(
+                "repl_apply",
+                vec![("seq", Value::Num(*seq as f64)), ("record", Value::Str(record.clone()))],
+            ),
+            Request::ReplSnapshot { seq, records } => envelope(
+                "repl_snapshot",
+                vec![
+                    ("seq", Value::Num(*seq as f64)),
+                    (
+                        "records",
+                        Value::Arr(records.iter().map(|r| Value::Str(r.clone())).collect()),
+                    ),
+                ],
+            ),
+            Request::Promote => envelope("promote", vec![]),
         };
         value
     }
@@ -630,6 +702,26 @@ impl Request {
             "stats" => Ok(Request::Stats { session: opt_field(v, "session", str_field)? }),
             "close" => Ok(Request::Close { session: str_field(v, "session")? }),
             "shutdown" => Ok(Request::Shutdown),
+            "repl_apply" => Ok(Request::ReplApply {
+                seq: u64_field(v, "seq")?,
+                record: str_field(v, "record")?,
+            }),
+            "repl_snapshot" => {
+                let records = field(v, "records")?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        ServiceError::protocol("field \"records\" must be an array")
+                    })?
+                    .iter()
+                    .map(|r| {
+                        r.as_str().map(str::to_owned).ok_or_else(|| {
+                            ServiceError::protocol("snapshot records must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::ReplSnapshot { seq: u64_field(v, "seq")?, records })
+            }
+            "promote" => Ok(Request::Promote),
             other => Err(ServiceError::protocol(format!("unknown request type {other:?}"))),
         }
     }
@@ -750,6 +842,12 @@ impl Response {
                 envelope("closed", vec![("session", Value::Str(session.clone()))])
             }
             Response::ShuttingDown => envelope("shutting_down", vec![]),
+            Response::ReplAck { seq } => {
+                envelope("repl_ack", vec![("seq", Value::Num(*seq as f64))])
+            }
+            Response::Promoted { sessions } => {
+                envelope("promoted", vec![("sessions", Value::Num(*sessions as f64))])
+            }
             Response::Busy { inflight, max_inflight, retry_after_ms } => envelope(
                 "busy",
                 vec![
@@ -822,6 +920,8 @@ impl Response {
             }
             "closed" => Ok(Response::Closed { session: str_field(&v, "session")? }),
             "shutting_down" => Ok(Response::ShuttingDown),
+            "repl_ack" => Ok(Response::ReplAck { seq: u64_field(&v, "seq")? }),
+            "promoted" => Ok(Response::Promoted { sessions: u64_field(&v, "sessions")? }),
             "busy" => Ok(Response::Busy {
                 inflight: u64_field(&v, "inflight")?,
                 max_inflight: u64_field(&v, "max_inflight")?,
@@ -876,6 +976,16 @@ mod tests {
             Request::Stats { session: Some("a".into()) },
             Request::Close { session: "a".into() },
             Request::Shutdown,
+            Request::ReplApply {
+                seq: 7,
+                record: r#"{"v":1,"type":"close","session":"a"}"#.into(),
+            },
+            Request::ReplSnapshot {
+                seq: 12,
+                records: vec![r#"{"v":1,"type":"close","session":"a"}"#.into()],
+            },
+            Request::ReplSnapshot { seq: 0, records: vec![] },
+            Request::Promote,
         ];
         for req in reqs {
             let line = req.encode();
@@ -926,9 +1036,37 @@ mod tests {
             Request::Explore { session: "s".into(), params: ExploreParams::default() },
             Request::Stats { session: None },
             Request::Shutdown,
+            // Replication traffic carries mutations *inside* records, but
+            // the carrier itself is seq-idempotent, never journaled as-is.
+            Request::ReplApply { seq: 1, record: String::new() },
+            Request::ReplSnapshot { seq: 1, records: vec![] },
+            Request::Promote,
         ] {
             assert!(!read_only.is_mutation(), "{read_only:?}");
         }
+    }
+
+    #[test]
+    fn session_routing_key_covers_every_variant() {
+        assert_eq!(
+            Request::Open { session: "s".into(), params: OpenParams::default() }.session(),
+            Some("s")
+        );
+        assert_eq!(
+            Request::Explore { session: "s".into(), params: ExploreParams::default() }
+                .session(),
+            Some("s")
+        );
+        assert_eq!(
+            Request::Repartition { session: "s".into(), node: 0, to: 0 }.session(),
+            Some("s")
+        );
+        assert_eq!(Request::Close { session: "s".into() }.session(), Some("s"));
+        assert_eq!(Request::Stats { session: Some("s".into()) }.session(), Some("s"));
+        assert_eq!(Request::Stats { session: None }.session(), None);
+        assert_eq!(Request::Ping.session(), None);
+        assert_eq!(Request::Shutdown.session(), None);
+        assert_eq!(Request::Promote.session(), None);
     }
 
     #[test]
@@ -999,8 +1137,11 @@ mod tests {
             Response::Stats { sessions: vec![], cache: CacheStats::default(), last_run: None },
             Response::Closed { session: "a".into() },
             Response::ShuttingDown,
+            Response::ReplAck { seq: 99 },
+            Response::Promoted { sessions: 3 },
             Response::Busy { inflight: 8, max_inflight: 8, retry_after_ms: 75 },
             Response::Error(ServiceError::new(ErrorKind::UnknownSession, "no session \"z\"")),
+            Response::Error(ServiceError::new(ErrorKind::Standby, "standby refuses mutations")),
         ];
         for resp in resps {
             let line = resp.encode();

@@ -1,0 +1,621 @@
+//! `chop router` — a thin consistent-hashing proxy over replicated
+//! backend pairs.
+//!
+//! The router owns no session state. It hashes each request's session
+//! name onto one of N backend *pairs* (a primary `chop serve
+//! --replicate-to` plus its warm standby) with a [`HashRing`], forwards
+//! the request to the pair's active node, and relays the reply. Two
+//! things make a dead node survivable:
+//!
+//! * **Failover** — when the active node stops answering (a forwarded
+//!   request fails, or the health loop misses [`HEALTH_STRIKES`]
+//!   consecutive pings), the router promotes the pair's standby with
+//!   [`Request::Promote`] and re-points the pair at it.
+//! * **Exactly-once retry** — a request that died with its backend is
+//!   re-sent to the promoted standby only when that is safe: reads and
+//!   explores always (re-running is pure), mutations only when tagged
+//!   with a `req_id` (replication delivered the primary's dedup window to
+//!   the standby, so a retry of an already-committed mutation is answered
+//!   from the recorded outcome, not applied twice). An untagged mutation
+//!   gets a typed error instead of a blind, possibly-double apply.
+//!
+//! The ring uses unseeded FNV-1a over `"label#vnode"` strings, so
+//! assignment is deterministic across router restarts, and removing a
+//! pair remaps only the sessions that lived on it (verified by proptests
+//! in `tests/ring_props.rs`).
+
+use std::collections::HashMap;
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::protocol::{ErrorKind, Request, Response, ServiceError};
+
+/// Virtual nodes per backend pair on the ring: enough to spread sessions
+/// evenly across a handful of pairs without a noticeable ring.
+const VNODES_PER_PAIR: usize = 64;
+/// Consecutive failed health pings before the health loop fails a pair
+/// over (a forwarded request failing trips failover immediately).
+const HEALTH_STRIKES: u32 = 2;
+/// Dial bound for backend connections — a dead node must fail fast.
+const BACKEND_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Per-ping budget for the health loop.
+const HEALTH_PING_BUDGET_MS: u64 = 500;
+/// Retry budget for the `promote` call during failover (the standby is
+/// alive but may be mid-apply).
+const PROMOTE_BUDGET_MS: u64 = 2_000;
+/// How long blocked reads and accept polls wait before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Maximum bytes one request line may occupy (mirrors the server's cap).
+const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// FNV-1a 64-bit with an avalanche finalizer. Unseeded on purpose: ring
+/// placement must be identical across process restarts for router
+/// failover to be transparent. Raw FNV clusters similar short strings
+/// ("addr#0", "addr#1", …) into nearby hashes, which starves ring
+/// positions; the final mix spreads them uniformly.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring: each label contributes `vnodes` points, keys
+/// land on the first point clockwise from their own hash.
+pub struct HashRing {
+    labels: Vec<String>,
+    /// `(point hash, label index)`, sorted by hash.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per label. Order of `labels`
+    /// does not affect placement (points are positioned by hash alone),
+    /// but [`assign`](Self::assign) returns indices into it.
+    #[must_use]
+    pub fn new(labels: Vec<String>, vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(labels.len() * vnodes.max(1));
+        for (index, label) in labels.iter().enumerate() {
+            for vnode in 0..vnodes.max(1) {
+                #[allow(clippy::cast_possible_truncation)]
+                points.push((fnv1a(format!("{label}#{vnode}").as_bytes()), index as u32));
+            }
+        }
+        points.sort_unstable();
+        Self { labels, points }
+    }
+
+    /// The label index `key` lands on; `None` for an empty ring.
+    #[must_use]
+    pub fn assign(&self, key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = fnv1a(key.as_bytes());
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, index) = self.points[if at == self.points.len() { 0 } else { at }];
+        Some(index as usize)
+    }
+
+    /// The label `key` lands on; `None` for an empty ring.
+    #[must_use]
+    pub fn assign_label(&self, key: &str) -> Option<&str> {
+        self.assign(key).map(|i| self.labels[i].as_str())
+    }
+
+    /// The labels this ring was built over, in construction order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// One replicated backend pair, as configured on the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// The primary's `host:port`.
+    pub primary: String,
+    /// Its warm standby's `host:port`, if the pair has one.
+    pub standby: Option<String>,
+}
+
+impl BackendSpec {
+    /// Parses `primary[,standby]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an empty or over-split spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(',').map(str::trim);
+        let primary = parts.next().unwrap_or_default();
+        if primary.is_empty() {
+            return Err(format!("backend pair {spec:?} has no primary address"));
+        }
+        let standby = parts.next().map(str::to_owned).filter(|s| !s.is_empty());
+        if parts.next().is_some() {
+            return Err(format!("backend pair {spec:?} has more than two addresses"));
+        }
+        Ok(Self { primary: primary.to_owned(), standby })
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// The backend pairs sessions are sharded over.
+    pub pairs: Vec<BackendSpec>,
+    /// Health-check cadence for active backends.
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { pairs: Vec::new(), health_interval: Duration::from_millis(500) }
+    }
+}
+
+/// Which node of a pair is live, and how the health loop is feeling
+/// about it.
+struct PairState {
+    /// The address requests are forwarded to.
+    active: String,
+    /// Set once the standby has been promoted — after that the pair has
+    /// no further failover target.
+    promoted: bool,
+    /// Consecutive failed health pings against `active`.
+    strikes: u32,
+}
+
+/// One pair plus its mutable state. The mutex serializes failover:
+/// however many request threads and the health loop notice a death at
+/// once, exactly one `promote` is sent.
+struct Pair {
+    spec: BackendSpec,
+    state: Mutex<PairState>,
+}
+
+impl Pair {
+    fn new(spec: BackendSpec) -> Self {
+        let active = spec.primary.clone();
+        Self { spec, state: Mutex::new(PairState { active, promoted: false, strikes: 0 }) }
+    }
+
+    fn active(&self) -> String {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).active.clone()
+    }
+
+    /// Fails the pair over *away from* `failed`: promotes the standby
+    /// and re-points the pair at it. Returns the address now active, or
+    /// `None` when the pair is out of nodes. Idempotent — a concurrent
+    /// caller that lost the race just gets the already-promoted address.
+    fn fail_over(&self, failed: &str) -> Option<String> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.active != failed {
+            // Someone already failed over; the new active is the answer.
+            return Some(state.active.clone());
+        }
+        if state.promoted {
+            return None; // the standby died too
+        }
+        let standby = self.spec.standby.as_ref()?;
+        match promote(standby) {
+            Ok(sessions) => {
+                eprintln!(
+                    "chop-router: backend {failed} is down; promoted standby {standby} \
+                     ({sessions} sessions)"
+                );
+                state.active = standby.clone();
+                state.promoted = true;
+                state.strikes = 0;
+                Some(state.active.clone())
+            }
+            Err(e) => {
+                eprintln!("chop-router: failed to promote standby {standby}: {e}");
+                None
+            }
+        }
+    }
+}
+
+/// Sends `promote` to a standby, returning its session count.
+fn promote(addr: &str) -> Result<u64, ClientError> {
+    let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
+    let policy = RetryPolicy::with_budget_ms(PROMOTE_BUDGET_MS);
+    match client.request_with_retry(&Request::Promote, None, &policy)? {
+        Response::Promoted { sessions } => Ok(sessions),
+        other => Err(ClientError::Protocol(ServiceError::protocol(format!(
+            "unexpected promote reply: {}",
+            other.encode()
+        )))),
+    }
+}
+
+/// Everything the connection and health threads share.
+struct RouterState {
+    ring: HashRing,
+    pairs: Vec<Pair>,
+}
+
+/// A bound, not-yet-running router instance.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    shutdown: Arc<AtomicBool>,
+    health_interval: Duration,
+}
+
+impl Router {
+    /// Binds the router's listener. Pass port 0 to let the OS pick.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, or `InvalidInput` for an empty pair list.
+    pub fn bind(addr: impl ToSocketAddrs, config: RouterConfig) -> std::io::Result<Self> {
+        if config.pairs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one backend pair",
+            ));
+        }
+        // Pairs are labeled by their primary address: stable across
+        // router restarts no matter which node of the pair is active.
+        let labels = config.pairs.iter().map(|p| p.primary.clone()).collect();
+        let state = RouterState {
+            ring: HashRing::new(labels, VNODES_PER_PAIR),
+            pairs: config.pairs.into_iter().map(Pair::new).collect(),
+        };
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(state),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            health_interval: config.health_interval,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag, for embedders; the wire `shutdown` request sets
+    /// the same flag.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Proxies until a `shutdown` request (which the router answers
+    /// itself — it is not forwarded to the backends).
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let health = {
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&self.shutdown);
+            let interval = self.health_interval;
+            std::thread::Builder::new()
+                .name("chop-router-health".into())
+                .spawn(move || health_loop(&state, &shutdown, interval))
+                .expect("failed to spawn health thread")
+        };
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    connections.retain(|h| !h.is_finished());
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(stream, &state, &shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        let _ = health.join();
+        Ok(())
+    }
+}
+
+/// Pings every pair's active node once per interval; [`HEALTH_STRIKES`]
+/// consecutive misses fail the pair over without waiting for a client
+/// request to trip on the dead node.
+fn health_loop(state: &RouterState, shutdown: &AtomicBool, interval: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        // Sleep in poll-sized steps so shutdown stays responsive.
+        let mut remaining = interval;
+        while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
+            let step = remaining.min(POLL_INTERVAL);
+            std::thread::sleep(step);
+            remaining = remaining.saturating_sub(step);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for pair in &state.pairs {
+            let addr = pair.active();
+            if ping(&addr).is_ok() {
+                pair.state.lock().unwrap_or_else(PoisonError::into_inner).strikes = 0;
+                continue;
+            }
+            let strikes = {
+                let mut st = pair.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.active != addr {
+                    continue; // a request thread already failed over
+                }
+                st.strikes += 1;
+                st.strikes
+            };
+            if strikes >= HEALTH_STRIKES {
+                let _ = pair.fail_over(&addr);
+            }
+        }
+    }
+}
+
+fn ping(addr: &str) -> Result<(), ClientError> {
+    let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
+    let policy = RetryPolicy {
+        attempt_timeout: Some(Duration::from_millis(HEALTH_PING_BUDGET_MS)),
+        ..RetryPolicy::with_budget_ms(HEALTH_PING_BUDGET_MS)
+    };
+    match client.request_with_retry(&Request::Ping, None, &policy)? {
+        Response::Pong { .. } => Ok(()),
+        other => Err(ClientError::Protocol(ServiceError::protocol(format!(
+            "unexpected ping reply: {}",
+            other.encode()
+        )))),
+    }
+}
+
+/// Per-connection cache of backend connections: pair index → the address
+/// it was dialed for and the live client.
+type BackendConns = HashMap<usize, (String, Client)>;
+
+/// Reads newline-delimited requests off one client socket, forwarding
+/// each to its pair's active backend. Mirrors the server's framing:
+/// oversized and truncated lines get a typed `protocol` error before the
+/// close.
+fn handle_connection(stream: TcpStream, state: &RouterState, shutdown: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = stream;
+    let mut conns: BackendConns = HashMap::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let refuse = |writer: &mut TcpStream, message: String| {
+        let mut out = Response::Error(ServiceError::new(ErrorKind::Protocol, message)).encode();
+        out.push('\n');
+        let _ = writer.write_all(out.as_bytes());
+        let _ = writer.flush();
+    };
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            if line.len() > MAX_LINE_BYTES {
+                refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                return;
+            }
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let response = respond(text, state, &mut conns, shutdown);
+            let mut out = response.encode();
+            out.push('\n');
+            if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            return;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    refuse(
+                        &mut writer,
+                        format!(
+                            "truncated request: EOF after {} bytes with no newline",
+                            buf.len()
+                        ),
+                    );
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes one line and routes it: `shutdown` stops the router itself;
+/// everything else is forwarded to the session's pair, with
+/// promote-and-retry on backend death.
+fn respond(
+    line: &str,
+    state: &RouterState,
+    conns: &mut BackendConns,
+    shutdown: &AtomicBool,
+) -> Response {
+    let (request, req_id) = match Request::decode_tagged(line) {
+        Ok(decoded) => decoded,
+        Err(e) => return Response::Error(e),
+    };
+    if matches!(request, Request::Shutdown) {
+        shutdown.store(true, Ordering::SeqCst);
+        return Response::ShuttingDown;
+    }
+    forward(state, conns, &request, req_id.as_deref())
+}
+
+fn forward(
+    state: &RouterState,
+    conns: &mut BackendConns,
+    request: &Request,
+    req_id: Option<&str>,
+) -> Response {
+    let key = request.session().unwrap_or("");
+    let Some(index) = state.ring.assign(key) else {
+        return Response::Error(ServiceError::new(ErrorKind::Internal, "empty backend ring"));
+    };
+    let pair = &state.pairs[index];
+    let active = pair.active();
+    match send_via(conns, index, &active, request, req_id) {
+        Ok(response) => response,
+        Err(first_err) => {
+            conns.remove(&index);
+            let Some(next) = pair.fail_over(&active) else {
+                return Response::Error(ServiceError::new(
+                    ErrorKind::Internal,
+                    format!("no live backend for this session: {first_err}"),
+                ));
+            };
+            // The request died with its backend. Replaying it on the
+            // promoted standby is exactly-once only for reads/explores
+            // (pure) and req_id-tagged mutations (answered from the
+            // replicated dedup window if already applied).
+            if request.is_mutation() && req_id.is_none() {
+                return Response::Error(ServiceError::new(
+                    ErrorKind::Internal,
+                    "backend died mid-request; an untagged mutation cannot be retried \
+                     safely — tag it with a req_id and resend",
+                ));
+            }
+            match send_via(conns, index, &next, request, req_id) {
+                Ok(response) => response,
+                Err(e) => {
+                    conns.remove(&index);
+                    Response::Error(ServiceError::new(
+                        ErrorKind::Internal,
+                        format!("backend failed over but the standby did not answer: {e}"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Sends one request over the cached connection for `index`, dialing (or
+/// re-dialing, when the active address changed) as needed.
+fn send_via(
+    conns: &mut BackendConns,
+    index: usize,
+    addr: &str,
+    request: &Request,
+    req_id: Option<&str>,
+) -> Result<Response, ClientError> {
+    let stale = conns.get(&index).is_none_or(|(dialed, _)| dialed != addr);
+    if stale {
+        let client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
+        conns.insert(index, (addr.to_owned(), client));
+    }
+    let (_, client) = conns.get_mut(&index).expect("connection just ensured");
+    client.request_tagged(request, req_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_assignment_is_deterministic_and_total() {
+        let labels = vec!["a:1".to_owned(), "b:2".to_owned(), "c:3".to_owned()];
+        let ring = HashRing::new(labels.clone(), 64);
+        let again = HashRing::new(labels, 64);
+        for key in ["", "alpha", "beta", "a-very-long-session-name-with-dashes"] {
+            let index = ring.assign(key).expect("non-empty ring");
+            assert!(index < 3);
+            assert_eq!(again.assign(key), Some(index), "placement must be reproducible");
+        }
+        assert!(HashRing::new(Vec::new(), 64).assign("x").is_none());
+    }
+
+    #[test]
+    fn ring_spreads_sessions_across_pairs() {
+        let labels: Vec<String> = (0..4).map(|i| format!("node{i}:1991")).collect();
+        let ring = HashRing::new(labels, 64);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.assign(&format!("session-{i}")).unwrap()] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 100,
+                "pair {i} got {count}/1000 sessions — ring is badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_spec_parses_pairs() {
+        assert_eq!(
+            BackendSpec::parse("127.0.0.1:1991,127.0.0.1:1992").unwrap(),
+            BackendSpec {
+                primary: "127.0.0.1:1991".into(),
+                standby: Some("127.0.0.1:1992".into()),
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("127.0.0.1:1991").unwrap(),
+            BackendSpec { primary: "127.0.0.1:1991".into(), standby: None }
+        );
+        assert!(BackendSpec::parse("").is_err());
+        assert!(BackendSpec::parse("a,b,c").is_err());
+        assert!(BackendSpec::parse(",b").is_err());
+    }
+
+    #[test]
+    fn fail_over_is_idempotent_and_terminal_without_a_standby() {
+        let pair = Pair::new(BackendSpec { primary: "10.0.0.1:1".into(), standby: None });
+        assert_eq!(pair.active(), "10.0.0.1:1");
+        assert!(pair.fail_over("10.0.0.1:1").is_none(), "no standby, nowhere to go");
+        // A caller holding a stale address learns the current active.
+        let pair = Pair::new(BackendSpec { primary: "10.0.0.1:1".into(), standby: None });
+        {
+            let mut st = pair.state.lock().unwrap();
+            st.active = "10.0.0.2:1".into();
+            st.promoted = true;
+        }
+        assert_eq!(pair.fail_over("10.0.0.1:1"), Some("10.0.0.2:1".into()));
+        assert!(pair.fail_over("10.0.0.2:1").is_none(), "the standby died too");
+    }
+}

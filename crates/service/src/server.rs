@@ -39,6 +39,7 @@ use std::time::Duration;
 use crate::manager::{RecoveryReport, SessionManager};
 use crate::pool::WorkerPool;
 use crate::protocol::{ErrorKind, Request, Response, ServiceError};
+use crate::replication::Replicator;
 
 /// How long blocked reads and accept polls wait before re-checking the
 /// shutdown flag.
@@ -66,11 +67,25 @@ pub struct ServeConfig {
     /// Journal records tolerated before a compaction snapshot rewrites
     /// the log down to the live sessions. 0 disables compaction.
     pub snapshot_every: usize,
+    /// Run as a warm standby: refuse direct mutations, accept state over
+    /// the replication stream until promoted.
+    pub standby: bool,
+    /// Ship every committed mutation to the standby at this `host:port`
+    /// address (the primary half of a replicated pair).
+    pub replicate_to: Option<String>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 4, max_inflight: 64, jobs: 1, state_dir: None, snapshot_every: 1024 }
+        Self {
+            workers: 4,
+            max_inflight: 64,
+            jobs: 1,
+            state_dir: None,
+            snapshot_every: 1024,
+            standby: false,
+            replicate_to: None,
+        }
     }
 }
 
@@ -81,6 +96,11 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     config: ServeConfig,
     recovery: Option<RecoveryReport>,
+    /// Chaos-only "power cord": when set, the accept loop severs every
+    /// connection and returns immediately — no drain, no journal
+    /// ceremony — simulating `kill -9` inside one test process.
+    #[cfg(feature = "fault-inject")]
+    kill: Arc<AtomicBool>,
 }
 
 /// Everything a connection thread needs, cloned per connection.
@@ -109,12 +129,17 @@ impl Server {
                 (manager, Some(report))
             }
         };
+        if config.standby {
+            manager.mark_standby();
+        }
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             manager: Arc::new(manager),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
             recovery,
+            #[cfg(feature = "fault-inject")]
+            kill: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -148,6 +173,15 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
+    /// The chaos kill switch (chaos tests only): storing `true` makes
+    /// [`run`](Server::run) sever every live connection and return
+    /// without draining — the in-process equivalent of `kill -9`.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn kill_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.kill)
+    }
+
     /// Serves until a `shutdown` request (or the
     /// [`shutdown_handle`](Server::shutdown_handle)) drains the server.
     ///
@@ -157,6 +191,11 @@ impl Server {
     /// failures are answered on the wire, never returned here.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let mut replicator = self
+            .config
+            .replicate_to
+            .as_ref()
+            .map(|addr| Replicator::start(Arc::clone(&self.manager), addr.clone()));
         let pool = Arc::new(WorkerPool::new(self.config.workers));
         let inflight = Arc::new(AtomicUsize::new(0));
         let ctx = ConnCtx {
@@ -167,13 +206,43 @@ impl Server {
             max_inflight: self.config.max_inflight,
         };
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Live sockets, registered so the chaos kill switch can sever
+        // them. Each handler *removes* its entry on exit — holding a
+        // clone past the handler's death would keep the socket open and
+        // rob the peer of the EOF that a server-initiated close promises.
+        #[cfg(feature = "fault-inject")]
+        let live_streams = LiveStreams::default();
+        #[cfg(feature = "fault-inject")]
+        let mut next_conn_id: u64 = 0;
         while !self.shutdown.load(Ordering::SeqCst) {
+            #[cfg(feature = "fault-inject")]
+            if self.kill.load(Ordering::SeqCst) {
+                // Simulated `kill -9`: sever every connection and vanish.
+                // No drain, no joins — in-flight work is abandoned just
+                // as a real process death would abandon it. (Connection
+                // and worker threads die on their next I/O or are leaked
+                // for the remainder of the test process.)
+                live_streams.sever_all();
+                if let Some(replicator) = replicator.as_mut() {
+                    replicator.stop();
+                }
+                return Ok(());
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    #[cfg(feature = "fault-inject")]
+                    let registration = {
+                        let id = next_conn_id;
+                        next_conn_id += 1;
+                        live_streams.register(id, stream.try_clone().ok())
+                    };
                     let ctx = ctx.clone();
                     connections.retain(|h| !h.is_finished());
-                    connections
-                        .push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                    connections.push(std::thread::spawn(move || {
+                        #[cfg(feature = "fault-inject")]
+                        let _registration = registration;
+                        handle_connection(stream, &ctx);
+                    }));
                 }
                 Err(e) if e.kind() == IoErrorKind::WouldBlock => {
                     std::thread::sleep(POLL_INTERVAL);
@@ -188,10 +257,58 @@ impl Server {
             let _ = handle.join();
         }
         drop(ctx);
+        if let Some(replicator) = replicator.as_mut() {
+            replicator.stop();
+        }
         if let Ok(pool) = Arc::try_unwrap(pool) {
             pool.shutdown();
         }
         Ok(())
+    }
+}
+
+/// Registry of live connection sockets, used only by the chaos kill
+/// switch. Handlers deregister on exit (via [`StreamRegistration`]'s
+/// `Drop`, so a panicking handler deregisters too); a clone that
+/// outlived its handler would hold the TCP connection open and suppress
+/// the EOF every server-initiated close guarantees the peer.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Default)]
+struct LiveStreams {
+    inner: Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl LiveStreams {
+    fn register(&self, id: u64, stream: Option<TcpStream>) -> StreamRegistration {
+        if let Some(stream) = stream {
+            self.lock().insert(id, stream);
+        }
+        StreamRegistration { registry: self.clone(), id }
+    }
+
+    fn sever_all(&self) {
+        for stream in self.lock().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, TcpStream>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Removes a connection's kill-switch entry when its handler exits.
+#[cfg(feature = "fault-inject")]
+struct StreamRegistration {
+    registry: LiveStreams,
+    id: u64,
+}
+
+#[cfg(feature = "fault-inject")]
+impl Drop for StreamRegistration {
+    fn drop(&mut self) {
+        self.registry.lock().remove(&self.id);
     }
 }
 

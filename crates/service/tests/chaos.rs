@@ -11,8 +11,9 @@ use std::time::Duration;
 use chop_core::prelude::Heuristic;
 use chop_service::chaos::{ChaosProxy, ConnFault};
 use chop_service::{
-    build_session, Client, ClientError, ErrorKind, ExploreParams, OpenParams, Request,
-    Response, RetryPolicy, ServeConfig, Server, SessionManager,
+    build_session, BackendSpec, Client, ClientError, ErrorKind, ExploreParams, OpenParams,
+    Replicator, Request, Response, RetryPolicy, Router, RouterConfig, ServeConfig, Server,
+    SessionManager,
 };
 
 const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
@@ -270,6 +271,219 @@ fn append_failure_is_typed_and_spares_existing_sessions() {
         "sessions journaled before the fault must recover byte-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Polls `addr` until `session` shows up in its stats (replication is
+/// asynchronous; a standby converges, it does not confirm).
+fn wait_for_session(addr: &str, session: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut probe) = Client::connect(addr) {
+            if let Ok(Response::Stats { sessions, .. }) =
+                probe.request(&Request::Stats { session: None })
+            {
+                if sessions.iter().any(|s| s == session) {
+                    return;
+                }
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "standby at {addr} never saw session {session:?}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The headline failover drill: a replicated pair behind a `Router`, the
+/// primary's power cord pulled mid-session (every live connection severed
+/// without drain), and the retried tagged explore must come back from the
+/// promoted standby with a digest byte-identical to an uninterrupted run
+/// — at jobs 1 and `CHOP_TEST_JOBS`.
+#[test]
+fn killed_primary_fails_over_to_byte_identical_standby() {
+    for jobs in [1, test_jobs()] {
+        let tag = format!("failover-{jobs}");
+        let standby_dir = state_dir(&format!("{tag}-standby"));
+        let primary_dir = state_dir(&format!("{tag}-primary"));
+
+        let standby_server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                jobs,
+                state_dir: Some(standby_dir.clone()),
+                standby: true,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind standby");
+        let standby_addr = standby_server.local_addr().expect("standby addr").to_string();
+        let standby_thread = thread::spawn(move || standby_server.run().expect("standby runs"));
+
+        let primary_server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                jobs,
+                state_dir: Some(primary_dir.clone()),
+                replicate_to: Some(standby_addr.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind primary");
+        let primary_addr = primary_server.local_addr().expect("primary addr").to_string();
+        let kill = primary_server.kill_handle();
+        let primary_thread = thread::spawn(move || primary_server.run());
+
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig {
+                pairs: vec![BackendSpec {
+                    primary: primary_addr.clone(),
+                    standby: Some(standby_addr.clone()),
+                }],
+                // Slow health checks: this test exercises the
+                // request-path failover, not the health loop.
+                health_interval: Duration::from_secs(30),
+            },
+        )
+        .expect("bind router");
+        let router_addr = router.local_addr().expect("router addr").to_string();
+        let router_thread = thread::spawn(move || router.run().expect("router runs"));
+
+        // Open through the router, tagged, and wait until replication has
+        // delivered the session to the standby.
+        let mut client = Client::connect(router_addr.as_str()).expect("connect router");
+        let open = Request::Open { session: "fo".into(), params: open_params(WIDE_SPEC, 3) };
+        let opened = client.request_tagged(&open, Some("fo-open")).expect("open via router");
+        assert_eq!(opened, Response::Opened { session: "fo".into(), partitions: 3 });
+        wait_for_session(&standby_addr, "fo");
+
+        // Pull the primary's power cord: the kill flag severs every live
+        // connection (including the router's cached one and the
+        // replication stream) and the accept loop returns without drain.
+        kill.store(true, std::sync::atomic::Ordering::SeqCst);
+        primary_thread.join().expect("primary thread").expect("killed run returns");
+
+        // The in-flight explore dies with the primary; the retry rides
+        // through the router's promote-and-replay.
+        let explore =
+            Request::Explore { session: "fo".into(), params: ExploreParams::default() };
+        let response = client
+            .request_with_retry(
+                &explore,
+                Some("fo-explore"),
+                &RetryPolicy::with_budget_ms(20_000),
+            )
+            .expect("explore survives the failover");
+        let digest = match response {
+            Response::Explored { run, .. } => run.digest,
+            other => panic!("expected explored, got {other:?}"),
+        };
+        assert_eq!(
+            digest,
+            reference_digest(WIDE_SPEC, 3, jobs),
+            "promoted standby must explore to the uninterrupted digest at jobs={jobs}"
+        );
+
+        // The replicated dedup window answers the replayed open on the
+        // promoted standby — Opened, not SessionExists.
+        let replay = client.request_tagged(&open, Some("fo-open")).expect("replayed open");
+        assert_eq!(replay, opened, "promoted standby must keep req_id idempotency");
+
+        client.request(&Request::Shutdown).expect("router shutdown");
+        router_thread.join().expect("router thread");
+        let mut direct = Client::connect(standby_addr.as_str()).expect("standby connect");
+        direct.request(&Request::Shutdown).expect("standby shutdown");
+        standby_thread.join().expect("standby thread");
+        let _ = std::fs::remove_dir_all(&standby_dir);
+        let _ = std::fs::remove_dir_all(&primary_dir);
+    }
+}
+
+/// The replication-equivalence satellite: a standby fed one snapshot
+/// handoff plus tail records must recover (from its own journal) the same
+/// session set as the dead primary's journal replayed locally.
+#[test]
+fn standby_journal_recovers_the_same_sessions_as_the_primary_journal() {
+    let standby_dir = state_dir("repl-standby");
+    let primary_dir = state_dir("repl-primary");
+
+    let standby_server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            state_dir: Some(standby_dir.clone()),
+            standby: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind standby");
+    let standby_addr = standby_server.local_addr().expect("standby addr").to_string();
+    let standby_thread = thread::spawn(move || standby_server.run().expect("standby runs"));
+
+    // A journaled in-process primary. History committed *before* the
+    // replicator attaches reaches the standby only via the snapshot-first
+    // resync; the mutations after it arrive as tail records.
+    let (primary, _) = SessionManager::recover(1, &primary_dir, 0).expect("journaled primary");
+    let primary = std::sync::Arc::new(primary);
+    primary.open("alpha", &open_params(SPEC, 2)).expect("open alpha");
+    primary.open("beta", &open_params(WIDE_SPEC, 3)).expect("open beta");
+    primary.set_constraints("alpha", 40_000.0, 40_000.0).expect("constrain");
+    let mut replicator =
+        Replicator::start(std::sync::Arc::clone(&primary), standby_addr.clone());
+    primary.open("gamma", &open_params(SPEC, 1)).expect("open gamma");
+    primary.close("beta").expect("close beta");
+    wait_for_session(&standby_addr, "gamma");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut probe = Client::connect(standby_addr.as_str()).expect("probe standby");
+        let Ok(Response::Stats { sessions, .. }) =
+            probe.request(&Request::Stats { session: None })
+        else {
+            panic!("standby stats")
+        };
+        if !sessions.iter().any(|s| s == "beta") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "standby never saw beta close");
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // The primary dies; the standby drains gracefully (its own journal is
+    // already current — every applied record went through it).
+    replicator.stop();
+    drop(primary);
+    let mut direct = Client::connect(standby_addr.as_str()).expect("standby connect");
+    direct.request(&Request::Shutdown).expect("standby shutdown");
+    standby_thread.join().expect("standby thread");
+
+    let (from_primary, primary_report) =
+        SessionManager::recover(1, &primary_dir, 0).expect("recover primary journal");
+    let (from_standby, standby_report) =
+        SessionManager::recover(1, &standby_dir, 0).expect("recover standby journal");
+    assert_eq!(
+        standby_report.sessions_restored, primary_report.sessions_restored,
+        "both journals must restore the same number of sessions"
+    );
+    let (mut primary_sessions, _, _) = from_primary.stats(None).expect("primary stats");
+    let (mut standby_sessions, _, _) = from_standby.stats(None).expect("standby stats");
+    primary_sessions.sort();
+    standby_sessions.sort();
+    assert_eq!(
+        standby_sessions, primary_sessions,
+        "standby journal must reproduce the primary's session set"
+    );
+    for session in &primary_sessions {
+        assert_eq!(
+            from_standby.explore(session, &ExploreParams::default()).expect("explore").digest,
+            from_primary.explore(session, &ExploreParams::default()).expect("explore").digest,
+            "session {session:?} must explore identically from either journal"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&standby_dir);
+    let _ = std::fs::remove_dir_all(&primary_dir);
 }
 
 /// A torn tail record — the crash happened mid-append — is skipped with

@@ -154,6 +154,7 @@ fn service_error() -> BoxedStrategy<ServiceError> {
         Just(ErrorKind::Spec),
         Just(ErrorKind::Engine),
         Just(ErrorKind::Internal),
+        Just(ErrorKind::Standby),
     ];
     (kind, hostile_text()).prop_map(|(kind, message)| ServiceError::new(kind, message)).boxed()
 }
@@ -177,6 +178,11 @@ fn request() -> BoxedStrategy<Request> {
             .prop_map(|session| Request::Stats { session }),
         name().prop_map(|session| Request::Close { session }),
         Just(Request::Shutdown),
+        (0u64..1_000_000, hostile_text())
+            .prop_map(|(seq, record)| Request::ReplApply { seq, record }),
+        (0u64..1_000_000, collection::vec(hostile_text(), 0..4))
+            .prop_map(|(seq, records)| Request::ReplSnapshot { seq, records }),
+        Just(Request::Promote),
     ]
     .boxed()
 }
@@ -234,6 +240,8 @@ fn response() -> BoxedStrategy<Response> {
                 retry_after_ms
             }
         ),
+        (0u64..1_000_000).prop_map(|seq| Response::ReplAck { seq }),
+        (0u64..1_000).prop_map(|sessions| Response::Promoted { sessions }),
         service_error().prop_map(Response::Error),
     ]
     .boxed()

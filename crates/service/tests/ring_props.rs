@@ -1,0 +1,119 @@
+//! Property tests for the router's consistent-hash ring: placement must
+//! be deterministic across restarts (failover transparency depends on a
+//! restarted router agreeing with its predecessor), and removing one
+//! backend must remap *only* the sessions that lived on it — every other
+//! session keeps its pair, so a node loss never shuffles the fleet.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use chop_service::HashRing;
+
+/// Backend labels shaped like the real thing: `host:port` strings,
+/// deduplicated (a fleet never lists one node twice) and at least two
+/// strong so a removal always leaves survivors.
+fn labels() -> BoxedStrategy<Vec<String>> {
+    collection::vec("[a-z][a-z0-9.-]{0,10}:[0-9]{2,5}", 2..8)
+        .prop_map(|raw| {
+            let mut seen = Vec::new();
+            for label in raw {
+                if !seen.contains(&label) {
+                    seen.push(label);
+                }
+            }
+            let mut filler = 0;
+            while seen.len() < 2 {
+                seen.push(format!("fallback{filler}:1991"));
+                filler += 1;
+            }
+            seen
+        })
+        .boxed()
+}
+
+fn sessions() -> BoxedStrategy<Vec<String>> {
+    collection::vec("[a-zA-Z0-9_-]{1,24}", 1..64).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // The same labels produce the same assignments, run after run and
+    // regardless of listing order: placement is a pure function of the
+    // label and key strings, never of process state.
+    #[test]
+    fn assignment_is_deterministic_and_order_independent(
+        labels in labels(),
+        keys in sessions(),
+    ) {
+        let ring = HashRing::new(labels.clone(), 64);
+        let rebuilt = HashRing::new(labels.clone(), 64);
+        let mut reversed_labels = labels.clone();
+        reversed_labels.reverse();
+        let reversed = HashRing::new(reversed_labels, 64);
+        for key in &keys {
+            let label = ring.assign_label(key).expect("non-empty ring");
+            prop_assert_eq!(
+                rebuilt.assign_label(key), Some(label),
+                "a rebuilt ring must agree on {}", key
+            );
+            prop_assert_eq!(
+                reversed.assign_label(key), Some(label),
+                "label listing order must not move {}", key
+            );
+        }
+    }
+
+    // Removing one backend remaps only the sessions that were assigned
+    // to it; every other session stays on its original backend.
+    #[test]
+    fn removing_one_backend_remaps_only_its_sessions(
+        labels in labels(),
+        keys in sessions(),
+        victim_seed in 0usize..1024,
+    ) {
+        let ring = HashRing::new(labels.clone(), 64);
+        let victim = labels[victim_seed % labels.len()].clone();
+        let survivors: Vec<String> =
+            labels.iter().filter(|l| **l != victim).cloned().collect();
+        let shrunk = HashRing::new(survivors, 64);
+        for key in &keys {
+            let before = ring.assign_label(key).expect("non-empty ring");
+            let after = shrunk.assign_label(key).expect("survivors remain");
+            if before == victim {
+                prop_assert_ne!(
+                    after, victim.as_str(),
+                    "{}'s sessions must leave the removed backend", key
+                );
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "{} did not live on the removed backend and must not move", key
+                );
+            }
+        }
+    }
+
+    // Adding a backend only ever *pulls* sessions onto the new node —
+    // no session moves between two pre-existing backends.
+    #[test]
+    fn adding_a_backend_only_moves_sessions_onto_it(
+        labels in labels(),
+        keys in sessions(),
+    ) {
+        let (newcomer, veterans) = labels.split_first().expect("at least two labels");
+        let small = HashRing::new(veterans.to_vec(), 64);
+        let grown = HashRing::new(labels.clone(), 64);
+        for key in &keys {
+            let before = small.assign_label(key).expect("non-empty ring");
+            let after = grown.assign_label(key).expect("non-empty ring");
+            if after != newcomer.as_str() {
+                prop_assert_eq!(
+                    after, before,
+                    "{} must stay put unless captured by the new backend", key
+                );
+            }
+        }
+    }
+}
