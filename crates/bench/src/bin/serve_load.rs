@@ -1,0 +1,396 @@
+//! `serve_load` — concurrent-connection load generator for `chop serve`.
+//!
+//! Spawns an in-process [`chop_service::Server`] and drives it with N
+//! concurrent TCP connections issuing mixed open/explore/repartition
+//! traffic, at 1, 64 and 1024 connections. Two phases per level:
+//!
+//! * **idle** — the connections are held open doing nothing for a fixed
+//!   window while the bench samples the process's thread count and CPU
+//!   time. This is the number the reactor refactor exists to move: a
+//!   thread-per-connection server pays one thread plus ~10 wakeups/s per
+//!   idle client, a readiness-driven one pays a single poller.
+//! * **mixed** — one client thread per connection runs open → explore →
+//!   repartition → explore → close cycles until a deadline, reporting
+//!   p50/p99 request latency and aggregate requests/s.
+//!
+//! Results are merged into `BENCH_serve.json` under a `--label` prefix
+//! (`baseline` for the thread-per-connection server, `reactor` for the
+//! epoll core), so the checked-in file carries both sides of the
+//! comparison and either side can be regenerated alone.
+//!
+//! `--smoke` shrinks the run (1 and 8 connections, short windows, no
+//! file write unless `--out` is given) so CI can exercise the full
+//! client/server path in a few seconds.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use chop_service::json::{obj, parse, Value};
+use chop_service::{Client, ExploreParams, OpenParams, Request, Response, ServeConfig, Server};
+
+const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
+
+struct Options {
+    label: String,
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options { label: "reactor".to_owned(), out: None, smoke: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => {
+                options.label = args.next().unwrap_or_else(|| usage("--label needs a value"));
+            }
+            "--out" => {
+                options.out = Some(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--smoke" => options.smoke = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    options
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("serve_load: {message}");
+    eprintln!("usage: serve_load [--label baseline|reactor] [--out FILE] [--smoke]");
+    std::process::exit(2);
+}
+
+/// One measured load level.
+struct LevelReport {
+    connections: usize,
+    idle_threads: usize,
+    idle_cpu_ms: f64,
+    idle_window_ms: u64,
+    requests: usize,
+    elapsed_ms: f64,
+    p50_us: u64,
+    p99_us: u64,
+    errors: usize,
+}
+
+fn main() {
+    let options = parse_args();
+    let levels: &[usize] = if options.smoke { &[1, 8] } else { &[1, 64, 1024] };
+    let idle_window =
+        if options.smoke { Duration::from_millis(300) } else { Duration::from_secs(2) };
+    let mixed_window =
+        if options.smoke { Duration::from_millis(400) } else { Duration::from_millis(1500) };
+
+    let mut reports = Vec::new();
+    for &connections in levels {
+        let report = run_level(connections, idle_window, mixed_window);
+        eprintln!(
+            "serve_load[{}]: {} conns — idle: {} threads, {:.1} ms cpu / {} ms; \
+             mixed: {} reqs in {:.0} ms ({:.0} req/s), p50 {} us, p99 {} us, {} errors",
+            options.label,
+            report.connections,
+            report.idle_threads,
+            report.idle_cpu_ms,
+            report.idle_window_ms,
+            report.requests,
+            report.elapsed_ms,
+            to_f64(report.requests) / (report.elapsed_ms / 1000.0),
+            report.p50_us,
+            report.p99_us,
+            report.errors,
+        );
+        reports.push(report);
+    }
+
+    let default_out = format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"));
+    let out = match (&options.out, options.smoke) {
+        (Some(path), _) => Some(path.clone()),
+        (None, true) => None, // smoke runs measure, they don't overwrite the record
+        (None, false) => Some(default_out),
+    };
+    if let Some(path) = out {
+        write_report(&path, &options.label, &reports);
+        eprintln!("serve_load: wrote {path}");
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(n: usize) -> f64 {
+    n as f64
+}
+
+fn run_level(connections: usize, idle_window: Duration, mixed_window: Duration) -> LevelReport {
+    // A fresh server per level isolates thread/CPU accounting. The
+    // inflight cap is lifted far above the connection count so admission
+    // control never converts load into `busy` replies mid-measurement.
+    let config =
+        ServeConfig { workers: 4, max_inflight: 1 << 16, jobs: 1, ..ServeConfig::default() };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = thread::spawn(move || server.run().expect("server drains cleanly"));
+
+    // Phase 1: idle connections. A ping roundtrip on each guarantees the
+    // server has genuinely accepted it (not just queued it in the
+    // listener backlog) before the hold starts.
+    let mut idle = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut client = connect_retry(addr);
+        match client.request(&Request::Ping).expect("ping") {
+            Response::Pong { .. } => {}
+            other => panic!("expected pong, got {other:?}"),
+        }
+        idle.push(client);
+    }
+    let cpu_before = process_cpu_ms();
+    thread::sleep(idle_window);
+    let idle_cpu_ms = process_cpu_ms() - cpu_before;
+    let idle_threads = process_threads();
+    drop(idle);
+
+    // Phase 2: mixed open/explore/repartition throughput. One client
+    // thread per connection; a barrier lines up the start so elapsed
+    // time covers only concurrent load.
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors = Arc::new(Mutex::new(0usize));
+    let mut drivers = Vec::with_capacity(connections);
+    for t in 0..connections {
+        let barrier = Arc::clone(&barrier);
+        let latencies = Arc::clone(&latencies);
+        let errors = Arc::clone(&errors);
+        drivers.push(thread::spawn(move || {
+            let mut client = connect_retry(addr);
+            let mut local = Vec::new();
+            let mut failed = 0usize;
+            barrier.wait();
+            let deadline = Instant::now() + mixed_window;
+            let mut cycle = 0usize;
+            while Instant::now() < deadline {
+                let session = format!("ld-{t}-{cycle}");
+                let requests = [
+                    Request::Open {
+                        session: session.clone(),
+                        params: OpenParams {
+                            spec: SPEC.into(),
+                            partitions: 2,
+                            ..OpenParams::default()
+                        },
+                    },
+                    Request::Explore {
+                        session: session.clone(),
+                        params: ExploreParams::default(),
+                    },
+                    Request::Repartition {
+                        session: session.clone(),
+                        node: 3,
+                        to: u32::from(cycle.is_multiple_of(2)),
+                    },
+                    Request::Explore {
+                        session: session.clone(),
+                        params: ExploreParams::default(),
+                    },
+                    Request::Close { session },
+                ];
+                for request in requests {
+                    let start = Instant::now();
+                    let reply = client.request(&request);
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    match reply {
+                        Ok(Response::Error(e)) => {
+                            failed += 1;
+                            eprintln!("serve_load: server error: {e}");
+                        }
+                        Ok(_) => local.push(micros),
+                        Err(e) => {
+                            failed += 1;
+                            eprintln!("serve_load: transport error: {e}");
+                            client = connect_retry(addr);
+                        }
+                    }
+                }
+                cycle += 1;
+            }
+            latencies.lock().expect("latency lock").extend(local);
+            *errors.lock().expect("error lock") += failed;
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for driver in drivers {
+        driver.join().expect("driver thread");
+    }
+    let elapsed = started.elapsed();
+
+    let mut shutdown = connect_retry(addr);
+    let _ = shutdown.request(&Request::Shutdown);
+    server_thread.join().expect("server thread");
+
+    let mut all = Arc::try_unwrap(latencies)
+        .map(|m| m.into_inner().expect("latency lock"))
+        .unwrap_or_default();
+    all.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if all.is_empty() {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((all.len() - 1) as f64 * p).round() as usize;
+        all[rank.min(all.len() - 1)]
+    };
+    let errors = *errors.lock().expect("error lock");
+    LevelReport {
+        connections,
+        idle_threads,
+        idle_cpu_ms,
+        idle_window_ms: u64::try_from(idle_window.as_millis()).unwrap_or(u64::MAX),
+        requests: all.len(),
+        elapsed_ms: elapsed.as_secs_f64() * 1000.0,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        errors,
+    }
+}
+
+fn connect_retry(addr: SocketAddr) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr.to_string()) {
+            Ok(client) => return client,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "could not connect to {addr}: {e}");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Threads currently alive in this process (`/proc/self/task`).
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|dir| dir.count()).unwrap_or(0)
+}
+
+/// User+system CPU milliseconds consumed by this process so far, from
+/// `/proc/self/stat` (fields 14/15, assuming the conventional 100 Hz
+/// `CLK_TCK`).
+fn process_cpu_ms() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else { return 0.0 };
+    // comm may contain spaces; everything after the closing paren is
+    // space-separated with the state as field 0.
+    let Some(rest) = stat.rsplit(')').next() else { return 0.0 };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let ticks = |i: usize| fields.get(i).and_then(|f| f.parse::<f64>().ok()).unwrap_or(0.0);
+    (ticks(11) + ticks(12)) * 10.0
+}
+
+/// Merges this run's results into `path` under `label`, preserving any
+/// entries recorded under other labels.
+fn write_report(path: &str, label: &str, reports: &[LevelReport]) {
+    let mut kept: Vec<Value> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if let Ok(value) = parse(&existing) {
+            if let Some(results) = value.get("results").and_then(Value::as_arr) {
+                let prefix = format!("{label}_");
+                kept.extend(
+                    results
+                        .iter()
+                        .filter(|r| {
+                            r.get("name")
+                                .and_then(Value::as_str)
+                                .is_none_or(|name| !name.starts_with(&prefix))
+                        })
+                        .cloned(),
+                );
+            }
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    for report in reports {
+        let req_per_s = if report.elapsed_ms > 0.0 {
+            report.requests as f64 / (report.elapsed_ms / 1000.0)
+        } else {
+            0.0
+        };
+        kept.push(obj(vec![
+            ("name", Value::Str(format!("{label}_{}conn", report.connections))),
+            (
+                "description",
+                Value::Str(format!(
+                    "{} server, {} concurrent connections: idle hold then mixed \
+                     open/explore/repartition/close cycles",
+                    label, report.connections
+                )),
+            ),
+            ("connections", Value::Num(report.connections as f64)),
+            ("idle_threads", Value::Num(report.idle_threads as f64)),
+            ("idle_cpu_ms", Value::Num((report.idle_cpu_ms * 10.0).round() / 10.0)),
+            ("idle_window_ms", Value::Num(report.idle_window_ms as f64)),
+            ("requests", Value::Num(report.requests as f64)),
+            ("elapsed_ms", Value::Num(report.elapsed_ms.round())),
+            ("req_per_s", Value::Num(req_per_s.round())),
+            ("p50_us", Value::Num(report.p50_us as f64)),
+            ("p99_us", Value::Num(report.p99_us as f64)),
+            ("errors", Value::Num(report.errors as f64)),
+        ]));
+    }
+    // Stable presentation order: baseline rows before reactor rows,
+    // ascending connection count within a label.
+    kept.sort_by_key(|r| {
+        let name = r.get("name").and_then(Value::as_str).unwrap_or("").to_owned();
+        let conns = r.get("connections").and_then(Value::as_f64).unwrap_or(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        (name.starts_with("reactor_"), conns as u64, name)
+    });
+
+    let report = obj(vec![
+        ("bench", Value::Str("serve_load".to_owned())),
+        (
+            "command",
+            Value::Str(
+                "cargo run --release -p chop-bench --bin serve_load -- --label <label>"
+                    .to_owned(),
+            ),
+        ),
+        ("date", Value::Str(today())),
+        (
+            "config",
+            obj(vec![
+                ("workload", Value::Str("open/explore/repartition/explore/close".to_owned())),
+                ("spec", Value::Str("5-node mul/add chain, 2 partitions".to_owned())),
+                ("workers", Value::Num(4.0)),
+                (
+                    "levels",
+                    Value::Arr(vec![Value::Num(1.0), Value::Num(64.0), Value::Num(1024.0)]),
+                ),
+            ]),
+        ),
+        ("results", Value::Arr(kept)),
+    ]);
+    let mut text = String::new();
+    report.write(&mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write bench report");
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's
+/// algorithm), so reports carry a real timestamp without a time crate.
+fn today() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let days = i64::try_from(secs / 86_400).unwrap_or(0);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

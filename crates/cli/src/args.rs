@@ -265,6 +265,10 @@ pub struct ServeOptions {
     pub standby: bool,
     /// Ship every committed journal record to this standby (`host:port`).
     pub replicate_to: Option<String>,
+    /// Concurrent connections accepted before new ones are refused.
+    pub max_connections: usize,
+    /// Close connections idle for this many milliseconds (0 = never).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -279,6 +283,8 @@ impl Default for ServeOptions {
             snapshot_every: 1024,
             standby: false,
             replicate_to: None,
+            max_connections: 4096,
+            idle_timeout_ms: 600_000,
         }
     }
 }
@@ -324,6 +330,20 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
             }
             "--standby" => opts.standby = true,
             "--replicate-to" => opts.replicate_to = Some(value(arg)?),
+            "--max-connections" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--max-connections must be at least 1".into()));
+                }
+                opts.max_connections = n;
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
             other => return Err(ArgError(format!("unknown serve option {other}"))),
         }
     }
@@ -402,6 +422,8 @@ mod tests {
         assert_eq!(o.jobs, None);
         assert_eq!(o.state_dir, None);
         assert_eq!(o.snapshot_every, 1024);
+        assert_eq!(o.max_connections, 4096);
+        assert_eq!(o.idle_timeout_ms, 600_000);
         let o = parse_serve_options(&s(&[
             "--addr",
             "127.0.0.1:0",
@@ -415,6 +437,10 @@ mod tests {
             "/tmp/chop-state",
             "--journal-snapshot-every",
             "16",
+            "--max-connections",
+            "128",
+            "--idle-timeout-ms",
+            "15000",
         ]))
         .unwrap();
         assert_eq!(o.addr, "127.0.0.1:0");
@@ -423,6 +449,11 @@ mod tests {
         assert_eq!(o.jobs, Some(3));
         assert_eq!(o.state_dir.as_deref(), Some("/tmp/chop-state"));
         assert_eq!(o.snapshot_every, 16);
+        assert_eq!(o.max_connections, 128);
+        assert_eq!(o.idle_timeout_ms, 15_000);
+        // 0 disables idle reaping but a zero connection cap is nonsense.
+        let o = parse_serve_options(&s(&["--idle-timeout-ms", "0"])).unwrap();
+        assert_eq!(o.idle_timeout_ms, 0);
     }
 
     #[test]
@@ -433,6 +464,9 @@ mod tests {
         assert!(parse_serve_options(&s(&["--state-dir"])).is_err());
         assert!(parse_serve_options(&s(&["--journal-snapshot-every", "often"])).is_err());
         assert!(parse_serve_options(&s(&["--frobnicate"])).is_err());
+        assert!(parse_serve_options(&s(&["--max-connections", "0"])).is_err());
+        assert!(parse_serve_options(&s(&["--max-connections", "many"])).is_err());
+        assert!(parse_serve_options(&s(&["--idle-timeout-ms", "soon"])).is_err());
     }
 
     #[test]

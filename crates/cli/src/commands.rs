@@ -72,6 +72,10 @@ OPTIONS (serve):
                            standby (snapshot-first on connect)
   --standby                start as a warm standby: apply the replication
                            stream, refuse direct mutations until promoted
+  --max-connections <N>    concurrent connections before new ones are
+                           refused with a typed error          [4096]
+  --idle-timeout-ms <N>    close connections with no completed request in
+                           N ms, typed error first (0 = never) [600000]
   SIGINT/SIGTERM drain the server gracefully (journal flushed, exit 0).
 
 OPTIONS (router):
@@ -679,6 +683,8 @@ mod tests {
         assert!(HELP.contains("chop serve"));
         assert!(HELP.contains("chop client"));
         assert!(HELP.contains("--max-inflight"));
+        assert!(HELP.contains("--max-connections"));
+        assert!(HELP.contains("--idle-timeout-ms"));
         assert!(HELP.contains("shutdown"));
     }
 

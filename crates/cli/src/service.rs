@@ -30,6 +30,8 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         snapshot_every: opts.snapshot_every,
         standby: opts.standby,
         replicate_to: opts.replicate_to.clone(),
+        max_connections: opts.max_connections,
+        idle_timeout_ms: opts.idle_timeout_ms,
     };
     let server = Server::bind(opts.addr.as_str(), config)?;
     // The tests (and scripts) parse this line to discover an ephemeral
@@ -105,7 +107,9 @@ pub fn router(opts: &RouterOptions) -> Result<RunStatus, Box<dyn Error>> {
             while !crate::signals::termination_requested() {
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
-            handle.store(true, std::sync::atomic::Ordering::SeqCst);
+            // Tripping the gate wakes the health loop and any retry
+            // backoff mid-sleep; the accept loop notices within a poll.
+            handle.trigger();
         });
     }
     router.run()?;

@@ -190,6 +190,67 @@ fn kill_nine_then_restart_recovers_sessions_and_digests() {
     let _ = std::fs::remove_file(&spec_path);
 }
 
+/// The reactor tuning flags end to end: `--max-connections` refuses the
+/// overflow connection with a typed error, `--idle-timeout-ms` reaps the
+/// squatters with a typed error + close, and the freed slots readmit a
+/// normal client.
+#[test]
+fn max_connections_and_idle_timeout_flags_govern_the_real_binary() {
+    use std::io::Read;
+
+    let (mut server, addr, _stdout) =
+        spawn_server(&["--max-connections", "2", "--idle-timeout-ms", "300"]);
+
+    // Two squatters fill the table without ever speaking.
+    let squatters: Vec<std::net::TcpStream> = (0..2)
+        .map(|i| {
+            std::net::TcpStream::connect(&addr).unwrap_or_else(|e| panic!("squatter {i}: {e}"))
+        })
+        .collect();
+
+    // The third connection is over the cap: the binary's client sees the
+    // typed refusal and exits 1.
+    let refused = chop().args(["client", &addr, "ping"]).output().expect("spawn chop client");
+    assert_eq!(refused.status.code(), Some(1), "over-cap connection must fail");
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert!(stderr.contains("connection limit reached"), "{stderr}");
+
+    // The idle reaper clears the squatters: each reads one typed error
+    // line naming the timeout, then EOF.
+    for (i, squatter) in squatters.into_iter().enumerate() {
+        squatter
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut notice = String::new();
+        let mut reader = BufReader::new(squatter);
+        reader.read_line(&mut notice).unwrap_or_else(|e| panic!("squatter {i} notice: {e}"));
+        assert!(notice.contains("idle timeout"), "squatter {i} got {notice:?}");
+        notice.clear();
+        assert_eq!(
+            reader.read_line(&mut notice).expect("eof"),
+            0,
+            "squatter {i} must be closed after the notice"
+        );
+        let mut rest = Vec::new();
+        let _ = reader.into_inner().read_to_end(&mut rest);
+    }
+
+    // With the slots freed, a normal client is admitted again (retry
+    // rides over the reaper's slight lag in releasing slots).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let ping = chop().args(["client", &addr, "ping"]).output().expect("spawn chop client");
+        if ping.status.success() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "never readmitted after the reap");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    assert!(client_ok(&addr, &["shutdown"]).contains("draining"));
+    assert!(server.wait().expect("wait").success());
+}
+
 /// Spawns `chop router` and returns the child plus the address parsed
 /// from its banner (same shape as the serve banner). The stdout reader
 /// must stay alive with the child: dropping it closes the pipe and the

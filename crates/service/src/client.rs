@@ -26,6 +26,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use crate::net::ShutdownGate;
 use crate::protocol::{Request, Response, ServiceError};
 
 /// A client-side failure: transport trouble or a malformed reply.
@@ -278,6 +279,42 @@ impl Client {
         req_id: Option<&str>,
         policy: &RetryPolicy,
     ) -> Result<Response, ClientError> {
+        self.retry_with_sleep(request, req_id, policy, |d| {
+            std::thread::sleep(d);
+            false
+        })
+    }
+
+    /// [`request_with_retry`](Self::request_with_retry) whose backoff
+    /// sleeps wake the moment `gate` trips, at which point the in-hand
+    /// outcome (the last `busy` reply or transport error) is returned
+    /// instead of burning the rest of the budget asleep. The router's
+    /// health loop retries pings this way so `shutdown` never waits out a
+    /// backoff.
+    ///
+    /// # Errors
+    ///
+    /// As [`request_with_retry`](Self::request_with_retry).
+    pub fn request_with_retry_until(
+        &mut self,
+        request: &Request,
+        req_id: Option<&str>,
+        policy: &RetryPolicy,
+        gate: &ShutdownGate,
+    ) -> Result<Response, ClientError> {
+        self.retry_with_sleep(request, req_id, policy, |d| gate.wait_for(d))
+    }
+
+    /// The retry engine, parameterized over its sleep: `sleep(d)` blocks
+    /// up to `d` and returns `true` to abandon the retry loop (a tripped
+    /// shutdown gate), `false` after an undisturbed wait.
+    fn retry_with_sleep(
+        &mut self,
+        request: &Request,
+        req_id: Option<&str>,
+        policy: &RetryPolicy,
+        mut sleep: impl FnMut(Duration) -> bool,
+    ) -> Result<Response, ClientError> {
         let started = Instant::now();
         let transport_retry_safe = !request.is_mutation() || req_id.is_some();
         let mut jitter = Jitter::from_entropy(policy.base, policy.cap);
@@ -289,10 +326,11 @@ impl Client {
                 match self.reconnect(dial) {
                     Ok(()) => broken = false,
                     Err(e) => {
-                        if started.elapsed() + jitter.previous() >= policy.max_elapsed {
+                        if started.elapsed() + jitter.previous() >= policy.max_elapsed
+                            || sleep(jitter.next_sleep())
+                        {
                             return Err(e);
                         }
-                        std::thread::sleep(jitter.next_sleep());
                         continue;
                     }
                 }
@@ -306,12 +344,12 @@ impl Client {
                         return Ok(response);
                     };
                     let hint = Duration::from_millis(*retry_after_ms);
-                    let sleep = jitter.next_sleep().max(hint);
-                    if started.elapsed() + sleep >= policy.max_elapsed {
-                        // Budget gone: surface the busy reply itself.
+                    let pause = jitter.next_sleep().max(hint);
+                    if started.elapsed() + pause >= policy.max_elapsed || sleep(pause) {
+                        // Budget gone (or shutdown): surface the busy
+                        // reply itself.
                         return Ok(response);
                     }
-                    std::thread::sleep(sleep);
                 }
                 Err(e @ ClientError::Protocol(_)) => return Err(e),
                 Err(e) => {
@@ -321,11 +359,10 @@ impl Client {
                     if !transport_retry_safe {
                         return Err(e);
                     }
-                    let sleep = jitter.next_sleep();
-                    if started.elapsed() + sleep >= policy.max_elapsed {
+                    let pause = jitter.next_sleep();
+                    if started.elapsed() + pause >= policy.max_elapsed || sleep(pause) {
                         return Err(e);
                     }
-                    std::thread::sleep(sleep);
                 }
             }
         }
@@ -439,6 +476,47 @@ mod tests {
         );
         alive.store(false, std::sync::atomic::Ordering::SeqCst);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn tripped_gate_aborts_retry_backoff_early() {
+        // A listener that accepts and instantly drops: every ping
+        // attempt fails, so the client sits in backoff for most of its
+        // 30 s budget — unless the gate wakes it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let alive = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let alive_bg = std::sync::Arc::clone(&alive);
+        let acceptor = std::thread::spawn(move || {
+            listener.set_nonblocking(true).ok();
+            while alive_bg.load(std::sync::atomic::Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => drop(stream),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        let gate = std::sync::Arc::new(ShutdownGate::new());
+        let trigger = {
+            let gate = std::sync::Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                gate.trigger();
+            })
+        };
+        let mut client = Client::connect(addr).unwrap();
+        let policy = RetryPolicy::with_budget_ms(30_000);
+        let started = Instant::now();
+        let outcome = client.request_with_retry_until(&Request::Ping, None, &policy, &gate);
+        assert!(outcome.is_err(), "the dead backend never answered");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "a tripped gate must abandon the 30 s retry budget, took {:?}",
+            started.elapsed()
+        );
+        alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        trigger.join().unwrap();
+        acceptor.join().unwrap();
     }
 
     #[test]

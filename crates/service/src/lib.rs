@@ -15,9 +15,15 @@
 //!   [`chop_core::PredictionCache`], so opening the same spec twice (or
 //!   re-exploring after a `repartition`) reuses prior BAD predictions
 //!   across sessions and connections.
+//! * **Readiness-driven serving** — one epoll reactor thread ([`net`])
+//!   owns every connection's I/O, so tens of thousands of mostly-idle
+//!   clients cost registrations, not threads; `--max-connections` and
+//!   `--idle-timeout-ms` bound fd and buffer usage.
 //! * **Typed backpressure and fault isolation** — past `--max-inflight`
-//!   explorations clients get a `busy` response; a panicking request
-//!   becomes one `internal` error reply, never a dead server.
+//!   explorations clients get a `busy` response; a client that stops
+//!   reading has its output queue capped and its reads paused; a
+//!   panicking request becomes one `internal` error reply, never a dead
+//!   server.
 //! * **Graceful drain** — the `shutdown` request stops the accept loop,
 //!   lets in-flight work finish and exits cleanly.
 //! * **Warm-standby replication and failover** — `--replicate-to` ships
@@ -29,7 +35,10 @@
 //! builds offline against a no-op `serde` stub.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `net::sys` holds the epoll/eventfd FFI (the approved dependency list
+// has no `libc`); it opts back in with a module-level allow. Everything
+// else stays `unsafe`-free.
+#![deny(unsafe_code)]
 
 #[cfg(feature = "fault-inject")]
 pub mod chaos;
@@ -37,6 +46,8 @@ pub mod client;
 pub mod journal;
 pub mod json;
 pub mod manager;
+#[deny(clippy::unwrap_used)]
+pub mod net;
 mod pool;
 pub mod protocol;
 pub mod replication;
@@ -46,6 +57,7 @@ pub mod server;
 pub use client::{Client, ClientError, RetryPolicy, DEFAULT_CONNECT_TIMEOUT};
 pub use journal::{Journal, JournalEntry, JournalScan};
 pub use manager::{build_session, RecoveryReport, SessionManager};
+pub use net::ShutdownGate;
 pub use protocol::{
     ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
     PROTOCOL_VERSION,

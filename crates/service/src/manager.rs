@@ -13,6 +13,15 @@
 //! re-locks briefly to record the run summary — concurrent explores on
 //! different (or the same) session never serialize on the manager.
 //!
+//! The manager is fully decoupled from connection I/O: it is called by
+//! the reactor thread (cheap requests, answered inline) and by worker
+//! threads (explores, handed back through the completion queue), and
+//! never writes to a socket or blocks on a client. Lock order across the
+//! serving stack is strictly `sessions → journal` (this module, see
+//! below); the reactor and the completion queue each take their own
+//! locks *after* all manager locks are released, so no cycle exists —
+//! the doctrine is spelled out in DESIGN.md §13.
+//!
 //! # Durability and idempotency
 //!
 //! When built via [`SessionManager::recover`], every state-mutating

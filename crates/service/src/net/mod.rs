@@ -1,0 +1,283 @@
+//! Shared networking plumbing: the epoll reactor, NDJSON line framing,
+//! and shutdown wakeups.
+//!
+//! Three layers live here, bottom to top:
+//!
+//! * [`sys`] — raw `epoll`/`eventfd` FFI behind safe RAII wrappers (the
+//!   only `unsafe` in the crate).
+//! * Framing and timing helpers shared by the server and the router:
+//!   [`LineBuffer`] (incremental newline framing with an `O(n)` resume
+//!   scan), [`serve_blocking_lines`] (the router's thread-per-connection
+//!   read loop), [`POLL_INTERVAL`] and [`MAX_LINE_BYTES`] (previously
+//!   duplicated constants), and [`ShutdownGate`] (a Condvar-backed drain
+//!   flag that *wakes* sleepers instead of letting them sleep-step).
+//! * [`reactor`] — the readiness-driven connection engine `chop serve`
+//!   runs on.
+
+pub(crate) mod reactor;
+pub(crate) mod sys;
+
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::protocol::{ErrorKind, Response, ServiceError};
+
+/// How long blocked waits (the reactor's idle tick, the router's accept
+/// poll and per-connection read timeouts) run before re-checking
+/// shutdown and kill flags that may be flipped from outside the wait.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Maximum bytes one request line may occupy. A client streaming data
+/// without a newline would otherwise grow the connection buffer without
+/// bound; past this limit the connection gets one typed protocol error
+/// reply and is closed. 4 MiB comfortably fits any real spec.
+pub const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// A drain flag that can *wake* waiters.
+///
+/// The plain `Arc<AtomicBool>` drain handles forced every long sleep
+/// (the router's health-loop interval, client retry backoffs) to be
+/// chopped into [`POLL_INTERVAL`] steps so shutdown stayed responsive.
+/// This couples the flag with a Condvar: sleepers call
+/// [`wait_for`](ShutdownGate::wait_for) with their *full* interval and
+/// [`trigger`](ShutdownGate::trigger) interrupts them immediately.
+#[derive(Debug, Default)]
+pub struct ShutdownGate {
+    triggered: AtomicBool,
+    lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl ShutdownGate {
+    /// A fresh, untriggered gate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the gate and wakes every current and future waiter.
+    pub fn trigger(&self) {
+        self.triggered.store(true, Ordering::SeqCst);
+        // Taking the lock orders the store before any waiter's re-check,
+        // so a sleeper cannot miss the wakeup between its own check and
+        // its wait.
+        drop(self.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        self.wake.notify_all();
+    }
+
+    /// Whether the gate has been tripped.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.triggered.load(Ordering::SeqCst)
+    }
+
+    /// Sleeps up to `timeout`, returning early — with `true` — the
+    /// moment the gate trips. Returns `false` after an undisturbed wait.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if self.is_triggered() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (next, _timed_out) = self
+                .wake
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = next;
+        }
+    }
+}
+
+/// Incremental newline framing over an append-only byte buffer.
+///
+/// `scanned` remembers how far the last search got, so feeding a 4 MiB
+/// newline-less flood in 4 KiB chunks costs one pass total instead of a
+/// quadratic re-scan per chunk.
+#[derive(Debug, Default)]
+pub(crate) struct LineBuffer {
+    buf: Vec<u8>,
+    /// Bytes known to contain no `\n` (always ≤ `buf.len()`).
+    scanned: usize,
+}
+
+impl LineBuffer {
+    /// Appends freshly read bytes.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Removes and returns the next full line *including* its trailing
+    /// newline, or `None` when no complete line is buffered yet.
+    pub(crate) fn next_line(&mut self) -> Option<Vec<u8>> {
+        let offset = self.buf[self.scanned..].iter().position(|&b| b == b'\n');
+        match offset {
+            Some(at) => {
+                let line: Vec<u8> = self.buf.drain(..=self.scanned + at).collect();
+                self.scanned = 0;
+                Some(line)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+        }
+    }
+
+    /// Bytes currently buffered (all part of one incomplete line
+    /// whenever [`next_line`](Self::next_line) just returned `None`).
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// One encoded protocol-error reply line, as sent before every
+/// server-initiated close (oversized line, truncated request, idle
+/// timeout, connection limit) so the peer never sees a silent drop.
+pub(crate) fn refusal_line(kind: ErrorKind, message: String) -> Vec<u8> {
+    let mut out = Response::Error(ServiceError::new(kind, message)).encode();
+    out.push('\n');
+    out.into_bytes()
+}
+
+/// The blocking thread-per-connection serving loop the router still
+/// uses: newline framing with the [`MAX_LINE_BYTES`] cap, a
+/// [`POLL_INTERVAL`] read timeout re-checking `gate`, and a typed
+/// protocol error before every server-initiated close (oversized line,
+/// truncated request). `respond` handles one trimmed, non-empty line.
+pub(crate) fn serve_blocking_lines<F>(stream: TcpStream, gate: &ShutdownGate, mut respond: F)
+where
+    F: FnMut(&str) -> Response,
+{
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = stream;
+    let mut buf = LineBuffer::default();
+    let mut chunk = [0u8; 4096];
+    let refuse = |writer: &mut TcpStream, message: String| {
+        let _ = writer.write_all(&refusal_line(ErrorKind::Protocol, message));
+        let _ = writer.flush();
+    };
+    loop {
+        while let Some(line) = buf.next_line() {
+            if line.len() > MAX_LINE_BYTES {
+                // A completed line past the limit must be refused like a
+                // partial one — parsing it would let a newline smuggled
+                // at the end of a flood bypass the cap.
+                refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                return;
+            }
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut out = respond(text).encode();
+            out.push('\n');
+            if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            return;
+        }
+        if gate.is_triggered() {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    // The peer half-closed mid-request. Tell it what got
+                    // lost before closing instead of vanishing silently.
+                    refuse(
+                        &mut writer,
+                        format!(
+                            "truncated request: EOF after {} bytes with no newline",
+                            buf.len()
+                        ),
+                    );
+                }
+                return;
+            }
+            Ok(n) => buf.extend(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn line_buffer_frames_across_chunk_boundaries() {
+        let mut buf = LineBuffer::default();
+        buf.extend(b"alpha\nbe");
+        assert_eq!(buf.next_line().as_deref(), Some(b"alpha\n".as_slice()));
+        assert_eq!(buf.next_line(), None);
+        buf.extend(b"ta\n\ngamma");
+        assert_eq!(buf.next_line().as_deref(), Some(b"beta\n".as_slice()));
+        assert_eq!(buf.next_line().as_deref(), Some(b"\n".as_slice()));
+        assert_eq!(buf.next_line(), None);
+        assert_eq!(buf.len(), 5);
+        buf.extend(b"\n");
+        assert_eq!(buf.next_line().as_deref(), Some(b"gamma\n".as_slice()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn shutdown_gate_wakes_sleepers_immediately() {
+        let gate = Arc::new(ShutdownGate::new());
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let woken = gate.wait_for(Duration::from_secs(30));
+                (woken, start.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        gate.trigger();
+        let (woken, waited) = waiter.join().expect("waiter");
+        assert!(woken, "a triggered gate must report the wake");
+        assert!(
+            waited < Duration::from_secs(5),
+            "a 30 s wait must be interrupted promptly, waited {waited:?}"
+        );
+        // Once triggered, waits return instantly.
+        assert!(gate.wait_for(Duration::from_secs(30)));
+        assert!(gate.is_triggered());
+    }
+
+    #[test]
+    fn untriggered_gate_times_out() {
+        let gate = ShutdownGate::new();
+        let start = Instant::now();
+        assert!(!gate.wait_for(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}

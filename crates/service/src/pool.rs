@@ -1,15 +1,26 @@
-//! A small bounded worker pool for exploration jobs.
+//! The worker pool and its two reactor-facing contracts: admission and
+//! completion hand-back.
 //!
-//! Connections enqueue closures; a fixed set of worker threads drains
-//! them. The pool is deliberately tiny — `std::sync::mpsc` plus a shared
-//! `Mutex<Receiver>` — because the *admission* bound (the server's
-//! `--max-inflight` backpressure) lives upstream in
-//! [`Server`](crate::server::Server), not here.
+//! Connections used to park a thread on an mpsc rendezvous waiting for
+//! their exploration to finish. Under the epoll reactor no thread waits
+//! anywhere: the dispatch layer acquires an [`Admission`] token, hands
+//! the pool a job that runs the exploration, and the job pushes its
+//! [`Response`] into the shared [`Completions`] queue, ringing the
+//! reactor's eventfd doorbell. The reactor wakes, pops the completion
+//! and queues the encoded reply on the owning connection.
+//!
+//! The pool itself stays deliberately tiny — `std::sync::mpsc` plus a
+//! shared `Mutex<Receiver>` — because [`Admission`] already bounds how
+//! much work can ever be queued.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+use crate::net::sys::EventFd;
+use crate::protocol::Response;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -67,6 +78,91 @@ impl WorkerPool {
     }
 }
 
+/// Finished worker results on their way back to the reactor: a mutexed
+/// queue of `(connection token, response)` pairs plus the eventfd
+/// doorbell that interrupts the reactor's `epoll_wait`.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<(u64, Response)>>,
+    doorbell: EventFd,
+}
+
+impl Completions {
+    /// Creates the queue and its doorbell.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd(2)` failure, if the fd table is exhausted.
+    pub(crate) fn new() -> std::io::Result<Self> {
+        Ok(Self { queue: Mutex::new(Vec::new()), doorbell: EventFd::new()? })
+    }
+
+    /// Hands one finished response back and wakes the reactor. Called
+    /// from worker threads.
+    pub(crate) fn push(&self, token: u64, response: Response) {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).push((token, response));
+        self.doorbell.signal();
+    }
+
+    /// Takes every pending completion and clears the doorbell. Called
+    /// from the reactor thread.
+    pub(crate) fn drain(&self) -> Vec<(u64, Response)> {
+        self.doorbell.drain();
+        std::mem::take(&mut *self.queue.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The doorbell fd, for epoll registration.
+    pub(crate) fn waker_fd(&self) -> std::os::fd::RawFd {
+        self.doorbell.raw()
+    }
+}
+
+/// Admission control for explorations: at most `max` may be queued or
+/// running; past that the dispatch layer answers [`Response::Busy`]
+/// instead of growing an unbounded queue.
+pub(crate) struct Admission {
+    inflight: AtomicUsize,
+    max: usize,
+}
+
+impl Admission {
+    pub(crate) fn new(max: usize) -> Self {
+        Self { inflight: AtomicUsize::new(0), max }
+    }
+
+    /// Takes one slot, or `None` when the pool is saturated.
+    pub(crate) fn try_acquire(self: &Arc<Self>) -> Option<AdmissionToken> {
+        self.inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| AdmissionToken(Arc::clone(self)))
+    }
+
+    /// The `busy` reply for a saturated pool, with a backoff hint scaled
+    /// by how oversubscribed it is: one explore-slot's worth of queueing
+    /// (50 ms) per excess in-flight request, clamped to 25 ms..=2 s.
+    pub(crate) fn busy_reply(&self) -> Response {
+        let inflight = self.inflight.load(Ordering::SeqCst);
+        let excess = inflight.saturating_sub(self.max) as u64;
+        Response::Busy {
+            inflight: inflight as u64,
+            max_inflight: self.max as u64,
+            retry_after_ms: (50 * (excess + 1)).clamp(25, 2000),
+        }
+    }
+}
+
+/// RAII admission slot: holding one counts toward the cap; dropping it
+/// (wherever the job ends — success, error or panic) releases it.
+pub(crate) struct AdmissionToken(Arc<Admission>);
+
+impl Drop for AdmissionToken {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +195,38 @@ mod tests {
         .unwrap();
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 1, "the single worker must survive");
+    }
+
+    #[test]
+    fn completions_hand_back_through_the_pool() {
+        let completions = Arc::new(Completions::new().expect("eventfd"));
+        let pool = WorkerPool::new(2);
+        for token in 0..8u64 {
+            let completions = Arc::clone(&completions);
+            pool.execute(Box::new(move || {
+                completions.push(token, Response::ShuttingDown);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        let mut got = completions.drain();
+        got.sort_by_key(|(token, _)| *token);
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[7].0, 7);
+        assert!(completions.drain().is_empty(), "drain must take everything");
+    }
+
+    #[test]
+    fn admission_caps_and_releases() {
+        let admission = Arc::new(Admission::new(2));
+        let a = admission.try_acquire().expect("slot 1");
+        let _b = admission.try_acquire().expect("slot 2");
+        assert!(admission.try_acquire().is_none(), "third slot must be refused");
+        match admission.busy_reply() {
+            Response::Busy { inflight: 2, max_inflight: 2, retry_after_ms: 50 } => {}
+            other => panic!("unexpected busy reply: {other:?}"),
+        }
+        drop(a);
+        assert!(admission.try_acquire().is_some(), "released slot must be reusable");
     }
 }

@@ -25,13 +25,13 @@
 //! in `tests/ring_props.rs`).
 
 use std::collections::HashMap;
-use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::io::ErrorKind as IoErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::client::{Client, ClientError, RetryPolicy};
+use crate::net::{serve_blocking_lines, ShutdownGate, POLL_INTERVAL};
 use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 
 /// Virtual nodes per backend pair on the ring: enough to spread sessions
@@ -47,11 +47,6 @@ const HEALTH_PING_BUDGET_MS: u64 = 500;
 /// Retry budget for the `promote` call during failover (the standby is
 /// alive but may be mid-apply).
 const PROMOTE_BUDGET_MS: u64 = 2_000;
-/// How long blocked reads and accept polls wait before re-checking the
-/// shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
-/// Maximum bytes one request line may occupy (mirrors the server's cap).
-const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// FNV-1a 64-bit with an avalanche finalizer. Unseeded on purpose: ring
 /// placement must be identical across process restarts for router
@@ -199,7 +194,8 @@ impl Pair {
     /// and re-points the pair at it. Returns the address now active, or
     /// `None` when the pair is out of nodes. Idempotent — a concurrent
     /// caller that lost the race just gets the already-promoted address.
-    fn fail_over(&self, failed: &str) -> Option<String> {
+    /// `gate` wakes the promote call's retry backoff on shutdown.
+    fn fail_over(&self, failed: &str, gate: &ShutdownGate) -> Option<String> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.active != failed {
             // Someone already failed over; the new active is the answer.
@@ -209,7 +205,7 @@ impl Pair {
             return None; // the standby died too
         }
         let standby = self.spec.standby.as_ref()?;
-        match promote(standby) {
+        match promote(standby, gate) {
             Ok(sessions) => {
                 eprintln!(
                     "chop-router: backend {failed} is down; promoted standby {standby} \
@@ -229,10 +225,10 @@ impl Pair {
 }
 
 /// Sends `promote` to a standby, returning its session count.
-fn promote(addr: &str) -> Result<u64, ClientError> {
+fn promote(addr: &str, gate: &ShutdownGate) -> Result<u64, ClientError> {
     let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
     let policy = RetryPolicy::with_budget_ms(PROMOTE_BUDGET_MS);
-    match client.request_with_retry(&Request::Promote, None, &policy)? {
+    match client.request_with_retry_until(&Request::Promote, None, &policy, gate)? {
         Response::Promoted { sessions } => Ok(sessions),
         other => Err(ClientError::Protocol(ServiceError::protocol(format!(
             "unexpected promote reply: {}",
@@ -251,7 +247,7 @@ struct RouterState {
 pub struct Router {
     listener: TcpListener,
     state: Arc<RouterState>,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownGate>,
     health_interval: Duration,
 }
 
@@ -278,7 +274,7 @@ impl Router {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(state),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown: Arc::new(ShutdownGate::new()),
             health_interval: config.health_interval,
         })
     }
@@ -292,10 +288,12 @@ impl Router {
         self.listener.local_addr()
     }
 
-    /// The drain flag, for embedders; the wire `shutdown` request sets
-    /// the same flag.
+    /// The drain gate, for embedders (a signal hook calls
+    /// [`trigger`](ShutdownGate::trigger)); the wire `shutdown` request
+    /// trips the same gate. Unlike a plain flag, tripping it *wakes* the
+    /// health loop and any retry backoff mid-sleep.
     #[must_use]
-    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+    pub fn shutdown_handle(&self) -> Arc<ShutdownGate> {
         Arc::clone(&self.shutdown)
     }
 
@@ -317,7 +315,7 @@ impl Router {
                 .expect("failed to spawn health thread")
         };
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.shutdown.load(Ordering::SeqCst) {
+        while !self.shutdown.is_triggered() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let state = Arc::clone(&self.state);
@@ -328,7 +326,7 @@ impl Router {
                     }));
                 }
                 Err(e) if e.kind() == IoErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
+                    self.shutdown.wait_for(POLL_INTERVAL);
                 }
                 Err(e) if e.kind() == IoErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
@@ -344,22 +342,17 @@ impl Router {
 
 /// Pings every pair's active node once per interval; [`HEALTH_STRIKES`]
 /// consecutive misses fail the pair over without waiting for a client
-/// request to trip on the dead node.
-fn health_loop(state: &RouterState, shutdown: &AtomicBool, interval: Duration) {
-    while !shutdown.load(Ordering::SeqCst) {
-        // Sleep in poll-sized steps so shutdown stays responsive.
-        let mut remaining = interval;
-        while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
-            let step = remaining.min(POLL_INTERVAL);
-            std::thread::sleep(step);
-            remaining = remaining.saturating_sub(step);
-        }
-        if shutdown.load(Ordering::SeqCst) {
+/// request to trip on the dead node. The gate wakes the full-interval
+/// wait (and every ping backoff) the moment shutdown trips, so drain
+/// latency no longer depends on the health interval.
+fn health_loop(state: &RouterState, shutdown: &ShutdownGate, interval: Duration) {
+    loop {
+        if shutdown.wait_for(interval) {
             return;
         }
         for pair in &state.pairs {
             let addr = pair.active();
-            if ping(&addr).is_ok() {
+            if ping(&addr, shutdown).is_ok() {
                 pair.state.lock().unwrap_or_else(PoisonError::into_inner).strikes = 0;
                 continue;
             }
@@ -372,19 +365,19 @@ fn health_loop(state: &RouterState, shutdown: &AtomicBool, interval: Duration) {
                 st.strikes
             };
             if strikes >= HEALTH_STRIKES {
-                let _ = pair.fail_over(&addr);
+                let _ = pair.fail_over(&addr, shutdown);
             }
         }
     }
 }
 
-fn ping(addr: &str) -> Result<(), ClientError> {
+fn ping(addr: &str, gate: &ShutdownGate) -> Result<(), ClientError> {
     let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
     let policy = RetryPolicy {
         attempt_timeout: Some(Duration::from_millis(HEALTH_PING_BUDGET_MS)),
         ..RetryPolicy::with_budget_ms(HEALTH_PING_BUDGET_MS)
     };
-    match client.request_with_retry(&Request::Ping, None, &policy)? {
+    match client.request_with_retry_until(&Request::Ping, None, &policy, gate)? {
         Response::Pong { .. } => Ok(()),
         other => Err(ClientError::Protocol(ServiceError::protocol(format!(
             "unexpected ping reply: {}",
@@ -398,73 +391,12 @@ fn ping(addr: &str) -> Result<(), ClientError> {
 type BackendConns = HashMap<usize, (String, Client)>;
 
 /// Reads newline-delimited requests off one client socket, forwarding
-/// each to its pair's active backend. Mirrors the server's framing:
-/// oversized and truncated lines get a typed `protocol` error before the
-/// close.
-fn handle_connection(stream: TcpStream, state: &RouterState, shutdown: &AtomicBool) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let Ok(mut writer) = stream.try_clone() else { return };
-    let mut reader = stream;
+/// each to its pair's active backend. The framing (oversized and
+/// truncated lines get a typed `protocol` error before the close) is
+/// [`serve_blocking_lines`] — the same rules the server enforces.
+fn handle_connection(stream: TcpStream, state: &RouterState, shutdown: &ShutdownGate) {
     let mut conns: BackendConns = HashMap::new();
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let refuse = |writer: &mut TcpStream, message: String| {
-        let mut out = Response::Error(ServiceError::new(ErrorKind::Protocol, message)).encode();
-        out.push('\n');
-        let _ = writer.write_all(out.as_bytes());
-        let _ = writer.flush();
-    };
-    loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            if line.len() > MAX_LINE_BYTES {
-                refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                return;
-            }
-            let text = String::from_utf8_lossy(&line);
-            let text = text.trim();
-            if text.is_empty() {
-                continue;
-            }
-            let response = respond(text, state, &mut conns, shutdown);
-            let mut out = response.encode();
-            out.push('\n');
-            if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                return;
-            }
-        }
-        if buf.len() > MAX_LINE_BYTES {
-            refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-            return;
-        }
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => {
-                if !buf.is_empty() {
-                    refuse(
-                        &mut writer,
-                        format!(
-                            "truncated request: EOF after {} bytes with no newline",
-                            buf.len()
-                        ),
-                    );
-                }
-                return;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
-                ) => {}
-            Err(_) => return,
-        }
-    }
+    serve_blocking_lines(stream, shutdown, |line| respond(line, state, &mut conns, shutdown));
 }
 
 /// Decodes one line and routes it: `shutdown` stops the router itself;
@@ -474,17 +406,17 @@ fn respond(
     line: &str,
     state: &RouterState,
     conns: &mut BackendConns,
-    shutdown: &AtomicBool,
+    shutdown: &ShutdownGate,
 ) -> Response {
     let (request, req_id) = match Request::decode_tagged(line) {
         Ok(decoded) => decoded,
         Err(e) => return Response::Error(e),
     };
     if matches!(request, Request::Shutdown) {
-        shutdown.store(true, Ordering::SeqCst);
+        shutdown.trigger();
         return Response::ShuttingDown;
     }
-    forward(state, conns, &request, req_id.as_deref())
+    forward(state, conns, &request, req_id.as_deref(), shutdown)
 }
 
 fn forward(
@@ -492,6 +424,7 @@ fn forward(
     conns: &mut BackendConns,
     request: &Request,
     req_id: Option<&str>,
+    gate: &ShutdownGate,
 ) -> Response {
     let key = request.session().unwrap_or("");
     let Some(index) = state.ring.assign(key) else {
@@ -503,7 +436,7 @@ fn forward(
         Ok(response) => response,
         Err(first_err) => {
             conns.remove(&index);
-            let Some(next) = pair.fail_over(&active) else {
+            let Some(next) = pair.fail_over(&active, gate) else {
                 return Response::Error(ServiceError::new(
                     ErrorKind::Internal,
                     format!("no live backend for this session: {first_err}"),
@@ -605,9 +538,10 @@ mod tests {
 
     #[test]
     fn fail_over_is_idempotent_and_terminal_without_a_standby() {
+        let gate = ShutdownGate::new();
         let pair = Pair::new(BackendSpec { primary: "10.0.0.1:1".into(), standby: None });
         assert_eq!(pair.active(), "10.0.0.1:1");
-        assert!(pair.fail_over("10.0.0.1:1").is_none(), "no standby, nowhere to go");
+        assert!(pair.fail_over("10.0.0.1:1", &gate).is_none(), "no standby, nowhere to go");
         // A caller holding a stale address learns the current active.
         let pair = Pair::new(BackendSpec { primary: "10.0.0.1:1".into(), standby: None });
         {
@@ -615,7 +549,7 @@ mod tests {
             st.active = "10.0.0.2:1".into();
             st.promoted = true;
         }
-        assert_eq!(pair.fail_over("10.0.0.1:1"), Some("10.0.0.2:1".into()));
-        assert!(pair.fail_over("10.0.0.2:1").is_none(), "the standby died too");
+        assert_eq!(pair.fail_over("10.0.0.1:1", &gate), Some("10.0.0.2:1".into()));
+        assert!(pair.fail_over("10.0.0.2:1", &gate).is_none(), "the standby died too");
     }
 }

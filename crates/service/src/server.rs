@@ -1,55 +1,55 @@
-//! The TCP server: accept loop, per-connection threads, admission
-//! control and graceful drain.
+//! The TCP server: an epoll reactor for all I/O, a worker pool for all
+//! search CPU.
 //!
-//! Architecture (one box per thread):
+//! Architecture (one box per thread — note there is exactly *one* I/O
+//! thread no matter how many clients are connected):
 //!
 //! ```text
-//!   accept loop (run)        connection threads          worker pool
-//!   ┌───────────────┐   ┌──────────────────────┐   ┌─────────────────┐
-//!   │ nonblocking    │   │ read lines (100 ms    │   │ N threads drain │
-//!   │ accept, polls  ├──▶│ timeout, polls the    ├──▶│ explore jobs;   │
-//!   │ the shutdown   │   │ shutdown flag);       │   │ results return  │
-//!   │ flag           │   │ cheap requests inline │◀──┤ over a channel  │
-//!   └───────────────┘   └──────────────────────┘   └─────────────────┘
+//!        reactor thread (run)                      worker pool
+//!   ┌───────────────────────────────┐        ┌─────────────────────┐
+//!   │ epoll over listener + every   │ explore│ N threads drain     │
+//!   │ connection + eventfd doorbell;├───────▶│ exploration jobs;   │
+//!   │ nonblocking accept, NDJSON    │        │ completions go back │
+//!   │ framing, cheap requests       │◀───────┤ through a queue +   │
+//!   │ answered inline, replies      │ eventfd│ eventfd wakeup      │
+//!   │ queued with EPOLLOUT re-arm   │        └─────────────────────┘
+//!   └───────────────────────────────┘
 //! ```
 //!
+//! * **Scaling** — an idle connection costs a hash-map entry and an
+//!   epoll registration, not a thread and 10 wakeups/second. The old
+//!   thread-per-connection loop lives on only in `chop router`.
 //! * **Backpressure** — an `explore` is admitted only while fewer than
 //!   `max_inflight` explorations are queued or running; past that the
-//!   client gets a typed [`Response::Busy`] immediately instead of an
-//!   unbounded queue.
+//!   client gets a typed [`Response::Busy`] immediately. A client that
+//!   stops *reading* gets per-connection backpressure instead: its
+//!   output queue caps, its reads pause, and its memory stays bounded.
 //! * **Panic isolation** — every request is handled under
-//!   `catch_unwind`, twice for explorations (once around the whole
-//!   handler, once inside the worker job), so one poisoned request
-//!   produces one `internal` error response and the server keeps serving.
+//!   `catch_unwind`, twice for explorations (once around the dispatch,
+//!   once inside the worker job), so one poisoned request produces one
+//!   `internal` error response and the server keeps serving.
 //! * **Graceful drain** — a `shutdown` request flips a shared flag; the
-//!   accept loop stops, every connection thread finishes its buffered
-//!   lines and exits at the next 100 ms poll, queued explorations drain,
-//!   and [`Server::run`] returns `Ok(())` (the CLI maps that to exit 0).
-//!   There is no in-process SIGINT hook (that would need `unsafe` signal
-//!   code); embedders can wire one to [`Server::shutdown_handle`].
+//!   reactor stops accepting and reading, answers what is buffered
+//!   (waiting out dispatched explorations), flushes and closes every
+//!   connection, and [`Server::run`] returns `Ok(())` (the CLI maps
+//!   that to exit 0). There is no in-process SIGINT hook (that would
+//!   need signal-handler state here); embedders wire one to
+//!   [`Server::shutdown_handle`].
 
-use std::io::{ErrorKind as IoErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::AtomicBool;
+#[cfg(feature = "fault-inject")]
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::manager::{RecoveryReport, SessionManager};
-use crate::pool::WorkerPool;
+use crate::net::reactor::{LineHandler, LineOutcome, Reactor, ReactorConfig};
+use crate::pool::{Admission, Completions, WorkerPool};
 use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 use crate::replication::Replicator;
-
-/// How long blocked reads and accept polls wait before re-checking the
-/// shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// Maximum bytes one request line may occupy. A client streaming data
-/// without a newline would otherwise grow the connection buffer without
-/// bound; past this limit the connection gets one protocol error reply
-/// and is closed. 4 MiB comfortably fits any real spec.
-const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +73,14 @@ pub struct ServeConfig {
     /// Ship every committed mutation to the standby at this `host:port`
     /// address (the primary half of a replicated pair).
     pub replicate_to: Option<String>,
+    /// Concurrent connections accepted before new ones are refused with
+    /// a typed error (the reactor happily holds tens of thousands; this
+    /// caps fd usage).
+    pub max_connections: usize,
+    /// Idle connections are closed — typed error first — after this
+    /// many milliseconds without a completed request. 0 disables
+    /// reaping.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +93,8 @@ impl Default for ServeConfig {
             snapshot_every: 1024,
             standby: false,
             replicate_to: None,
+            max_connections: 4096,
+            idle_timeout_ms: 600_000,
         }
     }
 }
@@ -96,21 +106,11 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     config: ServeConfig,
     recovery: Option<RecoveryReport>,
-    /// Chaos-only "power cord": when set, the accept loop severs every
+    /// Chaos-only "power cord": when set, the reactor severs every
     /// connection and returns immediately — no drain, no journal
     /// ceremony — simulating `kill -9` inside one test process.
     #[cfg(feature = "fault-inject")]
     kill: Arc<AtomicBool>,
-}
-
-/// Everything a connection thread needs, cloned per connection.
-#[derive(Clone)]
-struct ConnCtx {
-    manager: Arc<SessionManager>,
-    pool: Arc<WorkerPool>,
-    shutdown: Arc<AtomicBool>,
-    inflight: Arc<AtomicUsize>,
-    max_inflight: usize,
 }
 
 impl Server {
@@ -168,6 +168,7 @@ impl Server {
     /// The drain flag: storing `true` makes [`run`](Server::run) stop
     /// accepting, drain and return. The wire `shutdown` request sets the
     /// same flag; this handle exists for embedders (e.g. a signal hook).
+    /// The reactor re-checks it at least every poll interval.
     #[must_use]
     pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
@@ -187,294 +188,123 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Only fatal listener errors; per-connection and per-request
+    /// Only fatal listener/epoll errors; per-connection and per-request
     /// failures are answered on the wire, never returned here.
     pub fn run(self) -> std::io::Result<()> {
-        self.listener.set_nonblocking(true)?;
         let mut replicator = self
             .config
             .replicate_to
             .as_ref()
             .map(|addr| Replicator::start(Arc::clone(&self.manager), addr.clone()));
         let pool = Arc::new(WorkerPool::new(self.config.workers));
-        let inflight = Arc::new(AtomicUsize::new(0));
-        let ctx = ConnCtx {
-            manager: self.manager,
+        let completions = Arc::new(Completions::new()?);
+        let dispatch = Dispatch {
+            manager: Arc::clone(&self.manager),
             pool: Arc::clone(&pool),
+            completions: Arc::clone(&completions),
+            admission: Arc::new(Admission::new(self.config.max_inflight)),
             shutdown: Arc::clone(&self.shutdown),
-            inflight,
-            max_inflight: self.config.max_inflight,
         };
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        // Live sockets, registered so the chaos kill switch can sever
-        // them. Each handler *removes* its entry on exit — holding a
-        // clone past the handler's death would keep the socket open and
-        // rob the peer of the EOF that a server-initiated close promises.
-        #[cfg(feature = "fault-inject")]
-        let live_streams = LiveStreams::default();
-        #[cfg(feature = "fault-inject")]
-        let mut next_conn_id: u64 = 0;
-        while !self.shutdown.load(Ordering::SeqCst) {
+        let idle_timeout = (self.config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.config.idle_timeout_ms));
+        let reactor = Reactor::new(
+            self.listener,
+            completions,
+            Arc::clone(&self.shutdown),
             #[cfg(feature = "fault-inject")]
-            if self.kill.load(Ordering::SeqCst) {
-                // Simulated `kill -9`: sever every connection and vanish.
-                // No drain, no joins — in-flight work is abandoned just
-                // as a real process death would abandon it. (Connection
-                // and worker threads die on their next I/O or are leaked
-                // for the remainder of the test process.)
-                live_streams.sever_all();
-                if let Some(replicator) = replicator.as_mut() {
-                    replicator.stop();
-                }
-                return Ok(());
-            }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    #[cfg(feature = "fault-inject")]
-                    let registration = {
-                        let id = next_conn_id;
-                        next_conn_id += 1;
-                        live_streams.register(id, stream.try_clone().ok())
-                    };
-                    let ctx = ctx.clone();
-                    connections.retain(|h| !h.is_finished());
-                    connections.push(std::thread::spawn(move || {
-                        #[cfg(feature = "fault-inject")]
-                        let _registration = registration;
-                        handle_connection(stream, &ctx);
-                    }));
-                }
-                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Drain: connection threads notice the flag within one poll
-        // interval and exit; then let the pool finish queued work.
-        for handle in connections {
-            let _ = handle.join();
-        }
-        drop(ctx);
+            Some(Arc::clone(&self.kill)),
+            #[cfg(not(feature = "fault-inject"))]
+            None,
+            ReactorConfig { max_connections: self.config.max_connections, idle_timeout },
+        )?;
+        let result = reactor.run(&dispatch);
         if let Some(replicator) = replicator.as_mut() {
             replicator.stop();
         }
+        #[cfg(feature = "fault-inject")]
+        if self.kill.load(Ordering::SeqCst) {
+            // Simulated kill -9: abandon queued work instead of
+            // draining the pool, exactly like the process dying.
+            return result;
+        }
+        drop(dispatch);
         if let Ok(pool) = Arc::try_unwrap(pool) {
             pool.shutdown();
         }
-        Ok(())
+        result
     }
 }
 
-/// Registry of live connection sockets, used only by the chaos kill
-/// switch. Handlers deregister on exit (via [`StreamRegistration`]'s
-/// `Drop`, so a panicking handler deregisters too); a clone that
-/// outlived its handler would hold the TCP connection open and suppress
-/// the EOF every server-initiated close guarantees the peer.
-#[cfg(feature = "fault-inject")]
-#[derive(Clone, Default)]
-struct LiveStreams {
-    inner: Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>,
+/// Request semantics on top of the reactor: decode, route, reply.
+/// Everything here must return promptly — the reactor thread is every
+/// connection's I/O thread — so exploration goes to the pool and hands
+/// its reply back through the completion queue.
+struct Dispatch {
+    manager: Arc<SessionManager>,
+    pool: Arc<WorkerPool>,
+    completions: Arc<Completions>,
+    admission: Arc<Admission>,
+    shutdown: Arc<AtomicBool>,
 }
 
-#[cfg(feature = "fault-inject")]
-impl LiveStreams {
-    fn register(&self, id: u64, stream: Option<TcpStream>) -> StreamRegistration {
-        if let Some(stream) = stream {
-            self.lock().insert(id, stream);
-        }
-        StreamRegistration { registry: self.clone(), id }
-    }
-
-    fn sever_all(&self) {
-        for stream in self.lock().values() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+impl LineHandler for Dispatch {
+    fn handle_line(&self, conn: u64, line: &str) -> LineOutcome {
+        match catch_unwind(AssertUnwindSafe(|| self.route(conn, line))) {
+            Ok(outcome) => outcome,
+            Err(payload) => LineOutcome::Reply(Response::Error(ServiceError::new(
+                ErrorKind::Internal,
+                format!("request handler panicked: {}", panic_message(&payload)),
+            ))),
         }
     }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, TcpStream>> {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
 }
 
-/// Removes a connection's kill-switch entry when its handler exits.
-#[cfg(feature = "fault-inject")]
-struct StreamRegistration {
-    registry: LiveStreams,
-    id: u64,
-}
-
-#[cfg(feature = "fault-inject")]
-impl Drop for StreamRegistration {
-    fn drop(&mut self) {
-        self.registry.lock().remove(&self.id);
-    }
-}
-
-/// Writes one typed `protocol` error reply before a server-initiated
-/// close, so the peer never sees a silent disconnect it caused.
-fn refuse(writer: &mut TcpStream, message: String) {
-    let mut out = Response::Error(ServiceError::new(ErrorKind::Protocol, message)).encode();
-    out.push('\n');
-    let _ = writer.write_all(out.as_bytes());
-    let _ = writer.flush();
-}
-
-/// Reads newline-delimited requests off one socket until EOF, an I/O
-/// error, or drain. Every close the *server* decides on (oversized line,
-/// truncated request) is preceded by a typed `protocol` error reply —
-/// never a silent disconnect.
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let Ok(mut writer) = stream.try_clone() else { return };
-    let mut reader = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            if line.len() > MAX_LINE_BYTES {
-                // A completed line past the limit must be refused like a
-                // partial one — parsing it would let a newline smuggled
-                // at the end of a flood bypass the cap.
-                refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                return;
+impl Dispatch {
+    /// Decodes and dispatches: `shutdown` flips the drain flag,
+    /// `explore` goes through admission control and the worker pool,
+    /// everything else is answered inline by the manager.
+    fn route(&self, conn: u64, line: &str) -> LineOutcome {
+        let (request, req_id) = match Request::decode_tagged(line) {
+            Ok(decoded) => decoded,
+            Err(e) => return LineOutcome::Reply(Response::Error(e)),
+        };
+        match request {
+            Request::Shutdown => {
+                self.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                LineOutcome::Reply(Response::ShuttingDown)
             }
-            let text = String::from_utf8_lossy(&line);
-            let text = text.trim();
-            if text.is_empty() {
-                continue;
-            }
-            let mut out = respond(text, ctx).encode();
-            out.push('\n');
-            if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                return;
-            }
-        }
-        if buf.len() > MAX_LINE_BYTES {
-            refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-            return;
-        }
-        if ctx.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => {
-                if !buf.is_empty() {
-                    // The peer half-closed mid-request. Tell it what got
-                    // lost before closing instead of vanishing silently.
-                    refuse(
-                        &mut writer,
-                        format!(
-                            "truncated request: EOF after {} bytes with no newline",
-                            buf.len()
-                        ),
-                    );
-                }
-                return;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
-                ) => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Handles one request line with panic isolation.
-fn respond(line: &str, ctx: &ConnCtx) -> Response {
-    match catch_unwind(AssertUnwindSafe(|| route(line, ctx))) {
-        Ok(response) => response,
-        Err(payload) => Response::Error(ServiceError::new(
-            ErrorKind::Internal,
-            format!("request handler panicked: {}", panic_message(&payload)),
-        )),
-    }
-}
-
-/// Decodes and dispatches: `shutdown` flips the drain flag, `explore`
-/// goes through admission control and the worker pool, everything else
-/// is answered inline by the manager.
-fn route(line: &str, ctx: &ConnCtx) -> Response {
-    let (request, req_id) = match Request::decode_tagged(line) {
-        Ok(decoded) => decoded,
-        Err(e) => return Response::Error(e),
-    };
-    match request {
-        Request::Shutdown => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            Response::ShuttingDown
-        }
-        Request::Explore { session, params } => {
-            let Some(token) = InflightToken::try_acquire(&ctx.inflight, ctx.max_inflight)
-            else {
-                let inflight = ctx.inflight.load(Ordering::SeqCst);
-                return Response::Busy {
-                    inflight: inflight as u64,
-                    max_inflight: ctx.max_inflight as u64,
-                    retry_after_ms: retry_after_ms(inflight, ctx.max_inflight),
+            Request::Explore { session, params } => {
+                let Some(token) = self.admission.try_acquire() else {
+                    return LineOutcome::Reply(self.admission.busy_reply());
                 };
-            };
-            let (tx, rx) = mpsc::channel::<Response>();
-            let manager = Arc::clone(&ctx.manager);
-            let job = Box::new(move || {
-                let _token = token;
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| manager.explore(&session, &params)));
-                let response = match result {
-                    Ok(Ok(run)) => Response::Explored { session, run },
-                    Ok(Err(e)) => Response::Error(e),
-                    Err(payload) => Response::Error(ServiceError::new(
+                let manager = Arc::clone(&self.manager);
+                let completions = Arc::clone(&self.completions);
+                let job = Box::new(move || {
+                    let _token = token;
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| manager.explore(&session, &params)));
+                    let response = match result {
+                        Ok(Ok(run)) => Response::Explored { session, run },
+                        Ok(Err(e)) => Response::Error(e),
+                        Err(payload) => Response::Error(ServiceError::new(
+                            ErrorKind::Internal,
+                            format!("exploration panicked: {}", panic_message(&payload)),
+                        )),
+                    };
+                    completions.push(conn, response);
+                });
+                if self.pool.execute(job).is_err() {
+                    return LineOutcome::Reply(Response::Error(ServiceError::new(
                         ErrorKind::Internal,
-                        format!("exploration panicked: {}", panic_message(&payload)),
-                    )),
-                };
-                let _ = tx.send(response);
-            });
-            if ctx.pool.execute(job).is_err() {
-                return Response::Error(ServiceError::new(
-                    ErrorKind::Internal,
-                    "server is shutting down",
-                ));
+                        "server is shutting down",
+                    )));
+                }
+                LineOutcome::Dispatched
             }
-            rx.recv().unwrap_or_else(|_| {
-                Response::Error(ServiceError::new(ErrorKind::Internal, "worker vanished"))
-            })
+            other => {
+                LineOutcome::Reply(self.manager.dispatch_tagged(&other, req_id.as_deref()))
+            }
         }
-        other => ctx.manager.dispatch_tagged(&other, req_id.as_deref()),
-    }
-}
-
-/// Backoff hint for a `busy` reply, scaled by how oversubscribed the
-/// pool is: one explore-slot's worth of queueing (50 ms) per excess
-/// in-flight request, clamped to a sane 25 ms..=2 s window.
-fn retry_after_ms(inflight: usize, max_inflight: usize) -> u64 {
-    let excess = inflight.saturating_sub(max_inflight) as u64;
-    (50 * (excess + 1)).clamp(25, 2000)
-}
-
-/// RAII admission token: holding one counts toward `max_inflight`.
-struct InflightToken(Arc<AtomicUsize>);
-
-impl InflightToken {
-    fn try_acquire(inflight: &Arc<AtomicUsize>, max: usize) -> Option<Self> {
-        inflight
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
-            .ok()
-            .map(|_| Self(Arc::clone(inflight)))
-    }
-}
-
-impl Drop for InflightToken {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -492,7 +322,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufRead, BufReader};
+    use crate::net::MAX_LINE_BYTES;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn roundtrip(
         stream: &mut TcpStream,
@@ -633,6 +465,72 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig { workers: 2, ..ServeConfig::default() })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // A burst of pings written as one syscall must come back as
+        // exactly that many pongs, in order, on one connection.
+        let mut burst = String::new();
+        for _ in 0..64 {
+            burst.push_str(&Request::Ping.encode());
+            burst.push('\n');
+        }
+        stream.write_all(burst.as_bytes()).unwrap();
+        for i in 0..64 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(
+                matches!(Response::decode(reply.trim()).unwrap(), Response::Pong { .. }),
+                "reply {i} was not a pong: {reply:?}"
+            );
+        }
+        roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connection_limit_refuses_with_typed_error() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig { workers: 1, max_connections: 2, ..ServeConfig::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut first = TcpStream::connect(addr).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second.try_clone().unwrap());
+        // Pings prove both slots are genuinely registered.
+        roundtrip(&mut first, &mut first_reader, &Request::Ping);
+        roundtrip(&mut second, &mut second_reader, &Request::Ping);
+        // The third connection gets one typed error, then EOF.
+        let third = TcpStream::connect(addr).unwrap();
+        let mut third_reader = BufReader::new(third);
+        let mut reply = String::new();
+        third_reader.read_line(&mut reply).unwrap();
+        let decoded = Response::decode(reply.trim()).unwrap();
+        let Response::Error(e) = decoded else { panic!("{decoded:?}") };
+        assert!(e.message.contains("connection limit"), "{}", e.message);
+        reply.clear();
+        assert_eq!(third_reader.read_line(&mut reply).unwrap(), 0);
+        // Freeing a slot re-admits new connections.
+        drop(first);
+        drop(first_reader);
+        std::thread::sleep(crate::net::POLL_INTERVAL * 2);
+        let mut fourth = TcpStream::connect(addr).unwrap();
+        let mut fourth_reader = BufReader::new(fourth.try_clone().unwrap());
+        roundtrip(&mut fourth, &mut fourth_reader, &Request::Ping);
+        roundtrip(&mut fourth, &mut fourth_reader, &Request::Shutdown);
         handle.join().unwrap().unwrap();
     }
 }

@@ -402,6 +402,106 @@ fn killed_primary_fails_over_to_byte_identical_standby() {
     }
 }
 
+/// Power loss with a crowd in the room: the kill flag severs dozens of
+/// live reactor connections — some idle, some mid-pipeline, one frozen
+/// mid-line — without drain, and a restart on the same state dir still
+/// re-explores every journaled session to the uninterrupted digest at
+/// jobs 1 and `CHOP_TEST_JOBS`.
+#[test]
+fn kill_with_many_live_connections_recovers_byte_identical() {
+    use std::io::{Read, Write};
+
+    let dir = state_dir("kill-crowd");
+    let config = ServeConfig {
+        workers: 2,
+        state_dir: Some(dir.clone()),
+        snapshot_every: 0,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let kill = server.kill_handle();
+    let server_thread = thread::spawn(move || server.run());
+
+    // Committed state the crash must not lose: two tagged opens and a
+    // tagged repartition.
+    let open_a = Request::Open { session: "crowd-a".into(), params: open_params(SPEC, 2) };
+    let open_b = Request::Open { session: "crowd-b".into(), params: open_params(WIDE_SPEC, 3) };
+    let mut client = Client::connect(addr).expect("connect");
+    client.request_tagged(&open_a, Some("crowd-a-open")).expect("open a");
+    client.request_tagged(&open_b, Some("crowd-b-open")).expect("open b");
+    let moved = client
+        .request_tagged(
+            &Request::Repartition { session: "crowd-b".into(), node: 3, to: 0 },
+            Some("crowd-b-move"),
+        )
+        .expect("repartition");
+    assert!(matches!(moved, Response::Repartitioned { .. }), "{moved:?}");
+
+    // The crowd: 32 extra connections in assorted states — idle after a
+    // ping, never-spoke, and one frozen mid-request-line.
+    let mut crowd = Vec::new();
+    for i in 0..32 {
+        let mut stream = std::net::TcpStream::connect(addr).expect("crowd connect");
+        if i % 3 == 0 {
+            stream.write_all(b"{\"v\":1,\"type\":\"ping\"}\n").expect("crowd ping");
+            let mut buf = [0u8; 256];
+            let n = stream.read(&mut buf).expect("crowd pong");
+            assert!(n > 0, "crowd conn {i} got EOF instead of a pong");
+        } else if i % 3 == 1 {
+            // Half a request, no newline: the reactor is holding partial
+            // input for this connection when the cord is pulled.
+            stream.write_all(b"{\"v\":1,\"ty").expect("crowd partial");
+        }
+        crowd.push(stream);
+    }
+
+    // Pull the cord. Every live connection is severed without drain.
+    kill.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("server thread").expect("killed run returns");
+    for (i, stream) in crowd.iter_mut().enumerate() {
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("crowd read timeout");
+        let mut buf = [0u8; 256];
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("crowd conn {i} got {n} bytes after the kill"),
+        }
+    }
+
+    // Restart on the same dir: both sessions recover and re-explore to
+    // the digests an uninterrupted run produces, and the dedup window
+    // still answers the replayed open.
+    let reference_b = |jobs: usize| -> String {
+        let mgr = SessionManager::new(jobs);
+        mgr.open("ref", &open_params(WIDE_SPEC, 3)).expect("open");
+        mgr.repartition("ref", 3, 0).expect("repartition");
+        mgr.explore("ref", &ExploreParams::default()).expect("explore").digest
+    };
+    for jobs in [1, test_jobs()] {
+        let (addr, server) = start_server(ServeConfig { jobs, ..config.clone() });
+        let mut client = Client::connect(addr).expect("connect recovered");
+        let replay = client.request_tagged(&open_a, Some("crowd-a-open")).expect("replay");
+        assert_eq!(
+            replay,
+            Response::Opened { session: "crowd-a".into(), partitions: 2 },
+            "recovered server must answer a repeated req_id idempotently"
+        );
+        assert_eq!(
+            explored_digest(&mut client, "crowd-a"),
+            reference_digest(SPEC, 2, jobs),
+            "crowd-a digest must be byte-identical at jobs={jobs}"
+        );
+        assert_eq!(
+            explored_digest(&mut client, "crowd-b"),
+            reference_b(jobs),
+            "crowd-b digest must be byte-identical at jobs={jobs}"
+        );
+        client.request(&Request::Shutdown).expect("shutdown");
+        server.join().expect("server thread");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The replication-equivalence satellite: a standby fed one snapshot
 /// handoff plus tail records must recover (from its own journal) the same
 /// session set as the dead primary's journal replayed locally.
