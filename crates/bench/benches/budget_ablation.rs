@@ -5,8 +5,8 @@
 use std::hint::black_box;
 use std::time::Duration;
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{Heuristic, SearchBudget};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{Heuristic, SearchBudget};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_budget_overhead(c: &mut Criterion) {

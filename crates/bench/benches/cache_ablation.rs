@@ -6,8 +6,8 @@
 
 use std::hint::black_box;
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{Heuristic, PartitionId, Session};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{Heuristic, PartitionId, Session};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn fresh_session() -> Session {

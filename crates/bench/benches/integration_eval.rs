@@ -3,8 +3,8 @@
 //! inner loop of both heuristics.
 
 use chop_bad::PredictorParams;
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{FeasibilityCriteria, IntegrationContext};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{FeasibilityCriteria, IntegrationContext};
 use chop_stat::units::Cycles;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

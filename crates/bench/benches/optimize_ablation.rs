@@ -1,0 +1,128 @@
+//! Optimizer ablation: the move-based auto-partitioner's three
+//! strategies on the paper's AR lattice filter (experiment 1) and a
+//! generated 200-node layered DFG —
+//!
+//! * `fm` — pure gain-directed passes (`with_kicks(0, 0)`): descend
+//!   until no candidate move improves the objective;
+//! * `anneal` — the default spec: gain passes plus seeded
+//!   simulated-annealing kicks on plateaus;
+//! * `restart` — best-of-4 seeded single-kick restarts (perturb the
+//!   stalled state once, descend again, keep the best final score).
+//!
+//! Each strategy is measured cold (fresh session, every candidate
+//! evaluation pays prediction + scheduling) and the gain-pass arms also
+//! warm (prediction cache pre-filled by a prior identical run, so a
+//! candidate evaluation is cache lookup + scoring alone). The warm/cold
+//! ratio is the headline: move refinement is only practical because the
+//! cache-backed engine makes repeat evaluations cheap. Summary numbers
+//! are checked in as `BENCH_optimize.json`.
+
+use std::hint::black_box;
+
+use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+use chop_core::prelude::experiments::{experiment1_session, main_clock, Exp1Config};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Constraints, OptimizeSpec, Session};
+use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
+use chop_library::standard::{table1_library, table2_packages};
+use chop_library::ChipSet;
+use chop_stat::units::Nanos;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// Experiment 1 at 3 partitions on the 84-pin package — the same
+/// workload the search ablation uses.
+fn exp1_session() -> Session {
+    experiment1_session(&Exp1Config { partitions: 3, package: 1 }).expect("valid")
+}
+
+/// A 200-node layered DFG (24 layers x 8 ops + 8 inputs) across 3
+/// chips: the scaling workload beyond the paper's single benchmark.
+fn lattice200_session() -> Session {
+    let params =
+        RandomDfgParams { layers: 24, width: 8, inputs: 8, ..RandomDfgParams::default() };
+    let dfg = random_layered(7, params);
+    let pkg = table2_packages()[1].clone();
+    let chips = ChipSet::uniform(pkg, 3);
+    let partitioning =
+        PartitioningBuilder::new(dfg, chips).split_horizontal(3).build().expect("valid");
+    Session::new(
+        partitioning,
+        table1_library(),
+        ClockConfig::new(main_clock(), 10, 1).expect("valid clocks"),
+        ArchitectureStyle::single_cycle(),
+        PredictorParams::default(),
+        Constraints::new(Nanos::new(1_000_000.0), Nanos::new(1_000_000.0)),
+    )
+}
+
+fn fm_spec(max_moves: u64) -> OptimizeSpec {
+    OptimizeSpec::new().with_kicks(0, 0).with_max_moves(max_moves)
+}
+
+fn anneal_spec(max_moves: u64) -> OptimizeSpec {
+    OptimizeSpec::new().with_max_moves(max_moves)
+}
+
+/// Best-of-4 seeded restarts: each run perturbs one plateau with a
+/// single 4-move kick, then descends; the best final score wins.
+fn restart(session: &Session, max_moves: u64) -> f64 {
+    (1u64..=4)
+        .map(|seed| {
+            let spec =
+                OptimizeSpec::new().with_seed(seed).with_kicks(1, 4).with_max_moves(max_moves);
+            session.optimize(&spec).expect("optimize").final_score
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_optimize_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_ablation");
+    group.sample_size(10);
+
+    type Workload = (&'static str, fn() -> Session, u64);
+    let workloads: [Workload; 2] =
+        [("exp1", exp1_session, 256), ("lattice200", lattice200_session, 64)];
+
+    for (tag, build, max_moves) in workloads {
+        // Cold: fresh session per measurement — every candidate
+        // evaluation pays prediction + scheduling + integration.
+        group.bench_function(format!("{tag}_fm_cold"), |b| {
+            b.iter_batched(
+                build,
+                |s| black_box(s.optimize(&fm_spec(max_moves)).expect("optimize")),
+                BatchSize::SmallInput,
+            );
+        });
+
+        // Warm: the cache already holds every state this deterministic
+        // run visits, so a candidate evaluation is lookup + scoring.
+        let warm = build();
+        warm.optimize(&fm_spec(max_moves)).expect("warm-up");
+        group.bench_function(format!("{tag}_fm_warm"), |b| {
+            b.iter(|| black_box(warm.optimize(&fm_spec(max_moves)).expect("optimize")));
+        });
+
+        group.bench_function(format!("{tag}_anneal_cold"), |b| {
+            b.iter_batched(
+                build,
+                |s| black_box(s.optimize(&anneal_spec(max_moves)).expect("optimize")),
+                BatchSize::SmallInput,
+            );
+        });
+
+        let warm_a = build();
+        warm_a.optimize(&anneal_spec(max_moves)).expect("warm-up");
+        group.bench_function(format!("{tag}_anneal_warm"), |b| {
+            b.iter(|| black_box(warm_a.optimize(&anneal_spec(max_moves)).expect("optimize")));
+        });
+
+        group.bench_function(format!("{tag}_restart_cold"), |b| {
+            b.iter_batched(build, |s| black_box(restart(&s, max_moves)), BatchSize::SmallInput);
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize_ablation);
+criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! Also ablates the probabilistic feasibility criteria against point
 //! comparisons.
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{FeasibilityCriteria, Heuristic};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{FeasibilityCriteria, Heuristic};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -8,8 +8,8 @@
 
 use std::hint::black_box;
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{Heuristic, Session};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{Heuristic, Session};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn fresh_session(branch_and_bound: bool) -> Session {

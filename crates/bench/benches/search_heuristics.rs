@@ -1,10 +1,10 @@
 //! The CPU-time columns of Tables 4 and 6: run time of heuristics E and I
 //! per experiment and partition count.
 
-use chop_core::experiments::{
+use chop_core::prelude::experiments::{
     experiment1_session, experiment2_session, Exp1Config, Exp2Config,
 };
-use chop_core::Heuristic;
+use chop_core::prelude::Heuristic;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

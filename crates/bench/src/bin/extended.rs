@@ -5,8 +5,8 @@
 //! benchmark.
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Constraints, Heuristic, Session};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Constraints, Heuristic, Session};
 use chop_dfg::{benchmarks, Dfg};
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;

@@ -5,7 +5,7 @@
 //! Pass `csv` as the first argument to emit the raw points instead of the
 //! ASCII scatter.
 
-use chop_core::DesignPoint;
+use chop_core::prelude::DesignPoint;
 
 fn main() {
     let csv = std::env::args().nth(1).as_deref() == Some("csv");

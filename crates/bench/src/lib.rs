@@ -21,10 +21,10 @@
 
 use std::time::Duration;
 
-use chop_core::experiments::{
+use chop_core::prelude::experiments::{
     experiment1_session, experiment2_session, Exp1Config, Exp2Config,
 };
-use chop_core::{DesignPoint, Heuristic, SearchOutcome, Session};
+use chop_core::prelude::{DesignPoint, Heuristic, SearchOutcome, Session};
 
 /// One row block of Table 4/6: configuration, heuristic and its outcome.
 #[derive(Debug)]

@@ -243,6 +243,93 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
     Ok(opts)
 }
 
+/// Optimizer-specific options for `chop optimize`; the shared session
+/// options (spec, partitions, constraints, budget) ride in [`Options`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptimizeOptions {
+    /// Seed for the optimizer's deterministic randomness.
+    pub seed: u64,
+    /// Cap on candidate move evaluations (the optimizer's trial budget).
+    pub max_moves: Option<u64>,
+    /// Plateau kicks allowed (`None` = the core default).
+    pub kicks: Option<u32>,
+    /// Annealed moves attempted per kick (`None` = the core default).
+    pub kick_moves: Option<u32>,
+    /// Node indices pinned to their current partition.
+    pub pinned: Vec<u32>,
+    /// Groups of node indices that move atomically and stay co-located.
+    pub groups: Vec<Vec<u32>>,
+    /// Node index pairs that must never share a partition.
+    pub exclusions: Vec<(u32, u32)>,
+}
+
+/// Parses `optimize` options from argv (after the subcommand): the
+/// optimizer flags are stripped here, everything else goes through
+/// [`parse_options`] unchanged.
+pub fn parse_optimize_options(argv: &[String]) -> Result<(Options, OptimizeOptions), ArgError> {
+    let mut oopts = OptimizeOptions::default();
+    let mut rest = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, ArgError> {
+            it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                oopts.seed = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--max-moves" => {
+                oopts.max_moves = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--kicks" => {
+                oopts.kicks = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--kick-moves" => {
+                oopts.kick_moves = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad value for {arg}")))?,
+                );
+            }
+            "--pin" => {
+                oopts
+                    .pinned
+                    .push(value(arg)?.parse().map_err(|_| ArgError("bad node index".into()))?);
+            }
+            "--group" => {
+                let nodes = value(arg)?
+                    .split(',')
+                    .map(|n| n.trim().parse().map_err(|_| ArgError("bad node index".into())))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                if nodes.len() < 2 {
+                    return Err(ArgError("--group wants at least two node indices".into()));
+                }
+                oopts.groups.push(nodes);
+            }
+            "--exclude" => {
+                let v = value(arg)?;
+                let (a, b) =
+                    v.split_once(':').ok_or_else(|| ArgError("--exclude wants A:B".into()))?;
+                let a = a.parse().map_err(|_| ArgError("bad node index".into()))?;
+                let b = b.parse().map_err(|_| ArgError("bad node index".into()))?;
+                oopts.exclusions.push((a, b));
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((parse_options(&rest)?, oopts))
+}
+
 /// Options for `chop serve`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
@@ -269,6 +356,10 @@ pub struct ServeOptions {
     pub max_connections: usize,
     /// Close connections idle for this many milliseconds (0 = never).
     pub idle_timeout_ms: u64,
+    /// Request lines admitted per connection per second; past the cap a
+    /// typed `busy` reply is sent and the connection stays open (0 =
+    /// uncapped).
+    pub max_requests_per_sec: u32,
 }
 
 impl Default for ServeOptions {
@@ -285,6 +376,7 @@ impl Default for ServeOptions {
             replicate_to: None,
             max_connections: 4096,
             idle_timeout_ms: 600_000,
+            max_requests_per_sec: 0,
         }
     }
 }
@@ -341,6 +433,11 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
             }
             "--idle-timeout-ms" => {
                 opts.idle_timeout_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--max-requests-per-sec" => {
+                opts.max_requests_per_sec = value(arg)?
                     .parse()
                     .map_err(|_| ArgError(format!("bad value for {arg}")))?;
             }
@@ -454,6 +551,61 @@ mod tests {
         // 0 disables idle reaping but a zero connection cap is nonsense.
         let o = parse_serve_options(&s(&["--idle-timeout-ms", "0"])).unwrap();
         assert_eq!(o.idle_timeout_ms, 0);
+        // The rate cap defaults off and parses like the other limits.
+        assert_eq!(o.max_requests_per_sec, 0);
+        let o = parse_serve_options(&s(&["--max-requests-per-sec", "100"])).unwrap();
+        assert_eq!(o.max_requests_per_sec, 100);
+        assert!(parse_serve_options(&s(&["--max-requests-per-sec", "lots"])).is_err());
+    }
+
+    #[test]
+    fn optimize_options_parse_and_pass_through() {
+        let (opts, oopts) = parse_optimize_options(&s(&[
+            "d.cbs",
+            "--partitions",
+            "3",
+            "--seed",
+            "42",
+            "--max-moves",
+            "128",
+            "--kicks",
+            "2",
+            "--kick-moves",
+            "5",
+            "--pin",
+            "0",
+            "--pin",
+            "7",
+            "--group",
+            "1,2,3",
+            "--exclude",
+            "4:5",
+            "--deadline",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(opts.spec, "d.cbs");
+        assert_eq!(opts.partitions, 3);
+        assert_eq!(opts.deadline_ms, Some(250));
+        assert_eq!(oopts.seed, 42);
+        assert_eq!(oopts.max_moves, Some(128));
+        assert_eq!(oopts.kicks, Some(2));
+        assert_eq!(oopts.kick_moves, Some(5));
+        assert_eq!(oopts.pinned, vec![0, 7]);
+        assert_eq!(oopts.groups, vec![vec![1, 2, 3]]);
+        assert_eq!(oopts.exclusions, vec![(4, 5)]);
+    }
+
+    #[test]
+    fn optimize_options_default_off_and_reject_nonsense() {
+        let (_, oopts) = parse_optimize_options(&s(&["d.cbs"])).unwrap();
+        assert_eq!(oopts, OptimizeOptions::default());
+        assert!(parse_optimize_options(&s(&["d.cbs", "--seed", "entropy"])).is_err());
+        assert!(parse_optimize_options(&s(&["d.cbs", "--group", "1"])).is_err());
+        assert!(parse_optimize_options(&s(&["d.cbs", "--exclude", "4"])).is_err());
+        assert!(parse_optimize_options(&s(&["d.cbs", "--pin"])).is_err());
+        // Unknown flags still fail in the shared parser.
+        assert!(parse_optimize_options(&s(&["d.cbs", "--frobnicate"])).is_err());
     }
 
     #[test]

@@ -15,13 +15,17 @@ use chop_library::{ChipId, ChipSet};
 use chop_stat::units::{MilliWatts, Nanos};
 
 use crate::args::{
-    parse_options, parse_router_options, parse_serve_options, ArgError, Options,
+    parse_optimize_options, parse_options, parse_router_options, parse_serve_options, ArgError,
+    OptimizeOptions, Options,
 };
 
 const HELP: &str = "chop — constraint-driven system-level partitioner
 
 USAGE:
   chop check <spec.cbs> [options]   decide feasibility of a partitioning
+  chop optimize <spec.cbs> [options]
+                                    auto-partition: move nodes between
+                                    partitions until feasible/converged
   chop dot <spec.cbs>               print the DFG in Graphviz DOT
   chop tasks <spec.cbs> [options]   print the task graph in DOT
   chop serve [options]              run the partitioning service (TCP)
@@ -57,6 +61,18 @@ OPTIONS (check / tasks):
   --move-node <N:P>        after the run, move node N to partition P and
                            re-explore incrementally (check only)
 
+OPTIONS (optimize — all check options apply, plus):
+  --seed <N>               deterministic randomness seed   [0]
+  --max-moves <N>          cap on candidate move evaluations
+  --kicks <N>              plateau kicks (annealed escapes) [spec default]
+  --kick-moves <N>         annealed moves attempted per kick
+  --pin <N>                pin node N to its partition (repeatable)
+  --group <A,B,C>          nodes move atomically, stay co-located
+                           (repeatable)
+  --exclude <A:B>          nodes A and B never share a partition
+                           (repeatable)
+  --deadline <ms> / --heuristic <e|i> bound and steer each evaluation
+
 OPTIONS (serve):
   --addr <host:port>       listen address (port 0 = ephemeral) [127.0.0.1:1991]
   --workers <N>            exploration worker threads          [4]
@@ -76,6 +92,10 @@ OPTIONS (serve):
                            refused with a typed error          [4096]
   --idle-timeout-ms <N>    close connections with no completed request in
                            N ms, typed error first (0 = never) [600000]
+  --max-requests-per-sec <N>
+                           per-connection request rate cap; over-limit
+                           lines get a typed busy reply with retry_after_ms
+                           and the connection stays open (0 = uncapped) [0]
   SIGINT/SIGTERM drain the server gracefully (journal flushed, exit 0).
 
 OPTIONS (router):
@@ -99,6 +119,10 @@ CLIENT COMMANDS (chop client [--retry|--retry-ms N] <addrs> ...):
   open <name> <spec.cbs> [--partitions N] [--chips N] [--package 64|84]
                          [--perf ns] [--delay ns] [--single-cycle]
   explore <name> [--heuristic e|i] [--deadline ms] [--max-trials N] [--jobs N]
+  optimize <name> [--seed N] [--heuristic e|i] [--deadline ms] [--max-moves N]
+                  [--kicks N] [--kick-moves N] [--jobs N] [--pin N]
+                  [--group A,B,C] [--exclude A:B]
+  apply-moves <name> <NODE:PART[,NODE:PART...]>
   repartition <name> <NODE:PARTITION>
   set-constraints <name> --perf <ns> --delay <ns>
   stats [name]
@@ -173,6 +197,10 @@ impl RunStatus {
 pub fn run(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
     match argv.first().map(String::as_str) {
         Some("check") => check(&parse_options(&argv[1..])?),
+        Some("optimize") => {
+            let (opts, oopts) = parse_optimize_options(&argv[1..])?;
+            optimize(&opts, &oopts)
+        }
         Some("dot") => dot(&argv[1..]),
         Some("tasks") => tasks(&parse_options(&argv[1..])?),
         Some("serve") => crate::service::serve(&parse_serve_options(&argv[1..])?),
@@ -285,6 +313,90 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     });
     Ok(session.with_budget(budget).with_jobs(jobs).with_branch_and_bound(!opts.no_bnb))
+}
+
+/// Looks up a DFG node by wire index in a session.
+fn find_node(session: &Session, node: u32) -> Result<chop_dfg::NodeId, ArgError> {
+    session
+        .partitioning()
+        .dfg()
+        .nodes()
+        .map(|(id, _)| id)
+        .find(|id| id.index() == node as usize)
+        .ok_or_else(|| ArgError(format!("no node with index {node}")))
+}
+
+/// `chop optimize` — run the move-based optimizer on the spec's initial
+/// partitioning and report the accepted trace and final verdict.
+fn optimize(opts: &Options, oopts: &OptimizeOptions) -> Result<RunStatus, Box<dyn Error>> {
+    let session = build_session(opts)?;
+    let heuristic =
+        if opts.heuristic == 'e' { Heuristic::Enumeration } else { Heuristic::Iterative };
+    let mut spec = OptimizeSpec::new().with_seed(oopts.seed).with_heuristic(heuristic);
+    if let Some(ms) = opts.deadline_ms {
+        spec = spec.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = oopts.max_moves {
+        spec = spec.with_max_moves(n);
+    }
+    if oopts.kicks.is_some() || oopts.kick_moves.is_some() {
+        let kicks = oopts.kicks.unwrap_or_else(|| spec.kicks());
+        let kick_moves = oopts.kick_moves.unwrap_or_else(|| spec.kick_moves());
+        spec = spec.with_kicks(kicks, kick_moves);
+    }
+    for &node in &oopts.pinned {
+        spec = spec.with_pinned_node(find_node(&session, node)?);
+    }
+    for group in &oopts.groups {
+        let nodes = group
+            .iter()
+            .map(|&node| find_node(&session, node))
+            .collect::<Result<Vec<_>, _>>()?;
+        spec = spec.with_group(nodes);
+    }
+    for &(a, b) in &oopts.exclusions {
+        spec = spec.with_exclusion(find_node(&session, a)?, find_node(&session, b)?);
+    }
+    print!("{}", report::environment(&session));
+    let result = session.optimize(&spec)?;
+    println!(
+        "optimize (seed {}): {} move(s) accepted over {} pass(es), {} kick(s), \
+         {} evaluation(s), {:.2?}",
+        oopts.seed,
+        result.moves.len(),
+        result.passes,
+        result.kicks_used,
+        result.evaluations,
+        result.elapsed
+    );
+    println!("score: {:.3} -> {:.3}", result.initial_score, result.final_score);
+    if result.completion.is_truncated() {
+        println!("TRUNCATED ({}) — the trace below is partial.", result.completion);
+    }
+    for mv in &result.moves {
+        let nodes =
+            mv.nodes.iter().map(|n| n.index().to_string()).collect::<Vec<_>>().join("+");
+        let kind = match mv.kind {
+            MoveKind::Gain => "gain",
+            MoveKind::Kick => "kick",
+        };
+        println!(
+            "  pass {} {kind}: node {nodes} {} -> {}",
+            mv.pass,
+            mv.from.index(),
+            mv.to.index()
+        );
+    }
+    println!();
+    report_outcome(opts, &result.outcome, &session);
+    println!("\ndigest {}", result.digest());
+    Ok(if result.completion.is_truncated() {
+        RunStatus::Truncated
+    } else if result.feasible() {
+        RunStatus::Feasible
+    } else {
+        RunStatus::Infeasible
+    })
 }
 
 fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
@@ -469,6 +581,31 @@ mod tests {
         )?;
         run(&argv(&["check", &path]))?;
         run(&argv(&["check", &path, "--multi-cycle", "--heuristic", "e"]))?;
+        Ok(())
+    }
+
+    #[test]
+    fn optimize_runs_deterministically() -> Result<(), Box<dyn Error>> {
+        let path = write_spec(
+            "optimize.cbs",
+            "a = input 16\nb = input 16\np = mul a b\ns = add p a\nt = add s b\n\
+             u = add t a\ny = output u\n",
+        )?;
+        let status = run(&argv(&[
+            "optimize",
+            &path,
+            "--partitions",
+            "2",
+            "--seed",
+            "7",
+            "--max-moves",
+            "64",
+        ]))?;
+        assert_eq!(status, RunStatus::Feasible);
+        // Constraint flags parse and flow into the spec.
+        run(&argv(&["optimize", &path, "--partitions", "2", "--pin", "0", "--group", "2,3"]))?;
+        // An unknown node index is a clean argument error.
+        assert!(run(&argv(&["optimize", &path, "--pin", "99"])).is_err());
         Ok(())
     }
 

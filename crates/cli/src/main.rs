@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chop check <spec.cbs> [options]   decide feasibility of a partitioning
+//! chop optimize <spec.cbs> [options] auto-partition via move refinement
 //! chop dot <spec.cbs>               print the DFG in Graphviz DOT
 //! chop tasks <spec.cbs> [options]   print the task graph in DOT (Fig. 3)
 //! chop serve [options]              run the partitioning service (TCP)

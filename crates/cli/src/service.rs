@@ -2,10 +2,11 @@
 
 use std::error::Error;
 
-use chop_core::prelude::Heuristic;
+use chop_core::prelude::{Heuristic, MoveKind};
 use chop_service::{
-    BackendSpec, Client, ExploreParams, OpenParams, Request, Response, RetryPolicy, Router,
-    RouterConfig, RunSummary, ServeConfig, Server, DEFAULT_CONNECT_TIMEOUT,
+    BackendSpec, Client, ExploreParams, OpenParams, OptimizeParams, OptimizeSummary, Request,
+    Response, RetryPolicy, Router, RouterConfig, RunSummary, ServeConfig, Server,
+    DEFAULT_CONNECT_TIMEOUT,
 };
 
 use crate::args::{ArgError, RouterOptions, ServeOptions};
@@ -32,6 +33,7 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         replicate_to: opts.replicate_to.clone(),
         max_connections: opts.max_connections,
         idle_timeout_ms: opts.idle_timeout_ms,
+        max_requests_per_sec: opts.max_requests_per_sec,
     };
     let server = Server::bind(opts.addr.as_str(), config)?;
     // The tests (and scripts) parse this line to discover an ephemeral
@@ -233,8 +235,12 @@ fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<d
                             }
                         };
                     }
-                    "--deadline" => params.deadline_ms = Some(parse_num(arg, &value(arg)?)?),
-                    "--max-trials" => params.max_trials = Some(parse_num(arg, &value(arg)?)?),
+                    "--deadline" => {
+                        params.budget.deadline_ms = Some(parse_num(arg, &value(arg)?)?);
+                    }
+                    "--max-trials" => {
+                        params.budget.max_trials = Some(parse_num(arg, &value(arg)?)?);
+                    }
                     "--jobs" | "-j" => params.jobs = Some(parse_num(arg, &value(arg)?)?),
                     other => {
                         return Err(Box::new(ArgError(format!(
@@ -244,6 +250,86 @@ fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<d
                 }
             }
             Ok(Request::Explore { session: session.clone(), params })
+        }
+        "optimize" => {
+            let [session, flags @ ..] = rest else {
+                return Err(Box::new(ArgError("optimize needs <session>".into())));
+            };
+            let mut params = OptimizeParams::default();
+            let mut it = flags.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<String, ArgError> {
+                    it.next().cloned().ok_or_else(|| ArgError(format!("{flag} needs a value")))
+                };
+                match arg.as_str() {
+                    "--seed" => params.seed = parse_num(arg, &value(arg)?)?,
+                    "--heuristic" => {
+                        params.heuristic = match value(arg)?.as_str() {
+                            "e" | "E" => Heuristic::Enumeration,
+                            "i" | "I" => Heuristic::Iterative,
+                            _ => {
+                                return Err(Box::new(ArgError(
+                                    "--heuristic must be e or i".into(),
+                                )))
+                            }
+                        };
+                    }
+                    "--deadline" => {
+                        params.budget.deadline_ms = Some(parse_num(arg, &value(arg)?)?);
+                    }
+                    "--max-moves" => {
+                        params.budget.max_trials = Some(parse_num(arg, &value(arg)?)?);
+                    }
+                    "--kicks" => params.kicks = Some(parse_num(arg, &value(arg)?)?),
+                    "--kick-moves" => params.kick_moves = Some(parse_num(arg, &value(arg)?)?),
+                    "--jobs" | "-j" => params.jobs = Some(parse_num(arg, &value(arg)?)?),
+                    "--pin" => params.pinned.push(parse_num("--pin", &value(arg)?)?),
+                    "--group" => {
+                        let nodes = value(arg)?
+                            .split(',')
+                            .map(|n| parse_num("--group", n.trim()))
+                            .collect::<Result<Vec<u32>, _>>()?;
+                        if nodes.len() < 2 {
+                            return Err(Box::new(ArgError(
+                                "--group wants at least two node indices".into(),
+                            )));
+                        }
+                        params.groups.push(nodes);
+                    }
+                    "--exclude" => {
+                        let v = value(arg)?;
+                        let (a, b) = v
+                            .split_once(':')
+                            .ok_or_else(|| ArgError("--exclude wants A:B".into()))?;
+                        params
+                            .exclusions
+                            .push((parse_num("--exclude", a)?, parse_num("--exclude", b)?));
+                    }
+                    other => {
+                        return Err(Box::new(ArgError(format!(
+                            "unknown optimize option {other}"
+                        ))))
+                    }
+                }
+            }
+            Ok(Request::Optimize { session: session.clone(), params })
+        }
+        "apply-moves" => {
+            let [session, spec] = rest else {
+                return Err(Box::new(ArgError(
+                    "apply-moves needs <session> <NODE:PART[,NODE:PART...]>".into(),
+                )));
+            };
+            let moves = spec
+                .split(',')
+                .map(|pair| {
+                    let (node, to) = pair
+                        .split_once(':')
+                        .ok_or_else(|| ArgError("apply-moves wants NODE:PART pairs".into()))?;
+                    Ok((parse_num("NODE", node.trim())?, parse_num("PART", to.trim())?))
+                })
+                .collect::<Result<Vec<(u32, u32)>, ArgError>>()?;
+            Ok(Request::ApplyMoves { session: session.clone(), moves })
         }
         "repartition" => {
             let [session, spec] = rest else {
@@ -325,6 +411,20 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
             print_run(session, run);
             Ok(run_status(run))
         }
+        Response::Optimized { session, result } => {
+            print_optimize(session, result);
+            Ok(if result.completion.is_truncated() {
+                RunStatus::Truncated
+            } else if result.feasible {
+                RunStatus::Feasible
+            } else {
+                RunStatus::Infeasible
+            })
+        }
+        Response::MovesApplied { session, moves } => {
+            println!("session {session:?}: {moves} move(s) applied");
+            Ok(RunStatus::Feasible)
+        }
         Response::Repartitioned { session, node, to } => {
             println!("session {session:?}: node {node} moved to partition {to}");
             Ok(RunStatus::Feasible)
@@ -397,6 +497,29 @@ fn print_run(label: &str, run: &RunSummary) {
     println!("  digest {}", run.digest);
 }
 
+fn print_optimize(session: &str, result: &OptimizeSummary) {
+    println!(
+        "session {session:?}: {} move(s) accepted over {} pass(es), {} kick(s), \
+         {} evaluation(s), {}",
+        result.moves.len(),
+        result.passes,
+        result.kicks,
+        result.evaluations,
+        result.completion,
+    );
+    println!("  score: {:.3} -> {:.3}", result.initial_score, result.final_score);
+    for mv in &result.moves {
+        let nodes = mv.nodes.iter().map(ToString::to_string).collect::<Vec<_>>().join("+");
+        let kind = match mv.kind {
+            MoveKind::Gain => "gain",
+            MoveKind::Kick => "kick",
+        };
+        println!("  pass {} {kind}: node {nodes} {} -> {}", mv.pass, mv.from, mv.to);
+    }
+    print_run("final state", &result.run);
+    println!("  optimize digest {}", result.digest);
+}
+
 fn run_status(run: &RunSummary) -> RunStatus {
     if run.completion.is_truncated() {
         RunStatus::Truncated
@@ -443,8 +566,38 @@ mod tests {
         .unwrap();
         let Request::Explore { params, .. } = req else { panic!() };
         assert_eq!(params.heuristic, Heuristic::Enumeration);
-        assert_eq!(params.deadline_ms, Some(250));
+        assert_eq!(params.budget.deadline_ms, Some(250));
         assert_eq!(params.jobs, Some(2));
+        let req = parse_client_request(
+            "optimize",
+            &s(&[
+                "a",
+                "--seed",
+                "9",
+                "--max-moves",
+                "64",
+                "--kicks",
+                "1",
+                "--pin",
+                "2",
+                "--group",
+                "3,4",
+                "--exclude",
+                "5:6",
+            ]),
+        )
+        .unwrap();
+        let Request::Optimize { params, .. } = req else { panic!() };
+        assert_eq!(params.seed, 9);
+        assert_eq!(params.budget.max_trials, Some(64));
+        assert_eq!(params.kicks, Some(1));
+        assert_eq!(params.pinned, vec![2]);
+        assert_eq!(params.groups, vec![vec![3, 4]]);
+        assert_eq!(params.exclusions, vec![(5, 6)]);
+        assert_eq!(
+            parse_client_request("apply-moves", &s(&["a", "3:0,2:1"])).unwrap(),
+            Request::ApplyMoves { session: "a".into(), moves: vec![(3, 0), (2, 1)] }
+        );
     }
 
     #[test]
@@ -495,6 +648,10 @@ mod tests {
         assert!(parse_client_request("open", &s(&["a"])).is_err());
         assert!(parse_client_request("open", &s(&["a", "/nonexistent/x.cbs"])).is_err());
         assert!(parse_client_request("close", &[]).is_err());
+        assert!(parse_client_request("optimize", &[]).is_err());
+        assert!(parse_client_request("optimize", &s(&["a", "--seed", "entropy"])).is_err());
+        assert!(parse_client_request("optimize", &s(&["a", "--group", "1"])).is_err());
+        assert!(parse_client_request("apply-moves", &s(&["a", "3"])).is_err());
     }
 
     #[test]

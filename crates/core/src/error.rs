@@ -36,6 +36,12 @@ pub enum ChopError {
         /// The partition with no surviving predictions.
         partition: usize,
     },
+    /// An [`OptimizeSpec`](crate::optimize::OptimizeSpec) names nodes or
+    /// constraints inconsistent with the session's partitioning.
+    InvalidOptimizeSpec(
+        /// What is wrong with the spec.
+        String,
+    ),
 }
 
 impl fmt::Display for ChopError {
@@ -55,6 +61,9 @@ impl fmt::Display for ChopError {
                 "no predicted implementation of partition P{} meets the constraints",
                 partition + 1
             ),
+            ChopError::InvalidOptimizeSpec(message) => {
+                write!(f, "invalid optimize spec: {message}")
+            }
         }
     }
 }
@@ -68,6 +77,7 @@ impl std::error::Error for ChopError {
             ChopError::Integration(e) => Some(e),
             ChopError::EvalPanicked { .. } => None,
             ChopError::NoFeasiblePrediction { .. } => None,
+            ChopError::InvalidOptimizeSpec(_) => None,
         }
     }
 }

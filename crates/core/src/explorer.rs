@@ -231,10 +231,11 @@ pub type PartitionPredictions = (Vec<Arc<[PredictedDesign]>>, Vec<PredictionStat
 ///   [`Session::try_with_partitioning`] (structural re-validation) and
 ///   [`Session::try_with_constraints`] (positive, finite bounds).
 /// * Fallible what-if edits that *derive* a new session keep their verb
-///   names ([`Session::repartition`]).
-/// * The panicking shims [`Session::with_partitioning`] and
-///   [`Session::with_constraints`] are deprecated and kept for one
-///   release; new code uses the `try_with_*` forms.
+///   names ([`Session::repartition`], [`Session::apply_moves`],
+///   [`Session::optimize`]).
+/// * There are no panicking variants: the former `with_partitioning` /
+///   `with_constraints` shims are gone, and every validation failure is
+///   a typed `Result`.
 #[derive(Debug, Clone)]
 pub struct Session {
     pub(crate) partitioning: Partitioning,
@@ -468,21 +469,6 @@ impl Session {
         Ok(self)
     }
 
-    /// Panicking shim for [`Session::try_with_partitioning`], kept for one
-    /// release.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the partitioning fails [`Partitioning::validate`].
-    #[deprecated(since = "0.2.0", note = "use `try_with_partitioning`")]
-    #[must_use]
-    pub fn with_partitioning(self, partitioning: Partitioning) -> Self {
-        match self.try_with_partitioning(partitioning) {
-            Ok(session) => session,
-            Err(e) => panic!("invalid partitioning: {e}"),
-        }
-    }
-
     /// What-if: moves one DFG node to another partition, returning the
     /// re-keyed session (paper §2.7 "operation migration"). The derived
     /// session shares this session's prediction cache, so a follow-up
@@ -530,21 +516,6 @@ impl Session {
         constraints.validate()?;
         self.constraints = constraints;
         Ok(self)
-    }
-
-    /// Panicking shim for [`Session::try_with_constraints`], kept for one
-    /// release.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a bound is not positive and finite.
-    #[deprecated(since = "0.2.0", note = "use `try_with_constraints`")]
-    #[must_use]
-    pub fn with_constraints(self, constraints: Constraints) -> Self {
-        match self.try_with_constraints(constraints) {
-            Ok(session) => session,
-            Err(e) => panic!("invalid constraints: {e}"),
-        }
     }
 
     /// Runs BAD on every partition and applies level-1 pruning (unless
@@ -727,13 +698,6 @@ mod tests {
             .try_with_constraints(Constraints::new(Nanos::zero(), Nanos::new(1.0)))
             .unwrap_err();
         assert_eq!(err, crate::spec::SpecError::InvalidConstraint("performance"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "invalid constraints")]
-    fn deprecated_constraint_shim_panics_on_invalid_input() {
-        let _ = session(1).with_constraints(Constraints::new(Nanos::zero(), Nanos::new(1.0)));
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod fault;
 mod feasibility;
 pub mod heuristics;
 mod integration;
+pub mod optimize;
 pub mod prelude;
 pub mod report;
 pub mod spec;
@@ -84,4 +85,5 @@ pub use explorer::{DesignPoint, Heuristic, PartitionPredictions, SearchOutcome, 
 pub use fault::{AppendFault, FaultPlan, IoFaultPlan};
 pub use feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
 pub use integration::{IntegrationContext, SystemPrediction, TransferModulePrediction};
+pub use optimize::{AppliedMove, MoveKind, ObjectiveWeights, OptimizeResult, OptimizeSpec};
 pub use spec::{MemoryAssignment, PartitionId, Partitioning};

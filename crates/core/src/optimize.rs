@@ -1,0 +1,995 @@
+//! Move-based auto-partitioning: the outer search that *proposes*
+//! partitionings, closing the paper's interactive loop.
+//!
+//! [`Session::optimize`] runs FM/KL-style gain-directed passes over
+//! node-move candidates: each pass ranks every legal move of every
+//! movable unit (a free node, or a whole constraint group moved
+//! atomically) by a cheap proxy gain — the inter-partition cut-bit
+//! reduction — with deterministic tie-breaking, then evaluates the best
+//! candidate through the ordinary cache-backed engine. Because a move
+//! changes exactly two partitions, a warm evaluation re-predicts only
+//! those two and serves the rest from the shared
+//! [`PredictionCache`](crate::cache::PredictionCache).
+//!
+//! When a pass accepts nothing (a plateau), an optional simulated-
+//! annealing *kick* — seeded exclusively from the caller-supplied seed —
+//! applies a few Metropolis-accepted random moves to escape, then
+//! gain-directed passes resume. The search stops when kicks are
+//! exhausted, the move budget is spent, or the deadline trips; the
+//! result always carries the best state seen (kicked-to-worse tails are
+//! rolled back).
+//!
+//! # Determinism
+//!
+//! The entire search is deterministic in `(session, spec)`: candidate
+//! ordering is fully tie-broken, the only randomness is the spec's seed,
+//! no wall clock feeds any decision except the optional deadline, and
+//! the inner engine's results are byte-identical at any
+//! [`Session::jobs`] setting. [`OptimizeResult::digest`] therefore
+//! matches across thread counts; the determinism tests assert it for
+//! jobs 1/2/8.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Duration;
+
+use chop_dfg::{NodeId, Operation};
+
+use crate::budget::{BudgetTimer, Completion, SearchBudget};
+use crate::error::ChopError;
+use crate::explorer::{Heuristic, SearchOutcome, Session};
+use crate::spec::{PartitionId, Partitioning};
+
+/// Score penalty base separating every infeasible state from every
+/// feasible one: a feasible implementation always wins.
+const INFEASIBLE_BASE: f64 = 1e18;
+/// Penalty per partition whose predictions were all pruned infeasible —
+/// the strongest gradient an infeasible start can descend.
+const STARVED_PENALTY: f64 = 1e12;
+
+/// Relative weights of the optimizer's objective terms.
+///
+/// For feasible states the score is the weighted sum of the best
+/// implementation's likely initiation interval, latency and total chip
+/// area (all minimized). For infeasible states the score is a large
+/// constant plus `cut_bits` times the total inter-partition cut width —
+/// the classic FM objective — so the search has a gradient toward
+/// feasibility long before any implementation exists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight of the likely system initiation interval (ns).
+    pub initiation_ns: f64,
+    /// Weight of the likely system delay (ns).
+    pub delay_ns: f64,
+    /// Weight of the summed likely chip areas (mil²).
+    pub area: f64,
+    /// Weight of the total inter-partition cut bits while infeasible.
+    pub cut_bits: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        Self { initiation_ns: 1.0, delay_ns: 1.0, area: 0.0, cut_bits: 1.0 }
+    }
+}
+
+/// Builder-style configuration for [`Session::optimize`].
+///
+/// All `with_*` methods are infallible per the session
+/// [builder contract](Session): constraints that must be checked against
+/// the session's partitioning (unknown nodes, non-co-located groups) are
+/// validated when [`Session::optimize`] consumes the spec, reported as
+/// [`ChopError::InvalidOptimizeSpec`].
+#[derive(Debug, Clone)]
+pub struct OptimizeSpec {
+    pub(crate) seed: u64,
+    pub(crate) max_moves: u64,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) kicks: u32,
+    pub(crate) kick_moves: u32,
+    pub(crate) initial_temperature: f64,
+    pub(crate) cooling: f64,
+    pub(crate) weights: ObjectiveWeights,
+    pub(crate) pinned: Vec<NodeId>,
+    pub(crate) groups: Vec<Vec<NodeId>>,
+    pub(crate) exclusions: Vec<(NodeId, NodeId)>,
+    pub(crate) heuristic: Heuristic,
+}
+
+impl Default for OptimizeSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            max_moves: 256,
+            deadline: None,
+            kicks: 2,
+            kick_moves: 3,
+            initial_temperature: 1_000.0,
+            cooling: 0.9,
+            weights: ObjectiveWeights::default(),
+            pinned: Vec::new(),
+            groups: Vec::new(),
+            exclusions: Vec::new(),
+            heuristic: Heuristic::Iterative,
+        }
+    }
+}
+
+impl OptimizeSpec {
+    /// A spec with the default budget (256 evaluated moves, no deadline,
+    /// two annealing kicks of three moves each, seed 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the annealing kicks. Two runs with equal seeds (and equal
+    /// sessions and specs) produce identical move traces and digests.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of candidate evaluations (each one inner
+    /// cache-backed exploration). Exhausting it reports
+    /// [`Completion::TruncatedTrials`].
+    #[must_use]
+    pub fn with_max_moves(mut self, max_moves: u64) -> Self {
+        self.max_moves = max_moves;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the whole optimization; tripping it
+    /// reports [`Completion::TruncatedDeadline`] with the best state
+    /// found so far.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Number of simulated-annealing kicks to spend on plateaus (`0`
+    /// disables annealing entirely) and the random moves attempted per
+    /// kick.
+    #[must_use]
+    pub fn with_kicks(mut self, kicks: u32, kick_moves: u32) -> Self {
+        self.kicks = kicks;
+        self.kick_moves = kick_moves;
+        self
+    }
+
+    /// Metropolis temperature schedule for kicks: the starting
+    /// temperature and the geometric cooling factor applied after every
+    /// kick move.
+    #[must_use]
+    pub fn with_annealing(mut self, initial_temperature: f64, cooling: f64) -> Self {
+        self.initial_temperature = initial_temperature;
+        self.cooling = cooling;
+        self
+    }
+
+    /// Overrides the objective weights.
+    #[must_use]
+    pub fn with_weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The heuristic used for inner candidate evaluations (default
+    /// [`Heuristic::Iterative`], the fast one).
+    #[must_use]
+    pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Pins a node to its current partition: the move generator never
+    /// proposes moving it (PARSAC-style pre-assigned placement).
+    #[must_use]
+    pub fn with_pinned_node(mut self, node: NodeId) -> Self {
+        self.pinned.push(node);
+        self
+    }
+
+    /// Declares a must-stay-together group: its members move atomically
+    /// as one unit and are never separated. Members must be co-located
+    /// in the session's partitioning when [`Session::optimize`] runs.
+    #[must_use]
+    pub fn with_group(mut self, nodes: Vec<NodeId>) -> Self {
+        self.groups.push(nodes);
+        self
+    }
+
+    /// Declares a must-not-share-a-partition pair: no generated move may
+    /// result in `a` and `b` being co-located.
+    #[must_use]
+    pub fn with_exclusion(mut self, a: NodeId, b: NodeId) -> Self {
+        self.exclusions.push((a, b));
+        self
+    }
+
+    /// The seed in force.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The move-evaluation budget in force.
+    #[must_use]
+    pub fn max_moves(&self) -> u64 {
+        self.max_moves
+    }
+
+    /// The plateau-kick budget in force.
+    #[must_use]
+    pub fn kicks(&self) -> u32 {
+        self.kicks
+    }
+
+    /// Annealed moves attempted per kick.
+    #[must_use]
+    pub fn kick_moves(&self) -> u32 {
+        self.kick_moves
+    }
+}
+
+/// Why a move was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Accepted by a gain-directed pass (strict improvement).
+    Gain,
+    /// Accepted by a simulated-annealing kick (Metropolis rule; may be a
+    /// deliberate worsening).
+    Kick,
+}
+
+impl fmt::Display for MoveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveKind::Gain => write!(f, "gain"),
+            MoveKind::Kick => write!(f, "kick"),
+        }
+    }
+}
+
+/// One accepted move of the optimization trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedMove {
+    /// The nodes moved (one node, or a whole constraint group).
+    pub nodes: Vec<NodeId>,
+    /// The partition they left.
+    pub from: PartitionId,
+    /// The partition they joined.
+    pub to: PartitionId,
+    /// The 1-based gain pass (or the kick) the move belongs to.
+    pub pass: u32,
+    /// Whether a gain pass or an annealing kick accepted it.
+    pub kind: MoveKind,
+}
+
+/// The outcome of one [`Session::optimize`] run: the accepted move
+/// trace, the final partitioning and its full exploration outcome, and
+/// the run's accounting.
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// Accepted moves in application order. Replaying them over the
+    /// starting partitioning with
+    /// [`Partitioning::with_nodes_moved`] reproduces
+    /// [`OptimizeResult::partitioning`].
+    pub moves: Vec<AppliedMove>,
+    /// Objective score of the starting partitioning.
+    pub initial_score: f64,
+    /// Objective score of the final partitioning.
+    pub final_score: f64,
+    /// The final partitioning's exploration outcome.
+    pub outcome: SearchOutcome,
+    /// The final partitioning itself.
+    pub partitioning: Partitioning,
+    /// Candidate evaluations spent (the unit the move budget caps).
+    pub evaluations: u64,
+    /// Gain-directed passes run.
+    pub passes: u32,
+    /// Annealing kicks spent.
+    pub kicks_used: u32,
+    /// How the run ended: plateau convergence ([`Completion::Complete`])
+    /// or a tripped budget.
+    pub completion: Completion,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl OptimizeResult {
+    /// Whether the final partitioning has at least one feasible
+    /// implementation.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        !self.outcome.feasible.is_empty()
+    }
+
+    /// The move trace flattened to `(node index, target partition)`
+    /// pairs — the wire/journal form replayed with
+    /// [`Partitioning::with_nodes_moved`].
+    #[must_use]
+    pub fn moves_as_indices(&self) -> Vec<(u32, u32)> {
+        self.moves
+            .iter()
+            .flat_map(|m| {
+                let to = m.to.index() as u32;
+                m.nodes.iter().map(move |n| (n.index() as u32, to))
+            })
+            .collect()
+    }
+
+    /// A canonical fingerprint of the run's *results*: the full move
+    /// trace, scores, pass/kick counts, completion, and the final
+    /// outcome's [`SearchOutcome::digest`]. Wall-clock measurements
+    /// (`elapsed`) and the raw evaluation count are excluded — like the
+    /// search digest, two runs with equal digests applied exactly the
+    /// same moves and found exactly the same designs, at any `--jobs`.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "opt;completion={:?};passes={};kicks={};init={:016x};final={:016x};",
+            self.completion,
+            self.passes,
+            self.kicks_used,
+            self.initial_score.to_bits(),
+            self.final_score.to_bits(),
+        );
+        for m in &self.moves {
+            let _ = write!(out, "m:{}/{}/{}>{}:", m.pass, m.kind, m.from, m.to);
+            for n in &m.nodes {
+                let _ = write!(out, "{},", n.index());
+            }
+            let _ = write!(out, ";");
+        }
+        out.push_str("outcome:");
+        out.push_str(&self.outcome.digest());
+        out
+    }
+}
+
+impl fmt::Display for OptimizeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} moves in {} passes ({} kicks), {} evaluations, score {:.1} -> {:.1}, {} in {:.2?}",
+            self.moves.len(),
+            self.passes,
+            self.kicks_used,
+            self.evaluations,
+            self.initial_score,
+            self.final_score,
+            if self.feasible() { "feasible" } else { "infeasible" },
+            self.elapsed
+        )?;
+        if self.completion != Completion::Complete {
+            write!(f, " [{}]", self.completion)?;
+        }
+        Ok(())
+    }
+}
+
+/// xorshift64* seeded through a splitmix64 mix — tiny, deterministic,
+/// and entirely derived from the caller's seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One movable unit: a free node, or a whole must-stay-together group.
+struct MoveUnit {
+    /// Sorted member nodes.
+    nodes: Vec<NodeId>,
+}
+
+impl MoveUnit {
+    /// Deterministic ordering key: the smallest member index.
+    fn key(&self) -> usize {
+        self.nodes[0].index()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+}
+
+/// A ranked move candidate: `unit` to partition `to`.
+struct Candidate {
+    /// Proxy gain: inter-partition cut bits removed (higher is better).
+    gain: i64,
+    unit: usize,
+    from: PartitionId,
+    to: PartitionId,
+}
+
+/// The running search state shared by passes and kicks.
+struct Search<'a> {
+    spec: &'a OptimizeSpec,
+    units: Vec<MoveUnit>,
+    timer: BudgetTimer,
+    evaluations: u64,
+    current: Session,
+    outcome: SearchOutcome,
+    score: f64,
+}
+
+impl Search<'_> {
+    /// Cut-bit change if `unit` moved to `to` (negative = fewer cut
+    /// bits). Only edges incident to the unit can change, and
+    /// constant-fed values are excluded exactly as
+    /// [`Partitioning::inter_partition_cuts`] excludes them.
+    fn cut_delta(&self, unit: &MoveUnit, to: usize) -> i64 {
+        let p = self.current.partitioning();
+        let dfg = p.dfg();
+        let grouping = p.grouping();
+        let pos = |n: NodeId| if unit.contains(n) { to } else { grouping.group_of(n) };
+        let mut delta = 0i64;
+        for (_, e) in dfg.edges() {
+            if !(unit.contains(e.src()) || unit.contains(e.dst())) {
+                continue;
+            }
+            if dfg.node(e.src()).op() == Operation::Const {
+                continue;
+            }
+            let before = i64::from(grouping.group_of(e.src()) != grouping.group_of(e.dst()));
+            let after = i64::from(pos(e.src()) != pos(e.dst()));
+            delta += (after - before) * e.width().value() as i64;
+        }
+        delta
+    }
+
+    /// Whether moving `unit` to `to` keeps every exclusion pair
+    /// separated. Pre-existing violations not touched by the move do not
+    /// block it (the optimizer may still be fixing them).
+    fn respects_exclusions(&self, unit: &MoveUnit, to: usize) -> bool {
+        let grouping = self.current.partitioning().grouping();
+        let pos = |n: NodeId| if unit.contains(n) { to } else { grouping.group_of(n) };
+        self.spec.exclusions.iter().all(|&(a, b)| {
+            let touched = unit.contains(a) || unit.contains(b);
+            !touched || pos(a) != pos(b)
+        })
+    }
+
+    /// Every legal candidate, ordered by `(gain desc, unit key asc,
+    /// target asc)` — the deterministic tie-broken bucket order the
+    /// passes pop from.
+    fn candidates(&self, locked: &BTreeSet<usize>) -> Vec<Candidate> {
+        let grouping = self.current.partitioning().grouping();
+        let k = grouping.group_count();
+        let mut out = Vec::new();
+        for (i, unit) in self.units.iter().enumerate() {
+            if locked.contains(&i) {
+                continue;
+            }
+            let home = grouping.group_of(unit.nodes[0]);
+            for to in 0..k {
+                if to == home || !self.respects_exclusions(unit, to) {
+                    continue;
+                }
+                out.push(Candidate {
+                    gain: -self.cut_delta(unit, to),
+                    unit: i,
+                    from: PartitionId::new(home as u32),
+                    to: PartitionId::new(to as u32),
+                });
+            }
+        }
+        out.sort_unstable_by(|a, b| {
+            b.gain
+                .cmp(&a.gain)
+                .then_with(|| self.units[a.unit].key().cmp(&self.units[b.unit].key()))
+                .then_with(|| a.to.index().cmp(&b.to.index()))
+        });
+        out
+    }
+
+    /// Applies a candidate structurally, returning the derived session
+    /// (`None` if the final grouping would be invalid — such candidates
+    /// are skipped without consuming the move budget).
+    fn apply(&self, c: &Candidate) -> Option<Session> {
+        let unit = &self.units[c.unit];
+        let moves: Vec<(NodeId, PartitionId)> = unit.nodes.iter().map(|&n| (n, c.to)).collect();
+        let next = self.current.partitioning().with_nodes_moved(&moves).ok()?;
+        // The moved partitioning came from a validated one, so this
+        // re-validation cannot fail; `ok()` keeps the path total.
+        self.current.clone().try_with_partitioning(next).ok()
+    }
+
+    /// Evaluates a session through the inner engine and scores it.
+    fn evaluate(&mut self, session: &Session) -> Result<(SearchOutcome, f64), ChopError> {
+        let outcome = session.explore(self.spec.heuristic)?;
+        self.evaluations += 1;
+        let score = score_state(session.partitioning(), &outcome, &self.spec.weights);
+        Ok((outcome, score))
+    }
+
+    /// The budget check between candidate evaluations.
+    fn tripped(&self) -> Option<Completion> {
+        if self.timer.deadline_exceeded() {
+            return Some(Completion::TruncatedDeadline);
+        }
+        if self.evaluations >= self.spec.max_moves {
+            return Some(Completion::TruncatedTrials);
+        }
+        None
+    }
+}
+
+/// The deterministic objective. Feasible states score their best
+/// implementation's weighted sum; infeasible states score a large
+/// constant plus starved-partition and cut-width pressure, so descent
+/// has a gradient toward feasibility.
+fn score_state(p: &Partitioning, o: &SearchOutcome, w: &ObjectiveWeights) -> f64 {
+    let best = o
+        .feasible
+        .iter()
+        .map(|f| {
+            let area: f64 = f.system.chip_areas.iter().map(|a| a.likely()).sum();
+            w.initiation_ns * f.system.initiation_ns.likely()
+                + w.delay_ns * f.system.delay_ns.likely()
+                + w.area * area
+        })
+        .min_by(f64::total_cmp);
+    if let Some(s) = best {
+        return s;
+    }
+    let cut_bits: u64 = p.inter_partition_cuts().iter().map(|c| c.bits.value()).sum();
+    let starved = o.prediction_stats.iter().filter(|s| s.feasible == 0).count();
+    INFEASIBLE_BASE + STARVED_PENALTY * starved as f64 + w.cut_bits * cut_bits as f64
+        - o.feasible_predictions() as f64
+}
+
+/// Validates the spec against a partitioning and builds the movable
+/// units (free nodes and atomic groups, pinned nodes excluded).
+fn build_units(spec: &OptimizeSpec, p: &Partitioning) -> Result<Vec<MoveUnit>, ChopError> {
+    let bad = |m: String| ChopError::InvalidOptimizeSpec(m);
+    let n = p.dfg().len();
+    let check = |node: NodeId| -> Result<(), ChopError> {
+        if node.index() >= n {
+            return Err(bad(format!("node n{} is not in this specification", node.index())));
+        }
+        Ok(())
+    };
+    let mut pinned: Vec<NodeId> = spec.pinned.clone();
+    pinned.sort_unstable();
+    pinned.dedup();
+    for &node in &pinned {
+        check(node)?;
+    }
+    let mut grouped: BTreeSet<NodeId> = BTreeSet::new();
+    let mut units: Vec<MoveUnit> = Vec::new();
+    for group in &spec.groups {
+        if group.is_empty() {
+            return Err(bad("a constraint group is empty".into()));
+        }
+        let mut nodes = group.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let home = {
+            check(nodes[0])?;
+            p.grouping().group_of(nodes[0])
+        };
+        for &node in &nodes {
+            check(node)?;
+            if pinned.binary_search(&node).is_ok() {
+                return Err(bad(format!(
+                    "node n{} is both pinned and in a group",
+                    node.index()
+                )));
+            }
+            if !grouped.insert(node) {
+                return Err(bad(format!(
+                    "node n{} appears in more than one group",
+                    node.index()
+                )));
+            }
+            if p.grouping().group_of(node) != home {
+                return Err(bad(format!(
+                    "group members n{} and n{} are not co-located in the partitioning",
+                    nodes[0].index(),
+                    node.index()
+                )));
+            }
+        }
+        units.push(MoveUnit { nodes });
+    }
+    for &(a, b) in &spec.exclusions {
+        check(a)?;
+        check(b)?;
+        if a == b {
+            return Err(bad(format!("node n{} is excluded from itself", a.index())));
+        }
+        if let Some(unit) = units.iter().find(|u| u.contains(a) && u.contains(b)) {
+            return Err(bad(format!(
+                "exclusion pair n{}/n{} lies inside one group (n{}…) and can never be \
+                 separated",
+                a.index(),
+                b.index(),
+                unit.nodes[0].index()
+            )));
+        }
+    }
+    // Every remaining node is its own unit unless pinned.
+    for (id, _) in p.dfg().nodes() {
+        if pinned.binary_search(&id).is_ok() || grouped.contains(&id) {
+            continue;
+        }
+        units.push(MoveUnit { nodes: vec![id] });
+    }
+    units.sort_unstable_by_key(MoveUnit::key);
+    Ok(units)
+}
+
+impl Session {
+    /// What-if: applies a whole move trace atomically (the journal-replay
+    /// and replication form of an accepted [`OptimizeResult`]), returning
+    /// the re-keyed session. Like [`Session::repartition`], the derived
+    /// session shares this session's prediction cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`chop_dfg::grouping::GroupingError`] if the final
+    /// grouping is invalid; see [`Partitioning::with_nodes_moved`].
+    pub fn apply_moves(
+        &self,
+        moves: &[(NodeId, PartitionId)],
+    ) -> Result<Self, chop_dfg::grouping::GroupingError> {
+        let mut next = self.clone();
+        next.partitioning = self.partitioning.with_nodes_moved(moves)?;
+        Ok(next)
+    }
+
+    /// Runs the move-based auto-partitioning optimizer over this
+    /// session: gain-directed passes evaluated through the cache-backed
+    /// engine, annealing kicks on plateaus, pins/groups/exclusions
+    /// honored by the move generator, all under the spec's move budget
+    /// and deadline. See the [module docs](crate::optimize) for the
+    /// algorithm and determinism rules.
+    ///
+    /// A tripped budget is a *normal outcome* tagged in
+    /// [`OptimizeResult::completion`]; the result always carries the
+    /// best state seen.
+    ///
+    /// # Errors
+    ///
+    /// [`ChopError::InvalidOptimizeSpec`] if the spec names unknown
+    /// nodes, overlapping or non-co-located groups, or inseparable
+    /// exclusions; any engine error an inner exploration reports.
+    pub fn optimize(&self, spec: &OptimizeSpec) -> Result<OptimizeResult, ChopError> {
+        let units = build_units(spec, self.partitioning())?;
+        let mut budget = SearchBudget::unlimited();
+        if let Some(d) = spec.deadline {
+            budget = budget.with_deadline(d);
+        }
+        let timer = BudgetTimer::start(budget);
+        let outcome = self.explore(spec.heuristic)?;
+        let score = score_state(self.partitioning(), &outcome, &spec.weights);
+        let mut search = Search {
+            spec,
+            units,
+            timer,
+            evaluations: 0,
+            current: self.clone(),
+            outcome,
+            score,
+        };
+        let initial_score = search.score;
+        let initial_outcome = search.outcome.clone();
+        let mut rng = Rng::new(spec.seed);
+        let mut temp = spec.initial_temperature;
+        let mut moves: Vec<AppliedMove> = Vec::new();
+        let mut best: Option<(Session, SearchOutcome, f64, usize)> = None;
+        let mut passes = 0u32;
+        let mut kicks_used = 0u32;
+        let mut completion = Completion::Complete;
+
+        'outer: loop {
+            // One gain-directed pass: repeatedly evaluate the best-ranked
+            // candidate among unlocked units, locking each unit after its
+            // verdict, until the pass runs dry.
+            passes += 1;
+            let mut locked: BTreeSet<usize> = BTreeSet::new();
+            let mut improved = false;
+            loop {
+                if let Some(c) = search.tripped() {
+                    completion = c;
+                    break 'outer;
+                }
+                let candidates = search.candidates(&locked);
+                let Some((cand, session)) =
+                    candidates.iter().find_map(|c| search.apply(c).map(|s| (c, s)))
+                else {
+                    break;
+                };
+                let (outcome, score) = search.evaluate(&session)?;
+                if score.total_cmp(&search.score) == std::cmp::Ordering::Less {
+                    search.current = session;
+                    search.outcome = outcome;
+                    search.score = score;
+                    moves.push(AppliedMove {
+                        nodes: search.units[cand.unit].nodes.clone(),
+                        from: cand.from,
+                        to: cand.to,
+                        pass: passes,
+                        kind: MoveKind::Gain,
+                    });
+                    improved = true;
+                    let best_score = best.as_ref().map_or(initial_score, |b| b.2);
+                    if score.total_cmp(&best_score) == std::cmp::Ordering::Less {
+                        best = Some((
+                            search.current.clone(),
+                            search.outcome.clone(),
+                            score,
+                            moves.len(),
+                        ));
+                    }
+                }
+                locked.insert(cand.unit);
+            }
+            if improved {
+                continue;
+            }
+            // Plateau: spend a kick, or stop.
+            if kicks_used >= spec.kicks {
+                break;
+            }
+            kicks_used += 1;
+            for _ in 0..spec.kick_moves {
+                if let Some(c) = search.tripped() {
+                    completion = c;
+                    break 'outer;
+                }
+                let candidates = search.candidates(&BTreeSet::new());
+                if candidates.is_empty() {
+                    break;
+                }
+                let start = rng.below(candidates.len());
+                let picked = (0..candidates.len()).find_map(|i| {
+                    let c = &candidates[(start + i) % candidates.len()];
+                    search.apply(c).map(|s| (c, s))
+                });
+                let Some((cand, session)) = picked else { break };
+                let (outcome, score) = search.evaluate(&session)?;
+                let delta = score - search.score;
+                let accept =
+                    delta < 0.0 || (temp > 0.0 && rng.next_f64() < (-delta / temp).exp());
+                temp *= spec.cooling;
+                if accept {
+                    moves.push(AppliedMove {
+                        nodes: search.units[cand.unit].nodes.clone(),
+                        from: cand.from,
+                        to: cand.to,
+                        pass: passes,
+                        kind: MoveKind::Kick,
+                    });
+                    search.current = session;
+                    search.outcome = outcome;
+                    search.score = score;
+                    let best_score = best.as_ref().map_or(initial_score, |b| b.2);
+                    if score.total_cmp(&best_score) == std::cmp::Ordering::Less {
+                        best = Some((
+                            search.current.clone(),
+                            search.outcome.clone(),
+                            score,
+                            moves.len(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // A kick may have left the current state worse than the best one
+        // seen: hand back the best, truncating the kicked tail.
+        if let Some((session, outcome, score, len)) = best {
+            if score.total_cmp(&search.score) == std::cmp::Ordering::Less {
+                search.current = session;
+                search.outcome = outcome;
+                search.score = score;
+                moves.truncate(len);
+            }
+        } else if !moves.is_empty() {
+            // Kicks moved away from the start and nothing ever beat it:
+            // return the start unchanged.
+            search.current = self.clone();
+            search.outcome = initial_outcome;
+            search.score = initial_score;
+            moves.clear();
+        }
+
+        Ok(OptimizeResult {
+            moves,
+            initial_score,
+            final_score: search.score,
+            partitioning: search.current.partitioning().clone(),
+            outcome: search.outcome,
+            evaluations: search.evaluations,
+            passes,
+            kicks_used,
+            completion,
+            elapsed: search.timer.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use chop_dfg::benchmarks;
+    use chop_library::standard::{table1_library, table2_packages};
+    use chop_library::ChipSet;
+    use chop_stat::units::Nanos;
+
+    use super::*;
+    use crate::feasibility::Constraints;
+    use crate::spec::PartitioningBuilder;
+    use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
+
+    fn session(k: usize) -> Session {
+        let p = PartitioningBuilder::new(
+            benchmarks::ar_lattice_filter(),
+            ChipSet::uniform(table2_packages()[1].clone(), k),
+        )
+        .split_horizontal(k)
+        .build()
+        .unwrap();
+        Session::new(
+            p,
+            table1_library(),
+            ClockConfig::new(Nanos::new(300.0), 10, 1).unwrap(),
+            ArchitectureStyle::single_cycle(),
+            PredictorParams::default(),
+            Constraints::new(Nanos::new(30_000.0), Nanos::new(30_000.0)),
+        )
+    }
+
+    #[test]
+    fn optimize_on_a_feasible_start_returns_it_or_better() {
+        let s = session(2);
+        let spec = OptimizeSpec::new().with_max_moves(16).with_kicks(0, 0);
+        let r = s.optimize(&spec).unwrap();
+        assert!(r.feasible());
+        assert!(r.final_score <= r.initial_score);
+        assert!(r.evaluations <= 16);
+    }
+
+    #[test]
+    fn optimize_is_deterministic_for_a_seed() {
+        let s = session(3);
+        let spec = OptimizeSpec::new().with_seed(7).with_max_moves(24);
+        let a = s.optimize(&spec).unwrap();
+        let b = s.optimize(&spec).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn zero_move_budget_truncates_immediately() {
+        let s = session(2);
+        let r = s.optimize(&OptimizeSpec::new().with_max_moves(0)).unwrap();
+        assert_eq!(r.completion, Completion::TruncatedTrials);
+        assert_eq!(r.evaluations, 0);
+        assert!(r.moves.is_empty());
+    }
+
+    #[test]
+    fn pinned_nodes_never_move() {
+        let s = session(3);
+        let pinned: Vec<NodeId> = s.partitioning().grouping().members(0).clone();
+        let mut spec = OptimizeSpec::new().with_max_moves(32);
+        for &n in &pinned {
+            spec = spec.with_pinned_node(n);
+        }
+        let r = s.optimize(&spec).unwrap();
+        for m in &r.moves {
+            for n in &m.nodes {
+                assert!(!pinned.contains(n), "pinned node {n:?} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn groups_move_atomically_and_stay_together() {
+        let s = session(3);
+        let group = s.partitioning().grouping().members(1);
+        let spec = OptimizeSpec::new().with_max_moves(32).with_group(group.clone());
+        let r = s.optimize(&spec).unwrap();
+        let g = r.partitioning.grouping();
+        let home = g.group_of(group[0]);
+        for &n in &group {
+            assert_eq!(g.group_of(n), home, "group split apart");
+        }
+        for m in &r.moves {
+            if m.nodes.len() > 1 {
+                assert_eq!(m.nodes.len(), group.len());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_typed_errors() {
+        let s = session(2);
+        // Non-co-located group.
+        let a = s.partitioning().grouping().members(0)[0];
+        let b = s.partitioning().grouping().members(1)[0];
+        let err = s.optimize(&OptimizeSpec::new().with_group(vec![a, b])).unwrap_err();
+        assert!(matches!(err, ChopError::InvalidOptimizeSpec(_)), "{err}");
+        // Self-exclusion.
+        let err = s.optimize(&OptimizeSpec::new().with_exclusion(a, a)).unwrap_err();
+        assert!(matches!(err, ChopError::InvalidOptimizeSpec(_)));
+        // Pinned node inside a group.
+        let g = s.partitioning().grouping().members(0);
+        let err = s
+            .optimize(&OptimizeSpec::new().with_pinned_node(g[0]).with_group(g.clone()))
+            .unwrap_err();
+        assert!(matches!(err, ChopError::InvalidOptimizeSpec(_)));
+    }
+
+    #[test]
+    fn exclusions_are_respected_by_every_move() {
+        let s = session(3);
+        let a = s.partitioning().grouping().members(0)[0];
+        let b = s.partitioning().grouping().members(1)[0];
+        let spec = OptimizeSpec::new().with_max_moves(32).with_exclusion(a, b);
+        let r = s.optimize(&spec).unwrap();
+        let g = r.partitioning.grouping();
+        assert_ne!(g.group_of(a), g.group_of(b), "excluded pair ended co-located");
+    }
+
+    #[test]
+    fn single_partition_has_no_moves() {
+        let r = session(1).optimize(&OptimizeSpec::new()).unwrap();
+        assert!(r.moves.is_empty());
+        assert_eq!(r.completion, Completion::Complete);
+    }
+
+    #[test]
+    fn replaying_the_move_trace_reproduces_the_final_partitioning() {
+        let s = session(3);
+        let r = s.optimize(&OptimizeSpec::new().with_seed(3).with_max_moves(24)).unwrap();
+        let ids: Vec<(NodeId, PartitionId)> =
+            r.moves.iter().flat_map(|m| m.nodes.iter().map(move |&n| (n, m.to))).collect();
+        let replayed = s.apply_moves(&ids).unwrap();
+        assert_eq!(replayed.partitioning().grouping(), r.partitioning.grouping());
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(a.below(7) < 7);
+        }
+    }
+}

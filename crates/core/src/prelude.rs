@@ -42,14 +42,23 @@ pub use crate::explorer::{
     DesignPoint, FeasibleImplementation, Heuristic, PartitionPredictions, SearchOutcome,
     Session,
 };
+#[cfg(feature = "fault-inject")]
+pub use crate::fault::{AppendFault, FaultPlan, IoFaultPlan};
 pub use crate::feasibility::{Constraints, FeasibilityCriteria, Verdict, Violation};
-pub use crate::integration::SystemPrediction;
+pub use crate::integration::{IntegrationContext, SystemPrediction, TransferModulePrediction};
+pub use crate::optimize::{
+    AppliedMove, MoveKind, ObjectiveWeights, OptimizeResult, OptimizeSpec,
+};
 pub use crate::spec::{
     BuildError, MemoryAssignment, PartitionId, Partitioning, PartitioningBuilder, SpecError,
 };
 pub use crate::testability::TestabilityOverhead;
 
 // Designer-facing modules, re-exported so `prelude::*` users can reach
-// `report::markdown`, `advise::improve_by_migration`, `tasks::create_tasks`
-// and the experiment presets without a second `chop_core::` import path.
-pub use crate::{advise, experiments, report, tasks};
+// `report::markdown`, `advise::improve_by_migration`, `tasks::create_tasks`,
+// `transfer::pin_budgets`, `testability` presets, the `optimize` module
+// itself and the experiment presets without a second `chop_core::` import
+// path. The fault-injection module rides along under its feature flag.
+#[cfg(feature = "fault-inject")]
+pub use crate::fault;
+pub use crate::{advise, experiments, optimize, report, spec, tasks, testability, transfer};

@@ -255,14 +255,39 @@ impl Partitioning {
         node: NodeId,
         to: PartitionId,
     ) -> Result<Self, GroupingError> {
-        if to.index() >= self.grouping.group_count() {
-            return Err(GroupingError::GroupOutOfRange {
-                node,
-                group: to.index(),
-                groups: self.grouping.group_count(),
-            });
+        self.with_nodes_moved(&[(node, to)])
+    }
+
+    /// Returns a copy with several nodes moved *atomically*: every move is
+    /// applied to the grouping first, then the structural invariants (no
+    /// empty partition, no mutual data dependency) are checked once on the
+    /// final state. This is the primitive behind grouped optimizer moves
+    /// and journal replay of an accepted move trace — intermediate states
+    /// that would be individually invalid (a group migration that
+    /// transiently empties a partition) are fine as long as the final
+    /// grouping is valid. Later moves of the same node override earlier
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GroupingError`] if any target is not a partition of
+    /// this partitioning, or the final grouping empties a partition or
+    /// creates mutual data dependency.
+    pub fn with_nodes_moved(
+        &self,
+        moves: &[(NodeId, PartitionId)],
+    ) -> Result<Self, GroupingError> {
+        let mut moved = self.grouping.clone();
+        for &(node, to) in moves {
+            if to.index() >= moved.group_count() {
+                return Err(GroupingError::GroupOutOfRange {
+                    node,
+                    group: to.index(),
+                    groups: moved.group_count(),
+                });
+            }
+            moved = moved.with_node_moved(node, to.index());
         }
-        let moved = self.grouping.with_node_moved(node, to.index());
         if let Some(empty) = (0..moved.group_count()).find(|&g| moved.members(g).is_empty()) {
             return Err(GroupingError::EmptyGroup(empty));
         }
@@ -706,6 +731,42 @@ mod tests {
             Ok(moved) => assert_eq!(moved.grouping().group_of(node), 1),
             Err(e) => assert!(matches!(e, GroupingError::MutualDependency(_, _))),
         }
+    }
+
+    #[test]
+    fn nodes_move_atomically_with_one_final_validation() {
+        let p = PartitioningBuilder::new(benchmarks::ar_lattice_filter(), chips(2))
+            .split_horizontal(2)
+            .build()
+            .unwrap();
+        // Swapping two whole partitions transits through states that are
+        // individually invalid (one partition transiently empty); the
+        // atomic form validates only the final grouping.
+        let back: Vec<_> = p
+            .grouping()
+            .members(1)
+            .into_iter()
+            .map(|n| (n, PartitionId::new(0)))
+            .chain(p.grouping().members(0).into_iter().map(|n| (n, PartitionId::new(1))))
+            .collect();
+        let swapped = p.with_nodes_moved(&back);
+        match swapped {
+            Ok(s) => {
+                assert_eq!(s.partition_count(), 2);
+                assert!(s.validate().is_ok());
+            }
+            Err(e) => assert!(matches!(e, GroupingError::MutualDependency(_, _))),
+        }
+        // A final state that empties a partition is still rejected.
+        let drain: Vec<_> =
+            p.grouping().members(0).into_iter().map(|n| (n, PartitionId::new(1))).collect();
+        assert!(matches!(p.with_nodes_moved(&drain), Err(GroupingError::EmptyGroup(0))));
+        // An out-of-range target names the offending node.
+        let node = p.grouping().members(0)[0];
+        assert!(matches!(
+            p.with_nodes_moved(&[(node, PartitionId::new(9))]),
+            Err(GroupingError::GroupOutOfRange { .. })
+        ));
     }
 
     #[test]

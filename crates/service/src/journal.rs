@@ -53,7 +53,7 @@ use std::path::{Path, PathBuf};
 use crate::protocol::Request;
 
 #[cfg(feature = "fault-inject")]
-use chop_core::fault::{AppendFault, IoFaultPlan};
+use chop_core::prelude::fault::{AppendFault, IoFaultPlan};
 
 /// File name of the journal inside `--state-dir`.
 pub const JOURNAL_FILE: &str = "journal.chopwal";
@@ -454,7 +454,7 @@ mod tests {
     #[cfg(feature = "fault-inject")]
     #[test]
     fn injected_append_faults_fail_and_tear() {
-        use chop_core::fault::IoFaultPlan;
+        use chop_core::prelude::fault::IoFaultPlan;
         let dir = tempdir("iofault");
         let (journal, _) = Journal::open(&dir, 0).unwrap();
         let mut journal = journal.with_io_faults(IoFaultPlan::none().fail_after(1));

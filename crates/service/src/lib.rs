@@ -59,8 +59,8 @@ pub use journal::{Journal, JournalEntry, JournalScan};
 pub use manager::{build_session, RecoveryReport, SessionManager};
 pub use net::ShutdownGate;
 pub use protocol::{
-    ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
-    PROTOCOL_VERSION,
+    BudgetEnvelope, ErrorKind, ExploreParams, MoveSummary, OpenParams, OptimizeParams,
+    OptimizeSummary, Request, Response, RunSummary, ServiceError, PROTOCOL_VERSION,
 };
 pub use replication::{ReplEvent, Replicator};
 pub use router::{BackendSpec, HashRing, Router, RouterConfig};

@@ -25,8 +25,9 @@
 //! # Durability and idempotency
 //!
 //! When built via [`SessionManager::recover`], every state-mutating
-//! request (`open`, `repartition`, `set_constraints`, `close`) is
-//! appended to a write-ahead [`Journal`] *before* it is committed to the
+//! request (`open`, `repartition`, `apply_moves`, `set_constraints`,
+//! `close`) is appended to a write-ahead [`Journal`] *before* it is
+//! committed to the
 //! sessions map — a crash between the two replays the mutation on
 //! restart; a journal append failure refuses the mutation with a typed
 //! `internal` error and leaves state untouched. The journal mutex is only
@@ -54,8 +55,8 @@ use chop_stat::units::Nanos;
 
 use crate::journal::{Journal, JournalEntry};
 use crate::protocol::{
-    ErrorKind, ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError,
-    PROTOCOL_VERSION,
+    ErrorKind, ExploreParams, OpenParams, OptimizeParams, OptimizeSummary, Request, Response,
+    RunSummary, ServiceError, PROTOCOL_VERSION,
 };
 use crate::replication::ReplEvent;
 
@@ -237,7 +238,7 @@ impl SessionManager {
     /// Scripts I/O faults into the journal's subsequent appends (chaos
     /// tests only). No-op for a manager without a journal.
     #[cfg(feature = "fault-inject")]
-    pub fn inject_journal_faults(&self, plan: chop_core::fault::IoFaultPlan) {
+    pub fn inject_journal_faults(&self, plan: IoFaultPlan) {
         if let Some(journal) = &self.journal {
             journal.lock().unwrap_or_else(PoisonError::into_inner).set_io_faults(plan);
         }
@@ -331,6 +332,24 @@ impl SessionManager {
                         session: session.clone(),
                         node: *node,
                         to: *to,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::Optimize { session, params } => {
+                match self.optimize_tagged(session, params, req_id) {
+                    Ok(result) => Response::Optimized {
+                        session: session.clone(),
+                        result: Box::new(result),
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::ApplyMoves { session, moves } => {
+                match self.apply_moves_tagged(session, moves, req_id) {
+                    Ok(()) => Response::MovesApplied {
+                        session: session.clone(),
+                        moves: moves.len() as u64,
                     },
                     Err(e) => Response::Error(e),
                 }
@@ -522,10 +541,10 @@ impl SessionManager {
             (managed.session.clone(), managed.generation)
         };
         let mut budget = SearchBudget::default();
-        if let Some(ms) = params.deadline_ms {
+        if let Some(ms) = params.budget.deadline_ms {
             budget = budget.with_deadline(Duration::from_millis(ms));
         }
-        if let Some(n) = params.max_trials {
+        if let Some(n) = params.budget.max_trials {
             budget = budget.with_max_trials(usize::try_from(n).unwrap_or(usize::MAX));
         }
         let jobs =
@@ -588,6 +607,109 @@ impl SessionManager {
             .repartition(node_id, PartitionId::new(to))
             .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
         let request = Request::Repartition { session: name.to_owned(), node, to };
+        self.journal_append(&request, req_id)?;
+        managed.session = next;
+        self.replicate(&request, req_id);
+        managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
+        self.maybe_compact(&sessions);
+        Ok(())
+    }
+
+    /// Runs the move-based optimizer on a named session. Like
+    /// [`explore`](Self::explore), the search itself runs without holding
+    /// the manager lock; on success the accepted final partitioning is
+    /// committed by replaying the move trace onto the live session, and
+    /// the journal/replication stream records that replay as an
+    /// `apply_moves` (a truncated `optimize` is not deterministically
+    /// replayable, its accepted trace always is).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name, [`ErrorKind::Spec`]
+    /// for parameters naming unknown nodes or inconsistent constraints,
+    /// [`ErrorKind::Engine`] when the search fails or the session was
+    /// mutated while the optimizer ran unlocked (retry in that case).
+    pub fn optimize(
+        &self,
+        name: &str,
+        params: &OptimizeParams,
+    ) -> Result<OptimizeSummary, ServiceError> {
+        self.optimize_tagged(name, params, None)
+    }
+
+    fn optimize_tagged(
+        &self,
+        name: &str,
+        params: &OptimizeParams,
+        req_id: Option<&str>,
+    ) -> Result<OptimizeSummary, ServiceError> {
+        let (session, generation, mutation_count) = {
+            let sessions = self.lock();
+            let managed = sessions.get(name).ok_or_else(|| unknown_session(name))?;
+            (managed.session.clone(), managed.generation, managed.mutations.len())
+        };
+        let spec = optimize_spec(&session, params)?;
+        let jobs =
+            params.jobs.map_or(self.default_jobs, |j| usize::try_from(j.max(1)).unwrap_or(1));
+        let result = session.with_jobs(jobs).optimize(&spec).map_err(|e| match e {
+            ChopError::InvalidOptimizeSpec(_) => {
+                ServiceError::new(ErrorKind::Spec, e.to_string())
+            }
+            other => ServiceError::new(ErrorKind::Engine, other.to_string()),
+        })?;
+        let moves = result.moves_as_indices();
+        let mut sessions = self.lock();
+        let managed = sessions.get_mut(name).ok_or_else(|| unknown_session(name))?;
+        if managed.generation != generation || managed.mutations.len() != mutation_count {
+            return Err(ServiceError::new(
+                ErrorKind::Engine,
+                "session mutated while the optimizer ran; retry",
+            ));
+        }
+        if !moves.is_empty() {
+            let node_moves = resolve_moves(&managed.session, &moves)?;
+            let next = managed
+                .session
+                .apply_moves(&node_moves)
+                .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
+            let request = Request::ApplyMoves { session: name.to_owned(), moves };
+            self.journal_append(&request, req_id)?;
+            managed.session = next;
+            self.replicate(&request, req_id);
+            managed.mutations.push(JournalEntry { request, req_id: req_id.map(str::to_owned) });
+        }
+        managed.last_run = Some(RunSummary::from_outcome(&result.outcome));
+        self.maybe_compact(&sessions);
+        Ok(OptimizeSummary::from_result(&result))
+    }
+
+    /// Applies a batch of `(node index, partition index)` moves
+    /// atomically — the journaled form of an accepted optimizer trace,
+    /// also reachable directly as a multi-node what-if.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownSession`] for a missing name, [`ErrorKind::Spec`]
+    /// for an unknown node index, [`ErrorKind::Engine`] for a batch whose
+    /// final state is invalid.
+    pub fn apply_moves(&self, name: &str, moves: &[(u32, u32)]) -> Result<(), ServiceError> {
+        self.apply_moves_tagged(name, moves, None)
+    }
+
+    fn apply_moves_tagged(
+        &self,
+        name: &str,
+        moves: &[(u32, u32)],
+        req_id: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        let mut sessions = self.lock();
+        let managed = sessions.get_mut(name).ok_or_else(|| unknown_session(name))?;
+        let node_moves = resolve_moves(&managed.session, moves)?;
+        let next = managed
+            .session
+            .apply_moves(&node_moves)
+            .map_err(|e| ServiceError::new(ErrorKind::Engine, e.to_string()))?;
+        let request = Request::ApplyMoves { session: name.to_owned(), moves: moves.to_vec() };
         self.journal_append(&request, req_id)?;
         managed.session = next;
         self.replicate(&request, req_id);
@@ -850,6 +972,62 @@ fn unknown_session(name: &str) -> ServiceError {
     ServiceError::new(ErrorKind::UnknownSession, format!("no open session named {name:?}"))
 }
 
+/// Resolves a wire node index against a session's DFG.
+fn resolve_node(session: &Session, node: u32) -> Result<chop_dfg::NodeId, ServiceError> {
+    session
+        .partitioning()
+        .dfg()
+        .nodes()
+        .map(|(id, _)| id)
+        .find(|id| id.index() == node as usize)
+        .ok_or_else(|| ServiceError::new(ErrorKind::Spec, format!("no node with index {node}")))
+}
+
+/// Resolves a wire move batch to `(NodeId, PartitionId)` pairs.
+fn resolve_moves(
+    session: &Session,
+    moves: &[(u32, u32)],
+) -> Result<Vec<(chop_dfg::NodeId, PartitionId)>, ServiceError> {
+    moves
+        .iter()
+        .map(|&(node, to)| Ok((resolve_node(session, node)?, PartitionId::new(to))))
+        .collect()
+}
+
+/// Builds the core [`OptimizeSpec`] an `optimize` request describes,
+/// resolving its node indices against the session.
+fn optimize_spec(
+    session: &Session,
+    params: &OptimizeParams,
+) -> Result<OptimizeSpec, ServiceError> {
+    let mut spec = OptimizeSpec::new().with_seed(params.seed).with_heuristic(params.heuristic);
+    if let Some(ms) = params.budget.deadline_ms {
+        spec = spec.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = params.budget.max_trials {
+        spec = spec.with_max_moves(n);
+    }
+    if params.kicks.is_some() || params.kick_moves.is_some() {
+        let kicks = params.kicks.unwrap_or_else(|| spec.kicks());
+        let kick_moves = params.kick_moves.unwrap_or_else(|| spec.kick_moves());
+        spec = spec.with_kicks(kicks, kick_moves);
+    }
+    for &node in &params.pinned {
+        spec = spec.with_pinned_node(resolve_node(session, node)?);
+    }
+    for group in &params.groups {
+        let nodes = group
+            .iter()
+            .map(|&node| resolve_node(session, node))
+            .collect::<Result<Vec<_>, _>>()?;
+        spec = spec.with_group(nodes);
+    }
+    for &(a, b) in &params.exclusions {
+        spec = spec.with_exclusion(resolve_node(session, a)?, resolve_node(session, b)?);
+    }
+    Ok(spec)
+}
+
 /// Builds a core [`Session`] from wire parameters, mirroring the `chop
 /// check` defaults: uniform MOSIS packages, a horizontal cut, referenced
 /// memory blocks declared as off-the-shelf external parts.
@@ -935,6 +1113,7 @@ pub fn build_session(params: &OpenParams, jobs: usize) -> Result<Session, Servic
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::BudgetEnvelope;
 
     const SPEC: &str = "a = input 16\nb = input 16\np = mul a b\ns = add p a\ny = output s\n";
 
@@ -1026,7 +1205,10 @@ mod tests {
     fn explore_budget_truncates() {
         let mgr = SessionManager::new(1);
         mgr.open("b", &open_params(2)).unwrap();
-        let params = ExploreParams { max_trials: Some(0), ..ExploreParams::default() };
+        let params = ExploreParams {
+            budget: BudgetEnvelope { max_trials: Some(0), ..BudgetEnvelope::default() },
+            ..ExploreParams::default()
+        };
         let run = mgr.explore("b", &params).unwrap();
         assert!(run.completion.is_truncated());
     }
@@ -1174,7 +1356,7 @@ mod tests {
     #[cfg(feature = "fault-inject")]
     #[test]
     fn journal_append_failure_refuses_the_mutation() {
-        use chop_core::fault::IoFaultPlan;
+        use chop_core::prelude::fault::IoFaultPlan;
         let dir = state_dir("append-fail");
         let (mgr, _) = SessionManager::recover(1, &dir, 0).unwrap();
         mgr.open("ok", &open_params(2)).unwrap();
@@ -1312,6 +1494,87 @@ mod tests {
             Response::Opened { session: "fresh".into(), partitions: 2 }
         );
         standby.repartition("fresh", 3, 0).unwrap();
+    }
+
+    #[test]
+    fn optimize_commits_the_trace_and_records_the_run() {
+        let mgr = SessionManager::new(1);
+        mgr.open("o", &open_params(2)).unwrap();
+        // Skew the start so the optimizer has something to improve.
+        mgr.apply_moves("o", &[(3, 0)]).unwrap();
+        let result = mgr.optimize("o", &OptimizeParams::default()).unwrap();
+        assert!(result.run.trials > 0);
+        let (_, _, last) = mgr.stats(Some("o")).unwrap();
+        assert_eq!(last.unwrap().digest, result.run.digest, "optimize must record its run");
+        // An identically prepared manager reproduces the result
+        // byte-for-byte (the seeded optimizer is deterministic).
+        let twin = SessionManager::new(1);
+        twin.open("o", &open_params(2)).unwrap();
+        twin.apply_moves("o", &[(3, 0)]).unwrap();
+        let mut again = twin.optimize("o", &OptimizeParams::default()).unwrap();
+        again.run.elapsed_ms = result.run.elapsed_ms; // wall-clock, not part of the contract
+        assert_eq!(again, result);
+    }
+
+    #[test]
+    fn optimize_rejects_unknown_nodes_and_sessions() {
+        let mgr = SessionManager::new(1);
+        assert_eq!(
+            mgr.optimize("ghost", &OptimizeParams::default()).unwrap_err().kind,
+            ErrorKind::UnknownSession
+        );
+        mgr.open("o", &open_params(2)).unwrap();
+        let bad = OptimizeParams { pinned: vec![99], ..OptimizeParams::default() };
+        assert_eq!(mgr.optimize("o", &bad).unwrap_err().kind, ErrorKind::Spec);
+        assert_eq!(mgr.apply_moves("o", &[(99, 0)]).unwrap_err().kind, ErrorKind::Spec);
+        assert_eq!(mgr.apply_moves("o", &[(3, 99)]).unwrap_err().kind, ErrorKind::Engine);
+    }
+
+    #[test]
+    fn optimize_req_id_replays_the_recorded_outcome() {
+        let mgr = SessionManager::new(1);
+        mgr.open("o", &open_params(2)).unwrap();
+        mgr.apply_moves("o", &[(3, 0)]).unwrap();
+        let request =
+            Request::Optimize { session: "o".into(), params: OptimizeParams::default() };
+        let first = mgr.dispatch_tagged(&request, Some("opt-1"));
+        assert!(matches!(first, Response::Optimized { .. }), "{first:?}");
+        // A retry replays the recorded response instead of re-running
+        // the search (and re-applying the trace) on the mutated session.
+        assert_eq!(mgr.dispatch_tagged(&request, Some("opt-1")), first);
+    }
+
+    #[test]
+    fn applied_moves_survive_journal_recovery() {
+        let dir = state_dir("apply-moves");
+        let before = {
+            let (mgr, _) = SessionManager::recover(1, &dir, 0).unwrap();
+            mgr.open("m", &open_params(2)).unwrap();
+            mgr.apply_moves("m", &[(3, 0)]).unwrap();
+            mgr.explore("m", &ExploreParams::default()).unwrap().digest
+            // Dropped without any shutdown ceremony — the crash.
+        };
+        let (mgr, report) = SessionManager::recover(1, &dir, 0).unwrap();
+        assert_eq!(report.sessions_restored, 1);
+        assert_eq!(report.records_replayed, 2);
+        let after = mgr.explore("m", &ExploreParams::default()).unwrap().digest;
+        assert_eq!(before, after, "replayed moves must reproduce the digest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn standby_refuses_optimize_and_apply_moves() {
+        let standby = SessionManager::new(1);
+        standby.mark_standby();
+        let optimize =
+            Request::Optimize { session: "s".into(), params: OptimizeParams::default() };
+        let Response::Error(e) = standby.dispatch(&optimize) else {
+            panic!("optimize allowed")
+        };
+        assert_eq!(e.kind, ErrorKind::Standby);
+        let apply = Request::ApplyMoves { session: "s".into(), moves: vec![(3, 0)] };
+        let Response::Error(e) = standby.dispatch(&apply) else { panic!("apply allowed") };
+        assert_eq!(e.kind, ErrorKind::Standby);
     }
 
     #[test]

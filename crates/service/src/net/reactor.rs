@@ -96,6 +96,11 @@ pub(crate) struct ReactorConfig {
     pub max_connections: usize,
     /// Idle connections are reaped after this long; `None` disables.
     pub idle_timeout: Option<Duration>,
+    /// Request lines admitted per connection per second; lines past the
+    /// cap get a typed `busy` reply carrying the window's remaining
+    /// milliseconds as `retry_after_ms`, and the connection stays open.
+    /// `None` disables.
+    pub max_requests_per_sec: Option<u32>,
 }
 
 /// One connection's full state.
@@ -117,10 +122,15 @@ struct Conn {
     last_activity: Instant,
     /// Event set currently registered with epoll.
     interest: u32,
+    /// Start of the current request-rate window.
+    rate_window: Instant,
+    /// Request lines admitted since `rate_window`.
+    rate_count: u32,
 }
 
 impl Conn {
     fn new(stream: TcpStream) -> Self {
+        let now = Instant::now();
         Self {
             stream,
             inbuf: LineBuffer::default(),
@@ -129,9 +139,36 @@ impl Conn {
             awaiting_worker: false,
             closing: false,
             read_closed: false,
-            last_activity: Instant::now(),
+            last_activity: now,
             interest: EVENT_READ,
+            rate_window: now,
+            rate_count: 0,
         }
+    }
+
+    /// Admits one request line against the per-second rate cap;
+    /// `Some` is the typed `busy` refusal to queue instead. The window
+    /// is fixed, not sliding: it resets a second after its first
+    /// admitted line, and `retry_after_ms` is the window's remaining
+    /// lifetime.
+    fn admit_line(&mut self, cap: Option<u32>) -> Option<Response> {
+        let cap = cap?;
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.rate_window);
+        if elapsed >= Duration::from_secs(1) {
+            self.rate_window = now;
+            self.rate_count = 0;
+        }
+        if self.rate_count >= cap {
+            let remaining = Duration::from_secs(1).saturating_sub(elapsed);
+            return Some(Response::Busy {
+                inflight: u64::from(self.rate_count),
+                max_inflight: u64::from(cap),
+                retry_after_ms: (remaining.as_millis() as u64).max(1),
+            });
+        }
+        self.rate_count += 1;
+        None
     }
 
     fn pending_out(&self) -> usize {
@@ -334,7 +371,7 @@ impl Reactor {
         };
         let mut alive = true;
         if flags & EVENT_READ != 0 {
-            alive = read_some(conn, token, draining, handler);
+            alive = read_some(conn, token, draining, self.config.max_requests_per_sec, handler);
         }
         if alive && flags & (EVENT_ERROR | EVENT_HANGUP) != 0 && flags & EVENT_READ == 0 {
             // Broken pipe with nothing readable: nothing left to say.
@@ -373,7 +410,7 @@ impl Reactor {
             let before_out = conn.outbuf.len();
             let before_state = (conn.awaiting_worker, conn.closing);
             if !conn.awaiting_worker && !conn.closing && conn.pending_out() <= OUT_SOFT_CAP {
-                process_lines(conn, token, handler);
+                process_lines(conn, token, self.config.max_requests_per_sec, handler);
             }
             if conn.outbuf.len() == before_out
                 && (conn.awaiting_worker, conn.closing) == before_state
@@ -474,7 +511,13 @@ impl Reactor {
 /// buffer, hand complete lines to the dispatcher, stop at `WouldBlock`
 /// or whenever the state machine stops wanting input. `false` means the
 /// connection died.
-fn read_some<H: LineHandler>(conn: &mut Conn, token: u64, draining: bool, handler: &H) -> bool {
+fn read_some<H: LineHandler>(
+    conn: &mut Conn,
+    token: u64,
+    draining: bool,
+    rate_cap: Option<u32>,
+    handler: &H,
+) -> bool {
     let mut chunk = [0u8; 16 * 1024];
     loop {
         if !conn.willing_to_read(draining) {
@@ -488,7 +531,7 @@ fn read_some<H: LineHandler>(conn: &mut Conn, token: u64, draining: bool, handle
             Ok(n) => {
                 conn.last_activity = Instant::now();
                 conn.inbuf.extend(&chunk[..n]);
-                process_lines(conn, token, handler);
+                process_lines(conn, token, rate_cap, handler);
             }
             Err(e) if e.kind() == IoErrorKind::WouldBlock => return true,
             Err(e) if e.kind() == IoErrorKind::Interrupted => {}
@@ -499,7 +542,12 @@ fn read_some<H: LineHandler>(conn: &mut Conn, token: u64, draining: bool, handle
 
 /// Serves buffered complete lines until the connection parks (dispatch
 /// in flight), closes, caps its output, or runs out of lines.
-fn process_lines<H: LineHandler>(conn: &mut Conn, token: u64, handler: &H) {
+fn process_lines<H: LineHandler>(
+    conn: &mut Conn,
+    token: u64,
+    rate_cap: Option<u32>,
+    handler: &H,
+) {
     while !conn.awaiting_worker && !conn.closing && conn.pending_out() <= OUT_SOFT_CAP {
         let Some(line) = conn.inbuf.next_line() else {
             if conn.inbuf.len() > MAX_LINE_BYTES {
@@ -523,6 +571,14 @@ fn process_lines<H: LineHandler>(conn: &mut Conn, token: u64, handler: &H) {
         let text = String::from_utf8_lossy(&line);
         let text = text.trim();
         if text.is_empty() {
+            continue;
+        }
+        // The rate cap is enforced here, in the connection's own state
+        // machine: an over-limit line costs one queued `busy` reply and
+        // no dispatch, and the connection keeps serving — unlike the
+        // oversized-line refusals above, which close.
+        if let Some(busy) = conn.admit_line(rate_cap) {
+            conn.push_response(&busy);
             continue;
         }
         match handler.handle_line(token, text) {

@@ -20,7 +20,9 @@
 
 use std::fmt;
 
-use chop_core::{CacheStats, Completion, Heuristic, SearchOutcome};
+use chop_core::prelude::{
+    CacheStats, Completion, Heuristic, MoveKind, OptimizeResult, SearchOutcome,
+};
 
 use crate::json::{self, obj, Value};
 
@@ -146,27 +148,119 @@ impl Default for OpenParams {
     }
 }
 
-/// Parameters of an `explore` request; the budget fields reuse the core
-/// [`SearchBudget`](chop_core::SearchBudget) semantics.
+/// The shared budget envelope of every bounded request: `explore` and
+/// `optimize` both carry one, and both interpret it the same way —
+/// `deadline_ms` is a wall-clock cut-off, `max_trials` caps the units of
+/// work examined (combinations for `explore`, move evaluations for
+/// `optimize`). The third idempotency-window field, `req_id`, rides the
+/// *tagged* message envelope ([`Request::encode_tagged`]) rather than the
+/// budget object so read-only requests can carry it too.
+///
+/// On the wire the canonical form is one nested object,
+/// `"budget": {"deadline_ms": …, "max_trials": …}` (omitted entirely when
+/// both fields are unset); the pre-envelope flat spelling — top-level
+/// `deadline_ms` / `max_trials` — still decodes as a back-compat alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetEnvelope {
+    /// Wall-clock deadline for the search, in ms.
+    pub deadline_ms: Option<u64>,
+    /// Cap on units of work examined (trials / move evaluations).
+    pub max_trials: Option<u64>,
+}
+
+impl BudgetEnvelope {
+    /// Whether no bound is set (the envelope is omitted on the wire).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deadline_ms.is_none() && self.max_trials.is_none()
+    }
+}
+
+fn push_budget(pairs: &mut Vec<(&str, Value)>, budget: &BudgetEnvelope) {
+    if budget.is_empty() {
+        return;
+    }
+    let mut inner = Vec::new();
+    push_opt_u64(&mut inner, "deadline_ms", budget.deadline_ms);
+    push_opt_u64(&mut inner, "max_trials", budget.max_trials);
+    pairs.push(("budget", obj(inner)));
+}
+
+/// Decodes the budget envelope: the nested `"budget"` object when
+/// present, else the legacy flat `deadline_ms` / `max_trials` fields.
+fn budget_from_value(v: &Value) -> Result<BudgetEnvelope, ServiceError> {
+    let carrier = match v.get("budget") {
+        Some(Value::Null) | None => v,
+        Some(nested @ Value::Obj(_)) => nested,
+        Some(_) => {
+            return Err(ServiceError::protocol("field \"budget\" must be an object"));
+        }
+    };
+    Ok(BudgetEnvelope {
+        deadline_ms: opt_field(carrier, "deadline_ms", u64_field)?,
+        max_trials: opt_field(carrier, "max_trials", u64_field)?,
+    })
+}
+
+/// Parameters of an `explore` request; the budget reuses the core
+/// [`SearchBudget`](chop_core::prelude::SearchBudget) semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreParams {
     /// Which heuristic to run. Default I (iterative).
     pub heuristic: Heuristic,
-    /// Wall-clock deadline for the search, in ms.
-    pub deadline_ms: Option<u64>,
-    /// Cap on combinations examined.
-    pub max_trials: Option<u64>,
+    /// Deadline / trial-cap envelope. Default: unbounded.
+    pub budget: BudgetEnvelope,
     /// Worker threads for this run. Default: the server's `--jobs`.
     pub jobs: Option<u32>,
 }
 
 impl Default for ExploreParams {
     fn default() -> Self {
+        Self { heuristic: Heuristic::Iterative, budget: BudgetEnvelope::default(), jobs: None }
+    }
+}
+
+/// Parameters of an `optimize` request, mirroring the builder knobs of
+/// [`OptimizeSpec`](chop_core::prelude::OptimizeSpec). Node-naming fields
+/// use DFG node indices; the server resolves them against the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeParams {
+    /// Seed for the optimizer's deterministic randomness. Default 0.
+    /// Wire numbers ride on JSON doubles, so seeds above 2^53 − 1 are
+    /// rejected on decode rather than silently rounded.
+    pub seed: u64,
+    /// Deadline / move-evaluation-cap envelope. Default: the core spec's
+    /// built-in move budget.
+    pub budget: BudgetEnvelope,
+    /// Heuristic for each candidate evaluation. Default I (iterative).
+    pub heuristic: Heuristic,
+    /// Plateau kicks allowed. Default: the core spec's default.
+    pub kicks: Option<u32>,
+    /// Annealed moves attempted per kick. Default: the core default.
+    pub kick_moves: Option<u32>,
+    /// Worker threads for this run. Default: the server's `--jobs`.
+    pub jobs: Option<u32>,
+    /// Node indices pinned to their current partition.
+    pub pinned: Vec<u32>,
+    /// Groups of node indices that must move atomically and stay
+    /// co-located.
+    pub groups: Vec<Vec<u32>>,
+    /// Pairs of node indices that must never share a partition.
+    pub exclusions: Vec<(u32, u32)>,
+}
+
+impl Default for OptimizeParams {
+    fn default() -> Self {
         Self {
+            seed: 0,
+            budget: BudgetEnvelope::default(),
             heuristic: Heuristic::Iterative,
-            deadline_ms: None,
-            max_trials: None,
+            kicks: None,
+            kick_moves: None,
             jobs: None,
+            pinned: Vec::new(),
+            groups: Vec::new(),
+            exclusions: Vec::new(),
         }
     }
 }
@@ -198,6 +292,27 @@ pub enum Request {
         node: u32,
         /// Target partition index.
         to: u32,
+    },
+    /// Run the move-based optimizer on a session (dispatched to the
+    /// worker pool). On success the accepted final partitioning is
+    /// installed — the journal records it as an `apply_moves`, because a
+    /// deadline-truncated `optimize` is not deterministically replayable
+    /// while its accepted move trace always is.
+    Optimize {
+        /// Session name.
+        session: String,
+        /// Optimizer parameters.
+        params: OptimizeParams,
+    },
+    /// Apply a batch of `(node, partition)` moves atomically — the
+    /// journaled/replicated form of an accepted optimizer trace, also
+    /// usable directly as a multi-node what-if.
+    ApplyMoves {
+        /// Session name.
+        session: String,
+        /// `(node index, target partition index)` pairs, applied in
+        /// order with one final validation.
+        moves: Vec<(u32, u32)>,
     },
     /// Replace a session's performance/delay constraints (the next
     /// `explore` searches under the new envelope; predictions are
@@ -299,6 +414,79 @@ impl RunSummary {
     }
 }
 
+/// One accepted optimizer move on the wire: the unit's node indices, the
+/// partitions it left and joined, and which phase proposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveSummary {
+    /// DFG node indices of the moved unit (singleton or group).
+    pub nodes: Vec<u32>,
+    /// Partition index the unit left.
+    pub from: u32,
+    /// Partition index the unit joined.
+    pub to: u32,
+    /// 1-based optimizer pass that proposed the move.
+    pub pass: u32,
+    /// Whether a gain-directed pass or an annealing kick proposed it.
+    pub kind: MoveKind,
+}
+
+/// A condensed [`OptimizeResult`]: the digest, the accepted move trace
+/// and the counters a client needs, plus the final state's run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeSummary {
+    /// Canonical result fingerprint ([`OptimizeResult::digest`]).
+    pub digest: String,
+    /// Whether the final partitioning has a feasible implementation.
+    pub feasible: bool,
+    /// Objective score of the starting partitioning.
+    pub initial_score: f64,
+    /// Objective score of the final partitioning.
+    pub final_score: f64,
+    /// Candidate evaluations spent.
+    pub evaluations: u64,
+    /// Gain-directed passes run.
+    pub passes: u32,
+    /// Plateau kicks used.
+    pub kicks: u32,
+    /// How the search ended.
+    pub completion: Completion,
+    /// The accepted move trace, in application order.
+    pub moves: Vec<MoveSummary>,
+    /// Exploration summary of the final partitioning.
+    pub run: RunSummary,
+}
+
+impl OptimizeSummary {
+    /// Condenses a full optimizer result into its wire summary.
+    #[must_use]
+    pub fn from_result(result: &OptimizeResult) -> Self {
+        #[allow(clippy::cast_possible_truncation)]
+        let moves = result
+            .moves
+            .iter()
+            .map(|m| MoveSummary {
+                nodes: m.nodes.iter().map(|n| n.index() as u32).collect(),
+                from: m.from.index() as u32,
+                to: m.to.index() as u32,
+                pass: m.pass,
+                kind: m.kind,
+            })
+            .collect();
+        Self {
+            digest: result.digest(),
+            feasible: result.feasible(),
+            initial_score: result.initial_score,
+            final_score: result.final_score,
+            evaluations: result.evaluations,
+            passes: result.passes,
+            kicks: result.kicks_used,
+            completion: result.completion,
+            moves,
+            run: RunSummary::from_outcome(&result.outcome),
+        }
+    }
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -329,6 +517,22 @@ pub enum Response {
         node: u32,
         /// Its new partition.
         to: u32,
+    },
+    /// An optimization finished and its final partitioning is installed.
+    Optimized {
+        /// Session name.
+        session: String,
+        /// The optimizer run's summary (boxed: by far the largest
+        /// response payload, and `Response` values are moved around a
+        /// lot — completion queues, dedup windows).
+        result: Box<OptimizeSummary>,
+    },
+    /// A batch of moves was applied atomically.
+    MovesApplied {
+        /// Session name.
+        session: String,
+        /// How many `(node, partition)` pairs the batch carried.
+        moves: u64,
     },
     /// A session's constraints were replaced.
     ConstraintsSet {
@@ -391,6 +595,21 @@ fn heuristic_from_wire(tag: &str) -> Option<Heuristic> {
     match tag {
         "E" => Some(Heuristic::Enumeration),
         "I" => Some(Heuristic::Iterative),
+        _ => None,
+    }
+}
+
+fn move_kind_wire(k: MoveKind) -> &'static str {
+    match k {
+        MoveKind::Gain => "gain",
+        MoveKind::Kick => "kick",
+    }
+}
+
+fn move_kind_from_wire(tag: &str) -> Option<MoveKind> {
+    match tag {
+        "gain" => Some(MoveKind::Gain),
+        "kick" => Some(MoveKind::Kick),
         _ => None,
     }
 }
@@ -462,6 +681,45 @@ fn opt_field<T>(
     }
 }
 
+/// One non-negative integer in u32 range, out of an array element.
+fn u32_item(v: &Value) -> Result<u32, ServiceError> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| ServiceError::protocol("array items must be u32 integers"))
+}
+
+/// An array of u32s under `key`, `None` when absent.
+fn u32_array(v: &Value, key: &str) -> Result<Option<Vec<u32>>, ServiceError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be an array")))?
+            .iter()
+            .map(u32_item)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
+/// A nested array value as a list of u32s.
+fn u32_items(v: &Value) -> Result<Vec<u32>, ServiceError> {
+    v.as_arr()
+        .ok_or_else(|| ServiceError::protocol("expected a nested array of integers"))?
+        .iter()
+        .map(u32_item)
+        .collect()
+}
+
+/// A two-element `[a, b]` array value as a u32 pair.
+fn u32_pair(v: &Value) -> Result<(u32, u32), ServiceError> {
+    let items = u32_items(v)?;
+    let [a, b] = items[..] else {
+        return Err(ServiceError::protocol("expected a two-element [a, b] integer pair"));
+    };
+    Ok((a, b))
+}
+
 fn push_opt_u64(pairs: &mut Vec<(&str, Value)>, key: &'static str, v: Option<u64>) {
     if let Some(n) = v {
         #[allow(clippy::cast_precision_loss)]
@@ -501,6 +759,8 @@ impl Request {
             self,
             Request::Open { .. }
                 | Request::Repartition { .. }
+                | Request::Optimize { .. }
+                | Request::ApplyMoves { .. }
                 | Request::SetConstraints { .. }
                 | Request::Close { .. }
         )
@@ -515,6 +775,8 @@ impl Request {
             Request::Open { session, .. }
             | Request::Explore { session, .. }
             | Request::Repartition { session, .. }
+            | Request::Optimize { session, .. }
+            | Request::ApplyMoves { session, .. }
             | Request::SetConstraints { session, .. }
             | Request::Close { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
@@ -573,8 +835,7 @@ impl Request {
                     ("session", Value::Str(session.clone())),
                     ("heuristic", Value::Str(heuristic_wire(params.heuristic).into())),
                 ];
-                push_opt_u64(&mut rest, "deadline_ms", params.deadline_ms);
-                push_opt_u64(&mut rest, "max_trials", params.max_trials);
+                push_budget(&mut rest, &params.budget);
                 push_opt_u64(&mut rest, "jobs", params.jobs.map(u64::from));
                 envelope("explore", rest)
             }
@@ -584,6 +845,79 @@ impl Request {
                     ("session", Value::Str(session.clone())),
                     ("node", Value::Num(f64::from(*node))),
                     ("to", Value::Num(f64::from(*to))),
+                ],
+            ),
+            Request::Optimize { session, params } => {
+                let mut rest = vec![
+                    ("session", Value::Str(session.clone())),
+                    ("seed", Value::Num(params.seed as f64)),
+                    ("heuristic", Value::Str(heuristic_wire(params.heuristic).into())),
+                ];
+                push_budget(&mut rest, &params.budget);
+                push_opt_u64(&mut rest, "kicks", params.kicks.map(u64::from));
+                push_opt_u64(&mut rest, "kick_moves", params.kick_moves.map(u64::from));
+                push_opt_u64(&mut rest, "jobs", params.jobs.map(u64::from));
+                if !params.pinned.is_empty() {
+                    rest.push((
+                        "pinned",
+                        Value::Arr(
+                            params.pinned.iter().map(|&n| Value::Num(f64::from(n))).collect(),
+                        ),
+                    ));
+                }
+                if !params.groups.is_empty() {
+                    rest.push((
+                        "groups",
+                        Value::Arr(
+                            params
+                                .groups
+                                .iter()
+                                .map(|g| {
+                                    Value::Arr(
+                                        g.iter().map(|&n| Value::Num(f64::from(n))).collect(),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                if !params.exclusions.is_empty() {
+                    rest.push((
+                        "exclusions",
+                        Value::Arr(
+                            params
+                                .exclusions
+                                .iter()
+                                .map(|&(a, b)| {
+                                    Value::Arr(vec![
+                                        Value::Num(f64::from(a)),
+                                        Value::Num(f64::from(b)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                envelope("optimize", rest)
+            }
+            Request::ApplyMoves { session, moves } => envelope(
+                "apply_moves",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    (
+                        "moves",
+                        Value::Arr(
+                            moves
+                                .iter()
+                                .map(|&(node, to)| {
+                                    Value::Arr(vec![
+                                        Value::Num(f64::from(node)),
+                                        Value::Num(f64::from(to)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ],
             ),
             Request::SetConstraints { session, performance_ns, delay_ns } => envelope(
@@ -683,8 +1017,7 @@ impl Request {
                 };
                 let params = ExploreParams {
                     heuristic,
-                    deadline_ms: opt_field(v, "deadline_ms", u64_field)?,
-                    max_trials: opt_field(v, "max_trials", u64_field)?,
+                    budget: budget_from_value(v)?,
                     jobs: opt_field(v, "jobs", u32_field)?,
                 };
                 Ok(Request::Explore { session: str_field(v, "session")?, params })
@@ -694,6 +1027,55 @@ impl Request {
                 node: u32_field(v, "node")?,
                 to: u32_field(v, "to")?,
             }),
+            "optimize" => {
+                let heuristic = match opt_field(v, "heuristic", str_field)? {
+                    None => Heuristic::Iterative,
+                    Some(tag) => heuristic_from_wire(&tag).ok_or_else(|| {
+                        ServiceError::protocol(format!("unknown heuristic {tag:?}"))
+                    })?,
+                };
+                let params = OptimizeParams {
+                    seed: opt_field(v, "seed", u64_field)?.unwrap_or(0),
+                    budget: budget_from_value(v)?,
+                    heuristic,
+                    kicks: opt_field(v, "kicks", u32_field)?,
+                    kick_moves: opt_field(v, "kick_moves", u32_field)?,
+                    jobs: opt_field(v, "jobs", u32_field)?,
+                    pinned: u32_array(v, "pinned")?.unwrap_or_default(),
+                    groups: match v.get("groups") {
+                        None | Some(Value::Null) => Vec::new(),
+                        Some(groups) => groups
+                            .as_arr()
+                            .ok_or_else(|| {
+                                ServiceError::protocol("field \"groups\" must be an array")
+                            })?
+                            .iter()
+                            .map(u32_items)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    },
+                    exclusions: match v.get("exclusions") {
+                        None | Some(Value::Null) => Vec::new(),
+                        Some(pairs) => pairs
+                            .as_arr()
+                            .ok_or_else(|| {
+                                ServiceError::protocol("field \"exclusions\" must be an array")
+                            })?
+                            .iter()
+                            .map(u32_pair)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    },
+                };
+                Ok(Request::Optimize { session: str_field(v, "session")?, params })
+            }
+            "apply_moves" => {
+                let moves = field(v, "moves")?
+                    .as_arr()
+                    .ok_or_else(|| ServiceError::protocol("field \"moves\" must be an array"))?
+                    .iter()
+                    .map(u32_pair)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::ApplyMoves { session: str_field(v, "session")?, moves })
+            }
             "set_constraints" => Ok(Request::SetConstraints {
                 session: str_field(v, "session")?,
                 performance_ns: f64_field(v, "performance_ns")?,
@@ -771,6 +1153,75 @@ fn run_from_value(v: &Value) -> Result<RunSummary, ServiceError> {
 }
 
 #[allow(clippy::cast_precision_loss)]
+fn optimize_to_value(result: &OptimizeSummary) -> Value {
+    let moves = result
+        .moves
+        .iter()
+        .map(|m| {
+            obj(vec![
+                (
+                    "nodes",
+                    Value::Arr(m.nodes.iter().map(|&n| Value::Num(f64::from(n))).collect()),
+                ),
+                ("from", Value::Num(f64::from(m.from))),
+                ("to", Value::Num(f64::from(m.to))),
+                ("pass", Value::Num(f64::from(m.pass))),
+                ("kind", Value::Str(move_kind_wire(m.kind).into())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("digest", Value::Str(result.digest.clone())),
+        ("feasible", Value::Bool(result.feasible)),
+        ("initial_score", Value::Num(result.initial_score)),
+        ("final_score", Value::Num(result.final_score)),
+        ("evaluations", Value::Num(result.evaluations as f64)),
+        ("passes", Value::Num(f64::from(result.passes))),
+        ("kicks", Value::Num(f64::from(result.kicks))),
+        ("completion", Value::Str(completion_wire(result.completion).into())),
+        ("moves", Value::Arr(moves)),
+        ("run", run_to_value(&result.run)),
+    ])
+}
+
+fn optimize_from_value(v: &Value) -> Result<OptimizeSummary, ServiceError> {
+    let tag = str_field(v, "completion")?;
+    let completion = completion_from_wire(&tag)
+        .ok_or_else(|| ServiceError::protocol(format!("unknown completion {tag:?}")))?;
+    let moves = field(v, "moves")?
+        .as_arr()
+        .ok_or_else(|| ServiceError::protocol("field \"moves\" must be an array"))?
+        .iter()
+        .map(|m| {
+            let tag = str_field(m, "kind")?;
+            let kind = move_kind_from_wire(&tag)
+                .ok_or_else(|| ServiceError::protocol(format!("unknown move kind {tag:?}")))?;
+            Ok(MoveSummary {
+                nodes: u32_array(m, "nodes")?.ok_or_else(|| {
+                    ServiceError::protocol("move records need a \"nodes\" array")
+                })?,
+                from: u32_field(m, "from")?,
+                to: u32_field(m, "to")?,
+                pass: u32_field(m, "pass")?,
+                kind,
+            })
+        })
+        .collect::<Result<Vec<_>, ServiceError>>()?;
+    Ok(OptimizeSummary {
+        digest: str_field(v, "digest")?,
+        feasible: bool_field(v, "feasible")?,
+        initial_score: f64_field(v, "initial_score")?,
+        final_score: f64_field(v, "final_score")?,
+        evaluations: u64_field(v, "evaluations")?,
+        passes: u32_field(v, "passes")?,
+        kicks: u32_field(v, "kicks")?,
+        completion,
+        moves,
+        run: run_from_value(field(v, "run")?)?,
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
 fn cache_to_value(c: &CacheStats) -> Value {
     obj(vec![
         ("hits", Value::Num(c.hits as f64)),
@@ -817,6 +1268,20 @@ impl Response {
                     ("session", Value::Str(session.clone())),
                     ("node", Value::Num(f64::from(*node))),
                     ("to", Value::Num(f64::from(*to))),
+                ],
+            ),
+            Response::Optimized { session, result } => envelope(
+                "optimized",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("result", optimize_to_value(result)),
+                ],
+            ),
+            Response::MovesApplied { session, moves } => envelope(
+                "moves_applied",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("moves", Value::Num(*moves as f64)),
                 ],
             ),
             Response::ConstraintsSet { session, performance_ns, delay_ns } => envelope(
@@ -890,6 +1355,14 @@ impl Response {
                 node: u32_field(&v, "node")?,
                 to: u32_field(&v, "to")?,
             }),
+            "optimized" => Ok(Response::Optimized {
+                session: str_field(&v, "session")?,
+                result: Box::new(optimize_from_value(field(&v, "result")?)?),
+            }),
+            "moves_applied" => Ok(Response::MovesApplied {
+                session: str_field(&v, "session")?,
+                moves: u64_field(&v, "moves")?,
+            }),
             "constraints_set" => Ok(Response::ConstraintsSet {
                 session: str_field(&v, "session")?,
                 performance_ns: f64_field(&v, "performance_ns")?,
@@ -961,12 +1434,28 @@ mod tests {
                 session: "a".into(),
                 params: ExploreParams {
                     heuristic: Heuristic::Enumeration,
-                    deadline_ms: Some(250),
-                    max_trials: None,
+                    budget: BudgetEnvelope { deadline_ms: Some(250), max_trials: None },
                     jobs: Some(4),
                 },
             },
             Request::Repartition { session: "a".into(), node: 3, to: 0 },
+            Request::Optimize {
+                session: "a".into(),
+                params: OptimizeParams {
+                    seed: 42,
+                    budget: BudgetEnvelope { deadline_ms: Some(100), max_trials: Some(64) },
+                    kicks: Some(1),
+                    kick_moves: Some(2),
+                    jobs: Some(2),
+                    pinned: vec![0, 7],
+                    groups: vec![vec![1, 2], vec![9]],
+                    exclusions: vec![(3, 4)],
+                    ..OptimizeParams::default()
+                },
+            },
+            Request::Optimize { session: "a".into(), params: OptimizeParams::default() },
+            Request::ApplyMoves { session: "a".into(), moves: vec![(3, 1), (5, 0)] },
+            Request::ApplyMoves { session: "a".into(), moves: vec![] },
             Request::SetConstraints {
                 session: "a".into(),
                 performance_ns: 20_000.0,
@@ -1024,6 +1513,9 @@ mod tests {
             Request::Open { session: "s".into(), params: OpenParams::default() }.is_mutation()
         );
         assert!(Request::Repartition { session: "s".into(), node: 0, to: 0 }.is_mutation());
+        assert!(Request::Optimize { session: "s".into(), params: OptimizeParams::default() }
+            .is_mutation());
+        assert!(Request::ApplyMoves { session: "s".into(), moves: vec![(0, 1)] }.is_mutation());
         assert!(Request::SetConstraints {
             session: "s".into(),
             performance_ns: 1.0,
@@ -1062,11 +1554,61 @@ mod tests {
             Some("s")
         );
         assert_eq!(Request::Close { session: "s".into() }.session(), Some("s"));
+        assert_eq!(
+            Request::Optimize { session: "s".into(), params: OptimizeParams::default() }
+                .session(),
+            Some("s")
+        );
+        assert_eq!(
+            Request::ApplyMoves { session: "s".into(), moves: vec![] }.session(),
+            Some("s")
+        );
         assert_eq!(Request::Stats { session: Some("s".into()) }.session(), Some("s"));
         assert_eq!(Request::Stats { session: None }.session(), None);
         assert_eq!(Request::Ping.session(), None);
         assert_eq!(Request::Shutdown.session(), None);
         assert_eq!(Request::Promote.session(), None);
+    }
+
+    #[test]
+    fn legacy_flat_budget_fields_decode_as_alias() {
+        // Pre-envelope clients spelled the budget as top-level fields;
+        // they must keep decoding to the same params as the nested form.
+        let flat = r#"{"v":1,"type":"explore","session":"s","deadline_ms":250,"max_trials":9}"#;
+        let nested = r#"{"v":1,"type":"explore","session":"s","budget":{"deadline_ms":250,"max_trials":9}}"#;
+        assert_eq!(Request::decode(flat).unwrap(), Request::decode(nested).unwrap());
+        let Request::Explore { params, .. } = Request::decode(flat).unwrap() else { panic!() };
+        assert_eq!(
+            params.budget,
+            BudgetEnvelope { deadline_ms: Some(250), max_trials: Some(9) }
+        );
+        // The alias works for optimize too, and a present-but-non-object
+        // budget is a typed protocol error.
+        let flat_opt = r#"{"v":1,"type":"optimize","session":"s","max_trials":5}"#;
+        let Request::Optimize { params, .. } = Request::decode(flat_opt).unwrap() else {
+            panic!()
+        };
+        assert_eq!(params.budget.max_trials, Some(5));
+        let err = Request::decode(r#"{"v":1,"type":"explore","session":"s","budget":7}"#)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn optimize_fields_default_when_omitted() {
+        let req = Request::decode(r#"{"v":1,"type":"optimize","session":"s"}"#).unwrap();
+        let Request::Optimize { params, .. } = req else { panic!() };
+        assert_eq!(params, OptimizeParams::default());
+        for bad in [
+            r#"{"v":1,"type":"optimize","session":"s","pinned":[-1]}"#,
+            r#"{"v":1,"type":"optimize","session":"s","groups":[7]}"#,
+            r#"{"v":1,"type":"optimize","session":"s","exclusions":[[1]]}"#,
+            r#"{"v":1,"type":"apply_moves","session":"s","moves":[[1,2,3]]}"#,
+            r#"{"v":1,"type":"apply_moves","session":"s"}"#,
+        ] {
+            let err = Request::decode(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{bad}");
+        }
     }
 
     #[test]
@@ -1124,6 +1666,37 @@ mod tests {
             Response::Opened { session: "a".into(), partitions: 2 },
             Response::Explored { session: "a".into(), run: run.clone() },
             Response::Repartitioned { session: "a".into(), node: 3, to: 1 },
+            Response::Optimized {
+                session: "a".into(),
+                result: Box::new(OptimizeSummary {
+                    digest: "opt;completion=Complete;".into(),
+                    feasible: true,
+                    initial_score: 1e18,
+                    final_score: 61_252.5,
+                    evaluations: 17,
+                    passes: 3,
+                    kicks: 1,
+                    completion: Completion::Complete,
+                    moves: vec![
+                        MoveSummary {
+                            nodes: vec![4],
+                            from: 0,
+                            to: 2,
+                            pass: 1,
+                            kind: MoveKind::Gain,
+                        },
+                        MoveSummary {
+                            nodes: vec![1, 2],
+                            from: 2,
+                            to: 1,
+                            pass: 2,
+                            kind: MoveKind::Kick,
+                        },
+                    ],
+                    run: run.clone(),
+                }),
+            },
+            Response::MovesApplied { session: "a".into(), moves: 2 },
             Response::ConstraintsSet {
                 session: "a".into(),
                 performance_ns: 12_500.0,

@@ -81,6 +81,11 @@ pub struct ServeConfig {
     /// many milliseconds without a completed request. 0 disables
     /// reaping.
     pub idle_timeout_ms: u64,
+    /// Request lines admitted per connection per second; lines past the
+    /// cap are answered with a typed `busy` reply (its `retry_after_ms`
+    /// is the window's remaining lifetime) and the connection stays
+    /// open. 0 disables the cap.
+    pub max_requests_per_sec: u32,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             replicate_to: None,
             max_connections: 4096,
             idle_timeout_ms: 600_000,
+            max_requests_per_sec: 0,
         }
     }
 }
@@ -215,7 +221,12 @@ impl Server {
             Some(Arc::clone(&self.kill)),
             #[cfg(not(feature = "fault-inject"))]
             None,
-            ReactorConfig { max_connections: self.config.max_connections, idle_timeout },
+            ReactorConfig {
+                max_connections: self.config.max_connections,
+                idle_timeout,
+                max_requests_per_sec: (self.config.max_requests_per_sec > 0)
+                    .then_some(self.config.max_requests_per_sec),
+            },
         )?;
         let result = reactor.run(&dispatch);
         if let Some(replicator) = replicator.as_mut() {
@@ -291,6 +302,38 @@ impl Dispatch {
                             format!("exploration panicked: {}", panic_message(&payload)),
                         )),
                     };
+                    completions.push(conn, response);
+                });
+                if self.pool.execute(job).is_err() {
+                    return LineOutcome::Reply(Response::Error(ServiceError::new(
+                        ErrorKind::Internal,
+                        "server is shutting down",
+                    )));
+                }
+                LineOutcome::Dispatched
+            }
+            // Optimize is CPU-bound like explore, so it shares the pool
+            // and the admission window. The full request is re-dispatched
+            // through the manager inside the job: that is where standby
+            // refusal, `req_id` dedup and journaling of the accepted
+            // trace live.
+            request @ Request::Optimize { .. } => {
+                let Some(token) = self.admission.try_acquire() else {
+                    return LineOutcome::Reply(self.admission.busy_reply());
+                };
+                let manager = Arc::clone(&self.manager);
+                let completions = Arc::clone(&self.completions);
+                let job = Box::new(move || {
+                    let _token = token;
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        manager.dispatch_tagged(&request, req_id.as_deref())
+                    }));
+                    let response = result.unwrap_or_else(|payload| {
+                        Response::Error(ServiceError::new(
+                            ErrorKind::Internal,
+                            format!("optimization panicked: {}", panic_message(&payload)),
+                        ))
+                    });
                     completions.push(conn, response);
                 });
                 if self.pool.execute(job).is_err() {
@@ -493,6 +536,52 @@ mod tests {
                 "reply {i} was not a pong: {reply:?}"
             );
         }
+        roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn request_rate_cap_answers_busy_and_keeps_the_connection() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig { workers: 1, max_requests_per_sec: 4, ..ServeConfig::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // A burst of 8 pings in one write: the first 4 are served, the
+        // rest get a typed busy whose retry_after_ms is the window's
+        // remaining lifetime — and the connection stays open.
+        let mut burst = String::new();
+        for _ in 0..8 {
+            burst.push_str(&Request::Ping.encode());
+            burst.push('\n');
+        }
+        stream.write_all(burst.as_bytes()).unwrap();
+        let (mut pongs, mut busys) = (0, 0);
+        for _ in 0..8 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            match Response::decode(reply.trim()).unwrap() {
+                Response::Pong { .. } => pongs += 1,
+                Response::Busy { max_inflight, retry_after_ms, .. } => {
+                    assert_eq!(max_inflight, 4);
+                    assert!(retry_after_ms >= 1, "retry_after_ms must be positive");
+                    assert!(retry_after_ms <= 1_000, "window is one second");
+                    busys += 1;
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        assert_eq!((pongs, busys), (4, 4));
+        // Once the window rolls over, the same connection serves again.
+        std::thread::sleep(Duration::from_millis(1_100));
+        assert!(matches!(
+            roundtrip(&mut stream, &mut reader, &Request::Ping),
+            Response::Pong { .. }
+        ));
         roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         handle.join().unwrap().unwrap();
     }

@@ -245,7 +245,7 @@ fn recovered_server_reproduces_digests_and_idempotency() {
 /// recovery untouched.
 #[test]
 fn append_failure_is_typed_and_spares_existing_sessions() {
-    use chop_core::fault::IoFaultPlan;
+    use chop_core::prelude::fault::IoFaultPlan;
 
     let dir = state_dir("append-fault");
     let (mgr, _) = SessionManager::recover(1, &dir, 0).expect("fresh journaled manager");
@@ -590,7 +590,7 @@ fn standby_journal_recovers_the_same_sessions_as_the_primary_journal() {
 /// a warning on recovery; every record before it is intact.
 #[test]
 fn torn_journal_tail_loses_only_the_torn_record() {
-    use chop_core::fault::IoFaultPlan;
+    use chop_core::prelude::fault::IoFaultPlan;
 
     let dir = state_dir("torn-tail");
     let (mgr, _) = SessionManager::recover(1, &dir, 0).expect("fresh journaled manager");

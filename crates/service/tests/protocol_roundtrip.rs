@@ -3,9 +3,10 @@
 //! backslashes, control characters, non-ASCII) since the wire format is
 //! hand-written rather than serde-derived.
 
-use chop_core::prelude::{CacheStats, Completion, Heuristic};
+use chop_core::prelude::{CacheStats, Completion, Heuristic, MoveKind};
 use chop_service::{
-    ExploreParams, OpenParams, Request, Response, RunSummary, ServiceError, PROTOCOL_VERSION,
+    BudgetEnvelope, ExploreParams, MoveSummary, OpenParams, OptimizeParams, OptimizeSummary,
+    Request, Response, RunSummary, ServiceError, PROTOCOL_VERSION,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -77,14 +78,82 @@ fn open_params() -> BoxedStrategy<OpenParams> {
         .boxed()
 }
 
+fn budget() -> BoxedStrategy<BudgetEnvelope> {
+    (opt_u64(), opt_u64())
+        .prop_map(|(deadline_ms, max_trials)| BudgetEnvelope { deadline_ms, max_trials })
+        .boxed()
+}
+
 fn explore_params() -> BoxedStrategy<ExploreParams> {
-    (heuristic(), opt_u64(), opt_u64(), opt_u32())
-        .prop_map(|(heuristic, deadline_ms, max_trials, jobs)| ExploreParams {
-            heuristic,
-            deadline_ms,
-            max_trials,
-            jobs,
-        })
+    (heuristic(), budget(), opt_u32())
+        .prop_map(|(heuristic, budget, jobs)| ExploreParams { heuristic, budget, jobs })
+        .boxed()
+}
+
+fn optimize_params() -> BoxedStrategy<OptimizeParams> {
+    // Wire numbers ride on JSON doubles, so seeds cap at 2^53 − 1 (the
+    // largest exactly-representable integer; larger seeds are rejected
+    // on decode rather than silently rounded).
+    let head = (0u64..(1 << 53), budget(), heuristic(), opt_u32(), opt_u32(), opt_u32());
+    let tail = (
+        collection::vec(0u32..64, 0..4),
+        collection::vec(collection::vec(0u32..64, 0..3), 0..3),
+        collection::vec((0u32..64, 0u32..64), 0..3),
+    );
+    (head, tail)
+        .prop_map(
+            |(
+                (seed, budget, heuristic, kicks, kick_moves, jobs),
+                (pinned, groups, exclusions),
+            )| {
+                OptimizeParams {
+                    seed,
+                    budget,
+                    heuristic,
+                    kicks,
+                    kick_moves,
+                    jobs,
+                    pinned,
+                    groups,
+                    exclusions,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn move_kind() -> BoxedStrategy<MoveKind> {
+    prop_oneof![Just(MoveKind::Gain), Just(MoveKind::Kick)].boxed()
+}
+
+fn move_summary() -> BoxedStrategy<MoveSummary> {
+    (collection::vec(0u32..256, 1..4), 0u32..8, 0u32..8, 1u32..16, move_kind())
+        .prop_map(|(nodes, from, to, pass, kind)| MoveSummary { nodes, from, to, pass, kind })
+        .boxed()
+}
+
+fn optimize_summary() -> BoxedStrategy<OptimizeSummary> {
+    let head = (hostile_text(), any::<bool>(), 0.0f64..2e18, 0.0f64..1e6, 0u64..1_000_000);
+    let tail =
+        (0u32..64, 0u32..8, completion(), collection::vec(move_summary(), 0..5), run_summary());
+    (head, tail)
+        .prop_map(
+            |(
+                (digest, feasible, initial_score, final_score, evaluations),
+                (passes, kicks, completion, moves, run),
+            )| OptimizeSummary {
+                digest,
+                feasible,
+                initial_score,
+                final_score,
+                evaluations,
+                passes,
+                kicks,
+                completion,
+                moves,
+                run,
+            },
+        )
         .boxed()
 }
 
@@ -166,6 +235,10 @@ fn request() -> BoxedStrategy<Request> {
         (name(), open_params()).prop_map(|(session, params)| Request::Open { session, params }),
         (name(), explore_params())
             .prop_map(|(session, params)| Request::Explore { session, params }),
+        (name(), optimize_params())
+            .prop_map(|(session, params)| Request::Optimize { session, params }),
+        (name(), collection::vec((0u32..64, 0u32..8), 0..5))
+            .prop_map(|(session, moves)| Request::ApplyMoves { session, moves }),
         (name(), 0u32..64, 0u32..8).prop_map(|(session, node, to)| Request::Repartition {
             session,
             node,
@@ -213,6 +286,12 @@ fn response() -> BoxedStrategy<Response> {
         (name(), 1u64..64)
             .prop_map(|(session, partitions)| Response::Opened { session, partitions }),
         (name(), run_summary()).prop_map(|(session, run)| Response::Explored { session, run }),
+        (name(), optimize_summary()).prop_map(|(session, result)| Response::Optimized {
+            session,
+            result: Box::new(result)
+        }),
+        (name(), 0u64..1_000)
+            .prop_map(|(session, moves)| Response::MovesApplied { session, moves }),
         (name(), 0u32..64, 0u32..8).prop_map(|(session, node, to)| Response::Repartitioned {
             session,
             node,
@@ -293,5 +372,38 @@ proptest! {
         // A plain decode must accept a tagged line and just drop the tag.
         let line = req.encode_tagged(id.as_deref());
         prop_assert_eq!(Request::decode(&line).expect(&line), req);
+    }
+
+    #[test]
+    fn legacy_flat_budget_aliases_the_nested_envelope(
+        session in name(),
+        budget in budget(),
+        jobs in opt_u32(),
+    ) {
+        // Pre-envelope clients sent `deadline_ms` / `max_trials` as flat
+        // top-level fields. Hand-build such a line and check it decodes
+        // to exactly what the canonical nested `"budget"` object yields.
+        let mut flat = format!(
+            "{{\"v\":1,\"type\":\"explore\",\"session\":\"{session}\",\"heuristic\":\"I\""
+        );
+        if let Some(deadline) = budget.deadline_ms {
+            flat.push_str(&format!(",\"deadline_ms\":{deadline}"));
+        }
+        if let Some(trials) = budget.max_trials {
+            flat.push_str(&format!(",\"max_trials\":{trials}"));
+        }
+        if let Some(jobs) = jobs {
+            flat.push_str(&format!(",\"jobs\":{jobs}"));
+        }
+        flat.push('}');
+        let canonical = Request::Explore {
+            session,
+            params: ExploreParams { heuristic: Heuristic::Iterative, budget, jobs },
+        };
+        let decoded = Request::decode(&flat).expect(&flat);
+        prop_assert_eq!(&decoded, &canonical);
+        // And the re-encoded canonical form still round-trips.
+        let line = canonical.encode();
+        prop_assert_eq!(Request::decode(&line).expect(&line), canonical);
     }
 }

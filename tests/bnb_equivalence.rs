@@ -6,9 +6,9 @@
 //! exactly.
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Constraints, Heuristic, Session};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Constraints, Heuristic, Session};
 use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;

@@ -5,9 +5,9 @@
 use std::time::{Duration, Instant};
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Completion, Constraints, Heuristic, SearchBudget, Session};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Completion, Constraints, Heuristic, SearchBudget, Session};
 use chop_dfg::benchmarks;
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;

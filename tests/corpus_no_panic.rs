@@ -7,8 +7,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Constraints, Heuristic, SearchBudget, Session};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Constraints, Heuristic, SearchBudget, Session};
 use chop_dfg::parse::parse_dfg;
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;

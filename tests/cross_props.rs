@@ -2,9 +2,9 @@
 //! randomized workloads and partitionings.
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::transfer::{pin_budgets, transfer_specs};
-use chop_core::{Constraints, Heuristic, Session};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::transfer::{pin_budgets, transfer_specs};
+use chop_core::prelude::{Constraints, Heuristic, Session};
 use chop_dfg::benchmarks::{random_layered, RandomDfgParams};
 use chop_library::standard::{table1_library, table2_packages};
 use chop_library::ChipSet;
@@ -100,7 +100,7 @@ proptest! {
         // that every reported feasible design re-evaluates to the same
         // feasible prediction through the integration context directly.
         use chop_bad::PredictorParams;
-        use chop_core::{FeasibilityCriteria, IntegrationContext};
+        use chop_core::prelude::{FeasibilityCriteria, IntegrationContext};
         use chop_stat::units::Cycles;
 
         let dfg = random_layered(seed, params);

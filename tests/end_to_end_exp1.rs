@@ -1,7 +1,7 @@
 //! End-to-end reproduction checks for experiment 1 (Tables 3 and 4).
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::Heuristic;
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::Heuristic;
 
 #[test]
 fn single_partition_has_feasible_design() {

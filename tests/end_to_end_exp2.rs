@@ -1,9 +1,9 @@
 //! End-to-end reproduction checks for experiment 2 (Tables 5 and 6).
 
-use chop_core::experiments::{
+use chop_core::prelude::experiments::{
     experiment1_session, experiment2_session, Exp1Config, Exp2Config,
 };
-use chop_core::Heuristic;
+use chop_core::prelude::Heuristic;
 
 #[test]
 fn multi_cycle_space_is_larger() {

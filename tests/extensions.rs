@@ -1,11 +1,11 @@
 //! Tests for the paper's §5 future-work extensions implemented here:
 //! power constraints and testability overhead.
 
-use chop_core::experiments::{
+use chop_core::prelude::experiments::{
     experiment1_session, experiment2_session, Exp1Config, Exp2Config,
 };
-use chop_core::testability::TestabilityOverhead;
-use chop_core::{Constraints, Heuristic};
+use chop_core::prelude::testability::TestabilityOverhead;
+use chop_core::prelude::{Constraints, Heuristic};
 use chop_stat::units::{MilliWatts, Nanos};
 
 #[test]

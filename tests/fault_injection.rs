@@ -9,8 +9,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use chop_bad::PredictError;
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{ChopError, Completion, FaultPlan, Heuristic, SearchBudget, Session};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{ChopError, Completion, FaultPlan, Heuristic, SearchBudget, Session};
 
 /// Worker threads for the suite: `CHOP_TEST_JOBS` (CI sets 4 so fault
 /// containment is also exercised across scoped workers), default 1.

@@ -6,10 +6,10 @@
 //! (The points are this reproduction's, not the paper's; EXPERIMENTS.md
 //! records the comparison against the paper's numbers.)
 
-use chop_core::experiments::{
+use chop_core::prelude::experiments::{
     experiment1_session, experiment2_session, Exp1Config, Exp2Config,
 };
-use chop_core::{Heuristic, SearchOutcome};
+use chop_core::prelude::{Heuristic, SearchOutcome};
 
 /// (II cycles, delay cycles, clock ns rounded).
 fn rows(o: &SearchOutcome) -> Vec<(u64, u64, u64)> {

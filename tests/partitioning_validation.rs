@@ -2,8 +2,8 @@
 //! precise errors, well-formed ones flow through the whole pipeline.
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::{BuildError, PartitioningBuilder, SpecError};
-use chop_core::{Constraints, Heuristic, MemoryAssignment, Session};
+use chop_core::prelude::spec::{BuildError, PartitioningBuilder, SpecError};
+use chop_core::prelude::{Constraints, Heuristic, MemoryAssignment, Session};
 use chop_dfg::grouping::Grouping;
 use chop_dfg::{benchmarks, DfgBuilder, MemoryRef, Operation};
 use chop_library::standard::{

@@ -3,8 +3,8 @@
 //! end through every crate.
 
 use chop_bad::{ArchitectureStyle, ClockConfig, PredictorParams};
-use chop_core::spec::PartitioningBuilder;
-use chop_core::{Constraints, Heuristic, Session};
+use chop_core::prelude::spec::PartitioningBuilder;
+use chop_core::prelude::{Constraints, Heuristic, Session};
 use chop_dfg::unroll::LoopSpec;
 use chop_dfg::{DfgBuilder, NodeId, Operation};
 use chop_library::standard::{table1_library, table2_packages};

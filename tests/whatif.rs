@@ -1,8 +1,8 @@
 //! The §2.7 what-if modification loop: partitions, memory, chip set and
 //! constraints.
 
-use chop_core::experiments::{experiment1_session, Exp1Config};
-use chop_core::{Constraints, Heuristic, PartitionId};
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{Constraints, Heuristic, PartitionId};
 use chop_library::standard::table2_packages;
 use chop_library::ChipSet;
 use chop_stat::units::Nanos;
