@@ -1,0 +1,374 @@
+//! `cache_tier` — CDS-style concurrency bench for the sharded
+//! prediction-cache tier, plus the warm-restart latency comparison.
+//!
+//! Two measurements, both written to `BENCH_cache_tier.json`:
+//!
+//! * **mixed** — N threads hammer one cache with a mixed lookup/insert
+//!   workload at 95/5 and 50/50 ratios, at 1, 4 and 16 threads, against
+//!   two layouts of the *same* type: `shards = 1` (exactly the old
+//!   single-mutex cache — every access serializes on one lock, and LRU
+//!   eviction min-scans the whole map) and the auto-sized stripe
+//!   (`recommended_shards(threads)`). Each combination runs at two
+//!   pressures: `fit` (capacity = key space, measuring lock traffic
+//!   alone) and `evict` (capacity = key space / 8, where every insert
+//!   of an absent key pays an LRU eviction scan — O(capacity) for the
+//!   single mutex'd map, O(capacity/shards) per stripe). The payload is
+//!   a real `Arc<[PredictedDesign]>` harvested from an exploration, so
+//!   clone/drop costs match production traffic.
+//! * **explore** — wall-clock of a full experiment-1 exploration with a
+//!   cold cache versus the identical exploration after restoring the
+//!   first run's snapshot into a fresh cache (the warm-restart path).
+//!
+//! `--smoke` shrinks the run (1 thread, short windows, no file write
+//! unless `--out` is given) so CI can exercise the harness cheaply.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use chop_bad::prune::PredictionStats;
+use chop_bad::PredictedDesign;
+use chop_core::prelude::experiments::{experiment1_session, Exp1Config};
+use chop_core::prelude::{
+    load_snapshot, recommended_shards, write_snapshot, Heuristic, PredictionCache,
+};
+use chop_service::json::{obj, Value};
+
+struct Options {
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options { out: None, smoke: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                options.out = Some(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--smoke" => options.smoke = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    options
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("cache_tier: {message}");
+    eprintln!("usage: cache_tier [--out FILE] [--smoke]");
+    std::process::exit(2);
+}
+
+/// One measured cell of the mixed-workload grid.
+struct MixedReport {
+    layout: &'static str,
+    pressure: &'static str,
+    shards: usize,
+    threads: usize,
+    /// Lookup percentage of the mix (the rest are inserts).
+    lookup_pct: u32,
+    ops: u64,
+    elapsed_ms: f64,
+}
+
+impl MixedReport {
+    fn mops_per_s(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ops = self.ops as f64;
+        ops / (self.elapsed_ms / 1000.0) / 1.0e6
+    }
+}
+
+/// Keys are spread over this space; capacity matches it so the grid
+/// measures lock contention, not eviction policy.
+const KEY_SPACE: u64 = 32 * 1024;
+
+fn main() {
+    let options = parse_args();
+    let threads: &[usize] = if options.smoke { &[1] } else { &[1, 4, 16] };
+    let window =
+        if options.smoke { Duration::from_millis(60) } else { Duration::from_millis(400) };
+
+    // A real payload: the designs one predictor call produced, so every
+    // bench insert/hit pays production Arc clone/drop costs.
+    let (designs, stats) = harvest_payload();
+
+    let mut mixed = Vec::new();
+    #[allow(clippy::cast_possible_truncation)]
+    for (pressure, capacity) in [("fit", KEY_SPACE as usize), ("evict", KEY_SPACE as usize / 8)]
+    {
+        for &lookup_pct in &[95u32, 50] {
+            for &n in threads {
+                for (layout, shards) in [("mutex", 1usize), ("sharded", recommended_shards(n))]
+                {
+                    let report = run_mixed(
+                        layout, pressure, capacity, shards, n, lookup_pct, window, &designs,
+                        &stats,
+                    );
+                    eprintln!(
+                        "cache_tier: {layout:>7}/{pressure:<5} ({shards:>2} shard(s)) \
+                         {n:>2} thread(s) {lookup_pct}/{} mix — {:.2} Mops/s \
+                         ({} ops in {:.0} ms)",
+                        100 - lookup_pct,
+                        report.mops_per_s(),
+                        report.ops,
+                        report.elapsed_ms,
+                    );
+                    mixed.push(report);
+                }
+            }
+        }
+    }
+
+    let (cold_ms, warm_ms) = run_explore_comparison(options.smoke);
+    eprintln!(
+        "cache_tier: explore cold {cold_ms:.1} ms, snapshot-warm {warm_ms:.1} ms \
+         ({:.1}x)",
+        if warm_ms > 0.0 { cold_ms / warm_ms } else { 0.0 }
+    );
+
+    let default_out = format!("{}/../../BENCH_cache_tier.json", env!("CARGO_MANIFEST_DIR"));
+    let out = match (&options.out, options.smoke) {
+        (Some(path), _) => Some(path.clone()),
+        (None, true) => None, // smoke runs measure, they don't overwrite the record
+        (None, false) => Some(default_out),
+    };
+    if let Some(path) = out {
+        write_report(&path, &mixed, cold_ms, warm_ms);
+        eprintln!("cache_tier: wrote {path}");
+    }
+}
+
+/// Runs one exploration and takes the first cached entry's payload.
+fn harvest_payload() -> (Arc<[PredictedDesign]>, PredictionStats) {
+    let session = experiment1_session(&Exp1Config { partitions: 2, package: 1 })
+        .expect("experiment 1 session");
+    session.explore(Heuristic::Iterative).expect("harvest explore");
+    session
+        .shared_cache()
+        .export()
+        .into_iter()
+        .next()
+        .map(|(_, d, s)| (d, s))
+        .expect("the harvest explore must cache at least one entry")
+}
+
+/// One cell: `threads` workers run the mixed workload against a fresh
+/// cache until the deadline; returns aggregate ops and wall time.
+#[allow(clippy::too_many_arguments)]
+fn run_mixed(
+    layout: &'static str,
+    pressure: &'static str,
+    capacity: usize,
+    shards: usize,
+    threads: usize,
+    lookup_pct: u32,
+    window: Duration,
+    designs: &Arc<[PredictedDesign]>,
+    stats: &PredictionStats,
+) -> MixedReport {
+    let cache = Arc::new(PredictionCache::with_config(capacity, shards));
+    // Pre-fill to capacity so `evict` cells pay the LRU scan from the
+    // first insert and `fit` cells mix hits and misses realistically.
+    for key in 0..(capacity as u64).min(KEY_SPACE / 2) {
+        cache.insert(key * 2, Arc::clone(designs), *stats);
+    }
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut workers = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let cache = Arc::clone(&cache);
+        let designs = Arc::clone(designs);
+        let stats = *stats;
+        let barrier = Arc::clone(&barrier);
+        workers.push(thread::spawn(move || {
+            // Deterministic per-thread xorshift64* stream.
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1);
+            let mut step = || {
+                rng ^= rng >> 12;
+                rng ^= rng << 25;
+                rng ^= rng >> 27;
+                rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            let mut ops = 0u64;
+            barrier.wait();
+            let deadline = Instant::now() + window;
+            // Check the clock per batch, not per op: an Instant::now()
+            // per operation would dominate the sub-microsecond path.
+            'outer: loop {
+                for _ in 0..1024 {
+                    let roll = step();
+                    let key = step() % KEY_SPACE;
+                    if roll % 100 < u64::from(lookup_pct) {
+                        std::hint::black_box(cache.get(key));
+                    } else {
+                        cache.insert(key, Arc::clone(&designs), stats);
+                    }
+                    ops += 1;
+                }
+                if Instant::now() >= deadline {
+                    break 'outer;
+                }
+            }
+            ops
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    let ops: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    let elapsed = started.elapsed();
+    MixedReport {
+        layout,
+        pressure,
+        shards: cache.shard_count(),
+        threads,
+        lookup_pct,
+        ops,
+        elapsed_ms: elapsed.as_secs_f64() * 1000.0,
+    }
+}
+
+/// Cold versus snapshot-warm exploration of the same session config.
+fn run_explore_comparison(smoke: bool) -> (f64, f64) {
+    let config = Exp1Config { partitions: if smoke { 1 } else { 3 }, package: 1 };
+    let cold_session = experiment1_session(&config).expect("cold session");
+    let started = Instant::now();
+    cold_session.explore(Heuristic::Iterative).expect("cold explore");
+    let cold_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let snap =
+        std::env::temp_dir().join(format!("chop-bench-cache-tier-{}.snap", std::process::id()));
+    write_snapshot(&snap, &cold_session.shared_cache()).expect("write snapshot");
+    let restored = Arc::new(PredictionCache::new());
+    load_snapshot(&snap, &restored).expect("load snapshot");
+    let _ = std::fs::remove_file(&snap);
+
+    let warm_session =
+        experiment1_session(&config).expect("warm session").with_shared_cache(restored);
+    let started = Instant::now();
+    let outcome = warm_session.explore(Heuristic::Iterative).expect("warm explore");
+    let warm_ms = started.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        outcome.trace.predictor_calls, 0,
+        "the warm run must be served entirely from the restored snapshot"
+    );
+    (cold_ms, warm_ms)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn write_report(path: &str, mixed: &[MixedReport], cold_ms: f64, warm_ms: f64) {
+    let mut results: Vec<Value> = Vec::new();
+    for report in mixed {
+        results.push(obj(vec![
+            (
+                "name",
+                Value::Str(format!(
+                    "{}_{}_{}r{}w_{}t",
+                    report.layout,
+                    report.pressure,
+                    report.lookup_pct,
+                    100 - report.lookup_pct,
+                    report.threads
+                )),
+            ),
+            ("layout", Value::Str(report.layout.to_owned())),
+            ("pressure", Value::Str(report.pressure.to_owned())),
+            ("shards", Value::Num(report.shards as f64)),
+            ("threads", Value::Num(report.threads as f64)),
+            ("lookup_pct", Value::Num(f64::from(report.lookup_pct))),
+            ("ops", Value::Num(report.ops as f64)),
+            ("elapsed_ms", Value::Num(report.elapsed_ms.round())),
+            ("mops_per_s", Value::Num((report.mops_per_s() * 100.0).round() / 100.0)),
+        ]));
+    }
+    let report = obj(vec![
+        ("bench", Value::Str("cache_tier".to_owned())),
+        (
+            "command",
+            Value::Str("cargo run --release -p chop-bench --bin cache_tier".to_owned()),
+        ),
+        ("date", Value::Str(today())),
+        (
+            "config",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(
+                        "mixed lookup/insert over 32Ki keys, real PredictedDesign payloads"
+                            .to_owned(),
+                    ),
+                ),
+                ("key_space", Value::Num(KEY_SPACE as f64)),
+                (
+                    "ratios",
+                    Value::Arr(vec![Value::Str("95/5".into()), Value::Str("50/50".into())]),
+                ),
+                (
+                    "threads",
+                    Value::Arr(vec![Value::Num(1.0), Value::Num(4.0), Value::Num(16.0)]),
+                ),
+                (
+                    "pressures",
+                    Value::Arr(vec![Value::Str("fit".into()), Value::Str("evict".into())]),
+                ),
+                (
+                    "host_cpus",
+                    Value::Num(
+                        std::thread::available_parallelism()
+                            .map(std::num::NonZeroUsize::get)
+                            .unwrap_or(1) as f64,
+                    ),
+                ),
+            ]),
+        ),
+        ("results", Value::Arr(results)),
+        (
+            "explore",
+            obj(vec![
+                (
+                    "description",
+                    Value::Str(
+                        "experiment 1 (3 partitions, package 2): cold cache vs \
+                         snapshot-restored cache"
+                            .to_owned(),
+                    ),
+                ),
+                ("cold_ms", Value::Num((cold_ms * 10.0).round() / 10.0)),
+                ("snapshot_warm_ms", Value::Num((warm_ms * 10.0).round() / 10.0)),
+                (
+                    "speedup",
+                    Value::Num(if warm_ms > 0.0 {
+                        ((cold_ms / warm_ms) * 10.0).round() / 10.0
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ]);
+    let mut text = String::new();
+    report.write(&mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write bench report");
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's
+/// algorithm), so reports carry a real timestamp without a time crate.
+fn today() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let days = i64::try_from(secs / 86_400).unwrap_or(0);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -356,6 +356,17 @@ fn write_report(path: &str, label: &str, reports: &[LevelReport]) {
                     .to_owned(),
             ),
         ),
+        (
+            "note",
+            Value::Str(
+                "request lines are now decoded in place from the connection buffer \
+                 (zero-copy LineBuffer views; previously one Vec allocation plus a \
+                 full-buffer memmove per request). Pre-change reactor rows for \
+                 comparison: 1 conn 18285 req/s (p50 39 us), 64 conn 19159 req/s \
+                 (p50 3078 us), 1024 conn 12521 req/s (p50 74677 us)."
+                    .to_owned(),
+            ),
+        ),
         ("date", Value::Str(today())),
         (
             "config",

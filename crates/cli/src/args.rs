@@ -54,6 +54,9 @@ pub struct Options {
     /// What-if migration: `(node index, target partition)` re-explored
     /// incrementally after the baseline run.
     pub move_node: Option<(u32, u32)>,
+    /// Lock stripes in the prediction cache (`None` sizes the stripe
+    /// from `--jobs`; results never depend on the shard count).
+    pub cache_shards: Option<usize>,
 }
 
 impl Default for Options {
@@ -82,6 +85,7 @@ impl Default for Options {
             stats: false,
             stats_json: None,
             move_node: None,
+            cache_shards: None,
         }
     }
 }
@@ -220,6 +224,15 @@ pub fn parse_options(argv: &[String]) -> Result<Options, ArgError> {
             }
             "--stats" => opts.stats = true,
             "--stats-json" => opts.stats_json = Some(value(arg)?),
+            "--cache-shards" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--cache-shards must be at least 1".into()));
+                }
+                opts.cache_shards = Some(n);
+            }
             "--move-node" => {
                 let v = value(arg)?;
                 let (n, p) = v
@@ -360,6 +373,15 @@ pub struct ServeOptions {
     /// typed `busy` reply is sent and the connection stays open (0 =
     /// uncapped).
     pub max_requests_per_sec: u32,
+    /// Lock stripes in the shared prediction cache (0 = sized from the
+    /// worker and jobs counts).
+    pub cache_shards: usize,
+    /// Prediction-cache snapshot path: loaded at startup, rewritten on
+    /// graceful drain and periodically.
+    pub cache_snapshot: Option<String>,
+    /// Cache insertions between periodic snapshot rewrites (0 = only on
+    /// graceful drain).
+    pub cache_snapshot_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -377,6 +399,9 @@ impl Default for ServeOptions {
             max_connections: 4096,
             idle_timeout_ms: 600_000,
             max_requests_per_sec: 0,
+            cache_shards: 0,
+            cache_snapshot: None,
+            cache_snapshot_every: 256,
         }
     }
 }
@@ -438,6 +463,21 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
             }
             "--max-requests-per-sec" => {
                 opts.max_requests_per_sec = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+            }
+            "--cache-shards" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad value for {arg}")))?;
+                if n == 0 {
+                    return Err(ArgError("--cache-shards must be at least 1".into()));
+                }
+                opts.cache_shards = n;
+            }
+            "--cache-snapshot" => opts.cache_snapshot = Some(value(arg)?),
+            "--cache-snapshot-every" => {
+                opts.cache_snapshot_every = value(arg)?
                     .parse()
                     .map_err(|_| ArgError(format!("bad value for {arg}")))?;
             }
@@ -556,6 +596,34 @@ mod tests {
         let o = parse_serve_options(&s(&["--max-requests-per-sec", "100"])).unwrap();
         assert_eq!(o.max_requests_per_sec, 100);
         assert!(parse_serve_options(&s(&["--max-requests-per-sec", "lots"])).is_err());
+    }
+
+    #[test]
+    fn serve_cache_tier_flags() {
+        // Defaults: auto-sized shards, no snapshot, 256-insert cadence.
+        let o = parse_serve_options(&[]).unwrap();
+        assert_eq!(o.cache_shards, 0);
+        assert_eq!(o.cache_snapshot, None);
+        assert_eq!(o.cache_snapshot_every, 256);
+        let o = parse_serve_options(&s(&[
+            "--cache-shards",
+            "16",
+            "--cache-snapshot",
+            "/tmp/chop-cache.snap",
+            "--cache-snapshot-every",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(o.cache_shards, 16);
+        assert_eq!(o.cache_snapshot.as_deref(), Some("/tmp/chop-cache.snap"));
+        assert_eq!(o.cache_snapshot_every, 64);
+        // Cadence 0 = drain-only snapshots; shard count 0 is rejected
+        // (pass nothing to get auto-sizing instead).
+        let o = parse_serve_options(&s(&["--cache-snapshot-every", "0"])).unwrap();
+        assert_eq!(o.cache_snapshot_every, 0);
+        assert!(parse_serve_options(&s(&["--cache-shards", "0"])).is_err());
+        assert!(parse_serve_options(&s(&["--cache-shards", "lots"])).is_err());
+        assert!(parse_serve_options(&s(&["--cache-snapshot"])).is_err());
     }
 
     #[test]
@@ -745,6 +813,9 @@ mod tests {
         assert!(o.stats);
         assert_eq!(o.stats_json.as_deref(), Some("out.json"));
         assert_eq!(o.move_node, Some((7, 1)));
+        let o = parse_options(&s(&["d.cbs", "--cache-shards", "8"])).unwrap();
+        assert_eq!(o.cache_shards, Some(8));
+        assert!(parse_options(&s(&["d.cbs", "--cache-shards", "0"])).is_err());
     }
 
     #[test]

@@ -56,6 +56,8 @@ OPTIONS (check / tasks):
                            the branch-and-bound subtree pruning)
   --jobs, -j <N>           worker threads for prediction and combination
                            scoring                         [all CPUs]
+  --cache-shards <N>       lock stripes in the prediction cache (rounded
+                           up to a power of two)           [4 x jobs]
   --stats                  print per-stage trace and cache statistics
   --stats-json <path>      write trace/cache statistics as JSON
   --move-node <N:P>        after the run, move node N to partition P and
@@ -83,6 +85,13 @@ OPTIONS (serve):
   --journal-snapshot-every <N>
                            compact the journal past N records (0 = never)
                                                                [1024]
+  --cache-shards <N>       lock stripes in the shared prediction cache
+                           (rounded up to a power of two)  [4 x workers x jobs]
+  --cache-snapshot <path>  persist the prediction cache here and reload it
+                           on restart (warm starts)        [off]
+  --cache-snapshot-every <N>
+                           also snapshot after every N cache insertions
+                           (0 = only on graceful drain)    [256]
   --replicate-to <host:port>
                            ship every committed journal record to a warm
                            standby (snapshot-first on connect)
@@ -312,7 +321,12 @@ fn build_session(opts: &Options) -> Result<Session, Box<dyn Error>> {
     let jobs = opts.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     });
-    Ok(session.with_budget(budget).with_jobs(jobs).with_branch_and_bound(!opts.no_bnb))
+    let shards = opts.cache_shards.unwrap_or_else(|| recommended_shards(jobs));
+    Ok(session
+        .with_budget(budget)
+        .with_jobs(jobs)
+        .with_cache_config(DEFAULT_CACHE_CAPACITY, shards)
+        .with_branch_and_bound(!opts.no_bnb))
 }
 
 /// Looks up a DFG node by wire index in a session.
@@ -406,7 +420,7 @@ fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
     if opts.markdown {
         let outcome = session.explore(heuristic)?;
         print!("{}", report::markdown(&session, &outcome));
-        write_stats_json(opts, &[("baseline", &outcome)])?;
+        write_stats_json(opts, &session, &[("baseline", &outcome)])?;
         return Ok(RunStatus::from_outcome(&outcome));
     }
     print!("{}", report::environment(&session));
@@ -436,7 +450,7 @@ fn check(opts: &Options) -> Result<RunStatus, Box<dyn Error>> {
         }
         None => RunStatus::from_outcome(&outcome),
     };
-    write_stats_json(opts, &runs)?;
+    write_stats_json(opts, &session, &runs)?;
     Ok(status)
 }
 
@@ -466,7 +480,7 @@ fn report_outcome(opts: &Options, outcome: &SearchOutcome, session: &Session) {
         }
     }
     if opts.stats {
-        print_stats(outcome);
+        print_stats(outcome, session);
     }
 }
 
@@ -475,7 +489,7 @@ fn report_outcome(opts: &Options, outcome: &SearchOutcome, session: &Session) {
 /// `predict` and `search` are wall-clock; `prune-L1`, `integrate` and
 /// `feasibility` are CPU time summed across workers, so they can exceed
 /// the wall-clock spans that contain them.
-fn print_stats(outcome: &SearchOutcome) {
+fn print_stats(outcome: &SearchOutcome, session: &Session) {
     let t = &outcome.trace;
     let c = &outcome.cache;
     println!("\nPIPELINE STATS ({} worker thread(s)):", t.jobs);
@@ -494,6 +508,11 @@ fn print_stats(outcome: &SearchOutcome) {
         "  {} predictor call(s); cache: {} hit(s), {} miss(es), {} eviction(s), {} entries (~{} B)",
         t.predictor_calls, c.hits, c.misses, c.evictions, c.entries, c.bytes
     );
+    let occupancy = session.shared_cache().shard_occupancy();
+    if occupancy.len() > 1 {
+        let cells = occupancy.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ");
+        println!("  cache shards ({}): [{cells}]", occupancy.len());
+    }
     println!("  {} evaluation(s), {} quick reject(s)", t.evaluations, t.quick_rejects);
     println!(
         "  {} subtree(s) skipped ({} combination(s) never visited)",
@@ -504,6 +523,7 @@ fn print_stats(outcome: &SearchOutcome) {
 /// Writes `--stats-json`: one object per run, in run order.
 fn write_stats_json(
     opts: &Options,
+    session: &Session,
     runs: &[(&str, &SearchOutcome)],
 ) -> Result<(), Box<dyn Error>> {
     let Some(path) = opts.stats_json.as_deref() else { return Ok(()) };
@@ -524,7 +544,16 @@ fn write_stats_json(
         })
         .collect::<Vec<_>>()
         .join(",");
-    std::fs::write(path, format!("{{\"runs\":[{body}]}}\n"))
+    // One array, not one per run: what-if sessions share the cache, so
+    // occupancy is a property of the process, not of a single run.
+    let shards = session
+        .shared_cache()
+        .shard_occupancy()
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    std::fs::write(path, format!("{{\"runs\":[{body}],\"shard_entries\":[{shards}]}}\n"))
         .map_err(|e| ArgError(format!("cannot write {path:?}: {e}")))?;
     Ok(())
 }

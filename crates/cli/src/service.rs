@@ -34,6 +34,9 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         max_connections: opts.max_connections,
         idle_timeout_ms: opts.idle_timeout_ms,
         max_requests_per_sec: opts.max_requests_per_sec,
+        cache_shards: opts.cache_shards,
+        cache_snapshot: opts.cache_snapshot.as_ref().map(std::path::PathBuf::from),
+        cache_snapshot_every: opts.cache_snapshot_every,
     };
     let server = Server::bind(opts.addr.as_str(), config)?;
     // The tests (and scripts) parse this line to discover an ephemeral
@@ -53,6 +56,14 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         println!(
             "recovered {} session(s) from the journal ({} record(s) replayed, {} skipped)",
             report.sessions_restored, report.records_replayed, report.records_skipped
+        );
+    }
+    if let Some(warm) = server.cache_warm_report() {
+        println!(
+            "warm-started prediction cache: {} entr{} restored{}",
+            warm.entries,
+            if warm.entries == 1 { "y" } else { "ies" },
+            if warm.truncated { " (corrupt tail dropped)" } else { "" }
         );
     }
     #[cfg(unix)]
@@ -436,12 +447,16 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
             );
             Ok(RunStatus::Feasible)
         }
-        Response::Stats { sessions, cache, last_run } => {
+        Response::Stats { sessions, cache, shard_entries, last_run } => {
             println!("sessions ({}): {}", sessions.len(), sessions.join(", "));
             println!(
                 "shared cache: {} hit(s), {} miss(es), {} eviction(s), {} entries (~{} B)",
                 cache.hits, cache.misses, cache.evictions, cache.entries, cache.bytes
             );
+            if !shard_entries.is_empty() {
+                let rendered: Vec<String> = shard_entries.iter().map(u64::to_string).collect();
+                println!("cache shards ({}): [{}]", shard_entries.len(), rendered.join(", "));
+            }
             if let Some(run) = last_run {
                 print_run("last run", run);
             }

@@ -135,20 +135,22 @@ fn predict_one(
 ) -> Result<(Arc<[PredictedDesign]>, PredictionStats), ChopError> {
     let sub = session.partitioning.partition_dfg(p);
     let chip = session.partitioning.chips().chip(session.partitioning.chip_of(p));
-    let key = {
+    // Fault plans script per-call behavior, so a fault-injected session
+    // must neither serve nor seed memoized predictions. A disabled cache
+    // (capacity 0) skips memoization entirely — including the content
+    // fingerprint, which is pure overhead when nothing can be stored.
+    #[cfg(feature = "fault-inject")]
+    let cacheable = session.fault_plan.is_none() && session.cache.is_enabled();
+    #[cfg(not(feature = "fault-inject"))]
+    let cacheable = session.cache.is_enabled();
+    let key = cacheable.then(|| {
         let mut h = StableHasher::new();
         h.write_u64(fingerprint);
         h.write_u64(structural_hash(&sub));
         h.write_f64(chip.usable_area().value());
         h.finish()
-    };
-    // Fault plans script per-call behavior, so a fault-injected session
-    // must neither serve nor seed memoized predictions.
-    #[cfg(feature = "fault-inject")]
-    let cacheable = session.fault_plan.is_none();
-    #[cfg(not(feature = "fault-inject"))]
-    let cacheable = true;
-    if cacheable {
+    });
+    if let Some(key) = key {
         if let Some((designs, stats)) = session.cache.get(key) {
             trace.count_cache_hit();
             return Ok((designs, stats));
@@ -205,7 +207,7 @@ fn predict_one(
         (designs.into(), PredictionStats { total, feasible, non_inferior: total })
     };
     trace.add_prune_l1(prune_started.elapsed());
-    if cacheable {
+    if let Some(key) = key {
         session.cache.insert(key, Arc::clone(&list), stat);
     }
     Ok((list, stat))

@@ -387,6 +387,18 @@ impl Session {
         self
     }
 
+    /// Like [`Session::with_cache_capacity`], but also sizing the lock
+    /// stripe: the fresh cache is split over `shards` independently
+    /// locked shards (rounded up to a power of two; see
+    /// [`recommended_shards`](crate::cache::recommended_shards) for
+    /// sizing to a `--jobs` count). Shard count never affects results —
+    /// only contention.
+    #[must_use]
+    pub fn with_cache_config(mut self, capacity: usize, shards: usize) -> Self {
+        self.cache = Arc::new(PredictionCache::with_config(capacity, shards));
+        self
+    }
+
     /// Attaches an externally owned prediction cache, replacing the
     /// session's current one. This is how a *service* shares one cache
     /// across many independent sessions: entries are content-addressed

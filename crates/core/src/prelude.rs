@@ -35,7 +35,13 @@
 //! ```
 
 pub use crate::budget::{BudgetTimer, Completion, SearchBudget, DEFAULT_DEGRADE_THRESHOLD};
-pub use crate::cache::{CacheStats, PredictionCache, DEFAULT_CACHE_CAPACITY};
+pub use crate::cache::snapshot::{
+    load_snapshot, write_snapshot, SnapshotLoaded, SnapshotWritten,
+};
+pub use crate::cache::{
+    recommended_shards, CacheStats, PredictionCache, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_SHARDS,
+};
 pub use crate::engine::trace::ExploreTrace;
 pub use crate::error::ChopError;
 pub use crate::explorer::{

@@ -237,6 +237,19 @@ impl ModuleSet {
         Self { choices: BTreeMap::new() }
     }
 
+    /// A module set from explicit `(class, module name)` choices — the
+    /// constructor deserializers use to rebuild a set that was persisted
+    /// (e.g. from a prediction-cache snapshot). Later duplicates of a
+    /// class override earlier ones.
+    #[must_use]
+    pub fn from_choices<I, S>(choices: I) -> Self
+    where
+        I: IntoIterator<Item = (OpClass, S)>,
+        S: Into<String>,
+    {
+        Self { choices: choices.into_iter().map(|(c, n)| (c, n.into())).collect() }
+    }
+
     /// The chosen module name for a class.
     #[must_use]
     pub fn name_for(&self, class: OpClass) -> Option<&str> {

@@ -175,8 +175,23 @@ impl SessionManager {
     /// an `explore` uses when the request does not override it.
     #[must_use]
     pub fn new(default_jobs: usize) -> Self {
+        Self::new_with_cache(
+            default_jobs,
+            Arc::new(PredictionCache::with_config(
+                DEFAULT_CACHE_CAPACITY,
+                recommended_shards(default_jobs),
+            )),
+        )
+    }
+
+    /// Creates an empty manager around an externally built prediction
+    /// cache — how `chop serve` injects a snapshot-warmed or custom-
+    /// sharded cache. Every session this manager opens (including
+    /// sessions rebuilt by journal replay) shares `cache`.
+    #[must_use]
+    pub fn new_with_cache(default_jobs: usize, cache: Arc<PredictionCache>) -> Self {
         Self {
-            cache: Arc::new(PredictionCache::new()),
+            cache,
             sessions: Mutex::new(HashMap::new()),
             dedup: Mutex::new(DedupWindow::default()),
             journal: None,
@@ -208,10 +223,37 @@ impl SessionManager {
         state_dir: &Path,
         snapshot_every: usize,
     ) -> std::io::Result<(Self, RecoveryReport)> {
+        Self::recover_with_cache(
+            default_jobs,
+            state_dir,
+            snapshot_every,
+            Arc::new(PredictionCache::with_config(
+                DEFAULT_CACHE_CAPACITY,
+                recommended_shards(default_jobs),
+            )),
+        )
+    }
+
+    /// [`SessionManager::recover`] around an externally built prediction
+    /// cache (see [`SessionManager::new_with_cache`]). The cache must be
+    /// injected *before* replay: sessions capture the shared cache handle
+    /// when they open, so replayed sessions warm — and are warmed by —
+    /// the same cache the live ones use.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures opening the journal only; nothing *in* the
+    /// journal can fail recovery.
+    pub fn recover_with_cache(
+        default_jobs: usize,
+        state_dir: &Path,
+        snapshot_every: usize,
+        cache: Arc<PredictionCache>,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
         let (journal, scan) = Journal::open(state_dir, snapshot_every)?;
         // Replay through the ordinary dispatch paths with journaling
         // still disarmed: the records are already on disk.
-        let mut manager = Self::new(default_jobs);
+        let mut manager = Self::new_with_cache(default_jobs, cache);
         let mut report = RecoveryReport {
             records_skipped: scan.skipped,
             records_replayed: scan.entries.len(),
@@ -365,9 +407,12 @@ impl SessionManager {
                 }
             }
             Request::Stats { session } => match self.stats(session.as_deref()) {
-                Ok((sessions, cache, last_run)) => {
-                    Response::Stats { sessions, cache, last_run }
-                }
+                Ok((sessions, cache, last_run)) => Response::Stats {
+                    sessions,
+                    cache,
+                    shard_entries: self.cache.shard_occupancy(),
+                    last_run,
+                },
                 Err(e) => Response::Error(e),
             },
             Request::Close { session } => match self.close_tagged(session, req_id) {

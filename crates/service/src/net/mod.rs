@@ -102,28 +102,50 @@ impl ShutdownGate {
 /// `scanned` remembers how far the last search got, so feeding a 4 MiB
 /// newline-less flood in 4 KiB chunks costs one pass total instead of a
 /// quadratic re-scan per chunk.
+///
+/// Framing is zero-copy: [`next_line`](Self::next_line) hands out a
+/// slice *borrowed from the buffer* instead of draining the bytes into
+/// a fresh `Vec` per request. Consumed lines linger in front of `head`
+/// until the next [`extend`](Self::extend), which compacts them away in
+/// one tail memmove per socket read — previously every line paid its
+/// own allocation plus a memmove of the entire remaining buffer.
 #[derive(Debug, Default)]
 pub(crate) struct LineBuffer {
     buf: Vec<u8>,
-    /// Bytes known to contain no `\n` (always ≤ `buf.len()`).
+    /// Start of the unconsumed bytes; everything before belongs to
+    /// lines already handed out and is reclaimed on the next `extend`.
+    head: usize,
+    /// End of the prefix known to contain no `\n` past `head` (always
+    /// in `head..=buf.len()`).
     scanned: usize,
 }
 
 impl LineBuffer {
-    /// Appends freshly read bytes.
+    /// Appends freshly read bytes, first reclaiming the space held by
+    /// lines that were handed out since the previous call.
     pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        if self.head > 0 {
+            self.buf.drain(..self.head);
+            self.scanned -= self.head;
+            self.head = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Removes and returns the next full line *including* its trailing
-    /// newline, or `None` when no complete line is buffered yet.
-    pub(crate) fn next_line(&mut self) -> Option<Vec<u8>> {
+    /// Returns the next full line *including* its trailing newline, or
+    /// `None` when no complete line is buffered yet. The slice borrows
+    /// the buffer in place; it is consumed immediately (a later call
+    /// returns the following line) but stays valid until the next
+    /// [`extend`](Self::extend).
+    pub(crate) fn next_line(&mut self) -> Option<&[u8]> {
         let offset = self.buf[self.scanned..].iter().position(|&b| b == b'\n');
         match offset {
             Some(at) => {
-                let line: Vec<u8> = self.buf.drain(..=self.scanned + at).collect();
-                self.scanned = 0;
-                Some(line)
+                let start = self.head;
+                let end = self.scanned + at;
+                self.head = end + 1;
+                self.scanned = self.head;
+                Some(&self.buf[start..=end])
             }
             None => {
                 self.scanned = self.buf.len();
@@ -132,15 +154,16 @@ impl LineBuffer {
         }
     }
 
-    /// Bytes currently buffered (all part of one incomplete line
-    /// whenever [`next_line`](Self::next_line) just returned `None`).
+    /// Unconsumed bytes currently buffered (all part of one incomplete
+    /// line whenever [`next_line`](Self::next_line) just returned
+    /// `None`).
     pub(crate) fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.head
     }
 
-    /// Whether nothing is buffered.
+    /// Whether no unconsumed bytes are buffered.
     pub(crate) fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.head == self.buf.len()
     }
 }
 
@@ -183,7 +206,7 @@ where
                 refuse(&mut writer, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
                 return;
             }
-            let text = String::from_utf8_lossy(&line);
+            let text = String::from_utf8_lossy(line);
             let text = text.trim();
             if text.is_empty() {
                 continue;
@@ -237,16 +260,37 @@ mod tests {
     fn line_buffer_frames_across_chunk_boundaries() {
         let mut buf = LineBuffer::default();
         buf.extend(b"alpha\nbe");
-        assert_eq!(buf.next_line().as_deref(), Some(b"alpha\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"alpha\n".as_slice()));
         assert_eq!(buf.next_line(), None);
         buf.extend(b"ta\n\ngamma");
-        assert_eq!(buf.next_line().as_deref(), Some(b"beta\n".as_slice()));
-        assert_eq!(buf.next_line().as_deref(), Some(b"\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"beta\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"\n".as_slice()));
         assert_eq!(buf.next_line(), None);
         assert_eq!(buf.len(), 5);
         buf.extend(b"\n");
-        assert_eq!(buf.next_line().as_deref(), Some(b"gamma\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"gamma\n".as_slice()));
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn line_buffer_consumes_in_place_and_compacts_on_extend() {
+        let mut buf = LineBuffer::default();
+        buf.extend(b"one\ntwo\nthree\ntail");
+        // Three lines served from one read, no extend in between: each
+        // view is a slice of the same backing buffer, and `len` tracks
+        // only the unconsumed tail.
+        assert_eq!(buf.next_line(), Some(b"one\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"two\n".as_slice()));
+        assert_eq!(buf.next_line(), Some(b"three\n".as_slice()));
+        assert_eq!(buf.next_line(), None);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+        // The next extend reclaims the consumed prefix and framing
+        // continues across the compaction seam.
+        buf.extend(b" end\n");
+        assert_eq!(buf.next_line(), Some(b"tail end\n".as_slice()));
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
     }
 
     #[test]

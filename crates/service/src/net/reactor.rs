@@ -146,31 +146,6 @@ impl Conn {
         }
     }
 
-    /// Admits one request line against the per-second rate cap;
-    /// `Some` is the typed `busy` refusal to queue instead. The window
-    /// is fixed, not sliding: it resets a second after its first
-    /// admitted line, and `retry_after_ms` is the window's remaining
-    /// lifetime.
-    fn admit_line(&mut self, cap: Option<u32>) -> Option<Response> {
-        let cap = cap?;
-        let now = Instant::now();
-        let elapsed = now.duration_since(self.rate_window);
-        if elapsed >= Duration::from_secs(1) {
-            self.rate_window = now;
-            self.rate_count = 0;
-        }
-        if self.rate_count >= cap {
-            let remaining = Duration::from_secs(1).saturating_sub(elapsed);
-            return Some(Response::Busy {
-                inflight: u64::from(self.rate_count),
-                max_inflight: u64::from(cap),
-                retry_after_ms: (remaining.as_millis() as u64).max(1),
-            });
-        }
-        self.rate_count += 1;
-        None
-    }
-
     fn pending_out(&self) -> usize {
         self.outbuf.len() - self.out_pos
     }
@@ -540,8 +515,62 @@ fn read_some<H: LineHandler>(
     }
 }
 
+/// Admits one request line against the per-second rate cap;
+/// `Some` is the typed `busy` refusal to queue instead. The window
+/// is fixed, not sliding: it resets a second after its first
+/// admitted line, and `retry_after_ms` is the window's remaining
+/// lifetime.
+///
+/// A free function over the two rate fields, not a `Conn` method: the
+/// caller holds a borrow of `conn.inbuf` (the in-place request line)
+/// while admitting, and disjoint field borrows keep that legal.
+fn admit_line(
+    rate_window: &mut Instant,
+    rate_count: &mut u32,
+    cap: Option<u32>,
+) -> Option<Response> {
+    let cap = cap?;
+    let now = Instant::now();
+    let elapsed = now.duration_since(*rate_window);
+    if elapsed >= Duration::from_secs(1) {
+        *rate_window = now;
+        *rate_count = 0;
+    }
+    if *rate_count >= cap {
+        let remaining = Duration::from_secs(1).saturating_sub(elapsed);
+        return Some(Response::Busy {
+            inflight: u64::from(*rate_count),
+            max_inflight: u64::from(cap),
+            retry_after_ms: (remaining.as_millis() as u64).max(1),
+        });
+    }
+    *rate_count += 1;
+    None
+}
+
+/// What one framing step decided, computed while the in-place line
+/// slice (borrowed from `conn.inbuf`) is alive; the mutations it calls
+/// for run after the borrow ends.
+enum LineStep {
+    /// No complete line buffered (the caller still refuses a partial
+    /// line that has already outgrown [`MAX_LINE_BYTES`]).
+    Starved,
+    /// Blank line: skip it.
+    Skip,
+    /// A completed line past [`MAX_LINE_BYTES`]: refuse and close.
+    Oversized,
+    /// Queue this reply (a handler answer or a rate-cap `busy`).
+    Reply(Response),
+    /// The request went to the worker pool; park the connection.
+    Dispatched,
+}
+
 /// Serves buffered complete lines until the connection parks (dispatch
 /// in flight), closes, caps its output, or runs out of lines.
+///
+/// Lines are decoded in place from the connection's [`LineBuffer`] —
+/// a borrowed slice, no per-request copy. The borrow is confined to
+/// the `LineStep` computation; `conn` is only mutated afterwards.
 fn process_lines<H: LineHandler>(
     conn: &mut Conn,
     token: u64,
@@ -549,41 +578,58 @@ fn process_lines<H: LineHandler>(
     handler: &H,
 ) {
     while !conn.awaiting_worker && !conn.closing && conn.pending_out() <= OUT_SOFT_CAP {
-        let Some(line) = conn.inbuf.next_line() else {
-            if conn.inbuf.len() > MAX_LINE_BYTES {
+        let step = match conn.inbuf.next_line() {
+            None => LineStep::Starved,
+            // A completed line past the limit must be refused like a
+            // partial one — parsing it would let a newline smuggled at
+            // the end of a flood bypass the cap.
+            Some(line) if line.len() > MAX_LINE_BYTES => LineStep::Oversized,
+            Some(line) => {
+                let text = String::from_utf8_lossy(line);
+                let text = text.trim();
+                if text.is_empty() {
+                    LineStep::Skip
+                } else if let Some(busy) =
+                    // The rate cap is enforced here, in the connection's
+                    // own state machine: an over-limit line costs one
+                    // queued `busy` reply and no dispatch, and the
+                    // connection keeps serving — unlike the
+                    // oversized-line refusals, which close.
+                    admit_line(
+                        &mut conn.rate_window,
+                        &mut conn.rate_count,
+                        rate_cap,
+                    )
+                {
+                    LineStep::Reply(busy)
+                } else {
+                    match handler.handle_line(token, text) {
+                        LineOutcome::Reply(response) => LineStep::Reply(response),
+                        LineOutcome::Dispatched => LineStep::Dispatched,
+                    }
+                }
+            }
+        };
+        match step {
+            LineStep::Starved => {
+                if conn.inbuf.len() > MAX_LINE_BYTES {
+                    conn.refuse(
+                        ErrorKind::Protocol,
+                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                }
+                return;
+            }
+            LineStep::Skip => {}
+            LineStep::Oversized => {
                 conn.refuse(
                     ErrorKind::Protocol,
                     format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                 );
+                return;
             }
-            return;
-        };
-        if line.len() > MAX_LINE_BYTES {
-            // A completed line past the limit must be refused like a
-            // partial one — parsing it would let a newline smuggled at
-            // the end of a flood bypass the cap.
-            conn.refuse(
-                ErrorKind::Protocol,
-                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-            );
-            return;
-        }
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim();
-        if text.is_empty() {
-            continue;
-        }
-        // The rate cap is enforced here, in the connection's own state
-        // machine: an over-limit line costs one queued `busy` reply and
-        // no dispatch, and the connection keeps serving — unlike the
-        // oversized-line refusals above, which close.
-        if let Some(busy) = conn.admit_line(rate_cap) {
-            conn.push_response(&busy);
-            continue;
-        }
-        match handler.handle_line(token, text) {
-            LineOutcome::Reply(response) => conn.push_response(&response),
-            LineOutcome::Dispatched => conn.awaiting_worker = true,
+            LineStep::Reply(response) => conn.push_response(&response),
+            LineStep::Dispatched => conn.awaiting_worker = true,
         }
     }
 }

@@ -549,6 +549,9 @@ pub enum Response {
         sessions: Vec<String>,
         /// Shared prediction-cache counters (lifetime).
         cache: CacheStats,
+        /// Resident entries per cache shard, in shard order (empty from
+        /// servers that predate the sharded cache tier).
+        shard_entries: Vec<u64>,
         /// The named session's most recent run, if any.
         last_run: Option<RunSummary>,
     },
@@ -1292,7 +1295,7 @@ impl Response {
                     ("delay_ns", Value::Num(*delay_ns)),
                 ],
             ),
-            Response::Stats { sessions, cache, last_run } => envelope(
+            Response::Stats { sessions, cache, shard_entries, last_run } => envelope(
                 "stats",
                 vec![
                     (
@@ -1300,6 +1303,12 @@ impl Response {
                         Value::Arr(sessions.iter().map(|s| Value::Str(s.clone())).collect()),
                     ),
                     ("cache", cache_to_value(cache)),
+                    (
+                        "shard_entries",
+                        Value::Arr(
+                            shard_entries.iter().map(|&n| Value::Num(n as f64)).collect(),
+                        ),
+                    ),
                     ("last_run", last_run.as_ref().map_or(Value::Null, run_to_value)),
                 ],
             ),
@@ -1385,9 +1394,27 @@ impl Response {
                     None | Some(Value::Null) => None,
                     Some(run) => Some(run_from_value(run)?),
                 };
+                // Tolerant decode: servers that predate the sharded cache
+                // tier omit the field entirely.
+                let shard_entries = match v.get("shard_entries") {
+                    None | Some(Value::Null) => Vec::new(),
+                    Some(arr) => arr
+                        .as_arr()
+                        .ok_or_else(|| {
+                            ServiceError::protocol("field \"shard_entries\" must be an array")
+                        })?
+                        .iter()
+                        .map(|n| {
+                            n.as_f64().map(|f| f as u64).ok_or_else(|| {
+                                ServiceError::protocol("shard entries must be numbers")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
                 Ok(Response::Stats {
                     sessions,
                     cache: cache_from_value(field(&v, "cache")?)?,
+                    shard_entries,
                     last_run,
                 })
             }
@@ -1705,9 +1732,15 @@ mod tests {
             Response::Stats {
                 sessions: vec!["a".into(), "b".into()],
                 cache: CacheStats { hits: 5, misses: 3, evictions: 0, entries: 3, bytes: 640 },
+                shard_entries: vec![2, 0, 1, 0],
                 last_run: Some(run),
             },
-            Response::Stats { sessions: vec![], cache: CacheStats::default(), last_run: None },
+            Response::Stats {
+                sessions: vec![],
+                cache: CacheStats::default(),
+                shard_entries: vec![],
+                last_run: None,
+            },
             Response::Closed { session: "a".into() },
             Response::ShuttingDown,
             Response::ReplAck { seq: 99 },

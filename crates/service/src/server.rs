@@ -39,11 +39,14 @@
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
-#[cfg(feature = "fault-inject")]
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use chop_core::prelude::{
+    load_snapshot, recommended_shards, write_snapshot, PredictionCache, SnapshotLoaded,
+    DEFAULT_CACHE_CAPACITY,
+};
 
 use crate::manager::{RecoveryReport, SessionManager};
 use crate::net::reactor::{LineHandler, LineOutcome, Reactor, ReactorConfig};
@@ -86,6 +89,18 @@ pub struct ServeConfig {
     /// is the window's remaining lifetime) and the connection stays
     /// open. 0 disables the cap.
     pub max_requests_per_sec: u32,
+    /// Lock stripes in the shared prediction cache (rounded up to a
+    /// power of two). 0 sizes the stripe automatically from the worker
+    /// and jobs counts. Shard count never affects exploration results.
+    pub cache_shards: usize,
+    /// Path of the prediction-cache snapshot file: loaded at startup
+    /// (warm-starting the cache) and rewritten on graceful drain and
+    /// every [`cache_snapshot_every`](ServeConfig::cache_snapshot_every)
+    /// insertions. `None` keeps the cache purely in memory.
+    pub cache_snapshot: Option<PathBuf>,
+    /// Cache insertions between periodic snapshot rewrites. 0 disables
+    /// the periodic cadence (the graceful-drain write still happens).
+    pub cache_snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +116,9 @@ impl Default for ServeConfig {
             max_connections: 4096,
             idle_timeout_ms: 600_000,
             max_requests_per_sec: 0,
+            cache_shards: 0,
+            cache_snapshot: None,
+            cache_snapshot_every: 256,
         }
     }
 }
@@ -112,6 +130,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     config: ServeConfig,
     recovery: Option<RecoveryReport>,
+    cache_warmed: Option<SnapshotLoaded>,
     /// Chaos-only "power cord": when set, the reactor severs every
     /// connection and returns immediately — no drain, no journal
     /// ceremony — simulating `kill -9` inside one test process.
@@ -127,11 +146,30 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        // Size the lock stripe to the most threads that can be in the
+        // cache at once: `workers` concurrent explores, each running
+        // `jobs` prediction threads.
+        let shards = if config.cache_shards > 0 {
+            config.cache_shards
+        } else {
+            recommended_shards(config.workers.max(1) * config.jobs.max(1))
+        };
+        let cache = Arc::new(PredictionCache::with_config(DEFAULT_CACHE_CAPACITY, shards));
+        // Warm-start before journal replay arms: replayed sessions share
+        // this cache, so their first explores hit the restored entries.
+        let cache_warmed = match &config.cache_snapshot {
+            None => None,
+            Some(path) => Some(load_snapshot(path, &cache)?),
+        };
         let (manager, recovery) = match &config.state_dir {
-            None => (SessionManager::new(config.jobs), None),
+            None => (SessionManager::new_with_cache(config.jobs, cache), None),
             Some(dir) => {
-                let (manager, report) =
-                    SessionManager::recover(config.jobs, dir, config.snapshot_every)?;
+                let (manager, report) = SessionManager::recover_with_cache(
+                    config.jobs,
+                    dir,
+                    config.snapshot_every,
+                    cache,
+                )?;
                 (manager, Some(report))
             }
         };
@@ -144,6 +182,7 @@ impl Server {
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
             recovery,
+            cache_warmed,
             #[cfg(feature = "fault-inject")]
             kill: Arc::new(AtomicBool::new(false)),
         })
@@ -154,6 +193,13 @@ impl Server {
     #[must_use]
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         self.recovery
+    }
+
+    /// What the cache snapshot restored at bind time; `None` without a
+    /// `cache_snapshot` path.
+    #[must_use]
+    pub fn cache_warm_report(&self) -> Option<SnapshotLoaded> {
+        self.cache_warmed
     }
 
     /// The bound address (useful after binding port 0).
@@ -228,6 +274,44 @@ impl Server {
                     .then_some(self.config.max_requests_per_sec),
             },
         )?;
+        // Periodic cache snapshots: a sidecar thread re-persists the
+        // prediction cache whenever enough insertions accumulated, so
+        // even an ungraceful death warm-starts from a recent snapshot.
+        let snapshot_stop = Arc::new(AtomicBool::new(false));
+        let snapshot_thread = self.config.cache_snapshot.clone().map(|path| {
+            let cache = self.manager.shared_cache();
+            let stop = Arc::clone(&snapshot_stop);
+            let every = self.config.cache_snapshot_every;
+            std::thread::spawn(move || {
+                let mut persisted = cache.insertions();
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if every > 0 && cache.insertions().saturating_sub(persisted) >= every {
+                        match write_snapshot(&path, &cache) {
+                            // Re-read after the write: inserts that raced
+                            // the export are re-persisted next round.
+                            Ok(_) => persisted = cache.insertions(),
+                            Err(e) => {
+                                eprintln!("chop-service: cache snapshot failed: {e}");
+                            }
+                        }
+                    }
+                }
+            })
+        });
+        let stop_snapshots = |final_write: bool| {
+            snapshot_stop.store(true, Ordering::SeqCst);
+            if let Some(thread) = snapshot_thread {
+                let _ = thread.join();
+            }
+            if final_write {
+                if let Some(path) = &self.config.cache_snapshot {
+                    if let Err(e) = write_snapshot(path, &self.manager.shared_cache()) {
+                        eprintln!("chop-service: final cache snapshot failed: {e}");
+                    }
+                }
+            }
+        };
         let result = reactor.run(&dispatch);
         if let Some(replicator) = replicator.as_mut() {
             replicator.stop();
@@ -235,13 +319,19 @@ impl Server {
         #[cfg(feature = "fault-inject")]
         if self.kill.load(Ordering::SeqCst) {
             // Simulated kill -9: abandon queued work instead of
-            // draining the pool, exactly like the process dying.
+            // draining the pool, exactly like the process dying — and
+            // skip the drain-time snapshot (the periodic one on disk is
+            // what a restart warm-starts from).
+            stop_snapshots(false);
             return result;
         }
         drop(dispatch);
         if let Ok(pool) = Arc::try_unwrap(pool) {
             pool.shutdown();
         }
+        // Graceful drain: persist the cache exactly once more, after the
+        // pool finished every in-flight explore.
+        stop_snapshots(true);
         result
     }
 }

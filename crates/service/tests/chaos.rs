@@ -586,6 +586,99 @@ fn standby_journal_recovers_the_same_sessions_as_the_primary_journal() {
     let _ = std::fs::remove_dir_all(&primary_dir);
 }
 
+/// The warm-restart drill: a server with a cache snapshot configured is
+/// kill -9'd (no drain, so no final snapshot write — only the periodic
+/// cadence ran), and a restart on the same snapshot path must explore a
+/// fresh session to a byte-identical digest *without a single predictor
+/// call* — the whole run served from the restored cache.
+#[test]
+fn killed_server_restarts_warm_from_cache_snapshot() {
+    use chop_core::prelude::{load_snapshot, PredictionCache};
+
+    for jobs in [1, test_jobs()] {
+        let snap = std::env::temp_dir()
+            .join(format!("chop-chaos-snap-{jobs}-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&snap);
+        let config = ServeConfig {
+            workers: 2,
+            jobs,
+            cache_snapshot: Some(snap.clone()),
+            // Snapshot on every insertion: the only persistence this
+            // test may rely on, since the kill skips the drain write.
+            cache_snapshot_every: 1,
+            ..ServeConfig::default()
+        };
+
+        // Life before the crash: open + explore to warm the cache.
+        let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let kill = server.kill_handle();
+        let server_thread = thread::spawn(move || server.run());
+        let mut client = Client::connect(addr).expect("connect");
+        let open = Request::Open { session: "warm".into(), params: open_params(WIDE_SPEC, 3) };
+        client.request(&open).expect("open");
+        let first = explored_digest(&mut client, "warm");
+        assert_eq!(first, reference_digest(WIDE_SPEC, 3, jobs));
+
+        // The snapshot thread persists on its own cadence; wait until a
+        // trial load shows every cache entry on disk before pulling the
+        // cord.
+        let entries = match client.request(&Request::Stats { session: None }) {
+            Ok(Response::Stats { cache, .. }) => cache.entries,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert!(entries > 0, "the warming explore must populate the cache");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let scratch = PredictionCache::with_config(256, 1);
+            let loaded = load_snapshot(&snap, &scratch).unwrap_or_default();
+            if loaded.entries as u64 == entries {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "snapshot never caught up: {} of {entries} entries on disk",
+                loaded.entries
+            );
+            thread::sleep(Duration::from_millis(20));
+        }
+
+        // Kill -9: every connection severed, no drain, no final write.
+        kill.store(true, std::sync::atomic::Ordering::SeqCst);
+        server_thread.join().expect("server thread").expect("killed run returns");
+
+        // Restart on the same snapshot path. No journal: the session is
+        // gone, but the cache is content-addressed, so a fresh open of
+        // the same spec must explore entirely from the restored entries.
+        let (addr, server) = start_server(config);
+        let mut client = Client::connect(addr).expect("connect restarted");
+        client.request(&open).expect("re-open");
+        let response = client
+            .request(&Request::Explore {
+                session: "warm".into(),
+                params: ExploreParams::default(),
+            })
+            .expect("explore after restart");
+        let run = match response {
+            Response::Explored { run, .. } => run,
+            other => panic!("expected explored, got {other:?}"),
+        };
+        assert_eq!(
+            run.digest, first,
+            "snapshot-restored digest must be byte-identical at jobs={jobs}"
+        );
+        assert_eq!(
+            run.predictor_calls, 0,
+            "a snapshot-warmed explore must be served entirely from cache"
+        );
+        assert!(run.cache_hits > 0, "the restored entries must actually be used");
+
+        client.request(&Request::Shutdown).expect("shutdown");
+        server.join().expect("server thread");
+        let _ = std::fs::remove_file(&snap);
+    }
+}
+
 /// A torn tail record — the crash happened mid-append — is skipped with
 /// a warning on recovery; every record before it is intact.
 #[test]

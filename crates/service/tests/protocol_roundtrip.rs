@@ -300,11 +300,13 @@ fn response() -> BoxedStrategy<Response> {
         (
             collection::vec(name(), 0..5),
             cache_stats(),
+            collection::vec(0u64..4_096, 0..9),
             prop_oneof![Just(None), run_summary().prop_map(Some)],
         )
-            .prop_map(|(sessions, cache, last_run)| Response::Stats {
+            .prop_map(|(sessions, cache, shard_entries, last_run)| Response::Stats {
                 sessions,
                 cache,
+                shard_entries,
                 last_run
             }),
         (name(), 1.0f64..1e9, 1.0f64..1e9).prop_map(|(session, performance_ns, delay_ns)| {
