@@ -364,7 +364,12 @@ pub struct ServeOptions {
     /// replication stream, wait to be promoted.
     pub standby: bool,
     /// Ship every committed journal record to this standby (`host:port`).
+    /// Legacy one-way spelling of `--peer`.
     pub replicate_to: Option<String>,
+    /// Symmetric replication peer (`host:port`): ship to it while
+    /// primary, accept its stream (and rejoin demoted after fencing)
+    /// while standby. Combine with `--standby` to pick the initial role.
+    pub peer: Option<String>,
     /// Concurrent connections accepted before new ones are refused.
     pub max_connections: usize,
     /// Close connections idle for this many milliseconds (0 = never).
@@ -396,6 +401,7 @@ impl Default for ServeOptions {
             snapshot_every: 1024,
             standby: false,
             replicate_to: None,
+            peer: None,
             max_connections: 4096,
             idle_timeout_ms: 600_000,
             max_requests_per_sec: 0,
@@ -447,6 +453,7 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
             }
             "--standby" => opts.standby = true,
             "--replicate-to" => opts.replicate_to = Some(value(arg)?),
+            "--peer" => opts.peer = Some(value(arg)?),
             "--max-connections" => {
                 let n: usize = value(arg)?
                     .parse()
@@ -488,6 +495,13 @@ pub fn parse_serve_options(argv: &[String]) -> Result<ServeOptions, ArgError> {
         return Err(ArgError(
             "--standby and --replicate-to are mutually exclusive (a node is either \
              the primary of its pair or its standby)"
+                .into(),
+        ));
+    }
+    if opts.peer.is_some() && opts.replicate_to.is_some() {
+        return Err(ArgError(
+            "--peer and --replicate-to are mutually exclusive (--peer is the \
+             symmetric replacement; --standby picks the initial role)"
                 .into(),
         ));
     }
@@ -698,6 +712,15 @@ mod tests {
         assert!(o.standby);
         assert!(parse_serve_options(&s(&["--standby", "--replicate-to", "x:1"])).is_err());
         assert!(parse_serve_options(&s(&["--replicate-to"])).is_err());
+        // --peer is the symmetric spelling: valid alone or with --standby
+        // (the initial role), never alongside the legacy one-way flag.
+        let o = parse_serve_options(&s(&["--peer", "127.0.0.1:1992"])).unwrap();
+        assert_eq!(o.peer.as_deref(), Some("127.0.0.1:1992"));
+        assert!(!o.standby);
+        let o = parse_serve_options(&s(&["--peer", "127.0.0.1:1991", "--standby"])).unwrap();
+        assert!(o.standby && o.peer.is_some());
+        assert!(parse_serve_options(&s(&["--peer", "x:1", "--replicate-to", "y:1"])).is_err());
+        assert!(parse_serve_options(&s(&["--peer"])).is_err());
     }
 
     #[test]

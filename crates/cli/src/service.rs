@@ -31,6 +31,7 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         snapshot_every: opts.snapshot_every,
         standby: opts.standby,
         replicate_to: opts.replicate_to.clone(),
+        peer: opts.peer.clone(),
         max_connections: opts.max_connections,
         idle_timeout_ms: opts.idle_timeout_ms,
         max_requests_per_sec: opts.max_requests_per_sec,
@@ -46,12 +47,21 @@ pub fn serve(opts: &ServeOptions) -> Result<RunStatus, Box<dyn Error>> {
         server.local_addr()?,
         chop_service::PROTOCOL_VERSION
     );
-    if opts.standby {
+    let manager = server.manager();
+    if manager.is_fenced() {
+        println!("fenced standby: a newer primary superseded this node; resyncing");
+    } else if manager.is_standby() {
         println!("warm standby: refusing direct mutations until promoted");
     }
     if let Some(standby) = opts.replicate_to.as_deref() {
         println!("replicating committed records to {standby}");
     }
+    if let Some(peer) = opts.peer.as_deref() {
+        println!("replication peer: {peer}");
+    }
+    // Promotions/demotions land on stdout next to the banner so scripts
+    // (and the chaos suite) can watch role transitions live.
+    manager.set_role_change_hook(|line| println!("{line}"));
     if let Some(report) = server.recovery_report() {
         println!(
             "recovered {} session(s) from the journal ({} record(s) replayed, {} skipped)",
@@ -149,8 +159,15 @@ pub fn client(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
     let nodes: Vec<String> =
         addr.split(',').map(str::trim).filter(|a| !a.is_empty()).map(str::to_owned).collect();
     let mut client = Client::connect_nodes(&nodes, DEFAULT_CONNECT_TIMEOUT)?;
+    // Both paths follow typed `standby`/`fenced` refusals to the named
+    // primary; a zero budget keeps the no-retry path at one attempt per
+    // node while still walking redirects.
     let response = match retry_budget_ms {
-        None => client.request(&request)?,
+        None => client.request_following_redirects(
+            &request,
+            None,
+            &RetryPolicy::with_budget_ms(0),
+        )?,
         Some(ms) => {
             // Mutations get an automatic idempotency tag so a retry over
             // a transport failure is answered from the server's dedup
@@ -161,7 +178,7 @@ pub fn client(argv: &[String]) -> Result<RunStatus, Box<dyn Error>> {
                     .map_or(0, |d| d.subsec_nanos());
                 format!("cli-{}-{nanos}", std::process::id())
             });
-            client.request_with_retry(
+            client.request_following_redirects(
                 &request,
                 req_id.as_deref(),
                 &RetryPolicy::with_budget_ms(ms),
@@ -396,6 +413,18 @@ fn parse_client_request(command: &str, rest: &[String]) -> Result<Request, Box<d
             _ => Err(Box::new(ArgError("close needs <session>".into()))),
         },
         "promote" => Ok(Request::Promote),
+        "add-pair" => match rest {
+            [pair] => Ok(Request::AddPair { pair: pair.clone() }),
+            _ => Err(Box::new(ArgError("add-pair needs <primary[,standby]>".into()))),
+        },
+        "remove-pair" => match rest {
+            [pair] => Ok(Request::RemovePair { pair: pair.clone() }),
+            _ => Err(Box::new(ArgError("remove-pair needs <label>".into()))),
+        },
+        "router-status" => match rest {
+            [] => Ok(Request::RouterStatus),
+            _ => Err(Box::new(ArgError("router-status takes no arguments".into()))),
+        },
         "shutdown" => Ok(Request::Shutdown),
         other => Err(Box::new(ArgError(format!("unknown client command {other:?}")))),
     }
@@ -410,8 +439,14 @@ fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, ArgError
 /// feasible/infeasible/truncated exit-code table.
 fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
     match response {
-        Response::Pong { version } => {
-            println!("pong (protocol v{version})");
+        Response::Pong { version, role, epoch, peer } => {
+            match role.as_deref() {
+                Some(role) => {
+                    let peer = peer.as_deref().map_or(String::new(), |p| format!(", peer {p}"));
+                    println!("pong (protocol v{version}, {role} at epoch {epoch}{peer})");
+                }
+                None => println!("pong (protocol v{version})"),
+            }
             Ok(RunStatus::Feasible)
         }
         Response::Opened { session, partitions } => {
@@ -476,8 +511,34 @@ fn render_response(response: &Response) -> Result<RunStatus, Box<dyn Error>> {
                  retry in {retry_after_ms} ms (or pass --retry)"
             ))))
         }
-        Response::Promoted { sessions } => {
-            println!("promoted to primary ({sessions} session(s) live)");
+        Response::Promoted { sessions, epoch } => {
+            println!("promoted to primary at epoch {epoch} ({sessions} session(s) live)");
+            Ok(RunStatus::Feasible)
+        }
+        Response::PairAdded { pairs } => {
+            println!("pair added; ring now ({}): {}", pairs.len(), pairs.join(", "));
+            Ok(RunStatus::Feasible)
+        }
+        Response::PairRemoved { pairs } => {
+            println!("pair removed; ring now ({}): {}", pairs.len(), pairs.join(", "));
+            Ok(RunStatus::Feasible)
+        }
+        Response::RouterStatus { pairs } => {
+            println!("router pairs ({}):", pairs.len());
+            for line in pairs {
+                println!("  {line}");
+            }
+            Ok(RunStatus::Feasible)
+        }
+        Response::Exported { session, records } => {
+            println!("exported session {session:?} ({} record(s))", records.len());
+            for record in records {
+                println!("{record}");
+            }
+            Ok(RunStatus::Feasible)
+        }
+        Response::Imported { session, records } => {
+            println!("imported session {session:?} ({records} record(s) applied)");
             Ok(RunStatus::Feasible)
         }
         Response::ReplAck { seq } => {
@@ -570,6 +631,15 @@ mod tests {
         );
         assert_eq!(parse_client_request("shutdown", &[]).unwrap(), Request::Shutdown);
         assert_eq!(parse_client_request("promote", &[]).unwrap(), Request::Promote);
+        assert_eq!(
+            parse_client_request("add-pair", &s(&["h1:1,h2:2"])).unwrap(),
+            Request::AddPair { pair: "h1:1,h2:2".into() }
+        );
+        assert_eq!(
+            parse_client_request("remove-pair", &s(&["h1:1"])).unwrap(),
+            Request::RemovePair { pair: "h1:1".into() }
+        );
+        assert_eq!(parse_client_request("router-status", &[]).unwrap(), Request::RouterStatus);
         assert_eq!(
             parse_client_request("repartition", &s(&["a", "3:0"])).unwrap(),
             Request::Repartition { session: "a".into(), node: 3, to: 0 }
@@ -667,6 +737,9 @@ mod tests {
         assert!(parse_client_request("optimize", &s(&["a", "--seed", "entropy"])).is_err());
         assert!(parse_client_request("optimize", &s(&["a", "--group", "1"])).is_err());
         assert!(parse_client_request("apply-moves", &s(&["a", "3"])).is_err());
+        assert!(parse_client_request("add-pair", &[]).is_err());
+        assert!(parse_client_request("remove-pair", &[]).is_err());
+        assert!(parse_client_request("router-status", &s(&["x"])).is_err());
     }
 
     #[test]

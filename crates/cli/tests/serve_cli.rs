@@ -309,19 +309,6 @@ fn kill_nine_primary_router_promotes_standby_with_identical_digest() {
     let digest_before =
         digest_line(&client_ok(&router_addr, &["explore", "demo", "--heuristic", "i"]));
 
-    // A standby is read-only until promoted: a direct mutation against it
-    // must be refused with the typed `standby` error.
-    let refused = chop()
-        .args(["client", &standby_addr, "repartition", "demo", "2:0"])
-        .output()
-        .expect("spawn chop client");
-    assert_eq!(refused.status.code(), Some(1), "standby must refuse direct mutations");
-    assert!(
-        String::from_utf8_lossy(&refused.stderr).contains("standby"),
-        "{}",
-        String::from_utf8_lossy(&refused.stderr)
-    );
-
     // Wait until replication has delivered the session to the standby —
     // it serves reads, so its stats are visible while unpromoted.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
@@ -332,6 +319,23 @@ fn kill_nine_primary_router_promotes_standby_with_identical_digest() {
         assert!(std::time::Instant::now() < deadline, "standby never saw the session");
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
+
+    // A standby is read-only until promoted — its pong names the role —
+    // and its typed refusal carries the primary's address, which `chop
+    // client` follows. The proof of the hop: a mutation addressed to the
+    // standby is answered by the *primary* (here with `unknown session`,
+    // not a blanket standby refusal).
+    assert!(client_ok(&standby_addr, &["ping"]).contains("standby"));
+    let refused = chop()
+        .args(["client", &standby_addr, "repartition", "ghost", "2:0"])
+        .output()
+        .expect("spawn chop client");
+    assert_eq!(refused.status.code(), Some(1), "bad mutation must still fail");
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("no open session"),
+        "{}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
 
     // SIGKILL the primary: no drain, no goodbye. The router's next
     // forward hits the dead node, promotes the standby and replays.

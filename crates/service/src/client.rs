@@ -27,7 +27,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use crate::net::ShutdownGate;
-use crate::protocol::{Request, Response, ServiceError};
+use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 
 /// A client-side failure: transport trouble or a malformed reply.
 ///
@@ -107,6 +107,12 @@ impl RetryPolicy {
 /// Longest a connection attempt may block when nothing tighter is
 /// configured — a black-holed node must trip failover, not hang forever.
 pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Longest `standby`/`fenced` redirect chain
+/// [`Client::request_following_redirects`] walks before giving up and
+/// returning the refusal as-is — two nodes pointing at each other must
+/// cost four hops, not an infinite bounce.
+const MAX_REDIRECT_HOPS: usize = 4;
 
 /// One connection speaking the newline-delimited protocol, over a set of
 /// candidate peers: connects to the first reachable one, and rotates to
@@ -305,6 +311,58 @@ impl Client {
         self.retry_with_sleep(request, req_id, policy, |d| gate.wait_for(d))
     }
 
+    /// [`request_with_retry`](Self::request_with_retry) that additionally
+    /// follows `standby`/`fenced` refusals carrying the current primary's
+    /// address: the client redials the named primary (keeping the old
+    /// peers as reconnect fallbacks) and re-sends. Safe even for untagged
+    /// mutations — a typed refusal means nothing was applied. Chains are
+    /// bounded; an over-long bounce returns the last refusal unchanged.
+    ///
+    /// The raw [`request`](Self::request) path deliberately does *not*
+    /// follow redirects: the replicator and the router must see the
+    /// refusal itself to drive demotion and topology learning.
+    ///
+    /// # Errors
+    ///
+    /// As [`request_with_retry`](Self::request_with_retry), plus dial
+    /// failures against a redirect target.
+    pub fn request_following_redirects(
+        &mut self,
+        request: &Request,
+        req_id: Option<&str>,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut response = self.request_with_retry(request, req_id, policy)?;
+        for _ in 0..MAX_REDIRECT_HOPS {
+            let Response::Error(e) = &response else { break };
+            if !matches!(e.kind, ErrorKind::Standby | ErrorKind::Fenced) {
+                break;
+            }
+            let Some(primary) = e.primary.clone() else { break };
+            self.redirect_to(&primary)?;
+            response = self.request_with_retry(request, req_id, policy)?;
+        }
+        Ok(response)
+    }
+
+    /// Redials at a redirect target, making it the preferred peer; the
+    /// previous peers stay in rotation as reconnect fallbacks.
+    fn redirect_to(&mut self, addr: &str) -> Result<(), ClientError> {
+        let mut peers: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if peers.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("redirect target {addr:?} resolved to nothing"),
+            )));
+        }
+        let fallbacks: Vec<SocketAddr> =
+            self.peers.iter().copied().filter(|p| !peers.contains(p)).collect();
+        peers.extend(fallbacks);
+        self.peers = peers;
+        self.active = 0;
+        self.reconnect(self.connect_timeout)
+    }
+
     /// The retry engine, parameterized over its sleep: `sleep(d)` blocks
     /// up to `d` and returns `true` to abandon the retry loop (a tripped
     /// shutdown gate), `false` after an undisturbed wait.
@@ -373,7 +431,9 @@ impl Client {
 /// `base..=3×previous`, capped. Randomness comes from a tiny xorshift64*
 /// seeded off the clock — retry jitter needs to be *spread*, not
 /// cryptographic, and the workspace builds without a `rand` crate.
-struct Jitter {
+/// Shared crate-wide: the replicator's reconnect loop and the router's
+/// health loop reuse it so cluster-internal retries desynchronize too.
+pub(crate) struct Jitter {
     base: Duration,
     cap: Duration,
     previous: Duration,
@@ -381,7 +441,7 @@ struct Jitter {
 }
 
 impl Jitter {
-    fn from_entropy(base: Duration, cap: Duration) -> Self {
+    pub(crate) fn from_entropy(base: Duration, cap: Duration) -> Self {
         let seed = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64)
@@ -389,8 +449,13 @@ impl Jitter {
         Self { base, cap, previous: base, state: seed }
     }
 
-    fn previous(&self) -> Duration {
+    pub(crate) fn previous(&self) -> Duration {
         self.previous
+    }
+
+    /// Resets the spread back to `base`, as after a successful attempt.
+    pub(crate) fn reset(&mut self) {
+        self.previous = self.base;
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -403,7 +468,7 @@ impl Jitter {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
-    fn next_sleep(&mut self) -> Duration {
+    pub(crate) fn next_sleep(&mut self) -> Duration {
         let base = self.base.as_millis() as u64;
         let upper = (self.previous.as_millis() as u64).saturating_mul(3).max(base + 1);
         let span = upper - base;
@@ -563,7 +628,13 @@ mod tests {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             assert!(matches!(Request::decode(line.trim()), Ok(Request::Ping)));
-            let reply = Response::Pong { version: crate::protocol::PROTOCOL_VERSION }.encode();
+            let reply = Response::Pong {
+                version: crate::protocol::PROTOCOL_VERSION,
+                role: None,
+                epoch: 0,
+                peer: None,
+            }
+            .encode();
             writeln!(writer, "{reply}").unwrap();
         });
         let mut client = Client::connect_nodes(&addrs, Duration::from_millis(500)).unwrap();

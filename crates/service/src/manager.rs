@@ -137,6 +137,9 @@ pub struct RecoveryReport {
     pub records_skipped: usize,
 }
 
+/// Observer invoked with a one-line description of each role change.
+type RoleHook = Box<dyn Fn(&str) + Send + Sync>;
+
 /// Owns every named session and the cache they share.
 pub struct SessionManager {
     cache: Arc<PredictionCache>,
@@ -154,6 +157,26 @@ pub struct SessionManager {
     /// Warm-standby mode: direct mutations are refused; state arrives
     /// over the replication stream until [`promote`](Self::promote).
     standby: AtomicBool,
+    /// The cluster epoch: bumped by every promotion, adopted from
+    /// higher-epoch peers, journaled as a `role_change` record so a
+    /// restart replays the node back into its last role.
+    epoch: AtomicU64,
+    /// Set when the standby role was forced by fencing (a demoted
+    /// ex-primary) rather than configured: mutations are refused with
+    /// `fenced` instead of `standby`.
+    fenced: AtomicBool,
+    /// Best guess at the current primary's `host:port` — attached to
+    /// `standby`/`fenced` refusals so clients can follow the redirect.
+    primary_hint: Mutex<Option<String>>,
+    /// This node's own dialable `host:port` (set after bind); carried on
+    /// outgoing replication traffic so peers can find us back.
+    advertised: Mutex<Option<String>>,
+    /// The replication peer's address. Dynamic: hearing from a stale
+    /// peer at a new address retargets the replicator to resync it.
+    peer: Mutex<Option<String>>,
+    /// Called with a one-line description on every role transition
+    /// (promotion, fencing demotion) — the CLI wires its banner here.
+    role_hook: Mutex<Option<RoleHook>>,
     /// Monotonic count of committed mutations — the position a
     /// replication stream ships records at. Advances only under the
     /// sessions lock, so emission order equals sequence order.
@@ -199,6 +222,12 @@ impl SessionManager {
             generations: AtomicU64::new(0),
             default_jobs: default_jobs.max(1),
             standby: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            fenced: AtomicBool::new(false),
+            primary_hint: Mutex::new(None),
+            advertised: Mutex::new(None),
+            peer: Mutex::new(None),
+            role_hook: Mutex::new(None),
             repl_seq: AtomicU64::new(0),
             repl_high_water: AtomicU64::new(0),
             repl_sink: Mutex::new(None),
@@ -260,7 +289,16 @@ impl SessionManager {
             sessions_restored: 0,
         };
         for entry in &scan.entries {
-            let response = manager.dispatch_tagged(&entry.request, entry.req_id.as_deref());
+            // Role records are journal-internal: replay installs the role
+            // directly instead of going through the wire guard.
+            if let Request::RoleChange { epoch, primary, fenced } = &entry.request {
+                manager.install_role(*epoch, *primary, *fenced);
+                continue;
+            }
+            // The un-guarded core, not `dispatch_tagged`: a journaled
+            // record was admitted when it was written, so a role record
+            // replayed *before* it must not re-refuse it as a standby.
+            let response = manager.dispatch_inner(&entry.request, entry.req_id.as_deref());
             if let Response::Error(e) = response {
                 // A journal written by this manager replays cleanly; an
                 // error means a hand-edited or cross-version log. Keep
@@ -325,18 +363,31 @@ impl SessionManager {
     /// reads and explores are always served.
     pub fn dispatch_tagged(&self, request: &Request, req_id: Option<&str>) -> Response {
         match request {
-            Request::ReplApply { seq, record } => return self.apply_replicated(*seq, record),
-            Request::ReplSnapshot { seq, records } => {
-                return self.apply_snapshot(*seq, records)
+            Request::ReplApply { seq, record, epoch, primary } => {
+                return self.apply_replicated(*seq, record, *epoch, primary.as_deref())
             }
-            Request::Promote => return Response::Promoted { sessions: self.promote() },
+            Request::ReplSnapshot { seq, records, epoch, primary } => {
+                return self.apply_snapshot(*seq, records, *epoch, primary.as_deref())
+            }
+            Request::Promote => {
+                let (sessions, epoch) = self.promote();
+                return Response::Promoted { sessions, epoch };
+            }
+            Request::RoleChange { .. } => {
+                // Journal replay installs these directly; over the wire
+                // they would let any client rewrite the cluster role.
+                return Response::Error(ServiceError::protocol(
+                    "role_change records are journal-internal and not accepted over the wire",
+                ));
+            }
+            Request::Export { session } => return self.export_session(session),
             _ => {}
         }
         if self.is_standby() && request.is_mutation() {
-            return Response::Error(ServiceError::new(
-                ErrorKind::Standby,
-                "this node is a warm standby; send mutations to the primary",
-            ));
+            return Response::Error(self.standby_refusal());
+        }
+        if let Request::Import { records } = request {
+            return self.import_session(records);
         }
         self.dispatch_inner(request, req_id)
     }
@@ -357,7 +408,12 @@ impl SessionManager {
             }
         }
         let response = match request {
-            Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+            Request::Ping => Response::Pong {
+                version: PROTOCOL_VERSION,
+                role: Some(self.role_name().to_owned()),
+                epoch: self.epoch(),
+                peer: self.peer(),
+            },
             Request::Open { session, params } => {
                 match self.open_tagged(session, params, req_id) {
                     Ok(partitions) => Response::Opened { session: session.clone(), partitions },
@@ -423,9 +479,19 @@ impl SessionManager {
             // Replication traffic must not nest inside itself (a record
             // carrying a record): the wrapper already routed the real
             // thing, so reaching here means a malformed stream.
-            Request::ReplApply { .. } | Request::ReplSnapshot { .. } | Request::Promote => {
+            Request::ReplApply { .. }
+            | Request::ReplSnapshot { .. }
+            | Request::Promote
+            | Request::RoleChange { .. }
+            | Request::Export { .. }
+            | Request::Import { .. } => Response::Error(ServiceError::protocol(
+                "replication requests cannot be nested inside records",
+            )),
+            // Membership administration is a router concern; a bare
+            // server has no pair table to edit.
+            Request::AddPair { .. } | Request::RemovePair { .. } | Request::RouterStatus => {
                 Response::Error(ServiceError::protocol(
-                    "replication requests cannot be nested inside records",
+                    "router admin requests must be sent to a chop router",
                 ))
             }
         };
@@ -476,11 +542,14 @@ impl SessionManager {
             return;
         }
         let snapshot = Self::snapshot_entries(sessions);
-        if let Err(e) = journal.compact(&snapshot) {
+        if let Err(e) = journal.compact(&self.with_role_record(snapshot.clone())) {
             eprintln!("chop-service: journal compaction failed (will retry later): {e}");
             return;
         }
         drop(journal);
+        if self.is_standby() {
+            return;
+        }
         // The standby's journal would otherwise keep growing with records
         // the primary just compacted away: hand the snapshot over so it
         // can reset to the same baseline.
@@ -515,6 +584,27 @@ impl SessionManager {
             snapshot.extend(managed.mutations.iter().cloned());
         }
         snapshot
+    }
+
+    /// Prefixes a compaction snapshot with this node's current
+    /// `role_change` record, so a restart replays straight back into the
+    /// same epoch and role. Omitted entirely while the node has never
+    /// left the epoch-0 primary default, keeping single-node journals
+    /// byte-identical to earlier releases.
+    fn with_role_record(&self, snapshot: Vec<JournalEntry>) -> Vec<JournalEntry> {
+        let epoch = self.epoch();
+        if epoch == 0 && !self.is_standby() && !self.is_fenced() {
+            return snapshot;
+        }
+        let role = JournalEntry {
+            request: Request::RoleChange {
+                epoch,
+                primary: !self.is_standby(),
+                fenced: self.is_fenced(),
+            },
+            req_id: None,
+        };
+        std::iter::once(role).chain(snapshot).collect()
     }
 
     /// Opens a named session, returning its partition count.
@@ -858,6 +948,71 @@ impl SessionManager {
         Ok(())
     }
 
+    // ---- session handoff ------------------------------------------------
+
+    /// Exports one session as the portable record lines (genesis `open`
+    /// plus net mutations, `req_id`s preserved) that rebuild it — the
+    /// router uses this to migrate sessions during pair membership
+    /// changes. Read-only; the session stays open here.
+    fn export_session(&self, name: &str) -> Response {
+        let sessions = self.lock();
+        let Some(managed) = sessions.get(name) else {
+            return Response::Error(unknown_session(name));
+        };
+        let mut records = Vec::with_capacity(1 + managed.mutations.len());
+        records.push(
+            Request::Open { session: name.to_owned(), params: managed.genesis.clone() }
+                .encode_tagged(managed.open_req_id.as_deref()),
+        );
+        records.extend(
+            managed.mutations.iter().map(|e| e.request.encode_tagged(e.req_id.as_deref())),
+        );
+        Response::Exported { session: name.to_owned(), records }
+    }
+
+    /// Rebuilds an exported session here by applying its record lines
+    /// through the ordinary dispatch core — each lands in the journal and
+    /// the replication stream like a fresh mutation. Refused if the
+    /// session already exists or the records are malformed.
+    fn import_session(&self, records: &[String]) -> Response {
+        let mut decoded = Vec::with_capacity(records.len());
+        for record in records {
+            match Request::decode_tagged(record) {
+                Ok(pair) => decoded.push(pair),
+                Err(e) => {
+                    return Response::Error(ServiceError::protocol(format!(
+                        "undecodable import record: {e}"
+                    )))
+                }
+            }
+        }
+        let Some((Request::Open { session, .. }, _)) = decoded.first() else {
+            return Response::Error(ServiceError::protocol(
+                "imports must start with the session's open record",
+            ));
+        };
+        let session = session.clone();
+        if decoded.iter().any(|(r, _)| r.session() != Some(session.as_str())) {
+            return Response::Error(ServiceError::protocol(
+                "import records must all target the imported session",
+            ));
+        }
+        let mut applied = 0u64;
+        for (request, req_id) in &decoded {
+            if let Response::Error(e) = self.dispatch_inner(request, req_id.as_deref()) {
+                return Response::Error(ServiceError::new(
+                    e.kind,
+                    format!(
+                        "import of {session:?} failed after {applied} records: {}",
+                        e.message
+                    ),
+                ));
+            }
+            applied += 1;
+        }
+        Response::Imported { session, records: applied }
+    }
+
     // ---- replication ----------------------------------------------------
 
     /// Whether this node is a warm standby (refusing direct mutations).
@@ -873,12 +1028,186 @@ impl SessionManager {
         self.standby.store(true, Ordering::Release);
     }
 
-    /// Promotes this node to primary (a no-op on one already primary),
-    /// returning the number of live sessions it starts serving with.
-    pub fn promote(&self) -> u64 {
+    /// Whether this node's standby role was forced by fencing (it was a
+    /// primary demoted by a higher-epoch peer) rather than configured.
+    #[must_use]
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
+    /// The cluster epoch this node last heard or journaled. Starts at 0;
+    /// every promotion bumps it, every higher epoch heard adopts it.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The wire name for this node's current role.
+    #[must_use]
+    pub fn role_name(&self) -> &'static str {
+        if !self.is_standby() {
+            "primary"
+        } else if self.is_fenced() {
+            "fenced"
+        } else {
+            "standby"
+        }
+    }
+
+    /// Records this node's own dialable address, stamped onto outgoing
+    /// replication traffic so a refusing peer can find us back.
+    pub fn set_advertised(&self, addr: impl Into<String>) {
+        *self.advertised.lock().unwrap_or_else(PoisonError::into_inner) = Some(addr.into());
+    }
+
+    /// This node's own dialable address, if one was recorded after bind.
+    #[must_use]
+    pub fn advertised(&self) -> Option<String> {
+        self.advertised.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Points the replicator at a (new) peer address. The replicator
+    /// re-reads this on every reconnect, so retargeting takes effect
+    /// without a restart.
+    pub fn set_peer(&self, addr: Option<String>) {
+        *self.peer.lock().unwrap_or_else(PoisonError::into_inner) = addr;
+    }
+
+    /// The current replication peer address, if any.
+    #[must_use]
+    pub fn peer(&self) -> Option<String> {
+        self.peer.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Installs the hook called with a one-line description on every role
+    /// transition (the CLI prints these as banner lines).
+    pub fn set_role_change_hook(&self, hook: impl Fn(&str) + Send + Sync + 'static) {
+        *self.role_hook.lock().unwrap_or_else(PoisonError::into_inner) = Some(Box::new(hook));
+    }
+
+    fn announce(&self, line: &str) {
+        let hook = self.role_hook.lock().unwrap_or_else(PoisonError::into_inner);
+        match hook.as_ref() {
+            Some(hook) => hook(line),
+            None => eprintln!("chop-service: {line}"),
+        }
+    }
+
+    /// The best redirect target for a refused mutation: the stored
+    /// primary hint on a standby, this node's own address on a primary.
+    #[must_use]
+    pub fn primary_hint(&self) -> Option<String> {
+        if !self.is_standby() {
+            return self.advertised();
+        }
+        self.primary_hint.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The typed refusal a standby answers direct mutations with:
+    /// `fenced` when the role was forced by a higher epoch, `standby`
+    /// when configured — both carrying the current primary's address.
+    fn standby_refusal(&self) -> ServiceError {
+        let (kind, message) = if self.is_fenced() {
+            (
+                ErrorKind::Fenced,
+                "this node was fenced by a newer primary; send mutations to the primary",
+            )
+        } else {
+            (ErrorKind::Standby, "this node is a warm standby; send mutations to the primary")
+        };
+        ServiceError::new(kind, message).with_redirect(self.primary_hint(), self.epoch())
+    }
+
+    /// Raw role install for journal replay: no journaling, no hook.
+    fn install_role(&self, epoch: u64, primary: bool, fenced: bool) {
+        self.epoch.store(epoch, Ordering::Release);
+        self.standby.store(!primary, Ordering::Release);
+        self.fenced.store(fenced && !primary, Ordering::Release);
+    }
+
+    /// Promotes this node to primary, bumping the cluster epoch and
+    /// journaling the `role_change` so a restart replays it back into
+    /// the role. A no-op on a node already serving as primary (the epoch
+    /// is *not* bumped — re-promotion must stay idempotent). Returns the
+    /// live session count and the epoch now in force.
+    pub fn promote(&self) -> (u64, u64) {
         let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
+        if !self.is_standby() {
+            return (self.session_count() as u64, self.epoch());
+        }
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let record = Request::RoleChange { epoch, primary: true, fenced: false };
+        if let Err(e) = self.journal_append(&record, None) {
+            // Promotion is an availability decision: serve now, warn that
+            // a restart will not remember the new epoch.
+            eprintln!(
+                "chop-service: promote: role_change journal append failed: {}",
+                e.message
+            );
+        }
+        self.epoch.store(epoch, Ordering::Release);
         self.standby.store(false, Ordering::Release);
-        self.session_count() as u64
+        self.fenced.store(false, Ordering::Release);
+        *self.primary_hint.lock().unwrap_or_else(PoisonError::into_inner) = self.advertised();
+        self.announce(&format!("promoted to primary at epoch {epoch}"));
+        (self.session_count() as u64, epoch)
+    }
+
+    /// Demotes this node to a **fenced** standby of `primary` at `epoch`,
+    /// journaling the transition. Called when a fenced refusal or an
+    /// incoming replication stream proves a newer primary exists. Stale
+    /// calls (epoch not newer than our own) are ignored.
+    pub fn demote(&self, epoch: u64, primary: Option<&str>) {
+        let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
+        self.adopt_epoch(epoch, primary);
+    }
+
+    /// Reacts to a `fenced` refusal from the peer our replicator ships
+    /// to: demotes this node iff the refusal proves a strictly newer
+    /// epoch (equal epochs never demote — that would let two primaries
+    /// demote each other). Returns whether a demotion happened.
+    pub fn observe_fencing(&self, err: &ServiceError) -> bool {
+        let Some(epoch) = err.epoch else { return false };
+        if err.kind != ErrorKind::Fenced || epoch <= self.epoch() {
+            return false;
+        }
+        self.demote(epoch, err.primary.as_deref());
+        true
+    }
+
+    /// Adopts a strictly newer epoch heard from the cluster: a primary
+    /// demotes itself to a fenced standby, a standby just follows the
+    /// epoch forward. Journals the resulting `role_change` and updates
+    /// the primary hint (and replication peer) to the announcing node.
+    /// Caller must hold `repl_apply`.
+    fn adopt_epoch(&self, epoch: u64, primary: Option<&str>) {
+        if epoch <= self.epoch.load(Ordering::Acquire) {
+            if let Some(addr) = primary {
+                *self.primary_hint.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(addr.to_owned());
+            }
+            return;
+        }
+        let was_primary = !self.is_standby();
+        let fenced = was_primary || self.is_fenced();
+        let record = Request::RoleChange { epoch, primary: false, fenced };
+        if let Err(e) = self.journal_append(&record, None) {
+            eprintln!("chop-service: demote: role_change journal append failed: {}", e.message);
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        self.standby.store(true, Ordering::Release);
+        self.fenced.store(fenced, Ordering::Release);
+        if let Some(addr) = primary {
+            *self.primary_hint.lock().unwrap_or_else(PoisonError::into_inner) =
+                Some(addr.to_owned());
+            // Our replicator should ship to (and resync from) the node
+            // that outranked us once we are promoted again.
+            self.set_peer(Some(addr.to_owned()));
+        }
+        if was_primary {
+            let to = primary.unwrap_or("the new primary");
+            self.announce(&format!("demoted to standby of {to} at epoch {epoch} (fenced)"));
+        }
     }
 
     /// The replication high-water mark: the highest stream sequence this
@@ -916,23 +1245,65 @@ impl SessionManager {
     /// sessions lock held so sequence order equals emission order.
     fn replicate(&self, request: &Request, req_id: Option<&str>) {
         let seq = self.repl_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.is_standby() {
+            // A standby applying the primary's stream must not echo the
+            // records back out of its own (parked) replicator.
+            return;
+        }
         let sink = self.repl_sink.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(sink) = sink.as_ref() {
             let _ = sink.send(ReplEvent::Record { seq, line: request.encode_tagged(req_id) });
         }
     }
 
+    /// Epoch fence on an incoming replication message, under `repl_apply`.
+    ///
+    /// - A **lower** epoch proves the sender is a stale ex-primary: refuse
+    ///   with the typed `fenced` error (carrying our epoch and primary
+    ///   hint, which demotes the sender), and — when we are the primary —
+    ///   retarget our own replicator at the sender's advertised address so
+    ///   the resync snapshot finds it even if its port changed.
+    /// - A **higher** epoch proves a newer primary exists: adopt it (a
+    ///   primary demotes itself, fenced) and accept the message.
+    /// - An **equal** epoch is only legitimate when we are a standby (the
+    ///   sender is our primary); two primaries at the same epoch refuse
+    ///   each other without demoting (the refusal carries an equal epoch,
+    ///   which [`observe_fencing`](Self::observe_fencing) ignores).
+    fn fence_check(&self, epoch: u64, sender: Option<&str>) -> Result<(), ServiceError> {
+        let own = self.epoch.load(Ordering::Acquire);
+        if epoch < own || (epoch == own && !self.is_standby()) {
+            if epoch < own && !self.is_standby() {
+                if let Some(addr) = sender {
+                    self.set_peer(Some(addr.to_owned()));
+                }
+            }
+            return Err(ServiceError::new(
+                ErrorKind::Fenced,
+                format!(
+                    "replication stream fenced: sender epoch {epoch} is not newer than {own}"
+                ),
+            )
+            .with_redirect(self.primary_hint(), own));
+        }
+        self.adopt_epoch(epoch, sender);
+        Ok(())
+    }
+
     /// Applies one replicated record on a standby. Records at or below
     /// the high-water mark are acked without being re-applied, which
     /// makes stream re-delivery (snapshot overlap, reconnect replays)
-    /// idempotent.
-    fn apply_replicated(&self, seq: u64, record: &str) -> Response {
+    /// idempotent. The carried epoch is fence-checked first: stale
+    /// senders are refused, newer senders demote us before the apply.
+    fn apply_replicated(
+        &self,
+        seq: u64,
+        record: &str,
+        epoch: u64,
+        sender: Option<&str>,
+    ) -> Response {
         let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
-        if !self.is_standby() {
-            return Response::Error(ServiceError::new(
-                ErrorKind::Standby,
-                "this node is a primary; it does not accept replication records",
-            ));
+        if let Err(e) = self.fence_check(epoch, sender) {
+            return Response::Error(e);
         }
         let high_water = self.repl_high_water.load(Ordering::Acquire);
         if seq <= high_water {
@@ -963,14 +1334,19 @@ impl SessionManager {
 
     /// Replaces the standby's entire state with a shipped snapshot (sent
     /// on stream start and after primary-side compaction), then compacts
-    /// its own journal down to the same baseline.
-    fn apply_snapshot(&self, seq: u64, records: &[String]) -> Response {
+    /// its own journal down to the same baseline. Fence-checked like
+    /// [`apply_replicated`](Self::apply_replicated) — this is the path a
+    /// fenced ex-primary resyncs through.
+    fn apply_snapshot(
+        &self,
+        seq: u64,
+        records: &[String],
+        epoch: u64,
+        sender: Option<&str>,
+    ) -> Response {
         let _apply = self.repl_apply.lock().unwrap_or_else(PoisonError::into_inner);
-        if !self.is_standby() {
-            return Response::Error(ServiceError::new(
-                ErrorKind::Standby,
-                "this node is a primary; it does not accept replication snapshots",
-            ));
+        if let Err(e) = self.fence_check(epoch, sender) {
+            return Response::Error(e);
         }
         let high_water = self.repl_high_water.load(Ordering::Acquire);
         if seq < high_water {
@@ -1000,7 +1376,7 @@ impl SessionManager {
         self.journal_armed.store(true, Ordering::Release);
         if let Some(journal) = &self.journal {
             let sessions = self.lock();
-            let snapshot = Self::snapshot_entries(&sessions);
+            let snapshot = self.with_role_record(Self::snapshot_entries(&sessions));
             if let Err(e) =
                 journal.lock().unwrap_or_else(PoisonError::into_inner).compact(&snapshot)
             {
@@ -1420,7 +1796,15 @@ mod tests {
     #[test]
     fn dispatch_covers_every_request() {
         let mgr = SessionManager::new(1);
-        assert_eq!(mgr.dispatch(&Request::Ping), Response::Pong { version: PROTOCOL_VERSION });
+        assert_eq!(
+            mgr.dispatch(&Request::Ping),
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                role: Some("primary".into()),
+                epoch: 0,
+                peer: None,
+            }
+        );
         let open = Request::Open { session: "d".into(), params: open_params(2) };
         assert_eq!(
             mgr.dispatch(&open),
@@ -1473,7 +1857,7 @@ mod tests {
         ));
         let record = open.encode_tagged(None);
         assert_eq!(
-            standby.dispatch(&Request::ReplApply { seq: 1, record }),
+            standby.dispatch(&Request::ReplApply { seq: 1, record, epoch: 0, primary: None }),
             Response::ReplAck { seq: 1 }
         );
         assert!(matches!(
@@ -1492,25 +1876,33 @@ mod tests {
         let open = Request::Open { session: "s".into(), params: open_params(2) };
         let record = open.encode_tagged(Some("open-1"));
         assert_eq!(
-            standby.dispatch(&Request::ReplApply { seq: 3, record: record.clone() }),
+            standby.dispatch(&Request::ReplApply {
+                seq: 3,
+                record: record.clone(),
+                epoch: 0,
+                primary: None,
+            }),
             Response::ReplAck { seq: 3 }
         );
         assert_eq!(standby.replication_high_water(), 3);
         // Re-delivery of the same (or an earlier) seq is acked, not
         // re-applied — no SessionExists noise, state untouched.
         assert_eq!(
-            standby.dispatch(&Request::ReplApply { seq: 3, record }),
+            standby.dispatch(&Request::ReplApply { seq: 3, record, epoch: 0, primary: None }),
             Response::ReplAck { seq: 3 }
         );
         assert_eq!(standby.session_count(), 1);
-        // A primary refuses replication traffic outright.
+        // A primary fences a same-epoch replication stream outright.
         let primary = SessionManager::new(1);
-        let Response::Error(e) =
-            primary.dispatch(&Request::ReplApply { seq: 1, record: String::new() })
-        else {
+        let Response::Error(e) = primary.dispatch(&Request::ReplApply {
+            seq: 1,
+            record: String::new(),
+            epoch: 0,
+            primary: None,
+        }) else {
             panic!("primary accepted a replication record")
         };
-        assert_eq!(e.kind, ErrorKind::Standby);
+        assert_eq!(e.kind, ErrorKind::Fenced);
     }
 
     #[test]
@@ -1518,12 +1910,19 @@ mod tests {
         let standby = SessionManager::new(1);
         standby.mark_standby();
         let stale = Request::Open { session: "stale".into(), params: open_params(1) };
-        standby.dispatch(&Request::ReplApply { seq: 1, record: stale.encode() });
+        standby.dispatch(&Request::ReplApply {
+            seq: 1,
+            record: stale.encode(),
+            epoch: 0,
+            primary: None,
+        });
         let fresh = Request::Open { session: "fresh".into(), params: open_params(2) };
         assert_eq!(
             standby.dispatch(&Request::ReplSnapshot {
                 seq: 5,
                 records: vec![fresh.encode_tagged(Some("open-fresh"))],
+                epoch: 0,
+                primary: None,
             }),
             Response::ReplAck { seq: 5 }
         );
@@ -1532,7 +1931,10 @@ mod tests {
         assert_eq!(standby.replication_high_water(), 5);
         // Promote: mutations flow directly, and a client retrying the
         // replicated open's req_id gets the recorded outcome.
-        assert_eq!(standby.dispatch(&Request::Promote), Response::Promoted { sessions: 1 });
+        assert_eq!(
+            standby.dispatch(&Request::Promote),
+            Response::Promoted { sessions: 1, epoch: 1 }
+        );
         assert!(!standby.is_standby());
         assert_eq!(
             standby.dispatch_tagged(&fresh, Some("open-fresh")),
@@ -1647,7 +2049,12 @@ mod tests {
         for event in events {
             let ReplEvent::Record { seq, line } = event else { panic!("unexpected snapshot") };
             assert_eq!(
-                standby.dispatch(&Request::ReplApply { seq, record: line }),
+                standby.dispatch(&Request::ReplApply {
+                    seq,
+                    record: line,
+                    epoch: 0,
+                    primary: None,
+                }),
                 Response::ReplAck { seq }
             );
         }

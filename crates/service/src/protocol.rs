@@ -52,6 +52,12 @@ pub enum ErrorKind {
     /// refuses direct mutations (they must arrive over the replication
     /// stream), and a primary refuses replication records.
     Standby,
+    /// The request carried (or arrived at) a stale cluster epoch: a
+    /// fenced ex-primary refuses direct mutations, and a node refuses
+    /// replication traffic from a peer whose epoch is older than its
+    /// own. The error carries the refusing node's epoch and its best
+    /// guess at the current primary so the caller can rejoin.
+    Fenced,
 }
 
 impl ErrorKind {
@@ -64,6 +70,7 @@ impl ErrorKind {
             ErrorKind::Engine => "engine",
             ErrorKind::Internal => "internal",
             ErrorKind::Standby => "standby",
+            ErrorKind::Fenced => "fenced",
         }
     }
 
@@ -76,6 +83,7 @@ impl ErrorKind {
             "engine" => ErrorKind::Engine,
             "internal" => ErrorKind::Internal,
             "standby" => ErrorKind::Standby,
+            "fenced" => ErrorKind::Fenced,
             _ => return None,
         })
     }
@@ -89,13 +97,19 @@ pub struct ServiceError {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// For `standby`/`fenced` refusals: the refusing node's best guess
+    /// at the current primary's `host:port`, so clients can follow the
+    /// redirect and routers can re-learn topology. `None` elsewhere.
+    pub primary: Option<String>,
+    /// For `fenced` refusals: the refusing node's cluster epoch.
+    pub epoch: Option<u64>,
 }
 
 impl ServiceError {
     /// Builds an error of the given kind.
     #[must_use]
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
-        Self { kind, message: message.into() }
+        Self { kind, message: message.into(), primary: None, epoch: None }
     }
 
     /// A protocol-level (malformed message) error.
@@ -103,11 +117,24 @@ impl ServiceError {
     pub fn protocol(message: impl Into<String>) -> Self {
         Self::new(ErrorKind::Protocol, message)
     }
+
+    /// Attaches the redirect hint (current primary address) and epoch a
+    /// `standby`/`fenced` refusal carries.
+    #[must_use]
+    pub fn with_redirect(mut self, primary: Option<String>, epoch: u64) -> Self {
+        self.primary = primary;
+        self.epoch = Some(epoch);
+        self
+    }
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {}", self.kind.wire(), self.message)
+        write!(f, "{} error: {}", self.kind.wire(), self.message)?;
+        if let Some(primary) = &self.primary {
+            write!(f, " (current primary: {primary})")?;
+        }
+        Ok(())
     }
 }
 
@@ -346,6 +373,12 @@ pub enum Request {
         seq: u64,
         /// The journaled request line, verbatim.
         record: String,
+        /// The sender's cluster epoch; a receiver at a higher epoch
+        /// refuses with `fenced`. 0 from pre-epoch senders.
+        epoch: u64,
+        /// The sender's advertised `host:port`, so a fenced receiver
+        /// (and its replicator) can find the peer again after restarts.
+        primary: Option<String>,
     },
     /// Replication: replace the standby's entire state with a snapshot
     /// (sent on stream start and after primary-side compaction).
@@ -354,10 +387,55 @@ pub enum Request {
         seq: u64,
         /// One journaled request line per record, in replay order.
         records: Vec<String>,
+        /// The sender's cluster epoch (see [`Request::ReplApply`]).
+        epoch: u64,
+        /// The sender's advertised `host:port`.
+        primary: Option<String>,
     },
-    /// Promote a warm standby to primary: it starts accepting direct
-    /// mutations and stops accepting replication records. Idempotent.
+    /// Promote a warm standby to primary: it bumps the cluster epoch,
+    /// journals the role change, starts accepting direct mutations and
+    /// stops accepting replication records from stale-epoch peers.
     Promote,
+    /// Journal-internal: a durable role/epoch transition (`promote`
+    /// writes `primary`, a fencing demotion writes `fenced`). Never sent
+    /// by clients; it exists so a restarted node replays its way back
+    /// into the role it held at the crash.
+    RoleChange {
+        /// The cluster epoch this transition established.
+        epoch: u64,
+        /// Whether the node became primary (else standby).
+        primary: bool,
+        /// Whether the standby role was forced by fencing (a demoted
+        /// ex-primary) rather than configured.
+        fenced: bool,
+    },
+    /// Router admin: add a backend pair (`primary[,standby]`) to the
+    /// ring, migrating the sessions that remap onto it. Refused by
+    /// `chop serve` backends.
+    AddPair {
+        /// The pair spec, `primary[,standby]`.
+        pair: String,
+    },
+    /// Router admin: remove the backend pair whose primary label
+    /// matches, migrating its sessions to the surviving pairs.
+    RemovePair {
+        /// The pair's primary label (`host:port`).
+        pair: String,
+    },
+    /// Router admin: report the router's pairs and their health state.
+    RouterStatus,
+    /// Export one session's replayable history (its genesis `open` plus
+    /// every mutation since, as tagged journal lines) for migration.
+    Export {
+        /// Session name.
+        session: String,
+    },
+    /// Import a session exported from another node: replay its records
+    /// through the normal mutation paths (journaled and replicated).
+    Import {
+        /// The exported tagged request lines, in replay order.
+        records: Vec<String>,
+    },
 }
 
 /// A condensed [`SearchOutcome`]: the digest plus the counters a client
@@ -494,6 +572,14 @@ pub enum Response {
     Pong {
         /// The server's protocol version.
         version: u64,
+        /// The node's replication role (`"primary"`, `"standby"` or
+        /// `"fenced"`); `None` from routers and pre-epoch servers.
+        role: Option<String>,
+        /// The node's cluster epoch (0 when it never changed roles).
+        epoch: u64,
+        /// The node's configured replication peer, if any — the router
+        /// learns a rejoined standby's address from its primary's pong.
+        peer: Option<String>,
     },
     /// A session was created.
     Opened {
@@ -572,6 +658,9 @@ pub enum Response {
     Promoted {
         /// Sessions live on the newly-promoted node.
         sessions: u64,
+        /// The cluster epoch the promotion established (0 from pre-epoch
+        /// servers).
+        epoch: u64,
     },
     /// The worker pool is saturated; retry later.
     Busy {
@@ -582,6 +671,35 @@ pub enum Response {
         /// Server-suggested backoff before retrying, in ms, derived from
         /// the inflight depth (0 when the server predates the hint).
         retry_after_ms: u64,
+    },
+    /// A backend pair joined the router's ring.
+    PairAdded {
+        /// The router's pairs after the change, rendered for display.
+        pairs: Vec<String>,
+    },
+    /// A backend pair left the router's ring.
+    PairRemoved {
+        /// The router's pairs after the change, rendered for display.
+        pairs: Vec<String>,
+    },
+    /// The router's membership and health report.
+    RouterStatus {
+        /// One rendered line per pair (active, standby, armed state).
+        pairs: Vec<String>,
+    },
+    /// A session's replayable history, for migration.
+    Exported {
+        /// Session name.
+        session: String,
+        /// Tagged request lines: the genesis `open` plus every mutation.
+        records: Vec<String>,
+    },
+    /// An exported session was replayed into this node.
+    Imported {
+        /// Session name the records established.
+        session: String,
+        /// How many records were applied.
+        records: u64,
     },
     /// The request failed.
     Error(ServiceError),
@@ -653,6 +771,19 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, ServiceError> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be an integer")))
+}
+
+fn str_array(v: &Value, key: &str) -> Result<Vec<String>, ServiceError> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| ServiceError::protocol(format!("field {key:?} must be an array")))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ServiceError::protocol(format!("{key} items must be strings")))
+        })
+        .collect()
 }
 
 fn f64_field(v: &Value, key: &str) -> Result<f64, ServiceError> {
@@ -766,6 +897,7 @@ impl Request {
                 | Request::ApplyMoves { .. }
                 | Request::SetConstraints { .. }
                 | Request::Close { .. }
+                | Request::Import { .. }
         )
     }
 
@@ -781,13 +913,19 @@ impl Request {
             | Request::Optimize { session, .. }
             | Request::ApplyMoves { session, .. }
             | Request::SetConstraints { session, .. }
-            | Request::Close { session } => Some(session),
+            | Request::Close { session }
+            | Request::Export { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
             Request::Ping
             | Request::Shutdown
             | Request::ReplApply { .. }
             | Request::ReplSnapshot { .. }
-            | Request::Promote => None,
+            | Request::Promote
+            | Request::RoleChange { .. }
+            | Request::AddPair { .. }
+            | Request::RemovePair { .. }
+            | Request::RouterStatus
+            | Request::Import { .. } => None,
         }
     }
 
@@ -942,21 +1080,63 @@ impl Request {
                 envelope("close", vec![("session", Value::Str(session.clone()))])
             }
             Request::Shutdown => envelope("shutdown", vec![]),
-            Request::ReplApply { seq, record } => envelope(
-                "repl_apply",
-                vec![("seq", Value::Num(*seq as f64)), ("record", Value::Str(record.clone()))],
-            ),
-            Request::ReplSnapshot { seq, records } => envelope(
-                "repl_snapshot",
-                vec![
+            Request::ReplApply { seq, record, epoch, primary } => {
+                let mut rest = vec![
+                    ("seq", Value::Num(*seq as f64)),
+                    ("record", Value::Str(record.clone())),
+                    ("epoch", Value::Num(*epoch as f64)),
+                ];
+                if let Some(addr) = primary {
+                    rest.push(("primary", Value::Str(addr.clone())));
+                }
+                envelope("repl_apply", rest)
+            }
+            Request::ReplSnapshot { seq, records, epoch, primary } => {
+                let mut rest = vec![
                     ("seq", Value::Num(*seq as f64)),
                     (
                         "records",
                         Value::Arr(records.iter().map(|r| Value::Str(r.clone())).collect()),
                     ),
-                ],
-            ),
+                    ("epoch", Value::Num(*epoch as f64)),
+                ];
+                if let Some(addr) = primary {
+                    rest.push(("primary", Value::Str(addr.clone())));
+                }
+                envelope("repl_snapshot", rest)
+            }
             Request::Promote => envelope("promote", vec![]),
+            Request::RoleChange { epoch, primary, fenced } => {
+                let role = match (primary, fenced) {
+                    (true, _) => "primary",
+                    (false, true) => "fenced",
+                    (false, false) => "standby",
+                };
+                envelope(
+                    "role_change",
+                    vec![
+                        ("epoch", Value::Num(*epoch as f64)),
+                        ("role", Value::Str(role.into())),
+                    ],
+                )
+            }
+            Request::AddPair { pair } => {
+                envelope("add_pair", vec![("pair", Value::Str(pair.clone()))])
+            }
+            Request::RemovePair { pair } => {
+                envelope("remove_pair", vec![("pair", Value::Str(pair.clone()))])
+            }
+            Request::RouterStatus => envelope("router_status", vec![]),
+            Request::Export { session } => {
+                envelope("export", vec![("session", Value::Str(session.clone()))])
+            }
+            Request::Import { records } => envelope(
+                "import",
+                vec![(
+                    "records",
+                    Value::Arr(records.iter().map(|r| Value::Str(r.clone())).collect()),
+                )],
+            ),
         };
         value
     }
@@ -1090,6 +1270,9 @@ impl Request {
             "repl_apply" => Ok(Request::ReplApply {
                 seq: u64_field(v, "seq")?,
                 record: str_field(v, "record")?,
+                // Pre-epoch senders omit both fields.
+                epoch: opt_field(v, "epoch", u64_field)?.unwrap_or(0),
+                primary: opt_field(v, "primary", str_field)?,
             }),
             "repl_snapshot" => {
                 let records = field(v, "records")?
@@ -1104,9 +1287,45 @@ impl Request {
                         })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::ReplSnapshot { seq: u64_field(v, "seq")?, records })
+                Ok(Request::ReplSnapshot {
+                    seq: u64_field(v, "seq")?,
+                    records,
+                    epoch: opt_field(v, "epoch", u64_field)?.unwrap_or(0),
+                    primary: opt_field(v, "primary", str_field)?,
+                })
             }
             "promote" => Ok(Request::Promote),
+            "role_change" => {
+                let role = str_field(v, "role")?;
+                let (primary, fenced) = match role.as_str() {
+                    "primary" => (true, false),
+                    "standby" => (false, false),
+                    "fenced" => (false, true),
+                    other => {
+                        return Err(ServiceError::protocol(format!("unknown role {other:?}")))
+                    }
+                };
+                Ok(Request::RoleChange { epoch: u64_field(v, "epoch")?, primary, fenced })
+            }
+            "add_pair" => Ok(Request::AddPair { pair: str_field(v, "pair")? }),
+            "remove_pair" => Ok(Request::RemovePair { pair: str_field(v, "pair")? }),
+            "router_status" => Ok(Request::RouterStatus),
+            "export" => Ok(Request::Export { session: str_field(v, "session")? }),
+            "import" => {
+                let records = field(v, "records")?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        ServiceError::protocol("field \"records\" must be an array")
+                    })?
+                    .iter()
+                    .map(|r| {
+                        r.as_str().map(str::to_owned).ok_or_else(|| {
+                            ServiceError::protocol("import records must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Import { records })
+            }
             other => Err(ServiceError::protocol(format!("unknown request type {other:?}"))),
         }
     }
@@ -1251,8 +1470,16 @@ impl Response {
     pub fn encode(&self) -> String {
         #[allow(clippy::cast_precision_loss)]
         let value = match self {
-            Response::Pong { version } => {
-                envelope("pong", vec![("version", Value::Num(*version as f64))])
+            Response::Pong { version, role, epoch, peer } => {
+                let mut rest = vec![("version", Value::Num(*version as f64))];
+                if let Some(role) = role {
+                    rest.push(("role", Value::Str(role.clone())));
+                    rest.push(("epoch", Value::Num(*epoch as f64)));
+                }
+                if let Some(peer) = peer {
+                    rest.push(("peer", Value::Str(peer.clone())));
+                }
+                envelope("pong", rest)
             }
             Response::Opened { session, partitions } => envelope(
                 "opened",
@@ -1319,9 +1546,13 @@ impl Response {
             Response::ReplAck { seq } => {
                 envelope("repl_ack", vec![("seq", Value::Num(*seq as f64))])
             }
-            Response::Promoted { sessions } => {
-                envelope("promoted", vec![("sessions", Value::Num(*sessions as f64))])
-            }
+            Response::Promoted { sessions, epoch } => envelope(
+                "promoted",
+                vec![
+                    ("sessions", Value::Num(*sessions as f64)),
+                    ("epoch", Value::Num(*epoch as f64)),
+                ],
+            ),
             Response::Busy { inflight, max_inflight, retry_after_ms } => envelope(
                 "busy",
                 vec![
@@ -1330,13 +1561,57 @@ impl Response {
                     ("retry_after_ms", Value::Num(*retry_after_ms as f64)),
                 ],
             ),
-            Response::Error(e) => envelope(
-                "error",
+            Response::PairAdded { pairs } => envelope(
+                "pair_added",
+                vec![(
+                    "pairs",
+                    Value::Arr(pairs.iter().map(|p| Value::Str(p.clone())).collect()),
+                )],
+            ),
+            Response::PairRemoved { pairs } => envelope(
+                "pair_removed",
+                vec![(
+                    "pairs",
+                    Value::Arr(pairs.iter().map(|p| Value::Str(p.clone())).collect()),
+                )],
+            ),
+            Response::RouterStatus { pairs } => envelope(
+                "router_status",
+                vec![(
+                    "pairs",
+                    Value::Arr(pairs.iter().map(|p| Value::Str(p.clone())).collect()),
+                )],
+            ),
+            Response::Exported { session, records } => envelope(
+                "exported",
                 vec![
-                    ("kind", Value::Str(e.kind.wire().into())),
-                    ("message", Value::Str(e.message.clone())),
+                    ("session", Value::Str(session.clone())),
+                    (
+                        "records",
+                        Value::Arr(records.iter().map(|r| Value::Str(r.clone())).collect()),
+                    ),
                 ],
             ),
+            Response::Imported { session, records } => envelope(
+                "imported",
+                vec![
+                    ("session", Value::Str(session.clone())),
+                    ("records", Value::Num(*records as f64)),
+                ],
+            ),
+            Response::Error(e) => {
+                let mut rest = vec![
+                    ("kind", Value::Str(e.kind.wire().into())),
+                    ("message", Value::Str(e.message.clone())),
+                ];
+                if let Some(primary) = &e.primary {
+                    rest.push(("primary", Value::Str(primary.clone())));
+                }
+                if let Some(epoch) = e.epoch {
+                    rest.push(("epoch", Value::Num(epoch as f64)));
+                }
+                envelope("error", rest)
+            }
         };
         value.to_string()
     }
@@ -1350,7 +1625,13 @@ impl Response {
     pub fn decode(line: &str) -> Result<Self, ServiceError> {
         let (v, kind) = open_envelope(line)?;
         match kind.as_str() {
-            "pong" => Ok(Response::Pong { version: u64_field(&v, "version")? }),
+            "pong" => Ok(Response::Pong {
+                version: u64_field(&v, "version")?,
+                // Routers and pre-epoch servers omit the role fields.
+                role: opt_field(&v, "role", str_field)?,
+                epoch: opt_field(&v, "epoch", u64_field)?.unwrap_or(0),
+                peer: opt_field(&v, "peer", str_field)?,
+            }),
             "opened" => Ok(Response::Opened {
                 session: str_field(&v, "session")?,
                 partitions: u64_field(&v, "partitions")?,
@@ -1421,19 +1702,37 @@ impl Response {
             "closed" => Ok(Response::Closed { session: str_field(&v, "session")? }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "repl_ack" => Ok(Response::ReplAck { seq: u64_field(&v, "seq")? }),
-            "promoted" => Ok(Response::Promoted { sessions: u64_field(&v, "sessions")? }),
+            "promoted" => Ok(Response::Promoted {
+                sessions: u64_field(&v, "sessions")?,
+                // Pre-epoch servers omit the field.
+                epoch: opt_field(&v, "epoch", u64_field)?.unwrap_or(0),
+            }),
             "busy" => Ok(Response::Busy {
                 inflight: u64_field(&v, "inflight")?,
                 max_inflight: u64_field(&v, "max_inflight")?,
                 // Servers that predate the hint omit the field.
                 retry_after_ms: opt_field(&v, "retry_after_ms", u64_field)?.unwrap_or(0),
             }),
+            "pair_added" => Ok(Response::PairAdded { pairs: str_array(&v, "pairs")? }),
+            "pair_removed" => Ok(Response::PairRemoved { pairs: str_array(&v, "pairs")? }),
+            "router_status" => Ok(Response::RouterStatus { pairs: str_array(&v, "pairs")? }),
+            "exported" => Ok(Response::Exported {
+                session: str_field(&v, "session")?,
+                records: str_array(&v, "records")?,
+            }),
+            "imported" => Ok(Response::Imported {
+                session: str_field(&v, "session")?,
+                records: u64_field(&v, "records")?,
+            }),
             "error" => {
                 let tag = str_field(&v, "kind")?;
                 let kind = ErrorKind::from_wire(&tag).ok_or_else(|| {
                     ServiceError::protocol(format!("unknown error kind {tag:?}"))
                 })?;
-                Ok(Response::Error(ServiceError::new(kind, str_field(&v, "message")?)))
+                let mut error = ServiceError::new(kind, str_field(&v, "message")?);
+                error.primary = opt_field(&v, "primary", str_field)?;
+                error.epoch = opt_field(&v, "epoch", u64_field)?;
+                Ok(Response::Error(error))
             }
             other => Err(ServiceError::protocol(format!("unknown response type {other:?}"))),
         }
@@ -1495,13 +1794,27 @@ mod tests {
             Request::ReplApply {
                 seq: 7,
                 record: r#"{"v":1,"type":"close","session":"a"}"#.into(),
+                epoch: 3,
+                primary: Some("10.0.0.1:1991".into()),
             },
             Request::ReplSnapshot {
                 seq: 12,
                 records: vec![r#"{"v":1,"type":"close","session":"a"}"#.into()],
+                epoch: 2,
+                primary: None,
             },
-            Request::ReplSnapshot { seq: 0, records: vec![] },
+            Request::ReplSnapshot { seq: 0, records: vec![], epoch: 0, primary: None },
             Request::Promote,
+            Request::RoleChange { epoch: 4, primary: true, fenced: false },
+            Request::RoleChange { epoch: 4, primary: false, fenced: true },
+            Request::RoleChange { epoch: 0, primary: false, fenced: false },
+            Request::AddPair { pair: "10.0.0.3:1991,10.0.0.4:1991".into() },
+            Request::RemovePair { pair: "10.0.0.3:1991".into() },
+            Request::RouterStatus,
+            Request::Export { session: "a".into() },
+            Request::Import {
+                records: vec![r#"{"v":1,"type":"open","session":"a","spec":""}"#.into()],
+            },
         ];
         for req in reqs {
             let line = req.encode();
@@ -1550,6 +1863,9 @@ mod tests {
         }
         .is_mutation());
         assert!(Request::Close { session: "s".into() }.is_mutation());
+        // An import replays mutations, so the carrier is one too (and a
+        // standby must refuse it).
+        assert!(Request::Import { records: vec![] }.is_mutation());
         for read_only in [
             Request::Ping,
             Request::Explore { session: "s".into(), params: ExploreParams::default() },
@@ -1557,9 +1873,15 @@ mod tests {
             Request::Shutdown,
             // Replication traffic carries mutations *inside* records, but
             // the carrier itself is seq-idempotent, never journaled as-is.
-            Request::ReplApply { seq: 1, record: String::new() },
-            Request::ReplSnapshot { seq: 1, records: vec![] },
+            Request::ReplApply { seq: 1, record: String::new(), epoch: 0, primary: None },
+            Request::ReplSnapshot { seq: 1, records: vec![], epoch: 0, primary: None },
             Request::Promote,
+            // Role changes are journal-internal, not client mutations.
+            Request::RoleChange { epoch: 1, primary: true, fenced: false },
+            Request::AddPair { pair: "x:1".into() },
+            Request::RemovePair { pair: "x:1".into() },
+            Request::RouterStatus,
+            Request::Export { session: "s".into() },
         ] {
             assert!(!read_only.is_mutation(), "{read_only:?}");
         }
@@ -1595,6 +1917,10 @@ mod tests {
         assert_eq!(Request::Ping.session(), None);
         assert_eq!(Request::Shutdown.session(), None);
         assert_eq!(Request::Promote.session(), None);
+        // An export routes to the backend that owns the session.
+        assert_eq!(Request::Export { session: "s".into() }.session(), Some("s"));
+        assert_eq!(Request::Import { records: vec![] }.session(), None);
+        assert_eq!(Request::RouterStatus.session(), None);
     }
 
     #[test]
@@ -1689,7 +2015,13 @@ mod tests {
             combinations_skipped: 120,
         };
         let resps = [
-            Response::Pong { version: PROTOCOL_VERSION },
+            Response::Pong { version: PROTOCOL_VERSION, role: None, epoch: 0, peer: None },
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                role: Some("standby".into()),
+                epoch: 5,
+                peer: Some("10.0.0.2:1991".into()),
+            },
             Response::Opened { session: "a".into(), partitions: 2 },
             Response::Explored { session: "a".into(), run: run.clone() },
             Response::Repartitioned { session: "a".into(), node: 3, to: 1 },
@@ -1744,10 +2076,24 @@ mod tests {
             Response::Closed { session: "a".into() },
             Response::ShuttingDown,
             Response::ReplAck { seq: 99 },
-            Response::Promoted { sessions: 3 },
+            Response::Promoted { sessions: 3, epoch: 7 },
             Response::Busy { inflight: 8, max_inflight: 8, retry_after_ms: 75 },
+            Response::PairAdded { pairs: vec!["a:1 active".into(), "b:2 active".into()] },
+            Response::PairRemoved { pairs: vec!["a:1 active".into()] },
+            Response::RouterStatus { pairs: vec!["a:1 active, standby b:2 (armed)".into()] },
+            Response::Exported {
+                session: "a".into(),
+                records: vec![r#"{"v":1,"type":"open","session":"a","spec":""}"#.into()],
+            },
+            Response::Imported { session: "a".into(), records: 4 },
             Response::Error(ServiceError::new(ErrorKind::UnknownSession, "no session \"z\"")),
-            Response::Error(ServiceError::new(ErrorKind::Standby, "standby refuses mutations")),
+            Response::Error(
+                ServiceError::new(ErrorKind::Standby, "standby refuses mutations")
+                    .with_redirect(Some("10.0.0.1:1991".into()), 2),
+            ),
+            Response::Error(
+                ServiceError::new(ErrorKind::Fenced, "stale epoch").with_redirect(None, 9),
+            ),
         ];
         for resp in resps {
             let line = resp.encode();
@@ -1761,6 +2107,30 @@ mod tests {
         let decoded =
             Response::decode(r#"{"v":1,"type":"busy","inflight":3,"max_inflight":2}"#).unwrap();
         assert_eq!(decoded, Response::Busy { inflight: 3, max_inflight: 2, retry_after_ms: 0 });
+    }
+
+    #[test]
+    fn pre_epoch_replies_decode_with_defaults() {
+        // A pre-epoch pong has no role/epoch/peer; a pre-epoch promoted
+        // reply has no epoch; a pre-epoch repl_apply has neither field.
+        assert_eq!(
+            Response::decode(r#"{"v":1,"type":"pong","version":1}"#).unwrap(),
+            Response::Pong { version: 1, role: None, epoch: 0, peer: None }
+        );
+        assert_eq!(
+            Response::decode(r#"{"v":1,"type":"promoted","sessions":2}"#).unwrap(),
+            Response::Promoted { sessions: 2, epoch: 0 }
+        );
+        assert_eq!(
+            Request::decode(r#"{"v":1,"type":"repl_apply","seq":4,"record":"r"}"#).unwrap(),
+            Request::ReplApply { seq: 4, record: "r".into(), epoch: 0, primary: None }
+        );
+        // Pre-epoch errors have no redirect hint.
+        let decoded =
+            Response::decode(r#"{"v":1,"type":"error","kind":"standby","message":"m"}"#)
+                .unwrap();
+        let Response::Error(e) = decoded else { panic!() };
+        assert_eq!((e.primary, e.epoch), (None, None));
     }
 
     #[test]

@@ -1,11 +1,25 @@
 //! Journal-shipped warm-standby replication.
 //!
-//! A primary `chop serve --replicate-to <standby>` attaches a
-//! [`Replicator`]: a background thread that receives every committed
-//! mutation from the [`SessionManager`](crate::manager::SessionManager)
+//! A node with a `chop serve --peer <addr>` (or the legacy one-way
+//! `--replicate-to`) attaches a [`Replicator`]: a background thread that
+//! receives every committed mutation from the
+//! [`SessionManager`](crate::manager::SessionManager)
 //! (as the exact tagged line the journal persisted, numbered by a
-//! monotonic stream sequence) and ships it to the standby over the
+//! monotonic stream sequence) and ships it to the peer over the
 //! ordinary wire protocol as [`Request::ReplApply`].
+//!
+//! The replicator is **role-aware**: while the manager is a standby the
+//! stream parks (draining and discarding queued events — promotion
+//! restarts from a snapshot anyway) and only ships while primary, so a
+//! symmetric pair never echoes records back and forth. Every shipped
+//! message carries the sender's cluster epoch and advertised address; a
+//! typed `fenced` refusal proving a strictly newer epoch demotes this
+//! node on the spot
+//! ([`SessionManager::observe_fencing`](crate::manager::SessionManager::observe_fencing)),
+//! which is how a restarted stale primary discovers the failover it
+//! slept through and rejoins as a standby. The peer address is re-read
+//! from the manager on every reconnect, so a primary that fences a stale
+//! peer at a new address retargets its own stream to resync it.
 //!
 //! Stream starts and restarts are **snapshot-first**: on every (re)connect
 //! the replicator takes a consistent full-state snapshot from the manager
@@ -26,14 +40,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::client::{Client, ClientError, DEFAULT_CONNECT_TIMEOUT};
+use crate::client::{Client, ClientError, Jitter, DEFAULT_CONNECT_TIMEOUT};
 use crate::manager::SessionManager;
 use crate::protocol::{Request, Response, ServiceError};
 
 /// How long the stream thread sleeps between shutdown-flag polls when no
-/// events arrive.
+/// events arrive (also the parked-standby poll cadence).
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
-/// First reconnect backoff; doubles up to [`MAX_BACKOFF`] per failure.
+/// Smallest reconnect backoff; each retry sleeps a decorrelated-jitter
+/// draw from `INITIAL_BACKOFF..=3×previous`, capped at [`MAX_BACKOFF`] —
+/// many replicators recovering from the same outage spread out instead
+/// of dialing in lockstep.
 const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
 /// Largest sleep between standby reconnection attempts.
 const MAX_BACKOFF: Duration = Duration::from_secs(1);
@@ -71,19 +88,23 @@ pub struct Replicator {
 
 impl Replicator {
     /// Attaches a replication sink to `manager` and starts streaming to
-    /// the standby at `standby_addr` (a `host:port` string). The standby
-    /// may be down: the stream connects (and re-connects) with capped
-    /// exponential backoff, and every successful connect starts with a
-    /// full snapshot, so nothing is missed while it was away.
+    /// the peer at `peer_addr` (a `host:port` string, recorded as the
+    /// manager's initial peer — the stream re-reads the address on every
+    /// reconnect, so later retargeting takes effect live). The peer may
+    /// be down: the stream connects (and re-connects) with decorrelated-
+    /// jitter backoff, and every successful connect starts with a full
+    /// snapshot, so nothing is missed while it was away. While the
+    /// manager is a standby the stream parks instead of shipping.
     #[must_use]
-    pub fn start(manager: Arc<SessionManager>, standby_addr: String) -> Self {
+    pub fn start(manager: Arc<SessionManager>, peer_addr: String) -> Self {
         let (sink, events) = mpsc::channel();
         manager.set_repl_sink(sink);
+        manager.set_peer(Some(peer_addr));
         let stop = Arc::new(AtomicBool::new(false));
         let stop_stream = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("chop-replicator".into())
-            .spawn(move || stream(&manager, &standby_addr, &events, &stop_stream))
+            .spawn(move || stream(&manager, &events, &stop_stream))
             .expect("failed to spawn replication thread");
         Self { handle: Some(handle), stop }
     }
@@ -103,32 +124,47 @@ impl Drop for Replicator {
     }
 }
 
-/// The stream loop: keep a connection to the standby, resynchronize with
-/// a snapshot whenever it is (re)established, then ship records in
-/// sequence order, skipping anything the standby already acked.
-fn stream(
-    manager: &SessionManager,
-    standby_addr: &str,
-    events: &mpsc::Receiver<ReplEvent>,
-    stop: &AtomicBool,
-) {
+/// The stream loop: while the manager is primary, keep a connection to
+/// the peer, resynchronize with a snapshot whenever it is
+/// (re)established, then ship records in sequence order, skipping
+/// anything the peer already acked. While the manager is a standby the
+/// loop parks; a fenced refusal from the peer demotes the manager (and
+/// therefore parks the loop) on the spot.
+fn stream(manager: &SessionManager, events: &mpsc::Receiver<ReplEvent>, stop: &AtomicBool) {
     // (connection, stream position shipped through)
     let mut conn: Option<(Client, u64)> = None;
-    let mut backoff = INITIAL_BACKOFF;
+    let mut backoff = Jitter::from_entropy(INITIAL_BACKOFF, MAX_BACKOFF);
     while !stop.load(Ordering::Acquire) {
+        if manager.is_standby() {
+            // Parked: a standby ships nothing (and must not echo applied
+            // records back at its primary). Promotion restarts from a
+            // fresh snapshot, so queued events can be discarded.
+            conn = None;
+            match events.recv_timeout(POLL_INTERVAL) {
+                Ok(_) | Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
         if conn.is_none() {
-            match connect_and_sync(manager, standby_addr) {
+            let Some(peer) = manager.peer() else {
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            };
+            match connect_and_sync(manager, &peer) {
                 Ok(synced) => {
                     conn = Some(synced);
-                    backoff = INITIAL_BACKOFF;
+                    backoff.reset();
                 }
-                Err(_) => {
-                    // Anything queued while the standby is unreachable is
+                Err(e) => {
+                    // A fenced refusal of the very first snapshot is how
+                    // a restarted stale primary learns it was failed
+                    // over: demote now, park on the next iteration.
+                    observe_refusal(manager, &e);
+                    // Anything queued while the peer is unreachable is
                     // covered by the snapshot the next connect ships —
                     // drain it so the channel stays bounded by the outage.
                     while events.try_recv().is_ok() {}
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(MAX_BACKOFF);
+                    std::thread::sleep(backoff.next_sleep());
                     continue;
                 }
             }
@@ -144,16 +180,28 @@ fn stream(
                     {
                         continue
                     }
-                    ReplEvent::Record { seq, line } => Request::ReplApply { seq, record: line },
-                    ReplEvent::Snapshot { seq, records } => {
-                        Request::ReplSnapshot { seq, records }
-                    }
+                    ReplEvent::Record { seq, line } => Request::ReplApply {
+                        seq,
+                        record: line,
+                        epoch: manager.epoch(),
+                        primary: manager.advertised(),
+                    },
+                    ReplEvent::Snapshot { seq, records } => Request::ReplSnapshot {
+                        seq,
+                        records,
+                        epoch: manager.epoch(),
+                        primary: manager.advertised(),
+                    },
                 };
                 match ship(client, &request) {
                     Ok(acked) => *shipped = acked.max(*shipped),
                     // Transport or protocol trouble: drop the connection
-                    // and resynchronize from a fresh snapshot.
-                    Err(_) => conn = None,
+                    // and resynchronize from a fresh snapshot (after
+                    // demoting first if the refusal was a newer fence).
+                    Err(e) => {
+                        observe_refusal(manager, &e);
+                        conn = None;
+                    }
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -163,16 +211,31 @@ fn stream(
     }
 }
 
-/// Dials the standby and brings it current with one full snapshot taken
+/// Demotes the manager when a ship failure is a typed `fenced` refusal
+/// proving a strictly newer epoch; all other failures are left to the
+/// reconnect loop.
+fn observe_refusal(manager: &SessionManager, err: &ClientError) {
+    if let ClientError::Protocol(e) = err {
+        manager.observe_fencing(e);
+    }
+}
+
+/// Dials the peer and brings it current with one full snapshot taken
 /// atomically from the manager, returning the connection and the stream
-/// position the standby acked.
+/// position the peer acked.
 fn connect_and_sync(
     manager: &SessionManager,
-    standby_addr: &str,
+    peer_addr: &str,
 ) -> Result<(Client, u64), ClientError> {
-    let mut client = Client::connect_with_timeout(standby_addr, DEFAULT_CONNECT_TIMEOUT)?;
+    let mut client = Client::connect_with_timeout(peer_addr, DEFAULT_CONNECT_TIMEOUT)?;
     let (seq, records) = manager.replication_snapshot();
-    let acked = ship(&mut client, &Request::ReplSnapshot { seq, records })?;
+    let request = Request::ReplSnapshot {
+        seq,
+        records,
+        epoch: manager.epoch(),
+        primary: manager.advertised(),
+    };
+    let acked = ship(&mut client, &request)?;
     Ok((client, acked))
 }
 

@@ -2,15 +2,26 @@
 //! backend pairs.
 //!
 //! The router owns no session state. It hashes each request's session
-//! name onto one of N backend *pairs* (a primary `chop serve
-//! --replicate-to` plus its warm standby) with a [`HashRing`], forwards
-//! the request to the pair's active node, and relays the reply. Two
-//! things make a dead node survivable:
+//! name onto one of N backend *pairs* (a primary `chop serve --peer`
+//! plus its warm standby) with a [`HashRing`], forwards the request to
+//! the pair's active node, and relays the reply. Several things make a
+//! dead node survivable:
 //!
 //! * **Failover** — when the active node stops answering (a forwarded
 //!   request fails, or the health loop misses [`HEALTH_STRIKES`]
 //!   consecutive pings), the router promotes the pair's standby with
 //!   [`Request::Promote`] and re-points the pair at it.
+//! * **Re-arm** — failover is no longer terminal: the failed node's
+//!   address becomes the pair's *unarmed* standby, and the health loop
+//!   watches for it (or whatever address the active node reports as its
+//!   replication peer) to come back demoted and epoch-synced, at which
+//!   point the pair is re-armed for the next failover.
+//! * **Topology re-learning** — a forwarded request answered with a
+//!   typed `standby`/`fenced` refusal carrying the real primary's
+//!   address proves the pair state is stale (a failover happened behind
+//!   the router's back, or a node rejoined demoted): the router adopts
+//!   the named primary and re-sends — a refusal means nothing was
+//!   applied, so the re-send is safe even for untagged mutations.
 //! * **Exactly-once retry** — a request that died with its backend is
 //!   re-sent to the promoted standby only when that is safe: reads and
 //!   explores always (re-running is pure), mutations only when tagged
@@ -18,6 +29,14 @@
 //!   the standby, so a retry of an already-committed mutation is answered
 //!   from the recorded outcome, not applied twice). An untagged mutation
 //!   gets a typed error instead of a blind, possibly-double apply.
+//!
+//! Membership is live: `add_pair` / `remove_pair` admin requests rebuild
+//! the ring and migrate the sessions whose assignment moved (genesis +
+//! mutation history over the wire via `export` / `import`, then a
+//! `close` on the source), and `router_status` reports per-pair state.
+//! Mutations committed on a moving session between its export and the
+//! ring swap are not carried over — run membership changes during quiet
+//! periods (DESIGN.md §16).
 //!
 //! The ring uses unseeded FNV-1a over `"label#vnode"` strings, so
 //! assignment is deterministic across router restarts, and removing a
@@ -30,7 +49,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use crate::client::{Client, ClientError, RetryPolicy};
+use crate::client::{Client, ClientError, Jitter, RetryPolicy};
 use crate::net::{serve_blocking_lines, ShutdownGate, POLL_INTERVAL};
 use crate::protocol::{ErrorKind, Request, Response, ServiceError};
 
@@ -150,7 +169,8 @@ impl BackendSpec {
 pub struct RouterConfig {
     /// The backend pairs sessions are sharded over.
     pub pairs: Vec<BackendSpec>,
-    /// Health-check cadence for active backends.
+    /// Health-check cadence for active backends (jittered ±25% at run
+    /// time so many pairs and routers do not ping in lockstep).
     pub health_interval: Duration,
 }
 
@@ -165,9 +185,15 @@ impl Default for RouterConfig {
 struct PairState {
     /// The address requests are forwarded to.
     active: String,
-    /// Set once the standby has been promoted — after that the pair has
-    /// no further failover target.
-    promoted: bool,
+    /// The failover target's address, when one is known. After a
+    /// failover this is the *failed* node's last address, kept so the
+    /// health loop can watch for its rejoin (and replaced by whatever
+    /// address the active node reports as its replication peer).
+    standby: Option<String>,
+    /// Whether `standby` is believed demoted, epoch-synced, and ready to
+    /// promote. Cleared by every failover; re-set by the health loop
+    /// once the rejoined standby answers pings at the active's epoch.
+    armed: bool,
     /// Consecutive failed health pings against `active`.
     strikes: u32,
 }
@@ -176,43 +202,55 @@ struct PairState {
 /// however many request threads and the health loop notice a death at
 /// once, exactly one `promote` is sent.
 struct Pair {
-    spec: BackendSpec,
+    /// The ring label: the configured primary address, stable across
+    /// failovers and router restarts.
+    label: String,
     state: Mutex<PairState>,
 }
 
 impl Pair {
     fn new(spec: BackendSpec) -> Self {
-        let active = spec.primary.clone();
-        Self { spec, state: Mutex::new(PairState { active, promoted: false, strikes: 0 }) }
+        let armed = spec.standby.is_some();
+        Self {
+            label: spec.primary.clone(),
+            state: Mutex::new(PairState {
+                active: spec.primary,
+                standby: spec.standby,
+                armed,
+                strikes: 0,
+            }),
+        }
     }
 
     fn active(&self) -> String {
         self.state.lock().unwrap_or_else(PoisonError::into_inner).active.clone()
     }
 
-    /// Fails the pair over *away from* `failed`: promotes the standby
-    /// and re-points the pair at it. Returns the address now active, or
-    /// `None` when the pair is out of nodes. Idempotent — a concurrent
-    /// caller that lost the race just gets the already-promoted address.
-    /// `gate` wakes the promote call's retry backoff on shutdown.
+    /// Fails the pair over *away from* `failed`: promotes the armed
+    /// standby and re-points the pair at it, keeping the failed address
+    /// as the (unarmed) rejoin candidate. Returns the address now
+    /// active, or `None` when the pair has no armed standby. Idempotent
+    /// — a concurrent caller that lost the race just gets the
+    /// already-promoted address. `gate` wakes the promote call's retry
+    /// backoff on shutdown.
     fn fail_over(&self, failed: &str, gate: &ShutdownGate) -> Option<String> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.active != failed {
             // Someone already failed over; the new active is the answer.
             return Some(state.active.clone());
         }
-        if state.promoted {
-            return None; // the standby died too
+        if !state.armed {
+            return None; // no standby, or it has not rejoined yet
         }
-        let standby = self.spec.standby.as_ref()?;
-        match promote(standby, gate) {
-            Ok(sessions) => {
+        let standby = state.standby.clone()?;
+        match promote(&standby, gate) {
+            Ok((sessions, epoch)) => {
                 eprintln!(
                     "chop-router: backend {failed} is down; promoted standby {standby} \
-                     ({sessions} sessions)"
+                     ({sessions} sessions, epoch {epoch})"
                 );
-                state.active = standby.clone();
-                state.promoted = true;
+                state.standby = Some(std::mem::replace(&mut state.active, standby));
+                state.armed = false;
                 state.strikes = 0;
                 Some(state.active.clone())
             }
@@ -222,14 +260,34 @@ impl Pair {
             }
         }
     }
+
+    /// Re-points the pair at `redirect` — the primary address a typed
+    /// `standby`/`fenced` refusal named. The refusing node keeps serving
+    /// as the (unarmed) standby candidate until the health loop confirms
+    /// it is synced.
+    fn adopt_active(&self, redirect: &str) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.active == redirect {
+            return;
+        }
+        eprintln!(
+            "chop-router: pair {}: re-learned active {redirect} from a typed refusal by {}",
+            self.label, state.active
+        );
+        let demoted = std::mem::replace(&mut state.active, redirect.to_owned());
+        state.standby = Some(demoted);
+        state.armed = false;
+        state.strikes = 0;
+    }
 }
 
-/// Sends `promote` to a standby, returning its session count.
-fn promote(addr: &str, gate: &ShutdownGate) -> Result<u64, ClientError> {
+/// Sends `promote` to a standby, returning its session count and the
+/// epoch its promotion put in force.
+fn promote(addr: &str, gate: &ShutdownGate) -> Result<(u64, u64), ClientError> {
     let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
     let policy = RetryPolicy::with_budget_ms(PROMOTE_BUDGET_MS);
     match client.request_with_retry_until(&Request::Promote, None, &policy, gate)? {
-        Response::Promoted { sessions } => Ok(sessions),
+        Response::Promoted { sessions, epoch } => Ok((sessions, epoch)),
         other => Err(ClientError::Protocol(ServiceError::protocol(format!(
             "unexpected promote reply: {}",
             other.encode()
@@ -237,10 +295,37 @@ fn promote(addr: &str, gate: &ShutdownGate) -> Result<u64, ClientError> {
     }
 }
 
+/// The sharding topology a request routes on: the ring plus one
+/// [`Pair`] per label. Immutable once published — membership changes
+/// build a new one and swap it in, so in-flight requests keep the
+/// topology they started with (pairs themselves are shared, preserving
+/// their runtime state across the swap).
+struct Shards {
+    ring: HashRing,
+    pairs: Vec<Arc<Pair>>,
+}
+
+impl Shards {
+    fn build(pairs: Vec<Arc<Pair>>) -> Self {
+        let labels = pairs.iter().map(|p| p.label.clone()).collect();
+        Self { ring: HashRing::new(labels, VNODES_PER_PAIR), pairs }
+    }
+}
+
 /// Everything the connection and health threads share.
 struct RouterState {
-    ring: HashRing,
-    pairs: Vec<Pair>,
+    /// The current topology; loaded per request, swapped on membership
+    /// changes.
+    shards: Mutex<Arc<Shards>>,
+    /// Serializes `add_pair` / `remove_pair` so two concurrent
+    /// membership changes cannot interleave their migrations.
+    membership: Mutex<()>,
+}
+
+impl RouterState {
+    fn shards(&self) -> Arc<Shards> {
+        self.shards.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
 }
 
 /// A bound, not-yet-running router instance.
@@ -266,10 +351,10 @@ impl Router {
         }
         // Pairs are labeled by their primary address: stable across
         // router restarts no matter which node of the pair is active.
-        let labels = config.pairs.iter().map(|p| p.primary.clone()).collect();
+        let pairs = config.pairs.into_iter().map(|spec| Arc::new(Pair::new(spec))).collect();
         let state = RouterState {
-            ring: HashRing::new(labels, VNODES_PER_PAIR),
-            pairs: config.pairs.into_iter().map(Pair::new).collect(),
+            shards: Mutex::new(Arc::new(Shards::build(pairs))),
+            membership: Mutex::new(()),
         };
         Ok(Self {
             listener: TcpListener::bind(addr)?,
@@ -340,45 +425,98 @@ impl Router {
     }
 }
 
-/// Pings every pair's active node once per interval; [`HEALTH_STRIKES`]
-/// consecutive misses fail the pair over without waiting for a client
-/// request to trip on the dead node. The gate wakes the full-interval
-/// wait (and every ping backoff) the moment shutdown trips, so drain
-/// latency no longer depends on the health interval.
+/// What a health ping learned about a node.
+struct PongInfo {
+    role: Option<String>,
+    epoch: u64,
+    peer: Option<String>,
+}
+
+/// Pings every pair's active node once per (jittered) interval;
+/// [`HEALTH_STRIKES`] consecutive misses fail the pair over without
+/// waiting for a client request to trip on the dead node. Healthy pings
+/// also drive **re-arming**: an unarmed pair's standby candidate (the
+/// failed ex-active, or whatever the active reports as its replication
+/// peer) is pinged too, and once it answers as a demoted standby at the
+/// active's epoch the pair is armed for the next failover. The gate
+/// wakes the full-interval wait (and every ping backoff) the moment
+/// shutdown trips, so drain latency no longer depends on the interval.
 fn health_loop(state: &RouterState, shutdown: &ShutdownGate, interval: Duration) {
+    // ±25% jitter around the configured cadence: many pairs (or many
+    // routers sharing a standby host) must not ping in lockstep.
+    let mut jitter = Jitter::from_entropy(interval * 3 / 4, interval * 5 / 4);
     loop {
-        if shutdown.wait_for(interval) {
+        if shutdown.wait_for(jitter.next_sleep()) {
             return;
         }
-        for pair in &state.pairs {
+        let shards = state.shards();
+        for pair in &shards.pairs {
             let addr = pair.active();
-            if ping(&addr, shutdown).is_ok() {
-                pair.state.lock().unwrap_or_else(PoisonError::into_inner).strikes = 0;
-                continue;
-            }
-            let strikes = {
-                let mut st = pair.state.lock().unwrap_or_else(PoisonError::into_inner);
-                if st.active != addr {
-                    continue; // a request thread already failed over
+            match ping(&addr, shutdown) {
+                Ok(pong) => {
+                    pair.state.lock().unwrap_or_else(PoisonError::into_inner).strikes = 0;
+                    maybe_rearm(pair, &addr, &pong, shutdown);
                 }
-                st.strikes += 1;
-                st.strikes
-            };
-            if strikes >= HEALTH_STRIKES {
-                let _ = pair.fail_over(&addr, shutdown);
+                Err(_) => {
+                    let strikes = {
+                        let mut st = pair.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        if st.active != addr {
+                            continue; // a request thread already failed over
+                        }
+                        st.strikes += 1;
+                        st.strikes
+                    };
+                    if strikes >= HEALTH_STRIKES {
+                        let _ = pair.fail_over(&addr, shutdown);
+                    }
+                }
             }
         }
     }
 }
 
-fn ping(addr: &str, gate: &ShutdownGate) -> Result<(), ClientError> {
+/// Re-arms an unarmed pair when its standby candidate has rejoined: the
+/// candidate (the active node's reported replication peer, falling back
+/// to the last known standby address) must answer a ping as a demoted
+/// `standby`/`fenced` node at the active's epoch — proof it heard about
+/// the failover and is resyncing from the current primary.
+fn maybe_rearm(pair: &Pair, active: &str, active_pong: &PongInfo, gate: &ShutdownGate) {
+    let candidate = {
+        let st = pair.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.armed {
+            return;
+        }
+        active_pong.peer.clone().or_else(|| st.standby.clone())
+    };
+    let Some(candidate) = candidate else { return };
+    if candidate == active {
+        return;
+    }
+    let Ok(pong) = ping(&candidate, gate) else { return };
+    let demoted = matches!(pong.role.as_deref(), Some("standby" | "fenced"));
+    if !demoted || pong.epoch != active_pong.epoch {
+        return;
+    }
+    let mut st = pair.state.lock().unwrap_or_else(PoisonError::into_inner);
+    if st.armed || st.active != active {
+        return;
+    }
+    st.standby = Some(candidate.clone());
+    st.armed = true;
+    eprintln!(
+        "chop-router: pair {}: standby {candidate} rejoined at epoch {}; pair re-armed",
+        pair.label, pong.epoch
+    );
+}
+
+fn ping(addr: &str, gate: &ShutdownGate) -> Result<PongInfo, ClientError> {
     let mut client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
     let policy = RetryPolicy {
         attempt_timeout: Some(Duration::from_millis(HEALTH_PING_BUDGET_MS)),
         ..RetryPolicy::with_budget_ms(HEALTH_PING_BUDGET_MS)
     };
     match client.request_with_retry_until(&Request::Ping, None, &policy, gate)? {
-        Response::Pong { .. } => Ok(()),
+        Response::Pong { role, epoch, peer, .. } => Ok(PongInfo { role, epoch, peer }),
         other => Err(ClientError::Protocol(ServiceError::protocol(format!(
             "unexpected ping reply: {}",
             other.encode()
@@ -386,9 +524,9 @@ fn ping(addr: &str, gate: &ShutdownGate) -> Result<(), ClientError> {
     }
 }
 
-/// Per-connection cache of backend connections: pair index → the address
-/// it was dialed for and the live client.
-type BackendConns = HashMap<usize, (String, Client)>;
+/// Per-connection cache of backend connections, keyed by address (the
+/// same node may serve several pairs' sessions after membership churn).
+type BackendConns = HashMap<String, Client>;
 
 /// Reads newline-delimited requests off one client socket, forwarding
 /// each to its pair's active backend. The framing (oversized and
@@ -399,9 +537,11 @@ fn handle_connection(stream: TcpStream, state: &RouterState, shutdown: &Shutdown
     serve_blocking_lines(stream, shutdown, |line| respond(line, state, &mut conns, shutdown));
 }
 
-/// Decodes one line and routes it: `shutdown` stops the router itself;
-/// everything else is forwarded to the session's pair, with
-/// promote-and-retry on backend death.
+/// Decodes one line and routes it: `shutdown` stops the router itself,
+/// membership administration (`add_pair` / `remove_pair` /
+/// `router_status`) is handled by the router, and everything else is
+/// forwarded to the session's pair, with promote-and-retry on backend
+/// death.
 fn respond(
     line: &str,
     state: &RouterState,
@@ -412,11 +552,16 @@ fn respond(
         Ok(decoded) => decoded,
         Err(e) => return Response::Error(e),
     };
-    if matches!(request, Request::Shutdown) {
-        shutdown.trigger();
-        return Response::ShuttingDown;
+    match &request {
+        Request::Shutdown => {
+            shutdown.trigger();
+            Response::ShuttingDown
+        }
+        Request::AddPair { pair } => add_pair(state, pair, shutdown),
+        Request::RemovePair { pair } => remove_pair(state, pair, shutdown),
+        Request::RouterStatus => router_status(state),
+        _ => forward(state, conns, &request, req_id.as_deref(), shutdown),
     }
-    forward(state, conns, &request, req_id.as_deref(), shutdown)
 }
 
 fn forward(
@@ -426,16 +571,16 @@ fn forward(
     req_id: Option<&str>,
     gate: &ShutdownGate,
 ) -> Response {
+    let shards = state.shards();
     let key = request.session().unwrap_or("");
-    let Some(index) = state.ring.assign(key) else {
+    let Some(index) = shards.ring.assign(key) else {
         return Response::Error(ServiceError::new(ErrorKind::Internal, "empty backend ring"));
     };
-    let pair = &state.pairs[index];
+    let pair = &shards.pairs[index];
     let active = pair.active();
-    match send_via(conns, index, &active, request, req_id) {
-        Ok(response) => response,
+    let (response, via) = match send_via(conns, &active, request, req_id) {
+        Ok(response) => (response, active.clone()),
         Err(first_err) => {
-            conns.remove(&index);
             let Some(next) = pair.fail_over(&active, gate) else {
                 return Response::Error(ServiceError::new(
                     ErrorKind::Internal,
@@ -453,36 +598,208 @@ fn forward(
                      safely — tag it with a req_id and resend",
                 ));
             }
-            match send_via(conns, index, &next, request, req_id) {
-                Ok(response) => response,
+            match send_via(conns, &next, request, req_id) {
+                Ok(response) => (response, next),
                 Err(e) => {
-                    conns.remove(&index);
-                    Response::Error(ServiceError::new(
+                    return Response::Error(ServiceError::new(
                         ErrorKind::Internal,
                         format!("backend failed over but the standby did not answer: {e}"),
                     ))
                 }
             }
         }
+    };
+    // Topology re-learning: a standby/fenced refusal naming the real
+    // primary proves the pair state is stale. A typed refusal means
+    // nothing was applied, so re-sending — even an untagged mutation —
+    // is safe.
+    let Response::Error(e) = &response else { return response };
+    if !matches!(e.kind, ErrorKind::Standby | ErrorKind::Fenced) {
+        return response;
+    }
+    let Some(primary) = e.primary.clone() else { return response };
+    if primary == via {
+        return response;
+    }
+    pair.adopt_active(&primary);
+    match send_via(conns, &primary, request, req_id) {
+        Ok(redirected) => redirected,
+        // The named primary did not answer: surface the original refusal
+        // (it carries the redirect for the client to act on).
+        Err(_) => response,
     }
 }
 
-/// Sends one request over the cached connection for `index`, dialing (or
-/// re-dialing, when the active address changed) as needed.
+/// Sends one request over the cached connection for `addr`, dialing as
+/// needed; a transport failure evicts the cached connection.
 fn send_via(
     conns: &mut BackendConns,
-    index: usize,
     addr: &str,
     request: &Request,
     req_id: Option<&str>,
 ) -> Result<Response, ClientError> {
-    let stale = conns.get(&index).is_none_or(|(dialed, _)| dialed != addr);
-    if stale {
+    if !conns.contains_key(addr) {
         let client = Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT)?;
-        conns.insert(index, (addr.to_owned(), client));
+        conns.insert(addr.to_owned(), client);
     }
-    let (_, client) = conns.get_mut(&index).expect("connection just ensured");
-    client.request_tagged(request, req_id)
+    let client = conns.get_mut(addr).expect("connection just ensured");
+    let outcome = client.request_tagged(request, req_id);
+    if outcome.is_err() {
+        conns.remove(addr);
+    }
+    outcome
+}
+
+// ---- membership ---------------------------------------------------------
+
+/// Adds a backend pair to the ring, migrating the sessions whose
+/// assignment moves onto it before the new topology goes live.
+fn add_pair(state: &RouterState, spec: &str, gate: &ShutdownGate) -> Response {
+    let spec = match BackendSpec::parse(spec) {
+        Ok(spec) => spec,
+        Err(e) => return Response::Error(ServiceError::new(ErrorKind::Spec, e)),
+    };
+    let _admin = state.membership.lock().unwrap_or_else(PoisonError::into_inner);
+    let old = state.shards();
+    if old.pairs.iter().any(|p| p.label == spec.primary) {
+        return Response::Error(ServiceError::new(
+            ErrorKind::Spec,
+            format!("pair {} is already on the ring", spec.primary),
+        ));
+    }
+    let mut pairs = old.pairs.clone();
+    pairs.push(Arc::new(Pair::new(spec)));
+    let new = Arc::new(Shards::build(pairs));
+    if let Err(e) = migrate(&old, &new, gate) {
+        return Response::Error(e);
+    }
+    *state.shards.lock().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&new);
+    Response::PairAdded { pairs: new.ring.labels().to_vec() }
+}
+
+/// Removes the pair labeled `label` (its configured primary address),
+/// migrating its sessions onto the remaining pairs first.
+fn remove_pair(state: &RouterState, label: &str, gate: &ShutdownGate) -> Response {
+    let _admin = state.membership.lock().unwrap_or_else(PoisonError::into_inner);
+    let old = state.shards();
+    if !old.pairs.iter().any(|p| p.label == label) {
+        return Response::Error(ServiceError::new(
+            ErrorKind::Spec,
+            format!("no pair labeled {label:?} on the ring"),
+        ));
+    }
+    let pairs: Vec<Arc<Pair>> =
+        old.pairs.iter().filter(|p| p.label != label).map(Arc::clone).collect();
+    if pairs.is_empty() {
+        return Response::Error(ServiceError::new(
+            ErrorKind::Spec,
+            "cannot remove the last pair on the ring",
+        ));
+    }
+    let new = Arc::new(Shards::build(pairs));
+    if let Err(e) = migrate(&old, &new, gate) {
+        return Response::Error(e);
+    }
+    *state.shards.lock().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&new);
+    Response::PairRemoved { pairs: new.ring.labels().to_vec() }
+}
+
+/// One status line per pair: label, live addresses, arm state.
+fn router_status(state: &RouterState) -> Response {
+    let shards = state.shards();
+    let pairs = shards
+        .pairs
+        .iter()
+        .map(|p| {
+            let st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
+            format!(
+                "{}: active={} standby={} armed={} strikes={}",
+                p.label,
+                st.active,
+                st.standby.as_deref().unwrap_or("-"),
+                st.armed,
+                st.strikes
+            )
+        })
+        .collect();
+    Response::RouterStatus { pairs }
+}
+
+/// Moves every session whose ring assignment differs between `old` and
+/// `new` to its new pair: export (genesis + mutation history) from the
+/// old active, import on the new active, close on the old. The
+/// consistent-hash property keeps this minimal — only sessions touching
+/// the added/removed label move.
+fn migrate(old: &Shards, new: &Shards, _gate: &ShutdownGate) -> Result<u64, ServiceError> {
+    let mut moved = 0u64;
+    for pair in &old.pairs {
+        let from = pair.active();
+        for session in list_sessions(&from)? {
+            if old.ring.assign_label(&session) == new.ring.assign_label(&session) {
+                continue;
+            }
+            let Some(target_label) = new.ring.assign_label(&session) else { continue };
+            let target = new
+                .pairs
+                .iter()
+                .find(|p| p.label == target_label)
+                .expect("assigned label is on the ring")
+                .active();
+            move_session(&session, &from, &target)?;
+            eprintln!("chop-router: membership: moved session {session:?} {from} -> {target}");
+            moved += 1;
+        }
+    }
+    Ok(moved)
+}
+
+/// The open sessions on one backend, via a `stats` request.
+fn list_sessions(addr: &str) -> Result<Vec<String>, ServiceError> {
+    let mut client = dial(addr)?;
+    match client.request(&Request::Stats { session: None }).map_err(migration_err)? {
+        Response::Stats { sessions, .. } => Ok(sessions),
+        Response::Error(e) => Err(e),
+        other => Err(unexpected_reply("stats", &other)),
+    }
+}
+
+/// Export → import → close for one session.
+fn move_session(session: &str, from: &str, to: &str) -> Result<(), ServiceError> {
+    let mut src = dial(from)?;
+    let records = match src
+        .request(&Request::Export { session: session.to_owned() })
+        .map_err(migration_err)?
+    {
+        Response::Exported { records, .. } => records,
+        Response::Error(e) => return Err(e),
+        other => return Err(unexpected_reply("export", &other)),
+    };
+    let mut dst = dial(to)?;
+    match dst.request(&Request::Import { records }).map_err(migration_err)? {
+        Response::Imported { .. } => {}
+        Response::Error(e) => return Err(e),
+        other => return Err(unexpected_reply("import", &other)),
+    }
+    match src.request(&Request::Close { session: session.to_owned() }).map_err(migration_err)? {
+        Response::Closed { .. } => Ok(()),
+        Response::Error(e) => Err(e),
+        other => Err(unexpected_reply("close", &other)),
+    }
+}
+
+fn dial(addr: &str) -> Result<Client, ServiceError> {
+    Client::connect_with_timeout(addr, BACKEND_CONNECT_TIMEOUT).map_err(migration_err)
+}
+
+fn migration_err(e: ClientError) -> ServiceError {
+    ServiceError::new(ErrorKind::Internal, format!("session migration failed: {e}"))
+}
+
+fn unexpected_reply(what: &str, got: &Response) -> ServiceError {
+    ServiceError::protocol(format!(
+        "unexpected {what} reply during migration: {}",
+        got.encode()
+    ))
 }
 
 #[cfg(test)]
@@ -537,7 +854,7 @@ mod tests {
     }
 
     #[test]
-    fn fail_over_is_idempotent_and_terminal_without_a_standby() {
+    fn fail_over_needs_an_armed_standby_and_stale_callers_learn_the_active() {
         let gate = ShutdownGate::new();
         let pair = Pair::new(BackendSpec { primary: "10.0.0.1:1".into(), standby: None });
         assert_eq!(pair.active(), "10.0.0.1:1");
@@ -547,9 +864,44 @@ mod tests {
         {
             let mut st = pair.state.lock().unwrap();
             st.active = "10.0.0.2:1".into();
-            st.promoted = true;
+            st.standby = Some("10.0.0.1:1".into());
+            st.armed = false;
         }
         assert_eq!(pair.fail_over("10.0.0.1:1", &gate), Some("10.0.0.2:1".into()));
-        assert!(pair.fail_over("10.0.0.2:1", &gate).is_none(), "the standby died too");
+        assert!(
+            pair.fail_over("10.0.0.2:1", &gate).is_none(),
+            "the rejoin candidate is not armed yet, so a second failover has nowhere to go"
+        );
+    }
+
+    #[test]
+    fn adopt_active_swaps_roles_and_disarms() {
+        let pair = Pair::new(BackendSpec {
+            primary: "10.0.0.1:1".into(),
+            standby: Some("10.0.0.2:1".into()),
+        });
+        // A fenced refusal from 10.0.0.1 named 10.0.0.2 as the primary.
+        pair.adopt_active("10.0.0.2:1");
+        let st = pair.state.lock().unwrap();
+        assert_eq!(st.active, "10.0.0.2:1");
+        assert_eq!(st.standby.as_deref(), Some("10.0.0.1:1"));
+        assert!(!st.armed, "the demoted node must re-prove sync before it is armed");
+        assert_eq!(st.strikes, 0);
+        drop(st);
+        // Adopting the already-active address is a no-op.
+        pair.adopt_active("10.0.0.2:1");
+        assert_eq!(pair.active(), "10.0.0.2:1");
+    }
+
+    #[test]
+    fn shards_rebuild_preserves_pair_state() {
+        let a = Arc::new(Pair::new(BackendSpec { primary: "a:1".into(), standby: None }));
+        a.adopt_active("a:2");
+        let b = Arc::new(Pair::new(BackendSpec { primary: "b:1".into(), standby: None }));
+        let shards = Shards::build(vec![Arc::clone(&a), Arc::clone(&b)]);
+        assert_eq!(shards.ring.labels(), ["a:1".to_owned(), "b:1".to_owned()]);
+        // The rebuilt topology shares the same Pair objects: runtime
+        // state (the re-learned active) survives membership changes.
+        assert_eq!(shards.pairs[0].active(), "a:2");
     }
 }

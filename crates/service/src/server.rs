@@ -74,8 +74,14 @@ pub struct ServeConfig {
     /// the replication stream until promoted.
     pub standby: bool,
     /// Ship every committed mutation to the standby at this `host:port`
-    /// address (the primary half of a replicated pair).
+    /// address (the primary half of a replicated pair). Legacy one-way
+    /// spelling of [`peer`](Self::peer); `peer` wins when both are set.
     pub replicate_to: Option<String>,
+    /// The symmetric replication peer at this `host:port`: ship to it
+    /// while primary, park (and accept its stream) while standby —
+    /// combined with `standby` for the initial role, this is what makes
+    /// a restarted fenced primary rejoin as a standby automatically.
+    pub peer: Option<String>,
     /// Concurrent connections accepted before new ones are refused with
     /// a typed error (the reactor happily holds tens of thousands; this
     /// caps fd usage).
@@ -113,6 +119,7 @@ impl Default for ServeConfig {
             snapshot_every: 1024,
             standby: false,
             replicate_to: None,
+            peer: None,
             max_connections: 4096,
             idle_timeout_ms: 600_000,
             max_requests_per_sec: 0,
@@ -173,11 +180,20 @@ impl Server {
                 (manager, Some(report))
             }
         };
-        if config.standby {
+        // A journaled role_change (recovery replayed it above) outranks
+        // the configured starting role: a node that crashed fenced must
+        // come back fenced, whatever its command line says.
+        if config.standby && manager.epoch() == 0 && !manager.is_fenced() {
             manager.mark_standby();
         }
+        let listener = TcpListener::bind(addr)?;
+        // The advertised address rides on outgoing replication traffic
+        // so a refusing peer can dial us back (resync after fencing).
+        if let Ok(local) = listener.local_addr() {
+            manager.set_advertised(local.to_string());
+        }
         Ok(Self {
-            listener: TcpListener::bind(addr)?,
+            listener,
             manager: Arc::new(manager),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
@@ -245,8 +261,9 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let mut replicator = self
             .config
-            .replicate_to
+            .peer
             .as_ref()
+            .or(self.config.replicate_to.as_ref())
             .map(|addr| Replicator::start(Arc::clone(&self.manager), addr.clone()));
         let pool = Arc::new(WorkerPool::new(self.config.workers));
         let completions = Arc::new(Completions::new()?);
@@ -483,7 +500,7 @@ mod tests {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         assert!(matches!(
             roundtrip(&mut stream, &mut reader, &Request::Ping),
-            Response::Pong { version: crate::protocol::PROTOCOL_VERSION }
+            Response::Pong { version: crate::protocol::PROTOCOL_VERSION, .. }
         ));
         // A malformed line gets a typed error, not a dropped connection.
         stream.write_all(b"this is not json\n").unwrap();

@@ -679,6 +679,217 @@ fn killed_server_restarts_warm_from_cache_snapshot() {
     }
 }
 
+/// Reserves an ephemeral port and frees it for a server that must come
+/// back on a *known* address (rejoin drills restart nodes in place).
+fn reserve_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = listener.local_addr().expect("reserved addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// Polls `addr` until its pong reports one of `roles` (role transitions
+/// are asynchronous — a restarted stale primary demotes only once its
+/// own replication stream gets fenced).
+fn wait_for_role(addr: &str, roles: &[&str]) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut probe) = Client::connect(addr) {
+            if let Ok(Response::Pong { role: Some(role), .. }) = probe.request(&Request::Ping) {
+                if roles.contains(&role.as_str()) {
+                    return;
+                }
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "node at {addr} never reached a role in {roles:?}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Binds a server on a reserved address and runs it on its own thread,
+/// returning the kill flag and the join handle.
+fn start_at(
+    addr: &str,
+    config: ServeConfig,
+) -> (std::sync::Arc<std::sync::atomic::AtomicBool>, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(addr, config).expect("bind reserved addr");
+    let kill = server.kill_handle();
+    let handle = thread::spawn(move || server.run());
+    (kill, handle)
+}
+
+/// The self-healing headline: kill the primary, promote the standby,
+/// restart the old primary on its own journal — its replication stream is
+/// fenced by the newer epoch, so it demotes itself and resyncs
+/// snapshot-first (including a session it never saw). Then kill the *new*
+/// primary: the rejoined node promotes back (failback). Every surviving
+/// node explores every session to the uninterrupted digest, at jobs 1 and
+/// `CHOP_TEST_JOBS`.
+#[test]
+fn killed_primary_rejoins_demoted_and_fails_back_byte_identical() {
+    for jobs in [1, test_jobs()] {
+        let tag = format!("rejoin-{jobs}");
+        let a_dir = state_dir(&format!("{tag}-a"));
+        let b_dir = state_dir(&format!("{tag}-b"));
+        let a_addr = reserve_addr();
+        let b_addr = reserve_addr();
+        let config = |dir: &PathBuf, peer: &str, standby: bool| ServeConfig {
+            workers: 2,
+            jobs,
+            state_dir: Some(dir.clone()),
+            standby,
+            peer: Some(peer.to_owned()),
+            ..ServeConfig::default()
+        };
+
+        // Epoch 0: A is primary, B its warm standby, linked symmetrically.
+        let (a_kill, a_thread) = start_at(&a_addr, config(&a_dir, &b_addr, false));
+        let (b_kill, b_thread) = start_at(&b_addr, config(&b_dir, &a_addr, true));
+        let mut client = Client::connect(a_addr.as_str()).expect("connect A");
+        let open = Request::Open { session: "cyc".into(), params: open_params(WIDE_SPEC, 3) };
+        client.request_tagged(&open, Some("cyc-open")).expect("open cyc");
+        wait_for_session(&b_addr, "cyc");
+
+        // Pull A's cord; promote B to epoch 1 and commit a session the
+        // dead primary has never heard of.
+        a_kill.store(true, std::sync::atomic::Ordering::SeqCst);
+        a_thread.join().expect("A thread").expect("killed run returns");
+        let mut b_client = Client::connect(b_addr.as_str()).expect("connect B");
+        assert_eq!(
+            b_client.request(&Request::Promote).expect("promote B"),
+            Response::Promoted { sessions: 1, epoch: 1 }
+        );
+        let post = Request::Open { session: "post".into(), params: open_params(SPEC, 2) };
+        b_client.request_tagged(&post, Some("post-open")).expect("open post");
+
+        // Restart the old primary in place, on its own journal, with the
+        // same symmetric peer link. It comes back believing it is an
+        // epoch-0 primary; the fenced refusal of its first snapshot
+        // demotes it, and B's stream (parked until promotion) resyncs it.
+        let (_a_kill, a_thread) = start_at(&a_addr, config(&a_dir, &b_addr, false));
+        wait_for_role(&a_addr, &["fenced", "standby"]);
+        wait_for_session(&a_addr, "post");
+
+        // Convergence proof: both nodes explore both sessions to the
+        // digest an uninterrupted run produces.
+        for addr in [&a_addr, &b_addr] {
+            let mut probe = Client::connect(addr.as_str()).expect("probe");
+            assert_eq!(
+                explored_digest(&mut probe, "cyc"),
+                reference_digest(WIDE_SPEC, 3, jobs),
+                "session cyc at {addr}, jobs={jobs}"
+            );
+            assert_eq!(
+                explored_digest(&mut probe, "post"),
+                reference_digest(SPEC, 2, jobs),
+                "session post at {addr}, jobs={jobs}"
+            );
+        }
+
+        // Failback: kill the *new* primary. The rejoined node promotes to
+        // epoch 2 and takes mutations like any primary.
+        b_kill.store(true, std::sync::atomic::Ordering::SeqCst);
+        b_thread.join().expect("B thread").expect("killed run returns");
+        let mut a_client = Client::connect(a_addr.as_str()).expect("reconnect A");
+        assert_eq!(
+            a_client.request(&Request::Promote).expect("promote A"),
+            Response::Promoted { sessions: 2, epoch: 2 }
+        );
+        let moved = a_client
+            .request(&Request::Repartition { session: "post".into(), node: 2, to: 0 })
+            .expect("mutate after failback");
+        assert!(matches!(moved, Response::Repartitioned { .. }), "{moved:?}");
+
+        a_client.request(&Request::Shutdown).expect("shutdown A");
+        a_thread.join().expect("A thread").expect("drained run returns");
+        let _ = std::fs::remove_dir_all(&a_dir);
+        let _ = std::fs::remove_dir_all(&b_dir);
+    }
+}
+
+/// The fencing headline: once a restarted stale primary has been fenced,
+/// a direct mutation against it gets the typed `fenced` refusal carrying
+/// the current primary's address and epoch — and exactly one node in the
+/// pair answers as an unfenced primary. Following the redirect lands the
+/// mutation on that primary.
+#[test]
+fn restarted_stale_primary_refuses_mutations_with_a_typed_fenced_redirect() {
+    let a_dir = state_dir("fence-a");
+    let b_dir = state_dir("fence-b");
+    let a_addr = reserve_addr();
+    let b_addr = reserve_addr();
+    let config = |dir: &PathBuf, peer: &str, standby: bool| ServeConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        standby,
+        peer: Some(peer.to_owned()),
+        ..ServeConfig::default()
+    };
+
+    let (a_kill, a_thread) = start_at(&a_addr, config(&a_dir, &b_addr, false));
+    let (_b_kill, b_thread) = start_at(&b_addr, config(&b_dir, &a_addr, true));
+    let mut client = Client::connect(a_addr.as_str()).expect("connect A");
+    let open = Request::Open { session: "fence".into(), params: open_params(SPEC, 2) };
+    client.request_tagged(&open, Some("fence-open")).expect("open");
+    wait_for_session(&b_addr, "fence");
+
+    a_kill.store(true, std::sync::atomic::Ordering::SeqCst);
+    a_thread.join().expect("A thread").expect("killed run returns");
+    let mut b_client = Client::connect(b_addr.as_str()).expect("connect B");
+    assert_eq!(
+        b_client.request(&Request::Promote).expect("promote B"),
+        Response::Promoted { sessions: 1, epoch: 1 }
+    );
+
+    let (_a_kill, a_thread) = start_at(&a_addr, config(&a_dir, &b_addr, false));
+    wait_for_role(&a_addr, &["fenced"]);
+
+    // The raw request path (no redirect following — what the router and
+    // the replicator see): a typed `fenced` refusal naming the primary.
+    let mutation = Request::Repartition { session: "fence".into(), node: 3, to: 0 };
+    let mut direct = Client::connect(a_addr.as_str()).expect("reconnect A");
+    let refused = direct.request(&mutation).expect("refusal still answers");
+    let Response::Error(e) = refused else {
+        panic!("fenced node accepted a direct mutation: {refused:?}")
+    };
+    assert_eq!(e.kind, ErrorKind::Fenced, "{e:?}");
+    assert_eq!(e.epoch, Some(1), "the refusal must carry the fencing epoch");
+    assert_eq!(
+        e.primary.as_deref(),
+        Some(b_addr.as_str()),
+        "the refusal must name the current primary"
+    );
+
+    // No dual-primary window: the pair holds exactly one unfenced primary.
+    let role_of = |addr: &str| -> String {
+        let mut probe = Client::connect(addr).expect("probe");
+        match probe.request(&Request::Ping).expect("ping") {
+            Response::Pong { role: Some(role), .. } => role,
+            other => panic!("expected a role-bearing pong, got {other:?}"),
+        }
+    };
+    assert_eq!(role_of(&a_addr), "fenced");
+    assert_eq!(role_of(&b_addr), "primary");
+
+    // Following the redirect applies the mutation on the real primary.
+    let followed = direct
+        .request_following_redirects(&mutation, None, &RetryPolicy::with_budget_ms(2_000))
+        .expect("redirected mutation");
+    assert!(matches!(followed, Response::Repartitioned { .. }), "{followed:?}");
+
+    let mut b_direct = Client::connect(b_addr.as_str()).expect("connect B");
+    b_direct.request(&Request::Shutdown).expect("shutdown B");
+    b_thread.join().expect("B thread").expect("drained run returns");
+    let mut a_direct = Client::connect(a_addr.as_str()).expect("connect A");
+    a_direct.request(&Request::Shutdown).expect("shutdown A");
+    a_thread.join().expect("A thread").expect("drained run returns");
+    let _ = std::fs::remove_dir_all(&a_dir);
+    let _ = std::fs::remove_dir_all(&b_dir);
+}
+
 /// A torn tail record — the crash happened mid-append — is skipped with
 /// a warning on recovery; every record before it is intact.
 #[test]

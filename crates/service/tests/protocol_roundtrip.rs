@@ -224,8 +224,18 @@ fn service_error() -> BoxedStrategy<ServiceError> {
         Just(ErrorKind::Engine),
         Just(ErrorKind::Internal),
         Just(ErrorKind::Standby),
+        Just(ErrorKind::Fenced),
     ];
-    (kind, hostile_text()).prop_map(|(kind, message)| ServiceError::new(kind, message)).boxed()
+    let primary = prop_oneof![Just(None), hostile_text().prop_map(Some)];
+    let epoch = prop_oneof![Just(None), (0u64..1_000).prop_map(Some)];
+    (kind, hostile_text(), primary, epoch)
+        .prop_map(|(kind, message, primary, epoch)| {
+            let mut err = ServiceError::new(kind, message);
+            err.primary = primary;
+            err.epoch = epoch;
+            err
+        })
+        .boxed()
 }
 
 /// Every [`Request`] variant, with fuzzed payloads.
@@ -251,11 +261,47 @@ fn request() -> BoxedStrategy<Request> {
             .prop_map(|session| Request::Stats { session }),
         name().prop_map(|session| Request::Close { session }),
         Just(Request::Shutdown),
-        (0u64..1_000_000, hostile_text())
-            .prop_map(|(seq, record)| Request::ReplApply { seq, record }),
-        (0u64..1_000_000, collection::vec(hostile_text(), 0..4))
-            .prop_map(|(seq, records)| Request::ReplSnapshot { seq, records }),
+        (
+            0u64..1_000_000,
+            hostile_text(),
+            0u64..100,
+            prop_oneof![Just(None), hostile_text().prop_map(Some)]
+        )
+            .prop_map(|(seq, record, epoch, primary)| Request::ReplApply {
+                seq,
+                record,
+                epoch,
+                primary
+            }),
+        (
+            0u64..1_000_000,
+            collection::vec(hostile_text(), 0..4),
+            0u64..100,
+            prop_oneof![Just(None), hostile_text().prop_map(Some)]
+        )
+            .prop_map(|(seq, records, epoch, primary)| Request::ReplSnapshot {
+                seq,
+                records,
+                epoch,
+                primary
+            }),
         Just(Request::Promote),
+        // `primary && fenced` never encodes (fencing demotes), so the
+        // strategy sticks to the three reachable roles.
+        (
+            0u64..100,
+            prop_oneof![Just((true, false)), Just((false, false)), Just((false, true))]
+        )
+            .prop_map(|(epoch, (primary, fenced))| Request::RoleChange {
+                epoch,
+                primary,
+                fenced
+            }),
+        hostile_text().prop_map(|pair| Request::AddPair { pair }),
+        hostile_text().prop_map(|pair| Request::RemovePair { pair }),
+        Just(Request::RouterStatus),
+        name().prop_map(|session| Request::Export { session }),
+        collection::vec(hostile_text(), 0..4).prop_map(|records| Request::Import { records }),
     ]
     .boxed()
 }
@@ -282,7 +328,30 @@ fn req_id() -> BoxedStrategy<Option<String>> {
 /// Every [`Response`] variant, with fuzzed payloads.
 fn response() -> BoxedStrategy<Response> {
     prop_oneof![
-        Just(Response::Pong { version: PROTOCOL_VERSION }),
+        (
+            // A role-less (legacy) pong never encodes an epoch, so pair
+            // the two: epoch rides only when a role is present.
+            prop_oneof![
+                Just(None),
+                (
+                    prop_oneof![
+                        Just("primary".to_owned()),
+                        Just("standby".to_owned()),
+                        Just("fenced".to_owned())
+                    ],
+                    0u64..100,
+                )
+                    .prop_map(Some)
+            ],
+            prop_oneof![Just(None), hostile_text().prop_map(Some)],
+        )
+            .prop_map(|(role_epoch, peer)| {
+                let (role, epoch) = match role_epoch {
+                    Some((role, epoch)) => (Some(role), epoch),
+                    None => (None, 0),
+                };
+                Response::Pong { version: PROTOCOL_VERSION, role, epoch, peer }
+            }),
         (name(), 1u64..64)
             .prop_map(|(session, partitions)| Response::Opened { session, partitions }),
         (name(), run_summary()).prop_map(|(session, run)| Response::Explored { session, run }),
@@ -322,7 +391,16 @@ fn response() -> BoxedStrategy<Response> {
             }
         ),
         (0u64..1_000_000).prop_map(|seq| Response::ReplAck { seq }),
-        (0u64..1_000).prop_map(|sessions| Response::Promoted { sessions }),
+        (0u64..1_000, 0u64..100)
+            .prop_map(|(sessions, epoch)| Response::Promoted { sessions, epoch }),
+        collection::vec(hostile_text(), 0..4).prop_map(|pairs| Response::PairAdded { pairs }),
+        collection::vec(hostile_text(), 0..4).prop_map(|pairs| Response::PairRemoved { pairs }),
+        collection::vec(hostile_text(), 0..4)
+            .prop_map(|pairs| Response::RouterStatus { pairs }),
+        (name(), collection::vec(hostile_text(), 0..4))
+            .prop_map(|(session, records)| Response::Exported { session, records }),
+        (name(), 0u64..1_000)
+            .prop_map(|(session, records)| Response::Imported { session, records }),
         service_error().prop_map(Response::Error),
     ]
     .boxed()

@@ -9,8 +9,8 @@ use std::thread;
 
 use chop_core::prelude::Heuristic;
 use chop_service::{
-    build_session, Client, ErrorKind, ExploreParams, OpenParams, Request, Response,
-    ServeConfig, Server,
+    build_session, BackendSpec, Client, ErrorKind, ExploreParams, HashRing, OpenParams,
+    Request, Response, Router, RouterConfig, ServeConfig, Server,
 };
 
 /// The five-node running example (mul feeding an add chain).
@@ -183,6 +183,117 @@ fn saturated_server_answers_busy_not_queueing_forever() {
     assert_eq!(busy, Response::Busy { inflight: 0, max_inflight: 0, retry_after_ms: 50 });
     assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
     server.join().expect("server thread");
+}
+
+/// Live router membership: `add_pair` grows the ring and migrates exactly
+/// the sessions whose consistent-hash slot moved (genesis + history via
+/// `export`/`import`), `router_status` reflects the ring, `remove_pair`
+/// drains the departing pair back — and every session explores to an
+/// unchanged digest through the router after each change.
+#[test]
+fn router_membership_changes_migrate_sessions_live() {
+    let jobs = test_jobs();
+    let serve = || ServeConfig { workers: 2, max_inflight: 16, jobs, ..ServeConfig::default() };
+    let (addr1, backend1) = start_server(serve());
+    let (addr2, backend2) = start_server(serve());
+    let (addr3, backend3) = start_server(serve());
+    let (addr1, addr2, addr3) = (addr1.to_string(), addr2.to_string(), addr3.to_string());
+
+    let router = Router::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            pairs: vec![
+                BackendSpec { primary: addr1.clone(), standby: None },
+                BackendSpec { primary: addr2.clone(), standby: None },
+            ],
+            health_interval: std::time::Duration::from_secs(30),
+        },
+    )
+    .expect("bind router");
+    let router_addr = router.local_addr().expect("router addr").to_string();
+    let router_thread = thread::spawn(move || router.run().expect("router runs"));
+
+    // Six sessions opened through the router, digests recorded while the
+    // ring has two pairs.
+    let mut client = Client::connect(router_addr.as_str()).expect("connect router");
+    let sessions: Vec<String> = (0..6).map(|i| format!("mem-{i}")).collect();
+    let mut digests = Vec::new();
+    for session in &sessions {
+        let opened = client
+            .request(&Request::Open {
+                session: session.clone(),
+                params: open_params(WIDE_SPEC, 3),
+            })
+            .expect("open via router");
+        assert!(matches!(opened, Response::Opened { .. }), "{opened:?}");
+        digests.push(explore(&mut client, session).digest);
+    }
+
+    // Grow the ring. The reply lists the new membership, and the router's
+    // status endpoint agrees.
+    let added = client.request(&Request::AddPair { pair: addr3.clone() }).expect("add_pair");
+    let Response::PairAdded { pairs } = added else { panic!("expected pair_added: {added:?}") };
+    assert_eq!(pairs, vec![addr1.clone(), addr2.clone(), addr3.clone()]);
+    let status = client.request(&Request::RouterStatus).expect("router_status");
+    let Response::RouterStatus { pairs } = status else {
+        panic!("expected status: {status:?}")
+    };
+    assert_eq!(pairs.len(), 3, "{pairs:?}");
+    assert!(pairs[2].starts_with(&format!("{addr3}: active={addr3}")), "{pairs:?}");
+
+    // The migration moved exactly the sessions the grown ring assigns to
+    // the new label (the ring is public and deterministic, so the test
+    // can compute the expectation independently).
+    let grown = HashRing::new(vec![addr1.clone(), addr2.clone(), addr3.clone()], 64);
+    let mut expected_on_3: Vec<String> = sessions
+        .iter()
+        .filter(|s| grown.assign_label(s) == Some(addr3.as_str()))
+        .cloned()
+        .collect();
+    expected_on_3.sort();
+    let sessions_on = |addr: &str| -> Vec<String> {
+        let mut probe = Client::connect(addr).expect("probe backend");
+        match probe.request(&Request::Stats { session: None }).expect("stats") {
+            Response::Stats { sessions, .. } => sessions,
+            other => panic!("expected stats, got {other:?}"),
+        }
+    };
+    assert_eq!(sessions_on(&addr3), expected_on_3, "migrated set must match the ring");
+
+    // Every session still answers through the router, digest unchanged —
+    // the moved ones now served by the new backend from imported history.
+    for (session, digest) in sessions.iter().zip(&digests) {
+        assert_eq!(&explore(&mut client, session).digest, digest, "after add_pair: {session}");
+    }
+
+    // Shrink the ring again: the departing pair's sessions drain back and
+    // the digests still hold.
+    let removed =
+        client.request(&Request::RemovePair { pair: addr3.clone() }).expect("remove_pair");
+    let Response::PairRemoved { pairs } = removed else {
+        panic!("expected pair_removed: {removed:?}")
+    };
+    assert_eq!(pairs, vec![addr1.clone(), addr2.clone()]);
+    assert!(sessions_on(&addr3).is_empty(), "removed pair must be drained");
+    for (session, digest) in sessions.iter().zip(&digests) {
+        assert_eq!(
+            &explore(&mut client, session).digest,
+            digest,
+            "after remove_pair: {session}"
+        );
+    }
+
+    // Unknown and last-pair removals get typed errors.
+    let bogus = client.request(&Request::RemovePair { pair: "nope:1".into() }).expect("reply");
+    assert!(matches!(&bogus, Response::Error(e) if e.kind == ErrorKind::Spec), "{bogus:?}");
+
+    assert_eq!(client.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
+    router_thread.join().expect("router thread");
+    for (addr, handle) in [(addr1, backend1), (addr2, backend2), (addr3, backend3)] {
+        let mut direct = Client::connect(addr.as_str()).expect("backend connect");
+        direct.request(&Request::Shutdown).expect("backend shutdown");
+        handle.join().expect("backend thread");
+    }
 }
 
 #[test]
